@@ -1,0 +1,86 @@
+// Command edanalyze inspects a saved trace: it prints the Table 1
+// summary, the country and AS mixes, contribution statistics and the
+// clustering correlation, without running any simulation.
+//
+// Usage:
+//
+//	edanalyze trace.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edonkey"
+	"edonkey/internal/analysis"
+	"edonkey/internal/geo"
+	"edonkey/internal/stats"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: edanalyze <trace-file>")
+		os.Exit(2)
+	}
+	if err := run(flag.Arg(0)); err != nil {
+		fmt.Fprintln(os.Stderr, "edanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path string) error {
+	study, err := edonkey.LoadStudy(path)
+	if err != nil {
+		return err
+	}
+	tab := analysis.Table1(study.Full, study.Filtered, study.Extrapolated)
+	if err := tab.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	reg := geo.NewRegistry()
+	tab2 := analysis.Table2(study.Filtered, reg, 5)
+	if err := tab2.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+
+	// Contribution skew (the "top 15% share 75%" statistic).
+	var sizes []float64
+	for _, c := range study.Caches {
+		if len(c) > 0 {
+			sizes = append(sizes, float64(len(c)))
+		}
+	}
+	if len(sizes) > 0 {
+		top15, err := stats.TopShare(sizes, 0.15)
+		if err != nil {
+			return err
+		}
+		gini, err := stats.Gini(sizes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("contribution skew: top 15%% of sharers hold %.0f%% of files (gini %.2f)\n\n",
+			100*top15, gini)
+	}
+
+	fmt.Println("clustering correlation (filtered trace, all files):")
+	pts := study.ClusteringCorrelation()
+	shown := 0
+	for _, p := range pts {
+		if p.CommonFiles > 10 && p.CommonFiles%10 != 0 {
+			continue
+		}
+		fmt.Printf("  P(another | >= %3d common) = %5.1f%%  (%d pairs)\n",
+			p.CommonFiles, 100*p.Probability, p.Pairs)
+		shown++
+		if shown >= 15 {
+			break
+		}
+	}
+	return nil
+}

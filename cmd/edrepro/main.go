@@ -1,0 +1,160 @@
+// Command edrepro regenerates every table and figure of the paper's
+// evaluation from a synthetic trace (or a trace file), printing each as
+// text and optionally writing CSV files.
+//
+// Usage:
+//
+//	edrepro [flags]
+//
+// Typical runs:
+//
+//	edrepro                     # all experiments, laptop scale
+//	edrepro -only fig18,table3  # selected experiments
+//	edrepro -scale 2            # 2x the default population
+//	edrepro -trace trace.gob    # use a previously saved trace
+//	edrepro -out results/       # also write CSVs to results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"edonkey"
+	"edonkey/internal/analysis"
+	"edonkey/internal/geo"
+	"edonkey/internal/workload"
+)
+
+func main() {
+	var (
+		seed      = flag.Uint64("seed", 1, "world seed")
+		scale     = flag.Float64("scale", 1, "population scale factor")
+		days      = flag.Int("days", 0, "trace days (0 = paper's 56)")
+		tracePath = flag.String("trace", "", "load a saved trace instead of generating")
+		savePath  = flag.String("save", "", "save the generated full trace to this file")
+		outDir    = flag.String("out", "", "also write CSV/text files to this directory")
+		only      = flag.String("only", "", "comma-separated experiment ids (e.g. fig18,table3)")
+		useCrawl  = flag.Bool("crawler", false, "collect via the protocol-level crawler (slow)")
+	)
+	flag.Parse()
+
+	if err := run(*seed, *scale, *days, *tracePath, *savePath, *outDir, *only, *useCrawl); err != nil {
+		fmt.Fprintln(os.Stderr, "edrepro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, scale float64, days int, tracePath, savePath, outDir, only string, useCrawl bool) error {
+	var study *edonkey.Study
+	var err error
+	if tracePath != "" {
+		study, err = edonkey.LoadStudy(tracePath)
+	} else {
+		cfg := edonkey.DefaultStudyConfig()
+		cfg.World = scaledWorld(seed, scale, days)
+		cfg.UseCrawler = useCrawl
+		study, err = edonkey.NewStudy(cfg)
+	}
+	if err != nil {
+		return err
+	}
+	if savePath != "" {
+		if err := study.Save(savePath); err != nil {
+			return err
+		}
+		fmt.Printf("saved full trace to %s\n", savePath)
+	}
+
+	selected := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			selected[strings.ToLower(id)] = true
+		}
+	}
+	want := func(id string) bool {
+		return len(selected) == 0 || selected[strings.ToLower(id)]
+	}
+
+	fmt.Printf("study: full %d peers / filtered %d / extrapolated %d; %d distinct files\n\n",
+		study.Full.ObservedPeers(), study.Filtered.ObservedPeers(),
+		study.Extrapolated.ObservedPeers(), study.Full.DistinctFiles())
+
+	reg := geo.NewRegistry()
+	if study.World != nil {
+		reg = study.World.Registry
+	}
+	suite := analysis.FullSuite(analysis.SuiteInput{
+		Full:         study.Full,
+		Filtered:     study.Filtered,
+		Extrapolated: study.Extrapolated,
+		Caches:       study.Caches,
+		Registry:     reg,
+		Seed:         seed,
+	})
+	for _, exp := range suite {
+		if !want(exp.ID()) {
+			continue
+		}
+		if err := emit(exp, outDir); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func scaledWorld(seed uint64, scale float64, days int) workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Peers = int(float64(cfg.Peers) * scale)
+	cfg.InitialFiles = int(float64(cfg.InitialFiles) * scale)
+	cfg.NewFilesPerDay = int(float64(cfg.NewFilesPerDay) * scale)
+	cfg.Topics = int(float64(cfg.Topics) * scale)
+	if days > 0 {
+		cfg.Days = days
+	}
+	return cfg
+}
+
+func emit(exp analysis.Experiment, outDir string) error {
+	if err := exp.Render(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	if outDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(outDir, exp.ID()+".txt")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := exp.Render(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if fig, ok := exp.(*figureExperiment); ok {
+		cf, err := os.Create(filepath.Join(outDir, fig.ID()+".csv"))
+		if err != nil {
+			return err
+		}
+		if err := fig.Figure.CSV(cf); err != nil {
+			cf.Close()
+			return err
+		}
+		return cf.Close()
+	}
+	return nil
+}
+
+// figureExperiment mirrors analysis.FigureExperiment for the CSV type
+// check without exporting internals; kept in sync via the Suite API.
+type figureExperiment = analysis.FigureExperiment

@@ -1,0 +1,109 @@
+// Command edsim runs the paper's semantic-neighbour search simulation
+// with configurable strategy, list size, hops and ablations, on either a
+// generated or saved trace.
+//
+// Usage:
+//
+//	edsim [-strategy lru|history|random] [-list 20] [-twohop]
+//	      [-drop-uploaders 0.05] [-drop-files 0.15] [-randomize]
+//	      [-trace trace.gob]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"edonkey"
+	"edonkey/internal/workload"
+)
+
+func main() {
+	var (
+		tracePath      = flag.String("trace", "", "saved trace file (default: generate)")
+		seed           = flag.Uint64("seed", 1, "seed")
+		peers          = flag.Int("peers", 2000, "generated population size")
+		days           = flag.Int("days", 30, "generated trace days")
+		strategy       = flag.String("strategy", "lru", "lru, history or random")
+		listSize       = flag.Int("list", 20, "semantic neighbour list size")
+		twoHop         = flag.Bool("twohop", false, "query neighbours' neighbours on a miss")
+		dropUp         = flag.Float64("drop-uploaders", 0, "fraction of top uploaders removed")
+		dropFiles      = flag.Float64("drop-files", 0, "fraction of top popular files removed")
+		randomizeTrace = flag.Bool("randomize", false, "fully randomize caches first (appendix algorithm)")
+		load           = flag.Bool("load", false, "print the query-load distribution")
+	)
+	flag.Parse()
+
+	study, err := makeStudy(*tracePath, *seed, *peers, *days)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edsim:", err)
+		os.Exit(1)
+	}
+
+	opt := edonkey.SearchOptions{
+		ListSize:         *listSize,
+		Strategy:         *strategy,
+		TwoHop:           *twoHop,
+		Seed:             *seed,
+		DropTopUploaders: *dropUp,
+		DropTopFiles:     *dropFiles,
+		TrackLoad:        *load,
+	}
+	if *randomizeTrace {
+		opt.RandomizeSwaps = -1
+	}
+	res, err := study.SearchSim(opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println(res.String())
+	fmt.Printf("  peers: %d (%d sharers), contributions: %d\n",
+		res.Peers, res.Sharers, res.Contributions)
+	fmt.Printf("  one-hop hits: %d, two-hop hits: %d, messages: %d\n",
+		res.OneHopHits, res.TwoHopHits, res.Messages)
+	if *load && res.Requests > 0 {
+		var loads []int64
+		for _, l := range res.LoadPerPeer {
+			if l > 0 {
+				loads = append(loads, l)
+			}
+		}
+		if len(loads) == 0 {
+			fmt.Println("  load: no queries were delivered")
+			return
+		}
+		sort.Slice(loads, func(i, j int) bool { return loads[i] > loads[j] })
+		mean := float64(res.Messages) / float64(len(loads))
+		fmt.Printf("  load: %d loaded peers, mean %.1f msgs, max %d\n",
+			len(loads), mean, loads[0])
+		for _, q := range []int{0, len(loads) / 100, len(loads) / 10, len(loads) / 2} {
+			fmt.Printf("    rank %6d: %d msgs\n", q+1, loads[q])
+		}
+	}
+}
+
+func makeStudy(tracePath string, seed uint64, peers, days int) (*edonkey.Study, error) {
+	if tracePath != "" {
+		return edonkey.LoadStudy(tracePath)
+	}
+	cfg := edonkey.DefaultStudyConfig()
+	w := workload.DefaultConfig()
+	w.Seed = seed
+	w.Peers = peers
+	w.Days = days
+	w.Topics = max(8, peers/20)
+	w.InitialFiles = 30 * peers
+	w.NewFilesPerDay = max(1, w.InitialFiles/100)
+	cfg.World = w
+	return edonkey.NewStudy(cfg)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

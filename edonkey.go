@@ -1,0 +1,201 @@
+// Package edonkey is a full reproduction of "Peer Sharing Behaviour in
+// the eDonkey Network, and Implications for the Design of Server-less
+// File Sharing Systems" (Handurukande, Kermarrec, Le Fessant, Massoulié,
+// Patarin — EuroSys 2006).
+//
+// It provides, end to end:
+//
+//   - a synthetic eDonkey-scale workload generator whose emergent
+//     statistics match the paper's measurements (internal/workload);
+//   - a protocol-level network simulator and the paper's crawler
+//     methodology (internal/protocol, internal/edonkey,
+//     internal/crawler);
+//   - the trace model with the paper's filtered/extrapolated derivations
+//     (internal/trace);
+//   - the clustering analyses and the semantic-neighbour search
+//     simulation that constitute the paper's contribution
+//     (internal/core);
+//   - drivers for every table and figure of the evaluation
+//     (internal/analysis, cmd/edrepro).
+//
+// This package is the facade: it wires those pieces into a small API
+// that generates a study — the three trace levels plus the static caches
+// the search simulation runs on — and exposes the most common entry
+// points for experiments.
+//
+// Quick start:
+//
+//	study, err := edonkey.NewStudy(edonkey.DefaultStudyConfig())
+//	if err != nil { ... }
+//	res := study.SearchSim(edonkey.SearchOptions{ListSize: 20, Strategy: "lru"})
+//	fmt.Printf("hit rate: %.1f%%\n", 100*res.HitRate())
+package edonkey
+
+import (
+	"fmt"
+	"strings"
+
+	"edonkey/internal/core"
+	"edonkey/internal/crawler"
+	"edonkey/internal/trace"
+	"edonkey/internal/workload"
+)
+
+// StudyConfig configures trace generation for a Study.
+type StudyConfig struct {
+	// World parameterizes the synthetic population; see workload.Config.
+	World workload.Config
+	// UseCrawler collects the trace through the protocol-level crawler
+	// instead of the oracle observer. Slower, but exercises the full
+	// measurement methodology including its losses.
+	UseCrawler bool
+	// Crawler tunes the crawler when UseCrawler is set.
+	Crawler crawler.Config
+	// Extrapolate sets the extrapolated-trace thresholds; zero value
+	// means the paper's (>= 5 snapshots over >= 10 days).
+	Extrapolate trace.ExtrapolateOptions
+}
+
+// DefaultStudyConfig returns the laptop-scale defaults (about 4k peers,
+// 56 days, oracle collection).
+func DefaultStudyConfig() StudyConfig {
+	return StudyConfig{
+		World:   workload.DefaultConfig(),
+		Crawler: crawler.DefaultConfig(),
+	}
+}
+
+// Study holds the three trace levels of the paper and the static caches
+// used by the search simulations.
+type Study struct {
+	Config StudyConfig
+
+	// Full is everything the measurement saw, duplicates included.
+	Full *trace.Trace
+	// Filtered removes duplicate identities (static analyses).
+	Filtered *trace.Trace
+	// Extrapolated keeps well-observed peers with gap-filled caches
+	// (dynamic analyses).
+	Extrapolated *trace.Trace
+
+	// Caches are the filtered trace's aggregate per-peer cache contents
+	// (the search simulation's request sets).
+	Caches [][]trace.FileID
+
+	// World is the generated population (nil when a study is loaded
+	// from a trace file).
+	World *workload.World
+	// CrawlStats reports the crawl when UseCrawler was set.
+	CrawlStats crawler.Stats
+}
+
+// NewStudy generates a world, collects its trace (oracle or crawler) and
+// derives the filtered and extrapolated levels.
+func NewStudy(cfg StudyConfig) (*Study, error) {
+	s := &Study{Config: cfg}
+	if cfg.UseCrawler {
+		w, err := workload.New(cfg.World)
+		if err != nil {
+			return nil, err
+		}
+		c, err := crawler.New(w, cfg.Crawler)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := c.Run(w.Config.Days)
+		if err != nil {
+			return nil, err
+		}
+		s.World, s.Full, s.CrawlStats = w, tr, c.Stats
+	} else {
+		tr, w, err := workload.Collect(cfg.World)
+		if err != nil {
+			return nil, err
+		}
+		s.World, s.Full = w, tr
+	}
+	s.derive()
+	return s, nil
+}
+
+// LoadStudy builds a study from a previously saved full trace (e.g. an
+// imported anonymized real trace).
+func LoadStudy(path string) (*Study, error) {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{Config: DefaultStudyConfig(), Full: tr}
+	s.derive()
+	return s, nil
+}
+
+func (s *Study) derive() {
+	s.Filtered = s.Full.Filter()
+	s.Extrapolated = s.Filtered.Extrapolate(s.Config.Extrapolate)
+	s.Caches = s.Filtered.AggregateCaches()
+}
+
+// Save writes the full trace to a file; LoadStudy restores it.
+func (s *Study) Save(path string) error { return s.Full.WriteFile(path) }
+
+// SearchOptions configures a semantic-search simulation run through the
+// facade. It mirrors core.SimOptions with a string strategy name.
+type SearchOptions struct {
+	// ListSize is the semantic neighbour list length (default 20).
+	ListSize int
+	// Strategy is "lru" (default), "history" or "random".
+	Strategy string
+	// TwoHop also queries neighbours' neighbours on a miss.
+	TwoHop bool
+	// Seed drives the simulation's randomness.
+	Seed uint64
+	// DropTopUploaders / DropTopFiles are ablation fractions in [0, 1).
+	DropTopUploaders float64
+	DropTopFiles     float64
+	// RandomizeSwaps pre-randomizes caches: <0 the paper's full budget,
+	// 0 none, >0 exact swap count.
+	RandomizeSwaps int
+	// TrackLoad records per-peer query load.
+	TrackLoad bool
+}
+
+// ParseStrategy maps a strategy name to its core kind.
+func ParseStrategy(name string) (core.StrategyKind, error) {
+	switch strings.ToLower(name) {
+	case "", "lru":
+		return core.LRU, nil
+	case "history":
+		return core.History, nil
+	case "random":
+		return core.Random, nil
+	default:
+		return 0, fmt.Errorf("edonkey: unknown strategy %q (want lru, history or random)", name)
+	}
+}
+
+// SearchSim runs the paper's trace-driven semantic search simulation on
+// the study's filtered caches.
+func (s *Study) SearchSim(opt SearchOptions) (core.SimResult, error) {
+	kind, err := ParseStrategy(opt.Strategy)
+	if err != nil {
+		return core.SimResult{}, err
+	}
+	return core.RunSim(s.Caches, core.SimOptions{
+		ListSize:         opt.ListSize,
+		Kind:             kind,
+		TwoHop:           opt.TwoHop,
+		Seed:             opt.Seed,
+		DropTopUploaders: opt.DropTopUploaders,
+		DropTopFiles:     opt.DropTopFiles,
+		RandomizeSwaps:   opt.RandomizeSwaps,
+		TrackLoad:        opt.TrackLoad,
+	}), nil
+}
+
+// ClusteringCorrelation computes the paper's Fig. 13 metric over the
+// study's filtered caches: for each n, the probability that two peers
+// sharing at least n files share another one.
+func (s *Study) ClusteringCorrelation() []core.CorrelationPoint {
+	return core.ClusteringCorrelation(s.Caches, nil)
+}

@@ -1,0 +1,137 @@
+package edonkey
+
+import (
+	"path/filepath"
+	"testing"
+
+	"edonkey/internal/workload"
+)
+
+func studyConfig(seed uint64) StudyConfig {
+	cfg := DefaultStudyConfig()
+	cfg.World = workload.Config{
+		Seed:           seed,
+		Peers:          400,
+		Days:           14,
+		Topics:         40,
+		InitialFiles:   10000,
+		NewFilesPerDay: 120,
+	}
+	return cfg
+}
+
+func TestNewStudyOracle(t *testing.T) {
+	study, err := NewStudy(studyConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.Full == nil || study.Filtered == nil || study.Extrapolated == nil {
+		t.Fatal("missing trace level")
+	}
+	if err := study.Full.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Caches) != len(study.Filtered.Peers) {
+		t.Errorf("caches %d != filtered peers %d", len(study.Caches), len(study.Filtered.Peers))
+	}
+	if study.World == nil {
+		t.Error("generated study should retain its world")
+	}
+}
+
+func TestNewStudyCrawler(t *testing.T) {
+	cfg := studyConfig(2)
+	cfg.World.Peers = 150
+	cfg.World.Days = 4
+	cfg.World.InitialFiles = 4000
+	cfg.UseCrawler = true
+	study, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.CrawlStats.Snapshots == 0 {
+		t.Error("crawler study recorded no snapshots")
+	}
+	if study.Full.Observations() != study.CrawlStats.Snapshots {
+		t.Errorf("observations %d != snapshots %d",
+			study.Full.Observations(), study.CrawlStats.Snapshots)
+	}
+}
+
+func TestStudySaveLoad(t *testing.T) {
+	study, err := NewStudy(studyConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.gob")
+	if err := study.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStudy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Full.Observations() != study.Full.Observations() {
+		t.Error("loaded study differs")
+	}
+	if loaded.Filtered.ObservedPeers() != study.Filtered.ObservedPeers() {
+		t.Error("derivations differ after reload")
+	}
+}
+
+func TestSearchSimStrategies(t *testing.T) {
+	study, err := NewStudy(studyConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lruRate float64
+	for _, strategy := range []string{"lru", "history", "random", ""} {
+		res, err := study.SearchSim(SearchOptions{ListSize: 10, Strategy: strategy, Seed: 5})
+		if err != nil {
+			t.Fatalf("%q: %v", strategy, err)
+		}
+		if res.Requests == 0 {
+			t.Fatalf("%q: no requests simulated", strategy)
+		}
+		if strategy == "lru" {
+			lruRate = res.HitRate()
+		}
+		if strategy == "random" && res.HitRate() >= lruRate {
+			t.Errorf("random (%.2f) should underperform LRU (%.2f)", res.HitRate(), lruRate)
+		}
+	}
+	if _, err := study.SearchSim(SearchOptions{Strategy: "bogus"}); err == nil {
+		t.Error("bogus strategy accepted")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	for name, ok := range map[string]bool{
+		"lru": true, "LRU": true, "history": true, "Random": true, "": true,
+		"florp": false,
+	} {
+		_, err := ParseStrategy(name)
+		if ok && err != nil {
+			t.Errorf("ParseStrategy(%q): %v", name, err)
+		}
+		if !ok && err == nil {
+			t.Errorf("ParseStrategy(%q) accepted", name)
+		}
+	}
+}
+
+func TestClusteringCorrelationFacade(t *testing.T) {
+	study, err := NewStudy(studyConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := study.ClusteringCorrelation()
+	if len(pts) == 0 {
+		t.Fatal("no correlation points")
+	}
+	for _, p := range pts {
+		if p.Probability < 0 || p.Probability > 1 {
+			t.Fatalf("probability out of range: %+v", p)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Quickstart: generate a small synthetic eDonkey study, print its
+// headline statistics, and run the paper's semantic-neighbour search
+// simulation with the three list-management strategies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edonkey"
+	"edonkey/internal/workload"
+)
+
+func main() {
+	// A small world keeps this example under a few seconds.
+	cfg := edonkey.DefaultStudyConfig()
+	cfg.World = workload.Config{
+		Seed:           42,
+		Peers:          800,
+		Days:           21,
+		Topics:         70,
+		InitialFiles:   25000,
+		NewFilesPerDay: 220,
+	}
+	study, err := edonkey.NewStudy(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== trace levels (paper Table 1) ==")
+	fmt.Printf("full:         %6d clients, %7d observations, %7d distinct files\n",
+		study.Full.ObservedPeers(), study.Full.Observations(), study.Full.DistinctFiles())
+	fmt.Printf("filtered:     %6d clients (%d free-riders)\n",
+		study.Filtered.ObservedPeers(), study.Filtered.FreeRiders())
+	fmt.Printf("extrapolated: %6d clients over %d days\n",
+		study.Extrapolated.ObservedPeers(), study.Extrapolated.DurationDays())
+
+	fmt.Println("\n== clustering correlation (paper Fig. 13) ==")
+	for _, p := range study.ClusteringCorrelation() {
+		if p.CommonFiles > 8 {
+			break
+		}
+		fmt.Printf("P(another common file | %d in common) = %5.1f%%   (%d pairs)\n",
+			p.CommonFiles, 100*p.Probability, p.Pairs)
+	}
+
+	fmt.Println("\n== semantic search, 20 neighbours (paper Fig. 18) ==")
+	for _, strategy := range []string{"lru", "history", "random"} {
+		res, err := study.SearchSim(edonkey.SearchOptions{
+			ListSize: 20,
+			Strategy: strategy,
+			Seed:     1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s hit rate: %5.1f%%  (%d hits / %d requests)\n",
+			strategy, 100*res.HitRate(), res.Hits, res.Requests)
+	}
+
+	res, err := study.SearchSim(edonkey.SearchOptions{
+		ListSize: 20, Strategy: "lru", TwoHop: true, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nLRU + two-hop (paper Fig. 23): %.1f%% (one-hop %d + two-hop %d hits)\n",
+		100*res.HitRate(), res.OneHopHits, res.TwoHopHits)
+}

@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+
+	"edonkey/internal/trace"
+	"edonkey/internal/workload"
+)
+
+var (
+	onceTrace   sync.Once
+	testFull    *trace.Trace
+	testFilt    *trace.Trace
+	testExtrap  *trace.Trace
+	testCaches  [][]trace.FileID
+	testFailure error
+)
+
+// traces builds one shared test trace (the generation dominates test
+// time; every figure test reuses it).
+func traces(t *testing.T) (*trace.Trace, *trace.Trace, *trace.Trace) {
+	t.Helper()
+	onceTrace.Do(func() {
+		cfg := workload.DefaultConfig()
+		cfg.Seed = 7
+		cfg.Peers = 900
+		cfg.Days = 24
+		cfg.Topics = 80
+		cfg.InitialFiles = 30000
+		cfg.NewFilesPerDay = 250
+		full, _, err := workload.Collect(cfg)
+		if err != nil {
+			testFailure = err
+			return
+		}
+		testFull = full
+		testFilt = full.Filter()
+		testExtrap = testFilt.Extrapolate(trace.DefaultExtrapolateOptions())
+		testCaches = testFilt.AggregateCaches()
+	})
+	if testFailure != nil {
+		t.Fatal(testFailure)
+	}
+	return testFull, testFilt, testExtrap
+}
+
+func renderOK(t *testing.T, f *Figure) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatalf("%s render: %v", f.ID, err)
+	}
+	var csv bytes.Buffer
+	if err := f.CSV(&csv); err != nil {
+		t.Fatalf("%s csv: %v", f.ID, err)
+	}
+	if !strings.HasPrefix(csv.String(), "series,x,y\n") {
+		t.Errorf("%s csv header wrong", f.ID)
+	}
+	return buf.String()
+}
+
+func TestTable1(t *testing.T) {
+	full, filt, ex := traces(t)
+	tab := Table1(full, filt, ex)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Full trace", "free-riders", "Extrapolated"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q:\n%s", want, out)
+		}
+	}
+	// The filtered trace must be no bigger than the full trace.
+	if filt.ObservedPeers() > full.ObservedPeers() {
+		t.Error("filtered trace bigger than full")
+	}
+	if ex.ObservedPeers() > filt.ObservedPeers() {
+		t.Error("extrapolated trace bigger than filtered")
+	}
+}
+
+func TestTable2TopASes(t *testing.T) {
+	full, _, _ := traces(t)
+	w, err := workload.New(workload.Config{Peers: 10, Days: 1, Topics: 5, InitialFiles: 10, NewFilesPerDay: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := Table2(full, w.Registry, 5)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tab.Rows))
+	}
+	// Deutsche Telekom (AS3320) must rank first with ~21% global share,
+	// as in the paper's Table 2.
+	if tab.Rows[0][0] != "3320" {
+		t.Errorf("top AS = %s, want 3320 (Deutsche Telekom)", tab.Rows[0][0])
+	}
+	if !strings.Contains(tab.Rows[0][3], "Telekom") {
+		t.Errorf("top AS name = %q", tab.Rows[0][3])
+	}
+}
+
+func TestFig1(t *testing.T) {
+	full, _, _ := traces(t)
+	fig := Fig1ClientsFilesPerDay(full)
+	renderOK(t, fig)
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	if len(fig.Series[0].X) != len(full.Days) {
+		t.Errorf("clients series has %d points, want %d", len(fig.Series[0].X), len(full.Days))
+	}
+}
+
+func TestFig2NewFilesDeclines(t *testing.T) {
+	full, _, _ := traces(t)
+	fig := Fig2NewFiles(full)
+	renderOK(t, fig)
+	newF := fig.Series[0].Y
+	tot := fig.Series[1].Y
+	// Totals are non-decreasing; day-0 discovery is the largest burst.
+	for i := 1; i < len(tot); i++ {
+		if tot[i] < tot[i-1] {
+			t.Fatal("total files decreased")
+		}
+	}
+	if newF[0] <= newF[len(newF)-1] {
+		t.Error("day-0 discovery burst should dominate later days")
+	}
+	// New files keep appearing mid-trace (the paper: 100k/day even after
+	// a month).
+	mid := newF[len(newF)/2]
+	if mid == 0 {
+		t.Error("no new files discovered mid-trace")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	_, _, ex := traces(t)
+	fig := Fig3ExtrapolatedCoverage(ex)
+	renderOK(t, fig)
+	if len(fig.Series) != 2 || len(fig.Series[0].X) == 0 {
+		t.Fatalf("bad fig3: %+v", fig.Series)
+	}
+}
+
+func TestFig4CountryMix(t *testing.T) {
+	full, _, _ := traces(t)
+	fig := Fig4Countries(full, 11)
+	renderOK(t, fig)
+	if len(fig.Series) < 5 {
+		t.Fatalf("too few countries: %d", len(fig.Series))
+	}
+	// France and Germany must lead with roughly their paper shares.
+	first := fig.Series[0]
+	if first.Label != "FR" && first.Label != "DE" {
+		t.Errorf("top country = %s, want FR or DE", first.Label)
+	}
+	if first.Y[0] < 0.2 || first.Y[0] > 0.4 {
+		t.Errorf("top country share = %v, want ~0.29", first.Y[0])
+	}
+}
+
+func TestFig5ZipfShape(t *testing.T) {
+	_, _, ex := traces(t)
+	first, last, _ := ex.DayRange()
+	fig := Fig5Replication(ex, []int{first, (first + last) / 2, last})
+	renderOK(t, fig)
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		// Monotone non-increasing by construction.
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1] {
+				t.Fatalf("%s not sorted by popularity", s.Label)
+			}
+		}
+		if s.Y[0] <= 1 {
+			t.Errorf("%s top file has <= 1 source", s.Label)
+		}
+	}
+}
+
+func TestFig6PopularFilesAreBig(t *testing.T) {
+	_, filt, _ := traces(t)
+	fig := Fig6FileSizes(filt, []int{1, 5, 10})
+	renderOK(t, fig)
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// CDF at 600MB: the popular series must sit clearly below the
+	// all-files series (more mass above 600MB).
+	at600MB := func(s Series) float64 {
+		const x = 600 * 1024 // KB
+		best := 1.0
+		for i := range s.X {
+			if s.X[i] >= x {
+				best = s.Y[i]
+				break
+			}
+		}
+		return best
+	}
+	all := at600MB(fig.Series[0])
+	pop10 := at600MB(fig.Series[2])
+	if pop10 >= all {
+		t.Errorf("CDF(600MB): popularity>=10 %.3f should be below all files %.3f", pop10, all)
+	}
+	if all-pop10 < 0.1 {
+		t.Errorf("popular files not sufficiently larger: %.3f vs %.3f", pop10, all)
+	}
+}
+
+func TestFig7FreeRiding(t *testing.T) {
+	_, filt, _ := traces(t)
+	fig := Fig7Contribution(filt)
+	renderOK(t, fig)
+	// CDF of files at x=1 for the full population ~= free-rider share
+	// (at least 60%); excluding free-riders it must be far lower.
+	filesFull := fig.Series[0]
+	filesSharers := fig.Series[1]
+	if filesFull.Y[0] < 0.5 {
+		t.Errorf("free-riding share looks too low: %.3f", filesFull.Y[0])
+	}
+	if filesSharers.Y[0] > 0.2 {
+		t.Errorf("sharers-only CDF at 1 file = %.3f, want small", filesSharers.Y[0])
+	}
+}
+
+func TestFig8SpreadBoundedAndPeaked(t *testing.T) {
+	_, filt, _ := traces(t)
+	fig := Fig8Spread(filt, 6)
+	renderOK(t, fig)
+	if len(fig.Series) != 6 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		maxv := 0.0
+		for _, v := range s.Y {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		if maxv > 0.25 {
+			t.Errorf("%s spread peaks at %.3f of clients; paper: well under 1", s.Label, maxv)
+		}
+		if maxv == 0 {
+			t.Errorf("%s never appears", s.Label)
+		}
+	}
+}
+
+func TestFigRankEvolution(t *testing.T) {
+	_, filt, _ := traces(t)
+	first, last, _ := filt.DayRange()
+	fig := FigRankEvolution("fig09", filt, first, 5)
+	renderOK(t, fig)
+	if len(fig.Series) != 5 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// On the reference day each file holds its own rank.
+	for i, s := range fig.Series {
+		if len(s.X) == 0 {
+			t.Fatalf("series %d empty", i)
+		}
+		if s.X[0] == float64(first) && int(s.Y[0]) != i+1 {
+			t.Errorf("file #%d has rank %v on its reference day", i+1, s.Y[0])
+		}
+	}
+	fig10 := FigRankEvolution("fig10", filt, (first+last)/2, 5)
+	renderOK(t, fig10)
+	if len(fig10.Series) != 5 {
+		t.Errorf("fig10 series = %d", len(fig10.Series))
+	}
+}
+
+func TestFigHomeConcentration(t *testing.T) {
+	_, filt, _ := traces(t)
+	// Average popularity compresses at laptop scale (sources/daysSeen);
+	// the paper's levels up to 100 exist only at the real scale.
+	fig := FigHomeConcentration("fig11", filt, false, []float64{1, 1.5})
+	renderOK(t, fig)
+	if len(fig.Series) < 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	// Geographic clustering is stronger for unpopular files: the CDF of
+	// the low-popularity band at ~98% home share must be smaller (more
+	// files fully concentrated) than the higher band's.
+	atShare := func(s Series, share float64) float64 {
+		for i := range s.X {
+			if s.X[i] >= share {
+				return s.Y[i]
+			}
+		}
+		return 1
+	}
+	low := fig.Series[0] // avg pop >= 1 (includes rare)
+	high := fig.Series[len(fig.Series)-1]
+	if atShare(low, 98) >= atShare(high, 98) {
+		t.Errorf("rare files should concentrate more: CDF@98 low=%v high=%v",
+			atShare(low, 98), atShare(high, 98))
+	}
+
+	figAS := FigHomeConcentration("fig12", filt, true, []float64{1, 1.5})
+	renderOK(t, figAS)
+	if len(figAS.Series) < 2 {
+		t.Errorf("fig12 series = %d", len(figAS.Series))
+	}
+}
+
+func TestLocalityPotential(t *testing.T) {
+	_, filt, _ := traces(t)
+	l := MeasureLocality(filt)
+	if l.Replicas == 0 {
+		t.Fatal("no replicas examined")
+	}
+	// Country-locality can only be at least as common as AS-locality
+	// (an in-AS source is an in-country source).
+	if l.SameAS > l.SameCountry {
+		t.Errorf("AS-local %d > country-local %d", l.SameAS, l.SameCountry)
+	}
+	if f := l.FractionSameAS(); f <= 0 || f > 1 {
+		t.Errorf("AS fraction out of range: %v", f)
+	}
+	if f := l.FractionSameCountry(); f < l.FractionSameAS() || f > 1 {
+		t.Errorf("country fraction %v below AS fraction %v", f, l.FractionSameAS())
+	}
+	// The generator inherits the paper's AS mix, so the paper's ~54%
+	// top-5 share must emerge.
+	if l.TopASShare < 0.40 || l.TopASShare > 0.70 {
+		t.Errorf("top-5 AS share = %v, want ~0.54", l.TopASShare)
+	}
+	tab := TableLocality(filt)
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "PeerCache") {
+		t.Error("locality table missing context")
+	}
+}

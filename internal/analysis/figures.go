@@ -1,0 +1,153 @@
+// Package analysis turns traces into the paper's tables and figures.
+// Each exported function computes exactly one table or figure of the
+// paper from trace data, returning a renderable Table or Figure value;
+// cmd/edrepro drives all of them to regenerate the full evaluation.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Series is one labelled curve of a figure.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is the data behind one paper figure: a set of curves plus axis
+// metadata. Render prints it as an aligned text table (one column block
+// per series), which is what the benchmark harness and cmd/edrepro emit.
+type Figure struct {
+	ID     string // e.g. "fig05"
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Series []Series
+}
+
+// Table is the data behind one paper table.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Render writes the figure as text: a header line and, per series, the
+// (x, y) pairs in two aligned columns.
+func (f *Figure) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n# x: %s, y: %s\n", f.ID, f.Title, f.XLabel, f.YLabel); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		if _, err := fmt.Fprintf(w, "## %s\n", s.Label); err != nil {
+			return err
+		}
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%16.6g %16.6g\n", s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CSV writes the figure as long-form CSV: series,x,y.
+func (f *Figure) CSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", csvEscape(s.Label), s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) error {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+			}
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := writeRow(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	if err := writeRow(sep); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func fmtInt(v int) string { return fmt.Sprintf("%d", v) }
+
+func fmtPct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+func fmtBytes(v int64) string {
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+		gb = 1 << 30
+		tb = 1 << 40
+	)
+	switch {
+	case v >= tb:
+		return fmt.Sprintf("%.1f TB", float64(v)/tb)
+	case v >= gb:
+		return fmt.Sprintf("%.1f GB", float64(v)/gb)
+	case v >= mb:
+		return fmt.Sprintf("%.1f MB", float64(v)/mb)
+	case v >= kb:
+		return fmt.Sprintf("%.1f KB", float64(v)/kb)
+	default:
+		return fmt.Sprintf("%d B", v)
+	}
+}

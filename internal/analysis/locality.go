@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"edonkey/internal/trace"
+)
+
+// LocalityPotential quantifies the opportunity the paper's §4.1 points at
+// when discussing PeerCache-style AS-level caches ("a large proportion of
+// the clients (54%) are connected to one of five autonomous systems.
+// This leaves a clear opportunity to leverage this tendency at AS
+// level"): for every replica a peer holds — i.e. every download that
+// happened — could another source of the same file have been found inside
+// the peer's own AS or country?
+type LocalityPotential struct {
+	// Replicas is the number of (peer, file) pairs examined.
+	Replicas int
+	// SameAS / SameCountry count replicas with at least one other
+	// source in the holder's AS / country.
+	SameAS      int
+	SameCountry int
+	// TopASShare is the fraction of all clients hosted by the five
+	// largest ASes (the paper's 54%).
+	TopASShare float64
+}
+
+// FractionSameAS returns the share of downloads an AS-local index could
+// have redirected to an in-AS source.
+func (l LocalityPotential) FractionSameAS() float64 {
+	if l.Replicas == 0 {
+		return 0
+	}
+	return float64(l.SameAS) / float64(l.Replicas)
+}
+
+// FractionSameCountry is the country-level equivalent.
+func (l LocalityPotential) FractionSameCountry() float64 {
+	if l.Replicas == 0 {
+		return 0
+	}
+	return float64(l.SameCountry) / float64(l.Replicas)
+}
+
+// MeasureLocality computes the locality potential over a trace's
+// aggregate caches.
+func MeasureLocality(t *trace.Trace) LocalityPotential {
+	caches := t.AggregateCaches()
+	var out LocalityPotential
+
+	// Per file: distinct source counts per AS and per country.
+	perAS := make(map[trace.FileID]map[uint32]int)
+	perCountry := make(map[trace.FileID]map[string]int)
+	for pid, cache := range caches {
+		p := &t.Peers[pid]
+		for _, f := range cache {
+			a := perAS[f]
+			if a == nil {
+				a = make(map[uint32]int)
+				perAS[f] = a
+			}
+			a[p.ASN]++
+			c := perCountry[f]
+			if c == nil {
+				c = make(map[string]int)
+				perCountry[f] = c
+			}
+			c[p.Country]++
+		}
+	}
+	for pid, cache := range caches {
+		p := &t.Peers[pid]
+		for _, f := range cache {
+			out.Replicas++
+			if perAS[f][p.ASN] > 1 {
+				out.SameAS++
+			}
+			if perCountry[f][p.Country] > 1 {
+				out.SameCountry++
+			}
+		}
+	}
+
+	// Top-5 AS share of clients.
+	asCounts := make(map[uint32]int)
+	total := 0
+	for _, p := range t.Peers {
+		if p.ASN != 0 {
+			asCounts[p.ASN]++
+			total++
+		}
+	}
+	var counts []int
+	for _, n := range asCounts {
+		counts = append(counts, n)
+	}
+	// Selection sort of the top 5 is plenty here.
+	top := 0
+	for k := 0; k < 5 && k < len(counts); k++ {
+		maxIdx := k
+		for i := k + 1; i < len(counts); i++ {
+			if counts[i] > counts[maxIdx] {
+				maxIdx = i
+			}
+		}
+		counts[k], counts[maxIdx] = counts[maxIdx], counts[k]
+		top += counts[k]
+	}
+	if total > 0 {
+		out.TopASShare = float64(top) / float64(total)
+	}
+	return out
+}
+
+// TableLocality renders the locality potential as an extension table
+// (id "tableX1"; not in the paper, supports its §4.1 discussion).
+func TableLocality(t *trace.Trace) *Table {
+	l := MeasureLocality(t)
+	return &Table{
+		ID:     "tableX1",
+		Title:  "Extension: AS/country locality potential (PeerCache opportunity, paper §4.1)",
+		Header: []string{"quantity", "value"},
+		Rows: [][]string{
+			{"Replicas examined", fmtInt(l.Replicas)},
+			{"Another source in same AS", fmtPct(l.FractionSameAS())},
+			{"Another source in same country", fmtPct(l.FractionSameCountry())},
+			{"Clients in top-5 ASes", fmtPct(l.TopASShare)},
+		},
+	}
+}

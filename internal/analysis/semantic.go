@@ -1,0 +1,349 @@
+package analysis
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"edonkey/internal/core"
+	"edonkey/internal/randomize"
+	"edonkey/internal/stats"
+	"edonkey/internal/trace"
+)
+
+// Fig13 reproduces Figure 13: the clustering correlation (probability
+// that two peers with n common files share another) for all files of the
+// first analysis day, and for audio files in two popularity bands
+// computed on the whole trace.
+func Fig13Clustering(dayTrace, fullTrace *trace.Trace) *Figure {
+	fig := &Figure{
+		ID: "fig13", Title: "Probability to find additional files on neighbours",
+		XLabel: "number of files in common", YLabel: "probability for another common file (%)",
+		LogX: true,
+	}
+	if len(dayTrace.Days) > 0 {
+		caches := dayCaches(dayTrace, 0)
+		fig.Series = append(fig.Series, correlationSeries(
+			"all shared files of first analysis day",
+			core.ClusteringCorrelation(caches, nil)))
+	}
+	full := fullTrace.AggregateCaches()
+	audio := trace.KindAudio
+	lo := core.KindPopularityFilter(fullTrace, &audio, 1, 10)
+	hi := core.KindPopularityFilter(fullTrace, &audio, 30, 40)
+	fig.Series = append(fig.Series,
+		correlationSeries("audio files, popularity in [1..10]",
+			core.ClusteringCorrelation(full, lo)),
+		correlationSeries("audio files, popularity in [30..40]",
+			core.ClusteringCorrelation(full, hi)),
+	)
+	return fig
+}
+
+func dayCaches(t *trace.Trace, idx int) [][]trace.FileID {
+	out := make([][]trace.FileID, len(t.Peers))
+	for pid, c := range t.Days[idx].Caches {
+		out[pid] = c
+	}
+	return out
+}
+
+func correlationSeries(label string, pts []core.CorrelationPoint) Series {
+	s := Series{Label: label}
+	for _, p := range pts {
+		s.X = append(s.X, float64(p.CommonFiles))
+		s.Y = append(s.Y, 100*p.Probability)
+	}
+	return s
+}
+
+// Fig14 reproduces Figure 14: clustering correlation on the real trace
+// versus the appendix-randomized trace, for all files and for files of
+// popularity exactly 3 and exactly 5. Randomization preserves generosity
+// and popularity, so any drop is attributable to genuine shared interest.
+func Fig14RandomizedClustering(t *trace.Trace, seed uint64) *Figure {
+	caches := t.AggregateCaches()
+	rng := rand.New(rand.NewPCG(seed, 0x666967313421))
+	shuffled := randomize.Shuffle(caches, 0, rng)
+
+	sources := t.SourcesPerFile()
+	fig := &Figure{
+		ID: "fig14", Title: "Clustering correlation: trace vs randomized",
+		XLabel: "number of files in common", YLabel: "probability for another common file (%)",
+		LogX: true,
+	}
+	panels := []struct {
+		name   string
+		filter core.FileFilter
+	}{
+		{"all files", nil},
+		{"popularity 3", core.PopularityFilter(sources, 3)},
+		{"popularity 5", core.PopularityFilter(sources, 5)},
+	}
+	for _, p := range panels {
+		fig.Series = append(fig.Series,
+			correlationSeries(p.name+" / trace",
+				core.ClusteringCorrelation(caches, p.filter)),
+			correlationSeries(p.name+" / random",
+				core.ClusteringCorrelation(shuffled, p.filter)),
+		)
+	}
+	return fig
+}
+
+// FigOverlapEvolution reproduces Figures 15-17: the mean overlap over
+// time of peer pairs grouped by first-day overlap. Level selection
+// follows the paper: Fig. 15 uses levels 1..10; Figs. 16/17 pick higher
+// levels that exist in the trace.
+func FigOverlapEvolution(id string, t *trace.Trace, levels []int, maxPairs int) *Figure {
+	groups := core.OverlapEvolution(t, core.OverlapEvolutionOptions{
+		Levels:           levels,
+		MaxPairsPerLevel: maxPairs,
+	})
+	fig := &Figure{
+		ID: id, Title: "Evolution of cache overlap between pairs of clients",
+		XLabel: "day", YLabel: "common files (mean)",
+	}
+	// Present descending by initial overlap, like the paper's legends.
+	for i := len(groups) - 1; i >= 0; i-- {
+		g := groups[i]
+		s := Series{Label: fmt.Sprintf("%d common files, %d pairs", g.InitialOverlap, g.TotalPairs)}
+		for j := range g.Days {
+			s.X = append(s.X, float64(g.Days[j]))
+			s.Y = append(s.Y, g.Mean[j])
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// PickOverlapLevels selects up to k observed first-day overlap levels in
+// [lo, hi] (inclusive), spread evenly, for Figs. 16/17 on traces whose
+// overlap range differs from the paper's.
+func PickOverlapLevels(t *trace.Trace, lo, hi, k int) []int {
+	levels, _ := core.ObservedOverlapLevels(t)
+	var in []int
+	for _, l := range levels {
+		if l >= lo && (hi <= 0 || l <= hi) {
+			in = append(in, l)
+		}
+	}
+	if len(in) <= k {
+		return in
+	}
+	out := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, in[i*(len(in)-1)/(k-1)])
+	}
+	// Deduplicate while preserving order.
+	dedup := out[:0]
+	seen := map[int]bool{}
+	for _, l := range out {
+		if !seen[l] {
+			seen[l] = true
+			dedup = append(dedup, l)
+		}
+	}
+	return dedup
+}
+
+// Fig18 reproduces Figure 18: hit rate versus semantic list size for the
+// LRU, History and Random strategies.
+func Fig18HitRates(caches [][]trace.FileID, listSizes []int, seed uint64) *Figure {
+	fig := &Figure{
+		ID: "fig18", Title: "Semantic search hit rate by strategy",
+		XLabel: "number of semantic neighbours", YLabel: "hits (%)",
+	}
+	for _, kind := range []core.StrategyKind{core.LRU, core.History, core.Random} {
+		s := Series{Label: kind.String()}
+		for _, L := range listSizes {
+			res := core.RunSim(caches, core.SimOptions{ListSize: L, Kind: kind, Seed: seed})
+			s.X = append(s.X, float64(L))
+			s.Y = append(s.Y, 100*res.HitRate())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig19 reproduces Figure 19: LRU hit rate after removing the most
+// generous uploaders.
+func Fig19UploaderAblation(caches [][]trace.FileID, listSizes []int, drops []float64, seed uint64) *Figure {
+	fig := &Figure{
+		ID: "fig19", Title: "LRU hit rate without the most generous uploaders",
+		XLabel: "number of semantic neighbours", YLabel: "hits (%)",
+	}
+	for _, drop := range drops {
+		label := "with all uploaders"
+		if drop > 0 {
+			label = fmt.Sprintf("without top %.0f%%", 100*drop)
+		}
+		s := Series{Label: label}
+		for _, L := range listSizes {
+			res := core.RunSim(caches, core.SimOptions{
+				ListSize: L, Kind: core.LRU, Seed: seed, DropTopUploaders: drop,
+			})
+			s.X = append(s.X, float64(L))
+			s.Y = append(s.Y, 100*res.HitRate())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig20 reproduces Figure 20: LRU hit rate after removing the most
+// popular files.
+func Fig20PopularityAblation(caches [][]trace.FileID, listSizes []int, drops []float64, seed uint64) *Figure {
+	fig := &Figure{
+		ID: "fig20", Title: "LRU hit rate without the most popular files",
+		XLabel: "number of semantic neighbours", YLabel: "hits (%)",
+	}
+	for _, drop := range drops {
+		label := "with all files"
+		if drop > 0 {
+			label = fmt.Sprintf("without %.0f%% of popular files", 100*drop)
+		}
+		s := Series{Label: label}
+		for _, L := range listSizes {
+			res := core.RunSim(caches, core.SimOptions{
+				ListSize: L, Kind: core.LRU, Seed: seed, DropTopFiles: drop,
+			})
+			s.X = append(s.X, float64(L))
+			s.Y = append(s.Y, 100*res.HitRate())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig21 reproduces Figure 21: the hit rate of LRU(10) as the trace is
+// progressively randomized by file swapping; the residual hit rate at
+// full mixing is the part explained by generosity and popularity alone.
+func Fig21RandomizedHitRate(caches [][]trace.FileID, fractions []float64, seed uint64) *Figure {
+	full := randomize.New(caches).DefaultSwaps()
+	s := Series{Label: "randomized trace, LRU(10)"}
+	for _, frac := range fractions {
+		swaps := int(frac * float64(full))
+		opt := core.SimOptions{ListSize: 10, Kind: core.LRU, Seed: seed}
+		if swaps > 0 {
+			opt.RandomizeSwaps = swaps
+		}
+		res := core.RunSim(caches, opt)
+		s.X = append(s.X, float64(swaps))
+		s.Y = append(s.Y, 100*res.HitRate())
+	}
+	return &Figure{
+		ID: "fig21", Title: "Hit rate under progressive trace randomization",
+		XLabel: "number of file swappings", YLabel: "hit (%)",
+		Series: []Series{s},
+	}
+}
+
+// Fig22 reproduces Figure 22: the distribution of query load (messages
+// received per client) using LRU(5), with and without top uploaders.
+func Fig22LoadDistribution(caches [][]trace.FileID, drops []float64, seed uint64) *Figure {
+	fig := &Figure{
+		ID: "fig22", Title: "Query load per client (LRU, 5 neighbours)",
+		XLabel: "client by rank", YLabel: "messages per client",
+		LogY: true,
+	}
+	for _, drop := range drops {
+		res := core.RunSim(caches, core.SimOptions{
+			ListSize: 5, Kind: core.LRU, Seed: seed,
+			DropTopUploaders: drop, TrackLoad: true,
+		})
+		loads := make([]float64, 0, len(res.LoadPerPeer))
+		for _, l := range res.LoadPerPeer {
+			if l > 0 {
+				loads = append(loads, float64(l))
+			}
+		}
+		// Descending load-by-rank curve.
+		for i := 1; i < len(loads); i++ {
+			for j := i; j > 0 && loads[j-1] < loads[j]; j-- {
+				loads[j-1], loads[j] = loads[j], loads[j-1]
+			}
+		}
+		label := "all uploaders"
+		if drop > 0 {
+			label = fmt.Sprintf("without %.0f%% top uploaders", 100*drop)
+		}
+		mean := stats.Mean(loads)
+		s := Series{Label: fmt.Sprintf("%s (%d reqs, mean %.0f msgs/client)",
+			label, res.Requests, mean)}
+		for rank := 1; rank <= len(loads); rank = nextLogRank(rank) {
+			s.X = append(s.X, float64(rank))
+			s.Y = append(s.Y, loads[rank-1])
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Fig23 reproduces Figure 23: two-hop semantic search versus one-hop,
+// with and without the most generous uploaders.
+func Fig23TwoHop(caches [][]trace.FileID, listSizes []int, drops []float64, seed uint64) *Figure {
+	fig := &Figure{
+		ID: "fig23", Title: "Two-hop semantic search hit rate",
+		XLabel: "number of semantic neighbours", YLabel: "hits (%)",
+	}
+	one := Series{Label: "1 hop neighbours"}
+	for _, L := range listSizes {
+		res := core.RunSim(caches, core.SimOptions{ListSize: L, Kind: core.LRU, Seed: seed})
+		one.X = append(one.X, float64(L))
+		one.Y = append(one.Y, 100*res.HitRate())
+	}
+	fig.Series = append(fig.Series, one)
+	for _, drop := range drops {
+		label := "2nd hop neighbours"
+		if drop > 0 {
+			label = fmt.Sprintf("2nd hop; without top %.0f%% uploaders", 100*drop)
+		}
+		s := Series{Label: label}
+		for _, L := range listSizes {
+			res := core.RunSim(caches, core.SimOptions{
+				ListSize: L, Kind: core.LRU, Seed: seed,
+				TwoHop: true, DropTopUploaders: drop,
+			})
+			s.X = append(s.X, float64(L))
+			s.Y = append(s.Y, 100*res.HitRate())
+		}
+		fig.Series = append(fig.Series, s)
+	}
+	return fig
+}
+
+// Table3 reproduces Table 3: the combined influence of generous uploaders
+// and popular files on the LRU hit ratio for neighbour lists of 5/10/20.
+func Table3Combined(caches [][]trace.FileID, seed uint64) *Table {
+	sizes := []int{5, 10, 20}
+	t := &Table{
+		ID:     "table3",
+		Title:  "Combined influence of generous uploaders and popular files on the hit ratio",
+		Header: []string{"Number of Semantic Neighbours", "5", "10", "20"},
+	}
+	rows := []struct {
+		label     string
+		uploaders float64
+		files     float64
+	}{
+		{"LRU (%)", 0, 0},
+		{"LRU without top 5% uploaders (%)", 0.05, 0},
+		{"LRU without 5% popular files (%)", 0, 0.05},
+		{"LRU without both 1 and 2 (%)", 0.05, 0.05},
+		{"LRU without top 15% uploaders (%)", 0.15, 0},
+		{"LRU without 15% popular files (%)", 0, 0.15},
+		{"LRU without both 3 and 4 (%)", 0.15, 0.15},
+	}
+	for _, r := range rows {
+		cells := []string{r.label}
+		for _, L := range sizes {
+			res := core.RunSim(caches, core.SimOptions{
+				ListSize: L, Kind: core.LRU, Seed: seed,
+				DropTopUploaders: r.uploaders, DropTopFiles: r.files,
+			})
+			cells = append(cells, fmt.Sprintf("%.0f", 100*res.HitRate()))
+		}
+		t.Rows = append(t.Rows, cells)
+	}
+	return t
+}

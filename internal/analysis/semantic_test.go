@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestFig13Clustering(t *testing.T) {
+	full, _, ex := traces(t)
+	fig := Fig13Clustering(ex, full)
+	renderOK(t, fig)
+	if len(fig.Series) < 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	all := fig.Series[0]
+	if len(all.X) == 0 {
+		t.Fatal("all-files correlation empty")
+	}
+	// The curve must rise: P(another | many common) >> P(another | 1).
+	if all.Y[0] > 99 {
+		t.Errorf("P(another | 1 common) = %v%%, suspiciously high", all.Y[0])
+	}
+	lastQuarter := all.Y[len(all.Y)*3/4:]
+	var maxTail float64
+	for _, v := range lastQuarter {
+		if v > maxTail {
+			maxTail = v
+		}
+	}
+	if maxTail < all.Y[0] {
+		t.Errorf("correlation does not rise with common files: head %v tail max %v",
+			all.Y[0], maxTail)
+	}
+}
+
+func TestFig14RandomizationReducesClustering(t *testing.T) {
+	_, filt, _ := traces(t)
+	fig := Fig14RandomizedClustering(filt, 11)
+	renderOK(t, fig)
+	if len(fig.Series) != 6 {
+		t.Fatalf("series = %d, want 6 (3 panels x trace/random)", len(fig.Series))
+	}
+	// For the popularity-3 panel, the trace curve must dominate the
+	// randomized curve at low common-file counts (genuine clustering).
+	tr := fig.Series[2]
+	rnd := fig.Series[3]
+	if len(tr.Y) == 0 {
+		t.Skip("no popularity-3 pairs at this scale")
+	}
+	if len(rnd.Y) == 0 {
+		return // randomization left no overlapping pairs: maximal reduction
+	}
+	if tr.Y[0] <= rnd.Y[0] {
+		t.Errorf("pop-3 clustering: trace %.1f%% <= random %.1f%%", tr.Y[0], rnd.Y[0])
+	}
+}
+
+func TestFigOverlapEvolution(t *testing.T) {
+	_, _, ex := traces(t)
+	fig := FigOverlapEvolution("fig15", ex, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 400)
+	renderOK(t, fig)
+	if len(fig.Series) == 0 {
+		t.Fatal("no overlap groups")
+	}
+	// Means are ordered at day 0 by construction: the series are sorted
+	// descending by initial overlap.
+	for i := 1; i < len(fig.Series); i++ {
+		if fig.Series[i-1].Y[0] < fig.Series[i].Y[0] {
+			t.Errorf("series not descending by initial overlap")
+		}
+	}
+}
+
+func TestPickOverlapLevels(t *testing.T) {
+	_, _, ex := traces(t)
+	levels := PickOverlapLevels(ex, 10, 0, 5)
+	if len(levels) == 0 {
+		t.Skip("no overlaps >= 10 at this scale")
+	}
+	for i, l := range levels {
+		if l < 10 {
+			t.Errorf("level %d below bound", l)
+		}
+		if i > 0 && levels[i-1] >= l {
+			t.Errorf("levels not ascending: %v", levels)
+		}
+	}
+}
+
+func TestFig18StrategyOrdering(t *testing.T) {
+	traces(t)
+	fig := Fig18HitRates(testCaches, []int{5, 20}, 3)
+	renderOK(t, fig)
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	lru, history, random := fig.Series[0], fig.Series[1], fig.Series[2]
+	// Paper: History >= LRU >> Random (allow small wobble for History).
+	for i := range lru.X {
+		if random.Y[i] >= lru.Y[i] {
+			t.Errorf("L=%v: random %.1f >= LRU %.1f", lru.X[i], random.Y[i], lru.Y[i])
+		}
+		if history.Y[i] < lru.Y[i]-8 {
+			t.Errorf("L=%v: history %.1f far below LRU %.1f", lru.X[i], history.Y[i], lru.Y[i])
+		}
+	}
+	// The baseline magnitude should be in the paper's ballpark: LRU(20)
+	// around 28-60%.
+	if lru.Y[1] < 15 || lru.Y[1] > 75 {
+		t.Errorf("LRU(20) hit rate = %.1f%%, outside plausible band", lru.Y[1])
+	}
+}
+
+func TestFig19UploaderAblationLowersHitRate(t *testing.T) {
+	traces(t)
+	fig := Fig19UploaderAblation(testCaches, []int{20}, []float64{0, 0.05, 0.15}, 5)
+	renderOK(t, fig)
+	base := fig.Series[0].Y[0]
+	drop5 := fig.Series[1].Y[0]
+	drop15 := fig.Series[2].Y[0]
+	if drop5 >= base {
+		t.Errorf("removing top 5%% uploaders did not lower hit rate: %.1f -> %.1f", base, drop5)
+	}
+	if drop15 >= drop5 {
+		t.Errorf("removing more uploaders should hurt more: %.1f -> %.1f", drop5, drop15)
+	}
+	// Paper: even without 15% of uploaders the hit rate stays significant.
+	if drop15 < 5 {
+		t.Errorf("hit rate collapsed to %.1f%% after uploader removal", drop15)
+	}
+}
+
+func TestFig20PopularityAblationRaisesHitRate(t *testing.T) {
+	traces(t)
+	fig := Fig20PopularityAblation(testCaches, []int{5}, []float64{0, 0.15, 0.30}, 7)
+	renderOK(t, fig)
+	base := fig.Series[0].Y[0]
+	drop30 := fig.Series[2].Y[0]
+	if drop30 <= base {
+		t.Errorf("removing popular files should raise the hit rate: %.1f -> %.1f", base, drop30)
+	}
+}
+
+func TestFig21RandomizationCollapse(t *testing.T) {
+	traces(t)
+	fig := Fig21RandomizedHitRate(testCaches, []float64{0, 0.25, 1}, 9)
+	renderOK(t, fig)
+	s := fig.Series[0]
+	if len(s.Y) != 3 {
+		t.Fatalf("points = %d", len(s.Y))
+	}
+	if s.Y[2] >= s.Y[0] {
+		t.Errorf("full randomization did not lower the hit rate: %.1f -> %.1f", s.Y[0], s.Y[2])
+	}
+	if s.Y[0]-s.Y[2] < 5 {
+		t.Errorf("semantic component too small: %.1f -> %.1f", s.Y[0], s.Y[2])
+	}
+}
+
+func TestFig22LoadSkewDropsWithoutTopUploaders(t *testing.T) {
+	traces(t)
+	fig := Fig22LoadDistribution(testCaches, []float64{0, 0.10}, 11)
+	renderOK(t, fig)
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d", len(fig.Series))
+	}
+	maxLoad := func(s Series) float64 {
+		if len(s.Y) == 0 {
+			return 0
+		}
+		return s.Y[0] // sorted descending
+	}
+	if maxLoad(fig.Series[1]) >= maxLoad(fig.Series[0]) {
+		t.Errorf("heaviest load should drop after removing top uploaders: %v -> %v",
+			maxLoad(fig.Series[0]), maxLoad(fig.Series[1]))
+	}
+}
+
+func TestFig23TwoHopGains(t *testing.T) {
+	traces(t)
+	fig := Fig23TwoHop(testCaches, []int{5, 20}, []float64{0}, 13)
+	renderOK(t, fig)
+	one, two := fig.Series[0], fig.Series[1]
+	for i := range one.X {
+		if two.Y[i] < one.Y[i] {
+			t.Errorf("L=%v: two-hop %.1f below one-hop %.1f", one.X[i], two.Y[i], one.Y[i])
+		}
+	}
+	if two.Y[len(two.Y)-1]-one.Y[len(one.Y)-1] < 3 {
+		t.Errorf("two-hop gain too small at L=20: %.1f vs %.1f",
+			two.Y[len(two.Y)-1], one.Y[len(one.Y)-1])
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	traces(t)
+	tab := Table3Combined(testCaches, 15)
+	if len(tab.Rows) != 7 {
+		t.Fatalf("rows = %d, want 7", len(tab.Rows))
+	}
+	// Row 0 is the baseline; removing uploaders (row 1) lowers, removing
+	// popular files (row 2) raises the 20-neighbour hit rate.
+	get := func(row, col int) float64 {
+		var v float64
+		if _, err := fmtSscan(tab.Rows[row][col], &v); err != nil {
+			t.Fatalf("cell %d/%d = %q", row, col, tab.Rows[row][col])
+		}
+		return v
+	}
+	// Robust paper shapes at this scale: with 20 neighbours, removing
+	// generous uploaders lowers the hit rate, and removing more lowers
+	// it further. (The popular-file effect is asserted in the Fig. 20
+	// test at the sizes where it is robust; see EXPERIMENTS.md for the
+	// scale discussion.)
+	base := get(0, 3)
+	noUp5 := get(1, 3)
+	noUp15 := get(4, 3)
+	if noUp5 >= base {
+		t.Errorf("table3: removing 5%% uploaders did not lower hit rate (%.0f -> %.0f)", base, noUp5)
+	}
+	if noUp15 >= noUp5 {
+		t.Errorf("table3: removing 15%% uploaders should hurt more (%.0f vs %.0f)", noUp15, noUp5)
+	}
+	// Every cell is a valid percentage.
+	for r := range tab.Rows {
+		for c := 1; c <= 3; c++ {
+			if v := get(r, c); v < 0 || v > 100 {
+				t.Errorf("table3 cell %d/%d out of range: %v", r, c, v)
+			}
+		}
+	}
+}
+
+// fmtSscan is a tiny indirection so the test file reads cleanly.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }

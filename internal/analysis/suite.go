@@ -1,0 +1,106 @@
+package analysis
+
+import (
+	"io"
+
+	"edonkey/internal/geo"
+	"edonkey/internal/trace"
+)
+
+// Experiment is one regenerable paper table or figure.
+type Experiment interface {
+	// ID is the experiment identifier ("table1", "fig05", ...).
+	ID() string
+	// Render writes the experiment's data as text.
+	Render(w io.Writer) error
+}
+
+// FigureExperiment wraps a Figure as an Experiment.
+type FigureExperiment struct{ Figure *Figure }
+
+// ID implements Experiment.
+func (f *FigureExperiment) ID() string { return f.Figure.ID }
+
+// Render implements Experiment.
+func (f *FigureExperiment) Render(w io.Writer) error { return f.Figure.Render(w) }
+
+// TableExperiment wraps a Table as an Experiment.
+type TableExperiment struct{ Table *Table }
+
+// ID implements Experiment.
+func (t *TableExperiment) ID() string { return t.Table.ID }
+
+// Render implements Experiment.
+func (t *TableExperiment) Render(w io.Writer) error { return t.Table.Render(w) }
+
+// SuiteInput bundles everything the full experiment suite consumes.
+type SuiteInput struct {
+	Full         *trace.Trace
+	Filtered     *trace.Trace
+	Extrapolated *trace.Trace
+	// Caches are the filtered trace's aggregate caches (request sets).
+	Caches [][]trace.FileID
+	// Registry resolves AS names for Table 2 (nil: a default registry).
+	Registry *geo.Registry
+	// Seed drives every stochastic experiment.
+	Seed uint64
+	// ListSizes used by the search-simulation figures; nil applies the
+	// paper's grid {5, 10, 20, 50, 100, 200}.
+	ListSizes []int
+}
+
+// FullSuite regenerates every table and figure of the paper in order:
+// Tables 1-3 and Figures 1-23.
+func FullSuite(in SuiteInput) []Experiment {
+	if in.Registry == nil {
+		in.Registry = geo.NewRegistry()
+	}
+	sizes := in.ListSizes
+	if sizes == nil {
+		sizes = []int{5, 10, 20, 50, 100, 200}
+	}
+	firstEx, lastEx, _ := in.Extrapolated.DayRange()
+	firstF, lastF, _ := in.Filtered.DayRange()
+	midEx := (firstEx + lastEx) / 2
+	fig5Days := []int{firstEx, firstEx + (lastEx-firstEx)/4, midEx,
+		firstEx + 3*(lastEx-firstEx)/4, lastEx}
+
+	var out []Experiment
+	table := func(t *Table) { out = append(out, &TableExperiment{t}) }
+	figure := func(f *Figure) { out = append(out, &FigureExperiment{f}) }
+
+	table(Table1(in.Full, in.Filtered, in.Extrapolated))
+	table(Table2(in.Filtered, in.Registry, 5))
+	figure(Fig1ClientsFilesPerDay(in.Full))
+	figure(Fig2NewFiles(in.Full))
+	figure(Fig3ExtrapolatedCoverage(in.Extrapolated))
+	figure(Fig4Countries(in.Full, 11))
+	figure(Fig5Replication(in.Extrapolated, fig5Days))
+	figure(Fig6FileSizes(in.Filtered, []int{1, 5, 10}))
+	figure(Fig7Contribution(in.Filtered))
+	figure(Fig8Spread(in.Filtered, 6))
+	figure(FigRankEvolution("fig09", in.Filtered, firstF, 5))
+	figure(FigRankEvolution("fig10", in.Filtered, (firstF+lastF)/2, 5))
+	figure(FigHomeConcentration("fig11", in.Filtered, false, []float64{1, 1.5, 2, 3, 5, 10}))
+	figure(FigHomeConcentration("fig12", in.Filtered, true, []float64{1, 1.5, 2, 3, 5, 10}))
+	figure(Fig13Clustering(in.Extrapolated, in.Full))
+	figure(Fig14RandomizedClustering(in.Filtered, in.Seed))
+	figure(FigOverlapEvolution("fig15", in.Extrapolated,
+		[]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 2000))
+	figure(FigOverlapEvolution("fig16", in.Extrapolated,
+		PickOverlapLevels(in.Extrapolated, 15, 60, 8), 2000))
+	figure(FigOverlapEvolution("fig17", in.Extrapolated,
+		PickOverlapLevels(in.Extrapolated, 61, 0, 4), 2000))
+	figure(Fig18HitRates(in.Caches, sizes, in.Seed))
+	figure(Fig19UploaderAblation(in.Caches, sizes, []float64{0, 0.05, 0.10, 0.15}, in.Seed))
+	figure(Fig20PopularityAblation(in.Caches, sizes, []float64{0, 0.05, 0.15, 0.30}, in.Seed))
+	figure(Fig21RandomizedHitRate(in.Caches,
+		[]float64{0, 0.05, 0.125, 0.25, 0.5, 0.75, 1}, in.Seed))
+	figure(Fig22LoadDistribution(in.Caches, []float64{0, 0.05, 0.10, 0.15}, in.Seed))
+	figure(Fig23TwoHop(in.Caches, sizes, []float64{0, 0.05, 0.15}, in.Seed))
+	table(Table3Combined(in.Caches, in.Seed))
+	// Extension beyond the paper: the AS-level cache opportunity its
+	// §4.1 discussion points at.
+	table(TableLocality(in.Filtered))
+	return out
+}

@@ -1,0 +1,543 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"edonkey/internal/geo"
+	"edonkey/internal/stats"
+	"edonkey/internal/trace"
+)
+
+// Table1 reproduces the paper's Table 1: general characteristics of the
+// full, filtered and extrapolated traces.
+func Table1(full, filtered, extrapolated *trace.Trace) *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "General characteristics of the trace",
+		Header: []string{"quantity", "value"},
+	}
+	add := func(k, v string) { t.Rows = append(t.Rows, []string{k, v}) }
+	add("Full trace", "")
+	add("  Duration (days)", fmtInt(full.DurationDays()))
+	add("  Number of uniquely identified clients", fmtInt(full.ObservedPeers()))
+	fr := full.FreeRiders()
+	add("  Number of free-riders", fmt.Sprintf("%d (%.0f %%)", fr,
+		100*float64(fr)/float64(max(1, full.ObservedPeers()))))
+	add("  Number of successful snapshots", fmtInt(full.Observations()))
+	add("  Number of distinct files", fmtInt(full.DistinctFiles()))
+	add("  Space used by distinct files", fmtBytes(full.DistinctBytes()))
+	add("Filtered trace", "")
+	add("  Number of distinct clients", fmtInt(filtered.ObservedPeers()))
+	ffr := filtered.FreeRiders()
+	add("  Number of free-riders", fmt.Sprintf("%d (%.0f %%)", ffr,
+		100*float64(ffr)/float64(max(1, filtered.ObservedPeers()))))
+	add("Extrapolated trace", "")
+	add("  Duration (days)", fmtInt(extrapolated.DurationDays()))
+	add("  Number of distinct clients", fmtInt(extrapolated.ObservedPeers()))
+	efr := extrapolated.FreeRiders()
+	add("  Number of free-riders", fmt.Sprintf("%d (%.0f %%)", efr,
+		100*float64(efr)/float64(max(1, extrapolated.ObservedPeers()))))
+	return t
+}
+
+// Table2 reproduces Table 2: the top ASes by hosted clients, with global
+// and national shares.
+func Table2(t *trace.Trace, reg *geo.Registry, topK int) *Table {
+	byAS := make(map[uint32]int)
+	byCountry := make(map[string]int)
+	total := 0
+	for _, p := range t.Peers {
+		if p.ASN == 0 {
+			continue
+		}
+		byAS[p.ASN]++
+		byCountry[p.Country]++
+		total++
+	}
+	type asCount struct {
+		asn uint32
+		n   int
+	}
+	list := make([]asCount, 0, len(byAS))
+	for asn, n := range byAS {
+		list = append(list, asCount{asn, n})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].asn < list[j].asn
+	})
+	if topK > len(list) {
+		topK = len(list)
+	}
+	out := &Table{
+		ID:     "table2",
+		Title:  fmt.Sprintf("Top %d autonomous systems by hosted clients", topK),
+		Header: []string{"AS", "Global", "National", "Name"},
+	}
+	for _, ac := range list[:topK] {
+		loc, _ := reg.LookupASN(ac.asn)
+		national := byCountry[loc.Country]
+		name := reg.ASName(ac.asn)
+		out.Rows = append(out.Rows, []string{
+			fmtInt(int(ac.asn)),
+			fmtPct(float64(ac.n) / float64(max(1, total))),
+			fmtPct(float64(ac.n) / float64(max(1, national))),
+			name,
+		})
+	}
+	return out
+}
+
+// Fig1 reproduces Figure 1: clients and files successfully scanned per
+// day over the measurement period.
+func Fig1ClientsFilesPerDay(t *trace.Trace) *Figure {
+	var days, clients, files []float64
+	for _, s := range t.Days {
+		days = append(days, float64(s.Day))
+		clients = append(clients, float64(len(s.Caches)))
+		n := 0
+		for _, c := range s.Caches {
+			n += len(c)
+		}
+		files = append(files, float64(n))
+	}
+	return &Figure{
+		ID: "fig01", Title: "Clients and shared files scanned per day",
+		XLabel: "day", YLabel: "count",
+		Series: []Series{
+			{Label: "clients", X: days, Y: clients},
+			{Label: "files", X: days, Y: files},
+		},
+	}
+}
+
+// Fig2 reproduces Figure 2: newly discovered and cumulative distinct
+// files over the crawl.
+func Fig2NewFiles(t *trace.Trace) *Figure {
+	seen := make(map[trace.FileID]struct{})
+	var days, newFiles, totals []float64
+	for _, s := range t.Days {
+		newToday := 0
+		for _, cache := range s.Caches {
+			for _, f := range cache {
+				if _, ok := seen[f]; !ok {
+					seen[f] = struct{}{}
+					newToday++
+				}
+			}
+		}
+		days = append(days, float64(s.Day))
+		newFiles = append(newFiles, float64(newToday))
+		totals = append(totals, float64(len(seen)))
+	}
+	return &Figure{
+		ID: "fig02", Title: "Files discovered during the trace",
+		XLabel: "day", YLabel: "files",
+		Series: []Series{
+			{Label: "new files", X: days, Y: newFiles},
+			{Label: "total files", X: days, Y: totals},
+		},
+	}
+}
+
+// Fig3 reproduces Figure 3: files and non-empty caches per day after
+// filtering and extrapolation — the data used to pick the analysis window.
+func Fig3ExtrapolatedCoverage(t *trace.Trace) *Figure {
+	var days, files, nonEmpty []float64
+	for _, s := range t.Days {
+		n, ne := 0, 0
+		for _, c := range s.Caches {
+			n += len(c)
+			if len(c) > 0 {
+				ne++
+			}
+		}
+		days = append(days, float64(s.Day))
+		files = append(files, float64(n))
+		nonEmpty = append(nonEmpty, float64(ne))
+	}
+	return &Figure{
+		ID: "fig03", Title: "Files and non-empty caches per day (extrapolated)",
+		XLabel: "day", YLabel: "count",
+		Series: []Series{
+			{Label: "files per day", X: days, Y: files},
+			{Label: "non-empty caches", X: days, Y: nonEmpty},
+		},
+	}
+}
+
+// Fig4 reproduces Figure 4: the distribution of clients per country.
+func Fig4Countries(t *trace.Trace, topK int) *Figure {
+	counts := make(map[string]int)
+	total := 0
+	for _, p := range t.Peers {
+		if p.Country == "" {
+			continue
+		}
+		counts[p.Country]++
+		total++
+	}
+	type cc struct {
+		code string
+		n    int
+	}
+	list := make([]cc, 0, len(counts))
+	for code, n := range counts {
+		list = append(list, cc{code, n})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].code < list[j].code
+	})
+	fig := &Figure{
+		ID: "fig04", Title: "Distribution of clients per country",
+		XLabel: "country rank", YLabel: "fraction of clients",
+	}
+	var xs, ys []float64
+	var labels []string
+	other := 0.0
+	for i, c := range list {
+		frac := float64(c.n) / float64(max(1, total))
+		if i < topK {
+			xs = append(xs, float64(i+1))
+			ys = append(ys, frac)
+			labels = append(labels, c.code)
+		} else {
+			other += frac
+		}
+	}
+	if other > 0 {
+		xs = append(xs, float64(len(xs)+1))
+		ys = append(ys, other)
+		labels = append(labels, "Others")
+	}
+	for i := range xs {
+		fig.Series = append(fig.Series, Series{Label: labels[i], X: xs[i : i+1], Y: ys[i : i+1]})
+	}
+	return fig
+}
+
+// Fig5 reproduces Figure 5: the distribution of file replication per file
+// rank (log-log) for a handful of days.
+func Fig5Replication(t *trace.Trace, days []int) *Figure {
+	fig := &Figure{
+		ID: "fig05", Title: "File replication per rank",
+		XLabel: "file rank", YLabel: "sources per file",
+		LogX: true, LogY: true,
+	}
+	for _, day := range days {
+		s := t.SnapshotFor(day)
+		if s == nil {
+			continue
+		}
+		counts := make(map[trace.FileID]int)
+		for _, cache := range s.Caches {
+			for _, f := range cache {
+				counts[f]++
+			}
+		}
+		sources := make([]int, 0, len(counts))
+		for _, n := range counts {
+			sources = append(sources, n)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(sources)))
+		// Subsample log-spaced ranks to keep series compact.
+		var xs, ys []float64
+		for rank := 1; rank <= len(sources); rank = nextLogRank(rank) {
+			xs = append(xs, float64(rank))
+			ys = append(ys, float64(sources[rank-1]))
+		}
+		fig.Series = append(fig.Series, Series{
+			Label: fmt.Sprintf("day %d (%d files)", day, len(sources)),
+			X:     xs, Y: ys,
+		})
+	}
+	return fig
+}
+
+func nextLogRank(rank int) int {
+	step := rank / 10
+	if step < 1 {
+		step = 1
+	}
+	return rank + step
+}
+
+// Fig6 reproduces Figure 6: the cumulative distribution of file sizes for
+// different popularity thresholds.
+func Fig6FileSizes(t *trace.Trace, popThresholds []int) *Figure {
+	sources := t.SourcesPerFile()
+	fig := &Figure{
+		ID: "fig06", Title: "Cumulative distribution of file sizes",
+		XLabel: "file size (KB)", YLabel: "proportion of files (CDF)",
+		LogX: true,
+	}
+	grid := stats.LogGrid(1, 2e6, 60) // 1 KB .. 2 GB
+	for _, minPop := range popThresholds {
+		cdf := &stats.CDF{}
+		for fid, n := range sources {
+			if n >= minPop {
+				cdf.Add(float64(t.Files[fid].Size) / 1024)
+			}
+		}
+		if cdf.Len() == 0 {
+			continue
+		}
+		fig.Series = append(fig.Series, Series{
+			Label: fmt.Sprintf("popularity >= %d (%d files)", minPop, cdf.Len()),
+			X:     grid, Y: cdf.Points(grid),
+		})
+	}
+	return fig
+}
+
+// Fig7 reproduces Figure 7: files and disk space shared per client, with
+// and without free-riders.
+func Fig7Contribution(t *trace.Trace) *Figure {
+	caches := t.AggregateCaches()
+	observed := make([]bool, len(t.Peers))
+	for _, s := range t.Days {
+		for pid := range s.Caches {
+			observed[pid] = true
+		}
+	}
+	var filesAll, filesSharers, spaceAll, spaceSharers []float64
+	for pid := range t.Peers {
+		if !observed[pid] {
+			continue
+		}
+		n := len(caches[pid])
+		var bytes int64
+		for _, f := range caches[pid] {
+			bytes += t.Files[f].Size
+		}
+		gb := float64(bytes) / (1 << 30)
+		filesAll = append(filesAll, float64(n))
+		spaceAll = append(spaceAll, gb)
+		if n > 0 {
+			filesSharers = append(filesSharers, float64(n))
+			spaceSharers = append(spaceSharers, gb)
+		}
+	}
+	fileGrid := stats.LogGrid(1, 1e5, 40)
+	spaceGrid := stats.LogGrid(0.01, 1000, 40)
+	return &Figure{
+		ID: "fig07", Title: "Files and disk space shared per client",
+		XLabel: "shared files / shared space (GB)", YLabel: "proportion of clients (CDF)",
+		LogX: true,
+		Series: []Series{
+			{Label: "files (full)", X: fileGrid, Y: stats.NewCDF(filesAll).Points(fileGrid)},
+			{Label: "files (free-riders excluded)", X: fileGrid, Y: stats.NewCDF(filesSharers).Points(fileGrid)},
+			{Label: "space GB (full)", X: spaceGrid, Y: stats.NewCDF(spaceAll).Points(spaceGrid)},
+			{Label: "space GB (free-riders excluded)", X: spaceGrid, Y: stats.NewCDF(spaceSharers).Points(spaceGrid)},
+		},
+	}
+}
+
+// Fig8 reproduces Figure 8: the spread (fraction of clients sharing) of
+// the most popular files over time.
+func Fig8Spread(t *trace.Trace, topK int) *Figure {
+	top := t.TopFiles(topK)
+	clients := float64(max(1, t.ObservedPeers()))
+	fig := &Figure{
+		ID: "fig08", Title: fmt.Sprintf("Spread of the %d most popular files", topK),
+		XLabel: "day", YLabel: "spread (fraction of clients)",
+	}
+	for rank, fid := range top {
+		var xs, ys []float64
+		for _, s := range t.Days {
+			n := 0
+			for _, cache := range s.Caches {
+				if containsFile(cache, fid) {
+					n++
+				}
+			}
+			xs = append(xs, float64(s.Day))
+			ys = append(ys, float64(n)/clients)
+		}
+		fig.Series = append(fig.Series, Series{
+			Label: fmt.Sprintf("#%d", rank+1), X: xs, Y: ys,
+		})
+	}
+	return fig
+}
+
+func containsFile(cache []trace.FileID, f trace.FileID) bool {
+	lo, hi := 0, len(cache)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cache[mid] < f {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(cache) && cache[lo] == f
+}
+
+// FigRankEvolution reproduces Figures 9 and 10: the popularity rank over
+// time of the files that were the top-K on a reference day.
+func FigRankEvolution(id string, t *trace.Trace, referenceDay, topK int) *Figure {
+	ref := t.SnapshotFor(referenceDay)
+	fig := &Figure{
+		ID: id, Title: fmt.Sprintf("Rank evolution of day-%d top %d", referenceDay, topK),
+		XLabel: "day", YLabel: "rank",
+	}
+	if ref == nil {
+		return fig
+	}
+	// Per-day popularity counts -> ranks.
+	rankOn := func(s *trace.Snapshot) map[trace.FileID]int {
+		counts := make(map[trace.FileID]int)
+		for _, cache := range s.Caches {
+			for _, f := range cache {
+				counts[f]++
+			}
+		}
+		type fc struct {
+			fid trace.FileID
+			n   int
+		}
+		list := make([]fc, 0, len(counts))
+		for f, n := range counts {
+			list = append(list, fc{f, n})
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].n != list[j].n {
+				return list[i].n > list[j].n
+			}
+			return list[i].fid < list[j].fid
+		})
+		ranks := make(map[trace.FileID]int, len(list))
+		for i, e := range list {
+			ranks[e.fid] = i + 1
+		}
+		return ranks
+	}
+	refRanks := rankOn(ref)
+	type fr struct {
+		fid  trace.FileID
+		rank int
+	}
+	var tops []fr
+	for f, r := range refRanks {
+		if r <= topK {
+			tops = append(tops, fr{f, r})
+		}
+	}
+	sort.Slice(tops, func(i, j int) bool { return tops[i].rank < tops[j].rank })
+
+	perDay := make([]map[trace.FileID]int, len(t.Days))
+	for i := range t.Days {
+		perDay[i] = rankOn(&t.Days[i])
+	}
+	for _, top := range tops {
+		var xs, ys []float64
+		for i, s := range t.Days {
+			r, ok := perDay[i][top.fid]
+			if !ok {
+				continue // unseen that day
+			}
+			xs = append(xs, float64(s.Day))
+			ys = append(ys, float64(r))
+		}
+		fig.Series = append(fig.Series, Series{
+			Label: fmt.Sprintf("#%d", top.rank), X: xs, Y: ys,
+		})
+	}
+	return fig
+}
+
+// FigHomeConcentration reproduces Figures 11 (country) and 12 (AS): the
+// CDF over files of the fraction of sources located in the file's home
+// country/AS, split by average popularity thresholds. The home location
+// is the one hosting the most sources. Average popularity is distinct
+// sources divided by days seen, as in the paper.
+func FigHomeConcentration(id string, t *trace.Trace, byAS bool, popLevels []float64) *Figure {
+	// Gather per-file per-location distinct sources.
+	type key struct {
+		f trace.FileID
+		p trace.PeerID
+	}
+	seenPair := make(map[key]struct{})
+	locOf := make([]string, len(t.Peers))
+	for pid, p := range t.Peers {
+		if byAS {
+			locOf[pid] = fmt.Sprintf("AS%d", p.ASN)
+		} else {
+			locOf[pid] = p.Country
+		}
+	}
+	perFile := make(map[trace.FileID]map[string]int)
+	sources := make(map[trace.FileID]int)
+	for _, s := range t.Days {
+		for pid, cache := range s.Caches {
+			for _, f := range cache {
+				k := key{f, pid}
+				if _, dup := seenPair[k]; dup {
+					continue
+				}
+				seenPair[k] = struct{}{}
+				m := perFile[f]
+				if m == nil {
+					m = make(map[string]int)
+					perFile[f] = m
+				}
+				m[locOf[pid]]++
+				sources[f]++
+			}
+		}
+	}
+	daysSeen := t.DaysSeenPerFile()
+
+	what := "country"
+	if byAS {
+		what = "autonomous system"
+	}
+	fig := &Figure{
+		ID: id, Title: fmt.Sprintf("Distribution of files by share of sources in the main %s", what),
+		XLabel: "proportion of sources in main " + what + " (%)",
+		YLabel: "proportion of files (CDF)",
+	}
+	grid := stats.LinGrid(0, 100, 51)
+	for _, level := range popLevels {
+		cdf := &stats.CDF{}
+		for f, m := range perFile {
+			ds := daysSeen[f]
+			if ds == 0 {
+				continue
+			}
+			avgPop := float64(sources[f]) / float64(ds)
+			if avgPop < level {
+				continue
+			}
+			maxN := 0
+			for _, n := range m {
+				if n > maxN {
+					maxN = n
+				}
+			}
+			cdf.Add(100 * float64(maxN) / float64(sources[f]))
+		}
+		if cdf.Len() == 0 {
+			continue
+		}
+		fig.Series = append(fig.Series, Series{
+			Label: fmt.Sprintf("avg popularity >= %g (%d files)", level, cdf.Len()),
+			X:     grid, Y: cdf.Points(grid),
+		})
+	}
+	return fig
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

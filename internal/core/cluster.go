@@ -1,0 +1,128 @@
+package core
+
+import (
+	"edonkey/internal/stats"
+	"edonkey/internal/trace"
+)
+
+// FileFilter restricts which files count toward pairwise overlap. A nil
+// FileFilter counts every file.
+type FileFilter func(trace.FileID) bool
+
+// KindPopularityFilter builds the filter used in Fig. 13's audio curves:
+// files of the given kind (or any kind if kind == nil) whose popularity
+// (distinct source count) lies in [minPop, maxPop].
+func KindPopularityFilter(t *trace.Trace, kind *trace.FileKind, minPop, maxPop int) FileFilter {
+	sources := t.SourcesPerFile()
+	return func(f trace.FileID) bool {
+		if kind != nil && t.Files[f].Kind != *kind {
+			return false
+		}
+		n := sources[f]
+		return n >= minPop && n <= maxPop
+	}
+}
+
+// PopularityFilter restricts to files whose source count (in the provided
+// popularity vector) equals pop — the Fig. 14 middle/right panels use
+// popularity 3 and 5.
+func PopularityFilter(sources []int, pop int) FileFilter {
+	return func(f trace.FileID) bool {
+		return int(f) < len(sources) && sources[f] == pop
+	}
+}
+
+// PairKey packs an (a < b) peer pair into one map key.
+func PairKey(a, b trace.PeerID) uint64 {
+	if a > b {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// SplitPairKey is the inverse of PairKey.
+func SplitPairKey(k uint64) (a, b trace.PeerID) {
+	return trace.PeerID(k >> 32), trace.PeerID(k & 0xFFFFFFFF)
+}
+
+// PairOverlaps computes, for every peer pair with at least one (filtered)
+// file in common, the number of common filtered files. Peers are the
+// indices of caches; caches must be sorted (trace.AggregateCaches or
+// Snapshot caches satisfy this).
+func PairOverlaps(caches [][]trace.FileID, filter FileFilter) map[uint64]int32 {
+	// Invert: file -> holders, applying the filter once per file.
+	holders := make(map[trace.FileID][]trace.PeerID)
+	for pid, cache := range caches {
+		for _, f := range cache {
+			if filter != nil && !filter(f) {
+				continue
+			}
+			holders[f] = append(holders[f], trace.PeerID(pid))
+		}
+	}
+	pairs := make(map[uint64]int32)
+	for _, hs := range holders {
+		for i := 0; i < len(hs); i++ {
+			for j := i + 1; j < len(hs); j++ {
+				pairs[PairKey(hs[i], hs[j])]++
+			}
+		}
+	}
+	return pairs
+}
+
+// OverlapHistogram summarizes PairOverlaps into a histogram: bucket k
+// holds the number of pairs sharing exactly k (filtered) files.
+func OverlapHistogram(caches [][]trace.FileID, filter FileFilter) *stats.Histogram {
+	h := stats.NewHistogram()
+	for _, n := range PairOverlaps(caches, filter) {
+		h.Add(int(n))
+	}
+	return h
+}
+
+// CorrelationPoint is one point of the clustering correlation curve.
+type CorrelationPoint struct {
+	// CommonFiles is n, the number of files two peers already share.
+	CommonFiles int
+	// Probability is P(the pair shares at least n+1 files | it shares
+	// at least n), in [0, 1].
+	Probability float64
+	// Pairs is the number of pairs sharing at least n files.
+	Pairs int64
+}
+
+// CorrelationCurve computes the paper's clustering correlation metric
+// (Fig. 13): for each overlap level n >= 1, the probability that two
+// clients with at least n files in common share another one. It reflects
+// the chance that a peer that answered n queries can answer the next one.
+func CorrelationCurve(h *stats.Histogram) []CorrelationPoint {
+	maxN := h.Max()
+	var out []CorrelationPoint
+	// Tail counts computed from the top down to stay O(max + buckets).
+	tails := make([]int64, maxN+2)
+	for _, b := range h.Buckets() {
+		tails[b] = h.Count(b)
+	}
+	for n := maxN; n >= 0; n-- {
+		tails[n] += tails[n+1]
+	}
+	for n := 1; n <= maxN; n++ {
+		atLeastN := tails[n]
+		if atLeastN == 0 {
+			continue
+		}
+		out = append(out, CorrelationPoint{
+			CommonFiles: n,
+			Probability: float64(tails[n+1]) / float64(atLeastN),
+			Pairs:       atLeastN,
+		})
+	}
+	return out
+}
+
+// ClusteringCorrelation is the one-call form: overlap histogram plus
+// correlation curve for the given caches and filter.
+func ClusteringCorrelation(caches [][]trace.FileID, filter FileFilter) []CorrelationPoint {
+	return CorrelationCurve(OverlapHistogram(caches, filter))
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"edonkey/internal/trace"
+)
+
+func fids(xs ...int) []trace.FileID {
+	out := make([]trace.FileID, len(xs))
+	for i, x := range xs {
+		out[i] = trace.FileID(x)
+	}
+	return out
+}
+
+func TestPairKeyRoundTrip(t *testing.T) {
+	for _, c := range []struct{ a, b trace.PeerID }{{1, 2}, {2, 1}, {0, 0}, {1 << 30, 7}} {
+		k := PairKey(c.a, c.b)
+		a, b := SplitPairKey(k)
+		wantA, wantB := c.a, c.b
+		if wantA > wantB {
+			wantA, wantB = wantB, wantA
+		}
+		if a != wantA || b != wantB {
+			t.Errorf("PairKey(%d,%d) round trip = (%d,%d)", c.a, c.b, a, b)
+		}
+	}
+	if PairKey(1, 2) != PairKey(2, 1) {
+		t.Error("PairKey not symmetric")
+	}
+}
+
+func TestPairOverlaps(t *testing.T) {
+	caches := [][]trace.FileID{
+		fids(1, 2, 3),
+		fids(2, 3, 4),
+		fids(9),
+		nil,
+	}
+	pairs := PairOverlaps(caches, nil)
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %v, want exactly one overlapping pair", pairs)
+	}
+	if n := pairs[PairKey(0, 1)]; n != 2 {
+		t.Errorf("overlap(0,1) = %d, want 2", n)
+	}
+}
+
+func TestPairOverlapsWithFilter(t *testing.T) {
+	caches := [][]trace.FileID{
+		fids(1, 2, 3),
+		fids(1, 2, 3),
+	}
+	evenOnly := func(f trace.FileID) bool { return f%2 == 0 }
+	pairs := PairOverlaps(caches, evenOnly)
+	if n := pairs[PairKey(0, 1)]; n != 1 {
+		t.Errorf("filtered overlap = %d, want 1 (only file 2)", n)
+	}
+}
+
+func TestCorrelationCurveHandComputed(t *testing.T) {
+	// 10 pairs share exactly 1 file, 5 share exactly 2, 5 share exactly 3.
+	// P(>=2 | >=1) = 10/20, P(>=3 | >=2) = 5/10, P(>=4 | >=3) = 0/5.
+	caches := buildPairsWithOverlaps(t, []int{10, 5, 5})
+	pts := ClusteringCorrelation(caches, nil)
+	want := map[int]float64{1: 0.5, 2: 0.5, 3: 0}
+	if len(pts) != 3 {
+		t.Fatalf("points = %v", pts)
+	}
+	for _, p := range pts {
+		if w, ok := want[p.CommonFiles]; !ok || math.Abs(p.Probability-w) > 1e-12 {
+			t.Errorf("P(n=%d) = %v, want %v", p.CommonFiles, p.Probability, want[p.CommonFiles])
+		}
+	}
+	if pts[0].Pairs != 20 || pts[1].Pairs != 10 || pts[2].Pairs != 5 {
+		t.Errorf("tail pair counts wrong: %+v", pts)
+	}
+}
+
+// buildPairsWithOverlaps creates counts[i] disjoint peer pairs sharing
+// exactly i+1 private files each.
+func buildPairsWithOverlaps(t *testing.T, counts []int) [][]trace.FileID {
+	t.Helper()
+	var caches [][]trace.FileID
+	next := 0
+	for level, n := range counts {
+		for pair := 0; pair < n; pair++ {
+			var common []trace.FileID
+			for k := 0; k <= level; k++ {
+				common = append(common, trace.FileID(next))
+				next++
+			}
+			caches = append(caches, common, append([]trace.FileID(nil), common...))
+		}
+	}
+	return caches
+}
+
+func TestCorrelationCurveEmpty(t *testing.T) {
+	if pts := ClusteringCorrelation(nil, nil); len(pts) != 0 {
+		t.Errorf("empty caches gave %v", pts)
+	}
+	caches := [][]trace.FileID{fids(1), fids(2)} // no overlap at all
+	if pts := ClusteringCorrelation(caches, nil); len(pts) != 0 {
+		t.Errorf("disjoint caches gave %v", pts)
+	}
+}
+
+// Clustered caches must show higher correlation than independent ones.
+func TestCorrelationDetectsClustering(t *testing.T) {
+	// Community: 20 peers all sharing the same 10-file pool pairwise.
+	var clustered [][]trace.FileID
+	pool := fids(0, 1, 2, 3, 4, 5, 6, 7, 8, 9)
+	for p := 0; p < 20; p++ {
+		clustered = append(clustered, pool)
+	}
+	pts := ClusteringCorrelation(clustered, nil)
+	// All pairs share exactly 10 files: P at n<10 = 1, P at 10 = 0.
+	for _, pt := range pts {
+		want := 1.0
+		if pt.CommonFiles == 10 {
+			want = 0
+		}
+		if math.Abs(pt.Probability-want) > 1e-12 {
+			t.Errorf("clustered P(n=%d) = %v, want %v", pt.CommonFiles, pt.Probability, want)
+		}
+	}
+}
+
+func TestKindPopularityFilter(t *testing.T) {
+	b := trace.NewBuilder()
+	audio := b.AddFile(trace.FileMeta{Kind: trace.KindAudio})
+	video := b.AddFile(trace.FileMeta{Kind: trace.KindVideo})
+	rare := b.AddFile(trace.FileMeta{Kind: trace.KindAudio})
+	p0 := b.AddPeer(trace.PeerInfo{AliasOf: -1})
+	p1 := b.AddPeer(trace.PeerInfo{AliasOf: -1})
+	b.Observe(0, p0, []trace.FileID{audio, video, rare})
+	b.Observe(0, p1, []trace.FileID{audio, video})
+	tr := b.Build()
+
+	kind := trace.KindAudio
+	f := KindPopularityFilter(tr, &kind, 2, 10)
+	if !f(audio) {
+		t.Error("popular audio should pass")
+	}
+	if f(video) {
+		t.Error("video should fail the kind check")
+	}
+	if f(rare) {
+		t.Error("popularity-1 audio should fail the [2,10] band")
+	}
+
+	any := KindPopularityFilter(tr, nil, 1, 1)
+	if !any(rare) || any(audio) {
+		t.Error("kind-free popularity filter wrong")
+	}
+}
+
+func TestPopularityFilter(t *testing.T) {
+	sources := []int{0, 3, 5}
+	f := PopularityFilter(sources, 3)
+	if !f(1) || f(2) || f(0) || f(99) {
+		t.Error("PopularityFilter misbehaves")
+	}
+}

@@ -1,0 +1,140 @@
+package core
+
+import (
+	"sort"
+
+	"edonkey/internal/trace"
+)
+
+// OverlapGroup tracks, over the days of a trace, the mean cache overlap
+// of the peer pairs that started with exactly InitialOverlap files in
+// common on the first day (paper Figs. 15-17).
+type OverlapGroup struct {
+	// InitialOverlap is the number of common files on the first day.
+	InitialOverlap int
+	// Pairs is the number of tracked pairs (possibly sampled).
+	Pairs int
+	// TotalPairs is the number of pairs observed at this level before
+	// sampling.
+	TotalPairs int
+	// Days holds the snapshot days and Mean the average overlap of the
+	// tracked pairs on each of them.
+	Days []int
+	Mean []float64
+}
+
+// OverlapEvolutionOptions configures OverlapEvolution.
+type OverlapEvolutionOptions struct {
+	// Levels selects the exact initial-overlap values to track (e.g.
+	// 1..10 for Fig. 15). Empty means every observed level.
+	Levels []int
+	// MaxPairsPerLevel caps the tracked pairs per level to bound cost;
+	// 0 means unlimited. Selection is deterministic (smallest pair keys).
+	MaxPairsPerLevel int
+}
+
+// ObservedOverlapLevels returns the distinct initial-overlap values of
+// the first snapshot, ascending, with their pair counts. Use it to pick
+// Fig. 16/17-style levels that actually exist in a given trace.
+func ObservedOverlapLevels(t *trace.Trace) ([]int, map[int]int) {
+	if len(t.Days) == 0 {
+		return nil, nil
+	}
+	caches := snapshotCaches(t, 0)
+	counts := make(map[int]int)
+	for _, n := range PairOverlaps(caches, nil) {
+		counts[int(n)]++
+	}
+	levels := make([]int, 0, len(counts))
+	for l := range counts {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	return levels, counts
+}
+
+// snapshotCaches materializes the caches of the i-th snapshot as a dense
+// per-peer slice (nil for unobserved peers).
+func snapshotCaches(t *trace.Trace, i int) [][]trace.FileID {
+	out := make([][]trace.FileID, len(t.Peers))
+	for pid, c := range t.Days[i].Caches {
+		out[pid] = c
+	}
+	return out
+}
+
+// OverlapEvolution computes the evolution of pairwise cache overlap over
+// the days of the (typically extrapolated) trace, grouped by the pairs'
+// overlap on the first day. High initial overlaps staying high over weeks
+// is the paper's evidence that interest-based proximity persists even
+// though caches churn (~5 files/day).
+func OverlapEvolution(t *trace.Trace, opts OverlapEvolutionOptions) []OverlapGroup {
+	if len(t.Days) == 0 {
+		return nil
+	}
+	day0 := PairOverlaps(snapshotCaches(t, 0), nil)
+
+	wanted := make(map[int]bool, len(opts.Levels))
+	for _, l := range opts.Levels {
+		wanted[l] = true
+	}
+
+	// Bucket pairs by initial overlap level.
+	byLevel := make(map[int][]uint64)
+	totals := make(map[int]int)
+	for key, n := range day0 {
+		level := int(n)
+		if len(wanted) > 0 && !wanted[level] {
+			continue
+		}
+		totals[level]++
+		byLevel[level] = append(byLevel[level], key)
+	}
+	// Deterministic sampling: sort keys, take the first MaxPairsPerLevel.
+	for level, keys := range byLevel {
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		if opts.MaxPairsPerLevel > 0 && len(keys) > opts.MaxPairsPerLevel {
+			byLevel[level] = keys[:opts.MaxPairsPerLevel]
+		}
+	}
+
+	levels := make([]int, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+
+	groups := make([]OverlapGroup, len(levels))
+	for gi, level := range levels {
+		groups[gi] = OverlapGroup{
+			InitialOverlap: level,
+			Pairs:          len(byLevel[level]),
+			TotalPairs:     totals[level],
+			Days:           make([]int, 0, len(t.Days)),
+			Mean:           make([]float64, 0, len(t.Days)),
+		}
+	}
+
+	for di := range t.Days {
+		caches := t.Days[di].Caches
+		for gi, level := range levels {
+			keys := byLevel[level]
+			if len(keys) == 0 {
+				continue
+			}
+			var sum int64
+			for _, key := range keys {
+				a, b := SplitPairKey(key)
+				ca, okA := caches[a]
+				cb, okB := caches[b]
+				if okA && okB {
+					sum += int64(trace.IntersectCount(ca, cb))
+				}
+			}
+			g := &groups[gi]
+			g.Days = append(g.Days, t.Days[di].Day)
+			g.Mean = append(g.Mean, float64(sum)/float64(len(keys)))
+		}
+	}
+	return groups
+}

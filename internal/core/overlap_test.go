@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"edonkey/internal/trace"
+)
+
+// overlapTrace: two peers whose overlap shrinks 3 -> 2 -> 1 over three
+// days, plus a pair with stable overlap 2.
+func overlapTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	b := trace.NewBuilder()
+	for i := 0; i < 12; i++ {
+		b.AddFile(trace.FileMeta{})
+	}
+	p0 := b.AddPeer(trace.PeerInfo{UserHash: [16]byte{1}, IP: 1, AliasOf: -1})
+	p1 := b.AddPeer(trace.PeerInfo{UserHash: [16]byte{2}, IP: 2, AliasOf: -1})
+	p2 := b.AddPeer(trace.PeerInfo{UserHash: [16]byte{3}, IP: 3, AliasOf: -1})
+	p3 := b.AddPeer(trace.PeerInfo{UserHash: [16]byte{4}, IP: 4, AliasOf: -1})
+	// Decaying pair.
+	b.Observe(0, p0, fids(0, 1, 2))
+	b.Observe(0, p1, fids(0, 1, 2))
+	b.Observe(1, p0, fids(0, 1, 9))
+	b.Observe(1, p1, fids(0, 1, 2))
+	b.Observe(2, p0, fids(0, 10, 11))
+	b.Observe(2, p1, fids(0, 1, 2))
+	// Stable pair.
+	b.Observe(0, p2, fids(5, 6))
+	b.Observe(0, p3, fids(5, 6))
+	b.Observe(1, p2, fids(5, 6))
+	b.Observe(1, p3, fids(5, 6))
+	b.Observe(2, p2, fids(5, 6))
+	b.Observe(2, p3, fids(5, 6))
+	return b.Build()
+}
+
+func TestOverlapEvolution(t *testing.T) {
+	tr := overlapTrace(t)
+	groups := OverlapEvolution(tr, OverlapEvolutionOptions{})
+	if len(groups) != 2 {
+		t.Fatalf("groups = %d, want 2 (levels 2 and 3)", len(groups))
+	}
+	// Level 2: the stable pair.
+	g2 := groups[0]
+	if g2.InitialOverlap != 2 || g2.Pairs != 1 {
+		t.Fatalf("group[0] = %+v", g2)
+	}
+	for i, m := range g2.Mean {
+		if math.Abs(m-2) > 1e-12 {
+			t.Errorf("stable pair day %d mean = %v, want 2", g2.Days[i], m)
+		}
+	}
+	// Level 3: the decaying pair: 3, 2, 1.
+	g3 := groups[1]
+	want := []float64{3, 2, 1}
+	for i, m := range g3.Mean {
+		if math.Abs(m-want[i]) > 1e-12 {
+			t.Errorf("decaying pair day %d mean = %v, want %v", g3.Days[i], m, want[i])
+		}
+	}
+}
+
+func TestOverlapEvolutionLevelSelection(t *testing.T) {
+	tr := overlapTrace(t)
+	groups := OverlapEvolution(tr, OverlapEvolutionOptions{Levels: []int{3}})
+	if len(groups) != 1 || groups[0].InitialOverlap != 3 {
+		t.Fatalf("level selection failed: %+v", groups)
+	}
+}
+
+func TestOverlapEvolutionSampling(t *testing.T) {
+	// Many identical pairs at level 1; cap at 2.
+	b := trace.NewBuilder()
+	for i := 0; i < 40; i++ {
+		b.AddFile(trace.FileMeta{})
+	}
+	for p := 0; p < 10; p++ {
+		pid := b.AddPeer(trace.PeerInfo{UserHash: [16]byte{byte(p + 1)}, IP: uint32(p + 1), AliasOf: -1})
+		// All peers share file 0 only.
+		b.Observe(0, pid, fids(0, p+1, p+20))
+	}
+	tr := b.Build()
+	groups := OverlapEvolution(tr, OverlapEvolutionOptions{MaxPairsPerLevel: 2})
+	if len(groups) != 1 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	g := groups[0]
+	if g.Pairs != 2 || g.TotalPairs != 45 {
+		t.Errorf("sampling: pairs=%d total=%d, want 2/45", g.Pairs, g.TotalPairs)
+	}
+}
+
+func TestObservedOverlapLevels(t *testing.T) {
+	tr := overlapTrace(t)
+	levels, counts := ObservedOverlapLevels(tr)
+	if len(levels) != 2 || levels[0] != 2 || levels[1] != 3 {
+		t.Fatalf("levels = %v", levels)
+	}
+	if counts[2] != 1 || counts[3] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestOverlapEvolutionEmptyTrace(t *testing.T) {
+	if g := OverlapEvolution(&trace.Trace{}, OverlapEvolutionOptions{}); g != nil {
+		t.Errorf("empty trace gave %v", g)
+	}
+	levels, _ := ObservedOverlapLevels(&trace.Trace{})
+	if levels != nil {
+		t.Errorf("empty trace gave levels %v", levels)
+	}
+}
+
+// A peer absent on a day contributes overlap 0 for its pairs that day
+// (pessimistic, mirroring the paper's treatment of unobservable caches).
+func TestOverlapEvolutionMissingPeer(t *testing.T) {
+	b := trace.NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddFile(trace.FileMeta{})
+	}
+	p0 := b.AddPeer(trace.PeerInfo{UserHash: [16]byte{1}, IP: 1, AliasOf: -1})
+	p1 := b.AddPeer(trace.PeerInfo{UserHash: [16]byte{2}, IP: 2, AliasOf: -1})
+	b.Observe(0, p0, fids(0, 1))
+	b.Observe(0, p1, fids(0, 1))
+	b.Observe(1, p1, fids(0, 1)) // p0 missing
+	tr := b.Build()
+	groups := OverlapEvolution(tr, OverlapEvolutionOptions{})
+	if len(groups) != 1 {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if got := groups[0].Mean[1]; got != 0 {
+		t.Errorf("day-1 mean with missing peer = %v, want 0", got)
+	}
+}

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"edonkey/internal/randomize"
+	"edonkey/internal/trace"
+)
+
+// SimOptions configures one trace-driven search simulation (paper §5.1).
+type SimOptions struct {
+	// ListSize is the semantic neighbour list capacity.
+	ListSize int
+	// Kind selects the list management strategy.
+	Kind StrategyKind
+	// TwoHop also queries the neighbours' current neighbours on a miss
+	// (paper §5.3.4).
+	TwoHop bool
+	// Seed drives request ordering, fallback-uploader choice and the
+	// Random strategy.
+	Seed uint64
+
+	// DropTopUploaders removes the given fraction of the most generous
+	// sharers (by cache size) before the simulation, with their request
+	// lists (paper Fig. 19). 0 keeps everyone.
+	DropTopUploaders float64
+	// DropTopFiles removes the given fraction of the most popular
+	// distinct files from every cache (paper Fig. 20). 0 keeps all.
+	DropTopFiles float64
+	// RandomizeSwaps > 0 randomizes the caches with that many swap
+	// iterations before the simulation; RandomizeSwaps < 0 applies the
+	// paper's default (1/2)·N·ln N budget (paper Fig. 21). 0 leaves the
+	// caches untouched.
+	RandomizeSwaps int
+
+	// TrackLoad records per-peer received query messages (Fig. 22).
+	TrackLoad bool
+
+	// FixedLists, when non-nil, overrides Kind with immutable per-peer
+	// neighbour lists (indexed by PeerID) — used to evaluate externally
+	// built semantic overlays (internal/overlay) under the same
+	// trace-driven workload. Uploads are not recorded.
+	FixedLists [][]trace.PeerID
+}
+
+// SimResult reports one simulation run.
+type SimResult struct {
+	Strategy string
+	ListSize int
+	TwoHop   bool
+
+	// Peers is the total population size, Sharers the number with a
+	// non-empty cache after ablations.
+	Peers   int
+	Sharers int
+
+	// Requests counts simulated queries (events where the file already
+	// had at least one source); Contributions counts first-upload events.
+	Requests      int
+	Contributions int
+
+	// Hits counts requests answered by the semantic list; OneHopHits
+	// and TwoHopHits split them by hop distance (OneHop == Hits when
+	// TwoHop is disabled).
+	Hits       int
+	OneHopHits int
+	TwoHopHits int
+
+	// Messages is the total number of query messages sent; LoadPerPeer
+	// (TrackLoad only) the number received per peer, indexed by PeerID.
+	Messages    int64
+	LoadPerPeer []int64
+}
+
+// HitRate returns Hits / Requests, or 0 for an empty run.
+func (r SimResult) HitRate() float64 {
+	if r.Requests == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Requests)
+}
+
+// String summarizes the run.
+func (r SimResult) String() string {
+	return fmt.Sprintf("%s(%d)%s: hit %.1f%% (%d/%d requests, %d contributions)",
+		r.Strategy, r.ListSize, map[bool]string{true: "+2hop", false: ""}[r.TwoHop],
+		100*r.HitRate(), r.Hits, r.Requests, r.Contributions)
+}
+
+// PrepareCaches applies the ablations of SimOptions to a copy of the
+// caches: uploader removal, popular-file removal, randomization. Exposed
+// so analyses can reuse exactly the simulator's trace surgery.
+func PrepareCaches(caches [][]trace.FileID, opt SimOptions, rng *rand.Rand) [][]trace.FileID {
+	out := make([][]trace.FileID, len(caches))
+	for i, c := range caches {
+		if len(c) > 0 {
+			out[i] = append([]trace.FileID(nil), c...)
+		}
+	}
+
+	if opt.DropTopUploaders > 0 {
+		type pc struct {
+			pid trace.PeerID
+			n   int
+		}
+		var sharers []pc
+		for pid, c := range out {
+			if len(c) > 0 {
+				sharers = append(sharers, pc{trace.PeerID(pid), len(c)})
+			}
+		}
+		sort.Slice(sharers, func(i, j int) bool {
+			if sharers[i].n != sharers[j].n {
+				return sharers[i].n > sharers[j].n
+			}
+			return sharers[i].pid < sharers[j].pid
+		})
+		k := int(opt.DropTopUploaders * float64(len(sharers)))
+		for i := 0; i < k && i < len(sharers); i++ {
+			out[sharers[i].pid] = nil
+		}
+	}
+
+	if opt.DropTopFiles > 0 {
+		pop := make(map[trace.FileID]int)
+		for _, c := range out {
+			for _, f := range c {
+				pop[f]++
+			}
+		}
+		type fc struct {
+			fid trace.FileID
+			n   int
+		}
+		files := make([]fc, 0, len(pop))
+		for f, n := range pop {
+			files = append(files, fc{f, n})
+		}
+		sort.Slice(files, func(i, j int) bool {
+			if files[i].n != files[j].n {
+				return files[i].n > files[j].n
+			}
+			return files[i].fid < files[j].fid
+		})
+		k := int(opt.DropTopFiles * float64(len(files)))
+		drop := make(map[trace.FileID]bool, k)
+		for i := 0; i < k && i < len(files); i++ {
+			drop[files[i].fid] = true
+		}
+		for pid, c := range out {
+			kept := c[:0]
+			for _, f := range c {
+				if !drop[f] {
+					kept = append(kept, f)
+				}
+			}
+			if len(kept) == 0 {
+				out[pid] = nil
+			} else {
+				out[pid] = kept
+			}
+		}
+	}
+
+	if opt.RandomizeSwaps != 0 {
+		swaps := opt.RandomizeSwaps
+		if swaps < 0 {
+			swaps = 0 // randomize.Shuffle interprets <=0 as the default budget
+		}
+		out = randomize.Shuffle(out, swaps, rng)
+	}
+	return out
+}
+
+// RunSim executes the trace-driven search simulation of paper §5.1 on the
+// given static caches (index = PeerID; use trace.AggregateCaches on the
+// filtered trace). Each peer's cache is its potential request set;
+// requests are drawn peer-by-peer in random order. The first requester of
+// a file that no one shares yet becomes its original contributor;
+// otherwise the peer queries its semantic neighbours (and on a miss their
+// neighbours, if TwoHop), falls back to the global search on failure, and
+// in every case records the uploader in its semantic list and starts
+// sharing the file.
+func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
+	if opt.ListSize <= 0 {
+		opt.ListSize = 20
+	}
+	rng := rand.New(rand.NewPCG(opt.Seed, 0x73696d)) // "sim"
+	prepared := PrepareCaches(caches, opt, rng)
+
+	res := SimResult{
+		Strategy: opt.Kind.String(),
+		ListSize: opt.ListSize,
+		TwoHop:   opt.TwoHop,
+		Peers:    len(prepared),
+	}
+
+	// Request lists: shuffled copies of each cache. Popping from the
+	// back of a shuffled list is equivalent to the paper's "pick a
+	// random file from the remaining set".
+	requests := make([][]trace.FileID, len(prepared))
+	var sharerPool []trace.PeerID
+	for pid, c := range prepared {
+		if len(c) == 0 {
+			continue
+		}
+		res.Sharers++
+		sharerPool = append(sharerPool, trace.PeerID(pid))
+		list := append([]trace.FileID(nil), c...)
+		rng.Shuffle(len(list), func(i, j int) { list[i], list[j] = list[j], list[i] })
+		requests[pid] = list
+	}
+
+	strategies := make([]Strategy, len(prepared))
+	for _, pid := range sharerPool {
+		if opt.FixedLists != nil {
+			var list []trace.PeerID
+			if int(pid) < len(opt.FixedLists) {
+				list = opt.FixedLists[pid]
+				if len(list) > opt.ListSize {
+					list = list[:opt.ListSize]
+				}
+			}
+			strategies[pid] = NewFixed(list)
+			continue
+		}
+		switch opt.Kind {
+		case LRU:
+			strategies[pid] = NewLRU(opt.ListSize)
+		case History:
+			strategies[pid] = NewHistory(opt.ListSize)
+		case Random:
+			strategies[pid] = NewRandom(opt.ListSize, pid, sharerPool, rng)
+		default:
+			panic(fmt.Sprintf("core: unknown strategy kind %d", opt.Kind))
+		}
+	}
+	if opt.FixedLists != nil {
+		res.Strategy = "Fixed"
+	}
+
+	shared := make([]map[trace.FileID]struct{}, len(prepared))
+	holders := make(map[trace.FileID][]trace.PeerID)
+	if opt.TrackLoad {
+		res.LoadPerPeer = make([]int64, len(prepared))
+	}
+
+	// Active peers with remaining requests, for uniform random choice.
+	active := append([]trace.PeerID(nil), sharerPool...)
+	// Scratch set for two-hop deduplication.
+	queried := make(map[trace.PeerID]bool, opt.ListSize*(opt.ListSize+1))
+
+	for len(active) > 0 {
+		ai := rng.IntN(len(active))
+		p := active[ai]
+		reqs := requests[p]
+		f := reqs[len(reqs)-1]
+		requests[p] = reqs[:len(reqs)-1]
+		if len(requests[p]) == 0 {
+			active[ai] = active[len(active)-1]
+			active = active[:len(active)-1]
+		}
+
+		srcs := holders[f]
+		if len(srcs) == 0 {
+			// p is the original contributor of f.
+			res.Contributions++
+			addShared(&shared[p], f)
+			holders[f] = append(holders[f], p)
+			continue
+		}
+
+		res.Requests++
+		var uploader trace.PeerID
+		hit := false
+		hop := 1
+
+		neigh := strategies[p].Neighbours()
+		for _, n := range neigh {
+			res.Messages++
+			if opt.TrackLoad {
+				res.LoadPerPeer[n]++
+			}
+			if _, ok := shared[n][f]; ok {
+				hit = true
+				uploader = n
+				break
+			}
+		}
+		if !hit && opt.TwoHop {
+			hop = 2
+			clear(queried)
+			queried[p] = true
+			for _, n := range neigh {
+				queried[n] = true
+			}
+		twoHop:
+			for _, n := range neigh {
+				if strategies[n] == nil {
+					continue
+				}
+				for _, nn := range strategies[n].Neighbours() {
+					if queried[nn] {
+						continue
+					}
+					queried[nn] = true
+					res.Messages++
+					if opt.TrackLoad {
+						res.LoadPerPeer[nn]++
+					}
+					if _, ok := shared[nn][f]; ok {
+						hit = true
+						uploader = nn
+						break twoHop
+					}
+				}
+			}
+		}
+
+		if hit {
+			res.Hits++
+			if hop == 1 {
+				res.OneHopHits++
+			} else {
+				res.TwoHopHits++
+			}
+		} else {
+			// Fallback search (server or flooding) finds some source.
+			uploader = srcs[rng.IntN(len(srcs))]
+		}
+		strategies[p].RecordUpload(uploader)
+		addShared(&shared[p], f)
+		holders[f] = append(holders[f], p)
+	}
+	return res
+}
+
+func addShared(set *map[trace.FileID]struct{}, f trace.FileID) {
+	if *set == nil {
+		*set = make(map[trace.FileID]struct{}, 16)
+	}
+	(*set)[f] = struct{}{}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"edonkey/internal/trace"
+)
+
+// communityCaches builds `groups` disjoint communities of `peersPer`
+// peers; each community shares a pool of `filesPer` files and every peer
+// holds every file of its community. Perfect semantic clustering.
+func communityCaches(groups, peersPer, filesPer int) [][]trace.FileID {
+	var caches [][]trace.FileID
+	next := 0
+	for g := 0; g < groups; g++ {
+		pool := make([]trace.FileID, filesPer)
+		for i := range pool {
+			pool[i] = trace.FileID(next)
+			next++
+		}
+		for p := 0; p < peersPer; p++ {
+			caches = append(caches, append([]trace.FileID(nil), pool...))
+		}
+	}
+	return caches
+}
+
+func TestSimCountsAddUp(t *testing.T) {
+	caches := communityCaches(4, 6, 15)
+	res := RunSim(caches, SimOptions{ListSize: 5, Kind: LRU, Seed: 1})
+	total := 0
+	for _, c := range caches {
+		total += len(c)
+	}
+	if res.Requests+res.Contributions != total {
+		t.Errorf("requests %d + contributions %d != total replicas %d",
+			res.Requests, res.Contributions, total)
+	}
+	if res.Hits > res.Requests {
+		t.Error("hits exceed requests")
+	}
+	if res.OneHopHits+res.TwoHopHits != res.Hits {
+		t.Errorf("hop split %d+%d != hits %d", res.OneHopHits, res.TwoHopHits, res.Hits)
+	}
+	// Every distinct file has exactly one contribution.
+	if res.Contributions != 4*15 {
+		t.Errorf("contributions = %d, want %d", res.Contributions, 4*15)
+	}
+	if res.Sharers != 24 || res.Peers != 24 {
+		t.Errorf("population counts wrong: %+v", res)
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	caches := communityCaches(3, 5, 12)
+	a := RunSim(caches, SimOptions{ListSize: 4, Kind: LRU, Seed: 42})
+	b := RunSim(caches, SimOptions{ListSize: 4, Kind: LRU, Seed: 42})
+	if a.Hits != b.Hits || a.Requests != b.Requests || a.Messages != b.Messages {
+		t.Errorf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+	c := RunSim(caches, SimOptions{ListSize: 4, Kind: LRU, Seed: 43})
+	if a.Hits == c.Hits && a.Messages == c.Messages {
+		t.Error("different seeds produced identical results (suspicious)")
+	}
+}
+
+// On perfectly clustered caches, semantic lists must achieve a very high
+// hit rate once warmed up: after the first few requests, a peer's LRU
+// list points into its own community, which shares everything.
+func TestSimHighHitRateOnClusters(t *testing.T) {
+	caches := communityCaches(5, 8, 40)
+	res := RunSim(caches, SimOptions{ListSize: 5, Kind: LRU, Seed: 7})
+	if hr := res.HitRate(); hr < 0.5 {
+		t.Errorf("LRU hit rate on perfect clusters = %.2f, want > 0.5", hr)
+	}
+}
+
+// Larger lists can only help (weakly) for LRU on identical workloads.
+func TestSimHitRateMonotoneInListSize(t *testing.T) {
+	caches := communityCaches(6, 6, 25)
+	prev := -1.0
+	for _, L := range []int{1, 3, 10} {
+		res := RunSim(caches, SimOptions{ListSize: L, Kind: LRU, Seed: 9})
+		hr := res.HitRate()
+		if hr < prev-0.05 { // allow small stochastic wobble
+			t.Errorf("hit rate dropped from %.3f to %.3f when list grew to %d", prev, hr, L)
+		}
+		prev = hr
+	}
+}
+
+func TestSimTwoHopBeatsOneHop(t *testing.T) {
+	caches := communityCaches(5, 10, 30)
+	one := RunSim(caches, SimOptions{ListSize: 3, Kind: LRU, Seed: 11})
+	two := RunSim(caches, SimOptions{ListSize: 3, Kind: LRU, Seed: 11, TwoHop: true})
+	if two.HitRate() < one.HitRate() {
+		t.Errorf("two-hop %.3f worse than one-hop %.3f", two.HitRate(), one.HitRate())
+	}
+	if two.TwoHopHits == 0 {
+		t.Error("two-hop run recorded no second-hop hits")
+	}
+	if two.Messages <= one.Messages {
+		t.Error("two-hop must cost more messages")
+	}
+}
+
+func TestSimLoadTracking(t *testing.T) {
+	caches := communityCaches(3, 6, 20)
+	res := RunSim(caches, SimOptions{ListSize: 4, Kind: LRU, Seed: 13, TrackLoad: true})
+	if res.LoadPerPeer == nil {
+		t.Fatal("TrackLoad did not record load")
+	}
+	var sum int64
+	for _, l := range res.LoadPerPeer {
+		sum += l
+	}
+	if sum != res.Messages {
+		t.Errorf("per-peer load sums to %d, Messages = %d", sum, res.Messages)
+	}
+}
+
+func TestSimDropTopUploaders(t *testing.T) {
+	// One generous peer holding everything plus small peers.
+	var caches [][]trace.FileID
+	big := make([]trace.FileID, 100)
+	for i := range big {
+		big[i] = trace.FileID(i)
+	}
+	caches = append(caches, big)
+	for p := 0; p < 9; p++ {
+		caches = append(caches, fids(p*3, p*3+1, p*3+2))
+	}
+	res := RunSim(caches, SimOptions{ListSize: 3, Kind: LRU, Seed: 17, DropTopUploaders: 0.1})
+	if res.Sharers != 9 {
+		t.Errorf("sharers after dropping top 10%% = %d, want 9", res.Sharers)
+	}
+	full := RunSim(caches, SimOptions{ListSize: 3, Kind: LRU, Seed: 17})
+	if res.Requests >= full.Requests {
+		t.Errorf("dropping the top uploader should reduce requests: %d vs %d",
+			res.Requests, full.Requests)
+	}
+}
+
+func TestSimDropTopFiles(t *testing.T) {
+	caches := communityCaches(2, 5, 10)
+	// Add one globally popular file to everyone.
+	for i := range caches {
+		caches[i] = append(caches[i], trace.FileID(9999))
+	}
+	full := RunSim(caches, SimOptions{ListSize: 3, Kind: LRU, Seed: 19})
+	drop := RunSim(caches, SimOptions{ListSize: 3, Kind: LRU, Seed: 19, DropTopFiles: 0.05})
+	if drop.Requests+drop.Contributions >= full.Requests+full.Contributions {
+		t.Error("dropping popular files should shrink the workload")
+	}
+}
+
+func TestPrepareCachesDoesNotMutateInput(t *testing.T) {
+	caches := communityCaches(2, 3, 5)
+	snapshot := make([][]trace.FileID, len(caches))
+	for i, c := range caches {
+		snapshot[i] = append([]trace.FileID(nil), c...)
+	}
+	rng := rand.New(rand.NewPCG(1, 1))
+	_ = PrepareCaches(caches, SimOptions{DropTopUploaders: 0.5, DropTopFiles: 0.5, RandomizeSwaps: 500}, rng)
+	for i := range caches {
+		if len(caches[i]) != len(snapshot[i]) {
+			t.Fatalf("input caches mutated at %d", i)
+		}
+		for j := range caches[i] {
+			if caches[i][j] != snapshot[i][j] {
+				t.Fatalf("input caches mutated at %d/%d", i, j)
+			}
+		}
+	}
+}
+
+// Randomizing a clustered workload must collapse the semantic hit rate
+// toward the popularity-only floor (paper Fig. 21).
+func TestSimRandomizationCollapsesHitRate(t *testing.T) {
+	caches := communityCaches(8, 8, 30)
+	base := RunSim(caches, SimOptions{ListSize: 5, Kind: LRU, Seed: 23})
+	randomized := RunSim(caches, SimOptions{ListSize: 5, Kind: LRU, Seed: 23, RandomizeSwaps: -1})
+	if randomized.HitRate() > base.HitRate()*0.7 {
+		t.Errorf("randomization barely hurt: %.3f -> %.3f", base.HitRate(), randomized.HitRate())
+	}
+}
+
+func TestSimRandomStrategyIsWorse(t *testing.T) {
+	caches := communityCaches(8, 8, 30)
+	lru := RunSim(caches, SimOptions{ListSize: 5, Kind: LRU, Seed: 29})
+	rnd := RunSim(caches, SimOptions{ListSize: 5, Kind: Random, Seed: 29})
+	if rnd.HitRate() >= lru.HitRate() {
+		t.Errorf("random lists (%.3f) should underperform LRU (%.3f)",
+			rnd.HitRate(), lru.HitRate())
+	}
+}
+
+func TestSimDefaultListSize(t *testing.T) {
+	caches := communityCaches(1, 3, 5)
+	res := RunSim(caches, SimOptions{Kind: LRU, Seed: 1})
+	if res.ListSize != 20 {
+		t.Errorf("default list size = %d, want 20", res.ListSize)
+	}
+}
+
+func TestSimEmptyCaches(t *testing.T) {
+	res := RunSim(nil, SimOptions{ListSize: 5, Kind: LRU, Seed: 1})
+	if res.Requests != 0 || res.Hits != 0 || res.Contributions != 0 {
+		t.Errorf("empty run non-zero: %+v", res)
+	}
+	res = RunSim([][]trace.FileID{nil, nil}, SimOptions{ListSize: 5, Kind: History, Seed: 1})
+	if res.Sharers != 0 {
+		t.Errorf("all-free-rider run has sharers: %+v", res)
+	}
+}
+
+func TestSimFixedLists(t *testing.T) {
+	caches := communityCaches(3, 6, 20)
+	// Perfect lists: every peer points at its community mates.
+	lists := make([][]trace.PeerID, len(caches))
+	for pid := range caches {
+		group := pid / 6
+		for p := group * 6; p < (group+1)*6; p++ {
+			if p != pid {
+				lists[pid] = append(lists[pid], trace.PeerID(p))
+			}
+		}
+	}
+	fixed := RunSim(caches, SimOptions{ListSize: 5, Seed: 31, FixedLists: lists})
+	if fixed.Strategy != "Fixed" {
+		t.Errorf("strategy = %q, want Fixed", fixed.Strategy)
+	}
+	random := RunSim(caches, SimOptions{ListSize: 5, Kind: Random, Seed: 31})
+	if fixed.HitRate() <= random.HitRate() {
+		t.Errorf("perfect fixed lists (%.2f) should beat random (%.2f)",
+			fixed.HitRate(), random.HitRate())
+	}
+	// Truncation to ListSize is enforced.
+	short := RunSim(caches, SimOptions{ListSize: 2, Seed: 31, FixedLists: lists, TrackLoad: true})
+	if short.Requests > 0 && short.Messages > int64(short.Requests)*2 {
+		t.Errorf("fixed lists not truncated: %d messages for %d requests",
+			short.Messages, short.Requests)
+	}
+}
+
+func TestSimFixedListsMissingEntries(t *testing.T) {
+	caches := communityCaches(2, 4, 10)
+	// Lists shorter than the population, some nil: must not panic and
+	// peers without lists simply never hit.
+	lists := make([][]trace.PeerID, 2)
+	lists[0] = []trace.PeerID{1}
+	res := RunSim(caches, SimOptions{ListSize: 5, Seed: 33, FixedLists: lists})
+	if res.Requests+res.Contributions == 0 {
+		t.Fatal("no workload simulated")
+	}
+}

@@ -1,0 +1,191 @@
+// Package core implements the paper's primary contribution: the semantic
+// clustering analysis of peer cache contents and the server-less,
+// semantic-neighbour search mechanism evaluated in Section 5.
+//
+// It provides:
+//   - the clustering correlation metric of Fig. 13/14 (probability that
+//     two peers sharing n files share an (n+1)-th);
+//   - the cache-overlap dynamics of Figs. 15-17;
+//   - the semantic neighbour list strategies (LRU, History, Random) of
+//     Section 5.2;
+//   - the trace-driven request simulator of Section 5.1 with one- and
+//     two-hop search, generous-uploader and popular-file ablations,
+//     randomized-trace runs, and query-load accounting (Figs. 18-23,
+//     Table 3).
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"edonkey/internal/trace"
+)
+
+// StrategyKind selects a semantic neighbour list management policy.
+type StrategyKind int
+
+const (
+	// LRU keeps the most recent uploaders, most recent first (the
+	// cache-replacement policy suggested in the paper and in Voulgaris
+	// et al.).
+	LRU StrategyKind = iota
+	// History keeps the uploaders with the highest successful-upload
+	// counts (the frequency-based policy of Voulgaris et al.).
+	History
+	// Random keeps a fixed, randomly chosen list of sharing peers; the
+	// paper's benchmark for how much of the hit rate popularity alone
+	// explains.
+	Random
+)
+
+// String returns the paper's name for the strategy.
+func (k StrategyKind) String() string {
+	switch k {
+	case LRU:
+		return "LRU"
+	case History:
+		return "History"
+	case Random:
+		return "Random"
+	default:
+		return fmt.Sprintf("StrategyKind(%d)", int(k))
+	}
+}
+
+// Strategy maintains one peer's semantic neighbour list.
+type Strategy interface {
+	// RecordUpload notes that the given peer served this peer a file,
+	// whether it was found via the list or via the fallback search.
+	RecordUpload(uploader trace.PeerID)
+	// Neighbours returns the current list in query order. The returned
+	// slice is owned by the strategy and valid until the next call.
+	Neighbours() []trace.PeerID
+}
+
+// lruList is the LRU strategy: uploaders move to the head; the tail is
+// evicted beyond the capacity.
+type lruList struct {
+	list []trace.PeerID
+	cap  int
+}
+
+// NewLRU returns an LRU semantic list with the given capacity.
+func NewLRU(capacity int) Strategy {
+	return &lruList{cap: capacity}
+}
+
+func (l *lruList) RecordUpload(u trace.PeerID) {
+	for i, p := range l.list {
+		if p == u {
+			copy(l.list[1:i+1], l.list[:i])
+			l.list[0] = u
+			return
+		}
+	}
+	if len(l.list) < l.cap {
+		l.list = append(l.list, 0)
+	}
+	copy(l.list[1:], l.list)
+	l.list[0] = u
+}
+
+func (l *lruList) Neighbours() []trace.PeerID { return l.list }
+
+// historyList is the frequency-based strategy: it counts successful
+// uploads per uploader and exposes the top-capacity uploaders by count.
+// The board is kept sorted by count with O(1) amortized bumps.
+type historyList struct {
+	ids    []trace.PeerID // sorted by count desc, then recency
+	counts []int
+	pos    map[trace.PeerID]int
+	cap    int
+}
+
+// NewHistory returns a History semantic list with the given capacity.
+func NewHistory(capacity int) Strategy {
+	return &historyList{pos: make(map[trace.PeerID]int), cap: capacity}
+}
+
+func (h *historyList) RecordUpload(u trace.PeerID) {
+	i, ok := h.pos[u]
+	if !ok {
+		h.ids = append(h.ids, u)
+		h.counts = append(h.counts, 0)
+		i = len(h.ids) - 1
+		h.pos[u] = i
+	}
+	h.counts[i]++
+	// Bubble the entry ahead of any entry with a strictly smaller
+	// count; equal counts keep their order (older entries stay first).
+	for i > 0 && h.counts[i-1] < h.counts[i] {
+		h.swap(i-1, i)
+		i--
+	}
+}
+
+func (h *historyList) swap(i, j int) {
+	h.ids[i], h.ids[j] = h.ids[j], h.ids[i]
+	h.counts[i], h.counts[j] = h.counts[j], h.counts[i]
+	h.pos[h.ids[i]] = i
+	h.pos[h.ids[j]] = j
+}
+
+func (h *historyList) Neighbours() []trace.PeerID {
+	if len(h.ids) <= h.cap {
+		return h.ids
+	}
+	return h.ids[:h.cap]
+}
+
+// Counts exposes the full history board for tests.
+func (h *historyList) Counts() map[trace.PeerID]int {
+	out := make(map[trace.PeerID]int, len(h.ids))
+	for i, id := range h.ids {
+		out[id] = h.counts[i]
+	}
+	return out
+}
+
+// randomList is a fixed random selection of sharing peers.
+type randomList struct {
+	list []trace.PeerID
+}
+
+// NewRandom returns a fixed random list of `capacity` distinct peers
+// drawn from the candidate pool (excluding self). If the pool is smaller
+// than the capacity the whole pool is used.
+func NewRandom(capacity int, self trace.PeerID, pool []trace.PeerID, rng *rand.Rand) Strategy {
+	// Reservoir-sample without replacement, skipping self.
+	list := make([]trace.PeerID, 0, capacity)
+	seen := 0
+	for _, p := range pool {
+		if p == self {
+			continue
+		}
+		seen++
+		if len(list) < capacity {
+			list = append(list, p)
+		} else if j := rng.IntN(seen); j < capacity {
+			list[j] = p
+		}
+	}
+	return &randomList{list: list}
+}
+
+func (r *randomList) RecordUpload(trace.PeerID) {}
+
+func (r *randomList) Neighbours() []trace.PeerID { return r.list }
+
+// fixedList is an immutable neighbour list supplied by an external
+// mechanism (e.g. the gossip overlay in internal/overlay).
+type fixedList struct {
+	list []trace.PeerID
+}
+
+// NewFixed wraps an externally built neighbour list as a Strategy.
+// RecordUpload is a no-op: the list is managed elsewhere.
+func NewFixed(list []trace.PeerID) Strategy { return &fixedList{list: list} }
+
+func (f *fixedList) RecordUpload(trace.PeerID) {}
+
+func (f *fixedList) Neighbours() []trace.PeerID { return f.list }

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"edonkey/internal/trace"
+)
+
+func peerIDs(xs ...int) []trace.PeerID {
+	out := make([]trace.PeerID, len(xs))
+	for i, x := range xs {
+		out[i] = trace.PeerID(x)
+	}
+	return out
+}
+
+func TestLRUBasics(t *testing.T) {
+	l := NewLRU(3)
+	if len(l.Neighbours()) != 0 {
+		t.Fatal("fresh list not empty")
+	}
+	l.RecordUpload(1)
+	l.RecordUpload(2)
+	l.RecordUpload(3)
+	if got := l.Neighbours(); !reflect.DeepEqual(got, peerIDs(3, 2, 1)) {
+		t.Errorf("after 3 uploads: %v", got)
+	}
+	// Eviction of the least recently used.
+	l.RecordUpload(4)
+	if got := l.Neighbours(); !reflect.DeepEqual(got, peerIDs(4, 3, 2)) {
+		t.Errorf("after eviction: %v", got)
+	}
+	// Re-upload moves an existing entry to the head without eviction.
+	l.RecordUpload(2)
+	if got := l.Neighbours(); !reflect.DeepEqual(got, peerIDs(2, 4, 3)) {
+		t.Errorf("after refresh: %v", got)
+	}
+}
+
+func TestLRUSingleCapacity(t *testing.T) {
+	l := NewLRU(1)
+	l.RecordUpload(7)
+	l.RecordUpload(8)
+	if got := l.Neighbours(); !reflect.DeepEqual(got, peerIDs(8)) {
+		t.Errorf("capacity-1 list: %v", got)
+	}
+}
+
+// LRU invariants under arbitrary upload sequences: bounded size, no
+// duplicates, head is the most recent uploader.
+func TestLRUProperty(t *testing.T) {
+	f := func(seed uint64, capRaw uint8) bool {
+		capacity := 1 + int(capRaw%16)
+		rng := rand.New(rand.NewPCG(seed, 1))
+		l := NewLRU(capacity)
+		var last trace.PeerID
+		n := 5 + rng.IntN(200)
+		for i := 0; i < n; i++ {
+			u := trace.PeerID(rng.IntN(24))
+			l.RecordUpload(u)
+			last = u
+		}
+		got := l.Neighbours()
+		if len(got) > capacity {
+			return false
+		}
+		seen := map[trace.PeerID]bool{}
+		for _, p := range got {
+			if seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return got[0] == last
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistoryRanksByCount(t *testing.T) {
+	h := NewHistory(2)
+	h.RecordUpload(1)
+	h.RecordUpload(2)
+	h.RecordUpload(2)
+	h.RecordUpload(3)
+	h.RecordUpload(3)
+	h.RecordUpload(3)
+	got := h.Neighbours()
+	if !reflect.DeepEqual(got, peerIDs(3, 2)) {
+		t.Errorf("Neighbours = %v, want [3 2]", got)
+	}
+	// Peer 1 overtakes peer 2.
+	h.RecordUpload(1)
+	h.RecordUpload(1)
+	got = h.Neighbours()
+	if !reflect.DeepEqual(got, peerIDs(3, 1)) {
+		t.Errorf("after overtake: %v, want [3 1]", got)
+	}
+}
+
+func TestHistoryTiesKeepOlderFirst(t *testing.T) {
+	h := NewHistory(3)
+	h.RecordUpload(5)
+	h.RecordUpload(6)
+	// Both have count 1; 5 was first and must stay ahead.
+	if got := h.Neighbours(); !reflect.DeepEqual(got, peerIDs(5, 6)) {
+		t.Errorf("tie order: %v", got)
+	}
+}
+
+// History invariants: counts sorted non-increasing, counts match the
+// recorded multiset.
+func TestHistoryProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 2))
+		h := NewHistory(5).(*historyList)
+		want := map[trace.PeerID]int{}
+		n := rng.IntN(300)
+		for i := 0; i < n; i++ {
+			u := trace.PeerID(rng.IntN(12))
+			h.RecordUpload(u)
+			want[u]++
+		}
+		got := h.Counts()
+		if len(got) != len(want) {
+			return false
+		}
+		for id, c := range want {
+			if got[id] != c {
+				return false
+			}
+		}
+		for i := 1; i < len(h.counts); i++ {
+			if h.counts[i-1] < h.counts[i] {
+				return false
+			}
+		}
+		return len(h.Neighbours()) <= 5
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandomListProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	pool := make([]trace.PeerID, 50)
+	for i := range pool {
+		pool[i] = trace.PeerID(i)
+	}
+	r := NewRandom(10, 7, pool, rng)
+	got := r.Neighbours()
+	if len(got) != 10 {
+		t.Fatalf("list size = %d, want 10", len(got))
+	}
+	seen := map[trace.PeerID]bool{}
+	for _, p := range got {
+		if p == 7 {
+			t.Error("random list contains self")
+		}
+		if seen[p] {
+			t.Errorf("duplicate %d", p)
+		}
+		seen[p] = true
+	}
+	// RecordUpload must not change a random list.
+	r.RecordUpload(1)
+	if !reflect.DeepEqual(r.Neighbours(), got) {
+		t.Error("random list changed after RecordUpload")
+	}
+}
+
+func TestRandomListSmallPool(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	r := NewRandom(10, 0, peerIDs(0, 1, 2), rng)
+	if got := r.Neighbours(); len(got) != 2 {
+		t.Errorf("pool of 2 non-self peers gave list %v", got)
+	}
+}
+
+func TestStrategyKindString(t *testing.T) {
+	for k, want := range map[StrategyKind]string{
+		LRU: "LRU", History: "History", Random: "Random", StrategyKind(9): "StrategyKind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

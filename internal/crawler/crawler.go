@@ -1,0 +1,373 @@
+// Package crawler reimplements the paper's measurement instrument: a
+// modified client that discovers eDonkey users through server nickname
+// queries and browses their cache contents daily.
+//
+// The methodology follows Section 2.2 of the paper:
+//
+//  1. connect to the known servers and retrieve their server lists;
+//  2. repeatedly submit nickname-prefix queries (the paper used 26^3
+//     queries, "aaa" through "zzz") — each reply is capped by the server
+//     (200 users), so short prefixes under-sample dense nicknames;
+//  3. keep only reachable (high-ID, non-firewalled) clients;
+//  4. connect to each reachable client every day and retrieve the list
+//     and description of all files in its cache, within a daily
+//     connection budget (the paper's crawler lost bandwidth over time,
+//     which is why its daily client counts decline in Fig. 1);
+//  5. record everything as per-day snapshots.
+//
+// Everything the crawler learns — identities, countries (via IP lookup),
+// file names/sizes/types — comes out of protocol messages, never out of
+// the simulator's internal state.
+package crawler
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"edonkey/internal/edonkey"
+	"edonkey/internal/protocol"
+	"edonkey/internal/trace"
+	"edonkey/internal/workload"
+)
+
+// Config tunes the crawl.
+type Config struct {
+	// PrefixLen is the nickname-prefix sweep depth: 1 = 26 queries,
+	// 2 = 676, 3 = the paper's 17,576. Default 2 (enough to discover
+	// everyone at laptop scale while keeping tests fast).
+	PrefixLen int
+	// InitialBudget and FinalBudget bound the number of browse attempts
+	// per day, interpolated linearly across the crawl to model the
+	// paper's declining crawler bandwidth. 0 means unlimited.
+	InitialBudget int
+	FinalBudget   int
+	// PublishFiles makes every simulated client publish its cache to
+	// the server each day (not required for browsing; enable to
+	// exercise the source/search index).
+	PublishFiles bool
+}
+
+// DefaultConfig returns an unlimited-budget 2-letter sweep.
+func DefaultConfig() Config {
+	return Config{PrefixLen: 2}
+}
+
+// serverEndpoint is where the simulation's indexing server lives.
+var serverEndpoint = protocol.Endpoint{IP: 0xFFFE0001, Port: 4661}
+
+// crawlerEndpoint is the crawler's own address.
+var crawlerEndpoint = protocol.Endpoint{IP: 0xFFFE0002, Port: 4662}
+
+// Crawler drives a crawl of a workload.World over the eDonkey protocol.
+type Crawler struct {
+	cfg     Config
+	world   *workload.World
+	network *edonkey.Network
+	server  *edonkey.Server
+	builder *trace.Builder
+
+	// identity bookkeeping: (user hash, IP) pairs become trace peers.
+	peerIDs map[identityKey]trace.PeerID
+	fileIDs map[[16]byte]trace.FileID
+
+	// Stats accumulates observable crawl counters.
+	Stats Stats
+}
+
+type identityKey struct {
+	hash [16]byte
+	ip   uint32
+}
+
+// Stats reports what the crawl did, day by day.
+type Stats struct {
+	Days            int
+	Queries         int
+	DiscoveredUsers int // user entries returned by servers (with repeats)
+	UniqueUsers     int // distinct (hash, ip) identities discovered
+	LowIDSkipped    int // discovered but firewalled
+	BrowseAttempts  int
+	BrowseRejected  int // browse disabled
+	BrowseFailed    int // connection failures (peer went offline)
+	Snapshots       int // successful browses recorded
+	BudgetExhausted int // days the budget cut discovery short
+}
+
+// New prepares a crawler over a fresh switchboard for the given world.
+func New(w *workload.World, cfg Config) (*Crawler, error) {
+	if cfg.PrefixLen <= 0 {
+		cfg.PrefixLen = 2
+	}
+	if cfg.PrefixLen > 3 {
+		return nil, fmt.Errorf("crawler: prefix length %d too deep", cfg.PrefixLen)
+	}
+	c := &Crawler{
+		cfg:     cfg,
+		world:   w,
+		network: edonkey.NewNetwork(),
+		builder: trace.NewBuilder(),
+		peerIDs: make(map[identityKey]trace.PeerID),
+		fileIDs: make(map[[16]byte]trace.FileID),
+	}
+	c.server = edonkey.NewServer(c.network, serverEndpoint)
+	if err := c.server.Start(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// prefixes enumerates the nickname sweep queries.
+func (c *Crawler) prefixes() []string {
+	const letters = "abcdefghijklmnopqrstuvwxyz"
+	out := []string{""}
+	for d := 0; d < c.cfg.PrefixLen; d++ {
+		next := make([]string, 0, len(out)*26)
+		for _, p := range out {
+			for i := 0; i < 26; i++ {
+				next = append(next, p+string(letters[i]))
+			}
+		}
+		out = next
+	}
+	return out
+}
+
+// budgetFor interpolates the daily browse budget.
+func (c *Crawler) budgetFor(day, totalDays int) int {
+	if c.cfg.InitialBudget == 0 {
+		return int(^uint(0) >> 1) // unlimited
+	}
+	if totalDays <= 1 {
+		return c.cfg.InitialBudget
+	}
+	final := c.cfg.FinalBudget
+	if final == 0 {
+		final = c.cfg.InitialBudget
+	}
+	span := float64(day) / float64(totalDays-1)
+	return c.cfg.InitialBudget + int(span*float64(final-c.cfg.InitialBudget))
+}
+
+// Run crawls the world for the given number of days (stepping the world
+// between days) and returns the resulting full trace.
+func (c *Crawler) Run(days int) (*trace.Trace, error) {
+	for d := 0; d < days; d++ {
+		if d > 0 {
+			c.world.Step()
+		}
+		if err := c.crawlDay(d, days); err != nil {
+			return nil, err
+		}
+		c.Stats.Days++
+	}
+	return c.builder.Build(), nil
+}
+
+// crawlDay brings the day's population online, runs the sweep and browses.
+func (c *Crawler) crawlDay(day, totalDays int) error {
+	c.server.DisconnectAll()
+	population, shutdown, err := c.bringWorldOnline(day)
+	if err != nil {
+		return err
+	}
+	defer shutdown()
+
+	me := edonkey.NewClient(c.network, [16]byte{0xCA, 0x11}, crawlerEndpoint, "crawler")
+	if err := me.GoOnline(); err != nil {
+		return err
+	}
+	defer me.GoOffline()
+
+	sess, err := me.Connect(serverEndpoint)
+	if err != nil {
+		return fmt.Errorf("crawler: server connect: %w", err)
+	}
+	defer sess.Close()
+	if _, err := sess.ServerList(); err != nil {
+		return fmt.Errorf("crawler: server list: %w", err)
+	}
+
+	// Discovery sweep.
+	reachable := make(map[identityKey]protocol.UserEntry)
+	for _, q := range c.prefixes() {
+		users, err := sess.SearchUsers(q)
+		if err != nil {
+			return fmt.Errorf("crawler: user search %q: %w", q, err)
+		}
+		c.Stats.Queries++
+		c.Stats.DiscoveredUsers += len(users)
+		for _, u := range users {
+			if u.Hash == me.UserHash {
+				continue // the crawler's own login
+			}
+			key := identityKey{u.Hash, u.Endpoint.IP}
+			if _, seen := reachable[key]; seen {
+				continue
+			}
+			if u.ClientID < protocol.LowIDThreshold {
+				c.Stats.LowIDSkipped++
+				continue
+			}
+			reachable[key] = u
+			c.Stats.UniqueUsers++
+		}
+	}
+
+	// Browse pass, within the day's budget. Iterate deterministically.
+	keys := make([]identityKey, 0, len(reachable))
+	for k := range reachable {
+		keys = append(keys, k)
+	}
+	sortIdentityKeys(keys)
+	budget := c.budgetFor(day, totalDays)
+	for i, key := range keys {
+		if i >= budget {
+			c.Stats.BudgetExhausted++
+			break
+		}
+		u := reachable[key]
+		c.Stats.BrowseAttempts++
+		files, err := me.Browse(u.Endpoint)
+		if err != nil {
+			if _, wasBrowsable := population[key]; wasBrowsable {
+				c.Stats.BrowseFailed++ // unexpected: peer vanished mid-day
+			} else {
+				c.Stats.BrowseRejected++ // browse disabled by the user
+			}
+			continue
+		}
+		c.record(day, u, files)
+		c.Stats.Snapshots++
+	}
+	return nil
+}
+
+// bringWorldOnline creates protocol clients for every online world client
+// and logs them into the server. It returns the set of identities that
+// accept browsing (for stats classification) and a shutdown func.
+func (c *Crawler) bringWorldOnline(day int) (map[identityKey]struct{}, func(), error) {
+	browsable := make(map[identityKey]struct{})
+	var online []*edonkey.Client
+	shutdown := func() {
+		for _, cl := range online {
+			cl.GoOffline()
+		}
+	}
+	for i := range c.world.Clients {
+		wc := &c.world.Clients[i]
+		if !wc.Online() {
+			continue
+		}
+		ip, hash := wc.IdentityAt(day)
+		ep := protocol.Endpoint{IP: ip, Port: uint16(4000 + i%60000)}
+		ec := edonkey.NewClient(c.network, hash, ep, wc.Nickname)
+		ec.Firewalled = wc.Firewalled
+		ec.BrowseOK = wc.BrowseOK
+		ec.SetShared(c.entriesFor(wc))
+		if err := ec.GoOnline(); err != nil {
+			// Endpoint collision (same IP and port): this client loses
+			// the address today, like a real NAT conflict; skip it.
+			continue
+		}
+		online = append(online, ec)
+		sess, err := ec.Connect(serverEndpoint)
+		if err != nil {
+			shutdown()
+			return nil, nil, err
+		}
+		if c.cfg.PublishFiles {
+			if err := ec.Publish(sess); err != nil {
+				sess.Close()
+				shutdown()
+				return nil, nil, err
+			}
+		}
+		sess.Close()
+		if !wc.Firewalled && wc.BrowseOK {
+			browsable[identityKey{hash, ip}] = struct{}{}
+		}
+	}
+	return browsable, shutdown, nil
+}
+
+// entriesFor renders a world client's cache as protocol file entries.
+func (c *Crawler) entriesFor(wc *workload.Client) []protocol.FileEntry {
+	files := wc.CacheFiles()
+	out := make([]protocol.FileEntry, 0, len(files))
+	for _, fi := range files {
+		f := &c.world.Files[fi]
+		out = append(out, protocol.FileEntry{
+			Hash: f.Hash,
+			Size: uint64(f.Size),
+			Name: f.Name,
+			Type: f.Kind.String(),
+		})
+	}
+	return out
+}
+
+// record registers the browsed identity and its cache in the trace.
+func (c *Crawler) record(day int, u protocol.UserEntry, files []protocol.FileEntry) {
+	key := identityKey{u.Hash, u.Endpoint.IP}
+	pid, ok := c.peerIDs[key]
+	if !ok {
+		info := trace.PeerInfo{
+			UserHash: u.Hash,
+			IP:       u.Endpoint.IP,
+			Nickname: u.Nickname,
+			BrowseOK: true,
+			AliasOf:  -1, // the crawler cannot know; Filter() works from IP/hash
+		}
+		if loc, found := c.world.Registry.Lookup(u.Endpoint.IP); found {
+			info.Country = loc.Country
+			info.ASN = loc.ASN
+		}
+		pid = c.builder.AddPeer(info)
+		c.peerIDs[key] = pid
+	}
+	cache := make([]trace.FileID, 0, len(files))
+	for _, f := range files {
+		fid, ok := c.fileIDs[f.Hash]
+		if !ok {
+			fid = c.builder.AddFile(trace.FileMeta{
+				Hash:       f.Hash,
+				Name:       f.Name,
+				Size:       int64(f.Size),
+				Kind:       trace.ParseKind(f.Type),
+				Topic:      -1, // latent; invisible to a real crawler
+				ReleaseDay: -1,
+			})
+			c.fileIDs[f.Hash] = fid
+		}
+		cache = append(cache, fid)
+	}
+	c.builder.Observe(day, pid, cache)
+}
+
+func sortIdentityKeys(keys []identityKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if c := bytes.Compare(keys[i].hash[:], keys[j].hash[:]); c != 0 {
+			return c < 0
+		}
+		return keys[i].ip < keys[j].ip
+	})
+}
+
+// Crawl is the one-call form: build the world from cfg, crawl it for its
+// configured number of days and return the trace plus crawl statistics.
+func Crawl(worldCfg workload.Config, crawlCfg Config) (*trace.Trace, Stats, error) {
+	w, err := workload.New(worldCfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	c, err := New(w, crawlCfg)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	tr, err := c.Run(w.Config.Days)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return tr, c.Stats, nil
+}

@@ -1,0 +1,155 @@
+package crawler
+
+import (
+	"testing"
+
+	"edonkey/internal/workload"
+)
+
+func crawlWorldConfig(seed uint64) workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Peers = 150
+	cfg.Days = 5
+	cfg.Topics = 25
+	cfg.InitialFiles = 4000
+	cfg.NewFilesPerDay = 50
+	return cfg
+}
+
+func TestCrawlProducesValidTrace(t *testing.T) {
+	tr, stats, err := Crawl(crawlWorldConfig(1), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("crawled trace invalid: %v", err)
+	}
+	if stats.Days != 5 {
+		t.Errorf("days = %d, want 5", stats.Days)
+	}
+	if stats.Snapshots == 0 || tr.Observations() != stats.Snapshots {
+		t.Errorf("snapshots %d vs observations %d", stats.Snapshots, tr.Observations())
+	}
+	if stats.Queries != 5*26*26 {
+		t.Errorf("queries = %d, want %d", stats.Queries, 5*26*26)
+	}
+	if stats.LowIDSkipped == 0 {
+		t.Error("no firewalled clients skipped — firewall modelling broken")
+	}
+	if stats.BrowseRejected == 0 {
+		t.Error("no browse rejections — browse-disabled modelling broken")
+	}
+	if stats.BrowseFailed != 0 {
+		t.Errorf("unexpected mid-day browse failures: %d", stats.BrowseFailed)
+	}
+}
+
+// The crawler must only lose what the methodology must lose: compared to
+// the oracle, every crawled peer/day must appear in the oracle trace,
+// and with an unlimited budget the crawler should see almost everything
+// the oracle sees (identity bookkeeping differs only on endpoint-collision
+// days).
+func TestCrawlMatchesOracle(t *testing.T) {
+	cfg := crawlWorldConfig(2)
+
+	oracle, _, err := workload.Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crawled, _, err := Crawl(cfg, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if crawled.Observations() == 0 {
+		t.Fatal("empty crawl")
+	}
+	ratio := float64(crawled.Observations()) / float64(oracle.Observations())
+	if ratio < 0.95 || ratio > 1.0 {
+		t.Errorf("crawler captured %.1f%% of oracle observations, want 95-100%%",
+			100*ratio)
+	}
+	// Same distinct-file universe within a small tolerance.
+	fr := float64(crawled.DistinctFiles()) / float64(oracle.DistinctFiles())
+	if fr < 0.95 || fr > 1.0 {
+		t.Errorf("crawler saw %.1f%% of oracle distinct files", 100*fr)
+	}
+}
+
+func TestCrawlBudgetDecline(t *testing.T) {
+	cfg := crawlWorldConfig(3)
+	ccfg := DefaultConfig()
+	ccfg.InitialBudget = 30
+	ccfg.FinalBudget = 10
+	tr, stats, err := Crawl(cfg, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.BudgetExhausted == 0 {
+		t.Error("budget never exhausted despite tiny limits")
+	}
+	// First day at most 30 snapshots, last day at most 10.
+	first := tr.Days[0]
+	last := tr.Days[len(tr.Days)-1]
+	if len(first.Caches) > 30 {
+		t.Errorf("day 0 snapshots = %d > 30", len(first.Caches))
+	}
+	if len(last.Caches) > 10 {
+		t.Errorf("last day snapshots = %d > 10", len(last.Caches))
+	}
+}
+
+func TestCrawlGeoResolution(t *testing.T) {
+	tr, _, err := Crawl(crawlWorldConfig(4), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved := 0
+	for _, p := range tr.Peers {
+		if p.Country != "" {
+			resolved++
+		}
+	}
+	if resolved < len(tr.Peers)*9/10 {
+		t.Errorf("only %d/%d peers geo-resolved", resolved, len(tr.Peers))
+	}
+}
+
+func TestCrawlAliasesCreateDuplicateIdentities(t *testing.T) {
+	cfg := crawlWorldConfig(5)
+	cfg.Days = 12 // aliasing needs room: switches happen after day 5
+	cfg.AliasFraction = 0.9
+	tr, _, err := Crawl(cfg, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := tr.Filter()
+	if len(ft.Peers) >= len(tr.Peers) {
+		t.Errorf("filtering removed nothing: %d -> %d peers", len(tr.Peers), len(ft.Peers))
+	}
+}
+
+func TestPrefixGeneration(t *testing.T) {
+	c := &Crawler{cfg: Config{PrefixLen: 1}}
+	ps := c.prefixes()
+	if len(ps) != 26 || ps[0] != "a" || ps[25] != "z" {
+		t.Errorf("1-letter sweep wrong: %d prefixes", len(ps))
+	}
+	c.cfg.PrefixLen = 3
+	ps = c.prefixes()
+	if len(ps) != 26*26*26 || ps[0] != "aaa" || ps[len(ps)-1] != "zzz" {
+		t.Errorf("3-letter sweep wrong: %d prefixes, first %q last %q",
+			len(ps), ps[0], ps[len(ps)-1])
+	}
+}
+
+func TestNewRejectsDeepPrefix(t *testing.T) {
+	w, err := workload.New(crawlWorldConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(w, Config{PrefixLen: 4}); err == nil {
+		t.Error("prefix length 4 accepted")
+	}
+}

@@ -1,0 +1,91 @@
+package edonkey
+
+import (
+	"io"
+
+	"edonkey/internal/md4"
+)
+
+// BlockSize is the eDonkey part size the paper describes: files are
+// divided in 9.5 MB blocks and an MD4 checksum is computed per block.
+const BlockSize = 9500 * 1024
+
+// FileHash computes the eDonkey file identifier of a stream: the MD4 of
+// each 9.5 MB block, and — when there is more than one block — the MD4 of
+// the concatenated block digests. Identical content yields the identical
+// identifier on every peer, which is what lets servers aggregate sources.
+// It returns the identifier, the per-block digests and the total size.
+func FileHash(r io.Reader) (id [16]byte, blocks [][16]byte, size int64, err error) {
+	buf := make([]byte, 256*1024)
+	h := md4.New()
+	inBlock := int64(0)
+	flush := func() {
+		var d [16]byte
+		copy(d[:], h.Sum(nil))
+		blocks = append(blocks, d)
+		h.Reset()
+		inBlock = 0
+	}
+	for {
+		n, rerr := r.Read(buf)
+		off := 0
+		for off < n {
+			room := BlockSize - inBlock
+			take := int64(n - off)
+			if take > room {
+				take = room
+			}
+			h.Write(buf[off : off+int(take)])
+			off += int(take)
+			inBlock += take
+			size += take
+			if inBlock == BlockSize {
+				flush()
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return id, nil, size, rerr
+		}
+	}
+	// A trailing partial (or empty) block is always hashed; an exact
+	// multiple of the block size still gets its boundary digest from the
+	// flush above plus a final empty-block digest, matching the original
+	// client's behaviour of hashing size/BlockSize + 1 parts.
+	flush()
+	if len(blocks) == 1 {
+		return blocks[0], blocks, size, nil
+	}
+	root := md4.New()
+	for _, b := range blocks {
+		root.Write(b[:])
+	}
+	copy(id[:], root.Sum(nil))
+	return id, blocks, size, nil
+}
+
+// HashBytes is FileHash over an in-memory byte slice.
+func HashBytes(data []byte) [16]byte {
+	id, _, _, err := FileHash(readerOf(data))
+	if err != nil {
+		panic("edonkey: impossible error hashing bytes: " + err.Error())
+	}
+	return id
+}
+
+type sliceReader struct {
+	data []byte
+}
+
+func readerOf(data []byte) io.Reader { return &sliceReader{data} }
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if len(s.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, s.data)
+	s.data = s.data[n:]
+	return n, nil
+}

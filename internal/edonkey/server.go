@@ -1,0 +1,286 @@
+package edonkey
+
+import (
+	"net"
+	"sort"
+	"strings"
+	"sync"
+
+	"edonkey/internal/protocol"
+)
+
+// DefaultMaxUserReplies is the server-side cap on user-search replies the
+// paper reports (200 users per query), the reason its crawler had to
+// sweep 26^3 nickname prefixes.
+const DefaultMaxUserReplies = 200
+
+// userRecord is one logged-in client.
+type userRecord struct {
+	hash     [16]byte
+	clientID uint32
+	endpoint protocol.Endpoint
+	nickname string
+}
+
+// fileRecord indexes one published file and its sources.
+type fileRecord struct {
+	entry   protocol.FileEntry
+	sources map[[16]byte]protocol.Endpoint
+}
+
+// Server is a first-tier eDonkey server: it indexes client publications
+// and answers source, keyword and user queries. All methods are safe for
+// concurrent use; each connection is served on its own goroutine.
+type Server struct {
+	Endpoint protocol.Endpoint
+	// MaxUserReplies caps SearchUser replies (default 200, as measured).
+	MaxUserReplies int
+	// SupportsUserSearch mirrors the paper's observation that newer
+	// servers removed the query-users feature; when false, SearchUser
+	// gets a Reject.
+	SupportsUserSearch bool
+
+	net *Network
+
+	mu      sync.Mutex
+	nextID  uint32
+	users   map[[16]byte]*userRecord
+	files   map[[16]byte]*fileRecord
+	keyword map[string]map[[16]byte]struct{} // token -> file hashes
+	servers map[protocol.Endpoint]struct{}   // known servers (incl. self)
+}
+
+// NewServer creates a server on the given endpoint of the switchboard.
+func NewServer(n *Network, ep protocol.Endpoint) *Server {
+	s := &Server{
+		Endpoint:           ep,
+		MaxUserReplies:     DefaultMaxUserReplies,
+		SupportsUserSearch: true,
+		net:                n,
+		nextID:             protocol.LowIDThreshold,
+		users:              make(map[[16]byte]*userRecord),
+		files:              make(map[[16]byte]*fileRecord),
+		keyword:            make(map[string]map[[16]byte]struct{}),
+		servers:            map[protocol.Endpoint]struct{}{ep: {}},
+	}
+	return s
+}
+
+// Start registers the server on the network.
+func (s *Server) Start() error { return s.net.Listen(s.Endpoint, s.Serve) }
+
+// Stop removes the server from the network.
+func (s *Server) Stop() { s.net.Unlisten(s.Endpoint) }
+
+// AddKnownServer records another server for server-list replies — the
+// only data real eDonkey servers exchanged.
+func (s *Server) AddKnownServer(ep protocol.Endpoint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.servers[ep] = struct{}{}
+}
+
+// Stats returns the current user and distinct-file counts.
+func (s *Server) Stats() (users, files int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.users), len(s.files)
+}
+
+// DisconnectAll drops every user registration (e.g. at a day boundary,
+// when presence is re-established).
+func (s *Server) DisconnectAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.users = make(map[[16]byte]*userRecord)
+	s.files = make(map[[16]byte]*fileRecord)
+	s.keyword = make(map[string]map[[16]byte]struct{})
+}
+
+// Serve handles one client connection until it closes.
+func (s *Server) Serve(conn net.Conn) {
+	defer conn.Close()
+	var sessionUser *userRecord
+	for {
+		m, err := protocol.ReadMessage(conn)
+		if err != nil {
+			return // EOF or peer error: session over
+		}
+		var reply protocol.Message
+		switch req := m.(type) {
+		case *protocol.LoginRequest:
+			sessionUser, reply = s.handleLogin(req)
+		case *protocol.OfferFiles:
+			s.handleOffer(sessionUser, req)
+			continue // no reply, like the original protocol
+		case *protocol.GetServerList:
+			reply = s.handleServerList()
+		case *protocol.SearchUser:
+			reply = s.handleSearchUser(req)
+		case *protocol.GetSources:
+			reply = s.handleGetSources(req)
+		case *protocol.SearchRequest:
+			reply = s.handleSearch(req)
+		default:
+			reply = &protocol.Reject{Reason: "unsupported request"}
+		}
+		if err := send(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// handleLogin registers the user and assigns a client ID. Reachability is
+// checked with a callback probe, as real servers did: unreachable clients
+// get a low ID.
+func (s *Server) handleLogin(req *protocol.LoginRequest) (*userRecord, protocol.Message) {
+	highID := false
+	if probe, err := s.net.Dial(req.Endpoint); err == nil {
+		probe.Close()
+		highID = true
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.users[req.UserHash]
+	if !ok {
+		u = &userRecord{hash: req.UserHash}
+		s.users[req.UserHash] = u
+	}
+	u.endpoint = req.Endpoint
+	u.nickname = req.Nickname
+	if highID {
+		// High IDs encode the address, loosely like the original.
+		u.clientID = req.Endpoint.IP
+		if u.clientID < protocol.LowIDThreshold {
+			u.clientID += protocol.LowIDThreshold
+		}
+	} else {
+		s.nextID--
+		if s.nextID == 0 {
+			s.nextID = protocol.LowIDThreshold - 1
+		}
+		u.clientID = s.nextID % protocol.LowIDThreshold
+		if u.clientID == 0 {
+			u.clientID = 1
+		}
+	}
+	return u, &protocol.IDChange{ClientID: u.clientID}
+}
+
+func tokenize(name string) []string {
+	return strings.FieldsFunc(strings.ToLower(name), func(r rune) bool {
+		switch r {
+		case '_', '.', '-', ' ', '(', ')', '[', ']':
+			return true
+		}
+		return false
+	})
+}
+
+func (s *Server) handleOffer(u *userRecord, req *protocol.OfferFiles) {
+	if u == nil {
+		return // publications require a login
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, f := range req.Files {
+		rec, ok := s.files[f.Hash]
+		if !ok {
+			rec = &fileRecord{entry: f, sources: make(map[[16]byte]protocol.Endpoint)}
+			s.files[f.Hash] = rec
+			for _, tok := range tokenize(f.Name) {
+				set := s.keyword[tok]
+				if set == nil {
+					set = make(map[[16]byte]struct{})
+					s.keyword[tok] = set
+				}
+				set[f.Hash] = struct{}{}
+			}
+		}
+		rec.sources[u.hash] = u.endpoint
+	}
+}
+
+func (s *Server) handleServerList() protocol.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &protocol.ServerList{}
+	for ep := range s.servers {
+		out.Servers = append(out.Servers, ep)
+	}
+	sort.Slice(out.Servers, func(i, j int) bool {
+		a, b := out.Servers[i], out.Servers[j]
+		if a.IP != b.IP {
+			return a.IP < b.IP
+		}
+		return a.Port < b.Port
+	})
+	return out
+}
+
+// handleSearchUser implements the crawler's discovery primitive: a prefix
+// match on nicknames, truncated at MaxUserReplies. Many users share short
+// prefixes, so a sweep cannot retrieve everyone — the same bias the paper
+// reports.
+func (s *Server) handleSearchUser(req *protocol.SearchUser) protocol.Message {
+	if !s.SupportsUserSearch {
+		return &protocol.Reject{Reason: "query-users not implemented"}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &protocol.SearchUserResult{}
+	q := strings.ToLower(req.Query)
+	for _, u := range s.users {
+		if len(out.Users) >= s.MaxUserReplies {
+			break
+		}
+		if strings.HasPrefix(strings.ToLower(u.nickname), q) {
+			out.Users = append(out.Users, protocol.UserEntry{
+				Hash:     u.hash,
+				ClientID: u.clientID,
+				Endpoint: u.endpoint,
+				Nickname: u.nickname,
+			})
+		}
+	}
+	return out
+}
+
+func (s *Server) handleGetSources(req *protocol.GetSources) protocol.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &protocol.FoundSources{Hash: req.Hash}
+	if rec, ok := s.files[req.Hash]; ok {
+		for _, ep := range rec.sources {
+			out.Sources = append(out.Sources, ep)
+		}
+		sort.Slice(out.Sources, func(i, j int) bool {
+			a, b := out.Sources[i], out.Sources[j]
+			if a.IP != b.IP {
+				return a.IP < b.IP
+			}
+			return a.Port < b.Port
+		})
+	}
+	return out
+}
+
+func (s *Server) handleSearch(req *protocol.SearchRequest) protocol.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := &protocol.SearchResult{}
+	hashes, ok := s.keyword[strings.ToLower(req.Keyword)]
+	if !ok {
+		return out
+	}
+	for h := range hashes {
+		rec := s.files[h]
+		entry := rec.entry
+		entry.Availability = uint32(len(rec.sources))
+		out.Files = append(out.Files, entry)
+	}
+	sort.Slice(out.Files, func(i, j int) bool {
+		return string(out.Files[i].Hash[:]) < string(out.Files[j].Hash[:])
+	})
+	return out
+}

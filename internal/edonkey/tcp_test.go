@@ -1,0 +1,143 @@
+package edonkey
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"edonkey/internal/protocol"
+)
+
+// The simulator normally runs over in-memory pipes, but the protocol
+// layer must equally work over real sockets. This integration test runs
+// Server.Serve behind a TCP loopback listener and drives a login,
+// publish, search and source query with raw protocol messages.
+func TestServerOverRealTCP(t *testing.T) {
+	network := NewNetwork() // only used for the firewall probe
+	server := NewServer(network, protocol.Endpoint{IP: 0xFFFF0001, Port: 4661})
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go server.Serve(conn)
+		}
+	}()
+
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+
+	// Login. The callback probe fails (we are not listening on the
+	// advertised endpoint), so the server must hand out a low ID —
+	// exactly what happens to firewalled clients.
+	if err := protocol.WriteMessage(conn, &protocol.LoginRequest{
+		UserHash: [16]byte{9},
+		Endpoint: protocol.Endpoint{IP: 0x0A000001, Port: 4662},
+		Nickname: "tcp_user",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := protocol.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := reply.(*protocol.IDChange)
+	if !ok {
+		t.Fatalf("login reply = %T", reply)
+	}
+	if id.ClientID >= protocol.LowIDThreshold {
+		t.Error("unreachable TCP client got a high ID")
+	}
+
+	// Publish and search back over the same TCP session.
+	if err := protocol.WriteMessage(conn, &protocol.OfferFiles{Files: []protocol.FileEntry{
+		{Hash: [16]byte{0xAB}, Size: 123, Name: "tcp_demo_song.mp3", Type: "audio"},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := protocol.WriteMessage(conn, &protocol.SearchRequest{Keyword: "song"}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = protocol.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, ok := reply.(*protocol.SearchResult)
+	if !ok {
+		t.Fatalf("search reply = %T", reply)
+	}
+	if len(res.Files) != 1 || res.Files[0].Name != "tcp_demo_song.mp3" {
+		t.Fatalf("search result = %+v", res.Files)
+	}
+
+	// Sources of the published file include our advertised endpoint.
+	if err := protocol.WriteMessage(conn, &protocol.GetSources{Hash: [16]byte{0xAB}}); err != nil {
+		t.Fatal(err)
+	}
+	reply, err = protocol.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := reply.(*protocol.FoundSources)
+	if !ok {
+		t.Fatalf("sources reply = %T", reply)
+	}
+	if len(fs.Sources) != 1 || fs.Sources[0].IP != 0x0A000001 {
+		t.Fatalf("sources = %+v", fs.Sources)
+	}
+}
+
+// A peer that slams the connection shut mid-session must surface as an
+// error, not a hang or a panic.
+func TestBrowsePeerSlamsConnection(t *testing.T) {
+	n := NewNetwork()
+	target := protocol.Endpoint{IP: 77, Port: 4662}
+	if err := n.Listen(target, func(c net.Conn) { c.Close() }); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Unlisten(target)
+	crawler := NewClient(n, [16]byte{1}, protocol.Endpoint{IP: 78, Port: 4662}, "x")
+	done := make(chan error, 1)
+	go func() {
+		_, err := crawler.Browse(target)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("browse of slammed connection succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("browse hung on a closed connection")
+	}
+}
+
+// A peer that answers with garbage must also surface as an error.
+func TestBrowsePeerSendsGarbage(t *testing.T) {
+	n := NewNetwork()
+	target := protocol.Endpoint{IP: 79, Port: 4662}
+	if err := n.Listen(target, func(c net.Conn) {
+		defer c.Close()
+		buf := make([]byte, 64)
+		c.Read(buf)
+		c.Write([]byte("this is not an edonkey frame......."))
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer n.Unlisten(target)
+	crawler := NewClient(n, [16]byte{1}, protocol.Endpoint{IP: 80, Port: 4662}, "x")
+	if _, err := crawler.Browse(target); err == nil {
+		t.Error("garbage answer accepted")
+	}
+}

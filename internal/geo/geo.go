@@ -1,0 +1,225 @@
+// Package geo models the geographical substrate of the eDonkey
+// reproduction: countries, autonomous systems (ASes) and synthetic IPv4
+// allocation, with the client mix observed in the paper (Fig. 4: 29% FR,
+// 28% DE, 16% ES, ... and Table 2: Deutsche Telekom hosting 75% of German
+// clients, France Telecom 51% of French clients, and so on).
+//
+// The paper resolved each crawled peer's IP address to a country and an AS
+// using routing data. Here the resolution runs in reverse: peers are
+// assigned a (country, AS) pair from the measured mix, receive an address
+// from that AS's synthetic prefix, and Lookup recovers the pair from the
+// address exactly the way a GeoIP database would.
+package geo
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"edonkey/internal/stats"
+)
+
+// AS describes one autonomous system inside a country.
+type AS struct {
+	Number uint32
+	Name   string
+	// NationalShare is the fraction of the country's clients this AS
+	// hosts. Shares within a country sum to 1.
+	NationalShare float64
+}
+
+// Country describes one country and its AS composition.
+type Country struct {
+	Code string // ISO 3166-1 alpha-2, or "XX" for the aggregated tail
+	Name string
+	// Weight is the fraction of all clients located in this country.
+	Weight float64
+	ASes   []AS
+}
+
+// Location is a resolved (country, AS) pair.
+type Location struct {
+	Country string
+	ASN     uint32
+}
+
+// Registry holds the country/AS universe and hands out addresses.
+// Build one with NewRegistry (the paper's mix) or NewCustomRegistry.
+type Registry struct {
+	countries     []Country
+	countryChoice *stats.WeightedChoice
+	asChoice      []*stats.WeightedChoice // parallel to countries
+
+	// prefix bookkeeping: every AS owns one synthetic /16.
+	prefixOf map[asKey]uint32    // (countryIdx, asIdx) -> prefix index
+	asAt     []asKey             // prefix index -> AS
+	asnIndex map[uint32]Location // ASN -> canonical location
+}
+
+type asKey struct{ country, as int }
+
+// NewRegistry returns the default registry reproducing the paper's
+// Fig. 4 country mix and Table 2 AS shares. The named Table 2 ASes are
+// real; the remaining per-country shares are covered by synthetic filler
+// ISPs so that national shares sum to 1.
+func NewRegistry() *Registry {
+	return NewCustomRegistry(DefaultCountries())
+}
+
+// NewCustomRegistry builds a registry from an explicit country list.
+// It panics if the list is empty or malformed (zero/negative weights or
+// national shares); the country table is static configuration.
+func NewCustomRegistry(countries []Country) *Registry {
+	if len(countries) == 0 {
+		panic("geo: empty country list")
+	}
+	r := &Registry{
+		countries: countries,
+		prefixOf:  make(map[asKey]uint32),
+		asnIndex:  make(map[uint32]Location),
+	}
+	weights := make([]float64, len(countries))
+	r.asChoice = make([]*stats.WeightedChoice, len(countries))
+	var nextPrefix uint32 = 1 // prefix 0 reserved: "unknown"
+	for i, c := range countries {
+		if c.Weight <= 0 {
+			panic(fmt.Sprintf("geo: country %s has non-positive weight", c.Code))
+		}
+		if len(c.ASes) == 0 {
+			panic(fmt.Sprintf("geo: country %s has no ASes", c.Code))
+		}
+		weights[i] = c.Weight
+		shares := make([]float64, len(c.ASes))
+		for j, as := range c.ASes {
+			if as.NationalShare <= 0 {
+				panic(fmt.Sprintf("geo: AS%d has non-positive share", as.Number))
+			}
+			shares[j] = as.NationalShare
+			k := asKey{i, j}
+			r.prefixOf[k] = nextPrefix
+			r.asAt = append(r.asAt, k)
+			nextPrefix++
+			if _, dup := r.asnIndex[as.Number]; dup {
+				panic(fmt.Sprintf("geo: duplicate ASN %d", as.Number))
+			}
+			r.asnIndex[as.Number] = Location{Country: c.Code, ASN: as.Number}
+		}
+		r.asChoice[i] = stats.NewWeightedChoice(shares)
+	}
+	r.countryChoice = stats.NewWeightedChoice(weights)
+	return r
+}
+
+// Countries returns the registry's country table (shared; do not mutate).
+func (r *Registry) Countries() []Country { return r.countries }
+
+// SampleLocation draws a (country, AS) pair from the client mix.
+func (r *Registry) SampleLocation(rng *rand.Rand) Location {
+	ci := r.countryChoice.Draw(rng)
+	ai := r.asChoice[ci].Draw(rng)
+	c := r.countries[ci]
+	return Location{Country: c.Code, ASN: c.ASes[ai].Number}
+}
+
+// SampleCountry draws only a country code from the client mix.
+func (r *Registry) SampleCountry(rng *rand.Rand) string {
+	return r.countries[r.countryChoice.Draw(rng)].Code
+}
+
+// AllocIP returns a synthetic IPv4 address inside the given location's AS
+// prefix. Addresses from the same AS share their /16.
+func (r *Registry) AllocIP(rng *rand.Rand, loc Location) uint32 {
+	for i, c := range r.countries {
+		if c.Code != loc.Country {
+			continue
+		}
+		for j, as := range c.ASes {
+			if as.Number == loc.ASN {
+				prefix := r.prefixOf[asKey{i, j}]
+				return prefix<<16 | uint32(rng.Uint32()&0xFFFF)
+			}
+		}
+	}
+	return 0 // unknown location: unroutable
+}
+
+// Lookup resolves an address previously produced by AllocIP back to its
+// (country, AS). The second result is false for unknown prefixes.
+func (r *Registry) Lookup(ip uint32) (Location, bool) {
+	prefix := ip >> 16
+	if prefix == 0 || int(prefix) > len(r.asAt) {
+		return Location{}, false
+	}
+	k := r.asAt[prefix-1]
+	c := r.countries[k.country]
+	return Location{Country: c.Code, ASN: c.ASes[k.as].Number}, true
+}
+
+// LookupASN resolves an AS number to its canonical location.
+func (r *Registry) LookupASN(asn uint32) (Location, bool) {
+	loc, ok := r.asnIndex[asn]
+	return loc, ok
+}
+
+// ASName returns the descriptive name for an ASN, or "" if unknown.
+func (r *Registry) ASName(asn uint32) string {
+	for _, c := range r.countries {
+		for _, as := range c.ASes {
+			if as.Number == asn {
+				return as.Name
+			}
+		}
+	}
+	return ""
+}
+
+// CountryWeight returns the configured client share of a country code,
+// or 0 if the code is absent.
+func (r *Registry) CountryWeight(code string) float64 {
+	for _, c := range r.countries {
+		if c.Code == code {
+			return c.Weight
+		}
+	}
+	return 0
+}
+
+// DefaultCountries returns the paper's country and AS mix. The five named
+// ASes and their global/national shares are Table 2 of the paper; filler
+// ISPs absorb each country's remaining share. Synthetic filler ASNs use
+// the 64512-65534 private range to avoid colliding with real allocations.
+func DefaultCountries() []Country {
+	filler := func(base uint32, shares ...float64) []AS {
+		out := make([]AS, len(shares))
+		for i, s := range shares {
+			out[i] = AS{
+				Number:        base + uint32(i),
+				Name:          fmt.Sprintf("synthetic-isp-%d", base+uint32(i)),
+				NationalShare: s,
+			}
+		}
+		return out
+	}
+	return []Country{
+		{Code: "FR", Name: "France", Weight: 0.29, ASes: append([]AS{
+			{Number: 3215, Name: "France Telecom Transpac", NationalShare: 0.51},
+			{Number: 12322, Name: "Proxad ISP France", NationalShare: 0.24},
+		}, filler(64512, 0.13, 0.08, 0.04)...)},
+		{Code: "DE", Name: "Germany", Weight: 0.28, ASes: append([]AS{
+			{Number: 3320, Name: "Deutsche Telekom AG", NationalShare: 0.75},
+		}, filler(64520, 0.12, 0.08, 0.05)...)},
+		{Code: "ES", Name: "Spain", Weight: 0.16, ASes: append([]AS{
+			{Number: 3352, Name: "Telefonica Data Espana", NationalShare: 0.50},
+		}, filler(64530, 0.30, 0.20)...)},
+		{Code: "US", Name: "United States", Weight: 0.05, ASes: append([]AS{
+			{Number: 1668, Name: "AOL-primehost USA", NationalShare: 0.60},
+		}, filler(64540, 0.25, 0.15)...)},
+		{Code: "IT", Name: "Italy", Weight: 0.03, ASes: filler(64550, 0.6, 0.4)},
+		{Code: "IL", Name: "Israel", Weight: 0.02, ASes: filler(64560, 0.7, 0.3)},
+		{Code: "GB", Name: "United Kingdom", Weight: 0.02, ASes: filler(64570, 0.5, 0.5)},
+		{Code: "TW", Name: "Taiwan", Weight: 0.01, ASes: filler(64580, 1.0)},
+		{Code: "PL", Name: "Poland", Weight: 0.01, ASes: filler(64590, 1.0)},
+		{Code: "AT", Name: "Austria", Weight: 0.01, ASes: filler(64600, 1.0)},
+		{Code: "NL", Name: "Netherlands", Weight: 0.01, ASes: filler(64610, 1.0)},
+		{Code: "XX", Name: "Others", Weight: 0.11, ASes: filler(64620, 0.4, 0.3, 0.3)},
+	}
+}

@@ -1,0 +1,179 @@
+package geo
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultCountriesNormalized(t *testing.T) {
+	var sum float64
+	for _, c := range DefaultCountries() {
+		sum += c.Weight
+		var national float64
+		for _, as := range c.ASes {
+			national += as.NationalShare
+		}
+		if math.Abs(national-1) > 1e-9 {
+			t.Errorf("country %s national shares sum to %v", c.Code, national)
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("country weights sum to %v, want 1", sum)
+	}
+}
+
+// The five Table 2 ASes must reproduce their paper global shares:
+// global share = country weight x national share.
+func TestTable2GlobalShares(t *testing.T) {
+	r := NewRegistry()
+	want := map[uint32]float64{
+		3320:  0.21, // Deutsche Telekom
+		3215:  0.15, // France Telecom
+		3352:  0.08, // Telefonica
+		12322: 0.07, // Proxad
+		1668:  0.03, // AOL
+	}
+	for asn, share := range want {
+		loc, ok := r.LookupASN(asn)
+		if !ok {
+			t.Fatalf("ASN %d missing", asn)
+		}
+		var got float64
+		for _, c := range r.Countries() {
+			if c.Code != loc.Country {
+				continue
+			}
+			for _, as := range c.ASes {
+				if as.Number == asn {
+					got = c.Weight * as.NationalShare
+				}
+			}
+		}
+		if math.Abs(got-share) > 0.005 {
+			t.Errorf("AS%d global share = %v, want ~%v", asn, got, share)
+		}
+	}
+}
+
+func TestSampleLocationMatchesWeights(t *testing.T) {
+	r := NewRegistry()
+	rng := rand.New(rand.NewPCG(11, 12))
+	counts := make(map[string]int)
+	asCounts := make(map[uint32]int)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		loc := r.SampleLocation(rng)
+		counts[loc.Country]++
+		asCounts[loc.ASN]++
+	}
+	for _, c := range []struct {
+		code string
+		want float64
+	}{{"FR", 0.29}, {"DE", 0.28}, {"ES", 0.16}, {"US", 0.05}} {
+		got := float64(counts[c.code]) / draws
+		if math.Abs(got-c.want) > 0.01 {
+			t.Errorf("country %s share = %v, want ~%v", c.code, got, c.want)
+		}
+	}
+	// Deutsche Telekom should host ~21% of all sampled clients.
+	if got := float64(asCounts[3320]) / draws; math.Abs(got-0.21) > 0.01 {
+		t.Errorf("AS3320 share = %v, want ~0.21", got)
+	}
+}
+
+func TestAllocLookupRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	rng := rand.New(rand.NewPCG(13, 14))
+	for i := 0; i < 5000; i++ {
+		loc := r.SampleLocation(rng)
+		ip := r.AllocIP(rng, loc)
+		if ip == 0 {
+			t.Fatalf("AllocIP failed for %+v", loc)
+		}
+		back, ok := r.Lookup(ip)
+		if !ok {
+			t.Fatalf("Lookup(%d) failed", ip)
+		}
+		if back != loc {
+			t.Fatalf("round trip: got %+v, want %+v", back, loc)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	r := NewRegistry()
+	if _, ok := r.Lookup(0); ok {
+		t.Error("Lookup(0) should fail")
+	}
+	if _, ok := r.Lookup(0xFFFF0000); ok {
+		t.Error("Lookup of unallocated prefix should fail")
+	}
+	if _, ok := r.LookupASN(99999); ok {
+		t.Error("LookupASN of unknown ASN should fail")
+	}
+}
+
+func TestASName(t *testing.T) {
+	r := NewRegistry()
+	if got := r.ASName(3320); got != "Deutsche Telekom AG" {
+		t.Errorf("ASName(3320) = %q", got)
+	}
+	if got := r.ASName(424242); got != "" {
+		t.Errorf("ASName(unknown) = %q, want empty", got)
+	}
+}
+
+func TestCountryWeight(t *testing.T) {
+	r := NewRegistry()
+	if w := r.CountryWeight("FR"); math.Abs(w-0.29) > 1e-12 {
+		t.Errorf("CountryWeight(FR) = %v", w)
+	}
+	if w := r.CountryWeight("ZZ"); w != 0 {
+		t.Errorf("CountryWeight(ZZ) = %v, want 0", w)
+	}
+}
+
+func TestCustomRegistryValidation(t *testing.T) {
+	cases := []struct {
+		name      string
+		countries []Country
+	}{
+		{"empty", nil},
+		{"zero weight", []Country{{Code: "AA", Weight: 0,
+			ASes: []AS{{Number: 1, NationalShare: 1}}}}},
+		{"no ases", []Country{{Code: "AA", Weight: 1}}},
+		{"zero share", []Country{{Code: "AA", Weight: 1,
+			ASes: []AS{{Number: 1, NationalShare: 0}}}}},
+		{"duplicate asn", []Country{{Code: "AA", Weight: 1,
+			ASes: []AS{{Number: 1, NationalShare: 0.5}, {Number: 1, NationalShare: 0.5}}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			NewCustomRegistry(c.countries)
+		})
+	}
+}
+
+// Property: every sampled location is resolvable via its ASN and via any
+// address allocated for it, and the two resolutions agree.
+func TestLocationResolutionProperty(t *testing.T) {
+	r := NewRegistry()
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 1))
+		loc := r.SampleLocation(rng)
+		byASN, ok1 := r.LookupASN(loc.ASN)
+		ip := r.AllocIP(rng, loc)
+		byIP, ok2 := r.Lookup(ip)
+		return ok1 && ok2 && byASN == loc && byIP == loc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,182 @@
+// Package md4 implements the MD4 message-digest algorithm from RFC 1320.
+//
+// MD4 is cryptographically broken and must never be used for security. It
+// is implemented here because the eDonkey network identifies files by MD4:
+// each 9.5 MB block of a file is hashed with MD4 and the file identifier is
+// the MD4 of the concatenated block digests (see internal/edonkey). The Go
+// standard library intentionally does not ship MD4, so the reproduction
+// carries its own copy, validated against the RFC 1320 test vectors.
+package md4
+
+import (
+	"encoding/binary"
+	"hash"
+)
+
+// Size is the size of an MD4 checksum in bytes.
+const Size = 16
+
+// BlockSize is the block size of MD4 in bytes.
+const BlockSize = 64
+
+const (
+	init0 = 0x67452301
+	init1 = 0xEFCDAB89
+	init2 = 0x98BADCFE
+	init3 = 0x10325476
+)
+
+type digest struct {
+	s   [4]uint32
+	x   [BlockSize]byte
+	nx  int
+	len uint64
+}
+
+// New returns a new hash.Hash computing the MD4 checksum.
+func New() hash.Hash {
+	d := new(digest)
+	d.Reset()
+	return d
+}
+
+// Sum returns the MD4 checksum of data.
+func Sum(data []byte) [Size]byte {
+	d := new(digest)
+	d.Reset()
+	d.Write(data)
+	var out [Size]byte
+	sum := d.Sum(nil)
+	copy(out[:], sum)
+	return out
+}
+
+func (d *digest) Reset() {
+	d.s[0] = init0
+	d.s[1] = init1
+	d.s[2] = init2
+	d.s[3] = init3
+	d.nx = 0
+	d.len = 0
+}
+
+func (d *digest) Size() int { return Size }
+
+func (d *digest) BlockSize() int { return BlockSize }
+
+func (d *digest) Write(p []byte) (n int, err error) {
+	n = len(p)
+	d.len += uint64(n)
+	if d.nx > 0 {
+		c := copy(d.x[d.nx:], p)
+		d.nx += c
+		if d.nx == BlockSize {
+			blockGeneric(d, d.x[:])
+			d.nx = 0
+		}
+		p = p[c:]
+	}
+	if len(p) >= BlockSize {
+		n := len(p) &^ (BlockSize - 1)
+		blockGeneric(d, p[:n])
+		p = p[n:]
+	}
+	if len(p) > 0 {
+		d.nx = copy(d.x[:], p)
+	}
+	return
+}
+
+func (d *digest) Sum(in []byte) []byte {
+	// Work on a copy so callers can keep writing afterwards.
+	d0 := *d
+	hashed := d0.checkSum()
+	return append(in, hashed[:]...)
+}
+
+func (d *digest) checkSum() [Size]byte {
+	// Padding: a single 0x80 byte then zeros until 56 mod 64, then the
+	// bit length as a little-endian uint64.
+	length := d.len
+	var tmp [64]byte
+	tmp[0] = 0x80
+	if length%64 < 56 {
+		d.Write(tmp[0 : 56-length%64])
+	} else {
+		d.Write(tmp[0 : 64+56-length%64])
+	}
+	length <<= 3 // length in bits
+	binary.LittleEndian.PutUint64(tmp[:8], length)
+	d.Write(tmp[0:8])
+	if d.nx != 0 {
+		panic("md4: padding error")
+	}
+	var out [Size]byte
+	for i, v := range d.s {
+		binary.LittleEndian.PutUint32(out[i*4:], v)
+	}
+	return out
+}
+
+var shift1 = []uint{3, 7, 11, 19}
+var shift2 = []uint{3, 5, 9, 13}
+var shift3 = []uint{3, 9, 11, 15}
+
+var xIndex2 = []uint{0, 4, 8, 12, 1, 5, 9, 13, 2, 6, 10, 14, 3, 7, 11, 15}
+var xIndex3 = []uint{0, 8, 4, 12, 2, 10, 6, 14, 1, 9, 5, 13, 3, 11, 7, 15}
+
+func blockGeneric(d *digest, p []byte) {
+	a := d.s[0]
+	b := d.s[1]
+	c := d.s[2]
+	dd := d.s[3]
+	var x [16]uint32
+	for len(p) >= BlockSize {
+		aa, bb, cc, ddd := a, b, c, dd
+		for i := 0; i < 16; i++ {
+			x[i] = binary.LittleEndian.Uint32(p[i*4:])
+		}
+
+		// Round 1: F(x,y,z) = (x & y) | (~x & z).
+		for i := uint(0); i < 16; i++ {
+			xi := x[i]
+			s := shift1[i%4]
+			f := ((c ^ dd) & b) ^ dd
+			a += f + xi
+			a = a<<s | a>>(32-s)
+			a, b, c, dd = dd, a, b, c
+		}
+
+		// Round 2: G(x,y,z) = (x & y) | (x & z) | (y & z), +0x5A827999.
+		for i := uint(0); i < 16; i++ {
+			xi := x[xIndex2[i]]
+			s := shift2[i%4]
+			g := (b & c) | (b & dd) | (c & dd)
+			a += g + xi + 0x5a827999
+			a = a<<s | a>>(32-s)
+			a, b, c, dd = dd, a, b, c
+		}
+
+		// Round 3: H(x,y,z) = x ^ y ^ z, +0x6ED9EBA1.
+		for i := uint(0); i < 16; i++ {
+			xi := x[xIndex3[i]]
+			s := shift3[i%4]
+			h := b ^ c ^ dd
+			a += h + xi + 0x6ed9eba1
+			a = a<<s | a>>(32-s)
+			a, b, c, dd = dd, a, b, c
+		}
+
+		a += aa
+		b += bb
+		c += cc
+		dd += ddd
+
+		p = p[BlockSize:]
+	}
+
+	d.s[0] = a
+	d.s[1] = b
+	d.s[2] = c
+	d.s[3] = dd
+}

@@ -1,0 +1,165 @@
+package md4
+
+import (
+	"bytes"
+	"encoding/hex"
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// RFC 1320 appendix A.5 test suite.
+var rfcVectors = []struct {
+	in  string
+	out string
+}{
+	{"", "31d6cfe0d16ae931b73c59d7e0c089c0"},
+	{"a", "bde52cb31de33e46245e05fbdbd6fb24"},
+	{"abc", "a448017aaf21d8525fc10ae87aa6729d"},
+	{"message digest", "d9130a8164549fe818874806e1c7014b"},
+	{"abcdefghijklmnopqrstuvwxyz", "d79e1c308aa5bbcdeea8ed63df412da9"},
+	{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789",
+		"043f8582f241db351ce627e153e7f0e4"},
+	{"12345678901234567890123456789012345678901234567890123456789012345678901234567890",
+		"e33b4ddc9c38f2199c3e7b164fcc0536"},
+}
+
+func TestRFCVectors(t *testing.T) {
+	for _, v := range rfcVectors {
+		got := Sum([]byte(v.in))
+		if hex.EncodeToString(got[:]) != v.out {
+			t.Errorf("MD4(%q) = %x, want %s", v.in, got, v.out)
+		}
+	}
+}
+
+func TestHashInterface(t *testing.T) {
+	h := New()
+	if h.Size() != Size {
+		t.Errorf("Size = %d, want %d", h.Size(), Size)
+	}
+	if h.BlockSize() != BlockSize {
+		t.Errorf("BlockSize = %d, want %d", h.BlockSize(), BlockSize)
+	}
+	n, err := h.Write([]byte("abc"))
+	if n != 3 || err != nil {
+		t.Fatalf("Write = %d, %v", n, err)
+	}
+	sum := h.Sum(nil)
+	want, _ := hex.DecodeString("a448017aaf21d8525fc10ae87aa6729d")
+	if !bytes.Equal(sum, want) {
+		t.Errorf("Sum = %x, want %x", sum, want)
+	}
+}
+
+// Sum must not disturb the running state: writing more afterwards behaves
+// as if Sum was never called.
+func TestSumDoesNotFinalize(t *testing.T) {
+	h := New()
+	h.Write([]byte("ab"))
+	_ = h.Sum(nil)
+	h.Write([]byte("c"))
+	got := h.Sum(nil)
+	want := Sum([]byte("abc"))
+	if !bytes.Equal(got, want[:]) {
+		t.Errorf("streamed sum %x, want %x", got, want)
+	}
+}
+
+func TestSumAppends(t *testing.T) {
+	h := New()
+	h.Write([]byte("abc"))
+	prefix := []byte{1, 2, 3}
+	out := h.Sum(prefix)
+	if !bytes.Equal(out[:3], prefix) {
+		t.Errorf("prefix clobbered: %x", out[:3])
+	}
+	if len(out) != 3+Size {
+		t.Errorf("length = %d, want %d", len(out), 3+Size)
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Write([]byte("garbage"))
+	h.Reset()
+	h.Write([]byte("abc"))
+	got := h.Sum(nil)
+	want := Sum([]byte("abc"))
+	if !bytes.Equal(got, want[:]) {
+		t.Errorf("after Reset: %x, want %x", got, want)
+	}
+}
+
+// Property: chunked writes produce the same digest as a single write,
+// regardless of chunk boundaries. This exercises the partial-block buffer.
+func TestChunkingProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 0xfeed))
+		n := rng.IntN(1 << 12)
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(rng.Uint32())
+		}
+		want := Sum(data)
+
+		h := New()
+		rest := data
+		for len(rest) > 0 {
+			k := 1 + rng.IntN(len(rest))
+			h.Write(rest[:k])
+			rest = rest[k:]
+		}
+		return bytes.Equal(h.Sum(nil), want[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Digest must depend on every input byte (flip one bit, digest changes).
+func TestBitFlipChangesDigest(t *testing.T) {
+	data := []byte(strings.Repeat("edonkey", 40))
+	base := Sum(data)
+	for i := 0; i < len(data); i += 17 {
+		mutated := append([]byte(nil), data...)
+		mutated[i] ^= 0x01
+		if Sum(mutated) == base {
+			t.Errorf("bit flip at %d did not change digest", i)
+		}
+	}
+}
+
+func TestLongMessageBoundaries(t *testing.T) {
+	// Lengths around the 56-byte padding boundary and block multiples.
+	for _, n := range []int{55, 56, 57, 63, 64, 65, 119, 120, 128, 1000} {
+		t.Run(fmt.Sprintf("len%d", n), func(t *testing.T) {
+			data := bytes.Repeat([]byte{0xAB}, n)
+			one := Sum(data)
+			h := New()
+			h.Write(data[:n/2])
+			h.Write(data[n/2:])
+			if !bytes.Equal(h.Sum(nil), one[:]) {
+				t.Errorf("chunked != one-shot for len %d", n)
+			}
+		})
+	}
+}
+
+func BenchmarkMD4_1K(b *testing.B) {
+	data := make([]byte, 1024)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}
+
+func BenchmarkMD4_1M(b *testing.B) {
+	data := make([]byte, 1<<20)
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		Sum(data)
+	}
+}

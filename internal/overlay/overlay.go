@@ -1,0 +1,364 @@
+// Package overlay implements the server-less neighbour discovery the
+// paper points to as future work (§7, and reference [31], Voulgaris & van
+// Steen's epidemic semantic overlay): a two-layer gossip protocol that
+// builds each peer's semantic neighbour list without any server and
+// without waiting for uploads to happen.
+//
+// Layer 1 (random peer sampling, Cyclon-style) keeps the network
+// connected and supplies a stream of uniformly random candidates. Layer 2
+// (semantic clustering) gossips view entries with the current closest
+// neighbours and greedily keeps the peers with the largest cache overlap.
+// After a few rounds every peer's semantic view converges towards its
+// interest community, giving the same kind of neighbour lists the paper's
+// LRU strategy learns from upload history — but proactively.
+//
+// The overlay is evaluated against the paper's strategies by feeding the
+// converged views into the trace-driven search simulation as fixed lists
+// (core.SimOptions.FixedLists).
+package overlay
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"edonkey/internal/trace"
+)
+
+// Config parameterizes the gossip protocol.
+type Config struct {
+	// RandomViewSize is the random-sampling layer's view capacity.
+	RandomViewSize int
+	// SemanticViewSize is the clustering layer's view capacity — the
+	// semantic neighbour list length.
+	SemanticViewSize int
+	// GossipLen is the number of entries exchanged per gossip.
+	GossipLen int
+	// Seed drives all randomness.
+	Seed uint64
+}
+
+// DefaultConfig mirrors the paper's 20-neighbour evaluations.
+func DefaultConfig() Config {
+	return Config{RandomViewSize: 20, SemanticViewSize: 20, GossipLen: 8, Seed: 1}
+}
+
+type viewEntry struct {
+	id  trace.PeerID
+	age int
+}
+
+// node is one gossiping peer.
+type node struct {
+	id      trace.PeerID
+	cache   []trace.FileID // sorted semantic profile
+	random  []viewEntry
+	sem     []trace.PeerID // sorted by overlap desc (ties: smaller id)
+	semOver []int          // overlap values parallel to sem
+}
+
+// Protocol is a running overlay over a static cache snapshot.
+type Protocol struct {
+	cfg    Config
+	rng    *rand.Rand
+	nodes  []*node // indexed by PeerID; nil for free-riders
+	peers  []trace.PeerID
+	caches [][]trace.FileID
+	rounds int
+	// messages counts gossip exchanges (2 per push-pull).
+	messages int64
+}
+
+// New builds the overlay over the given caches (index = PeerID). Peers
+// with empty caches (free-riders) do not join: they have no semantic
+// profile to cluster on, exactly as they never appear in the paper's
+// semantic lists.
+func New(caches [][]trace.FileID, cfg Config) (*Protocol, error) {
+	if cfg.RandomViewSize < 1 || cfg.SemanticViewSize < 1 || cfg.GossipLen < 1 {
+		return nil, fmt.Errorf("overlay: invalid view sizes %+v", cfg)
+	}
+	p := &Protocol{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewPCG(cfg.Seed, 0x676f73736970)), // "gossip"
+		nodes:  make([]*node, len(caches)),
+		caches: caches,
+	}
+	for pid, c := range caches {
+		if len(c) == 0 {
+			continue
+		}
+		p.peers = append(p.peers, trace.PeerID(pid))
+	}
+	if len(p.peers) < 2 {
+		return nil, fmt.Errorf("overlay: need at least 2 sharing peers, have %d", len(p.peers))
+	}
+	for _, pid := range p.peers {
+		p.nodes[pid] = &node{id: pid, cache: caches[pid]}
+	}
+	// Bootstrap random views with uniformly random peers, as a tracker
+	// or any rendezvous would.
+	for _, pid := range p.peers {
+		n := p.nodes[pid]
+		for len(n.random) < cfg.RandomViewSize {
+			cand := p.peers[p.rng.IntN(len(p.peers))]
+			if cand != pid && !containsEntry(n.random, cand) {
+				n.random = append(n.random, viewEntry{id: cand})
+			}
+			if len(n.random) >= len(p.peers)-1 {
+				break
+			}
+		}
+	}
+	return p, nil
+}
+
+func containsEntry(view []viewEntry, id trace.PeerID) bool {
+	for _, e := range view {
+		if e.id == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Rounds returns the number of gossip rounds executed.
+func (p *Protocol) Rounds() int { return p.rounds }
+
+// Messages returns the total number of gossip messages sent.
+func (p *Protocol) Messages() int64 { return p.messages }
+
+// Peers returns the participating peer IDs.
+func (p *Protocol) Peers() []trace.PeerID { return p.peers }
+
+// overlap is the semantic proximity metric: common cache entries.
+func (p *Protocol) overlap(a, b trace.PeerID) int {
+	return trace.IntersectCount(p.caches[a], p.caches[b])
+}
+
+// Round executes one gossip round: every peer gossips once on the random
+// layer (view shuffling with the oldest neighbour) and once on the
+// semantic layer (candidate exchange with its best or a random peer).
+func (p *Protocol) Round() {
+	order := p.rng.Perm(len(p.peers))
+	for _, i := range order {
+		p.randomLayer(p.nodes[p.peers[i]])
+	}
+	for _, i := range order {
+		p.semanticLayer(p.nodes[p.peers[i]])
+	}
+	p.rounds++
+}
+
+// Run executes n rounds.
+func (p *Protocol) Run(n int) {
+	for i := 0; i < n; i++ {
+		p.Round()
+	}
+}
+
+// randomLayer does a Cyclon-style push-pull shuffle with the oldest
+// random-view neighbour.
+func (p *Protocol) randomLayer(n *node) {
+	if len(n.random) == 0 {
+		return
+	}
+	for i := range n.random {
+		n.random[i].age++
+	}
+	oldest := 0
+	for i, e := range n.random {
+		if e.age > n.random[oldest].age {
+			oldest = i
+		}
+	}
+	partner := p.nodes[n.random[oldest].id]
+	// Remove the partner from the view (it is being contacted).
+	n.random[oldest] = n.random[len(n.random)-1]
+	n.random = n.random[:len(n.random)-1]
+	if partner == nil {
+		return // partner left (not in this snapshot)
+	}
+	p.messages += 2
+
+	sent := p.sampleEntries(n.random, p.cfg.GossipLen-1)
+	sent = append(sent, viewEntry{id: n.id}) // fresh self-entry
+	reply := p.sampleEntries(partner.random, p.cfg.GossipLen)
+	partner.random = p.mergeRandom(partner, sent)
+	n.random = p.mergeRandom(n, reply)
+}
+
+// sampleEntries picks up to k distinct entries from the view.
+func (p *Protocol) sampleEntries(view []viewEntry, k int) []viewEntry {
+	if k > len(view) {
+		k = len(view)
+	}
+	idx := p.rng.Perm(len(view))[:k]
+	out := make([]viewEntry, 0, k)
+	for _, i := range idx {
+		out = append(out, view[i])
+	}
+	return out
+}
+
+// mergeRandom merges received entries into a node's random view, dropping
+// self-references and duplicates, evicting the oldest entries over
+// capacity.
+func (p *Protocol) mergeRandom(n *node, in []viewEntry) []viewEntry {
+	view := n.random
+	for _, e := range in {
+		if e.id == n.id || containsEntry(view, e.id) {
+			continue
+		}
+		view = append(view, viewEntry{id: e.id, age: 0})
+	}
+	for len(view) > p.cfg.RandomViewSize {
+		oldest := 0
+		for i, e := range view {
+			if e.age > view[oldest].age {
+				oldest = i
+			}
+		}
+		view[oldest] = view[len(view)-1]
+		view = view[:len(view)-1]
+	}
+	return view
+}
+
+// semanticLayer gossips with the current closest semantic neighbour (or a
+// random peer when the view is empty) and keeps the best candidates by
+// cache overlap from both views.
+func (p *Protocol) semanticLayer(n *node) {
+	var partnerID trace.PeerID
+	if len(n.sem) > 0 {
+		// Alternate between the best neighbour (exploitation) and a
+		// random view entry (exploration), as in the epidemic protocol.
+		if p.rng.IntN(2) == 0 {
+			partnerID = n.sem[0]
+		} else {
+			partnerID = n.sem[p.rng.IntN(len(n.sem))]
+		}
+	} else if len(n.random) > 0 {
+		partnerID = n.random[p.rng.IntN(len(n.random))].id
+	} else {
+		return
+	}
+	partner := p.nodes[partnerID]
+	if partner == nil {
+		return
+	}
+	p.messages += 2
+
+	// Exchange candidate sets: own id + semantic view + a slice of the
+	// random view from both sides.
+	mine := n.candidates()
+	theirs := partner.candidates()
+	p.absorb(partner, mine)
+	p.absorb(n, theirs)
+}
+
+func (n *node) candidates() []trace.PeerID {
+	out := make([]trace.PeerID, 0, 1+len(n.sem)+len(n.random))
+	out = append(out, n.id)
+	out = append(out, n.sem...)
+	for _, e := range n.random {
+		out = append(out, e.id)
+	}
+	return out
+}
+
+// absorb merges candidate peers into the node's semantic view, keeping
+// the SemanticViewSize closest by overlap (ties to smaller IDs for
+// determinism). Zero-overlap candidates never enter the view.
+func (p *Protocol) absorb(n *node, candidates []trace.PeerID) {
+	changed := false
+	for _, cand := range candidates {
+		if cand == n.id || p.nodes[cand] == nil {
+			continue
+		}
+		if containsID(n.sem, cand) {
+			continue
+		}
+		ov := p.overlap(n.id, cand)
+		if ov == 0 {
+			continue
+		}
+		n.sem = append(n.sem, cand)
+		n.semOver = append(n.semOver, ov)
+		changed = true
+	}
+	if !changed {
+		return
+	}
+	type pair struct {
+		id trace.PeerID
+		ov int
+	}
+	list := make([]pair, len(n.sem))
+	for i := range n.sem {
+		list[i] = pair{n.sem[i], n.semOver[i]}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].ov != list[j].ov {
+			return list[i].ov > list[j].ov
+		}
+		return list[i].id < list[j].id
+	})
+	if len(list) > p.cfg.SemanticViewSize {
+		list = list[:p.cfg.SemanticViewSize]
+	}
+	n.sem = n.sem[:0]
+	n.semOver = n.semOver[:0]
+	for _, e := range list {
+		n.sem = append(n.sem, e.id)
+		n.semOver = append(n.semOver, e.ov)
+	}
+}
+
+func containsID(ids []trace.PeerID, id trace.PeerID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// SemanticNeighbours returns the peer's current semantic view, closest
+// first. The slice is shared; callers must not mutate it.
+func (p *Protocol) SemanticNeighbours(id trace.PeerID) []trace.PeerID {
+	if int(id) >= len(p.nodes) || p.nodes[id] == nil {
+		return nil
+	}
+	return p.nodes[id].sem
+}
+
+// Views materializes every peer's semantic view as fixed neighbour lists
+// (indexed by PeerID) for core.SimOptions.FixedLists.
+func (p *Protocol) Views() [][]trace.PeerID {
+	out := make([][]trace.PeerID, len(p.nodes))
+	for pid, n := range p.nodes {
+		if n == nil {
+			continue
+		}
+		out[pid] = append([]trace.PeerID(nil), n.sem...)
+	}
+	return out
+}
+
+// MeanTopOverlap reports the mean overlap between each peer and its
+// current best semantic neighbour — the convergence metric: it rises as
+// the overlay self-organizes and plateaus at convergence.
+func (p *Protocol) MeanTopOverlap() float64 {
+	var sum, n float64
+	for _, pid := range p.peers {
+		node := p.nodes[pid]
+		if len(node.semOver) > 0 {
+			sum += float64(node.semOver[0])
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / n
+}

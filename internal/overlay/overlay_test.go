@@ -1,0 +1,199 @@
+package overlay
+
+import (
+	"testing"
+
+	"edonkey/internal/core"
+	"edonkey/internal/trace"
+)
+
+// communities builds `groups` disjoint communities of `peersPer` peers
+// whose caches heavily overlap within the group and not across groups.
+func communities(groups, peersPer, filesPer int) [][]trace.FileID {
+	var caches [][]trace.FileID
+	next := 0
+	for g := 0; g < groups; g++ {
+		pool := make([]trace.FileID, filesPer)
+		for i := range pool {
+			pool[i] = trace.FileID(next)
+			next++
+		}
+		for p := 0; p < peersPer; p++ {
+			// Each member holds a sliding window of the pool, so
+			// members overlap pairwise but are not identical.
+			var c []trace.FileID
+			for i := 0; i < filesPer*3/4; i++ {
+				c = append(c, pool[(p+i)%filesPer])
+			}
+			sortFIDs(c)
+			caches = append(caches, c)
+		}
+	}
+	return caches
+}
+
+func sortFIDs(c []trace.FileID) {
+	for i := 1; i < len(c); i++ {
+		for j := i; j > 0 && c[j-1] > c[j]; j-- {
+			c[j-1], c[j] = c[j], c[j-1]
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	caches := communities(2, 4, 10)
+	if _, err := New(caches, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Error("empty caches accepted")
+	}
+	one := [][]trace.FileID{{1, 2, 3}}
+	if _, err := New(one, DefaultConfig()); err == nil {
+		t.Error("single-peer overlay accepted")
+	}
+}
+
+func TestFreeRidersExcluded(t *testing.T) {
+	caches := communities(2, 4, 10)
+	caches = append(caches, nil, nil) // two free-riders
+	p, err := New(caches, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Peers()) != 8 {
+		t.Errorf("participants = %d, want 8", len(p.Peers()))
+	}
+	p.Run(3)
+	for pid := 8; pid < 10; pid++ {
+		if got := p.SemanticNeighbours(trace.PeerID(pid)); got != nil {
+			t.Errorf("free-rider %d has neighbours %v", pid, got)
+		}
+	}
+}
+
+// The defining property: after enough rounds, peers' semantic views point
+// inside their own community.
+func TestConvergesToCommunities(t *testing.T) {
+	const groups, peersPer = 5, 10
+	caches := communities(groups, peersPer, 24)
+	cfg := DefaultConfig()
+	cfg.SemanticViewSize = peersPer - 1
+	p, err := New(caches, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(15)
+
+	correct, total := 0, 0
+	for pid := range caches {
+		want := pid / peersPer
+		for _, n := range p.SemanticNeighbours(trace.PeerID(pid)) {
+			total++
+			if int(n)/peersPer == want {
+				correct++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no semantic neighbours formed")
+	}
+	precision := float64(correct) / float64(total)
+	if precision < 0.95 {
+		t.Errorf("community precision = %.2f, want >= 0.95", precision)
+	}
+}
+
+func TestConvergenceMetricRises(t *testing.T) {
+	caches := communities(4, 8, 20)
+	p, err := New(caches, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := p.MeanTopOverlap()
+	p.Run(10)
+	after := p.MeanTopOverlap()
+	if after <= before {
+		t.Errorf("MeanTopOverlap did not rise: %v -> %v", before, after)
+	}
+	if p.Rounds() != 10 {
+		t.Errorf("Rounds = %d", p.Rounds())
+	}
+	if p.Messages() == 0 {
+		t.Error("no gossip messages counted")
+	}
+}
+
+func TestViewsNeverContainSelfOrDuplicates(t *testing.T) {
+	caches := communities(3, 7, 15)
+	p, err := New(caches, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(8)
+	for pid := range caches {
+		seen := map[trace.PeerID]bool{}
+		for _, n := range p.SemanticNeighbours(trace.PeerID(pid)) {
+			if int(n) == pid {
+				t.Fatalf("peer %d lists itself", pid)
+			}
+			if seen[n] {
+				t.Fatalf("peer %d lists %d twice", pid, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	caches := communities(3, 6, 12)
+	a, err := New(caches, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(caches, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Run(6)
+	b.Run(6)
+	for pid := range caches {
+		av := a.SemanticNeighbours(trace.PeerID(pid))
+		bv := b.SemanticNeighbours(trace.PeerID(pid))
+		if len(av) != len(bv) {
+			t.Fatalf("peer %d view sizes differ", pid)
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				t.Fatalf("peer %d views diverge at %d", pid, i)
+			}
+		}
+	}
+}
+
+// End-to-end: overlay-built fixed lists should clearly beat random lists
+// under the paper's search simulation, approaching LRU.
+func TestOverlayViewsBeatRandomInSearch(t *testing.T) {
+	caches := communities(6, 8, 30)
+	cfg := DefaultConfig()
+	cfg.SemanticViewSize = 5
+	p, err := New(caches, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Run(12)
+
+	fixed := core.RunSim(caches, core.SimOptions{
+		ListSize: 5, Seed: 1, FixedLists: p.Views(),
+	})
+	random := core.RunSim(caches, core.SimOptions{
+		ListSize: 5, Kind: core.Random, Seed: 1,
+	})
+	if fixed.Strategy != "Fixed" {
+		t.Errorf("strategy label = %q", fixed.Strategy)
+	}
+	if fixed.HitRate() <= random.HitRate() {
+		t.Errorf("overlay views (%.2f) should beat random lists (%.2f)",
+			fixed.HitRate(), random.HitRate())
+	}
+}

@@ -1,0 +1,513 @@
+package protocol
+
+import (
+	"bytes"
+	"encoding/binary"
+)
+
+// Endpoint identifies a reachable peer.
+type Endpoint struct {
+	IP   uint32
+	Port uint16
+}
+
+func writeEndpoint(b *bytes.Buffer, e Endpoint) {
+	var tmp [6]byte
+	binary.LittleEndian.PutUint32(tmp[:4], e.IP)
+	binary.LittleEndian.PutUint16(tmp[4:], e.Port)
+	b.Write(tmp[:])
+}
+
+func readEndpoint(r *reader) (Endpoint, error) {
+	ip, err := r.uint32()
+	if err != nil {
+		return Endpoint{}, err
+	}
+	port, err := r.uint16()
+	if err != nil {
+		return Endpoint{}, err
+	}
+	return Endpoint{IP: ip, Port: port}, nil
+}
+
+// FileEntry describes one shared file in publications, browse answers and
+// search results.
+type FileEntry struct {
+	Hash [16]byte
+	Size uint64
+	Name string
+	Type string
+	// Availability is the source count a server reports in results.
+	Availability uint32
+}
+
+func writeFileEntry(b *bytes.Buffer, f FileEntry) {
+	b.Write(f.Hash[:])
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], f.Size)
+	b.Write(tmp[:])
+	writeTags(b, []Tag{
+		StringTag(TagName, f.Name),
+		StringTag(TagType, f.Type),
+		Uint32Tag(TagAvailability, f.Availability),
+	})
+}
+
+func readFileEntry(r *reader) (FileEntry, error) {
+	var f FileEntry
+	h, err := r.hash()
+	if err != nil {
+		return f, err
+	}
+	f.Hash = h
+	if f.Size, err = r.uint64(); err != nil {
+		return f, err
+	}
+	tags, err := readTags(r)
+	if err != nil {
+		return f, err
+	}
+	for _, t := range tags {
+		switch {
+		case t.Name == TagName && t.IsString:
+			f.Name = t.Str
+		case t.Name == TagType && t.IsString:
+			f.Type = t.Str
+		case t.Name == TagAvailability && !t.IsString:
+			f.Availability = t.Num
+		}
+	}
+	return f, nil
+}
+
+func writeFileEntries(b *bytes.Buffer, files []FileEntry) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(files)))
+	b.Write(tmp[:])
+	for _, f := range files {
+		writeFileEntry(b, f)
+	}
+}
+
+func readFileEntries(r *reader) ([]FileEntry, error) {
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxMessageSize/25 {
+		return nil, ErrTooLarge
+	}
+	files := make([]FileEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		f, err := readFileEntry(r)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// UserEntry describes one client in a user-search reply.
+type UserEntry struct {
+	Hash     [16]byte
+	ClientID uint32 // high IDs are directly reachable, low IDs firewalled
+	Endpoint Endpoint
+	Nickname string
+}
+
+// LoginRequest is sent by a client right after connecting to a server.
+type LoginRequest struct {
+	UserHash [16]byte
+	Endpoint Endpoint
+	Nickname string
+	Version  uint32
+}
+
+func (*LoginRequest) Opcode() byte { return OpLoginRequest }
+
+func (m *LoginRequest) appendPayload(b *bytes.Buffer) {
+	b.Write(m.UserHash[:])
+	writeEndpoint(b, m.Endpoint)
+	writeTags(b, []Tag{
+		StringTag(TagNickname, m.Nickname),
+		Uint32Tag(TagVersion, m.Version),
+	})
+}
+
+func decodeLoginRequest(r *reader) (Message, error) {
+	var m LoginRequest
+	var err error
+	if m.UserHash, err = r.hash(); err != nil {
+		return nil, err
+	}
+	if m.Endpoint, err = readEndpoint(r); err != nil {
+		return nil, err
+	}
+	tags, err := readTags(r)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range tags {
+		switch {
+		case t.Name == TagNickname && t.IsString:
+			m.Nickname = t.Str
+		case t.Name == TagVersion && !t.IsString:
+			m.Version = t.Num
+		}
+	}
+	return &m, nil
+}
+
+// Reject answers a request the peer refuses (e.g. browsing disabled).
+type Reject struct{ Reason string }
+
+func (*Reject) Opcode() byte { return OpReject }
+
+func (m *Reject) appendPayload(b *bytes.Buffer) { writeString(b, m.Reason) }
+
+func decodeReject(r *reader) (Message, error) {
+	s, err := r.string()
+	if err != nil {
+		return nil, err
+	}
+	return &Reject{Reason: s}, nil
+}
+
+// GetServerList asks a server for the other servers it knows — the only
+// data eDonkey servers exchanged.
+type GetServerList struct{}
+
+func (*GetServerList) Opcode() byte { return OpGetServerList }
+
+func (*GetServerList) appendPayload(*bytes.Buffer) {}
+
+func decodeGetServerList(*reader) (Message, error) { return &GetServerList{}, nil }
+
+// ServerList carries known server endpoints.
+type ServerList struct{ Servers []Endpoint }
+
+func (*ServerList) Opcode() byte { return OpServerList }
+
+func (m *ServerList) appendPayload(b *bytes.Buffer) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(m.Servers)))
+	b.Write(tmp[:])
+	for _, s := range m.Servers {
+		writeEndpoint(b, s)
+	}
+}
+
+func decodeServerList(r *reader) (Message, error) {
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxMessageSize/6 {
+		return nil, ErrTooLarge
+	}
+	m := &ServerList{Servers: make([]Endpoint, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		e, err := readEndpoint(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Servers = append(m.Servers, e)
+	}
+	return m, nil
+}
+
+// OfferFiles publishes the client's cache contents to its server.
+type OfferFiles struct{ Files []FileEntry }
+
+func (*OfferFiles) Opcode() byte { return OpOfferFiles }
+
+func (m *OfferFiles) appendPayload(b *bytes.Buffer) { writeFileEntries(b, m.Files) }
+
+func decodeOfferFiles(r *reader) (Message, error) {
+	files, err := readFileEntries(r)
+	if err != nil {
+		return nil, err
+	}
+	return &OfferFiles{Files: files}, nil
+}
+
+// SearchRequest is a (simplified single-keyword) file search.
+type SearchRequest struct{ Keyword string }
+
+func (*SearchRequest) Opcode() byte { return OpSearchRequest }
+
+func (m *SearchRequest) appendPayload(b *bytes.Buffer) { writeString(b, m.Keyword) }
+
+func decodeSearchRequest(r *reader) (Message, error) {
+	s, err := r.string()
+	if err != nil {
+		return nil, err
+	}
+	return &SearchRequest{Keyword: s}, nil
+}
+
+// SearchResult carries matching files.
+type SearchResult struct{ Files []FileEntry }
+
+func (*SearchResult) Opcode() byte { return OpSearchResult }
+
+func (m *SearchResult) appendPayload(b *bytes.Buffer) { writeFileEntries(b, m.Files) }
+
+func decodeSearchResult(r *reader) (Message, error) {
+	files, err := readFileEntries(r)
+	if err != nil {
+		return nil, err
+	}
+	return &SearchResult{Files: files}, nil
+}
+
+// GetSources asks the server for sources of a file.
+type GetSources struct{ Hash [16]byte }
+
+func (*GetSources) Opcode() byte { return OpGetSources }
+
+func (m *GetSources) appendPayload(b *bytes.Buffer) { b.Write(m.Hash[:]) }
+
+func decodeGetSources(r *reader) (Message, error) {
+	h, err := r.hash()
+	if err != nil {
+		return nil, err
+	}
+	return &GetSources{Hash: h}, nil
+}
+
+// FoundSources answers GetSources.
+type FoundSources struct {
+	Hash    [16]byte
+	Sources []Endpoint
+}
+
+func (*FoundSources) Opcode() byte { return OpFoundSources }
+
+func (m *FoundSources) appendPayload(b *bytes.Buffer) {
+	b.Write(m.Hash[:])
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(m.Sources)))
+	b.Write(tmp[:])
+	for _, s := range m.Sources {
+		writeEndpoint(b, s)
+	}
+}
+
+func decodeFoundSources(r *reader) (Message, error) {
+	m := &FoundSources{}
+	var err error
+	if m.Hash, err = r.hash(); err != nil {
+		return nil, err
+	}
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxMessageSize/6 {
+		return nil, ErrTooLarge
+	}
+	for i := uint32(0); i < n; i++ {
+		e, err := readEndpoint(r)
+		if err != nil {
+			return nil, err
+		}
+		m.Sources = append(m.Sources, e)
+	}
+	return m, nil
+}
+
+// SearchUser asks the server for users whose nickname starts with the
+// query — the (now removed) feature the paper's crawler was built on.
+type SearchUser struct{ Query string }
+
+func (*SearchUser) Opcode() byte { return OpSearchUser }
+
+func (m *SearchUser) appendPayload(b *bytes.Buffer) { writeString(b, m.Query) }
+
+func decodeSearchUser(r *reader) (Message, error) {
+	s, err := r.string()
+	if err != nil {
+		return nil, err
+	}
+	return &SearchUser{Query: s}, nil
+}
+
+// SearchUserResult answers SearchUser with at most the server's reply cap
+// (200 in the paper) of matching users.
+type SearchUserResult struct{ Users []UserEntry }
+
+func (*SearchUserResult) Opcode() byte { return OpSearchUserResult }
+
+func (m *SearchUserResult) appendPayload(b *bytes.Buffer) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(m.Users)))
+	b.Write(tmp[:])
+	for _, u := range m.Users {
+		b.Write(u.Hash[:])
+		binary.LittleEndian.PutUint32(tmp[:], u.ClientID)
+		b.Write(tmp[:])
+		writeEndpoint(b, u.Endpoint)
+		writeString(b, u.Nickname)
+	}
+}
+
+func decodeSearchUserResult(r *reader) (Message, error) {
+	n, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	if n > MaxMessageSize/27 {
+		return nil, ErrTooLarge
+	}
+	m := &SearchUserResult{Users: make([]UserEntry, 0, n)}
+	for i := uint32(0); i < n; i++ {
+		var u UserEntry
+		if u.Hash, err = r.hash(); err != nil {
+			return nil, err
+		}
+		if u.ClientID, err = r.uint32(); err != nil {
+			return nil, err
+		}
+		if u.Endpoint, err = readEndpoint(r); err != nil {
+			return nil, err
+		}
+		if u.Nickname, err = r.string(); err != nil {
+			return nil, err
+		}
+		m.Users = append(m.Users, u)
+	}
+	return m, nil
+}
+
+// ServerStatus reports user and file counts.
+type ServerStatus struct {
+	Users uint32
+	Files uint32
+}
+
+func (*ServerStatus) Opcode() byte { return OpServerStatus }
+
+func (m *ServerStatus) appendPayload(b *bytes.Buffer) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint32(tmp[:4], m.Users)
+	binary.LittleEndian.PutUint32(tmp[4:], m.Files)
+	b.Write(tmp[:])
+}
+
+func decodeServerStatus(r *reader) (Message, error) {
+	m := &ServerStatus{}
+	var err error
+	if m.Users, err = r.uint32(); err != nil {
+		return nil, err
+	}
+	if m.Files, err = r.uint32(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// IDChange tells a freshly logged-in client its server-assigned ID.
+// Low IDs (< LowIDThreshold) mark firewalled clients.
+type IDChange struct{ ClientID uint32 }
+
+// LowIDThreshold separates firewalled (low) from reachable (high) IDs.
+const LowIDThreshold = 0x01000000
+
+func (*IDChange) Opcode() byte { return OpIDChange }
+
+func (m *IDChange) appendPayload(b *bytes.Buffer) {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], m.ClientID)
+	b.Write(tmp[:])
+}
+
+func decodeIDChange(r *reader) (Message, error) {
+	id, err := r.uint32()
+	if err != nil {
+		return nil, err
+	}
+	return &IDChange{ClientID: id}, nil
+}
+
+// Hello opens a client-client session.
+type Hello struct {
+	UserHash [16]byte
+	Endpoint Endpoint
+	Nickname string
+}
+
+func (*Hello) Opcode() byte { return OpHello }
+
+func (m *Hello) appendPayload(b *bytes.Buffer) {
+	b.Write(m.UserHash[:])
+	writeEndpoint(b, m.Endpoint)
+	writeString(b, m.Nickname)
+}
+
+func decodeHello(r *reader) (Message, error) {
+	m := &Hello{}
+	var err error
+	if m.UserHash, err = r.hash(); err != nil {
+		return nil, err
+	}
+	if m.Endpoint, err = readEndpoint(r); err != nil {
+		return nil, err
+	}
+	if m.Nickname, err = r.string(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// HelloAnswer completes the client-client handshake.
+type HelloAnswer struct {
+	UserHash [16]byte
+	Nickname string
+}
+
+func (*HelloAnswer) Opcode() byte { return OpHelloAnswer }
+
+func (m *HelloAnswer) appendPayload(b *bytes.Buffer) {
+	b.Write(m.UserHash[:])
+	writeString(b, m.Nickname)
+}
+
+func decodeHelloAnswer(r *reader) (Message, error) {
+	m := &HelloAnswer{}
+	var err error
+	if m.UserHash, err = r.hash(); err != nil {
+		return nil, err
+	}
+	if m.Nickname, err = r.string(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// AskSharedFiles requests the peer's cache listing (browse). Users could
+// disable answering it — and increasingly did, which is why the paper
+// notes a similar crawl is no longer possible.
+type AskSharedFiles struct{}
+
+func (*AskSharedFiles) Opcode() byte { return OpAskSharedFiles }
+
+func (*AskSharedFiles) appendPayload(*bytes.Buffer) {}
+
+func decodeAskSharedFiles(*reader) (Message, error) { return &AskSharedFiles{}, nil }
+
+// SharedFilesAnswer lists the peer's shared files.
+type SharedFilesAnswer struct{ Files []FileEntry }
+
+func (*SharedFilesAnswer) Opcode() byte { return OpSharedFilesAnswer }
+
+func (m *SharedFilesAnswer) appendPayload(b *bytes.Buffer) { writeFileEntries(b, m.Files) }
+
+func decodeSharedFilesAnswer(r *reader) (Message, error) {
+	files, err := readFileEntries(r)
+	if err != nil {
+		return nil, err
+	}
+	return &SharedFilesAnswer{Files: files}, nil
+}

@@ -1,0 +1,187 @@
+// Package randomize implements the paper's appendix algorithm: a
+// swap-based randomization of peer cache contents that exactly preserves
+// each peer's generosity (cache size) and each file's popularity (replica
+// count) while destroying any other structure — in particular
+// interest-based clustering. Comparing a metric on the original and the
+// randomized caches isolates how much of it is explained by generosity
+// and popularity alone (paper Figs. 14 and 21).
+//
+// Algorithm (paper appendix):
+//  1. pick a peer u with probability |Cu| / Σ|Cw|;
+//  2. pick a file f uniformly from Cu;
+//  3. pick (v, f') the same way;
+//  4. swap f and f' between Cu and Cv, but only if f' ∉ Cu and f ∉ Cv.
+//
+// After (1/2)·N·ln N accepted-or-not iterations (N = total replicas), the
+// result is uniformly distributed over all traces with the same peer
+// generosity and file popularity.
+package randomize
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"edonkey/internal/trace"
+)
+
+// Caches is a randomizable collection of peer cache contents. Build one
+// with New, swap with Run, and extract the result with Snapshot.
+type Caches struct {
+	files   [][]trace.FileID       // per-peer file list (position-addressable)
+	index   []map[trace.FileID]int // per-peer file -> position in files
+	replica []int32                // flattened peer choice: one entry per replica
+}
+
+// New copies the given per-peer caches into a randomizable structure.
+// Peers with empty caches are carried through untouched.
+func New(caches [][]trace.FileID) *Caches {
+	c := &Caches{
+		files: make([][]trace.FileID, len(caches)),
+		index: make([]map[trace.FileID]int, len(caches)),
+	}
+	var total int
+	for _, cache := range caches {
+		total += len(cache)
+	}
+	c.replica = make([]int32, 0, total)
+	for pid, cache := range caches {
+		c.files[pid] = append([]trace.FileID(nil), cache...)
+		m := make(map[trace.FileID]int, len(cache))
+		for i, f := range cache {
+			m[f] = i
+			c.replica = append(c.replica, int32(pid))
+		}
+		c.index[pid] = m
+	}
+	return c
+}
+
+// Replicas returns N, the total number of file replicas.
+func (c *Caches) Replicas() int { return len(c.replica) }
+
+// DefaultSwaps returns the paper's mixing budget: (1/2)·N·ln N.
+func (c *Caches) DefaultSwaps() int {
+	n := float64(len(c.replica))
+	if n < 2 {
+		return 0
+	}
+	return int(0.5 * n * math.Log(n))
+}
+
+// pick draws (peer, position) with peer probability proportional to cache
+// size — equivalently, a uniform random replica.
+func (c *Caches) pick(rng *rand.Rand) (pid int32, pos int) {
+	pid = c.replica[rng.IntN(len(c.replica))]
+	pos = rng.IntN(len(c.files[pid]))
+	return pid, pos
+}
+
+// Run performs the given number of iterations (attempted swaps) and
+// returns the number actually applied. Swaps are skipped when they would
+// create a duplicate inside a cache, exactly as in the paper.
+func (c *Caches) Run(iterations int, rng *rand.Rand) (applied int) {
+	if len(c.replica) == 0 {
+		return 0
+	}
+	for i := 0; i < iterations; i++ {
+		u, posU := c.pick(rng)
+		v, posV := c.pick(rng)
+		f := c.files[u][posU]
+		fp := c.files[v][posV]
+		if u == v {
+			continue
+		}
+		if _, dup := c.index[u][fp]; dup {
+			continue
+		}
+		if _, dup := c.index[v][f]; dup {
+			continue
+		}
+		c.files[u][posU] = fp
+		c.files[v][posV] = f
+		delete(c.index[u], f)
+		delete(c.index[v], fp)
+		c.index[u][fp] = posU
+		c.index[v][f] = posV
+		applied++
+	}
+	return applied
+}
+
+// Snapshot returns the current caches, sorted per peer, as fresh slices.
+func (c *Caches) Snapshot() [][]trace.FileID {
+	out := make([][]trace.FileID, len(c.files))
+	for pid, cache := range c.files {
+		if len(cache) == 0 {
+			continue
+		}
+		cp := append([]trace.FileID(nil), cache...)
+		sortFileIDs(cp)
+		out[pid] = cp
+	}
+	return out
+}
+
+func sortFileIDs(xs []trace.FileID) {
+	// Insertion sort is fine for typical cache sizes; fall back to a
+	// simple quicksort for big collectors.
+	if len(xs) > 64 {
+		quicksort(xs)
+		return
+	}
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+func quicksort(xs []trace.FileID) {
+	for len(xs) > 16 {
+		p := partition(xs)
+		if p < len(xs)-p {
+			quicksort(xs[:p])
+			xs = xs[p+1:]
+		} else {
+			quicksort(xs[p+1:])
+			xs = xs[:p]
+		}
+	}
+	sortFileIDs(xs)
+}
+
+func partition(xs []trace.FileID) int {
+	mid := len(xs) / 2
+	if xs[mid] < xs[0] {
+		xs[0], xs[mid] = xs[mid], xs[0]
+	}
+	if xs[len(xs)-1] < xs[0] {
+		xs[0], xs[len(xs)-1] = xs[len(xs)-1], xs[0]
+	}
+	if xs[len(xs)-1] < xs[mid] {
+		xs[mid], xs[len(xs)-1] = xs[len(xs)-1], xs[mid]
+	}
+	pivot := xs[mid]
+	xs[mid], xs[len(xs)-1] = xs[len(xs)-1], xs[mid]
+	i := 0
+	for j := 0; j < len(xs)-1; j++ {
+		if xs[j] < pivot {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+		}
+	}
+	xs[i], xs[len(xs)-1] = xs[len(xs)-1], xs[i]
+	return i
+}
+
+// Shuffle is the one-shot convenience: copy caches, run the given number
+// of swap iterations (DefaultSwaps when iterations <= 0) and return the
+// randomized snapshot.
+func Shuffle(caches [][]trace.FileID, iterations int, rng *rand.Rand) [][]trace.FileID {
+	c := New(caches)
+	if iterations <= 0 {
+		iterations = c.DefaultSwaps()
+	}
+	c.Run(iterations, rng)
+	return c.Snapshot()
+}

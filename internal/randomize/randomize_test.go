@@ -1,0 +1,214 @@
+package randomize
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"edonkey/internal/trace"
+)
+
+func makeCaches(rng *rand.Rand, peers, files, maxCache int) [][]trace.FileID {
+	out := make([][]trace.FileID, peers)
+	for p := range out {
+		n := rng.IntN(maxCache + 1)
+		seen := map[trace.FileID]bool{}
+		for len(seen) < n {
+			seen[trace.FileID(rng.IntN(files))] = true
+		}
+		for f := range seen {
+			out[p] = append(out[p], f)
+		}
+	}
+	return out
+}
+
+func generosity(caches [][]trace.FileID) []int {
+	out := make([]int, len(caches))
+	for p, c := range caches {
+		out[p] = len(c)
+	}
+	return out
+}
+
+func popularity(caches [][]trace.FileID) map[trace.FileID]int {
+	out := map[trace.FileID]int{}
+	for _, c := range caches {
+		for _, f := range c {
+			out[f]++
+		}
+	}
+	return out
+}
+
+// The defining invariant of the appendix algorithm: swapping preserves
+// peer generosity and file popularity exactly, and never duplicates a
+// file within a cache.
+func TestInvariantsPreserved(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		caches := makeCaches(rng, 30, 60, 20)
+		genBefore := generosity(caches)
+		popBefore := popularity(caches)
+
+		c := New(caches)
+		c.Run(5000, rng)
+		after := c.Snapshot()
+
+		genAfter := generosity(after)
+		for p := range genBefore {
+			if genBefore[p] != genAfter[p] {
+				return false
+			}
+		}
+		popAfter := popularity(after)
+		if len(popAfter) != len(popBefore) {
+			return false
+		}
+		for fid, n := range popBefore {
+			if popAfter[fid] != n {
+				return false
+			}
+		}
+		// No duplicates within any cache (Snapshot sorts).
+		for _, cache := range after {
+			for i := 1; i < len(cache); i++ {
+				if cache[i-1] >= cache[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSwapsActuallyHappen(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	caches := makeCaches(rng, 50, 500, 30)
+	c := New(caches)
+	applied := c.Run(c.DefaultSwaps(), rng)
+	if applied == 0 {
+		t.Fatal("no swaps applied")
+	}
+	// Content must actually move: at least one peer's cache changes.
+	after := c.Snapshot()
+	changed := false
+	for p := range caches {
+		sorted := append([]trace.FileID(nil), caches[p]...)
+		sortFileIDs(sorted)
+		if len(sorted) != len(after[p]) {
+			t.Fatalf("peer %d cache size changed", p)
+		}
+		for i := range sorted {
+			if sorted[i] != after[p][i] {
+				changed = true
+			}
+		}
+	}
+	if !changed {
+		t.Error("randomization left every cache identical")
+	}
+}
+
+// Randomization must destroy co-occurrence structure: plant two peers
+// with identical niche caches and check that, afterwards, their overlap
+// drops dramatically on average.
+func TestDestroysClustering(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	const nicheSize = 20
+	var caches [][]trace.FileID
+	// Two identical niche peers.
+	niche := make([]trace.FileID, nicheSize)
+	for i := range niche {
+		niche[i] = trace.FileID(i)
+	}
+	caches = append(caches, niche, append([]trace.FileID(nil), niche...))
+	// Background: 60 peers over a disjoint file universe.
+	for p := 0; p < 60; p++ {
+		var c []trace.FileID
+		for i := 0; i < 20; i++ {
+			c = append(c, trace.FileID(1000+rng.IntN(2000)))
+		}
+		c = dedup(c)
+		caches = append(caches, c)
+	}
+	totalOverlap := 0
+	const trials = 20
+	for trial := 0; trial < trials; trial++ {
+		shuffled := Shuffle(caches, 0, rng)
+		totalOverlap += trace.IntersectCount(shuffled[0], shuffled[1])
+	}
+	mean := float64(totalOverlap) / trials
+	if mean > nicheSize/2 {
+		t.Errorf("mean overlap after randomization = %v, want far below %d", mean, nicheSize)
+	}
+}
+
+func dedup(c []trace.FileID) []trace.FileID {
+	sortFileIDs(c)
+	out := c[:0]
+	for i, f := range c {
+		if i == 0 || c[i-1] != f {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func TestDefaultSwaps(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	caches := makeCaches(rng, 10, 100, 10)
+	c := New(caches)
+	n := c.Replicas()
+	if n == 0 {
+		t.Skip("degenerate sample")
+	}
+	want := int(0.5 * float64(n) * math.Log(float64(n)))
+	if got := c.DefaultSwaps(); got != want {
+		t.Errorf("DefaultSwaps = %d, want %d", got, want)
+	}
+}
+
+func TestEmptyAndTinyInputs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	// Empty.
+	c := New(nil)
+	if c.Run(100, rng) != 0 {
+		t.Error("swaps applied on empty caches")
+	}
+	if got := c.DefaultSwaps(); got != 0 {
+		t.Errorf("DefaultSwaps on empty = %d", got)
+	}
+	// Single replica: nothing can swap.
+	c = New([][]trace.FileID{{1}})
+	if c.Run(100, rng) != 0 {
+		t.Error("swaps applied with a single replica")
+	}
+	// Two peers with the same single file: swap is identity, skipped.
+	c = New([][]trace.FileID{{1}, {1}})
+	c.Run(100, rng)
+	snap := c.Snapshot()
+	if len(snap[0]) != 1 || snap[0][0] != 1 || snap[1][0] != 1 {
+		t.Errorf("degenerate swap corrupted caches: %v", snap)
+	}
+}
+
+func TestSortFileIDs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for _, n := range []int{0, 1, 2, 15, 64, 65, 500, 4096} {
+		xs := make([]trace.FileID, n)
+		for i := range xs {
+			xs[i] = trace.FileID(rng.Uint32())
+		}
+		sortFileIDs(xs)
+		for i := 1; i < n; i++ {
+			if xs[i-1] > xs[i] {
+				t.Fatalf("n=%d not sorted at %d", n, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// CDF is an empirical cumulative distribution function over float64
+// observations. The zero value is an empty CDF; add observations with Add
+// or build one in a single pass with NewCDF.
+type CDF struct {
+	values []float64
+	sorted bool
+}
+
+// NewCDF builds a CDF from the sample xs. The slice is copied.
+func NewCDF(xs []float64) *CDF {
+	c := &CDF{values: append([]float64(nil), xs...)}
+	sort.Float64s(c.values)
+	c.sorted = true
+	return c
+}
+
+// Add inserts one observation.
+func (c *CDF) Add(x float64) {
+	c.values = append(c.values, x)
+	c.sorted = false
+}
+
+// Len reports the number of observations.
+func (c *CDF) Len() int { return len(c.values) }
+
+func (c *CDF) ensureSorted() {
+	if !c.sorted {
+		sort.Float64s(c.values)
+		c.sorted = true
+	}
+}
+
+// At returns P(X <= x), the fraction of observations not exceeding x.
+// An empty CDF returns 0.
+func (c *CDF) At(x float64) float64 {
+	if len(c.values) == 0 {
+		return 0
+	}
+	c.ensureSorted()
+	idx := sort.SearchFloat64s(c.values, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(c.values))
+}
+
+// Quantile returns the smallest observation v with P(X <= v) >= q,
+// for q in (0, 1]. It returns ErrEmpty for an empty CDF.
+func (c *CDF) Quantile(q float64) (float64, error) {
+	if len(c.values) == 0 {
+		return 0, ErrEmpty
+	}
+	if q <= 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of (0,1]", q)
+	}
+	c.ensureSorted()
+	idx := int(math.Ceil(q*float64(len(c.values)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return c.values[idx], nil
+}
+
+// Points samples the CDF at the given x positions, returning P(X <= x)
+// for each. Useful for rendering figures at fixed grids.
+func (c *CDF) Points(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = c.At(x)
+	}
+	return out
+}
+
+// LogGrid returns n points log-spaced between lo and hi inclusive.
+// It panics if lo <= 0, hi < lo or n < 2; grids are programmer-supplied.
+func LogGrid(lo, hi float64, n int) []float64 {
+	if lo <= 0 || hi < lo || n < 2 {
+		panic(fmt.Sprintf("stats: invalid log grid [%v,%v] n=%d", lo, hi, n))
+	}
+	out := make([]float64, n)
+	ratio := math.Log(hi / lo)
+	for i := range out {
+		out[i] = lo * math.Exp(ratio*float64(i)/float64(n-1))
+	}
+	return out
+}
+
+// LinGrid returns n points linearly spaced between lo and hi inclusive.
+func LinGrid(lo, hi float64, n int) []float64 {
+	if n < 2 || hi < lo {
+		panic(fmt.Sprintf("stats: invalid linear grid [%v,%v] n=%d", lo, hi, n))
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+// Histogram counts observations into integer-keyed buckets. It is used for
+// pair-overlap counts ("how many peer pairs share exactly k files").
+type Histogram struct {
+	counts map[int]int64
+	total  int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[int]int64)}
+}
+
+// Add increments bucket k by one.
+func (h *Histogram) Add(k int) { h.AddN(k, 1) }
+
+// AddN increments bucket k by n.
+func (h *Histogram) AddN(k int, n int64) {
+	h.counts[k] += n
+	h.total += n
+}
+
+// Count returns the number of observations in bucket k.
+func (h *Histogram) Count(k int) int64 { return h.counts[k] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// TailCount returns the number of observations in buckets >= k.
+func (h *Histogram) TailCount(k int) int64 {
+	var s int64
+	for b, n := range h.counts {
+		if b >= k {
+			s += n
+		}
+	}
+	return s
+}
+
+// Buckets returns the sorted list of non-empty bucket keys.
+func (h *Histogram) Buckets() []int {
+	keys := make([]int, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// Max returns the largest non-empty bucket key, or 0 if empty.
+func (h *Histogram) Max() int {
+	max := 0
+	for k := range h.counts {
+		if k > max {
+			max = k
+		}
+	}
+	return max
+}

@@ -1,0 +1,123 @@
+// Package stats provides the small statistical toolkit used throughout the
+// eDonkey reproduction: empirical CDFs, histograms, percentiles, Zipf
+// sampling and fitting, log-log regression and inequality measures.
+//
+// Everything is deterministic given an explicit random source; nothing in
+// this package touches global state.
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrEmpty is returned by estimators that need at least one observation.
+var ErrEmpty = errors.New("stats: empty sample")
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs, or 0 if len(xs) < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Percentile returns the p-th percentile (0 <= p <= 100) of xs using
+// linear interpolation between closest ranks. It does not modify xs.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, errors.New("stats: percentile out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Gini returns the Gini coefficient of the non-negative sample xs.
+// 0 means perfect equality, values close to 1 mean extreme concentration.
+// Peer-contribution skew ("top 15% of peers offer 75% of files") shows up
+// as a high Gini.
+func Gini(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var cum, total float64
+	n := float64(len(sorted))
+	for i, x := range sorted {
+		if x < 0 {
+			return 0, errors.New("stats: negative value in Gini sample")
+		}
+		cum += float64(i+1) * x
+		total += x
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return (2*cum)/(n*total) - (n+1)/n, nil
+}
+
+// TopShare returns the fraction of the total mass held by the top
+// `fraction` (0..1] of the sample. TopShare(contributions, 0.15) answers
+// "what share of all files do the top 15% peers offer?".
+func TopShare(xs []float64, fraction float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if fraction <= 0 || fraction > 1 {
+		return 0, errors.New("stats: fraction out of (0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	k := int(math.Ceil(fraction * float64(len(sorted))))
+	if k < 1 {
+		k = 1
+	}
+	var top, total float64
+	for i, x := range sorted {
+		if i < k {
+			top += x
+		}
+		total += x
+	}
+	if total == 0 {
+		return 0, nil
+	}
+	return top / total, nil
+}

@@ -1,0 +1,370 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanVariance(t *testing.T) {
+	cases := []struct {
+		name     string
+		xs       []float64
+		mean, sd float64
+	}{
+		{"empty", nil, 0, 0},
+		{"single", []float64{4}, 4, 0},
+		{"pair", []float64{2, 4}, 3, 1},
+		{"uniform", []float64{1, 1, 1, 1}, 1, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := Mean(c.xs); math.Abs(got-c.mean) > 1e-12 {
+				t.Errorf("Mean = %v, want %v", got, c.mean)
+			}
+			if got := StdDev(c.xs); math.Abs(got-c.sd) > 1e-12 {
+				t.Errorf("StdDev = %v, want %v", got, c.sd)
+			}
+		})
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	for _, c := range []struct{ p, want float64 }{
+		{0, 1}, {50, 3}, {100, 5}, {25, 2},
+	} {
+		got, err := Percentile(xs, c.p)
+		if err != nil {
+			t.Fatalf("Percentile(%v): %v", c.p, err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if _, err := Percentile(nil, 50); err == nil {
+		t.Error("expected error on empty sample")
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("expected error on out-of-range percentile")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestGini(t *testing.T) {
+	// Perfect equality.
+	g, err := Gini([]float64{5, 5, 5, 5})
+	if err != nil || math.Abs(g) > 1e-12 {
+		t.Errorf("equal sample: gini=%v err=%v, want 0", g, err)
+	}
+	// One peer holds everything: gini -> (n-1)/n.
+	g, err = Gini([]float64{0, 0, 0, 100})
+	if err != nil || math.Abs(g-0.75) > 1e-12 {
+		t.Errorf("concentrated sample: gini=%v err=%v, want 0.75", g, err)
+	}
+	if _, err = Gini(nil); err == nil {
+		t.Error("expected error on empty sample")
+	}
+	if _, err = Gini([]float64{-1, 2}); err == nil {
+		t.Error("expected error on negative value")
+	}
+}
+
+func TestTopShare(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 96} // top 20% hold 96%
+	got, err := TopShare(xs, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.96) > 1e-12 {
+		t.Errorf("TopShare = %v, want 0.96", got)
+	}
+	if _, err := TopShare(xs, 0); err == nil {
+		t.Error("expected error for zero fraction")
+	}
+}
+
+func TestCDFBasics(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 2, 4})
+	for _, tc := range []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2, 0.75}, {3, 0.75}, {4, 1}, {10, 1},
+	} {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	q, err := c.Quantile(0.5)
+	if err != nil || q != 2 {
+		t.Errorf("Quantile(0.5) = %v, %v; want 2", q, err)
+	}
+	q, err = c.Quantile(1)
+	if err != nil || q != 4 {
+		t.Errorf("Quantile(1) = %v, %v; want 4", q, err)
+	}
+}
+
+func TestCDFIncremental(t *testing.T) {
+	c := &CDF{}
+	for _, v := range []float64{5, 1, 3} {
+		c.Add(v)
+	}
+	if got := c.At(3); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("At(3) = %v, want 2/3", got)
+	}
+	c.Add(0)
+	if got := c.At(0); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("At(0) after Add = %v, want 0.25", got)
+	}
+}
+
+// CDF monotonicity is an invariant the figure renderers rely on.
+func TestCDFMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		c := NewCDF(raw)
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) <= c.At(b) && c.At(a) >= 0 && c.At(b) <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogGrid(t *testing.T) {
+	g := LogGrid(1, 1000, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if math.Abs(g[i]-want[i])/want[i] > 1e-9 {
+			t.Errorf("LogGrid[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on invalid grid")
+		}
+	}()
+	LogGrid(0, 10, 3)
+}
+
+func TestLinGrid(t *testing.T) {
+	g := LinGrid(0, 10, 3)
+	want := []float64{0, 5, 10}
+	for i := range want {
+		if math.Abs(g[i]-want[i]) > 1e-12 {
+			t.Errorf("LinGrid[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.Add(1)
+	h.Add(3)
+	h.AddN(7, 5)
+	if h.Count(1) != 2 || h.Count(3) != 1 || h.Count(7) != 5 {
+		t.Errorf("unexpected counts: %v %v %v", h.Count(1), h.Count(3), h.Count(7))
+	}
+	if h.Total() != 8 {
+		t.Errorf("Total = %d, want 8", h.Total())
+	}
+	if h.TailCount(3) != 6 {
+		t.Errorf("TailCount(3) = %d, want 6", h.TailCount(3))
+	}
+	if h.Max() != 7 {
+		t.Errorf("Max = %d, want 7", h.Max())
+	}
+	b := h.Buckets()
+	if len(b) != 3 || b[0] != 1 || b[2] != 7 {
+		t.Errorf("Buckets = %v", b)
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	z := NewZipf(100, 1.0)
+	counts := make([]int, 101)
+	const draws = 200000
+	for i := 0; i < draws; i++ {
+		counts[z.Rank(rng)]++
+	}
+	// Rank 1 should be drawn close to its theoretical probability.
+	p1 := z.Prob(1)
+	got := float64(counts[1]) / draws
+	if math.Abs(got-p1) > 0.01 {
+		t.Errorf("empirical P(rank 1) = %v, theoretical %v", got, p1)
+	}
+	// Monotone decreasing head.
+	if counts[1] <= counts[10] || counts[10] <= counts[100] {
+		t.Errorf("zipf counts not decreasing: c1=%d c10=%d c100=%d",
+			counts[1], counts[10], counts[100])
+	}
+}
+
+func TestZipfSubUnitExponent(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	z := NewZipf(1000, 0.8) // regime unsupported by math/rand Zipf
+	for i := 0; i < 1000; i++ {
+		r := z.Rank(rng)
+		if r < 1 || r > 1000 {
+			t.Fatalf("rank %d out of range", r)
+		}
+	}
+	var sum float64
+	for k := 1; k <= 1000; k++ {
+		sum += z.Prob(k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("probabilities sum to %v, want 1", sum)
+	}
+}
+
+func TestZipfPanicsOnInvalid(t *testing.T) {
+	for _, c := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-1, 1}, {10, -0.5}, {10, math.NaN()}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", c.n, c.s)
+				}
+			}()
+			NewZipf(c.n, c.s)
+		}()
+	}
+}
+
+func TestFitPowerLaw(t *testing.T) {
+	// Exact power law y = 10 * x^-1.5 must be recovered.
+	xs := LogGrid(1, 10000, 40)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 10 * math.Pow(x, -1.5)
+	}
+	slope, intercept, r2, ok := FitPowerLaw(xs, ys)
+	if !ok {
+		t.Fatal("fit failed")
+	}
+	if math.Abs(slope+1.5) > 1e-9 {
+		t.Errorf("slope = %v, want -1.5", slope)
+	}
+	if math.Abs(intercept-math.Log(10)) > 1e-9 {
+		t.Errorf("intercept = %v, want ln 10", intercept)
+	}
+	if r2 < 0.999999 {
+		t.Errorf("r2 = %v, want ~1", r2)
+	}
+}
+
+func TestFitPowerLawDegenerate(t *testing.T) {
+	if _, _, _, ok := FitPowerLaw([]float64{1}, []float64{1}); ok {
+		t.Error("fit should fail with a single point")
+	}
+	if _, _, _, ok := FitPowerLaw([]float64{1, 1}, []float64{1, 2}); ok {
+		t.Error("fit should fail with zero x variance")
+	}
+	if _, _, _, ok := FitPowerLaw([]float64{1, 2}, []float64{1}); ok {
+		t.Error("fit should fail on length mismatch")
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	w := NewWeightedChoice([]float64{1, 0, 3})
+	counts := make([]int, 3)
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		counts[w.Draw(rng)]++
+	}
+	if counts[1] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if math.Abs(ratio-3) > 0.2 {
+		t.Errorf("weight ratio = %v, want ~3", ratio)
+	}
+}
+
+func TestWeightedChoicePanics(t *testing.T) {
+	for _, ws := range [][]float64{nil, {0, 0}, {1, -1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWeightedChoice(%v) did not panic", ws)
+				}
+			}()
+			NewWeightedChoice(ws)
+		}()
+	}
+}
+
+func TestPoisson(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	for _, lambda := range []float64{0, 0.5, 5, 50} {
+		var sum float64
+		const draws = 20000
+		for i := 0; i < draws; i++ {
+			v := Poisson(rng, lambda)
+			if v < 0 {
+				t.Fatalf("negative Poisson draw %d", v)
+			}
+			sum += float64(v)
+		}
+		mean := sum / draws
+		tol := 0.1 + lambda*0.05
+		if math.Abs(mean-lambda) > tol {
+			t.Errorf("Poisson(%v) mean = %v", lambda, mean)
+		}
+	}
+}
+
+func TestLogNormalBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 10))
+	for i := 0; i < 1000; i++ {
+		v := BoundedLogNormal(rng, 3, 2, 5, 100)
+		if v < 5 || v > 100 {
+			t.Fatalf("BoundedLogNormal out of range: %v", v)
+		}
+	}
+}
+
+// Property: Quantile and At are approximate inverses.
+func TestQuantileAtInverseProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b9))
+		n := 1 + rng.IntN(200)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		c := NewCDF(xs)
+		for _, q := range []float64{0.1, 0.5, 0.9, 1} {
+			v, err := c.Quantile(q)
+			if err != nil {
+				return false
+			}
+			if c.At(v) < q-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// Zipf samples ranks 1..N with P(rank=k) proportional to 1/k^s. It supports
+// the s <= 1 regime (which math/rand's Zipf does not) because measured
+// file-popularity exponents in file-sharing workloads are often below 1.
+//
+// Sampling uses the inverse-CDF method over precomputed cumulative weights,
+// costing O(log N) per draw after O(N) setup.
+type Zipf struct {
+	cum []float64 // cum[i] = sum of weights for ranks 1..i+1, normalized
+}
+
+// NewZipf builds a sampler over ranks 1..n with exponent s >= 0.
+// It panics if n < 1 or s < 0; both are static configuration errors.
+func NewZipf(n int, s float64) *Zipf {
+	if n < 1 || s < 0 || math.IsNaN(s) {
+		panic(fmt.Sprintf("stats: invalid Zipf parameters n=%d s=%v", n, s))
+	}
+	cum := make([]float64, n)
+	var total float64
+	for k := 1; k <= n; k++ {
+		total += math.Pow(float64(k), -s)
+		cum[k-1] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Zipf{cum: cum}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Rank draws a rank in [1, N].
+func (z *Zipf) Rank(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// Index draws a zero-based index in [0, N).
+func (z *Zipf) Index(rng *rand.Rand) int { return z.Rank(rng) - 1 }
+
+// Prob returns the probability of rank k (1-based).
+func (z *Zipf) Prob(k int) float64 {
+	if k < 1 || k > len(z.cum) {
+		return 0
+	}
+	if k == 1 {
+		return z.cum[0]
+	}
+	return z.cum[k-1] - z.cum[k-2]
+}
+
+// FitPowerLaw fits log(y) = a + b*log(x) by least squares over the points
+// with x > 0 and y > 0 and returns (exponent b, intercept a, r², ok).
+// It is used to check that the rank/replication plot (paper Fig. 5) follows
+// a linear trend on a log-log scale after its flat head.
+func FitPowerLaw(xs, ys []float64) (slope, intercept, r2 float64, ok bool) {
+	if len(xs) != len(ys) {
+		return 0, 0, 0, false
+	}
+	var lx, ly []float64
+	for i := range xs {
+		if xs[i] > 0 && ys[i] > 0 {
+			lx = append(lx, math.Log(xs[i]))
+			ly = append(ly, math.Log(ys[i]))
+		}
+	}
+	if len(lx) < 2 {
+		return 0, 0, 0, false
+	}
+	mx, my := Mean(lx), Mean(ly)
+	var sxx, sxy, syy float64
+	for i := range lx {
+		dx, dy := lx[i]-mx, ly[i]-my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return 0, 0, 0, false
+	}
+	slope = sxy / sxx
+	intercept = my - slope*mx
+	if syy == 0 {
+		return slope, intercept, 1, true
+	}
+	r2 = sxy * sxy / (sxx * syy)
+	return slope, intercept, r2, true
+}
+
+// LogNormal draws a log-normally distributed value with the given
+// parameters of the underlying normal (mu, sigma).
+func LogNormal(rng *rand.Rand, mu, sigma float64) float64 {
+	return math.Exp(rng.NormFloat64()*sigma + mu)
+}
+
+// BoundedLogNormal draws a log-normal value clamped to [lo, hi].
+func BoundedLogNormal(rng *rand.Rand, mu, sigma, lo, hi float64) float64 {
+	v := LogNormal(rng, mu, sigma)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// WeightedChoice draws an index in [0, len(weights)) proportionally to the
+// (non-negative) weights. It panics on an empty or all-zero weight slice;
+// callers control the weights statically.
+type WeightedChoice struct {
+	cum []float64
+}
+
+// NewWeightedChoice prepares cumulative weights for repeated drawing.
+func NewWeightedChoice(weights []float64) *WeightedChoice {
+	if len(weights) == 0 {
+		panic("stats: empty weight slice")
+	}
+	cum := make([]float64, len(weights))
+	var total float64
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic(fmt.Sprintf("stats: invalid weight %v at %d", w, i))
+		}
+		total += w
+		cum[i] = total
+	}
+	if total == 0 {
+		panic("stats: all-zero weights")
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &WeightedChoice{cum: cum}
+}
+
+// Draw returns a weighted random index.
+func (w *WeightedChoice) Draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	lo, hi := 0, len(w.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Poisson draws from a Poisson distribution with mean lambda using
+// Knuth's method for small lambda and a normal approximation above 30.
+func Poisson(rng *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 30 {
+		v := int(math.Round(rng.NormFloat64()*math.Sqrt(lambda) + lambda))
+		if v < 0 {
+			return 0
+		}
+		return v
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

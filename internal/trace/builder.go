@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder assembles a Trace incrementally. It is used by both trace
+// producers: the synthetic-workload oracle and the protocol-level crawler.
+// Builders are not safe for concurrent use.
+type Builder struct {
+	files []FileMeta
+	peers []PeerInfo
+	days  map[int]map[PeerID][]FileID
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder {
+	return &Builder{days: make(map[int]map[PeerID][]FileID)}
+}
+
+// AddFile registers file metadata and returns its assigned FileID.
+// The meta's ID field is overwritten with the assigned value.
+func (b *Builder) AddFile(meta FileMeta) FileID {
+	id := FileID(len(b.files))
+	meta.ID = id
+	b.files = append(b.files, meta)
+	return id
+}
+
+// AddPeer registers a peer identity and returns its assigned PeerID.
+// The info's ID field is overwritten with the assigned value.
+func (b *Builder) AddPeer(info PeerInfo) PeerID {
+	id := PeerID(len(b.peers))
+	info.ID = id
+	b.peers = append(b.peers, info)
+	return id
+}
+
+// Observe records a successful browse of peer pid on the given day. The
+// cache slice is copied, sorted and deduplicated. Observing the same
+// (day, peer) twice overwrites the previous observation (a re-browse).
+func (b *Builder) Observe(day int, pid PeerID, cache []FileID) {
+	if int(pid) >= len(b.peers) {
+		panic(fmt.Sprintf("trace: Observe of unregistered peer %d", pid))
+	}
+	snap := b.days[day]
+	if snap == nil {
+		snap = make(map[PeerID][]FileID)
+		b.days[day] = snap
+	}
+	c := append([]FileID(nil), cache...)
+	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	// Deduplicate in place.
+	out := c[:0]
+	for i, f := range c {
+		if i == 0 || c[i-1] != f {
+			out = append(out, f)
+		}
+	}
+	snap[pid] = out
+}
+
+// NumPeers returns the number of registered peers so far.
+func (b *Builder) NumPeers() int { return len(b.peers) }
+
+// NumFiles returns the number of registered files so far.
+func (b *Builder) NumFiles() int { return len(b.files) }
+
+// Build finalizes the trace. The builder may keep being used afterwards;
+// the returned trace does not alias builder state that later calls mutate
+// (snapshot maps are shared until the next Observe on the same day).
+func (b *Builder) Build() *Trace {
+	t := &Trace{
+		Files: append([]FileMeta(nil), b.files...),
+		Peers: append([]PeerInfo(nil), b.peers...),
+	}
+	days := make([]int, 0, len(b.days))
+	for d := range b.days {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	for _, d := range days {
+		t.Days = append(t.Days, Snapshot{Day: d, Caches: b.days[d]})
+	}
+	return t
+}

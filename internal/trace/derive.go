@@ -1,0 +1,260 @@
+package trace
+
+import "sort"
+
+// Filter derives the paper's "filtered trace": every client identity that
+// shares an IP address or a user hash with another identity is removed as
+// a probable duplicate (a client that changed address via DHCP or was
+// reinstalled), except that free-riding identities are kept, exactly as in
+// the paper ("we removed all clients sharing either the same IP address or
+// the same unique identifier (and kept the free riders)").
+func (t *Trace) Filter() *Trace {
+	byIP := make(map[uint32]int)
+	byHash := make(map[[16]byte]int)
+	for _, p := range t.Peers {
+		byIP[p.IP]++
+		byHash[p.UserHash]++
+	}
+	// A peer is a free-rider for filtering purposes if it never shared.
+	shares := make([]bool, len(t.Peers))
+	for _, s := range t.Days {
+		for pid, cache := range s.Caches {
+			if len(cache) > 0 {
+				shares[pid] = true
+			}
+		}
+	}
+	keep := make([]bool, len(t.Peers))
+	for i, p := range t.Peers {
+		dup := byIP[p.IP] > 1 || byHash[p.UserHash] > 1
+		keep[i] = !dup || !shares[i]
+	}
+	return t.SubsetPeers(keep)
+}
+
+// SubsetPeers returns a new trace containing only the peers with
+// keep[pid] == true, renumbered densely. Files are unchanged. AliasOf
+// links pointing at dropped peers become -1.
+func (t *Trace) SubsetPeers(keep []bool) *Trace {
+	remap := make([]int32, len(t.Peers))
+	var peers []PeerInfo
+	for i, p := range t.Peers {
+		if i < len(keep) && keep[i] {
+			remap[i] = int32(len(peers))
+			peers = append(peers, p)
+		} else {
+			remap[i] = -1
+		}
+	}
+	for i := range peers {
+		peers[i].ID = PeerID(i)
+		if a := peers[i].AliasOf; a >= 0 {
+			peers[i].AliasOf = remap[a]
+		}
+	}
+	out := &Trace{
+		Files: append([]FileMeta(nil), t.Files...),
+		Peers: peers,
+	}
+	for _, s := range t.Days {
+		caches := make(map[PeerID][]FileID)
+		for pid, cache := range s.Caches {
+			if np := remap[pid]; np >= 0 {
+				caches[PeerID(np)] = cache
+			}
+		}
+		if len(caches) > 0 {
+			out.Days = append(out.Days, Snapshot{Day: s.Day, Caches: caches})
+		}
+	}
+	return out
+}
+
+// SubsetFiles returns a new trace containing only files with
+// keep[fid] == true, renumbered densely and removed from every cache.
+// Used by the popular-file ablations (paper Fig. 20).
+func (t *Trace) SubsetFiles(keep []bool) *Trace {
+	remap := make([]int32, len(t.Files))
+	var files []FileMeta
+	for i := range t.Files {
+		if i < len(keep) && keep[i] {
+			remap[i] = int32(len(files))
+			files = append(files, t.Files[i])
+		} else {
+			remap[i] = -1
+		}
+	}
+	for i := range files {
+		files[i].ID = FileID(i)
+	}
+	out := &Trace{
+		Files: files,
+		Peers: append([]PeerInfo(nil), t.Peers...),
+	}
+	for _, s := range t.Days {
+		caches := make(map[PeerID][]FileID, len(s.Caches))
+		for pid, cache := range s.Caches {
+			nc := make([]FileID, 0, len(cache))
+			for _, f := range cache {
+				if nf := remap[f]; nf >= 0 {
+					nc = append(nc, FileID(nf))
+				}
+			}
+			caches[pid] = nc // remapping preserves order, still sorted
+		}
+		out.Days = append(out.Days, Snapshot{Day: s.Day, Caches: caches})
+	}
+	return out
+}
+
+// ExtrapolateOptions configures Extrapolate. The zero value is replaced by
+// the paper's parameters.
+type ExtrapolateOptions struct {
+	// MinSnapshots is the minimum number of successful browses a peer
+	// needs to be kept (paper: 5).
+	MinSnapshots int
+	// MinSpanDays is the minimum number of days between a peer's first
+	// and last observation (paper: 10).
+	MinSpanDays int
+}
+
+// DefaultExtrapolateOptions returns the paper's parameters: at least 5
+// connections spanning at least 10 days.
+func DefaultExtrapolateOptions() ExtrapolateOptions {
+	return ExtrapolateOptions{MinSnapshots: 5, MinSpanDays: 10}
+}
+
+// Extrapolate derives the paper's "extrapolated trace": peers observed at
+// least MinSnapshots times over at least MinSpanDays are kept, and for
+// every unobserved day between two observations the cache is assumed to be
+// the intersection of the caches at the bracketing observations — a
+// pessimistic under-estimate of the real content, which can only
+// under-state clustering.
+func (t *Trace) Extrapolate(opts ExtrapolateOptions) *Trace {
+	if opts.MinSnapshots == 0 && opts.MinSpanDays == 0 {
+		opts = DefaultExtrapolateOptions()
+	}
+	type obs struct {
+		day   int
+		cache []FileID
+	}
+	byPeer := make(map[PeerID][]obs)
+	for _, s := range t.Days {
+		for pid, cache := range s.Caches {
+			byPeer[pid] = append(byPeer[pid], obs{s.Day, cache})
+		}
+	}
+	keep := make([]bool, len(t.Peers))
+	for pid, list := range byPeer {
+		span := list[len(list)-1].day - list[0].day
+		if len(list) >= opts.MinSnapshots && span >= opts.MinSpanDays {
+			keep[pid] = true
+		}
+	}
+	sub := t.SubsetPeers(keep)
+
+	// Fill gaps. Work on the subset so PeerIDs are final.
+	daysOut := make(map[int]map[PeerID][]FileID)
+	for _, s := range sub.Days {
+		m := make(map[PeerID][]FileID, len(s.Caches))
+		for pid, c := range s.Caches {
+			m[pid] = c
+		}
+		daysOut[s.Day] = m
+	}
+	byPeer2 := make(map[PeerID][]obs)
+	for _, s := range sub.Days {
+		for pid, cache := range s.Caches {
+			byPeer2[pid] = append(byPeer2[pid], obs{s.Day, cache})
+		}
+	}
+	for pid, list := range byPeer2 {
+		sort.Slice(list, func(i, j int) bool { return list[i].day < list[j].day })
+		for i := 0; i+1 < len(list); i++ {
+			prev, next := list[i], list[i+1]
+			if next.day == prev.day+1 {
+				continue
+			}
+			fill := Intersect(prev.cache, next.cache)
+			for d := prev.day + 1; d < next.day; d++ {
+				m := daysOut[d]
+				if m == nil {
+					m = make(map[PeerID][]FileID)
+					daysOut[d] = m
+				}
+				m[pid] = fill
+			}
+		}
+	}
+	out := &Trace{Files: sub.Files, Peers: sub.Peers}
+	days := make([]int, 0, len(daysOut))
+	for d := range daysOut {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+	for _, d := range days {
+		out.Days = append(out.Days, Snapshot{Day: d, Caches: daysOut[d]})
+	}
+	return out
+}
+
+// TopUploaders returns the PeerIDs of the k peers sharing the most files
+// (by aggregate distinct cache size), in decreasing order of generosity.
+// Free-riders never appear. Ties break by PeerID for determinism.
+func (t *Trace) TopUploaders(k int) []PeerID {
+	caches := t.AggregateCaches()
+	type pc struct {
+		pid PeerID
+		n   int
+	}
+	var list []pc
+	for pid, c := range caches {
+		if len(c) > 0 {
+			list = append(list, pc{PeerID(pid), len(c)})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].pid < list[j].pid
+	})
+	if k > len(list) {
+		k = len(list)
+	}
+	out := make([]PeerID, k)
+	for i := 0; i < k; i++ {
+		out[i] = list[i].pid
+	}
+	return out
+}
+
+// TopFiles returns the FileIDs of the k most popular files (by distinct
+// source count), in decreasing popularity. Ties break by FileID.
+func (t *Trace) TopFiles(k int) []FileID {
+	sources := t.SourcesPerFile()
+	type fc struct {
+		fid FileID
+		n   int
+	}
+	var list []fc
+	for fid, n := range sources {
+		if n > 0 {
+			list = append(list, fc{FileID(fid), n})
+		}
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].fid < list[j].fid
+	})
+	if k > len(list) {
+		k = len(list)
+	}
+	out := make([]FileID, k)
+	for i := 0; i < k; i++ {
+		out[i] = list[i].fid
+	}
+	return out
+}

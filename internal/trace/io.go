@@ -1,0 +1,134 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Write serializes the trace as gzip-compressed gob. The format is
+// self-contained: files, peers and all snapshots.
+func (t *Trace) Write(w io.Writer) error {
+	zw := gzip.NewWriter(w)
+	enc := gob.NewEncoder(zw)
+	if err := enc.Encode(t); err != nil {
+		zw.Close()
+		return fmt.Errorf("trace: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("trace: compress: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a trace written by Write and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("trace: decompress: %w", err)
+	}
+	defer zr.Close()
+	var t Trace
+	if err := gob.NewDecoder(zr).Decode(&t); err != nil {
+		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return &t, nil
+}
+
+// WriteFile writes the trace to the named file.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	if err := t.Write(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a trace from the named file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}
+
+// jsonTrace is the anonymized interchange schema: hashes become hex-free
+// integers only where needed and nicknames are dropped, mirroring the
+// "fully anonymized version of our trace" the authors distributed.
+type jsonTrace struct {
+	Files []jsonFile     `json:"files"`
+	Peers []jsonPeer     `json:"peers"`
+	Days  []jsonSnapshot `json:"days"`
+}
+
+type jsonFile struct {
+	ID         FileID   `json:"id"`
+	Size       int64    `json:"size"`
+	Kind       string   `json:"kind"`
+	Topic      int32    `json:"topic"`
+	ReleaseDay int32    `json:"release_day"`
+	Hash       [16]byte `json:"-"`
+}
+
+type jsonPeer struct {
+	ID         PeerID `json:"id"`
+	Country    string `json:"country"`
+	ASN        uint32 `json:"asn"`
+	Firewalled bool   `json:"firewalled"`
+	FreeRider  bool   `json:"free_rider"`
+}
+
+type jsonSnapshot struct {
+	Day    int                 `json:"day"`
+	Caches map[PeerID][]FileID `json:"caches"`
+}
+
+// WriteJSON writes an anonymized JSON export of the trace: file names,
+// hashes, nicknames and IP addresses are omitted; country/AS and all cache
+// structure are preserved, which is what every analysis needs.
+func (t *Trace) WriteJSON(w io.Writer) error {
+	shares := make([]bool, len(t.Peers))
+	for _, s := range t.Days {
+		for pid, cache := range s.Caches {
+			if len(cache) > 0 {
+				shares[pid] = true
+			}
+		}
+	}
+	out := jsonTrace{}
+	for _, f := range t.Files {
+		out.Files = append(out.Files, jsonFile{
+			ID: f.ID, Size: f.Size, Kind: f.Kind.String(),
+			Topic: f.Topic, ReleaseDay: f.ReleaseDay,
+		})
+	}
+	for i, p := range t.Peers {
+		out.Peers = append(out.Peers, jsonPeer{
+			ID: p.ID, Country: p.Country, ASN: p.ASN,
+			Firewalled: p.Firewalled, FreeRider: !shares[i],
+		})
+	}
+	for _, s := range t.Days {
+		out.Days = append(out.Days, jsonSnapshot{Day: s.Day, Caches: s.Caches})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

@@ -1,0 +1,398 @@
+// Package trace defines the eDonkey crawl trace model used by every
+// analysis in the reproduction, mirroring the paper's three trace levels:
+//
+//   - the full trace: every identity the crawler ever browsed, including
+//     duplicates created by clients changing IP address (DHCP) or user hash
+//     (reinstalls);
+//   - the filtered trace: duplicates sharing an IP or user hash removed
+//     (free-riders kept), used for all static analyses;
+//   - the extrapolated trace: clients observed at least MinSnapshots times
+//     over at least MinSpanDays, with unobserved days filled by the
+//     intersection of the bracketing observations (a pessimistic estimate
+//     of the cache), used for all dynamic analyses.
+//
+// A trace is a set of per-day snapshots of peer cache contents plus the
+// file and peer metadata needed to interpret them.
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// FileID indexes Trace.Files.
+type FileID uint32
+
+// PeerID indexes Trace.Peers.
+type PeerID uint32
+
+// FileKind is a coarse content classification, inferred in the paper from
+// file extensions and meta-tags.
+type FileKind uint8
+
+// File kinds, ordered roughly by typical size.
+const (
+	KindOther FileKind = iota
+	KindDocument
+	KindImage
+	KindAudio
+	KindProgram
+	KindArchive
+	KindVideo
+	numKinds
+)
+
+// String returns the lower-case kind name.
+func (k FileKind) String() string {
+	switch k {
+	case KindDocument:
+		return "document"
+	case KindImage:
+		return "image"
+	case KindAudio:
+		return "audio"
+	case KindProgram:
+		return "program"
+	case KindArchive:
+		return "archive"
+	case KindVideo:
+		return "video"
+	default:
+		return "other"
+	}
+}
+
+// ParseKind is the inverse of FileKind.String; unknown names map to
+// KindOther. The crawler uses it to classify browsed files from their
+// advertised type tag.
+func ParseKind(s string) FileKind {
+	switch s {
+	case "document":
+		return KindDocument
+	case "image":
+		return KindImage
+	case "audio":
+		return KindAudio
+	case "program":
+		return KindProgram
+	case "archive":
+		return KindArchive
+	case "video":
+		return KindVideo
+	default:
+		return KindOther
+	}
+}
+
+// FileMeta describes one distinct shared file.
+type FileMeta struct {
+	ID   FileID
+	Hash [16]byte // eDonkey file identifier (MD4 of block digests)
+	Name string
+	Size int64
+	Kind FileKind
+	// Topic is the latent interest community the file belongs to in the
+	// synthetic workload; -1 when unknown (e.g. imported real traces).
+	Topic int32
+	// ReleaseDay is the trace day the file first became available, or -1.
+	ReleaseDay int32
+}
+
+// PeerInfo describes one crawled client identity.
+type PeerInfo struct {
+	ID       PeerID
+	UserHash [16]byte // eDonkey user hash; stable across IP changes
+	IP       uint32
+	Country  string
+	ASN      uint32
+	Nickname string
+	// Firewalled peers cannot be browsed directly (the crawler skips
+	// them), matching the paper's reachability filter.
+	Firewalled bool
+	// BrowseOK records whether the client allows cache browsing; the
+	// feature could be disabled by users.
+	BrowseOK bool
+	// AliasOf is the PeerID of the earlier identity of the same
+	// underlying client, or -1. Ground truth for validating filtering;
+	// the Filter derivation does NOT use it (it works from IP/UserHash,
+	// exactly like the paper).
+	AliasOf int32
+}
+
+// Snapshot holds the cache contents observed on one day. Only peers that
+// were successfully browsed that day appear. Cache slices are sorted by
+// FileID and free of duplicates.
+type Snapshot struct {
+	Day    int
+	Caches map[PeerID][]FileID
+}
+
+// Trace is a complete crawl data set.
+type Trace struct {
+	Files []FileMeta
+	Peers []PeerInfo
+	Days  []Snapshot // ascending by Day
+}
+
+// Validate checks structural invariants: days ascending, IDs in range,
+// caches sorted and duplicate-free. Derivations assume a valid trace.
+func (t *Trace) Validate() error {
+	lastDay := -1
+	for _, s := range t.Days {
+		if s.Day <= lastDay {
+			return fmt.Errorf("trace: days not strictly ascending at %d", s.Day)
+		}
+		lastDay = s.Day
+		for pid, cache := range s.Caches {
+			if int(pid) >= len(t.Peers) {
+				return fmt.Errorf("trace: day %d references unknown peer %d", s.Day, pid)
+			}
+			for i, f := range cache {
+				if int(f) >= len(t.Files) {
+					return fmt.Errorf("trace: day %d peer %d references unknown file %d", s.Day, pid, f)
+				}
+				if i > 0 && cache[i-1] >= f {
+					return fmt.Errorf("trace: day %d peer %d cache not sorted/unique", s.Day, pid)
+				}
+			}
+		}
+	}
+	for i, p := range t.Peers {
+		if p.ID != PeerID(i) {
+			return fmt.Errorf("trace: peer %d has ID %d", i, p.ID)
+		}
+		if p.AliasOf >= 0 && int(p.AliasOf) >= len(t.Peers) {
+			return fmt.Errorf("trace: peer %d aliases unknown peer %d", i, p.AliasOf)
+		}
+	}
+	for i, f := range t.Files {
+		if f.ID != FileID(i) {
+			return fmt.Errorf("trace: file %d has ID %d", i, f.ID)
+		}
+	}
+	return nil
+}
+
+// DayRange returns the first and last observed day (inclusive). For an
+// empty trace both are 0 and the third result is false.
+func (t *Trace) DayRange() (first, last int, ok bool) {
+	if len(t.Days) == 0 {
+		return 0, 0, false
+	}
+	return t.Days[0].Day, t.Days[len(t.Days)-1].Day, true
+}
+
+// DurationDays returns the number of calendar days spanned by the trace.
+func (t *Trace) DurationDays() int {
+	first, last, ok := t.DayRange()
+	if !ok {
+		return 0
+	}
+	return last - first + 1
+}
+
+// SnapshotFor returns the snapshot for the given day, or nil.
+func (t *Trace) SnapshotFor(day int) *Snapshot {
+	idx := sort.Search(len(t.Days), func(i int) bool { return t.Days[i].Day >= day })
+	if idx < len(t.Days) && t.Days[idx].Day == day {
+		return &t.Days[idx]
+	}
+	return nil
+}
+
+// Observations returns the total number of successful (peer, day)
+// browses — the paper's "successful snapshots".
+func (t *Trace) Observations() int {
+	n := 0
+	for _, s := range t.Days {
+		n += len(s.Caches)
+	}
+	return n
+}
+
+// ObservedFiles returns, for each file, whether it appeared in at least
+// one snapshot (indexed by FileID).
+func (t *Trace) ObservedFiles() []bool {
+	seen := make([]bool, len(t.Files))
+	for _, s := range t.Days {
+		for _, cache := range s.Caches {
+			for _, f := range cache {
+				seen[f] = true
+			}
+		}
+	}
+	return seen
+}
+
+// DistinctFiles returns the number of files observed at least once.
+func (t *Trace) DistinctFiles() int {
+	n := 0
+	for _, seen := range t.ObservedFiles() {
+		if seen {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctBytes returns the total size of all distinct observed files —
+// "space used by distinct files" in Table 1.
+func (t *Trace) DistinctBytes() int64 {
+	var total int64
+	for fid, seen := range t.ObservedFiles() {
+		if seen {
+			total += t.Files[fid].Size
+		}
+	}
+	return total
+}
+
+// AggregateCaches returns the union of every observed cache per peer
+// (indexed by PeerID, sorted FileIDs). This is the "potential set of files
+// a peer will request" used by the search simulation (paper §5.1).
+func (t *Trace) AggregateCaches() [][]FileID {
+	sets := make([]map[FileID]struct{}, len(t.Peers))
+	for _, s := range t.Days {
+		for pid, cache := range s.Caches {
+			if sets[pid] == nil {
+				sets[pid] = make(map[FileID]struct{}, len(cache))
+			}
+			for _, f := range cache {
+				sets[pid][f] = struct{}{}
+			}
+		}
+	}
+	out := make([][]FileID, len(t.Peers))
+	for pid, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		cache := make([]FileID, 0, len(set))
+		for f := range set {
+			cache = append(cache, f)
+		}
+		sort.Slice(cache, func(i, j int) bool { return cache[i] < cache[j] })
+		out[pid] = cache
+	}
+	return out
+}
+
+// FreeRiders returns the number of peers that never shared a file in any
+// snapshot but were successfully observed at least once.
+func (t *Trace) FreeRiders() int {
+	shared := make([]bool, len(t.Peers))
+	observed := make([]bool, len(t.Peers))
+	for _, s := range t.Days {
+		for pid, cache := range s.Caches {
+			observed[pid] = true
+			if len(cache) > 0 {
+				shared[pid] = true
+			}
+		}
+	}
+	n := 0
+	for pid := range t.Peers {
+		if observed[pid] && !shared[pid] {
+			n++
+		}
+	}
+	return n
+}
+
+// ObservedPeers returns the number of peers browsed at least once.
+func (t *Trace) ObservedPeers() int {
+	observed := make([]bool, len(t.Peers))
+	for _, s := range t.Days {
+		for pid := range s.Caches {
+			observed[pid] = true
+		}
+	}
+	n := 0
+	for _, o := range observed {
+		if o {
+			n++
+		}
+	}
+	return n
+}
+
+// SourcesPerFile counts, for each file, the number of distinct peers that
+// shared it at any point in the trace (the paper's popularity measure:
+// replicas rather than requests).
+func (t *Trace) SourcesPerFile() []int {
+	sources := make(map[FileID]map[PeerID]struct{})
+	for _, s := range t.Days {
+		for pid, cache := range s.Caches {
+			for _, f := range cache {
+				set := sources[f]
+				if set == nil {
+					set = make(map[PeerID]struct{})
+					sources[f] = set
+				}
+				set[pid] = struct{}{}
+			}
+		}
+	}
+	out := make([]int, len(t.Files))
+	for f, set := range sources {
+		out[f] = len(set)
+	}
+	return out
+}
+
+// DaysSeenPerFile counts, for each file, the number of snapshot days on
+// which at least one peer shared it.
+func (t *Trace) DaysSeenPerFile() []int {
+	out := make([]int, len(t.Files))
+	seenToday := make(map[FileID]bool)
+	for _, s := range t.Days {
+		clear(seenToday)
+		for _, cache := range s.Caches {
+			for _, f := range cache {
+				if !seenToday[f] {
+					seenToday[f] = true
+					out[f]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Intersect returns the sorted intersection of two sorted FileID slices.
+func Intersect(a, b []FileID) []FileID {
+	var out []FileID
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// IntersectCount returns the size of the intersection of two sorted
+// FileID slices without allocating.
+func IntersectCount(a, b []FileID) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

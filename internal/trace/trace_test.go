@@ -1,0 +1,376 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// tiny builds a small hand-checked trace:
+//
+//	day 0: p0 {f0,f1}, p1 {f1,f2}, p2 {} (free-rider)
+//	day 2: p0 {f0,f3}, p2 {}
+//	day 4: p0 {f0},    p1 {f2}
+func tiny(t *testing.T) *Trace {
+	t.Helper()
+	b := NewBuilder()
+	for i := 0; i < 4; i++ {
+		b.AddFile(FileMeta{Name: "f", Size: int64(100 * (i + 1)), Kind: KindAudio, Topic: -1, ReleaseDay: -1})
+	}
+	for i := 0; i < 3; i++ {
+		b.AddPeer(PeerInfo{UserHash: [16]byte{byte(i + 1)}, IP: uint32(i + 1), Country: "FR", ASN: 3215, BrowseOK: true, AliasOf: -1})
+	}
+	b.Observe(0, 0, []FileID{0, 1})
+	b.Observe(0, 1, []FileID{1, 2})
+	b.Observe(0, 2, nil)
+	b.Observe(2, 0, []FileID{0, 3})
+	b.Observe(2, 2, nil)
+	b.Observe(4, 0, []FileID{0})
+	b.Observe(4, 1, []FileID{2})
+	tr := b.Build()
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("tiny trace invalid: %v", err)
+	}
+	return tr
+}
+
+func TestBuilderSortsAndDedupes(t *testing.T) {
+	b := NewBuilder()
+	b.AddFile(FileMeta{})
+	b.AddFile(FileMeta{})
+	b.AddFile(FileMeta{})
+	p := b.AddPeer(PeerInfo{AliasOf: -1})
+	b.Observe(0, p, []FileID{2, 0, 2, 1, 0})
+	tr := b.Build()
+	got := tr.Days[0].Caches[p]
+	want := []FileID{0, 1, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("cache = %v, want %v", got, want)
+	}
+}
+
+func TestBuilderObservePanicsOnUnknownPeer(t *testing.T) {
+	b := NewBuilder()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b.Observe(0, 7, nil)
+}
+
+func TestBasicCounts(t *testing.T) {
+	tr := tiny(t)
+	if got := tr.Observations(); got != 7 {
+		t.Errorf("Observations = %d, want 7", got)
+	}
+	if got := tr.DistinctFiles(); got != 4 {
+		t.Errorf("DistinctFiles = %d, want 4", got)
+	}
+	if got := tr.DistinctBytes(); got != 100+200+300+400 {
+		t.Errorf("DistinctBytes = %d", got)
+	}
+	if got := tr.FreeRiders(); got != 1 {
+		t.Errorf("FreeRiders = %d, want 1", got)
+	}
+	if got := tr.ObservedPeers(); got != 3 {
+		t.Errorf("ObservedPeers = %d, want 3", got)
+	}
+	if got := tr.DurationDays(); got != 5 {
+		t.Errorf("DurationDays = %d, want 5", got)
+	}
+	first, last, ok := tr.DayRange()
+	if !ok || first != 0 || last != 4 {
+		t.Errorf("DayRange = %d,%d,%v", first, last, ok)
+	}
+}
+
+func TestSnapshotFor(t *testing.T) {
+	tr := tiny(t)
+	if s := tr.SnapshotFor(2); s == nil || s.Day != 2 {
+		t.Errorf("SnapshotFor(2) = %v", s)
+	}
+	if s := tr.SnapshotFor(3); s != nil {
+		t.Errorf("SnapshotFor(3) = %v, want nil", s)
+	}
+}
+
+func TestAggregateCaches(t *testing.T) {
+	tr := tiny(t)
+	agg := tr.AggregateCaches()
+	if want := []FileID{0, 1, 3}; !reflect.DeepEqual(agg[0], want) {
+		t.Errorf("agg[0] = %v, want %v", agg[0], want)
+	}
+	if want := []FileID{1, 2}; !reflect.DeepEqual(agg[1], want) {
+		t.Errorf("agg[1] = %v, want %v", agg[1], want)
+	}
+	if agg[2] != nil {
+		t.Errorf("agg[2] = %v, want nil", agg[2])
+	}
+}
+
+func TestSourcesPerFile(t *testing.T) {
+	tr := tiny(t)
+	got := tr.SourcesPerFile()
+	want := []int{1, 2, 1, 1} // f1 shared by both p0 and p1
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SourcesPerFile = %v, want %v", got, want)
+	}
+}
+
+func TestDaysSeenPerFile(t *testing.T) {
+	tr := tiny(t)
+	got := tr.DaysSeenPerFile()
+	want := []int{3, 1, 2, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("DaysSeenPerFile = %v, want %v", got, want)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, want []FileID
+	}{
+		{nil, nil, nil},
+		{[]FileID{1, 2, 3}, nil, nil},
+		{[]FileID{1, 2, 3}, []FileID{2, 3, 4}, []FileID{2, 3}},
+		{[]FileID{1, 5, 9}, []FileID{2, 6, 10}, nil},
+		{[]FileID{1, 2}, []FileID{1, 2}, []FileID{1, 2}},
+	}
+	for _, c := range cases {
+		if got := Intersect(c.a, c.b); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Intersect(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := IntersectCount(c.a, c.b); got != len(c.want) {
+			t.Errorf("IntersectCount(%v,%v) = %d, want %d", c.a, c.b, got, len(c.want))
+		}
+	}
+}
+
+func TestFilterRemovesDuplicates(t *testing.T) {
+	b := NewBuilder()
+	f := b.AddFile(FileMeta{})
+	// Two sharing identities with the same user hash (reinstall kept the
+	// hash? no — same hash means same client after an IP change).
+	p0 := b.AddPeer(PeerInfo{UserHash: [16]byte{1}, IP: 1, AliasOf: -1})
+	p1 := b.AddPeer(PeerInfo{UserHash: [16]byte{1}, IP: 2, AliasOf: 0})
+	// A clean singleton.
+	p2 := b.AddPeer(PeerInfo{UserHash: [16]byte{2}, IP: 3, AliasOf: -1})
+	// Two free-riding identities on one IP: kept per the paper.
+	p3 := b.AddPeer(PeerInfo{UserHash: [16]byte{3}, IP: 4, AliasOf: -1})
+	p4 := b.AddPeer(PeerInfo{UserHash: [16]byte{4}, IP: 4, AliasOf: -1})
+	b.Observe(0, p0, []FileID{f})
+	b.Observe(1, p1, []FileID{f})
+	b.Observe(0, p2, []FileID{f})
+	b.Observe(0, p3, nil)
+	b.Observe(0, p4, nil)
+	ft := b.Build().Filter()
+	if len(ft.Peers) != 3 {
+		t.Fatalf("filtered peers = %d, want 3", len(ft.Peers))
+	}
+	// The survivors must be the singleton sharer and the two free-riders.
+	for _, p := range ft.Peers {
+		if p.UserHash == [16]byte{1} {
+			t.Errorf("duplicate identity survived filtering: %+v", p)
+		}
+	}
+	if err := ft.Validate(); err != nil {
+		t.Errorf("filtered trace invalid: %v", err)
+	}
+}
+
+func TestSubsetPeersRenumbers(t *testing.T) {
+	tr := tiny(t)
+	sub := tr.SubsetPeers([]bool{false, true, true})
+	if len(sub.Peers) != 2 {
+		t.Fatalf("peers = %d, want 2", len(sub.Peers))
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("subset invalid: %v", err)
+	}
+	// p1 becomes peer 0 and keeps its caches.
+	agg := sub.AggregateCaches()
+	if want := []FileID{1, 2}; !reflect.DeepEqual(agg[0], want) {
+		t.Errorf("agg[0] = %v, want %v", agg[0], want)
+	}
+}
+
+func TestSubsetFiles(t *testing.T) {
+	tr := tiny(t)
+	// Drop f1 (the most popular file).
+	keep := []bool{true, false, true, true}
+	sub := tr.SubsetFiles(keep)
+	if len(sub.Files) != 3 {
+		t.Fatalf("files = %d, want 3", len(sub.Files))
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("subset invalid: %v", err)
+	}
+	for _, s := range sub.Days {
+		for pid, cache := range s.Caches {
+			for _, f := range cache {
+				if sub.Files[f].Size == 200 {
+					t.Errorf("day %d peer %d still holds dropped file", s.Day, pid)
+				}
+			}
+		}
+	}
+}
+
+func TestExtrapolate(t *testing.T) {
+	b := NewBuilder()
+	for i := 0; i < 5; i++ {
+		b.AddFile(FileMeta{})
+	}
+	p := b.AddPeer(PeerInfo{UserHash: [16]byte{1}, IP: 1, AliasOf: -1})
+	q := b.AddPeer(PeerInfo{UserHash: [16]byte{2}, IP: 2, AliasOf: -1})
+	// p observed on days 0,3,10,12,14 (5 snaps, span 14): qualifies.
+	b.Observe(0, p, []FileID{0, 1, 2})
+	b.Observe(3, p, []FileID{1, 2, 3})
+	b.Observe(10, p, []FileID{2, 3})
+	b.Observe(12, p, []FileID{2, 3, 4})
+	b.Observe(14, p, []FileID{3, 4})
+	// q observed twice: dropped.
+	b.Observe(0, q, []FileID{0})
+	b.Observe(14, q, []FileID{0})
+	ex := b.Build().Extrapolate(ExtrapolateOptions{})
+	if len(ex.Peers) != 1 {
+		t.Fatalf("extrapolated peers = %d, want 1", len(ex.Peers))
+	}
+	if err := ex.Validate(); err != nil {
+		t.Fatalf("extrapolated invalid: %v", err)
+	}
+	// Day 1 and 2 are filled with intersection of day 0 and day 3: {1,2}.
+	for _, d := range []int{1, 2} {
+		s := ex.SnapshotFor(d)
+		if s == nil {
+			t.Fatalf("day %d missing", d)
+		}
+		if want := []FileID{1, 2}; !reflect.DeepEqual(s.Caches[0], want) {
+			t.Errorf("day %d cache = %v, want %v", d, s.Caches[0], want)
+		}
+	}
+	// Day 11 filled with intersection of {2,3} and {2,3,4}: {2,3}.
+	if s := ex.SnapshotFor(11); s == nil || !reflect.DeepEqual(s.Caches[0], []FileID{2, 3}) {
+		t.Errorf("day 11 fill wrong: %v", s)
+	}
+	// Observed days are untouched.
+	if s := ex.SnapshotFor(3); !reflect.DeepEqual(s.Caches[0], []FileID{1, 2, 3}) {
+		t.Errorf("day 3 overwritten: %v", s.Caches[0])
+	}
+}
+
+// The extrapolation is pessimistic: every filled cache is a subset of both
+// bracketing observations. Verified as a property over random traces.
+func TestExtrapolationPessimismProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 99))
+		b := NewBuilder()
+		nf := 20
+		for i := 0; i < nf; i++ {
+			b.AddFile(FileMeta{})
+		}
+		p := b.AddPeer(PeerInfo{UserHash: [16]byte{1}, IP: 1, AliasOf: -1})
+		obsDays := []int{0, 4, 8, 12, 16}
+		caches := make(map[int][]FileID)
+		for _, d := range obsDays {
+			var c []FileID
+			for f := 0; f < nf; f++ {
+				if rng.Float64() < 0.4 {
+					c = append(c, FileID(f))
+				}
+			}
+			caches[d] = c
+			b.Observe(d, p, c)
+		}
+		ex := b.Build().Extrapolate(ExtrapolateOptions{})
+		if len(ex.Peers) != 1 {
+			return false
+		}
+		for _, s := range ex.Days {
+			if _, observed := caches[s.Day]; observed {
+				continue
+			}
+			prev := caches[s.Day/4*4]
+			next := caches[(s.Day/4+1)*4]
+			got := s.Caches[0]
+			if len(got) != IntersectCount(prev, next) {
+				return false
+			}
+			if IntersectCount(got, prev) != len(got) || IntersectCount(got, next) != len(got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopUploadersAndFiles(t *testing.T) {
+	tr := tiny(t)
+	ups := tr.TopUploaders(10)
+	if len(ups) != 2 || ups[0] != 0 || ups[1] != 1 {
+		t.Errorf("TopUploaders = %v", ups)
+	}
+	files := tr.TopFiles(2)
+	if len(files) != 2 || files[0] != 1 {
+		t.Errorf("TopFiles = %v (want file 1 first)", files)
+	}
+}
+
+func TestRoundTripGob(t *testing.T) {
+	tr := tiny(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not a trace"))); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tr := tiny(t)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{`"country":"FR"`, `"free_rider":true`, `"days"`} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("JSON export missing %q in %s", want, s[:min(len(s), 200)])
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	tr := tiny(t)
+	tr.Days[0].Caches[0] = []FileID{99}
+	if err := tr.Validate(); err == nil {
+		t.Error("expected error for unknown file")
+	}
+	tr = tiny(t)
+	tr.Days[0].Caches[0] = []FileID{1, 0}
+	if err := tr.Validate(); err == nil {
+		t.Error("expected error for unsorted cache")
+	}
+	tr = tiny(t)
+	tr.Days = append(tr.Days, Snapshot{Day: tr.Days[len(tr.Days)-1].Day})
+	if err := tr.Validate(); err == nil {
+		t.Error("expected error for non-ascending days")
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"edonkey/internal/trace"
+)
+
+// Collector turns world states into a trace.Trace the way an omniscient
+// observer would: every browsable (non-firewalled, browse-enabled) client
+// that is online on a day is recorded with its exact cache. The
+// protocol-level crawler (internal/crawler) produces the same shape of
+// data with the measurement losses of the real methodology on top.
+//
+// Identities are registered lazily: a client that changes IP or user hash
+// mid-trace yields two distinct PeerInfo records, exactly as the paper's
+// full trace contains duplicate identities.
+type Collector struct {
+	w       *World
+	builder *trace.Builder
+	peerIDs map[identKey]trace.PeerID
+	fileIDs map[int]trace.FileID
+}
+
+type identKey struct {
+	client  int
+	segment int
+}
+
+// NewCollector prepares an oracle collector for the world.
+func NewCollector(w *World) *Collector {
+	return &Collector{
+		w:       w,
+		builder: trace.NewBuilder(),
+		peerIDs: make(map[identKey]trace.PeerID),
+		fileIDs: make(map[int]trace.FileID),
+	}
+}
+
+func (c *Collector) segmentAt(cl *Client, day int) int {
+	for i, id := range cl.identities {
+		if day >= id.startDay && day <= id.endDay {
+			return i
+		}
+	}
+	return len(cl.identities) - 1
+}
+
+func (c *Collector) peerID(cl *Client, day int) trace.PeerID {
+	seg := c.segmentAt(cl, day)
+	key := identKey{cl.ID, seg}
+	if pid, ok := c.peerIDs[key]; ok {
+		return pid
+	}
+	alias := int32(-1)
+	if seg > 0 {
+		if prev, ok := c.peerIDs[identKey{cl.ID, seg - 1}]; ok {
+			alias = int32(prev)
+		}
+	}
+	id := cl.identities[seg]
+	pid := c.builder.AddPeer(trace.PeerInfo{
+		UserHash:   id.hash,
+		IP:         id.ip,
+		Country:    cl.Loc.Country,
+		ASN:        cl.Loc.ASN,
+		Nickname:   cl.Nickname,
+		Firewalled: cl.Firewalled,
+		BrowseOK:   cl.BrowseOK,
+		AliasOf:    alias,
+	})
+	c.peerIDs[key] = pid
+	return pid
+}
+
+func (c *Collector) fileID(idx int) trace.FileID {
+	if fid, ok := c.fileIDs[idx]; ok {
+		return fid
+	}
+	f := &c.w.Files[idx]
+	fid := c.builder.AddFile(trace.FileMeta{
+		Hash:       f.Hash,
+		Name:       f.Name,
+		Size:       f.Size,
+		Kind:       f.Kind,
+		Topic:      int32(f.Topic),
+		ReleaseDay: int32(f.ReleaseDay),
+	})
+	c.fileIDs[idx] = fid
+	return fid
+}
+
+// ObserveDay records the caches of all crawlable online clients for the
+// world's current day.
+func (c *Collector) ObserveDay() {
+	day := c.w.Day()
+	for i := range c.w.Clients {
+		cl := &c.w.Clients[i]
+		if !cl.online || cl.Firewalled || !cl.BrowseOK {
+			continue
+		}
+		pid := c.peerID(cl, day)
+		cache := make([]trace.FileID, 0, len(cl.cache))
+		for fi := range cl.cache {
+			cache = append(cache, c.fileID(fi))
+		}
+		c.builder.Observe(day, pid, cache)
+	}
+}
+
+// Trace finalizes and returns the collected trace.
+func (c *Collector) Trace() *trace.Trace { return c.builder.Build() }
+
+// Collect is the convenience oracle path: build a world from cfg, run it
+// for cfg.Days days and return the observed full trace.
+func Collect(cfg Config) (*trace.Trace, *World, error) {
+	w, err := New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	col := NewCollector(w)
+	for d := 0; d < w.Config.Days; d++ {
+		if d > 0 {
+			w.Step()
+		}
+		col.ObserveDay()
+	}
+	return col.Trace(), w, nil
+}

@@ -1,0 +1,246 @@
+// Package workload generates and evolves a synthetic eDonkey user
+// population whose emergent statistics reproduce the structure the paper
+// measured: country/AS mix (Fig. 4, Table 2), dominant free-riding,
+// heavy-tailed peer generosity ("top 15% of peers offer 75% of the
+// files"), Zipf-like file popularity with a flat head (Fig. 5),
+// kind-dependent file sizes where popular files are large (Fig. 6),
+// sudden-rise/slow-decay popularity lifecycles (Fig. 8), geographic
+// clustering of file sources (Figs. 11-12) and interest-based (semantic)
+// clustering of cache contents (Figs. 13-17).
+//
+// The model is generative, not curve-fitted: peers belong to latent
+// interest topics with home countries, files belong to topics with a
+// release-and-decay attractiveness lifecycle, and daily cache turnover
+// (~5 additions/day as measured) drives all temporal dynamics. Every
+// measured quantity is an emergent property that the analyses observe the
+// same way they would observe the real trace.
+package workload
+
+import "fmt"
+
+// Config parameterizes the synthetic world. Zero fields are replaced with
+// defaults by Validate; construct via DefaultConfig and override.
+type Config struct {
+	// Seed drives all randomness; identical configs produce identical
+	// worlds bit-for-bit.
+	Seed uint64
+
+	// Peers is the number of underlying unique clients (before identity
+	// aliasing inflates the full-trace identity count).
+	Peers int
+	// Days is the length of the simulated measurement period (paper: 56).
+	Days int
+
+	// Topics is the number of latent interest communities.
+	Topics int
+	// InitialFiles is the catalogue size at day 0.
+	InitialFiles int
+	// NewFilesPerDay is the number of fresh releases each day.
+	NewFilesPerDay int
+
+	// FreeRiderFraction is the share of clients that never share
+	// anything (paper: 70-84% depending on trace level).
+	FreeRiderFraction float64
+	// FirewalledFraction is the share of clients the crawler cannot
+	// connect to.
+	FirewalledFraction float64
+	// NoBrowseFraction is the share of clients that disabled the
+	// browse feature.
+	NoBrowseFraction float64
+	// AliasFraction is the share of clients that change identity (IP via
+	// DHCP or user hash via reinstall) once during the trace, creating
+	// duplicate identities in the full trace.
+	AliasFraction float64
+
+	// DailyAdds is the mean number of files a sharing client adds per
+	// online day (paper: ~5 cache replacements/client/day).
+	DailyAdds float64
+	// GlobalDraw is the probability that an addition comes from the
+	// global "charts" pool (hit content crossing interest communities)
+	// instead of the client's own interest topics. Global hits are what
+	// make popular files big, spread them across countries, and mask
+	// interest clustering on unfiltered data (paper Figs. 6, 11, 14).
+	GlobalDraw float64
+	// CollectorPopBias raises the charts share for big collectors
+	// (scaled by cache size up to +CollectorPopBias for the largest):
+	// archivists mirror hit content, which is what makes generous peers
+	// able to answer many queries and the hit rate drop when they are
+	// removed (paper Fig. 19).
+	CollectorPopBias float64
+	// GeoBias is the probability that a peer picks interests among
+	// topics of its own country rather than globally.
+	GeoBias float64
+	// BundleSize groups consecutive files of a topic into bundles
+	// (albums, discographies, series). Peers tend to fetch bundles
+	// together, which is what makes *rare* files cluster strongly
+	// between peers (paper Figs. 13/14 and the rising hit rate when
+	// popular files are removed, Fig. 20).
+	BundleSize int
+	// BundleFollow is the probability that fetching one file of a
+	// bundle queues up the rest of the bundle.
+	BundleFollow float64
+	// TopicZipf and FileZipf are the popularity exponents across topics
+	// and across files within a topic.
+	TopicZipf float64
+	FileZipf  float64
+
+	// CacheMedian and CacheSigma shape the log-normal distribution of
+	// sharers' target cache sizes. The defaults put ~80% of sharers
+	// under 100 files while the top 15% hold ~75% of all files.
+	CacheMedian float64
+	CacheSigma  float64
+	// MaxCache caps individual cache sizes.
+	MaxCache int
+
+	// OnlineMin/OnlineMax bound each client's daily presence
+	// probability (uniformly drawn per client).
+	OnlineMin float64
+	OnlineMax float64
+
+	// RampDays and DecayDays shape the file-attractiveness lifecycle:
+	// linear ramp to the peak over RampDays, then exponential decay with
+	// constant DecayDays; LifecycleFloor keeps a long tail alive.
+	RampDays       int
+	DecayDays      float64
+	LifecycleFloor float64
+}
+
+// DefaultConfig returns the laptop-scale defaults used across tests,
+// examples and benchmarks (about 4k peers over 56 days).
+func DefaultConfig() Config {
+	return Config{
+		Seed:               1,
+		Peers:              4000,
+		Days:               56,
+		Topics:             200,
+		InitialFiles:       120000,
+		NewFilesPerDay:     1000,
+		FreeRiderFraction:  0.75,
+		FirewalledFraction: 0.20,
+		NoBrowseFraction:   0.10,
+		AliasFraction:      0.25,
+		DailyAdds:          5,
+		GlobalDraw:         0.10,
+		CollectorPopBias:   0.65,
+		GeoBias:            0.75,
+		BundleSize:         8,
+		BundleFollow:       0.35,
+		TopicZipf:          0.40,
+		FileZipf:           0.60,
+		CacheMedian:        22,
+		CacheSigma:         1.8,
+		MaxCache:           2000,
+		OnlineMin:          0.35,
+		OnlineMax:          0.95,
+		RampDays:           2,
+		DecayDays:          12,
+		LifecycleFloor:     0.02,
+	}
+}
+
+// Validate fills zero fields with defaults and rejects inconsistent
+// parameter combinations.
+func (c *Config) Validate() error {
+	d := DefaultConfig()
+	if c.Peers == 0 {
+		c.Peers = d.Peers
+	}
+	if c.Days == 0 {
+		c.Days = d.Days
+	}
+	if c.Topics == 0 {
+		c.Topics = d.Topics
+	}
+	if c.InitialFiles == 0 {
+		c.InitialFiles = d.InitialFiles
+	}
+	if c.NewFilesPerDay == 0 {
+		c.NewFilesPerDay = d.NewFilesPerDay
+	}
+	if c.FreeRiderFraction == 0 {
+		c.FreeRiderFraction = d.FreeRiderFraction
+	}
+	if c.FirewalledFraction == 0 {
+		c.FirewalledFraction = d.FirewalledFraction
+	}
+	if c.NoBrowseFraction == 0 {
+		c.NoBrowseFraction = d.NoBrowseFraction
+	}
+	if c.AliasFraction == 0 {
+		c.AliasFraction = d.AliasFraction
+	}
+	if c.DailyAdds == 0 {
+		c.DailyAdds = d.DailyAdds
+	}
+	if c.GlobalDraw == 0 {
+		c.GlobalDraw = d.GlobalDraw
+	}
+	if c.CollectorPopBias == 0 {
+		c.CollectorPopBias = d.CollectorPopBias
+	}
+	if c.GeoBias == 0 {
+		c.GeoBias = d.GeoBias
+	}
+	if c.BundleSize == 0 {
+		c.BundleSize = d.BundleSize
+	}
+	if c.BundleFollow == 0 {
+		c.BundleFollow = d.BundleFollow
+	}
+	if c.TopicZipf == 0 {
+		c.TopicZipf = d.TopicZipf
+	}
+	if c.FileZipf == 0 {
+		c.FileZipf = d.FileZipf
+	}
+	if c.CacheMedian == 0 {
+		c.CacheMedian = d.CacheMedian
+	}
+	if c.CacheSigma == 0 {
+		c.CacheSigma = d.CacheSigma
+	}
+	if c.MaxCache == 0 {
+		c.MaxCache = d.MaxCache
+	}
+	if c.OnlineMin == 0 {
+		c.OnlineMin = d.OnlineMin
+	}
+	if c.OnlineMax == 0 {
+		c.OnlineMax = d.OnlineMax
+	}
+	if c.RampDays == 0 {
+		c.RampDays = d.RampDays
+	}
+	if c.DecayDays == 0 {
+		c.DecayDays = d.DecayDays
+	}
+	if c.LifecycleFloor == 0 {
+		c.LifecycleFloor = d.LifecycleFloor
+	}
+
+	switch {
+	case c.Peers < 1:
+		return fmt.Errorf("workload: Peers = %d, need >= 1", c.Peers)
+	case c.Days < 1:
+		return fmt.Errorf("workload: Days = %d, need >= 1", c.Days)
+	case c.Topics < 1:
+		return fmt.Errorf("workload: Topics = %d, need >= 1", c.Topics)
+	case c.InitialFiles < c.Topics:
+		return fmt.Errorf("workload: InitialFiles = %d < Topics = %d", c.InitialFiles, c.Topics)
+	case c.FreeRiderFraction < 0 || c.FreeRiderFraction >= 1:
+		return fmt.Errorf("workload: FreeRiderFraction = %v out of [0,1)", c.FreeRiderFraction)
+	case c.FirewalledFraction < 0 || c.FirewalledFraction >= 1:
+		return fmt.Errorf("workload: FirewalledFraction = %v out of [0,1)", c.FirewalledFraction)
+	case c.OnlineMin <= 0 || c.OnlineMax > 1 || c.OnlineMin > c.OnlineMax:
+		return fmt.Errorf("workload: online bounds [%v,%v] invalid", c.OnlineMin, c.OnlineMax)
+	case c.GeoBias < 0 || c.GeoBias > 1:
+		return fmt.Errorf("workload: GeoBias = %v out of [0,1]", c.GeoBias)
+	case c.GlobalDraw < 0 || c.GlobalDraw > 1:
+		return fmt.Errorf("workload: GlobalDraw = %v out of [0,1]", c.GlobalDraw)
+	case c.BundleSize < 1:
+		return fmt.Errorf("workload: BundleSize = %d, need >= 1", c.BundleSize)
+	case c.BundleFollow < 0 || c.BundleFollow > 1:
+		return fmt.Errorf("workload: BundleFollow = %v out of [0,1]", c.BundleFollow)
+	}
+	return nil
+}

@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"edonkey/internal/trace"
+)
+
+// Word pools for synthetic file names. Names only matter for realism of
+// the protocol layer (keyword search, browse listings); analyses never
+// parse them.
+var (
+	nameAdjectives = []string{
+		"blue", "silent", "lost", "golden", "electric", "midnight",
+		"broken", "rising", "hidden", "final", "neon", "distant",
+	}
+	nameNouns = []string{
+		"horizon", "river", "echo", "empire", "garden", "signal",
+		"shadow", "harbor", "motel", "station", "mirror", "winter",
+	}
+)
+
+func extFor(k trace.FileKind) string {
+	switch k {
+	case trace.KindAudio:
+		return "mp3"
+	case trace.KindVideo:
+		return "avi"
+	case trace.KindArchive:
+		return "zip"
+	case trace.KindProgram:
+		return "exe"
+	case trace.KindDocument:
+		return "pdf"
+	case trace.KindImage:
+		return "jpg"
+	default:
+		return "bin"
+	}
+}
+
+// fileName synthesizes a plausible shared-file name, unique per
+// (topic, sequence) pair.
+func fileName(rng *rand.Rand, topic int, kind trace.FileKind, seq int) string {
+	adj := nameAdjectives[rng.IntN(len(nameAdjectives))]
+	noun := nameNouns[rng.IntN(len(nameNouns))]
+	return fmt.Sprintf("%s_%s_t%03d_%04d.%s", adj, noun, topic, seq, extFor(kind))
+}
+
+const nickLetters = "abcdefghijklmnopqrstuvwxyz"
+
+// nickname synthesizes a client nickname starting with three lowercase
+// letters, the shape the crawler's query sweep (aaa..zzz) relies on.
+// Many users share short prefixes, which is why the paper's crawler could
+// not retrieve every user — the same collision behaviour emerges here.
+func nickname(rng *rand.Rand, id int) string {
+	b := make([]byte, 3)
+	for i := range b {
+		b[i] = nickLetters[rng.IntN(26)]
+	}
+	return fmt.Sprintf("%s_%d", b, id)
+}

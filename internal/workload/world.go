@@ -1,0 +1,627 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"edonkey/internal/geo"
+	"edonkey/internal/stats"
+	"edonkey/internal/trace"
+)
+
+// Topic is a latent interest community: a themed pool of files with a home
+// country. Peers subscribe to topics; files belong to exactly one.
+type Topic struct {
+	ID          int
+	HomeCountry string
+	// DominantKind is the most common content kind of the topic.
+	DominantKind trace.FileKind
+	// Weight is the topic's global popularity share (Zipf over topics).
+	Weight float64
+	// Files holds indices into World.Files, in release order.
+	Files []int
+
+	sampler *stats.WeightedChoice // rebuilt each day over Files
+}
+
+// File is one shared file in the world catalogue.
+type File struct {
+	Index      int
+	Topic      int
+	Kind       trace.FileKind
+	Size       int64
+	Name       string
+	Hash       [16]byte
+	ReleaseDay int // may be negative for the pre-trace catalogue
+	// Bundle is the file's position-group within its topic: consecutive
+	// releases of a topic form albums/series that peers fetch together.
+	Bundle int
+	// baseWeight is the file's intrinsic attractiveness before the
+	// lifecycle modulation (within-topic Zipf x kind boost).
+	baseWeight float64
+}
+
+// identity is one crawlable identity of a client (clients that change IP
+// or reinstall appear under several identities in the full trace).
+type identity struct {
+	startDay int // inclusive
+	endDay   int // inclusive
+	ip       uint32
+	hash     [16]byte
+}
+
+// Client is one underlying eDonkey user.
+type Client struct {
+	ID         int
+	Loc        geo.Location
+	Nickname   string
+	FreeRider  bool
+	Firewalled bool
+	BrowseOK   bool
+
+	onlineProb  float64
+	interests   []int
+	interestW   *stats.WeightedChoice
+	targetCache int
+	globalDraw  float64 // per-client charts share (collectors get more)
+	identities  []identity
+
+	// cache maps file index -> day added (for FIFO-ish eviction).
+	cache map[int]int
+	// pending queues bundle-mates of a recently fetched file: albums
+	// are downloaded over consecutive additions.
+	pending []int
+	// online is refreshed each Step.
+	online bool
+}
+
+// Online reports whether the client is present on the current day.
+func (c *Client) Online() bool { return c.online }
+
+// CacheSize returns the number of files currently shared.
+func (c *Client) CacheSize() int { return len(c.cache) }
+
+// CacheFiles returns the indices of the currently shared files, unordered.
+func (c *Client) CacheFiles() []int {
+	out := make([]int, 0, len(c.cache))
+	for f := range c.cache {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Interests returns the client's topic subscriptions (shared slice).
+func (c *Client) Interests() []int { return c.interests }
+
+// IdentityAt returns the (ip, userHash) pair in effect on the given day.
+func (c *Client) IdentityAt(day int) (ip uint32, hash [16]byte) {
+	for _, id := range c.identities {
+		if day >= id.startDay && day <= id.endDay {
+			return id.ip, id.hash
+		}
+	}
+	// Days outside the trace use the last identity.
+	last := c.identities[len(c.identities)-1]
+	return last.ip, last.hash
+}
+
+// World is the evolving synthetic population.
+type World struct {
+	Config   Config
+	Registry *geo.Registry
+	Topics   []Topic
+	Files    []File
+	Clients  []Client
+
+	rng *rand.Rand
+	day int
+
+	topicsByCountry map[string][]int
+	// topicChoice weights topics by audience (zipf x kind factor) and
+	// drives interest assignment; topicFileAlloc weights topics by
+	// catalogue production (zipf only) and drives file placement. Movie
+	// communities are larger but do not produce proportionally more
+	// titles, which concentrates demand on few large files.
+	topicChoice    *stats.WeightedChoice
+	topicFileAlloc *stats.WeightedChoice
+	kindMix        *stats.WeightedChoice
+	topicKindMix   *stats.WeightedChoice
+	// globalSampler draws from the whole catalogue proportionally to
+	// intrinsic attractiveness x lifecycle ("the charts"); rebuilt daily.
+	globalSampler *stats.WeightedChoice
+}
+
+// New builds the world at day 0 with initial catalogues and filled caches.
+// It returns an error if the config is invalid.
+func New(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		Config:          cfg,
+		Registry:        geo.NewRegistry(),
+		rng:             rand.New(rand.NewPCG(cfg.Seed, 0x65646f6e6b6579)), // "edonkey"
+		topicsByCountry: make(map[string][]int),
+	}
+	w.buildKindMix()
+	w.buildTopics()
+	w.seedCatalogue()
+	w.buildClients()
+	w.refreshSamplers()
+	w.fillInitialCaches()
+	w.refreshPresence()
+	return w, nil
+}
+
+// Day returns the current simulation day.
+func (w *World) Day() int { return w.day }
+
+// kind mix over distinct files, chosen so that ~40% of files are <1MB
+// (documents/images), ~50% are 1-10MB (audio) and ~10% are larger
+// (programs/archives/videos), matching Fig. 6.
+func (w *World) buildKindMix() {
+	weights := make([]float64, int(trace.KindVideo)+1)
+	weights[trace.KindOther] = 0.04
+	weights[trace.KindDocument] = 0.20
+	weights[trace.KindImage] = 0.16
+	weights[trace.KindAudio] = 0.50
+	weights[trace.KindProgram] = 0.04
+	weights[trace.KindArchive] = 0.04
+	weights[trace.KindVideo] = 0.02
+	w.kindMix = stats.NewWeightedChoice(weights)
+
+	// Topic themes skew differently from the raw file mix: movie
+	// communities are fewer than the music ones but not 25x fewer.
+	tw := make([]float64, int(trace.KindVideo)+1)
+	tw[trace.KindOther] = 0.05
+	tw[trace.KindDocument] = 0.17
+	tw[trace.KindImage] = 0.13
+	tw[trace.KindAudio] = 0.52
+	tw[trace.KindProgram] = 0.04
+	tw[trace.KindArchive] = 0.05
+	tw[trace.KindVideo] = 0.04
+	w.topicKindMix = stats.NewWeightedChoice(tw)
+}
+
+// topicKindFactor scales a topic's audience: movie-sharing communities
+// are larger than niche music communities, which both concentrates
+// replication on large files (Fig. 6) and leaves rare audio files to
+// small, tight communities (the strong clustering of rare audio files in
+// Fig. 13).
+func topicKindFactor(k trace.FileKind) float64 {
+	switch k {
+	case trace.KindVideo:
+		return 3
+	case trace.KindArchive, trace.KindProgram:
+		return 1.5
+	case trace.KindAudio:
+		return 1
+	default:
+		return 0.5
+	}
+}
+
+// kindBoost makes large content kinds attract more replication, which is
+// what produces the paper's "popular files are big" observation (Fig. 6:
+// 45% of files with popularity >= 5 exceed 600MB).
+func kindBoost(k trace.FileKind) float64 {
+	switch k {
+	case trace.KindVideo:
+		return 25
+	case trace.KindArchive, trace.KindProgram:
+		return 4
+	case trace.KindAudio:
+		return 1.2
+	default:
+		return 0.12
+	}
+}
+
+// sampleSize draws a file size in bytes from the kind's regime.
+func (w *World) sampleSize(k trace.FileKind) int64 {
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+	)
+	var v float64
+	switch k {
+	case trace.KindDocument:
+		v = stats.BoundedLogNormal(w.rng, math.Log(300*kb), 1.0, 4*kb, 1*mb)
+	case trace.KindImage:
+		v = stats.BoundedLogNormal(w.rng, math.Log(150*kb), 0.9, 10*kb, 1*mb)
+	case trace.KindAudio:
+		v = stats.BoundedLogNormal(w.rng, math.Log(3800*kb), 0.45, 1*mb, 10*mb)
+	case trace.KindProgram:
+		v = stats.BoundedLogNormal(w.rng, math.Log(40*mb), 1.1, 10*mb, 600*mb)
+	case trace.KindArchive:
+		v = stats.BoundedLogNormal(w.rng, math.Log(80*mb), 1.0, 10*mb, 600*mb)
+	case trace.KindVideo:
+		v = stats.BoundedLogNormal(w.rng, math.Log(700*mb), 0.12, 601*mb, 900*mb)
+	default:
+		v = stats.BoundedLogNormal(w.rng, math.Log(2*mb), 1.5, 16*kb, 100*mb)
+	}
+	return int64(v)
+}
+
+func (w *World) buildTopics() {
+	w.Topics = make([]Topic, w.Config.Topics)
+	weights := make([]float64, w.Config.Topics)
+	alloc := make([]float64, w.Config.Topics)
+	// Shuffled Zipf weights: the topic index carries no meaning.
+	perm := w.rng.Perm(w.Config.Topics)
+	for i := range w.Topics {
+		rank := perm[i] + 1
+		country := w.Registry.SampleCountry(w.rng)
+		kind := trace.FileKind(w.topicKindMix.Draw(w.rng))
+		base := math.Pow(float64(rank), -w.Config.TopicZipf)
+		weight := base * topicKindFactor(kind)
+		w.Topics[i] = Topic{
+			ID:           i,
+			HomeCountry:  country,
+			DominantKind: kind,
+			Weight:       weight,
+		}
+		weights[i] = weight
+		alloc[i] = base
+		w.topicsByCountry[country] = append(w.topicsByCountry[country], i)
+	}
+	w.topicChoice = stats.NewWeightedChoice(weights)
+	w.topicFileAlloc = stats.NewWeightedChoice(alloc)
+}
+
+// addFile creates a file inside a topic with the given release day.
+func (w *World) addFile(topicID, releaseDay int) int {
+	t := &w.Topics[topicID]
+	kind := t.DominantKind
+	if w.rng.Float64() > 0.8 {
+		kind = trace.FileKind(w.kindMix.Draw(w.rng))
+	}
+	rank := len(t.Files) + 1
+	f := File{
+		Index:      len(w.Files),
+		Topic:      topicID,
+		Kind:       kind,
+		Size:       w.sampleSize(kind),
+		Name:       fileName(w.rng, topicID, kind, len(t.Files)),
+		ReleaseDay: releaseDay,
+		Bundle:     len(t.Files) / w.Config.BundleSize,
+		baseWeight: math.Pow(float64(rank), -w.Config.FileZipf) * kindBoost(kind),
+	}
+	w.rng.Uint64() // decouple hash bytes from later draws
+	for i := 0; i < 16; i += 8 {
+		v := w.rng.Uint64()
+		for j := 0; j < 8; j++ {
+			f.Hash[i+j] = byte(v >> (8 * j))
+		}
+	}
+	w.Files = append(w.Files, f)
+	t.Files = append(t.Files, f.Index)
+	return f.Index
+}
+
+func (w *World) seedCatalogue() {
+	// Spread the initial catalogue's release days over the 90 days
+	// preceding the trace so day 0 starts with a realistic age mix.
+	for i := 0; i < w.Config.InitialFiles; i++ {
+		topicID := w.topicFileAlloc.Draw(w.rng)
+		release := -w.rng.IntN(90)
+		w.addFile(topicID, release)
+	}
+}
+
+func (w *World) buildClients() {
+	cfg := w.Config
+	w.Clients = make([]Client, cfg.Peers)
+	for i := range w.Clients {
+		c := &w.Clients[i]
+		c.ID = i
+		c.Loc = w.Registry.SampleLocation(w.rng)
+		c.Nickname = nickname(w.rng, i)
+		c.FreeRider = w.rng.Float64() < cfg.FreeRiderFraction
+		c.Firewalled = w.rng.Float64() < cfg.FirewalledFraction
+		c.BrowseOK = w.rng.Float64() >= cfg.NoBrowseFraction
+		c.onlineProb = cfg.OnlineMin + w.rng.Float64()*(cfg.OnlineMax-cfg.OnlineMin)
+		c.cache = make(map[int]int)
+
+		if !c.FreeRider {
+			c.targetCache = int(stats.BoundedLogNormal(w.rng,
+				math.Log(cfg.CacheMedian), cfg.CacheSigma, 1, float64(cfg.MaxCache)))
+			scale := float64(c.targetCache) / 500
+			if scale > 1 {
+				scale = 1
+			}
+			c.globalDraw = cfg.GlobalDraw + cfg.CollectorPopBias*scale
+			w.assignInterests(c)
+		}
+
+		// Identity segments: most clients keep one identity; aliased
+		// clients switch IP (DHCP) or user hash (reinstall) once.
+		ip := w.Registry.AllocIP(w.rng, c.Loc)
+		var hash [16]byte
+		for j := 0; j < 16; j += 8 {
+			v := w.rng.Uint64()
+			for k := 0; k < 8; k++ {
+				hash[j+k] = byte(v >> (8 * k))
+			}
+		}
+		if w.rng.Float64() < cfg.AliasFraction && cfg.Days > 10 {
+			switchDay := 5 + w.rng.IntN(cfg.Days-10)
+			ip2, hash2 := ip, hash
+			if w.rng.Float64() < 0.7 {
+				ip2 = w.Registry.AllocIP(w.rng, c.Loc) // DHCP renumbering
+			} else {
+				for j := 0; j < 16; j += 8 { // reinstall: new user hash
+					v := w.rng.Uint64()
+					for k := 0; k < 8; k++ {
+						hash2[j+k] = byte(v >> (8 * k))
+					}
+				}
+			}
+			c.identities = []identity{
+				{0, switchDay - 1, ip, hash},
+				{switchDay, cfg.Days - 1, ip2, hash2},
+			}
+		} else {
+			c.identities = []identity{{0, cfg.Days - 1, ip, hash}}
+		}
+	}
+}
+
+// assignInterests subscribes a sharer to topics. Bigger collectors get
+// somewhat broader interests, but stay concentrated: archivists cover few
+// communities deeply, which makes them near-complete answerers for their
+// topics (the paper's generous peers). With probability GeoBias each pick
+// comes from the client's own country's topics, which creates the
+// geographic clustering of file sources.
+func (w *World) assignInterests(c *Client) {
+	n := 2 + c.targetCache/60
+	if n > 6 {
+		n = 6
+	}
+	if n > w.Config.Topics {
+		n = w.Config.Topics // tiny worlds: can't want more topics than exist
+	}
+	// Collectors concentrate on the most popular communities (archivists
+	// mirror the mainstream corpus and, crucially, each other — which is
+	// why the paper's hit rate drops when they are removed): their topic
+	// picks use weight^gamma with gamma growing up to 2.
+	gamma := 1 + float64(c.targetCache)/500
+	if gamma > 2 {
+		gamma = 2
+	}
+	home := w.topicsByCountry[c.Loc.Country]
+	chosen := make(map[int]bool)
+	var homeChoice *stats.WeightedChoice
+	if len(home) > 0 {
+		hw := make([]float64, len(home))
+		for i, t := range home {
+			hw[i] = math.Pow(w.Topics[t].Weight, gamma)
+		}
+		homeChoice = stats.NewWeightedChoice(hw)
+	}
+	globalChoice := w.topicChoice
+	if gamma > 1.05 {
+		gw := make([]float64, len(w.Topics))
+		for i := range w.Topics {
+			gw[i] = math.Pow(w.Topics[i].Weight, gamma)
+		}
+		globalChoice = stats.NewWeightedChoice(gw)
+	}
+	for len(chosen) < n {
+		var topicID int
+		if homeChoice != nil && w.rng.Float64() < w.Config.GeoBias {
+			topicID = home[homeChoice.Draw(w.rng)]
+		} else {
+			topicID = globalChoice.Draw(w.rng)
+		}
+		chosen[topicID] = true
+	}
+	c.interests = c.interests[:0]
+	weights := make([]float64, 0, len(chosen))
+	for t := range chosen {
+		c.interests = append(c.interests, t)
+	}
+	// Deterministic order for reproducibility.
+	sortInts(c.interests)
+	for _, t := range c.interests {
+		weights = append(weights, w.Topics[t].Weight)
+	}
+	c.interestW = stats.NewWeightedChoice(weights)
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+// lifecycle returns the attractiveness multiplier of a file of the given
+// age in days: a short linear ramp to the peak, then exponential decay to
+// a persistent floor. This produces the sudden-rise/slow-decay popularity
+// curves of Fig. 8.
+func (w *World) lifecycle(age int) float64 {
+	if age < 0 {
+		return 0
+	}
+	ramp := w.Config.RampDays
+	if age < ramp {
+		return float64(age+1) / float64(ramp+1)
+	}
+	v := math.Exp(-float64(age-ramp) / w.Config.DecayDays)
+	if v < w.Config.LifecycleFloor {
+		return w.Config.LifecycleFloor
+	}
+	return v
+}
+
+// refreshSamplers rebuilds each topic's file sampler and the global
+// charts sampler with the current file ages.
+func (w *World) refreshSamplers() {
+	for i := range w.Topics {
+		t := &w.Topics[i]
+		if len(t.Files) == 0 {
+			t.sampler = nil
+			continue
+		}
+		weights := make([]float64, len(t.Files))
+		for j, fi := range t.Files {
+			f := &w.Files[fi]
+			weights[j] = f.baseWeight * w.lifecycle(w.day-f.ReleaseDay)
+		}
+		t.sampler = stats.NewWeightedChoice(weights)
+	}
+	global := make([]float64, len(w.Files))
+	for i := range w.Files {
+		f := &w.Files[i]
+		// The kind boost applies twice for charts content: cross-interest
+		// hits are overwhelmingly big releases (movies), which is what
+		// drives Fig. 6's "popular files are large".
+		global[i] = f.baseWeight * kindBoost(f.Kind) * w.lifecycle(w.day-f.ReleaseDay)
+	}
+	w.globalSampler = stats.NewWeightedChoice(global)
+}
+
+// drawFile samples a file for the client: usually from its interest
+// topics, sometimes from the global charts, always avoiding files already
+// cached. Returns -1 if no fresh file was found.
+func (w *World) drawFile(c *Client) int {
+	for attempt := 0; attempt < 12; attempt++ {
+		var fi int
+		if w.rng.Float64() < c.globalDraw {
+			fi = w.globalSampler.Draw(w.rng)
+		} else {
+			topicID := c.interests[c.interestW.Draw(w.rng)]
+			t := &w.Topics[topicID]
+			if t.sampler == nil {
+				continue
+			}
+			fi = t.Files[t.sampler.Draw(w.rng)]
+		}
+		if _, dup := c.cache[fi]; !dup {
+			return fi
+		}
+	}
+	return -1
+}
+
+// bundleMates returns the other files of fi's bundle, in topic order.
+func (w *World) bundleMates(fi int) []int {
+	f := &w.Files[fi]
+	t := &w.Topics[f.Topic]
+	start := f.Bundle * w.Config.BundleSize
+	end := start + w.Config.BundleSize
+	if end > len(t.Files) {
+		end = len(t.Files)
+	}
+	var out []int
+	for _, other := range t.Files[start:end] {
+		if other != fi {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// nextAdd picks the client's next acquisition: queued bundle-mates first
+// (finishing the album), otherwise a fresh draw that may start a new
+// bundle run. Returns -1 when nothing fresh is available.
+func (w *World) nextAdd(c *Client) int {
+	for len(c.pending) > 0 {
+		fi := c.pending[0]
+		c.pending = c.pending[1:]
+		if _, dup := c.cache[fi]; !dup {
+			return fi
+		}
+	}
+	fi := w.drawFile(c)
+	if fi >= 0 && w.Config.BundleSize > 1 && w.rng.Float64() < w.Config.BundleFollow {
+		c.pending = append(c.pending, w.bundleMates(fi)...)
+	}
+	return fi
+}
+
+func (w *World) fillInitialCaches() {
+	for i := range w.Clients {
+		c := &w.Clients[i]
+		if c.FreeRider {
+			continue
+		}
+		for len(c.cache) < c.targetCache {
+			fi := w.nextAdd(c)
+			if fi < 0 {
+				break // interests saturated
+			}
+			// Stagger "added" days into the past so initial eviction
+			// order is not arbitrary.
+			c.cache[fi] = -w.rng.IntN(60)
+		}
+		c.pending = nil
+	}
+}
+
+func (w *World) refreshPresence() {
+	for i := range w.Clients {
+		c := &w.Clients[i]
+		c.online = w.rng.Float64() < c.onlineProb
+	}
+}
+
+// Step advances the world one day: new releases appear, attractiveness
+// ages, online sharers add ~DailyAdds files and evict their oldest ones
+// to stay near their target size.
+func (w *World) Step() {
+	w.day++
+	for i := 0; i < w.Config.NewFilesPerDay; i++ {
+		w.addFile(w.topicFileAlloc.Draw(w.rng), w.day)
+	}
+	w.refreshSamplers()
+	w.refreshPresence()
+	for i := range w.Clients {
+		c := &w.Clients[i]
+		if c.FreeRider || !c.online {
+			continue
+		}
+		adds := stats.Poisson(w.rng, w.Config.DailyAdds)
+		for a := 0; a < adds; a++ {
+			if fi := w.nextAdd(c); fi >= 0 {
+				c.cache[fi] = w.day
+			}
+		}
+		w.evict(c)
+	}
+}
+
+// evict removes the oldest cache entries until the cache is back at its
+// target size, modelling disk-space-driven cleanup.
+func (w *World) evict(c *Client) {
+	for len(c.cache) > c.targetCache {
+		oldestFile, oldestDay := -1, math.MaxInt
+		for fi, d := range c.cache {
+			if d < oldestDay || (d == oldestDay && fi < oldestFile) {
+				oldestFile, oldestDay = fi, d
+			}
+		}
+		delete(c.cache, oldestFile)
+	}
+}
+
+// SourceCount returns how many clients currently share the given file.
+// Intended for tests and diagnostics; O(clients).
+func (w *World) SourceCount(fileIndex int) int {
+	n := 0
+	for i := range w.Clients {
+		if _, ok := w.Clients[i].cache[fileIndex]; ok {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes the world state.
+func (w *World) String() string {
+	return fmt.Sprintf("world{day %d, %d clients, %d files, %d topics}",
+		w.day, len(w.Clients), len(w.Files), len(w.Topics))
+}

@@ -1,0 +1,426 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"edonkey/internal/stats"
+	"edonkey/internal/trace"
+)
+
+// SmallConfig is a fast configuration used throughout the test suite.
+func smallConfig(seed uint64) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Peers = 600
+	cfg.Days = 20
+	cfg.Topics = 60
+	cfg.InitialFiles = 20000
+	cfg.NewFilesPerDay = 180
+	return cfg
+}
+
+func TestConfigValidate(t *testing.T) {
+	cfg := Config{}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("zero config should default-validate: %v", err)
+	}
+	if cfg.Peers != DefaultConfig().Peers {
+		t.Errorf("defaults not applied: Peers = %d", cfg.Peers)
+	}
+	bad := DefaultConfig()
+	bad.FreeRiderFraction = 1.5
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for FreeRiderFraction out of range")
+	}
+	bad = DefaultConfig()
+	bad.OnlineMin = 0.9
+	bad.OnlineMax = 0.5
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for inverted online bounds")
+	}
+	bad = DefaultConfig()
+	bad.InitialFiles = 3
+	bad.Topics = 10
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for InitialFiles < Topics")
+	}
+}
+
+func TestWorldDeterminism(t *testing.T) {
+	w1, err := New(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := New(smallConfig(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		w1.Step()
+		w2.Step()
+	}
+	if len(w1.Files) != len(w2.Files) {
+		t.Fatalf("file counts diverge: %d vs %d", len(w1.Files), len(w2.Files))
+	}
+	for i := range w1.Clients {
+		c1, c2 := &w1.Clients[i], &w2.Clients[i]
+		if c1.CacheSize() != c2.CacheSize() || c1.Loc != c2.Loc {
+			t.Fatalf("client %d diverged", i)
+		}
+	}
+	// Different seed must differ somewhere.
+	w3, err := New(smallConfig(43))
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range w1.Clients {
+		if w1.Clients[i].Loc != w3.Clients[i].Loc {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical client locations")
+	}
+}
+
+func TestFreeRidersShareNothing(t *testing.T) {
+	w, err := New(smallConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		w.Step()
+	}
+	frac := 0.0
+	for i := range w.Clients {
+		c := &w.Clients[i]
+		if c.FreeRider {
+			frac++
+			if c.CacheSize() != 0 {
+				t.Fatalf("free-rider %d shares %d files", i, c.CacheSize())
+			}
+		} else if c.CacheSize() == 0 {
+			t.Errorf("sharer %d has an empty cache", i)
+		}
+	}
+	frac /= float64(len(w.Clients))
+	if frac < 0.65 || frac > 0.85 {
+		t.Errorf("free-rider fraction = %v, want ~0.75", frac)
+	}
+}
+
+func TestCacheSizesNearTarget(t *testing.T) {
+	w, err := New(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		w.Step()
+	}
+	for i := range w.Clients {
+		c := &w.Clients[i]
+		if c.FreeRider {
+			continue
+		}
+		if c.CacheSize() > c.targetCache {
+			t.Errorf("client %d cache %d exceeds target %d", i, c.CacheSize(), c.targetCache)
+		}
+	}
+}
+
+// The generosity distribution must reproduce the paper's skew: the top 15%
+// of sharers hold the majority (~75%) of all shared files.
+func TestGenerositySkew(t *testing.T) {
+	w, err := New(smallConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sizes []float64
+	for i := range w.Clients {
+		if c := &w.Clients[i]; !c.FreeRider {
+			sizes = append(sizes, float64(c.CacheSize()))
+		}
+	}
+	share, err := stats.TopShare(sizes, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if share < 0.55 || share > 0.92 {
+		t.Errorf("top-15%% share = %v, want ~0.75", share)
+	}
+	// ~80% of sharers under 100 files.
+	under, err := stats.Percentile(sizes, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if under > 260 {
+		t.Errorf("80th percentile cache = %v files, want <~100 (loose bound 260)", under)
+	}
+}
+
+func TestLifecycleShape(t *testing.T) {
+	w, err := New(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.lifecycle(-1) != 0 {
+		t.Error("unreleased files must have zero attractiveness")
+	}
+	peak := w.lifecycle(w.Config.RampDays)
+	if w.lifecycle(0) >= peak {
+		t.Error("ramp must rise to the peak")
+	}
+	if w.lifecycle(w.Config.RampDays+5) >= peak {
+		t.Error("attractiveness must decay after the peak")
+	}
+	old := w.lifecycle(1000)
+	if old != w.Config.LifecycleFloor {
+		t.Errorf("old files should sit at the floor, got %v", old)
+	}
+}
+
+func TestIdentitySegments(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.AliasFraction = 0.999 // force aliasing
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliased := 0
+	for i := range w.Clients {
+		c := &w.Clients[i]
+		if len(c.identities) == 2 {
+			aliased++
+			a, b := c.identities[0], c.identities[1]
+			if a.endDay+1 != b.startDay {
+				t.Fatalf("client %d identity gap: %+v", i, c.identities)
+			}
+			if a.ip == b.ip && a.hash == b.hash {
+				t.Fatalf("client %d alias changed nothing", i)
+			}
+			ip0, h0 := c.IdentityAt(0)
+			if ip0 != a.ip || h0 != a.hash {
+				t.Fatalf("IdentityAt(0) wrong for client %d", i)
+			}
+			ipEnd, hEnd := c.IdentityAt(cfg.Days - 1)
+			if ipEnd != b.ip || hEnd != b.hash {
+				t.Fatalf("IdentityAt(last) wrong for client %d", i)
+			}
+		}
+	}
+	if aliased < len(w.Clients)*9/10 {
+		t.Errorf("only %d/%d clients aliased", aliased, len(w.Clients))
+	}
+}
+
+func TestCountryMixEmerges(t *testing.T) {
+	cfg := smallConfig(6)
+	cfg.Peers = 4000
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for i := range w.Clients {
+		counts[w.Clients[i].Loc.Country]++
+	}
+	fr := float64(counts["FR"]) / float64(cfg.Peers)
+	de := float64(counts["DE"]) / float64(cfg.Peers)
+	if math.Abs(fr-0.29) > 0.04 || math.Abs(de-0.28) > 0.04 {
+		t.Errorf("country mix FR=%v DE=%v, want ~0.29/~0.28", fr, de)
+	}
+}
+
+// Popular files must be disproportionately large (paper Fig. 6).
+func TestPopularFilesAreLarge(t *testing.T) {
+	tr := testTrace(t, 7)
+	sources := tr.SourcesPerFile()
+	var popBig, popAll, allBig, all float64
+	for fid, n := range sources {
+		if n == 0 {
+			continue
+		}
+		big := tr.Files[fid].Size > 600<<20
+		all++
+		if big {
+			allBig++
+		}
+		if n >= 5 {
+			popAll++
+			if big {
+				popBig++
+			}
+		}
+	}
+	if popAll < 20 {
+		t.Skipf("too few popular files (%v) at this scale", popAll)
+	}
+	fracPop := popBig / popAll
+	fracAll := allBig / all
+	if fracPop < 2.5*fracAll {
+		t.Errorf("popular files not disproportionately large: %.3f vs %.3f overall", fracPop, fracAll)
+	}
+}
+
+func testTrace(t *testing.T, seed uint64) *trace.Trace {
+	t.Helper()
+	tr, _, err := Collect(smallConfig(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("collected trace invalid: %v", err)
+	}
+	return tr
+}
+
+func TestCollectProducesValidTrace(t *testing.T) {
+	tr := testTrace(t, 8)
+	if tr.DurationDays() < 15 {
+		t.Errorf("trace too short: %d days", tr.DurationDays())
+	}
+	if tr.Observations() == 0 || tr.DistinctFiles() == 0 {
+		t.Fatal("empty trace")
+	}
+	// Firewalled or browse-disabled clients must never appear.
+	for _, p := range tr.Peers {
+		if p.Firewalled || !p.BrowseOK {
+			t.Fatalf("uncrawlable peer in trace: %+v", p)
+		}
+	}
+	// Free-riders appear with empty caches.
+	if tr.FreeRiders() == 0 {
+		t.Error("no free-riders observed")
+	}
+}
+
+func TestCollectAliasesAppearAsDuplicates(t *testing.T) {
+	cfg := smallConfig(9)
+	cfg.AliasFraction = 0.9
+	tr, _, err := Collect(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliased := 0
+	for _, p := range tr.Peers {
+		if p.AliasOf >= 0 {
+			aliased++
+			// The alias must share an IP or a user hash with its
+			// predecessor — that is what Filter() keys on.
+			prev := tr.Peers[p.AliasOf]
+			if prev.IP != p.IP && prev.UserHash != p.UserHash {
+				t.Fatalf("alias %d shares nothing with predecessor", p.ID)
+			}
+		}
+	}
+	if aliased == 0 {
+		t.Fatal("no aliases observed despite AliasFraction=0.9")
+	}
+	// Filtering must strictly reduce the sharing population.
+	ft := tr.Filter()
+	if len(ft.Peers) >= len(tr.Peers) {
+		t.Errorf("filter removed nothing: %d -> %d", len(tr.Peers), len(ft.Peers))
+	}
+}
+
+// File popularity must follow a Zipf-like rank/replication law (Fig. 5):
+// linear on log-log after the head, with a clearly negative slope.
+func TestPopularityIsZipfLike(t *testing.T) {
+	tr := testTrace(t, 10)
+	sources := tr.SourcesPerFile()
+	var counts []int
+	for _, n := range sources {
+		if n > 0 {
+			counts = append(counts, n)
+		}
+	}
+	if len(counts) < 100 {
+		t.Fatalf("too few observed files: %d", len(counts))
+	}
+	// Sort descending = popularity rank order.
+	for i := 1; i < len(counts); i++ {
+		for j := i; j > 0 && counts[j-1] < counts[j]; j-- {
+			counts[j-1], counts[j] = counts[j], counts[j-1]
+		}
+	}
+	var xs, ys []float64
+	for r, n := range counts {
+		xs = append(xs, float64(r+1))
+		ys = append(ys, float64(n))
+	}
+	slope, _, r2, ok := stats.FitPowerLaw(xs, ys)
+	if !ok {
+		t.Fatal("power-law fit failed")
+	}
+	if slope > -0.2 || slope < -2.5 {
+		t.Errorf("rank/replication slope = %v, want clearly negative Zipf-like", slope)
+	}
+	if r2 < 0.5 {
+		t.Errorf("rank/replication fit r2 = %v, want reasonably linear on log-log", r2)
+	}
+}
+
+// Max spread must stay well under 100% of clients (paper: 0.7% max).
+func TestSpreadIsBounded(t *testing.T) {
+	tr := testTrace(t, 11)
+	sources := tr.SourcesPerFile()
+	maxSources := 0
+	for _, n := range sources {
+		if n > maxSources {
+			maxSources = n
+		}
+	}
+	peers := tr.ObservedPeers()
+	frac := float64(maxSources) / float64(peers)
+	if frac > 0.25 {
+		t.Errorf("most popular file held by %.1f%% of peers, want a small fraction", frac*100)
+	}
+}
+
+func TestStepGrowsCatalogue(t *testing.T) {
+	w, err := New(smallConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := len(w.Files)
+	w.Step()
+	if len(w.Files) != before+w.Config.NewFilesPerDay {
+		t.Errorf("catalogue grew by %d, want %d", len(w.Files)-before, w.Config.NewFilesPerDay)
+	}
+	if w.Day() != 1 {
+		t.Errorf("Day = %d, want 1", w.Day())
+	}
+}
+
+func TestInterestsAreHomeBiased(t *testing.T) {
+	cfg := smallConfig(13)
+	cfg.Peers = 2000
+	cfg.GeoBias = 0.9
+	w, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	homeCount, total := 0, 0
+	for i := range w.Clients {
+		c := &w.Clients[i]
+		if c.FreeRider {
+			continue
+		}
+		for _, tid := range c.Interests() {
+			total++
+			if w.Topics[tid].HomeCountry == c.Loc.Country {
+				homeCount++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no interests assigned")
+	}
+	frac := float64(homeCount) / float64(total)
+	if frac < 0.5 {
+		t.Errorf("home-topic interest fraction = %v, want majority with GeoBias=0.9", frac)
+	}
+}
