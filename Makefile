@@ -1,0 +1,38 @@
+# Mirrors .github/workflows/ci.yml so local and CI invocations stay
+# identical: `make build test lint race bench-smoke` is what CI runs.
+
+GO ?= go
+
+.PHONY: all build test race bench bench-smoke lint fmt clean
+
+all: build lint test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark suite (slow; regenerates the paper's figures).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# CI's smoke variant: every benchmark runs exactly once.
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+clean:
+	$(GO) clean ./...

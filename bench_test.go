@@ -17,9 +17,14 @@ import (
 	"edonkey/internal/core"
 	"edonkey/internal/geo"
 	"edonkey/internal/overlay"
+	"edonkey/internal/runner"
 	"edonkey/internal/trace"
 	"edonkey/internal/workload"
 )
+
+// Per-figure benchmarks run their sweeps serially (nil pool) so they
+// keep measuring the cost of one experiment's work, not the machine's
+// core count; BenchmarkAblationSweep* measures the parallel engine.
 
 var (
 	benchOnce  sync.Once
@@ -76,7 +81,7 @@ func BenchmarkTable3CombinedAblation(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Table3Combined(s.Caches, 1)
+		_ = analysis.Table3Combined(s.Caches, 1, nil)
 	}
 }
 
@@ -228,7 +233,7 @@ func BenchmarkFig18HitRates(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig18HitRates(s.Caches, benchListSizes, 1)
+		_ = analysis.Fig18HitRates(s.Caches, benchListSizes, 1, nil)
 	}
 }
 
@@ -237,7 +242,7 @@ func BenchmarkFig19UploaderAblation(b *testing.B) {
 	drops := []float64{0, 0.05, 0.10, 0.15}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig19UploaderAblation(s.Caches, benchListSizes, drops, 1)
+		_ = analysis.Fig19UploaderAblation(s.Caches, benchListSizes, drops, 1, nil)
 	}
 }
 
@@ -246,7 +251,7 @@ func BenchmarkFig20PopularityAblation(b *testing.B) {
 	drops := []float64{0, 0.05, 0.15, 0.30}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig20PopularityAblation(s.Caches, benchListSizes, drops, 1)
+		_ = analysis.Fig20PopularityAblation(s.Caches, benchListSizes, drops, 1, nil)
 	}
 }
 
@@ -255,7 +260,7 @@ func BenchmarkFig21RandomizedHitRate(b *testing.B) {
 	fractions := []float64{0, 0.25, 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig21RandomizedHitRate(s.Caches, fractions, 1)
+		_ = analysis.Fig21RandomizedHitRate(s.Caches, fractions, 1, nil)
 	}
 }
 
@@ -264,7 +269,7 @@ func BenchmarkFig22LoadDistribution(b *testing.B) {
 	drops := []float64{0, 0.05, 0.10, 0.15}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig22LoadDistribution(s.Caches, drops, 1)
+		_ = analysis.Fig22LoadDistribution(s.Caches, drops, 1, nil)
 	}
 }
 
@@ -273,7 +278,7 @@ func BenchmarkFig23TwoHop(b *testing.B) {
 	drops := []float64{0, 0.05}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig23TwoHop(s.Caches, benchListSizes, drops, 1)
+		_ = analysis.Fig23TwoHop(s.Caches, benchListSizes, drops, 1, nil)
 	}
 }
 
@@ -348,5 +353,75 @@ func BenchmarkAblationOverlayVsLRUSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		_ = core.RunSim(s.Caches, core.SimOptions{ListSize: 20, Seed: 1, FixedLists: views})
 		_ = core.RunSim(s.Caches, core.SimOptions{ListSize: 20, Kind: core.LRU, Seed: 1})
+	}
+}
+
+// benchSweepOpts is a representative multi-point ablation sweep (the
+// Fig. 19 grid at the paper's list sizes): 16 independent simulation
+// points over one shared set of caches.
+func benchSweepOpts() []core.SimOptions {
+	var opts []core.SimOptions
+	for _, drop := range []float64{0, 0.05, 0.10, 0.15} {
+		for _, L := range []int{5, 10, 20, 50} {
+			opts = append(opts, core.SimOptions{
+				ListSize: L, Kind: core.LRU, Seed: 1, DropTopUploaders: drop,
+			})
+		}
+	}
+	return opts
+}
+
+// BenchmarkAblationSweepSerial and BenchmarkAblationSweepParallel compare
+// the same 16-point sweep through the experiment engine at one worker and
+// at GOMAXPROCS workers; the outputs are bit-identical, only wall-clock
+// differs (roughly by the core count on an idle machine).
+func BenchmarkAblationSweepSerial(b *testing.B) {
+	s := benchSetup(b)
+	opts := benchSweepOpts()
+	pool := runner.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.RunSweep(s.Caches, opts, pool)
+	}
+}
+
+func BenchmarkAblationSweepParallel(b *testing.B) {
+	s := benchSetup(b)
+	opts := benchSweepOpts()
+	pool := runner.New(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = core.RunSweep(s.Caches, opts, pool)
+	}
+}
+
+// BenchmarkAblationSuiteSerial/Parallel regenerate the full figure suite
+// (all tables and figures at reduced list sizes) through the engine.
+func benchSuiteInput(s *Study, pool *runner.Pool) analysis.SuiteInput {
+	return analysis.SuiteInput{
+		Full:         s.Full,
+		Filtered:     s.Filtered,
+		Extrapolated: s.Extrapolated,
+		Caches:       s.Caches,
+		Registry:     benchReg,
+		Seed:         1,
+		ListSizes:    benchListSizes,
+		Pool:         pool,
+	}
+}
+
+func BenchmarkAblationSuiteSerial(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.FullSuite(benchSuiteInput(s, runner.New(1)))
+	}
+}
+
+func BenchmarkAblationSuiteParallel(b *testing.B) {
+	s := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = analysis.FullSuite(benchSuiteInput(s, runner.New(0)))
 	}
 }

@@ -1,13 +1,16 @@
 // Command edanalyze inspects a saved trace: it prints the Table 1
 // summary, the country and AS mixes, contribution statistics and the
-// clustering correlation, without running any simulation.
+// clustering correlation, without running any simulation. The report
+// sections are computed concurrently on the worker pool and printed in
+// order.
 //
 // Usage:
 //
-//	edanalyze trace.gob
+//	edanalyze [-workers 0] trace.gob
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -15,72 +18,108 @@ import (
 	"edonkey"
 	"edonkey/internal/analysis"
 	"edonkey/internal/geo"
+	"edonkey/internal/runner"
 	"edonkey/internal/stats"
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: edanalyze <trace-file>")
+		fmt.Fprintln(os.Stderr, "usage: edanalyze [-workers N] <trace-file>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0)); err != nil {
+	if err := run(flag.Arg(0), *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "edanalyze:", err)
 		os.Exit(1)
 	}
 }
 
-func run(path string) error {
+func run(path string, workers int) error {
 	study, err := edonkey.LoadStudy(path)
 	if err != nil {
 		return err
 	}
-	tab := analysis.Table1(study.Full, study.Filtered, study.Extrapolated)
-	if err := tab.Render(os.Stdout); err != nil {
-		return err
-	}
-	fmt.Println()
+	study.SetWorkers(workers)
 
-	reg := geo.NewRegistry()
-	tab2 := analysis.Table2(study.Filtered, reg, 5)
-	if err := tab2.Render(os.Stdout); err != nil {
-		return err
+	// Each section renders into its own buffer; the pool computes them
+	// concurrently and the buffers are printed in report order.
+	sections := []func() (string, error){
+		func() (string, error) {
+			var buf bytes.Buffer
+			tab := analysis.Table1(study.Full, study.Filtered, study.Extrapolated)
+			if err := tab.Render(&buf); err != nil {
+				return "", err
+			}
+			return buf.String(), nil
+		},
+		func() (string, error) {
+			var buf bytes.Buffer
+			tab := analysis.Table2(study.Filtered, geo.NewRegistry(), 5)
+			if err := tab.Render(&buf); err != nil {
+				return "", err
+			}
+			return buf.String(), nil
+		},
+		func() (string, error) {
+			// Contribution skew (the "top 15% share 75%" statistic).
+			var sizes []float64
+			for _, c := range study.Caches {
+				if len(c) > 0 {
+					sizes = append(sizes, float64(len(c)))
+				}
+			}
+			if len(sizes) == 0 {
+				return "", nil
+			}
+			top15, err := stats.TopShare(sizes, 0.15)
+			if err != nil {
+				return "", err
+			}
+			gini, err := stats.Gini(sizes)
+			if err != nil {
+				return "", err
+			}
+			return fmt.Sprintf("contribution skew: top 15%% of sharers hold %.0f%% of files (gini %.2f)\n",
+				100*top15, gini), nil
+		},
+		func() (string, error) {
+			var buf bytes.Buffer
+			fmt.Fprintln(&buf, "clustering correlation (filtered trace, all files):")
+			pts := study.ClusteringCorrelation()
+			shown := 0
+			for _, p := range pts {
+				if p.CommonFiles > 10 && p.CommonFiles%10 != 0 {
+					continue
+				}
+				fmt.Fprintf(&buf, "  P(another | >= %3d common) = %5.1f%%  (%d pairs)\n",
+					p.CommonFiles, 100*p.Probability, p.Pairs)
+				shown++
+				if shown >= 15 {
+					break
+				}
+			}
+			return buf.String(), nil
+		},
 	}
-	fmt.Println()
 
-	// Contribution skew (the "top 15% share 75%" statistic).
-	var sizes []float64
-	for _, c := range study.Caches {
-		if len(c) > 0 {
-			sizes = append(sizes, float64(len(c)))
-		}
+	type section struct {
+		text string
+		err  error
 	}
-	if len(sizes) > 0 {
-		top15, err := stats.TopShare(sizes, 0.15)
-		if err != nil {
-			return err
+	rendered := runner.Collect(study.Pool(), len(sections), func(i int) section {
+		text, err := sections[i]()
+		return section{text, err}
+	})
+	for _, s := range rendered {
+		if s.err != nil {
+			return s.err
 		}
-		gini, err := stats.Gini(sizes)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("contribution skew: top 15%% of sharers hold %.0f%% of files (gini %.2f)\n\n",
-			100*top15, gini)
-	}
-
-	fmt.Println("clustering correlation (filtered trace, all files):")
-	pts := study.ClusteringCorrelation()
-	shown := 0
-	for _, p := range pts {
-		if p.CommonFiles > 10 && p.CommonFiles%10 != 0 {
+		if s.text == "" {
 			continue
 		}
-		fmt.Printf("  P(another | >= %3d common) = %5.1f%%  (%d pairs)\n",
-			p.CommonFiles, 100*p.Probability, p.Pairs)
-		shown++
-		if shown >= 15 {
-			break
-		}
+		fmt.Print(s.text)
+		fmt.Println()
 	}
 	return nil
 }

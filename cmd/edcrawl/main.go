@@ -29,6 +29,7 @@ func main() {
 		budget  = flag.Int("budget", 0, "initial daily browse budget (0 = unlimited)")
 		final   = flag.Int("final-budget", 0, "final daily browse budget (models bandwidth decline)")
 		publish = flag.Bool("publish", false, "clients publish caches to the server too")
+		workers = flag.Int("workers", 0, "worker pool size for world evolution (0 = GOMAXPROCS, 1 = serial); traces are identical for any value")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 	wcfg.Seed = *seed
 	wcfg.Peers = *peers
 	wcfg.Days = *days
+	wcfg.Workers = *workers
 	wcfg.Topics = max(8, *peers/20)
 	if *files > 0 {
 		wcfg.InitialFiles = *files

@@ -13,6 +13,7 @@
 //	edrepro -scale 2            # 2x the default population
 //	edrepro -trace trace.gob    # use a previously saved trace
 //	edrepro -out results/       # also write CSVs to results/
+//	edrepro -workers 1          # serial run (same outputs, slower)
 package main
 
 import (
@@ -24,7 +25,6 @@ import (
 
 	"edonkey"
 	"edonkey/internal/analysis"
-	"edonkey/internal/geo"
 	"edonkey/internal/workload"
 )
 
@@ -38,24 +38,29 @@ func main() {
 		outDir    = flag.String("out", "", "also write CSV/text files to this directory")
 		only      = flag.String("only", "", "comma-separated experiment ids (e.g. fig18,table3)")
 		useCrawl  = flag.Bool("crawler", false, "collect via the protocol-level crawler (slow)")
+		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); outputs are identical for any value")
 	)
 	flag.Parse()
 
-	if err := run(*seed, *scale, *days, *tracePath, *savePath, *outDir, *only, *useCrawl); err != nil {
+	if err := run(*seed, *scale, *days, *workers, *tracePath, *savePath, *outDir, *only, *useCrawl); err != nil {
 		fmt.Fprintln(os.Stderr, "edrepro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, scale float64, days int, tracePath, savePath, outDir, only string, useCrawl bool) error {
+func run(seed uint64, scale float64, days, workers int, tracePath, savePath, outDir, only string, useCrawl bool) error {
 	var study *edonkey.Study
 	var err error
 	if tracePath != "" {
 		study, err = edonkey.LoadStudy(tracePath)
+		if err == nil {
+			study.SetWorkers(workers)
+		}
 	} else {
 		cfg := edonkey.DefaultStudyConfig()
 		cfg.World = scaledWorld(seed, scale, days)
 		cfg.UseCrawler = useCrawl
+		cfg.Workers = workers
 		study, err = edonkey.NewStudy(cfg)
 	}
 	if err != nil {
@@ -78,22 +83,12 @@ func run(seed uint64, scale float64, days int, tracePath, savePath, outDir, only
 		return len(selected) == 0 || selected[strings.ToLower(id)]
 	}
 
-	fmt.Printf("study: full %d peers / filtered %d / extrapolated %d; %d distinct files\n\n",
+	fmt.Printf("study: full %d peers / filtered %d / extrapolated %d; %d distinct files; %d workers\n\n",
 		study.Full.ObservedPeers(), study.Filtered.ObservedPeers(),
-		study.Extrapolated.ObservedPeers(), study.Full.DistinctFiles())
+		study.Extrapolated.ObservedPeers(), study.Full.DistinctFiles(),
+		study.Pool().Workers())
 
-	reg := geo.NewRegistry()
-	if study.World != nil {
-		reg = study.World.Registry
-	}
-	suite := analysis.FullSuite(analysis.SuiteInput{
-		Full:         study.Full,
-		Filtered:     study.Filtered,
-		Extrapolated: study.Extrapolated,
-		Caches:       study.Caches,
-		Registry:     reg,
-		Seed:         seed,
-	})
+	suite := study.Suite(seed)
 	for _, exp := range suite {
 		if !want(exp.ID()) {
 			continue

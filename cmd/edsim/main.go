@@ -6,7 +6,10 @@
 //
 //	edsim [-strategy lru|history|random] [-list 20] [-twohop]
 //	      [-drop-uploaders 0.05] [-drop-files 0.15] [-randomize]
-//	      [-trace trace.gob]
+//	      [-lists 5,10,20,50] [-workers 0] [-trace trace.gob]
+//
+// With -lists, one simulation per list size runs concurrently on the
+// worker pool and a summary line is printed per size.
 package main
 
 import (
@@ -14,8 +17,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 
 	"edonkey"
+	"edonkey/internal/core"
 	"edonkey/internal/workload"
 )
 
@@ -27,15 +33,17 @@ func main() {
 		days           = flag.Int("days", 30, "generated trace days")
 		strategy       = flag.String("strategy", "lru", "lru, history or random")
 		listSize       = flag.Int("list", 20, "semantic neighbour list size")
+		listSweep      = flag.String("lists", "", "comma-separated list sizes: run the whole sweep concurrently")
 		twoHop         = flag.Bool("twohop", false, "query neighbours' neighbours on a miss")
 		dropUp         = flag.Float64("drop-uploaders", 0, "fraction of top uploaders removed")
 		dropFiles      = flag.Float64("drop-files", 0, "fraction of top popular files removed")
 		randomizeTrace = flag.Bool("randomize", false, "fully randomize caches first (appendix algorithm)")
 		load           = flag.Bool("load", false, "print the query-load distribution")
+		workers        = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
 	)
 	flag.Parse()
 
-	study, err := makeStudy(*tracePath, *seed, *peers, *days)
+	study, err := makeStudy(*tracePath, *seed, *peers, *days, *workers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edsim:", err)
 		os.Exit(1)
@@ -53,6 +61,15 @@ func main() {
 	if *randomizeTrace {
 		opt.RandomizeSwaps = -1
 	}
+
+	if *listSweep != "" {
+		if err := runSweep(study, opt, *listSweep); err != nil {
+			fmt.Fprintln(os.Stderr, "edsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	res, err := study.SearchSim(opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edsim:", err)
@@ -65,29 +82,71 @@ func main() {
 	fmt.Printf("  one-hop hits: %d, two-hop hits: %d, messages: %d\n",
 		res.OneHopHits, res.TwoHopHits, res.Messages)
 	if *load && res.Requests > 0 {
-		var loads []int64
-		for _, l := range res.LoadPerPeer {
-			if l > 0 {
-				loads = append(loads, l)
-			}
-		}
-		if len(loads) == 0 {
-			fmt.Println("  load: no queries were delivered")
-			return
-		}
-		sort.Slice(loads, func(i, j int) bool { return loads[i] > loads[j] })
-		mean := float64(res.Messages) / float64(len(loads))
-		fmt.Printf("  load: %d loaded peers, mean %.1f msgs, max %d\n",
-			len(loads), mean, loads[0])
-		for _, q := range []int{0, len(loads) / 100, len(loads) / 10, len(loads) / 2} {
-			fmt.Printf("    rank %6d: %d msgs\n", q+1, loads[q])
-		}
+		printLoad(res)
 	}
 }
 
-func makeStudy(tracePath string, seed uint64, peers, days int) (*edonkey.Study, error) {
+// printLoad prints the query-load distribution of a TrackLoad run.
+func printLoad(res core.SimResult) {
+	var loads []int64
+	for _, l := range res.LoadPerPeer {
+		if l > 0 {
+			loads = append(loads, l)
+		}
+	}
+	if len(loads) == 0 {
+		fmt.Println("  load: no queries were delivered")
+		return
+	}
+	sort.Slice(loads, func(i, j int) bool { return loads[i] > loads[j] })
+	mean := float64(res.Messages) / float64(len(loads))
+	fmt.Printf("  load: %d loaded peers, mean %.1f msgs, max %d\n",
+		len(loads), mean, loads[0])
+	for _, q := range []int{0, len(loads) / 100, len(loads) / 10, len(loads) / 2} {
+		fmt.Printf("    rank %6d: %d msgs\n", q+1, loads[q])
+	}
+}
+
+// runSweep parses the -lists grid and runs one simulation per size
+// concurrently through the facade's sweep entry point.
+func runSweep(study *edonkey.Study, base edonkey.SearchOptions, lists string) error {
+	var opts []edonkey.SearchOptions
+	for _, field := range strings.Split(lists, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		L, err := strconv.Atoi(field)
+		if err != nil || L <= 0 {
+			return fmt.Errorf("bad -lists entry %q", field)
+		}
+		opt := base
+		opt.ListSize = L
+		opts = append(opts, opt)
+	}
+	if len(opts) == 0 {
+		return fmt.Errorf("-lists is empty")
+	}
+	results, err := study.SearchSweep(opts)
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		fmt.Println(res.String())
+		if base.TrackLoad && res.Requests > 0 {
+			printLoad(res)
+		}
+	}
+	return nil
+}
+
+func makeStudy(tracePath string, seed uint64, peers, days, workers int) (*edonkey.Study, error) {
 	if tracePath != "" {
-		return edonkey.LoadStudy(tracePath)
+		study, err := edonkey.LoadStudy(tracePath)
+		if err != nil {
+			return nil, err
+		}
+		return study.SetWorkers(workers), nil
 	}
 	cfg := edonkey.DefaultStudyConfig()
 	w := workload.DefaultConfig()
@@ -98,6 +157,7 @@ func makeStudy(tracePath string, seed uint64, peers, days int) (*edonkey.Study, 
 	w.InitialFiles = 30 * peers
 	w.NewFilesPerDay = max(1, w.InitialFiles/100)
 	cfg.World = w
+	cfg.Workers = workers
 	return edonkey.NewStudy(cfg)
 }
 

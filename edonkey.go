@@ -35,8 +35,11 @@ import (
 	"fmt"
 	"strings"
 
+	"edonkey/internal/analysis"
 	"edonkey/internal/core"
 	"edonkey/internal/crawler"
+	"edonkey/internal/geo"
+	"edonkey/internal/runner"
 	"edonkey/internal/trace"
 	"edonkey/internal/workload"
 )
@@ -54,6 +57,11 @@ type StudyConfig struct {
 	// Extrapolate sets the extrapolated-trace thresholds; zero value
 	// means the paper's (>= 5 snapshots over >= 10 days).
 	Extrapolate trace.ExtrapolateOptions
+	// Workers bounds the worker pool used for world generation,
+	// simulation sweeps and the experiment suite: 0 selects GOMAXPROCS,
+	// 1 runs serially. Every worker count produces bit-identical traces
+	// and experiment data; see internal/runner.
+	Workers int
 }
 
 // DefaultStudyConfig returns the laptop-scale defaults (about 4k peers,
@@ -87,12 +95,17 @@ type Study struct {
 	World *workload.World
 	// CrawlStats reports the crawl when UseCrawler was set.
 	CrawlStats crawler.Stats
+
+	pool *runner.Pool
 }
 
 // NewStudy generates a world, collects its trace (oracle or crawler) and
 // derives the filtered and extrapolated levels.
 func NewStudy(cfg StudyConfig) (*Study, error) {
-	s := &Study{Config: cfg}
+	if cfg.World.Workers == 0 {
+		cfg.World.Workers = cfg.Workers
+	}
+	s := &Study{Config: cfg, pool: runner.New(cfg.Workers)}
 	if cfg.UseCrawler {
 		w, err := workload.New(cfg.World)
 		if err != nil {
@@ -125,10 +138,23 @@ func LoadStudy(path string) (*Study, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Study{Config: DefaultStudyConfig(), Full: tr}
+	s := &Study{Config: DefaultStudyConfig(), Full: tr, pool: runner.New(0)}
 	s.derive()
 	return s, nil
 }
+
+// SetWorkers rebinds the study's worker pool (0 = GOMAXPROCS, 1 =
+// serial) and returns the study. Results never depend on the value; only
+// wall-clock does.
+func (s *Study) SetWorkers(n int) *Study {
+	s.Config.Workers = n
+	s.pool = runner.New(n)
+	return s
+}
+
+// Pool exposes the study's worker pool for callers driving
+// internal/analysis or internal/core directly.
+func (s *Study) Pool() *runner.Pool { return s.pool }
 
 func (s *Study) derive() {
 	s.Filtered = s.Full.Filter()
@@ -174,14 +200,12 @@ func ParseStrategy(name string) (core.StrategyKind, error) {
 	}
 }
 
-// SearchSim runs the paper's trace-driven semantic search simulation on
-// the study's filtered caches.
-func (s *Study) SearchSim(opt SearchOptions) (core.SimResult, error) {
+func (opt SearchOptions) simOptions() (core.SimOptions, error) {
 	kind, err := ParseStrategy(opt.Strategy)
 	if err != nil {
-		return core.SimResult{}, err
+		return core.SimOptions{}, err
 	}
-	return core.RunSim(s.Caches, core.SimOptions{
+	return core.SimOptions{
 		ListSize:         opt.ListSize,
 		Kind:             kind,
 		TwoHop:           opt.TwoHop,
@@ -190,7 +214,53 @@ func (s *Study) SearchSim(opt SearchOptions) (core.SimResult, error) {
 		DropTopFiles:     opt.DropTopFiles,
 		RandomizeSwaps:   opt.RandomizeSwaps,
 		TrackLoad:        opt.TrackLoad,
-	}), nil
+	}, nil
+}
+
+// SearchSim runs the paper's trace-driven semantic search simulation on
+// the study's filtered caches.
+func (s *Study) SearchSim(opt SearchOptions) (core.SimResult, error) {
+	sim, err := opt.simOptions()
+	if err != nil {
+		return core.SimResult{}, err
+	}
+	return core.RunSim(s.Caches, sim), nil
+}
+
+// SearchSweep runs one SearchSim per options point, fanning the points
+// out over the study's worker pool. The caches are shared read-only
+// across points; results come back in input order and are bit-identical
+// to calling SearchSim in a loop.
+func (s *Study) SearchSweep(opts []SearchOptions) ([]core.SimResult, error) {
+	sims := make([]core.SimOptions, len(opts))
+	for i, opt := range opts {
+		sim, err := opt.simOptions()
+		if err != nil {
+			return nil, fmt.Errorf("sweep point %d: %w", i, err)
+		}
+		sims[i] = sim
+	}
+	return core.RunSweep(s.Caches, sims, s.pool), nil
+}
+
+// Suite regenerates every table and figure of the paper's evaluation on
+// the study's traces. Independent experiments (and the simulation points
+// inside the sweep experiments) run concurrently on the study's worker
+// pool; the output is bit-identical for any worker count.
+func (s *Study) Suite(seed uint64) []analysis.Experiment {
+	reg := geo.NewRegistry()
+	if s.World != nil {
+		reg = s.World.Registry
+	}
+	return analysis.FullSuite(analysis.SuiteInput{
+		Full:         s.Full,
+		Filtered:     s.Filtered,
+		Extrapolated: s.Extrapolated,
+		Caches:       s.Caches,
+		Registry:     reg,
+		Seed:         seed,
+		Pool:         s.pool,
+	})
 }
 
 // ClusteringCorrelation computes the paper's Fig. 13 metric over the

@@ -1,7 +1,9 @@
 package edonkey
 
 import (
+	"bytes"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"edonkey/internal/workload"
@@ -132,6 +134,118 @@ func TestClusteringCorrelationFacade(t *testing.T) {
 	for _, p := range pts {
 		if p.Probability < 0 || p.Probability > 1 {
 			t.Fatalf("probability out of range: %+v", p)
+		}
+	}
+}
+
+func TestSearchSweepMatchesSerialSearchSim(t *testing.T) {
+	cfg := studyConfig(7)
+	cfg.Workers = 0 // GOMAXPROCS
+	study, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var opts []SearchOptions
+	for _, strategy := range []string{"lru", "history", "random"} {
+		for _, L := range []int{5, 10, 20} {
+			opts = append(opts, SearchOptions{ListSize: L, Strategy: strategy, Seed: 5})
+		}
+	}
+	sweep, err := study.SearchSweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep) != len(opts) {
+		t.Fatalf("sweep returned %d results for %d points", len(sweep), len(opts))
+	}
+	for i, opt := range opts {
+		serial, err := study.SearchSim(opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sweep[i], serial) {
+			t.Errorf("point %d (%s, L=%d): sweep result differs from serial SearchSim",
+				i, opt.Strategy, opt.ListSize)
+		}
+	}
+	if _, err := study.SearchSweep([]SearchOptions{{Strategy: "bogus"}}); err == nil {
+		t.Error("sweep accepted a bogus strategy")
+	}
+}
+
+// Worker count must not leak into the generated study: traces produced
+// with 1 worker and with GOMAXPROCS workers are identical.
+func TestStudyDeterministicAcrossWorkers(t *testing.T) {
+	build := func(workers int) *Study {
+		cfg := studyConfig(8)
+		cfg.World.Peers = 200
+		cfg.World.Days = 6
+		cfg.World.InitialFiles = 5000
+		cfg.Workers = workers
+		study, err := NewStudy(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return study
+	}
+	serial := build(1)
+	parallel := build(0)
+	if serial.Full.Observations() != parallel.Full.Observations() {
+		t.Fatalf("observations differ: %d vs %d",
+			serial.Full.Observations(), parallel.Full.Observations())
+	}
+	if !reflect.DeepEqual(serial.Caches, parallel.Caches) {
+		t.Fatal("aggregate caches depend on the worker count")
+	}
+	a, errA := serial.SearchSim(SearchOptions{ListSize: 10, Seed: 3})
+	b, errB := parallel.SearchSim(SearchOptions{ListSize: 10, Seed: 3})
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("simulation on worker-generated study differs from serial study")
+	}
+}
+
+func TestSetWorkers(t *testing.T) {
+	study, err := NewStudy(studyConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.SetWorkers(1).Pool().Workers() != 1 {
+		t.Error("SetWorkers(1) not applied")
+	}
+	if study.SetWorkers(0).Pool().Workers() < 1 {
+		t.Error("SetWorkers(0) produced an empty pool")
+	}
+}
+
+// The facade suite must render identically for any worker count.
+func TestStudySuiteDeterministicAcrossWorkers(t *testing.T) {
+	study, err := NewStudy(studyConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	render := func(workers int) []string {
+		study.SetWorkers(workers)
+		suite := study.Suite(4)
+		out := make([]string, len(suite))
+		for i, exp := range suite {
+			var buf bytes.Buffer
+			if err := exp.Render(&buf); err != nil {
+				t.Fatalf("%s: %v", exp.ID(), err)
+			}
+			out[i] = exp.ID() + "\n" + buf.String()
+		}
+		return out
+	}
+	want := render(1)
+	got := render(0)
+	if !reflect.DeepEqual(want, got) {
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("suite output %d differs between 1 worker and GOMAXPROCS", i)
+			}
 		}
 	}
 }

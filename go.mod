@@ -1,0 +1,3 @@
+module edonkey
+
+go 1.22

@@ -6,6 +6,7 @@ import (
 
 	"edonkey/internal/core"
 	"edonkey/internal/randomize"
+	"edonkey/internal/runner"
 	"edonkey/internal/stats"
 	"edonkey/internal/trace"
 )
@@ -146,71 +147,111 @@ func PickOverlapLevels(t *trace.Trace, lo, hi, k int) []int {
 	return dedup
 }
 
+// hitRateSweep runs the options grid through the parallel sweep engine
+// and slices the results into nGroups per-series hit-rate curves of
+// len(opts)/nGroups points each. Always returns exactly nGroups curves,
+// so callers can label them positionally even for an empty grid.
+func hitRateSweep(caches [][]trace.FileID, opts []core.SimOptions, pool *runner.Pool, nGroups int) [][]float64 {
+	out := make([][]float64, nGroups)
+	if nGroups == 0 || len(opts) == 0 {
+		return out
+	}
+	results := core.RunSweep(caches, opts, pool)
+	nPer := len(results) / nGroups
+	for g := range out {
+		ys := make([]float64, nPer)
+		for i := range ys {
+			ys[i] = 100 * results[g*nPer+i].HitRate()
+		}
+		out[g] = ys
+	}
+	return out
+}
+
+func sizesToX(listSizes []int) []float64 {
+	xs := make([]float64, len(listSizes))
+	for i, L := range listSizes {
+		xs[i] = float64(L)
+	}
+	return xs
+}
+
 // Fig18 reproduces Figure 18: hit rate versus semantic list size for the
-// LRU, History and Random strategies.
-func Fig18HitRates(caches [][]trace.FileID, listSizes []int, seed uint64) *Figure {
+// LRU, History and Random strategies. All strategy x list-size points run
+// concurrently on the pool.
+func Fig18HitRates(caches [][]trace.FileID, listSizes []int, seed uint64, pool *runner.Pool) *Figure {
 	fig := &Figure{
 		ID: "fig18", Title: "Semantic search hit rate by strategy",
 		XLabel: "number of semantic neighbours", YLabel: "hits (%)",
 	}
-	for _, kind := range []core.StrategyKind{core.LRU, core.History, core.Random} {
-		s := Series{Label: kind.String()}
+	kinds := []core.StrategyKind{core.LRU, core.History, core.Random}
+	var opts []core.SimOptions
+	for _, kind := range kinds {
 		for _, L := range listSizes {
-			res := core.RunSim(caches, core.SimOptions{ListSize: L, Kind: kind, Seed: seed})
-			s.X = append(s.X, float64(L))
-			s.Y = append(s.Y, 100*res.HitRate())
+			opts = append(opts, core.SimOptions{ListSize: L, Kind: kind, Seed: seed})
 		}
-		fig.Series = append(fig.Series, s)
+	}
+	curves := hitRateSweep(caches, opts, pool, len(kinds))
+	for i, kind := range kinds {
+		fig.Series = append(fig.Series, Series{
+			Label: kind.String(), X: sizesToX(listSizes), Y: curves[i],
+		})
 	}
 	return fig
 }
 
 // Fig19 reproduces Figure 19: LRU hit rate after removing the most
-// generous uploaders.
-func Fig19UploaderAblation(caches [][]trace.FileID, listSizes []int, drops []float64, seed uint64) *Figure {
+// generous uploaders. All drop x list-size points run concurrently.
+func Fig19UploaderAblation(caches [][]trace.FileID, listSizes []int, drops []float64, seed uint64, pool *runner.Pool) *Figure {
 	fig := &Figure{
 		ID: "fig19", Title: "LRU hit rate without the most generous uploaders",
 		XLabel: "number of semantic neighbours", YLabel: "hits (%)",
 	}
+	var opts []core.SimOptions
 	for _, drop := range drops {
+		for _, L := range listSizes {
+			opts = append(opts, core.SimOptions{
+				ListSize: L, Kind: core.LRU, Seed: seed, DropTopUploaders: drop,
+			})
+		}
+	}
+	curves := hitRateSweep(caches, opts, pool, len(drops))
+	for i, drop := range drops {
 		label := "with all uploaders"
 		if drop > 0 {
 			label = fmt.Sprintf("without top %.0f%%", 100*drop)
 		}
-		s := Series{Label: label}
-		for _, L := range listSizes {
-			res := core.RunSim(caches, core.SimOptions{
-				ListSize: L, Kind: core.LRU, Seed: seed, DropTopUploaders: drop,
-			})
-			s.X = append(s.X, float64(L))
-			s.Y = append(s.Y, 100*res.HitRate())
-		}
-		fig.Series = append(fig.Series, s)
+		fig.Series = append(fig.Series, Series{
+			Label: label, X: sizesToX(listSizes), Y: curves[i],
+		})
 	}
 	return fig
 }
 
 // Fig20 reproduces Figure 20: LRU hit rate after removing the most
-// popular files.
-func Fig20PopularityAblation(caches [][]trace.FileID, listSizes []int, drops []float64, seed uint64) *Figure {
+// popular files. All drop x list-size points run concurrently.
+func Fig20PopularityAblation(caches [][]trace.FileID, listSizes []int, drops []float64, seed uint64, pool *runner.Pool) *Figure {
 	fig := &Figure{
 		ID: "fig20", Title: "LRU hit rate without the most popular files",
 		XLabel: "number of semantic neighbours", YLabel: "hits (%)",
 	}
+	var opts []core.SimOptions
 	for _, drop := range drops {
+		for _, L := range listSizes {
+			opts = append(opts, core.SimOptions{
+				ListSize: L, Kind: core.LRU, Seed: seed, DropTopFiles: drop,
+			})
+		}
+	}
+	curves := hitRateSweep(caches, opts, pool, len(drops))
+	for i, drop := range drops {
 		label := "with all files"
 		if drop > 0 {
 			label = fmt.Sprintf("without %.0f%% of popular files", 100*drop)
 		}
-		s := Series{Label: label}
-		for _, L := range listSizes {
-			res := core.RunSim(caches, core.SimOptions{
-				ListSize: L, Kind: core.LRU, Seed: seed, DropTopFiles: drop,
-			})
-			s.X = append(s.X, float64(L))
-			s.Y = append(s.Y, 100*res.HitRate())
-		}
-		fig.Series = append(fig.Series, s)
+		fig.Series = append(fig.Series, Series{
+			Label: label, X: sizesToX(listSizes), Y: curves[i],
+		})
 	}
 	return fig
 }
@@ -218,17 +259,23 @@ func Fig20PopularityAblation(caches [][]trace.FileID, listSizes []int, drops []f
 // Fig21 reproduces Figure 21: the hit rate of LRU(10) as the trace is
 // progressively randomized by file swapping; the residual hit rate at
 // full mixing is the part explained by generosity and popularity alone.
-func Fig21RandomizedHitRate(caches [][]trace.FileID, fractions []float64, seed uint64) *Figure {
+// One sweep point per mixing fraction, all concurrent.
+func Fig21RandomizedHitRate(caches [][]trace.FileID, fractions []float64, seed uint64, pool *runner.Pool) *Figure {
 	full := randomize.New(caches).DefaultSwaps()
-	s := Series{Label: "randomized trace, LRU(10)"}
-	for _, frac := range fractions {
+	swapCounts := make([]int, len(fractions))
+	opts := make([]core.SimOptions, len(fractions))
+	for i, frac := range fractions {
 		swaps := int(frac * float64(full))
-		opt := core.SimOptions{ListSize: 10, Kind: core.LRU, Seed: seed}
+		swapCounts[i] = swaps
+		opts[i] = core.SimOptions{ListSize: 10, Kind: core.LRU, Seed: seed}
 		if swaps > 0 {
-			opt.RandomizeSwaps = swaps
+			opts[i].RandomizeSwaps = swaps
 		}
-		res := core.RunSim(caches, opt)
-		s.X = append(s.X, float64(swaps))
+	}
+	results := core.RunSweep(caches, opts, pool)
+	s := Series{Label: "randomized trace, LRU(10)"}
+	for i, res := range results {
+		s.X = append(s.X, float64(swapCounts[i]))
 		s.Y = append(s.Y, 100*res.HitRate())
 	}
 	return &Figure{
@@ -240,17 +287,22 @@ func Fig21RandomizedHitRate(caches [][]trace.FileID, fractions []float64, seed u
 
 // Fig22 reproduces Figure 22: the distribution of query load (messages
 // received per client) using LRU(5), with and without top uploaders.
-func Fig22LoadDistribution(caches [][]trace.FileID, drops []float64, seed uint64) *Figure {
+func Fig22LoadDistribution(caches [][]trace.FileID, drops []float64, seed uint64, pool *runner.Pool) *Figure {
 	fig := &Figure{
 		ID: "fig22", Title: "Query load per client (LRU, 5 neighbours)",
 		XLabel: "client by rank", YLabel: "messages per client",
 		LogY: true,
 	}
-	for _, drop := range drops {
-		res := core.RunSim(caches, core.SimOptions{
+	opts := make([]core.SimOptions, len(drops))
+	for i, drop := range drops {
+		opts[i] = core.SimOptions{
 			ListSize: 5, Kind: core.LRU, Seed: seed,
 			DropTopUploaders: drop, TrackLoad: true,
-		})
+		}
+	}
+	results := core.RunSweep(caches, opts, pool)
+	for i, drop := range drops {
+		res := results[i]
 		loads := make([]float64, 0, len(res.LoadPerPeer))
 		for _, l := range res.LoadPerPeer {
 			if l > 0 {
@@ -280,41 +332,45 @@ func Fig22LoadDistribution(caches [][]trace.FileID, drops []float64, seed uint64
 }
 
 // Fig23 reproduces Figure 23: two-hop semantic search versus one-hop,
-// with and without the most generous uploaders.
-func Fig23TwoHop(caches [][]trace.FileID, listSizes []int, drops []float64, seed uint64) *Figure {
+// with and without the most generous uploaders. The one-hop baseline and
+// every two-hop ablation point run concurrently in one sweep.
+func Fig23TwoHop(caches [][]trace.FileID, listSizes []int, drops []float64, seed uint64, pool *runner.Pool) *Figure {
 	fig := &Figure{
 		ID: "fig23", Title: "Two-hop semantic search hit rate",
 		XLabel: "number of semantic neighbours", YLabel: "hits (%)",
 	}
-	one := Series{Label: "1 hop neighbours"}
+	var opts []core.SimOptions
 	for _, L := range listSizes {
-		res := core.RunSim(caches, core.SimOptions{ListSize: L, Kind: core.LRU, Seed: seed})
-		one.X = append(one.X, float64(L))
-		one.Y = append(one.Y, 100*res.HitRate())
+		opts = append(opts, core.SimOptions{ListSize: L, Kind: core.LRU, Seed: seed})
 	}
-	fig.Series = append(fig.Series, one)
 	for _, drop := range drops {
+		for _, L := range listSizes {
+			opts = append(opts, core.SimOptions{
+				ListSize: L, Kind: core.LRU, Seed: seed,
+				TwoHop: true, DropTopUploaders: drop,
+			})
+		}
+	}
+	curves := hitRateSweep(caches, opts, pool, 1+len(drops))
+	fig.Series = append(fig.Series, Series{
+		Label: "1 hop neighbours", X: sizesToX(listSizes), Y: curves[0],
+	})
+	for i, drop := range drops {
 		label := "2nd hop neighbours"
 		if drop > 0 {
 			label = fmt.Sprintf("2nd hop; without top %.0f%% uploaders", 100*drop)
 		}
-		s := Series{Label: label}
-		for _, L := range listSizes {
-			res := core.RunSim(caches, core.SimOptions{
-				ListSize: L, Kind: core.LRU, Seed: seed,
-				TwoHop: true, DropTopUploaders: drop,
-			})
-			s.X = append(s.X, float64(L))
-			s.Y = append(s.Y, 100*res.HitRate())
-		}
-		fig.Series = append(fig.Series, s)
+		fig.Series = append(fig.Series, Series{
+			Label: label, X: sizesToX(listSizes), Y: curves[i+1],
+		})
 	}
 	return fig
 }
 
 // Table3 reproduces Table 3: the combined influence of generous uploaders
 // and popular files on the LRU hit ratio for neighbour lists of 5/10/20.
-func Table3Combined(caches [][]trace.FileID, seed uint64) *Table {
+// All 21 ablation points run concurrently in one sweep.
+func Table3Combined(caches [][]trace.FileID, seed uint64, pool *runner.Pool) *Table {
 	sizes := []int{5, 10, 20}
 	t := &Table{
 		ID:     "table3",
@@ -334,13 +390,20 @@ func Table3Combined(caches [][]trace.FileID, seed uint64) *Table {
 		{"LRU without 15% popular files (%)", 0, 0.15},
 		{"LRU without both 3 and 4 (%)", 0.15, 0.15},
 	}
+	var opts []core.SimOptions
 	for _, r := range rows {
-		cells := []string{r.label}
 		for _, L := range sizes {
-			res := core.RunSim(caches, core.SimOptions{
+			opts = append(opts, core.SimOptions{
 				ListSize: L, Kind: core.LRU, Seed: seed,
 				DropTopUploaders: r.uploaders, DropTopFiles: r.files,
 			})
+		}
+	}
+	results := core.RunSweep(caches, opts, pool)
+	for ri, r := range rows {
+		cells := []string{r.label}
+		for li := range sizes {
+			res := results[ri*len(sizes)+li]
 			cells = append(cells, fmt.Sprintf("%.0f", 100*res.HitRate()))
 		}
 		t.Rows = append(t.Rows, cells)

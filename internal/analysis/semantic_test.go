@@ -3,7 +3,13 @@ package analysis
 import (
 	"fmt"
 	"testing"
+
+	"edonkey/internal/runner"
 )
+
+// testPool exercises the figure sweeps through the parallel engine; the
+// determinism test in suite_test.go pins parallel output to serial.
+var testPool = runner.New(0)
 
 func TestFig13Clustering(t *testing.T) {
 	full, _, ex := traces(t)
@@ -89,7 +95,7 @@ func TestPickOverlapLevels(t *testing.T) {
 
 func TestFig18StrategyOrdering(t *testing.T) {
 	traces(t)
-	fig := Fig18HitRates(testCaches, []int{5, 20}, 3)
+	fig := Fig18HitRates(testCaches, []int{5, 20}, 3, testPool)
 	renderOK(t, fig)
 	if len(fig.Series) != 3 {
 		t.Fatalf("series = %d", len(fig.Series))
@@ -113,7 +119,7 @@ func TestFig18StrategyOrdering(t *testing.T) {
 
 func TestFig19UploaderAblationLowersHitRate(t *testing.T) {
 	traces(t)
-	fig := Fig19UploaderAblation(testCaches, []int{20}, []float64{0, 0.05, 0.15}, 5)
+	fig := Fig19UploaderAblation(testCaches, []int{20}, []float64{0, 0.05, 0.15}, 5, testPool)
 	renderOK(t, fig)
 	base := fig.Series[0].Y[0]
 	drop5 := fig.Series[1].Y[0]
@@ -132,7 +138,7 @@ func TestFig19UploaderAblationLowersHitRate(t *testing.T) {
 
 func TestFig20PopularityAblationRaisesHitRate(t *testing.T) {
 	traces(t)
-	fig := Fig20PopularityAblation(testCaches, []int{5}, []float64{0, 0.15, 0.30}, 7)
+	fig := Fig20PopularityAblation(testCaches, []int{5}, []float64{0, 0.15, 0.30}, 7, testPool)
 	renderOK(t, fig)
 	base := fig.Series[0].Y[0]
 	drop30 := fig.Series[2].Y[0]
@@ -143,7 +149,7 @@ func TestFig20PopularityAblationRaisesHitRate(t *testing.T) {
 
 func TestFig21RandomizationCollapse(t *testing.T) {
 	traces(t)
-	fig := Fig21RandomizedHitRate(testCaches, []float64{0, 0.25, 1}, 9)
+	fig := Fig21RandomizedHitRate(testCaches, []float64{0, 0.25, 1}, 9, testPool)
 	renderOK(t, fig)
 	s := fig.Series[0]
 	if len(s.Y) != 3 {
@@ -159,7 +165,7 @@ func TestFig21RandomizationCollapse(t *testing.T) {
 
 func TestFig22LoadSkewDropsWithoutTopUploaders(t *testing.T) {
 	traces(t)
-	fig := Fig22LoadDistribution(testCaches, []float64{0, 0.10}, 11)
+	fig := Fig22LoadDistribution(testCaches, []float64{0, 0.10}, 11, testPool)
 	renderOK(t, fig)
 	if len(fig.Series) != 2 {
 		t.Fatalf("series = %d", len(fig.Series))
@@ -178,7 +184,7 @@ func TestFig22LoadSkewDropsWithoutTopUploaders(t *testing.T) {
 
 func TestFig23TwoHopGains(t *testing.T) {
 	traces(t)
-	fig := Fig23TwoHop(testCaches, []int{5, 20}, []float64{0}, 13)
+	fig := Fig23TwoHop(testCaches, []int{5, 20}, []float64{0}, 13, testPool)
 	renderOK(t, fig)
 	one, two := fig.Series[0], fig.Series[1]
 	for i := range one.X {
@@ -194,7 +200,7 @@ func TestFig23TwoHopGains(t *testing.T) {
 
 func TestTable3Shape(t *testing.T) {
 	traces(t)
-	tab := Table3Combined(testCaches, 15)
+	tab := Table3Combined(testCaches, 15, testPool)
 	if len(tab.Rows) != 7 {
 		t.Fatalf("rows = %d, want 7", len(tab.Rows))
 	}
@@ -233,3 +239,31 @@ func TestTable3Shape(t *testing.T) {
 
 // fmtSscan is a tiny indirection so the test file reads cleanly.
 func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+// Regression: an empty list-size grid must yield empty series, not an
+// index panic in the sweep slicing.
+func TestSweepFiguresEmptyListSizes(t *testing.T) {
+	traces(t)
+	if got := len(Fig18HitRates(testCaches, nil, 1, testPool).Series); got != 3 {
+		t.Errorf("fig18 series = %d, want 3", got)
+	}
+	if got := len(Fig19UploaderAblation(testCaches, nil, []float64{0, 0.05}, 1, testPool).Series); got != 2 {
+		t.Errorf("fig19 series = %d, want 2", got)
+	}
+	if got := len(Fig20PopularityAblation(testCaches, nil, []float64{0}, 1, testPool).Series); got != 1 {
+		t.Errorf("fig20 series = %d, want 1", got)
+	}
+	if got := len(Fig23TwoHop(testCaches, nil, []float64{0}, 1, testPool).Series); got != 2 {
+		t.Errorf("fig23 series = %d, want 2", got)
+	}
+	for _, fig := range []*Figure{
+		Fig18HitRates(testCaches, nil, 1, testPool),
+		Fig23TwoHop(testCaches, nil, nil, 1, testPool),
+	} {
+		for _, s := range fig.Series {
+			if len(s.X) != 0 || len(s.Y) != 0 {
+				t.Errorf("%s: empty grid produced points", fig.ID)
+			}
+		}
+	}
+}

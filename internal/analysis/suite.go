@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"edonkey/internal/geo"
+	"edonkey/internal/runner"
 	"edonkey/internal/trace"
 )
 
@@ -47,10 +48,17 @@ type SuiteInput struct {
 	// ListSizes used by the search-simulation figures; nil applies the
 	// paper's grid {5, 10, 20, 50, 100, 200}.
 	ListSizes []int
+	// Pool runs independent experiments (and the sweep points inside
+	// them) concurrently; nil runs everything serially. The experiment
+	// data is bit-identical for any worker count.
+	Pool *runner.Pool
 }
 
 // FullSuite regenerates every table and figure of the paper in order:
-// Tables 1-3 and Figures 1-23.
+// Tables 1-3 and Figures 1-23. Each experiment is an independent job on
+// the pool, and the simulation-sweep experiments additionally fan their
+// parameter points out over the same pool; the traces and caches are
+// shared read-only by all jobs.
 func FullSuite(in SuiteInput) []Experiment {
 	if in.Registry == nil {
 		in.Registry = geo.NewRegistry()
@@ -65,42 +73,65 @@ func FullSuite(in SuiteInput) []Experiment {
 	fig5Days := []int{firstEx, firstEx + (lastEx-firstEx)/4, midEx,
 		firstEx + 3*(lastEx-firstEx)/4, lastEx}
 
-	var out []Experiment
-	table := func(t *Table) { out = append(out, &TableExperiment{t}) }
-	figure := func(f *Figure) { out = append(out, &FigureExperiment{f}) }
+	table := func(t *Table) Experiment { return &TableExperiment{t} }
+	figure := func(f *Figure) Experiment { return &FigureExperiment{f} }
 
-	table(Table1(in.Full, in.Filtered, in.Extrapolated))
-	table(Table2(in.Filtered, in.Registry, 5))
-	figure(Fig1ClientsFilesPerDay(in.Full))
-	figure(Fig2NewFiles(in.Full))
-	figure(Fig3ExtrapolatedCoverage(in.Extrapolated))
-	figure(Fig4Countries(in.Full, 11))
-	figure(Fig5Replication(in.Extrapolated, fig5Days))
-	figure(Fig6FileSizes(in.Filtered, []int{1, 5, 10}))
-	figure(Fig7Contribution(in.Filtered))
-	figure(Fig8Spread(in.Filtered, 6))
-	figure(FigRankEvolution("fig09", in.Filtered, firstF, 5))
-	figure(FigRankEvolution("fig10", in.Filtered, (firstF+lastF)/2, 5))
-	figure(FigHomeConcentration("fig11", in.Filtered, false, []float64{1, 1.5, 2, 3, 5, 10}))
-	figure(FigHomeConcentration("fig12", in.Filtered, true, []float64{1, 1.5, 2, 3, 5, 10}))
-	figure(Fig13Clustering(in.Extrapolated, in.Full))
-	figure(Fig14RandomizedClustering(in.Filtered, in.Seed))
-	figure(FigOverlapEvolution("fig15", in.Extrapolated,
-		[]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 2000))
-	figure(FigOverlapEvolution("fig16", in.Extrapolated,
-		PickOverlapLevels(in.Extrapolated, 15, 60, 8), 2000))
-	figure(FigOverlapEvolution("fig17", in.Extrapolated,
-		PickOverlapLevels(in.Extrapolated, 61, 0, 4), 2000))
-	figure(Fig18HitRates(in.Caches, sizes, in.Seed))
-	figure(Fig19UploaderAblation(in.Caches, sizes, []float64{0, 0.05, 0.10, 0.15}, in.Seed))
-	figure(Fig20PopularityAblation(in.Caches, sizes, []float64{0, 0.05, 0.15, 0.30}, in.Seed))
-	figure(Fig21RandomizedHitRate(in.Caches,
-		[]float64{0, 0.05, 0.125, 0.25, 0.5, 0.75, 1}, in.Seed))
-	figure(Fig22LoadDistribution(in.Caches, []float64{0, 0.05, 0.10, 0.15}, in.Seed))
-	figure(Fig23TwoHop(in.Caches, sizes, []float64{0, 0.05, 0.15}, in.Seed))
-	table(Table3Combined(in.Caches, in.Seed))
-	// Extension beyond the paper: the AS-level cache opportunity its
-	// §4.1 discussion points at.
-	table(TableLocality(in.Filtered))
-	return out
+	builders := []func() Experiment{
+		func() Experiment { return table(Table1(in.Full, in.Filtered, in.Extrapolated)) },
+		func() Experiment { return table(Table2(in.Filtered, in.Registry, 5)) },
+		func() Experiment { return figure(Fig1ClientsFilesPerDay(in.Full)) },
+		func() Experiment { return figure(Fig2NewFiles(in.Full)) },
+		func() Experiment { return figure(Fig3ExtrapolatedCoverage(in.Extrapolated)) },
+		func() Experiment { return figure(Fig4Countries(in.Full, 11)) },
+		func() Experiment { return figure(Fig5Replication(in.Extrapolated, fig5Days)) },
+		func() Experiment { return figure(Fig6FileSizes(in.Filtered, []int{1, 5, 10})) },
+		func() Experiment { return figure(Fig7Contribution(in.Filtered)) },
+		func() Experiment { return figure(Fig8Spread(in.Filtered, 6)) },
+		func() Experiment { return figure(FigRankEvolution("fig09", in.Filtered, firstF, 5)) },
+		func() Experiment { return figure(FigRankEvolution("fig10", in.Filtered, (firstF+lastF)/2, 5)) },
+		func() Experiment {
+			return figure(FigHomeConcentration("fig11", in.Filtered, false, []float64{1, 1.5, 2, 3, 5, 10}))
+		},
+		func() Experiment {
+			return figure(FigHomeConcentration("fig12", in.Filtered, true, []float64{1, 1.5, 2, 3, 5, 10}))
+		},
+		func() Experiment { return figure(Fig13Clustering(in.Extrapolated, in.Full)) },
+		func() Experiment { return figure(Fig14RandomizedClustering(in.Filtered, in.Seed)) },
+		func() Experiment {
+			return figure(FigOverlapEvolution("fig15", in.Extrapolated,
+				[]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 2000))
+		},
+		func() Experiment {
+			return figure(FigOverlapEvolution("fig16", in.Extrapolated,
+				PickOverlapLevels(in.Extrapolated, 15, 60, 8), 2000))
+		},
+		func() Experiment {
+			return figure(FigOverlapEvolution("fig17", in.Extrapolated,
+				PickOverlapLevels(in.Extrapolated, 61, 0, 4), 2000))
+		},
+		func() Experiment { return figure(Fig18HitRates(in.Caches, sizes, in.Seed, in.Pool)) },
+		func() Experiment {
+			return figure(Fig19UploaderAblation(in.Caches, sizes, []float64{0, 0.05, 0.10, 0.15}, in.Seed, in.Pool))
+		},
+		func() Experiment {
+			return figure(Fig20PopularityAblation(in.Caches, sizes, []float64{0, 0.05, 0.15, 0.30}, in.Seed, in.Pool))
+		},
+		func() Experiment {
+			return figure(Fig21RandomizedHitRate(in.Caches,
+				[]float64{0, 0.05, 0.125, 0.25, 0.5, 0.75, 1}, in.Seed, in.Pool))
+		},
+		func() Experiment {
+			return figure(Fig22LoadDistribution(in.Caches, []float64{0, 0.05, 0.10, 0.15}, in.Seed, in.Pool))
+		},
+		func() Experiment {
+			return figure(Fig23TwoHop(in.Caches, sizes, []float64{0, 0.05, 0.15}, in.Seed, in.Pool))
+		},
+		func() Experiment { return table(Table3Combined(in.Caches, in.Seed, in.Pool)) },
+		// Extension beyond the paper: the AS-level cache opportunity its
+		// §4.1 discussion points at.
+		func() Experiment { return table(TableLocality(in.Filtered)) },
+	}
+	return runner.Collect(in.Pool, len(builders), func(i int) Experiment {
+		return builders[i]()
+	})
 }

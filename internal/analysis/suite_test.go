@@ -1,0 +1,85 @@
+package analysis
+
+import (
+	"bytes"
+	"testing"
+
+	"edonkey/internal/runner"
+)
+
+func renderSuite(t *testing.T, pool *runner.Pool) map[string]string {
+	t.Helper()
+	full, filt, ex := traces(t)
+	suite := FullSuite(SuiteInput{
+		Full:         full,
+		Filtered:     filt,
+		Extrapolated: ex,
+		Caches:       testCaches,
+		Seed:         5,
+		ListSizes:    []int{5, 20},
+		Pool:         pool,
+	})
+	out := make(map[string]string, len(suite))
+	for _, exp := range suite {
+		var buf bytes.Buffer
+		if err := exp.Render(&buf); err != nil {
+			t.Fatalf("%s: %v", exp.ID(), err)
+		}
+		if _, dup := out[exp.ID()]; dup {
+			t.Fatalf("duplicate experiment id %s", exp.ID())
+		}
+		out[exp.ID()] = buf.String()
+	}
+	return out
+}
+
+// The tentpole guarantee: the full figure suite renders byte-identically
+// at -workers 1, 4 and GOMAXPROCS.
+func TestFullSuiteDeterministicAcrossWorkers(t *testing.T) {
+	want := renderSuite(t, runner.New(1))
+	if len(want) != 27 {
+		t.Fatalf("suite produced %d experiments, want 27", len(want))
+	}
+	for _, workers := range []int{4, 0} {
+		got := renderSuite(t, runner.New(workers))
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d experiments, want %d", workers, len(got), len(want))
+		}
+		for id, text := range want {
+			if got[id] != text {
+				t.Errorf("workers=%d: %s output differs from serial run", workers, id)
+			}
+		}
+	}
+}
+
+// A nil pool must behave exactly like an explicit serial pool, so every
+// pre-engine call site keeps its semantics.
+func TestFullSuiteNilPool(t *testing.T) {
+	want := renderSuite(t, runner.New(1))
+	got := renderSuite(t, nil)
+	for id, text := range want {
+		if got[id] != text {
+			t.Errorf("nil pool: %s differs from serial pool", id)
+		}
+	}
+}
+
+// FullSuite preserves the paper's presentation order.
+func TestFullSuiteOrder(t *testing.T) {
+	full, filt, ex := traces(t)
+	suite := FullSuite(SuiteInput{
+		Full: full, Filtered: filt, Extrapolated: ex,
+		Caches: testCaches, Seed: 5, ListSizes: []int{5},
+		Pool: runner.New(0),
+	})
+	wantOrder := []string{"table1", "table2", "fig01"}
+	for i, id := range wantOrder {
+		if suite[i].ID() != id {
+			t.Fatalf("experiment %d = %s, want %s", i, suite[i].ID(), id)
+		}
+	}
+	if last := suite[len(suite)-1].ID(); last != "tableX1" {
+		t.Fatalf("last experiment = %s, want tableX1", last)
+	}
+}

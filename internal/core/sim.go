@@ -89,10 +89,27 @@ func (r SimResult) String() string {
 		100*r.HitRate(), r.Hits, r.Requests, r.Contributions)
 }
 
-// PrepareCaches applies the ablations of SimOptions to a copy of the
-// caches: uploader removal, popular-file removal, randomization. Exposed
-// so analyses can reuse exactly the simulator's trace surgery.
+// PrepareCaches applies the ablations of SimOptions to the caches:
+// uploader removal, popular-file removal, randomization. Exposed so
+// analyses can reuse exactly the simulator's trace surgery.
+//
+// The input is never mutated. When no ablation is requested the input
+// slice is returned as-is and shared read-only with the caller — this is
+// what lets concurrent sweeps over one trace skip the per-point deep
+// copy; callers must not write through the result in that case (RunSim
+// never does).
 func PrepareCaches(caches [][]trace.FileID, opt SimOptions, rng *rand.Rand) [][]trace.FileID {
+	if opt.DropTopUploaders <= 0 && opt.DropTopFiles <= 0 {
+		if opt.RandomizeSwaps == 0 {
+			return caches
+		}
+		swaps := opt.RandomizeSwaps
+		if swaps < 0 {
+			swaps = 0 // randomize.Shuffle interprets <=0 as the default budget
+		}
+		return randomize.Shuffle(caches, swaps, rng)
+	}
+
 	out := make([][]trace.FileID, len(caches))
 	for i, c := range caches {
 		if len(c) > 0 {

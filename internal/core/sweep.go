@@ -1,0 +1,20 @@
+package core
+
+import (
+	"edonkey/internal/runner"
+	"edonkey/internal/trace"
+)
+
+// RunSweep executes one RunSim per options point, fanning the points out
+// over the pool (nil or New(1) runs them serially). The caches are shared
+// read-only across all points: RunSim copies before any trace surgery and
+// otherwise only reads, so no per-point deep copy happens.
+//
+// Results are returned in input order and are bit-identical to a serial
+// loop for any worker count: every point derives its private rand.Rand
+// from its own SimOptions.Seed, never from a shared stream.
+func RunSweep(caches [][]trace.FileID, opts []SimOptions, pool *runner.Pool) []SimResult {
+	return runner.Collect(pool, len(opts), func(i int) SimResult {
+		return RunSim(caches, opts[i])
+	})
+}

@@ -1,0 +1,129 @@
+// Package runner provides the bounded worker pool that parallelizes the
+// reproduction's independent experiment units: simulation sweep points,
+// figure/table drivers and the per-client daily updates of world
+// generation.
+//
+// The engine is built around one guarantee: results are bit-identical
+// for any worker count and any scheduling order. Two rules make that
+// hold by construction:
+//
+//   - every job owns its randomness — a rand.Rand seeded from the job's
+//     identity (see SubSeed/NewRNG), never a stream shared with other
+//     jobs;
+//   - every job writes only to its own index slot, and Map/Collect
+//     assemble results in input order.
+//
+// Nested fan-out (a suite job that itself sweeps simulation points) is
+// deadlock-free: helper slots are acquired non-blockingly, and the
+// submitting goroutine always participates in the work, so progress
+// never depends on a free slot.
+package runner
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a bounded set of helper workers shared by all Map calls,
+// including nested ones. The zero of concurrency is expressed either as
+// a nil *Pool or as New(1); both run every job inline on the caller.
+type Pool struct {
+	workers int
+	// helpers holds one token per helper goroutine that may run
+	// concurrently with callers; capacity workers-1 because the
+	// submitting goroutine always works too.
+	helpers chan struct{}
+}
+
+// New returns a pool that runs at most workers jobs concurrently.
+// workers <= 0 selects runtime.GOMAXPROCS(0).
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{workers: workers}
+	if workers > 1 {
+		p.helpers = make(chan struct{}, workers-1)
+	}
+	return p
+}
+
+// Workers reports the concurrency bound; 1 for a nil pool.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Map runs fn(i) for every i in [0, n). The caller's goroutine executes
+// jobs alongside up to Workers()-1 helpers drawn from the shared pool;
+// when the pool is saturated (nested Map, concurrent sweeps) the caller
+// simply does more of the work itself. Map returns once all n jobs have
+// finished. Jobs must be independent: they may share read-only inputs
+// but must write only to state owned by their own index.
+func (p *Pool) Map(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	var wg sync.WaitGroup
+spawn:
+	for i := 1; i < n; i++ {
+		select {
+		case p.helpers <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-p.helpers }()
+				work()
+			}()
+		default:
+			break spawn
+		}
+	}
+	work()
+	wg.Wait()
+}
+
+// Collect runs fn(i) for every i in [0, n) on the pool and returns the
+// results in input order, regardless of execution order.
+func Collect[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.Map(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// SubSeed derives a decorrelated per-job seed from a base seed and a job
+// index with the splitmix64 finalizer. Neighbouring job indices yield
+// statistically independent streams, so a sweep can hand every point a
+// private generator while staying reproducible from one base seed.
+func SubSeed(seed, job uint64) uint64 {
+	z := seed + (job+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a job-private generator for (seed, job). Jobs that draw
+// from their own NewRNG produce identical streams for any worker count.
+func NewRNG(seed, job uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(SubSeed(seed, job), job))
+}

@@ -1,0 +1,138 @@
+package runner
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapRunsEveryJobOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 0} {
+		p := New(workers)
+		const n = 1000
+		counts := make([]int32, n)
+		p.Map(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestNilPoolIsSerial(t *testing.T) {
+	var p *Pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool workers = %d, want 1", p.Workers())
+	}
+	order := []int{}
+	p.Map(5, func(i int) { order = append(order, i) })
+	if !reflect.DeepEqual(order, []int{0, 1, 2, 3, 4}) {
+		t.Fatalf("nil pool order = %v", order)
+	}
+	out := Collect(p, 3, func(i int) int { return i * i })
+	if !reflect.DeepEqual(out, []int{0, 1, 4}) {
+		t.Fatalf("nil pool collect = %v", out)
+	}
+}
+
+func TestCollectOrderIndependentOfWorkers(t *testing.T) {
+	want := Collect(New(1), 200, func(i int) int { return i * 3 })
+	for _, workers := range []int{2, 4, 0} {
+		got := Collect(New(workers), 200, func(i int) int { return i * 3 })
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: results differ from serial", workers)
+		}
+	}
+}
+
+// Jobs that use NewRNG(seed, job) must be bit-identical for any worker
+// count — this is the engine's core determinism guarantee.
+func TestPerJobRNGDeterministicAcrossWorkers(t *testing.T) {
+	draw := func(workers int) []uint64 {
+		return Collect(New(workers), 64, func(i int) uint64 {
+			rng := NewRNG(99, uint64(i))
+			var sum uint64
+			for k := 0; k < 100; k++ {
+				sum += rng.Uint64()
+			}
+			return sum
+		})
+	}
+	want := draw(1)
+	for _, workers := range []int{3, 8, 0} {
+		if got := draw(workers); !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: rng streams depend on scheduling", workers)
+		}
+	}
+}
+
+// Nested Map calls (suite job -> sweep points) must not deadlock even
+// when every level tries to fan out at once.
+func TestNestedMapDoesNotDeadlock(t *testing.T) {
+	p := New(4)
+	var total atomic.Int64
+	p.Map(8, func(i int) {
+		p.Map(8, func(j int) {
+			p.Map(4, func(k int) { total.Add(1) })
+		})
+	})
+	if total.Load() != 8*8*4 {
+		t.Fatalf("nested jobs ran %d times, want %d", total.Load(), 8*8*4)
+	}
+}
+
+// Concurrent Map submissions from independent goroutines share the
+// helper budget but must all complete (the -race build doubles as the
+// data-race stress for the pool internals).
+func TestConcurrentSubmission(t *testing.T) {
+	p := New(4)
+	var wg sync.WaitGroup
+	var total atomic.Int64
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Map(100, func(i int) { total.Add(1) })
+		}()
+	}
+	wg.Wait()
+	if total.Load() != 16*100 {
+		t.Fatalf("concurrent jobs ran %d times, want %d", total.Load(), 16*100)
+	}
+}
+
+func TestMapZeroAndNegative(t *testing.T) {
+	p := New(4)
+	ran := false
+	p.Map(0, func(int) { ran = true })
+	p.Map(-3, func(int) { ran = true })
+	if ran {
+		t.Fatal("Map ran jobs for n <= 0")
+	}
+}
+
+func TestSubSeedDecorrelates(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for job := uint64(0); job < 10000; job++ {
+		s := SubSeed(1, job)
+		if seen[s] {
+			t.Fatalf("seed collision at job %d", job)
+		}
+		seen[s] = true
+	}
+	// Neighbouring base seeds must not produce the same stream either.
+	if SubSeed(1, 0) == SubSeed(2, 0) {
+		t.Fatal("base seeds 1 and 2 collide at job 0")
+	}
+}
+
+func TestWorkersDefaultsToGOMAXPROCS(t *testing.T) {
+	if New(0).Workers() < 1 {
+		t.Fatal("New(0) has no workers")
+	}
+	if got := New(7).Workers(); got != 7 {
+		t.Fatalf("Workers() = %d, want 7", got)
+	}
+}

@@ -89,7 +89,8 @@ func (c *Collector) fileID(idx int) trace.FileID {
 }
 
 // ObserveDay records the caches of all crawlable online clients for the
-// world's current day.
+// world's current day. CacheFiles returns world-index order, which keeps
+// the lazy trace FileID numbering deterministic run-to-run.
 func (c *Collector) ObserveDay() {
 	day := c.w.Day()
 	for i := range c.w.Clients {
@@ -98,8 +99,9 @@ func (c *Collector) ObserveDay() {
 			continue
 		}
 		pid := c.peerID(cl, day)
-		cache := make([]trace.FileID, 0, len(cl.cache))
-		for fi := range cl.cache {
+		files := cl.CacheFiles()
+		cache := make([]trace.FileID, 0, len(files))
+		for _, fi := range files {
 			cache = append(cache, c.fileID(fi))
 		}
 		c.builder.Observe(day, pid, cache)

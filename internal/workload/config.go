@@ -103,6 +103,13 @@ type Config struct {
 	RampDays       int
 	DecayDays      float64
 	LifecycleFloor float64
+
+	// Workers bounds the worker pool that runs the per-client daily
+	// updates (cache fills, additions, eviction, presence) concurrently:
+	// 0 selects GOMAXPROCS, 1 runs serially. Every worker count produces
+	// bit-identical worlds, because each client draws from a private
+	// generator seeded from (Seed, client ID).
+	Workers int
 }
 
 // DefaultConfig returns the laptop-scale defaults used across tests,
@@ -241,6 +248,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("workload: BundleSize = %d, need >= 1", c.BundleSize)
 	case c.BundleFollow < 0 || c.BundleFollow > 1:
 		return fmt.Errorf("workload: BundleFollow = %v out of [0,1]", c.BundleFollow)
+	case c.Workers < 0:
+		return fmt.Errorf("workload: Workers = %d, need >= 0", c.Workers)
 	}
 	return nil
 }

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sort"
 
 	"edonkey/internal/geo"
+	"edonkey/internal/runner"
 	"edonkey/internal/stats"
 	"edonkey/internal/trace"
 )
@@ -67,6 +69,12 @@ type Client struct {
 	globalDraw  float64 // per-client charts share (collectors get more)
 	identities  []identity
 
+	// rng is the client's private generator, seeded from the world seed
+	// and the client ID. All per-client daily draws (presence, additions,
+	// bundle following) come from it, which is what lets Step update
+	// clients concurrently with bit-identical results for any worker
+	// count or scheduling order.
+	rng *rand.Rand
 	// cache maps file index -> day added (for FIFO-ish eviction).
 	cache map[int]int
 	// pending queues bundle-mates of a recently fetched file: albums
@@ -82,12 +90,16 @@ func (c *Client) Online() bool { return c.online }
 // CacheSize returns the number of files currently shared.
 func (c *Client) CacheSize() int { return len(c.cache) }
 
-// CacheFiles returns the indices of the currently shared files, unordered.
+// CacheFiles returns the indices of the currently shared files in
+// ascending order. The order matters: observers assign trace FileIDs
+// lazily on first sight, so iterating the cache map directly would
+// number files differently on every run even for identical worlds.
 func (c *Client) CacheFiles() []int {
 	out := make([]int, 0, len(c.cache))
 	for f := range c.cache {
 		out = append(out, f)
 	}
+	sort.Ints(out)
 	return out
 }
 
@@ -114,8 +126,9 @@ type World struct {
 	Files    []File
 	Clients  []Client
 
-	rng *rand.Rand
-	day int
+	rng  *rand.Rand
+	pool *runner.Pool
+	day  int
 
 	topicsByCountry map[string][]int
 	// topicChoice weights topics by audience (zipf x kind factor) and
@@ -142,6 +155,7 @@ func New(cfg Config) (*World, error) {
 		Config:          cfg,
 		Registry:        geo.NewRegistry(),
 		rng:             rand.New(rand.NewPCG(cfg.Seed, 0x65646f6e6b6579)), // "edonkey"
+		pool:            runner.New(cfg.Workers),
 		topicsByCountry: make(map[string][]int),
 	}
 	w.buildKindMix()
@@ -316,6 +330,7 @@ func (w *World) buildClients() {
 	for i := range w.Clients {
 		c := &w.Clients[i]
 		c.ID = i
+		c.rng = runner.NewRNG(cfg.Seed, uint64(i))
 		c.Loc = w.Registry.SampleLocation(w.rng)
 		c.Nickname = nickname(w.rng, i)
 		c.FreeRider = w.rng.Float64() < cfg.FreeRiderFraction
@@ -486,19 +501,21 @@ func (w *World) refreshSamplers() {
 
 // drawFile samples a file for the client: usually from its interest
 // topics, sometimes from the global charts, always avoiding files already
-// cached. Returns -1 if no fresh file was found.
+// cached. Returns -1 if no fresh file was found. All draws come from the
+// client's private generator; the samplers are only read, so concurrent
+// clients can draw from the same catalogue.
 func (w *World) drawFile(c *Client) int {
 	for attempt := 0; attempt < 12; attempt++ {
 		var fi int
-		if w.rng.Float64() < c.globalDraw {
-			fi = w.globalSampler.Draw(w.rng)
+		if c.rng.Float64() < c.globalDraw {
+			fi = w.globalSampler.Draw(c.rng)
 		} else {
-			topicID := c.interests[c.interestW.Draw(w.rng)]
+			topicID := c.interests[c.interestW.Draw(c.rng)]
 			t := &w.Topics[topicID]
 			if t.sampler == nil {
 				continue
 			}
-			fi = t.Files[t.sampler.Draw(w.rng)]
+			fi = t.Files[t.sampler.Draw(c.rng)]
 		}
 		if _, dup := c.cache[fi]; !dup {
 			return fi
@@ -537,17 +554,20 @@ func (w *World) nextAdd(c *Client) int {
 		}
 	}
 	fi := w.drawFile(c)
-	if fi >= 0 && w.Config.BundleSize > 1 && w.rng.Float64() < w.Config.BundleFollow {
+	if fi >= 0 && w.Config.BundleSize > 1 && c.rng.Float64() < w.Config.BundleFollow {
 		c.pending = append(c.pending, w.bundleMates(fi)...)
 	}
 	return fi
 }
 
+// fillInitialCaches fills every sharer's cache to its target size. Each
+// client is an independent job on the pool: it mutates only its own
+// state and draws only from its private generator.
 func (w *World) fillInitialCaches() {
-	for i := range w.Clients {
+	w.pool.Map(len(w.Clients), func(i int) {
 		c := &w.Clients[i]
 		if c.FreeRider {
-			continue
+			return
 		}
 		for len(c.cache) < c.targetCache {
 			fi := w.nextAdd(c)
@@ -556,42 +576,48 @@ func (w *World) fillInitialCaches() {
 			}
 			// Stagger "added" days into the past so initial eviction
 			// order is not arbitrary.
-			c.cache[fi] = -w.rng.IntN(60)
+			c.cache[fi] = -c.rng.IntN(60)
 		}
 		c.pending = nil
-	}
+	})
 }
 
 func (w *World) refreshPresence() {
-	for i := range w.Clients {
+	w.pool.Map(len(w.Clients), func(i int) {
 		c := &w.Clients[i]
-		c.online = w.rng.Float64() < c.onlineProb
-	}
+		c.online = c.rng.Float64() < c.onlineProb
+	})
 }
 
 // Step advances the world one day: new releases appear, attractiveness
 // ages, online sharers add ~DailyAdds files and evict their oldest ones
 // to stay near their target size.
+//
+// The catalogue update (releases, sampler rebuild) is serial; the
+// per-client updates then run as jobs on the world's pool. After the
+// samplers are rebuilt the catalogue is read-only, each client draws
+// from its private generator and writes only its own cache, so the day
+// is bit-identical for any worker count.
 func (w *World) Step() {
 	w.day++
 	for i := 0; i < w.Config.NewFilesPerDay; i++ {
 		w.addFile(w.topicFileAlloc.Draw(w.rng), w.day)
 	}
 	w.refreshSamplers()
-	w.refreshPresence()
-	for i := range w.Clients {
+	w.pool.Map(len(w.Clients), func(i int) {
 		c := &w.Clients[i]
+		c.online = c.rng.Float64() < c.onlineProb
 		if c.FreeRider || !c.online {
-			continue
+			return
 		}
-		adds := stats.Poisson(w.rng, w.Config.DailyAdds)
+		adds := stats.Poisson(c.rng, w.Config.DailyAdds)
 		for a := 0; a < adds; a++ {
 			if fi := w.nextAdd(c); fi >= 0 {
 				c.cache[fi] = w.day
 			}
 		}
 		w.evict(c)
-	}
+	})
 }
 
 // evict removes the oldest cache entries until the cache is back at its

@@ -424,3 +424,100 @@ func TestInterestsAreHomeBiased(t *testing.T) {
 		t.Errorf("home-topic interest fraction = %v, want majority with GeoBias=0.9", frac)
 	}
 }
+
+// clientFingerprint summarizes the stochastic per-client state that the
+// parallel Step path touches: presence, cache contents and added-days.
+func clientFingerprint(c *Client) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	if c.online {
+		mix(1)
+	}
+	files := c.CacheFiles()
+	sortInts(files)
+	for _, fi := range files {
+		mix(uint64(fi))
+		mix(uint64(int64(c.cache[fi])) + 1<<32)
+	}
+	return h
+}
+
+// The engine guarantee at the generator layer: worlds evolved with 1, 4
+// and GOMAXPROCS workers are bit-identical, because every client draws
+// from a private generator and owns its own state.
+func TestWorldDeterministicAcrossWorkers(t *testing.T) {
+	evolve := func(workers int) []uint64 {
+		cfg := smallConfig(77)
+		cfg.Peers = 300
+		cfg.InitialFiles = 8000
+		cfg.NewFilesPerDay = 100
+		cfg.Workers = workers
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for d := 0; d < 6; d++ {
+			w.Step()
+		}
+		out := make([]uint64, len(w.Clients))
+		for i := range w.Clients {
+			out[i] = clientFingerprint(&w.Clients[i])
+		}
+		return out
+	}
+	want := evolve(1)
+	for _, workers := range []int{4, 0} {
+		got := evolve(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: client %d state depends on worker count", workers, i)
+			}
+		}
+	}
+}
+
+// Collect must also be invariant to the worker count end to end: the
+// whole observed trace, not just the final world state.
+func TestCollectDeterministicAcrossWorkers(t *testing.T) {
+	observe := func(workers int) *trace.Trace {
+		cfg := smallConfig(88)
+		cfg.Peers = 250
+		cfg.Days = 6
+		cfg.InitialFiles = 7000
+		cfg.NewFilesPerDay = 80
+		cfg.Workers = workers
+		tr, _, err := Collect(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	want := observe(1)
+	got := observe(0)
+	if want.Observations() != got.Observations() {
+		t.Fatalf("observations differ: %d vs %d", want.Observations(), got.Observations())
+	}
+	if len(want.Days) != len(got.Days) {
+		t.Fatalf("day counts differ: %d vs %d", len(want.Days), len(got.Days))
+	}
+	for d := range want.Days {
+		a, b := want.Days[d], got.Days[d]
+		if len(a.Caches) != len(b.Caches) {
+			t.Fatalf("day %d: cache maps differ in size", a.Day)
+		}
+		for pid, cache := range a.Caches {
+			other, ok := b.Caches[pid]
+			if !ok || len(other) != len(cache) {
+				t.Fatalf("day %d peer %d: caches differ", a.Day, pid)
+			}
+			for i := range cache {
+				if cache[i] != other[i] {
+					t.Fatalf("day %d peer %d: file %d differs", a.Day, pid, i)
+				}
+			}
+		}
+	}
+}
