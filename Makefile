@@ -2,8 +2,15 @@
 # identical: `make build test lint race bench-smoke` is what CI runs.
 
 GO ?= go
+# Benchmark iteration budget; CI overrides with 1x for the smoke run.
+BENCHTIME ?= 1s
 
-.PHONY: all build test race bench bench-smoke lint fmt clean
+# bench/bench-store pipe go test into benchjson; without pipefail a
+# failed benchmark run would still exit 0 and upload a truncated JSON.
+SHELL := /bin/bash
+.SHELLFLAGS := -o pipefail -ec
+
+.PHONY: all build test race bench bench-store bench-smoke scale lint fmt clean
 
 all: build lint test
 
@@ -16,13 +23,25 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Full benchmark suite (slow; regenerates the paper's figures).
+# Full benchmark suite (slow; regenerates the paper's figures). Results
+# stream to stdout as usual and the machine-readable trajectory lands in
+# BENCH_store.json (op, ns/op, B/op, allocs/op, peers).
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
+
+# Just the tracked store benchmarks (BenchmarkPairOverlap map-vs-store,
+# BenchmarkSuite); same JSON artefact, much faster than `make bench`.
+bench-store:
+	$(GO) test -run='^$$' -bench='^(BenchmarkPairOverlap|BenchmarkSuite)$$' -benchtime=$(BENCHTIME) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
 
 # CI's smoke variant: every benchmark runs exactly once.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Scale scenario: a 100k-peer synthetic population driven through the
+# semantic-search sweep — impractical before the columnar store.
+scale:
+	$(GO) run ./cmd/edsim -peers 100000 -days 14 -lists 5,20,50 -workers 0
 
 lint:
 	$(GO) vet ./...

@@ -10,6 +10,7 @@ package edonkey
 // the actual data series are written by cmd/edrepro.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -408,6 +409,20 @@ func benchSuiteInput(s *Study, pool *runner.Pool) analysis.SuiteInput {
 		ListSizes:    benchListSizes,
 		Pool:         pool,
 	}
+}
+
+// BenchmarkSuite is the tracked hot-path benchmark: one serial
+// regeneration of the full figure suite on the shared laptop-scale
+// study. `make bench` extracts it (with BenchmarkPairOverlap) into
+// BENCH_store.json so the perf trajectory is visible PR-over-PR.
+func BenchmarkSuite(b *testing.B) {
+	s := benchSetup(b)
+	b.Run(fmt.Sprintf("peers=%d", len(s.Filtered.Peers)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = analysis.FullSuite(benchSuiteInput(s, runner.New(1)))
+		}
+	})
 }
 
 func BenchmarkAblationSuiteSerial(b *testing.B) {

@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON file so CI can archive the performance
+// trajectory PR-over-PR. It acts as a tee: every input line is echoed
+// to stdout unchanged, benchmark result lines are additionally parsed
+// into records of the form
+//
+//	{"op": "BenchmarkPairOverlap/impl=store/peers=10000",
+//	 "ns_op": 16361604, "b_op": 2400352, "allocs_op": 15,
+//	 "peers": 10000}
+//
+// The peers field is extracted from a `peers=N` label in the benchmark
+// name when present. Usage:
+//
+//	go test -bench=. -benchmem ./... | benchjson -out BENCH_store.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Record is one parsed benchmark result.
+type Record struct {
+	Op       string  `json:"op"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op,omitempty"`
+	AllocsOp int64   `json:"allocs_op,omitempty"`
+	Peers    int     `json:"peers,omitempty"`
+}
+
+var (
+	// Benchmark result lines: name, iterations, then "value unit" pairs.
+	benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+(\d+)\s+(.*)$`)
+	peersTag  = regexp.MustCompile(`peers=(\d+)`)
+)
+
+func parseLine(line string) (Record, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Record{}, false
+	}
+	rec := Record{Op: trimCPUSuffix(m[1])}
+	if pm := peersTag.FindStringSubmatch(rec.Op); pm != nil {
+		rec.Peers, _ = strconv.Atoi(pm[1])
+	}
+	fields := strings.Fields(m[3])
+	ok := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			rec.NsOp = v
+			ok = true
+		case "B/op":
+			rec.BOp = int64(v)
+		case "allocs/op":
+			rec.AllocsOp = int64(v)
+		}
+	}
+	return rec, ok
+}
+
+// trimCPUSuffix drops the trailing -N GOMAXPROCS marker go test appends
+// to benchmark names, so records compare across machines.
+func trimCPUSuffix(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func main() {
+	out := flag.String("out", "BENCH_store.json", "output JSON file")
+	flag.Parse()
+
+	var records []Record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if rec, ok := parseLine(line); ok {
+			records = append(records, rec)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d records to %s\n", len(records), *out)
+}

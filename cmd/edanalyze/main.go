@@ -18,19 +18,31 @@ import (
 	"edonkey"
 	"edonkey/internal/analysis"
 	"edonkey/internal/geo"
+	"edonkey/internal/prof"
 	"edonkey/internal/runner"
 	"edonkey/internal/stats"
 )
 
 func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: edanalyze [-workers N] <trace-file>")
+		fmt.Fprintln(os.Stderr, "usage: edanalyze [-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof] <trace-file>")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *workers); err != nil {
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "edanalyze:", err)
+		os.Exit(1)
+	}
+	runErr := run(flag.Arg(0), *workers)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "edanalyze:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "edanalyze:", runErr)
 		os.Exit(1)
 	}
 }

@@ -13,15 +13,17 @@
 package main
 
 import (
+	"cmp"
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
 	"edonkey"
 	"edonkey/internal/core"
+	"edonkey/internal/prof"
 	"edonkey/internal/workload"
 )
 
@@ -40,40 +42,58 @@ func main() {
 		randomizeTrace = flag.Bool("randomize", false, "fully randomize caches first (appendix algorithm)")
 		load           = flag.Bool("load", false, "print the query-load distribution")
 		workers        = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
+		cpuprofile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
-	study, err := makeStudy(*tracePath, *seed, *peers, *days, *workers)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edsim:", err)
 		os.Exit(1)
 	}
+	// os.Exit skips defers, so close the profiles explicitly before any
+	// exit path — a truncated CPU profile is unreadable by pprof.
+	runErr := run(*tracePath, *seed, *peers, *days, *workers, *listSize,
+		*strategy, *listSweep, *twoHop, *dropUp, *dropFiles,
+		*randomizeTrace, *load)
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "edsim:", err)
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "edsim:", runErr)
+		os.Exit(1)
+	}
+}
+
+func run(tracePath string, seed uint64, peers, days, workers, listSize int,
+	strategy, listSweep string, twoHop bool, dropUp, dropFiles float64,
+	randomizeTrace, load bool) error {
+	study, err := makeStudy(tracePath, seed, peers, days, workers)
+	if err != nil {
+		return err
+	}
 
 	opt := edonkey.SearchOptions{
-		ListSize:         *listSize,
-		Strategy:         *strategy,
-		TwoHop:           *twoHop,
-		Seed:             *seed,
-		DropTopUploaders: *dropUp,
-		DropTopFiles:     *dropFiles,
-		TrackLoad:        *load,
+		ListSize:         listSize,
+		Strategy:         strategy,
+		TwoHop:           twoHop,
+		Seed:             seed,
+		DropTopUploaders: dropUp,
+		DropTopFiles:     dropFiles,
+		TrackLoad:        load,
 	}
-	if *randomizeTrace {
+	if randomizeTrace {
 		opt.RandomizeSwaps = -1
 	}
 
-	if *listSweep != "" {
-		if err := runSweep(study, opt, *listSweep); err != nil {
-			fmt.Fprintln(os.Stderr, "edsim:", err)
-			os.Exit(1)
-		}
-		return
+	if listSweep != "" {
+		return runSweep(study, opt, listSweep)
 	}
 
 	res, err := study.SearchSim(opt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "edsim:", err)
-		os.Exit(1)
+		return err
 	}
 
 	fmt.Println(res.String())
@@ -81,9 +101,10 @@ func main() {
 		res.Peers, res.Sharers, res.Contributions)
 	fmt.Printf("  one-hop hits: %d, two-hop hits: %d, messages: %d\n",
 		res.OneHopHits, res.TwoHopHits, res.Messages)
-	if *load && res.Requests > 0 {
+	if load && res.Requests > 0 {
 		printLoad(res)
 	}
+	return nil
 }
 
 // printLoad prints the query-load distribution of a TrackLoad run.
@@ -98,7 +119,7 @@ func printLoad(res core.SimResult) {
 		fmt.Println("  load: no queries were delivered")
 		return
 	}
-	sort.Slice(loads, func(i, j int) bool { return loads[i] > loads[j] })
+	slices.SortFunc(loads, func(a, b int64) int { return cmp.Compare(b, a) })
 	mean := float64(res.Messages) / float64(len(loads))
 	fmt.Printf("  load: %d loaded peers, mean %.1f msgs, max %d\n",
 		len(loads), mean, loads[0])

@@ -87,7 +87,9 @@ type Study struct {
 	Extrapolated *trace.Trace
 
 	// Caches are the filtered trace's aggregate per-peer cache contents
-	// (the search simulation's request sets).
+	// (the search simulation's request sets). They are shared read-only
+	// views into Filtered.Store()'s columnar aggregate: safe for any
+	// number of concurrent readers, never to be mutated in place.
 	Caches [][]trace.FileID
 
 	// World is the generated population (nil when a study is loaded
@@ -267,5 +269,5 @@ func (s *Study) Suite(seed uint64) []analysis.Experiment {
 // study's filtered caches: for each n, the probability that two peers
 // sharing at least n files share another one.
 func (s *Study) ClusteringCorrelation() []core.CorrelationPoint {
-	return core.ClusteringCorrelation(s.Caches, nil)
+	return core.ClusteringCorrelationSnapshot(s.Filtered.Store().Aggregate(), nil)
 }

@@ -41,39 +41,35 @@ func (l LocalityPotential) FractionSameCountry() float64 {
 }
 
 // MeasureLocality computes the locality potential over a trace's
-// aggregate caches.
+// aggregate caches, one file at a time off the store's inverted index:
+// the per-file location tallies stay small and transient instead of one
+// map-of-maps over the whole catalogue.
 func MeasureLocality(t *trace.Trace) LocalityPotential {
-	caches := t.AggregateCaches()
+	st := t.Store()
+	iv := st.Aggregate().Inverted()
 	var out LocalityPotential
 
-	// Per file: distinct source counts per AS and per country.
-	perAS := make(map[trace.FileID]map[uint32]int)
-	perCountry := make(map[trace.FileID]map[string]int)
-	for pid, cache := range caches {
-		p := &t.Peers[pid]
-		for _, f := range cache {
-			a := perAS[f]
-			if a == nil {
-				a = make(map[uint32]int)
-				perAS[f] = a
-			}
-			a[p.ASN]++
-			c := perCountry[f]
-			if c == nil {
-				c = make(map[string]int)
-				perCountry[f] = c
-			}
-			c[p.Country]++
+	byASN := make(map[uint32]int)
+	byCountry := make(map[string]int)
+	for f := 0; f < st.NumVals(); f++ {
+		holders := iv.Holders(trace.FileID(f))
+		if len(holders) == 0 {
+			continue
 		}
-	}
-	for pid, cache := range caches {
-		p := &t.Peers[pid]
-		for _, f := range cache {
+		clear(byASN)
+		clear(byCountry)
+		for _, pid := range holders {
+			p := &t.Peers[pid]
+			byASN[p.ASN]++
+			byCountry[p.Country]++
+		}
+		for _, pid := range holders {
+			p := &t.Peers[pid]
 			out.Replicas++
-			if perAS[f][p.ASN] > 1 {
+			if byASN[p.ASN] > 1 {
 				out.SameAS++
 			}
-			if perCountry[f][p.Country] > 1 {
+			if byCountry[p.Country] > 1 {
 				out.SameCountry++
 			}
 		}

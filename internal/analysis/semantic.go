@@ -1,8 +1,10 @@
 package analysis
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand/v2"
+	"slices"
 
 	"edonkey/internal/core"
 	"edonkey/internal/randomize"
@@ -22,30 +24,21 @@ func Fig13Clustering(dayTrace, fullTrace *trace.Trace) *Figure {
 		LogX: true,
 	}
 	if len(dayTrace.Days) > 0 {
-		caches := dayCaches(dayTrace, 0)
 		fig.Series = append(fig.Series, correlationSeries(
 			"all shared files of first analysis day",
-			core.ClusteringCorrelation(caches, nil)))
+			core.ClusteringCorrelationSnapshot(dayTrace.Store().Snap(0), nil)))
 	}
-	full := fullTrace.AggregateCaches()
+	full := fullTrace.Store().Aggregate()
 	audio := trace.KindAudio
 	lo := core.KindPopularityFilter(fullTrace, &audio, 1, 10)
 	hi := core.KindPopularityFilter(fullTrace, &audio, 30, 40)
 	fig.Series = append(fig.Series,
 		correlationSeries("audio files, popularity in [1..10]",
-			core.ClusteringCorrelation(full, lo)),
+			core.ClusteringCorrelationSnapshot(full, lo)),
 		correlationSeries("audio files, popularity in [30..40]",
-			core.ClusteringCorrelation(full, hi)),
+			core.ClusteringCorrelationSnapshot(full, hi)),
 	)
 	return fig
-}
-
-func dayCaches(t *trace.Trace, idx int) [][]trace.FileID {
-	out := make([][]trace.FileID, len(t.Peers))
-	for pid, c := range t.Days[idx].Caches {
-		out[pid] = c
-	}
-	return out
 }
 
 func correlationSeries(label string, pts []core.CorrelationPoint) Series {
@@ -83,7 +76,7 @@ func Fig14RandomizedClustering(t *trace.Trace, seed uint64) *Figure {
 	for _, p := range panels {
 		fig.Series = append(fig.Series,
 			correlationSeries(p.name+" / trace",
-				core.ClusteringCorrelation(caches, p.filter)),
+				core.ClusteringCorrelationSnapshot(t.Store().Aggregate(), p.filter)),
 			correlationSeries(p.name+" / random",
 				core.ClusteringCorrelation(shuffled, p.filter)),
 		)
@@ -310,11 +303,7 @@ func Fig22LoadDistribution(caches [][]trace.FileID, drops []float64, seed uint64
 			}
 		}
 		// Descending load-by-rank curve.
-		for i := 1; i < len(loads); i++ {
-			for j := i; j > 0 && loads[j-1] < loads[j]; j-- {
-				loads[j-1], loads[j] = loads[j], loads[j-1]
-			}
-		}
+		slices.SortFunc(loads, func(a, b float64) int { return cmp.Compare(b, a) })
 		label := "all uploaders"
 		if drop > 0 {
 			label = fmt.Sprintf("without %.0f%% top uploaders", 100*drop)

@@ -1,8 +1,9 @@
 package analysis
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"edonkey/internal/geo"
 	"edonkey/internal/stats"
@@ -63,11 +64,11 @@ func Table2(t *trace.Trace, reg *geo.Registry, topK int) *Table {
 	for asn, n := range byAS {
 		list = append(list, asCount{asn, n})
 	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].n != list[j].n {
-			return list[i].n > list[j].n
+	slices.SortFunc(list, func(a, b asCount) int {
+		if a.n != b.n {
+			return cmp.Compare(b.n, a.n)
 		}
-		return list[i].asn < list[j].asn
+		return cmp.Compare(a.asn, b.asn)
 	})
 	if topK > len(list) {
 		topK = len(list)
@@ -94,15 +95,13 @@ func Table2(t *trace.Trace, reg *geo.Registry, topK int) *Table {
 // Fig1 reproduces Figure 1: clients and files successfully scanned per
 // day over the measurement period.
 func Fig1ClientsFilesPerDay(t *trace.Trace) *Figure {
+	st := t.Store()
 	var days, clients, files []float64
-	for _, s := range t.Days {
-		days = append(days, float64(s.Day))
-		clients = append(clients, float64(len(s.Caches)))
-		n := 0
-		for _, c := range s.Caches {
-			n += len(c)
-		}
-		files = append(files, float64(n))
+	for di := 0; di < st.NumDays(); di++ {
+		sn := st.Snap(di)
+		days = append(days, float64(sn.Day))
+		clients = append(clients, float64(sn.ObservedRows()))
+		files = append(files, float64(sn.NNZ()))
 	}
 	return &Figure{
 		ID: "fig01", Title: "Clients and shared files scanned per day",
@@ -117,21 +116,25 @@ func Fig1ClientsFilesPerDay(t *trace.Trace) *Figure {
 // Fig2 reproduces Figure 2: newly discovered and cumulative distinct
 // files over the crawl.
 func Fig2NewFiles(t *trace.Trace) *Figure {
-	seen := make(map[trace.FileID]struct{})
+	st := t.Store()
+	seen := make([]bool, st.NumVals())
+	total := 0
 	var days, newFiles, totals []float64
-	for _, s := range t.Days {
+	for di := 0; di < st.NumDays(); di++ {
+		sn := st.Snap(di)
 		newToday := 0
-		for _, cache := range s.Caches {
-			for _, f := range cache {
-				if _, ok := seen[f]; !ok {
-					seen[f] = struct{}{}
+		for pid := 0; pid < sn.NumRows(); pid++ {
+			for _, f := range sn.Cache(trace.PeerID(pid)) {
+				if !seen[f] {
+					seen[f] = true
 					newToday++
 				}
 			}
 		}
-		days = append(days, float64(s.Day))
+		total += newToday
+		days = append(days, float64(sn.Day))
 		newFiles = append(newFiles, float64(newToday))
-		totals = append(totals, float64(len(seen)))
+		totals = append(totals, float64(total))
 	}
 	return &Figure{
 		ID: "fig02", Title: "Files discovered during the trace",
@@ -146,17 +149,18 @@ func Fig2NewFiles(t *trace.Trace) *Figure {
 // Fig3 reproduces Figure 3: files and non-empty caches per day after
 // filtering and extrapolation — the data used to pick the analysis window.
 func Fig3ExtrapolatedCoverage(t *trace.Trace) *Figure {
+	st := t.Store()
 	var days, files, nonEmpty []float64
-	for _, s := range t.Days {
-		n, ne := 0, 0
-		for _, c := range s.Caches {
-			n += len(c)
-			if len(c) > 0 {
+	for di := 0; di < st.NumDays(); di++ {
+		sn := st.Snap(di)
+		ne := 0
+		for pid := 0; pid < sn.NumRows(); pid++ {
+			if len(sn.Cache(trace.PeerID(pid))) > 0 {
 				ne++
 			}
 		}
-		days = append(days, float64(s.Day))
-		files = append(files, float64(n))
+		days = append(days, float64(sn.Day))
+		files = append(files, float64(sn.NNZ()))
 		nonEmpty = append(nonEmpty, float64(ne))
 	}
 	return &Figure{
@@ -188,11 +192,11 @@ func Fig4Countries(t *trace.Trace, topK int) *Figure {
 	for code, n := range counts {
 		list = append(list, cc{code, n})
 	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].n != list[j].n {
-			return list[i].n > list[j].n
+	slices.SortFunc(list, func(a, b cc) int {
+		if a.n != b.n {
+			return cmp.Compare(b.n, a.n)
 		}
-		return list[i].code < list[j].code
+		return cmp.Compare(a.code, b.code)
 	})
 	fig := &Figure{
 		ID: "fig04", Title: "Distribution of clients per country",
@@ -230,22 +234,22 @@ func Fig5Replication(t *trace.Trace, days []int) *Figure {
 		XLabel: "file rank", YLabel: "sources per file",
 		LogX: true, LogY: true,
 	}
+	st := t.Store()
 	for _, day := range days {
-		s := t.SnapshotFor(day)
-		if s == nil {
+		sn := st.ByDay(day)
+		if sn == nil {
 			continue
 		}
-		counts := make(map[trace.FileID]int)
-		for _, cache := range s.Caches {
-			for _, f := range cache {
-				counts[f]++
+		// Per-file replica counts that day, straight off the inverted
+		// index (free-rider rows contribute nothing either way).
+		iv := sn.Inverted()
+		var sources []int
+		for f := 0; f < sn.NumVals(); f++ {
+			if n := iv.Count(trace.FileID(f)); n > 0 {
+				sources = append(sources, n)
 			}
 		}
-		sources := make([]int, 0, len(counts))
-		for _, n := range counts {
-			sources = append(sources, n)
-		}
-		sort.Sort(sort.Reverse(sort.IntSlice(sources)))
+		slices.SortFunc(sources, func(a, b int) int { return cmp.Compare(b, a) })
 		// Subsample log-spaced ranks to keep series compact.
 		var xs, ys []float64
 		for rank := 1; rank <= len(sources); rank = nextLogRank(rank) {
@@ -300,12 +304,7 @@ func Fig6FileSizes(t *trace.Trace, popThresholds []int) *Figure {
 // and without free-riders.
 func Fig7Contribution(t *trace.Trace) *Figure {
 	caches := t.AggregateCaches()
-	observed := make([]bool, len(t.Peers))
-	for _, s := range t.Days {
-		for pid := range s.Caches {
-			observed[pid] = true
-		}
-	}
+	observed := t.Store().ObservedRows()
 	var filesAll, filesSharers, spaceAll, spaceSharers []float64
 	for pid := range t.Peers {
 		if !observed[pid] {
@@ -340,25 +339,22 @@ func Fig7Contribution(t *trace.Trace) *Figure {
 }
 
 // Fig8 reproduces Figure 8: the spread (fraction of clients sharing) of
-// the most popular files over time.
+// the most popular files over time. The per-day sharer count of a file
+// is one inverted-index row length — no per-cache searches.
 func Fig8Spread(t *trace.Trace, topK int) *Figure {
 	top := t.TopFiles(topK)
 	clients := float64(max(1, t.ObservedPeers()))
+	st := t.Store()
 	fig := &Figure{
 		ID: "fig08", Title: fmt.Sprintf("Spread of the %d most popular files", topK),
 		XLabel: "day", YLabel: "spread (fraction of clients)",
 	}
 	for rank, fid := range top {
 		var xs, ys []float64
-		for _, s := range t.Days {
-			n := 0
-			for _, cache := range s.Caches {
-				if containsFile(cache, fid) {
-					n++
-				}
-			}
-			xs = append(xs, float64(s.Day))
-			ys = append(ys, float64(n)/clients)
+		for di := 0; di < st.NumDays(); di++ {
+			sn := st.Snap(di)
+			xs = append(xs, float64(sn.Day))
+			ys = append(ys, float64(sn.Inverted().Count(fid))/clients)
 		}
 		fig.Series = append(fig.Series, Series{
 			Label: fmt.Sprintf("#%d", rank+1), X: xs, Y: ys,
@@ -367,23 +363,11 @@ func Fig8Spread(t *trace.Trace, topK int) *Figure {
 	return fig
 }
 
-func containsFile(cache []trace.FileID, f trace.FileID) bool {
-	lo, hi := 0, len(cache)
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if cache[mid] < f {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo < len(cache) && cache[lo] == f
-}
-
 // FigRankEvolution reproduces Figures 9 and 10: the popularity rank over
 // time of the files that were the top-K on a reference day.
 func FigRankEvolution(id string, t *trace.Trace, referenceDay, topK int) *Figure {
-	ref := t.SnapshotFor(referenceDay)
+	st := t.Store()
+	ref := st.ByDay(referenceDay)
 	fig := &Figure{
 		ID: id, Title: fmt.Sprintf("Rank evolution of day-%d top %d", referenceDay, topK),
 		XLabel: "day", YLabel: "rank",
@@ -391,27 +375,24 @@ func FigRankEvolution(id string, t *trace.Trace, referenceDay, topK int) *Figure
 	if ref == nil {
 		return fig
 	}
-	// Per-day popularity counts -> ranks.
-	rankOn := func(s *trace.Snapshot) map[trace.FileID]int {
-		counts := make(map[trace.FileID]int)
-		for _, cache := range s.Caches {
-			for _, f := range cache {
-				counts[f]++
-			}
-		}
+	// Per-day popularity counts (inverted-index row lengths) -> ranks.
+	rankOn := func(sn *trace.StoreSnapshot) map[trace.FileID]int {
+		iv := sn.Inverted()
 		type fc struct {
 			fid trace.FileID
 			n   int
 		}
-		list := make([]fc, 0, len(counts))
-		for f, n := range counts {
-			list = append(list, fc{f, n})
-		}
-		sort.Slice(list, func(i, j int) bool {
-			if list[i].n != list[j].n {
-				return list[i].n > list[j].n
+		var list []fc
+		for f := 0; f < sn.NumVals(); f++ {
+			if n := iv.Count(trace.FileID(f)); n > 0 {
+				list = append(list, fc{trace.FileID(f), n})
 			}
-			return list[i].fid < list[j].fid
+		}
+		slices.SortFunc(list, func(a, b fc) int {
+			if a.n != b.n {
+				return cmp.Compare(b.n, a.n)
+			}
+			return cmp.Compare(a.fid, b.fid)
 		})
 		ranks := make(map[trace.FileID]int, len(list))
 		for i, e := range list {
@@ -430,20 +411,20 @@ func FigRankEvolution(id string, t *trace.Trace, referenceDay, topK int) *Figure
 			tops = append(tops, fr{f, r})
 		}
 	}
-	sort.Slice(tops, func(i, j int) bool { return tops[i].rank < tops[j].rank })
+	slices.SortFunc(tops, func(a, b fr) int { return cmp.Compare(a.rank, b.rank) })
 
-	perDay := make([]map[trace.FileID]int, len(t.Days))
-	for i := range t.Days {
-		perDay[i] = rankOn(&t.Days[i])
+	perDay := make([]map[trace.FileID]int, st.NumDays())
+	for i := range perDay {
+		perDay[i] = rankOn(st.Snap(i))
 	}
 	for _, top := range tops {
 		var xs, ys []float64
-		for i, s := range t.Days {
+		for i := 0; i < st.NumDays(); i++ {
 			r, ok := perDay[i][top.fid]
 			if !ok {
 				continue // unseen that day
 			}
-			xs = append(xs, float64(s.Day))
+			xs = append(xs, float64(st.Snap(i).Day))
 			ys = append(ys, float64(r))
 		}
 		fig.Series = append(fig.Series, Series{
@@ -459,12 +440,10 @@ func FigRankEvolution(id string, t *trace.Trace, referenceDay, topK int) *Figure
 // is the one hosting the most sources. Average popularity is distinct
 // sources divided by days seen, as in the paper.
 func FigHomeConcentration(id string, t *trace.Trace, byAS bool, popLevels []float64) *Figure {
-	// Gather per-file per-location distinct sources.
-	type key struct {
-		f trace.FileID
-		p trace.PeerID
-	}
-	seenPair := make(map[key]struct{})
+	// The distinct (file, peer) source pairs over the whole trace are
+	// exactly the aggregate snapshot; its inverted index lists each
+	// file's sources directly, replacing the seen-pair map the legacy
+	// implementation deduplicated day by day.
 	locOf := make([]string, len(t.Peers))
 	for pid, p := range t.Peers {
 		if byAS {
@@ -473,27 +452,31 @@ func FigHomeConcentration(id string, t *trace.Trace, byAS bool, popLevels []floa
 			locOf[pid] = p.Country
 		}
 	}
-	perFile := make(map[trace.FileID]map[string]int)
-	sources := make(map[trace.FileID]int)
-	for _, s := range t.Days {
-		for pid, cache := range s.Caches {
-			for _, f := range cache {
-				k := key{f, pid}
-				if _, dup := seenPair[k]; dup {
-					continue
-				}
-				seenPair[k] = struct{}{}
-				m := perFile[f]
-				if m == nil {
-					m = make(map[string]int)
-					perFile[f] = m
-				}
-				m[locOf[pid]]++
-				sources[f]++
+	st := t.Store()
+	iv := st.Aggregate().Inverted()
+	daysSeen := t.DaysSeenPerFile()
+
+	// Per file: total distinct sources, and the count in the dominant
+	// location, computed once and reused across popularity levels.
+	sources := make([]int, st.NumVals())
+	mainLoc := make([]int, st.NumVals())
+	locCount := make(map[string]int)
+	for f := 0; f < st.NumVals(); f++ {
+		holders := iv.Holders(trace.FileID(f))
+		if len(holders) == 0 {
+			continue
+		}
+		sources[f] = len(holders)
+		clear(locCount)
+		maxN := 0
+		for _, pid := range holders {
+			locCount[locOf[pid]]++
+			if n := locCount[locOf[pid]]; n > maxN {
+				maxN = n
 			}
 		}
+		mainLoc[f] = maxN
 	}
-	daysSeen := t.DaysSeenPerFile()
 
 	what := "country"
 	if byAS {
@@ -507,22 +490,15 @@ func FigHomeConcentration(id string, t *trace.Trace, byAS bool, popLevels []floa
 	grid := stats.LinGrid(0, 100, 51)
 	for _, level := range popLevels {
 		cdf := &stats.CDF{}
-		for f, m := range perFile {
-			ds := daysSeen[f]
-			if ds == 0 {
+		for f := 0; f < st.NumVals(); f++ {
+			if sources[f] == 0 || daysSeen[f] == 0 {
 				continue
 			}
-			avgPop := float64(sources[f]) / float64(ds)
+			avgPop := float64(sources[f]) / float64(daysSeen[f])
 			if avgPop < level {
 				continue
 			}
-			maxN := 0
-			for _, n := range m {
-				if n > maxN {
-					maxN = n
-				}
-			}
-			cdf.Add(100 * float64(maxN) / float64(sources[f]))
+			cdf.Add(100 * float64(mainLoc[f]) / float64(sources[f]))
 		}
 		if cdf.Len() == 0 {
 			continue

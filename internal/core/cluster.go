@@ -3,6 +3,7 @@ package core
 import (
 	"edonkey/internal/stats"
 	"edonkey/internal/trace"
+	"edonkey/internal/tracestore"
 )
 
 // FileFilter restricts which files count toward pairwise overlap. A nil
@@ -45,39 +46,62 @@ func SplitPairKey(k uint64) (a, b trace.PeerID) {
 	return trace.PeerID(k >> 32), trace.PeerID(k & 0xFFFFFFFF)
 }
 
-// PairOverlaps computes, for every peer pair with at least one (filtered)
-// file in common, the number of common filtered files. Peers are the
-// indices of caches; caches must be sorted (trace.AggregateCaches or
-// Snapshot caches satisfy this).
+// ForEachPairOverlap calls yield once per unordered peer pair (a < b)
+// with at least one (filtered) file in common, passing the number of
+// common filtered files. Peers are the indices of caches; caches must be
+// sorted (trace.AggregateCaches, store snapshot rows and Snapshot caches
+// all satisfy this). The slices are first encoded into a columnar
+// snapshot; callers already holding one (a store day or aggregate)
+// should use ForEachPairOverlapSnapshot to skip that copy.
+func ForEachPairOverlap(caches [][]trace.FileID, filter FileFilter, yield func(a, b trace.PeerID, n int32)) {
+	sn := tracestore.FromRows[trace.PeerID, trace.FileID](0, caches, nil, 0)
+	ForEachPairOverlapSnapshot(sn, filter, yield)
+}
+
+// ForEachPairOverlapSnapshot runs the pair enumeration directly on an
+// existing columnar snapshot (reusing its cached inverted index),
+// evaluating the filter once per file id (filters are pure functions of
+// the FileID). No hash sets are built per pair; see
+// tracestore.ForEachOverlap for the algorithm and its determinism.
+func ForEachPairOverlapSnapshot(sn *trace.StoreSnapshot, filter FileFilter, yield func(a, b trace.PeerID, n int32)) {
+	var keep []bool
+	if filter != nil {
+		keep = make([]bool, sn.NumVals())
+		for f := range keep {
+			keep[f] = filter(trace.FileID(f))
+		}
+	}
+	tracestore.ForEachOverlap(sn, keep, yield)
+}
+
+// PairOverlaps materializes ForEachPairOverlap into a map keyed by
+// PairKey. Prefer the callback form on hot paths: at tens of thousands
+// of peers the pair map itself dominates memory.
 func PairOverlaps(caches [][]trace.FileID, filter FileFilter) map[uint64]int32 {
-	// Invert: file -> holders, applying the filter once per file.
-	holders := make(map[trace.FileID][]trace.PeerID)
-	for pid, cache := range caches {
-		for _, f := range cache {
-			if filter != nil && !filter(f) {
-				continue
-			}
-			holders[f] = append(holders[f], trace.PeerID(pid))
-		}
-	}
 	pairs := make(map[uint64]int32)
-	for _, hs := range holders {
-		for i := 0; i < len(hs); i++ {
-			for j := i + 1; j < len(hs); j++ {
-				pairs[PairKey(hs[i], hs[j])]++
-			}
-		}
-	}
+	ForEachPairOverlap(caches, filter, func(a, b trace.PeerID, n int32) {
+		pairs[PairKey(a, b)] = n
+	})
 	return pairs
 }
 
-// OverlapHistogram summarizes PairOverlaps into a histogram: bucket k
-// holds the number of pairs sharing exactly k (filtered) files.
+// OverlapHistogram summarizes the pair overlaps into a histogram: bucket
+// k holds the number of pairs sharing exactly k (filtered) files.
 func OverlapHistogram(caches [][]trace.FileID, filter FileFilter) *stats.Histogram {
 	h := stats.NewHistogram()
-	for _, n := range PairOverlaps(caches, filter) {
+	ForEachPairOverlap(caches, filter, func(_, _ trace.PeerID, n int32) {
 		h.Add(int(n))
-	}
+	})
+	return h
+}
+
+// OverlapHistogramSnapshot is OverlapHistogram on an existing columnar
+// snapshot, skipping the CSR re-encode.
+func OverlapHistogramSnapshot(sn *trace.StoreSnapshot, filter FileFilter) *stats.Histogram {
+	h := stats.NewHistogram()
+	ForEachPairOverlapSnapshot(sn, filter, func(_, _ trace.PeerID, n int32) {
+		h.Add(int(n))
+	})
 	return h
 }
 
@@ -125,4 +149,12 @@ func CorrelationCurve(h *stats.Histogram) []CorrelationPoint {
 // correlation curve for the given caches and filter.
 func ClusteringCorrelation(caches [][]trace.FileID, filter FileFilter) []CorrelationPoint {
 	return CorrelationCurve(OverlapHistogram(caches, filter))
+}
+
+// ClusteringCorrelationSnapshot is ClusteringCorrelation on an existing
+// columnar snapshot — the form the figure drivers use, since a trace's
+// store already holds the day and aggregate snapshots with their
+// inverted indexes cached.
+func ClusteringCorrelationSnapshot(sn *trace.StoreSnapshot, filter FileFilter) []CorrelationPoint {
+	return CorrelationCurve(OverlapHistogramSnapshot(sn, filter))
 }

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"edonkey/internal/stats"
+	"edonkey/internal/trace"
+)
+
+func randomDiffCaches(rng *rand.Rand) ([][]trace.FileID, int) {
+	numPeers := 2 + rng.IntN(50)
+	numFiles := 4 + rng.IntN(120)
+	caches := make([][]trace.FileID, numPeers)
+	for p := range caches {
+		if rng.IntN(4) == 0 {
+			continue
+		}
+		size := 1 + rng.IntN(min(15, numFiles))
+		seen := make(map[trace.FileID]bool, size)
+		for len(seen) < size {
+			seen[trace.FileID(rng.IntN(numFiles))] = true
+		}
+		c := make([]trace.FileID, 0, size)
+		for f := range seen {
+			c = append(c, f)
+		}
+		slices.Sort(c)
+		caches[p] = c
+	}
+	return caches, numFiles
+}
+
+// The store-backed overlap enumeration and the clustering correlation
+// built on it must be bit-identical to the legacy map pipeline on
+// randomized caches, with and without file filters.
+func TestClusteringCorrelationMatchesLegacyDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xc0de, 2))
+	for iter := 0; iter < 30; iter++ {
+		caches, numFiles := randomDiffCaches(rng)
+
+		// Random popularity vector for a filtered variant.
+		sources := make([]int, numFiles)
+		for _, c := range caches {
+			for _, f := range c {
+				sources[f]++
+			}
+		}
+		filters := []FileFilter{
+			nil,
+			PopularityFilter(sources, 2),
+			func(f trace.FileID) bool { return f%3 != 0 },
+		}
+		for fi, filter := range filters {
+			want := pairOverlapsMap(caches, filter)
+			got := PairOverlaps(caches, filter)
+			if len(got) != len(want) {
+				t.Fatalf("iter %d filter %d: %d pairs, want %d", iter, fi, len(got), len(want))
+			}
+			for k, n := range want {
+				if got[k] != n {
+					t.Fatalf("iter %d filter %d: pair %d = %d, want %d", iter, fi, k, got[k], n)
+				}
+			}
+
+			// Full legacy pipeline: map -> histogram -> correlation.
+			legacyHist := stats.NewHistogram()
+			for _, n := range want {
+				legacyHist.Add(int(n))
+			}
+			wantCurve := CorrelationCurve(legacyHist)
+			gotCurve := ClusteringCorrelation(caches, filter)
+			if len(gotCurve) != len(wantCurve) {
+				t.Fatalf("iter %d filter %d: %d curve points, want %d", iter, fi, len(gotCurve), len(wantCurve))
+			}
+			for i := range wantCurve {
+				if gotCurve[i] != wantCurve[i] {
+					t.Fatalf("iter %d filter %d: point %d = %+v, want %+v", iter, fi, i, gotCurve[i], wantCurve[i])
+				}
+			}
+		}
+	}
+}

@@ -1,9 +1,10 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"edonkey/internal/trace"
+	"edonkey/internal/tracestore"
 )
 
 // OverlapGroup tracks, over the days of a trace, the mean cache overlap
@@ -40,27 +41,16 @@ func ObservedOverlapLevels(t *trace.Trace) ([]int, map[int]int) {
 	if len(t.Days) == 0 {
 		return nil, nil
 	}
-	caches := snapshotCaches(t, 0)
 	counts := make(map[int]int)
-	for _, n := range PairOverlaps(caches, nil) {
+	ForEachPairOverlapSnapshot(t.Store().Snap(0), nil, func(_, _ trace.PeerID, n int32) {
 		counts[int(n)]++
-	}
+	})
 	levels := make([]int, 0, len(counts))
 	for l := range counts {
 		levels = append(levels, l)
 	}
-	sort.Ints(levels)
+	slices.Sort(levels)
 	return levels, counts
-}
-
-// snapshotCaches materializes the caches of the i-th snapshot as a dense
-// per-peer slice (nil for unobserved peers).
-func snapshotCaches(t *trace.Trace, i int) [][]trace.FileID {
-	out := make([][]trace.FileID, len(t.Peers))
-	for pid, c := range t.Days[i].Caches {
-		out[pid] = c
-	}
-	return out
 }
 
 // OverlapEvolution computes the evolution of pairwise cache overlap over
@@ -72,27 +62,28 @@ func OverlapEvolution(t *trace.Trace, opts OverlapEvolutionOptions) []OverlapGro
 	if len(t.Days) == 0 {
 		return nil
 	}
-	day0 := PairOverlaps(snapshotCaches(t, 0), nil)
+	st := t.Store()
 
 	wanted := make(map[int]bool, len(opts.Levels))
 	for _, l := range opts.Levels {
 		wanted[l] = true
 	}
 
-	// Bucket pairs by initial overlap level.
+	// Bucket the first day's pairs by initial overlap level as they are
+	// enumerated — the pair map never materializes.
 	byLevel := make(map[int][]uint64)
 	totals := make(map[int]int)
-	for key, n := range day0 {
+	ForEachPairOverlapSnapshot(st.Snap(0), nil, func(a, b trace.PeerID, n int32) {
 		level := int(n)
 		if len(wanted) > 0 && !wanted[level] {
-			continue
+			return
 		}
 		totals[level]++
-		byLevel[level] = append(byLevel[level], key)
-	}
+		byLevel[level] = append(byLevel[level], PairKey(a, b))
+	})
 	// Deterministic sampling: sort keys, take the first MaxPairsPerLevel.
 	for level, keys := range byLevel {
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		slices.Sort(keys)
 		if opts.MaxPairsPerLevel > 0 && len(keys) > opts.MaxPairsPerLevel {
 			byLevel[level] = keys[:opts.MaxPairsPerLevel]
 		}
@@ -102,7 +93,7 @@ func OverlapEvolution(t *trace.Trace, opts OverlapEvolutionOptions) []OverlapGro
 	for l := range byLevel {
 		levels = append(levels, l)
 	}
-	sort.Ints(levels)
+	slices.Sort(levels)
 
 	groups := make([]OverlapGroup, len(levels))
 	for gi, level := range levels {
@@ -115,8 +106,8 @@ func OverlapEvolution(t *trace.Trace, opts OverlapEvolutionOptions) []OverlapGro
 		}
 	}
 
-	for di := range t.Days {
-		caches := t.Days[di].Caches
+	for di := 0; di < st.NumDays(); di++ {
+		sn := st.Snap(di)
 		for gi, level := range levels {
 			keys := byLevel[level]
 			if len(keys) == 0 {
@@ -125,14 +116,12 @@ func OverlapEvolution(t *trace.Trace, opts OverlapEvolutionOptions) []OverlapGro
 			var sum int64
 			for _, key := range keys {
 				a, b := SplitPairKey(key)
-				ca, okA := caches[a]
-				cb, okB := caches[b]
-				if okA && okB {
-					sum += int64(trace.IntersectCount(ca, cb))
+				if sn.Observed(a) && sn.Observed(b) {
+					sum += int64(tracestore.IntersectCount(sn.Cache(a), sn.Cache(b)))
 				}
 			}
 			g := &groups[gi]
-			g.Days = append(g.Days, t.Days[di].Day)
+			g.Days = append(g.Days, sn.Day)
 			g.Mean = append(g.Mean, float64(sum)/float64(len(keys)))
 		}
 	}

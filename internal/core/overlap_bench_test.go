@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"sync"
+	"testing"
+
+	"edonkey/internal/trace"
+)
+
+// pairOverlapsMap is the pre-tracestore implementation of PairOverlaps,
+// kept verbatim as the benchmark baseline: invert through a hash map,
+// then count every co-occurrence into a map of packed pair keys.
+func pairOverlapsMap(caches [][]trace.FileID, filter FileFilter) map[uint64]int32 {
+	holders := make(map[trace.FileID][]trace.PeerID)
+	for pid, cache := range caches {
+		for _, f := range cache {
+			if filter != nil && !filter(f) {
+				continue
+			}
+			holders[f] = append(holders[f], trace.PeerID(pid))
+		}
+	}
+	pairs := make(map[uint64]int32)
+	for _, hs := range holders {
+		for i := 0; i < len(hs); i++ {
+			for j := i + 1; j < len(hs); j++ {
+				pairs[PairKey(hs[i], hs[j])]++
+			}
+		}
+	}
+	return pairs
+}
+
+// benchCaches generates a deterministic heavy-tailed population: cache
+// sizes geometric-ish, file choice Zipf-like so popular files have long
+// holder lists (the regime where the pair enumeration is hot).
+func benchCaches(peers int) [][]trace.FileID {
+	rng := rand.New(rand.NewPCG(uint64(peers), 0xbe9c))
+	numFiles := peers * 10
+	zipf := func() trace.FileID {
+		// Inverse-CDF sampling of a rough power law over file ranks.
+		u := rng.Float64()
+		rank := int(float64(numFiles) * u * u * u)
+		if rank >= numFiles {
+			rank = numFiles - 1
+		}
+		return trace.FileID(rank)
+	}
+	caches := make([][]trace.FileID, peers)
+	for p := range caches {
+		if rng.Float64() < 0.7 {
+			continue // free-rider
+		}
+		size := 4 + rng.IntN(60)
+		if rng.Float64() < 0.05 {
+			size *= 8 // collector
+		}
+		seen := make(map[trace.FileID]bool, size)
+		for len(seen) < size {
+			seen[zipf()] = true
+		}
+		c := make([]trace.FileID, 0, size)
+		for f := range seen {
+			c = append(c, f)
+		}
+		slices.Sort(c)
+		caches[p] = c
+	}
+	return caches
+}
+
+var (
+	benchCachesMu    sync.Mutex
+	benchCachesCache = map[int][][]trace.FileID{}
+)
+
+func benchCachesFor(b *testing.B, peers int) [][]trace.FileID {
+	b.Helper()
+	benchCachesMu.Lock()
+	defer benchCachesMu.Unlock()
+	c, ok := benchCachesCache[peers]
+	if !ok {
+		c = benchCaches(peers)
+		benchCachesCache[peers] = c
+	}
+	return c
+}
+
+// BenchmarkPairOverlap compares the legacy map-based pair counting with
+// the columnar enumeration at several population sizes. The acceptance
+// bar for the store refactor is >= 3x at 10k+ peers.
+func BenchmarkPairOverlap(b *testing.B) {
+	for _, peers := range []int{2000, 10000, 20000} {
+		caches := benchCachesFor(b, peers)
+		b.Run(fmt.Sprintf("impl=map/peers=%d", peers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := int64(0)
+				for _, n := range pairOverlapsMap(caches, nil) {
+					h += int64(n)
+				}
+				_ = h
+			}
+		})
+		b.Run(fmt.Sprintf("impl=store/peers=%d", peers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h := int64(0)
+				ForEachPairOverlap(caches, nil, func(_, _ trace.PeerID, n int32) {
+					h += int64(n)
+				})
+				_ = h
+			}
+		})
+	}
+}
+
+// The baseline and the store enumeration must agree bug-for-bug on the
+// benchmark population (and on the histogram the analyses consume).
+func TestPairOverlapMatchesMapBaseline(t *testing.T) {
+	caches := benchCaches(1500)
+	want := pairOverlapsMap(caches, nil)
+	got := PairOverlaps(caches, nil)
+	if len(got) != len(want) {
+		t.Fatalf("pair count %d, want %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			a, bb := SplitPairKey(k)
+			t.Fatalf("pair (%d,%d) = %d, want %d", a, bb, got[k], n)
+		}
+	}
+}

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand/v2"
-	"sort"
+	"slices"
 
 	"edonkey/internal/randomize"
 	"edonkey/internal/trace"
@@ -128,11 +129,11 @@ func PrepareCaches(caches [][]trace.FileID, opt SimOptions, rng *rand.Rand) [][]
 				sharers = append(sharers, pc{trace.PeerID(pid), len(c)})
 			}
 		}
-		sort.Slice(sharers, func(i, j int) bool {
-			if sharers[i].n != sharers[j].n {
-				return sharers[i].n > sharers[j].n
+		slices.SortFunc(sharers, func(a, b pc) int {
+			if a.n != b.n {
+				return cmp.Compare(b.n, a.n)
 			}
-			return sharers[i].pid < sharers[j].pid
+			return cmp.Compare(a.pid, b.pid)
 		})
 		k := int(opt.DropTopUploaders * float64(len(sharers)))
 		for i := 0; i < k && i < len(sharers); i++ {
@@ -141,7 +142,7 @@ func PrepareCaches(caches [][]trace.FileID, opt SimOptions, rng *rand.Rand) [][]
 	}
 
 	if opt.DropTopFiles > 0 {
-		pop := make(map[trace.FileID]int)
+		pop := make([]int32, maxFileID(out)+1)
 		for _, c := range out {
 			for _, f := range c {
 				pop[f]++
@@ -149,20 +150,22 @@ func PrepareCaches(caches [][]trace.FileID, opt SimOptions, rng *rand.Rand) [][]
 		}
 		type fc struct {
 			fid trace.FileID
-			n   int
+			n   int32
 		}
-		files := make([]fc, 0, len(pop))
+		var files []fc
 		for f, n := range pop {
-			files = append(files, fc{f, n})
-		}
-		sort.Slice(files, func(i, j int) bool {
-			if files[i].n != files[j].n {
-				return files[i].n > files[j].n
+			if n > 0 {
+				files = append(files, fc{trace.FileID(f), n})
 			}
-			return files[i].fid < files[j].fid
+		}
+		slices.SortFunc(files, func(a, b fc) int {
+			if a.n != b.n {
+				return cmp.Compare(b.n, a.n)
+			}
+			return cmp.Compare(a.fid, b.fid)
 		})
 		k := int(opt.DropTopFiles * float64(len(files)))
-		drop := make(map[trace.FileID]bool, k)
+		drop := make([]bool, len(pop))
 		for i := 0; i < k && i < len(files); i++ {
 			drop[files[i].fid] = true
 		}
@@ -190,6 +193,31 @@ func PrepareCaches(caches [][]trace.FileID, opt SimOptions, rng *rand.Rand) [][]
 	}
 	return out
 }
+
+// maxFileID returns the largest FileID appearing in the caches (rows are
+// sorted, so only each row's last element is examined), or -1 when all
+// rows are empty.
+func maxFileID(caches [][]trace.FileID) int {
+	maxF := -1
+	for _, c := range caches {
+		if len(c) > 0 {
+			if f := int(c[len(c)-1]); f > maxF {
+				maxF = f
+			}
+		}
+	}
+	return maxF
+}
+
+// sharedSet tracks which of a peer's own cache entries it currently
+// shares, as a bitset over positions in the peer's sorted cache. A peer
+// only ever shares files from its own request set, so membership reduces
+// to a binary search of the static cache plus one bit probe — no hash
+// set per peer, no allocation after the first share.
+type sharedSet []uint64
+
+func (s sharedSet) has(pos int) bool { return s[pos/64]&(1<<(pos%64)) != 0 }
+func (s sharedSet) set(pos int)      { s[pos/64] |= 1 << (pos % 64) }
 
 // RunSim executes the trace-driven search simulation of paper §5.1 on the
 // given static caches (index = PeerID; use trace.AggregateCaches on the
@@ -258,16 +286,36 @@ func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 		res.Strategy = "Fixed"
 	}
 
-	shared := make([]map[trace.FileID]struct{}, len(prepared))
-	holders := make(map[trace.FileID][]trace.PeerID)
+	// Per-peer shared bitsets over cache positions, and the holder lists
+	// indexed directly by FileID (dense array, no map).
+	shared := make([]sharedSet, len(prepared))
+	holders := make([][]trace.PeerID, maxFileID(prepared)+1)
+	sharesFile := func(p trace.PeerID, f trace.FileID) bool {
+		if shared[p] == nil {
+			return false
+		}
+		pos, ok := slices.BinarySearch(prepared[p], f)
+		return ok && shared[p].has(pos)
+	}
+	startSharing := func(p trace.PeerID, f trace.FileID) {
+		if shared[p] == nil {
+			shared[p] = make(sharedSet, (len(prepared[p])+63)/64)
+		}
+		pos, _ := slices.BinarySearch(prepared[p], f)
+		shared[p].set(pos)
+	}
 	if opt.TrackLoad {
 		res.LoadPerPeer = make([]int64, len(prepared))
 	}
 
 	// Active peers with remaining requests, for uniform random choice.
 	active := append([]trace.PeerID(nil), sharerPool...)
-	// Scratch set for two-hop deduplication.
-	queried := make(map[trace.PeerID]bool, opt.ListSize*(opt.ListSize+1))
+	// Epoch-marked scratch for two-hop deduplication (no per-request map).
+	var queried []uint32
+	var epoch uint32
+	if opt.TwoHop {
+		queried = make([]uint32, len(prepared))
+	}
 
 	for len(active) > 0 {
 		ai := rng.IntN(len(active))
@@ -284,7 +332,7 @@ func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 		if len(srcs) == 0 {
 			// p is the original contributor of f.
 			res.Contributions++
-			addShared(&shared[p], f)
+			startSharing(p, f)
 			holders[f] = append(holders[f], p)
 			continue
 		}
@@ -300,7 +348,7 @@ func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 			if opt.TrackLoad {
 				res.LoadPerPeer[n]++
 			}
-			if _, ok := shared[n][f]; ok {
+			if sharesFile(n, f) {
 				hit = true
 				uploader = n
 				break
@@ -308,10 +356,10 @@ func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 		}
 		if !hit && opt.TwoHop {
 			hop = 2
-			clear(queried)
-			queried[p] = true
+			epoch++
+			queried[p] = epoch
 			for _, n := range neigh {
-				queried[n] = true
+				queried[n] = epoch
 			}
 		twoHop:
 			for _, n := range neigh {
@@ -319,15 +367,15 @@ func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 					continue
 				}
 				for _, nn := range strategies[n].Neighbours() {
-					if queried[nn] {
+					if queried[nn] == epoch {
 						continue
 					}
-					queried[nn] = true
+					queried[nn] = epoch
 					res.Messages++
 					if opt.TrackLoad {
 						res.LoadPerPeer[nn]++
 					}
-					if _, ok := shared[nn][f]; ok {
+					if sharesFile(nn, f) {
 						hit = true
 						uploader = nn
 						break twoHop
@@ -348,15 +396,8 @@ func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 			uploader = srcs[rng.IntN(len(srcs))]
 		}
 		strategies[p].RecordUpload(uploader)
-		addShared(&shared[p], f)
+		startSharing(p, f)
 		holders[f] = append(holders[f], p)
 	}
 	return res
-}
-
-func addShared(set *map[trace.FileID]struct{}, f trace.FileID) {
-	if *set == nil {
-		*set = make(map[trace.FileID]struct{}, 16)
-	}
-	(*set)[f] = struct{}{}
 }

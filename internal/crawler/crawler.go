@@ -22,8 +22,9 @@ package crawler
 
 import (
 	"bytes"
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"edonkey/internal/edonkey"
 	"edonkey/internal/protocol"
@@ -346,11 +347,11 @@ func (c *Crawler) record(day int, u protocol.UserEntry, files []protocol.FileEnt
 }
 
 func sortIdentityKeys(keys []identityKey) {
-	sort.Slice(keys, func(i, j int) bool {
-		if c := bytes.Compare(keys[i].hash[:], keys[j].hash[:]); c != 0 {
-			return c < 0
+	slices.SortFunc(keys, func(a, b identityKey) int {
+		if c := bytes.Compare(a.hash[:], b.hash[:]); c != 0 {
+			return c
 		}
-		return keys[i].ip < keys[j].ip
+		return cmp.Compare(a.ip, b.ip)
 	})
 }
 

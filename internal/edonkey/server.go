@@ -1,8 +1,10 @@
 package edonkey
 
 import (
+	"bytes"
+	"cmp"
 	"net"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 
@@ -208,12 +210,11 @@ func (s *Server) handleServerList() protocol.Message {
 	for ep := range s.servers {
 		out.Servers = append(out.Servers, ep)
 	}
-	sort.Slice(out.Servers, func(i, j int) bool {
-		a, b := out.Servers[i], out.Servers[j]
+	slices.SortFunc(out.Servers, func(a, b protocol.Endpoint) int {
 		if a.IP != b.IP {
-			return a.IP < b.IP
+			return cmp.Compare(a.IP, b.IP)
 		}
-		return a.Port < b.Port
+		return cmp.Compare(a.Port, b.Port)
 	})
 	return out
 }
@@ -254,12 +255,11 @@ func (s *Server) handleGetSources(req *protocol.GetSources) protocol.Message {
 		for _, ep := range rec.sources {
 			out.Sources = append(out.Sources, ep)
 		}
-		sort.Slice(out.Sources, func(i, j int) bool {
-			a, b := out.Sources[i], out.Sources[j]
+		slices.SortFunc(out.Sources, func(a, b protocol.Endpoint) int {
 			if a.IP != b.IP {
-				return a.IP < b.IP
+				return cmp.Compare(a.IP, b.IP)
 			}
-			return a.Port < b.Port
+			return cmp.Compare(a.Port, b.Port)
 		})
 	}
 	return out
@@ -279,8 +279,8 @@ func (s *Server) handleSearch(req *protocol.SearchRequest) protocol.Message {
 		entry.Availability = uint32(len(rec.sources))
 		out.Files = append(out.Files, entry)
 	}
-	sort.Slice(out.Files, func(i, j int) bool {
-		return string(out.Files[i].Hash[:]) < string(out.Files[j].Hash[:])
+	slices.SortFunc(out.Files, func(a, b protocol.FileEntry) int {
+		return bytes.Compare(a.Hash[:], b.Hash[:])
 	})
 	return out
 }

@@ -18,11 +18,13 @@
 package overlay
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand/v2"
-	"sort"
+	"slices"
 
 	"edonkey/internal/trace"
+	"edonkey/internal/tracestore"
 )
 
 // Config parameterizes the gossip protocol.
@@ -48,13 +50,17 @@ type viewEntry struct {
 	age int
 }
 
-// node is one gossiping peer.
+// node is one gossiping peer. The inRandom/inSem sets mirror the two
+// views so membership tests are O(1) instead of an O(view) scan inside
+// every gossip round (which made merges O(view²)).
 type node struct {
-	id      trace.PeerID
-	cache   []trace.FileID // sorted semantic profile
-	random  []viewEntry
-	sem     []trace.PeerID // sorted by overlap desc (ties: smaller id)
-	semOver []int          // overlap values parallel to sem
+	id       trace.PeerID
+	cache    []trace.FileID // sorted semantic profile
+	random   []viewEntry
+	inRandom map[trace.PeerID]struct{} // ids present in random
+	sem      []trace.PeerID            // sorted by overlap desc (ties: smaller id)
+	semOver  []int                     // overlap values parallel to sem
+	inSem    map[trace.PeerID]struct{} // ids present in sem
 }
 
 // Protocol is a running overlay over a static cache snapshot.
@@ -93,7 +99,12 @@ func New(caches [][]trace.FileID, cfg Config) (*Protocol, error) {
 		return nil, fmt.Errorf("overlay: need at least 2 sharing peers, have %d", len(p.peers))
 	}
 	for _, pid := range p.peers {
-		p.nodes[pid] = &node{id: pid, cache: caches[pid]}
+		p.nodes[pid] = &node{
+			id:       pid,
+			cache:    caches[pid],
+			inRandom: make(map[trace.PeerID]struct{}, cfg.RandomViewSize),
+			inSem:    make(map[trace.PeerID]struct{}, cfg.SemanticViewSize),
+		}
 	}
 	// Bootstrap random views with uniformly random peers, as a tracker
 	// or any rendezvous would.
@@ -101,8 +112,9 @@ func New(caches [][]trace.FileID, cfg Config) (*Protocol, error) {
 		n := p.nodes[pid]
 		for len(n.random) < cfg.RandomViewSize {
 			cand := p.peers[p.rng.IntN(len(p.peers))]
-			if cand != pid && !containsEntry(n.random, cand) {
+			if _, dup := n.inRandom[cand]; cand != pid && !dup {
 				n.random = append(n.random, viewEntry{id: cand})
+				n.inRandom[cand] = struct{}{}
 			}
 			if len(n.random) >= len(p.peers)-1 {
 				break
@@ -110,15 +122,6 @@ func New(caches [][]trace.FileID, cfg Config) (*Protocol, error) {
 		}
 	}
 	return p, nil
-}
-
-func containsEntry(view []viewEntry, id trace.PeerID) bool {
-	for _, e := range view {
-		if e.id == id {
-			return true
-		}
-	}
-	return false
 }
 
 // Rounds returns the number of gossip rounds executed.
@@ -130,9 +133,11 @@ func (p *Protocol) Messages() int64 { return p.messages }
 // Peers returns the participating peer IDs.
 func (p *Protocol) Peers() []trace.PeerID { return p.peers }
 
-// overlap is the semantic proximity metric: common cache entries.
+// overlap is the semantic proximity metric: common cache entries. The
+// kernel gallops when one cache dwarfs the other (a collector gossiping
+// with a casual sharer), which is the common case in heavy-tailed traces.
 func (p *Protocol) overlap(a, b trace.PeerID) int {
-	return trace.IntersectCount(p.caches[a], p.caches[b])
+	return tracestore.IntersectCount(p.caches[a], p.caches[b])
 }
 
 // Round executes one gossip round: every peer gossips once on the random
@@ -171,10 +176,12 @@ func (p *Protocol) randomLayer(n *node) {
 			oldest = i
 		}
 	}
-	partner := p.nodes[n.random[oldest].id]
+	partnerID := n.random[oldest].id
+	partner := p.nodes[partnerID]
 	// Remove the partner from the view (it is being contacted).
 	n.random[oldest] = n.random[len(n.random)-1]
 	n.random = n.random[:len(n.random)-1]
+	delete(n.inRandom, partnerID)
 	if partner == nil {
 		return // partner left (not in this snapshot)
 	}
@@ -202,14 +209,18 @@ func (p *Protocol) sampleEntries(view []viewEntry, k int) []viewEntry {
 
 // mergeRandom merges received entries into a node's random view, dropping
 // self-references and duplicates, evicting the oldest entries over
-// capacity.
+// capacity. The node's inRandom set is kept in sync.
 func (p *Protocol) mergeRandom(n *node, in []viewEntry) []viewEntry {
 	view := n.random
 	for _, e := range in {
-		if e.id == n.id || containsEntry(view, e.id) {
+		if e.id == n.id {
+			continue
+		}
+		if _, dup := n.inRandom[e.id]; dup {
 			continue
 		}
 		view = append(view, viewEntry{id: e.id, age: 0})
+		n.inRandom[e.id] = struct{}{}
 	}
 	for len(view) > p.cfg.RandomViewSize {
 		oldest := 0
@@ -218,6 +229,7 @@ func (p *Protocol) mergeRandom(n *node, in []viewEntry) []viewEntry {
 				oldest = i
 			}
 		}
+		delete(n.inRandom, view[oldest].id)
 		view[oldest] = view[len(view)-1]
 		view = view[:len(view)-1]
 	}
@@ -275,7 +287,7 @@ func (p *Protocol) absorb(n *node, candidates []trace.PeerID) {
 		if cand == n.id || p.nodes[cand] == nil {
 			continue
 		}
-		if containsID(n.sem, cand) {
+		if _, dup := n.inSem[cand]; dup {
 			continue
 		}
 		ov := p.overlap(n.id, cand)
@@ -284,6 +296,7 @@ func (p *Protocol) absorb(n *node, candidates []trace.PeerID) {
 		}
 		n.sem = append(n.sem, cand)
 		n.semOver = append(n.semOver, ov)
+		n.inSem[cand] = struct{}{}
 		changed = true
 	}
 	if !changed {
@@ -297,30 +310,23 @@ func (p *Protocol) absorb(n *node, candidates []trace.PeerID) {
 	for i := range n.sem {
 		list[i] = pair{n.sem[i], n.semOver[i]}
 	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].ov != list[j].ov {
-			return list[i].ov > list[j].ov
+	slices.SortFunc(list, func(a, b pair) int {
+		if a.ov != b.ov {
+			return cmp.Compare(b.ov, a.ov)
 		}
-		return list[i].id < list[j].id
+		return cmp.Compare(a.id, b.id)
 	})
 	if len(list) > p.cfg.SemanticViewSize {
 		list = list[:p.cfg.SemanticViewSize]
 	}
 	n.sem = n.sem[:0]
 	n.semOver = n.semOver[:0]
+	clear(n.inSem)
 	for _, e := range list {
 		n.sem = append(n.sem, e.id)
 		n.semOver = append(n.semOver, e.ov)
+		n.inSem[e.id] = struct{}{}
 	}
-}
-
-func containsID(ids []trace.PeerID, id trace.PeerID) bool {
-	for _, x := range ids {
-		if x == id {
-			return true
-		}
-	}
-	return false
 }
 
 // SemanticNeighbours returns the peer's current semantic view, closest

@@ -20,24 +20,28 @@ package randomize
 import (
 	"math"
 	"math/rand/v2"
+	"slices"
 
 	"edonkey/internal/trace"
+	"edonkey/internal/tracestore"
 )
 
 // Caches is a randomizable collection of peer cache contents. Build one
-// with New, swap with Run, and extract the result with Snapshot.
+// with New, swap with Run, and extract the result with Snapshot. The
+// input rows may be shared store views (trace.AggregateCaches or
+// snapshot rows): they are copied, never mutated.
 type Caches struct {
-	files   [][]trace.FileID       // per-peer file list (position-addressable)
-	index   []map[trace.FileID]int // per-peer file -> position in files
-	replica []int32                // flattened peer choice: one entry per replica
+	files   [][]trace.FileID // per-peer file list (position-addressable)
+	members [][]trace.FileID // per-peer sorted ids, for duplicate checks
+	replica []int32          // flattened peer choice: one entry per replica
 }
 
 // New copies the given per-peer caches into a randomizable structure.
 // Peers with empty caches are carried through untouched.
 func New(caches [][]trace.FileID) *Caches {
 	c := &Caches{
-		files: make([][]trace.FileID, len(caches)),
-		index: make([]map[trace.FileID]int, len(caches)),
+		files:   make([][]trace.FileID, len(caches)),
+		members: make([][]trace.FileID, len(caches)),
 	}
 	var total int
 	for _, cache := range caches {
@@ -46,12 +50,11 @@ func New(caches [][]trace.FileID) *Caches {
 	c.replica = make([]int32, 0, total)
 	for pid, cache := range caches {
 		c.files[pid] = append([]trace.FileID(nil), cache...)
-		m := make(map[trace.FileID]int, len(cache))
-		for i, f := range cache {
-			m[f] = i
+		c.members[pid] = append([]trace.FileID(nil), cache...)
+		slices.Sort(c.members[pid])
+		for range cache {
 			c.replica = append(c.replica, int32(pid))
 		}
-		c.index[pid] = m
 	}
 	return c
 }
@@ -91,87 +94,51 @@ func (c *Caches) Run(iterations int, rng *rand.Rand) (applied int) {
 		if u == v {
 			continue
 		}
-		if _, dup := c.index[u][fp]; dup {
+		if tracestore.Contains(c.members[u], fp) {
 			continue
 		}
-		if _, dup := c.index[v][f]; dup {
+		if tracestore.Contains(c.members[v], f) {
 			continue
 		}
 		c.files[u][posU] = fp
 		c.files[v][posV] = f
-		delete(c.index[u], f)
-		delete(c.index[v], fp)
-		c.index[u][fp] = posU
-		c.index[v][f] = posV
+		replace(&c.members[u], f, fp)
+		replace(&c.members[v], fp, f)
 		applied++
 	}
 	return applied
 }
 
+// replace swaps drop for add in a sorted membership slice, keeping it
+// sorted: one binary search and memmove each way. Caches are small, so
+// this beats per-peer hash maps on both memory and swap latency.
+func replace(xs *[]trace.FileID, drop, add trace.FileID) {
+	s := *xs
+	i, _ := slices.BinarySearch(s, drop)
+	j, _ := slices.BinarySearch(s, add)
+	switch {
+	case i < j:
+		// add lands after drop's slot: shift the in-between left.
+		copy(s[i:j-1], s[i+1:j])
+		s[j-1] = add
+	case j < i:
+		copy(s[j+1:i+1], s[j:i])
+		s[j] = add
+	default:
+		s[i] = add
+	}
+}
+
 // Snapshot returns the current caches, sorted per peer, as fresh slices.
 func (c *Caches) Snapshot() [][]trace.FileID {
 	out := make([][]trace.FileID, len(c.files))
-	for pid, cache := range c.files {
+	for pid, cache := range c.members {
 		if len(cache) == 0 {
 			continue
 		}
-		cp := append([]trace.FileID(nil), cache...)
-		sortFileIDs(cp)
-		out[pid] = cp
+		out[pid] = append([]trace.FileID(nil), cache...)
 	}
 	return out
-}
-
-func sortFileIDs(xs []trace.FileID) {
-	// Insertion sort is fine for typical cache sizes; fall back to a
-	// simple quicksort for big collectors.
-	if len(xs) > 64 {
-		quicksort(xs)
-		return
-	}
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
-			xs[j-1], xs[j] = xs[j], xs[j-1]
-		}
-	}
-}
-
-func quicksort(xs []trace.FileID) {
-	for len(xs) > 16 {
-		p := partition(xs)
-		if p < len(xs)-p {
-			quicksort(xs[:p])
-			xs = xs[p+1:]
-		} else {
-			quicksort(xs[p+1:])
-			xs = xs[:p]
-		}
-	}
-	sortFileIDs(xs)
-}
-
-func partition(xs []trace.FileID) int {
-	mid := len(xs) / 2
-	if xs[mid] < xs[0] {
-		xs[0], xs[mid] = xs[mid], xs[0]
-	}
-	if xs[len(xs)-1] < xs[0] {
-		xs[0], xs[len(xs)-1] = xs[len(xs)-1], xs[0]
-	}
-	if xs[len(xs)-1] < xs[mid] {
-		xs[mid], xs[len(xs)-1] = xs[len(xs)-1], xs[mid]
-	}
-	pivot := xs[mid]
-	xs[mid], xs[len(xs)-1] = xs[len(xs)-1], xs[mid]
-	i := 0
-	for j := 0; j < len(xs)-1; j++ {
-		if xs[j] < pivot {
-			xs[i], xs[j] = xs[j], xs[i]
-			i++
-		}
-	}
-	xs[i], xs[len(xs)-1] = xs[len(xs)-1], xs[i]
-	return i
 }
 
 // Shuffle is the one-shot convenience: copy caches, run the given number

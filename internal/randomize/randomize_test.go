@@ -3,6 +3,7 @@ package randomize
 import (
 	"math"
 	"math/rand/v2"
+	"slices"
 	"testing"
 	"testing/quick"
 
@@ -99,7 +100,7 @@ func TestSwapsActuallyHappen(t *testing.T) {
 	changed := false
 	for p := range caches {
 		sorted := append([]trace.FileID(nil), caches[p]...)
-		sortFileIDs(sorted)
+		slices.Sort(sorted)
 		if len(sorted) != len(after[p]) {
 			t.Fatalf("peer %d cache size changed", p)
 		}
@@ -149,7 +150,7 @@ func TestDestroysClustering(t *testing.T) {
 }
 
 func dedup(c []trace.FileID) []trace.FileID {
-	sortFileIDs(c)
+	slices.Sort(c)
 	out := c[:0]
 	for i, f := range c {
 		if i == 0 || c[i-1] != f {
@@ -194,21 +195,5 @@ func TestEmptyAndTinyInputs(t *testing.T) {
 	snap := c.Snapshot()
 	if len(snap[0]) != 1 || snap[0][0] != 1 || snap[1][0] != 1 {
 		t.Errorf("degenerate swap corrupted caches: %v", snap)
-	}
-}
-
-func TestSortFileIDs(t *testing.T) {
-	rng := rand.New(rand.NewPCG(9, 10))
-	for _, n := range []int{0, 1, 2, 15, 64, 65, 500, 4096} {
-		xs := make([]trace.FileID, n)
-		for i := range xs {
-			xs[i] = trace.FileID(rng.Uint32())
-		}
-		sortFileIDs(xs)
-		for i := 1; i < n; i++ {
-			if xs[i-1] > xs[i] {
-				t.Fatalf("n=%d not sorted at %d", n, i)
-			}
-		}
 	}
 }

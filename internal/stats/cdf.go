@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -17,7 +18,7 @@ type CDF struct {
 // NewCDF builds a CDF from the sample xs. The slice is copied.
 func NewCDF(xs []float64) *CDF {
 	c := &CDF{values: append([]float64(nil), xs...)}
-	sort.Float64s(c.values)
+	slices.Sort(c.values)
 	c.sorted = true
 	return c
 }
@@ -33,7 +34,7 @@ func (c *CDF) Len() int { return len(c.values) }
 
 func (c *CDF) ensureSorted() {
 	if !c.sorted {
-		sort.Float64s(c.values)
+		slices.Sort(c.values)
 		c.sorted = true
 	}
 }
@@ -146,7 +147,7 @@ func (h *Histogram) Buckets() []int {
 	for k := range h.counts {
 		keys = append(keys, k)
 	}
-	sort.Ints(keys)
+	slices.Sort(keys)
 	return keys
 }
 

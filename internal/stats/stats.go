@@ -7,9 +7,10 @@
 package stats
 
 import (
+	"cmp"
 	"errors"
 	"math"
-	"sort"
+	"slices"
 )
 
 // ErrEmpty is returned by estimators that need at least one observation.
@@ -54,7 +55,7 @@ func Percentile(xs []float64, p float64) (float64, error) {
 		return 0, errors.New("stats: percentile out of range")
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	if len(sorted) == 1 {
 		return sorted[0], nil
 	}
@@ -77,7 +78,7 @@ func Gini(xs []float64) (float64, error) {
 		return 0, ErrEmpty
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	var cum, total float64
 	n := float64(len(sorted))
 	for i, x := range sorted {
@@ -104,7 +105,7 @@ func TopShare(xs []float64, fraction float64) (float64, error) {
 		return 0, errors.New("stats: fraction out of (0,1]")
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	slices.SortFunc(sorted, func(a, b float64) int { return cmp.Compare(b, a) })
 	k := int(math.Ceil(fraction * float64(len(sorted))))
 	if k < 1 {
 		k = 1

@@ -2,7 +2,7 @@ package trace
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Builder assembles a Trace incrementally. It is used by both trace
@@ -50,7 +50,7 @@ func (b *Builder) Observe(day int, pid PeerID, cache []FileID) {
 		b.days[day] = snap
 	}
 	c := append([]FileID(nil), cache...)
-	sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	slices.Sort(c)
 	// Deduplicate in place.
 	out := c[:0]
 	for i, f := range c {
@@ -79,7 +79,7 @@ func (b *Builder) Build() *Trace {
 	for d := range b.days {
 		days = append(days, d)
 	}
-	sort.Ints(days)
+	slices.Sort(days)
 	for _, d := range days {
 		t.Days = append(t.Days, Snapshot{Day: d, Caches: b.days[d]})
 	}

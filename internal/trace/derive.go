@@ -1,6 +1,9 @@
 package trace
 
-import "sort"
+import (
+	"cmp"
+	"slices"
+)
 
 // Filter derives the paper's "filtered trace": every client identity that
 // shares an IP address or a user hash with another identity is removed as
@@ -169,7 +172,7 @@ func (t *Trace) Extrapolate(opts ExtrapolateOptions) *Trace {
 		}
 	}
 	for pid, list := range byPeer2 {
-		sort.Slice(list, func(i, j int) bool { return list[i].day < list[j].day })
+		slices.SortFunc(list, func(a, b obs) int { return cmp.Compare(a.day, b.day) })
 		for i := 0; i+1 < len(list); i++ {
 			prev, next := list[i], list[i+1]
 			if next.day == prev.day+1 {
@@ -191,7 +194,7 @@ func (t *Trace) Extrapolate(opts ExtrapolateOptions) *Trace {
 	for d := range daysOut {
 		days = append(days, d)
 	}
-	sort.Ints(days)
+	slices.Sort(days)
 	for _, d := range days {
 		out.Days = append(out.Days, Snapshot{Day: d, Caches: daysOut[d]})
 	}
@@ -213,11 +216,11 @@ func (t *Trace) TopUploaders(k int) []PeerID {
 			list = append(list, pc{PeerID(pid), len(c)})
 		}
 	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].n != list[j].n {
-			return list[i].n > list[j].n
+	slices.SortFunc(list, func(a, b pc) int {
+		if a.n != b.n {
+			return cmp.Compare(b.n, a.n)
 		}
-		return list[i].pid < list[j].pid
+		return cmp.Compare(a.pid, b.pid)
 	})
 	if k > len(list) {
 		k = len(list)
@@ -243,11 +246,11 @@ func (t *Trace) TopFiles(k int) []FileID {
 			list = append(list, fc{FileID(fid), n})
 		}
 	}
-	sort.Slice(list, func(i, j int) bool {
-		if list[i].n != list[j].n {
-			return list[i].n > list[j].n
+	slices.SortFunc(list, func(a, b fc) int {
+		if a.n != b.n {
+			return cmp.Compare(b.n, a.n)
 		}
-		return list[i].fid < list[j].fid
+		return cmp.Compare(a.fid, b.fid)
 	})
 	if k > len(list) {
 		k = len(list)

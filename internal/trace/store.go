@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"sync"
+
+	"edonkey/internal/tracestore"
+)
+
+// Store is the columnar (CSR) view of a trace: per-day snapshots with
+// flat sorted postings, presence bitsets, a lazily built aggregate (the
+// per-peer union over all days) and lazily built inverted indexes
+// (file -> sorted peer list). Every derived statistic of Trace routes
+// through it, and the pairwise-overlap hot paths in internal/core and
+// internal/overlay consume its views directly.
+type Store = tracestore.Store[PeerID, FileID]
+
+// StoreSnapshot is one CSR day (or the aggregate) of a Store.
+type StoreSnapshot = tracestore.Snapshot[PeerID, FileID]
+
+// storeCache is embedded in Trace to build the columnar view once.
+// Traces are immutable after construction, so the lazily built store can
+// be shared by any number of concurrent readers.
+type storeCache struct {
+	once  sync.Once
+	store *Store
+}
+
+// Store returns the trace's columnar view, building it on first use
+// (O(observations + replicas)). The trace must not be mutated after the
+// first call; all slices reachable from the store are shared views.
+func (t *Trace) Store() *Store {
+	t.cols.once.Do(func() {
+		days := make([]*StoreSnapshot, len(t.Days))
+		rows := make([][]FileID, len(t.Peers))
+		present := make([]bool, len(t.Peers))
+		for i, s := range t.Days {
+			clear(rows)
+			clear(present)
+			for pid, c := range s.Caches {
+				rows[pid] = c
+				present[pid] = true
+			}
+			days[i] = tracestore.FromRows[PeerID, FileID](s.Day, rows, present, len(t.Files))
+		}
+		t.cols.store = tracestore.NewStore[PeerID, FileID](len(t.Peers), len(t.Files), days)
+	})
+	return t.cols.store
+}

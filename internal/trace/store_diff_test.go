@@ -1,0 +1,254 @@
+package trace
+
+import (
+	"math/rand/v2"
+	"slices"
+	"sort"
+	"testing"
+)
+
+// The legacy map-of-maps implementations of every derived statistic,
+// kept verbatim as differential oracles: the columnar store must match
+// them bit-for-bit on arbitrary traces.
+
+func legacyAggregateCaches(t *Trace) [][]FileID {
+	sets := make([]map[FileID]struct{}, len(t.Peers))
+	for _, s := range t.Days {
+		for pid, cache := range s.Caches {
+			if sets[pid] == nil {
+				sets[pid] = make(map[FileID]struct{}, len(cache))
+			}
+			for _, f := range cache {
+				sets[pid][f] = struct{}{}
+			}
+		}
+	}
+	out := make([][]FileID, len(t.Peers))
+	for pid, set := range sets {
+		if len(set) == 0 {
+			continue
+		}
+		cache := make([]FileID, 0, len(set))
+		for f := range set {
+			cache = append(cache, f)
+		}
+		sort.Slice(cache, func(i, j int) bool { return cache[i] < cache[j] })
+		out[pid] = cache
+	}
+	return out
+}
+
+func legacySourcesPerFile(t *Trace) []int {
+	sources := make(map[FileID]map[PeerID]struct{})
+	for _, s := range t.Days {
+		for pid, cache := range s.Caches {
+			for _, f := range cache {
+				set := sources[f]
+				if set == nil {
+					set = make(map[PeerID]struct{})
+					sources[f] = set
+				}
+				set[pid] = struct{}{}
+			}
+		}
+	}
+	out := make([]int, len(t.Files))
+	for f, set := range sources {
+		out[f] = len(set)
+	}
+	return out
+}
+
+func legacyDaysSeenPerFile(t *Trace) []int {
+	out := make([]int, len(t.Files))
+	seenToday := make(map[FileID]bool)
+	for _, s := range t.Days {
+		clear(seenToday)
+		for _, cache := range s.Caches {
+			for _, f := range cache {
+				if !seenToday[f] {
+					seenToday[f] = true
+					out[f]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+func legacyObservedFiles(t *Trace) []bool {
+	seen := make([]bool, len(t.Files))
+	for _, s := range t.Days {
+		for _, cache := range s.Caches {
+			for _, f := range cache {
+				seen[f] = true
+			}
+		}
+	}
+	return seen
+}
+
+func legacyFreeRiders(t *Trace) int {
+	shared := make([]bool, len(t.Peers))
+	observed := make([]bool, len(t.Peers))
+	for _, s := range t.Days {
+		for pid, cache := range s.Caches {
+			observed[pid] = true
+			if len(cache) > 0 {
+				shared[pid] = true
+			}
+		}
+	}
+	n := 0
+	for pid := range t.Peers {
+		if observed[pid] && !shared[pid] {
+			n++
+		}
+	}
+	return n
+}
+
+func legacyObservedPeers(t *Trace) int {
+	observed := make([]bool, len(t.Peers))
+	for _, s := range t.Days {
+		for pid := range s.Caches {
+			observed[pid] = true
+		}
+	}
+	n := 0
+	for _, o := range observed {
+		if o {
+			n++
+		}
+	}
+	return n
+}
+
+func legacyObservations(t *Trace) int {
+	n := 0
+	for _, s := range t.Days {
+		n += len(s.Caches)
+	}
+	return n
+}
+
+// randomTrace builds an arbitrary valid trace: random population, random
+// observation pattern (including observed-but-empty free-rider caches),
+// gappy days.
+func randomTrace(rng *rand.Rand) *Trace {
+	numPeers := 2 + rng.IntN(60)
+	numFiles := 4 + rng.IntN(200)
+	numDays := 1 + rng.IntN(10)
+	b := NewBuilder()
+	for i := 0; i < numFiles; i++ {
+		b.AddFile(FileMeta{Size: int64(rng.IntN(1 << 20))})
+	}
+	for i := 0; i < numPeers; i++ {
+		b.AddPeer(PeerInfo{IP: rng.Uint32(), ASN: uint32(rng.IntN(50))})
+	}
+	day := 0
+	for d := 0; d < numDays; d++ {
+		day += 1 + rng.IntN(3) // gaps between observed days
+		for pid := 0; pid < numPeers; pid++ {
+			if rng.Float64() < 0.4 {
+				continue // not browsed that day
+			}
+			size := rng.IntN(12)
+			cache := make([]FileID, 0, size)
+			for j := 0; j < size; j++ {
+				cache = append(cache, FileID(rng.IntN(numFiles)))
+			}
+			b.Observe(day, PeerID(pid), cache) // Observe sorts and dedupes
+		}
+	}
+	return b.Build()
+}
+
+// Every store-backed statistic must be bit-identical to its legacy
+// map-of-maps oracle on randomized traces.
+func TestStoreStatsMatchLegacyDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xd1ff, 0))
+	for iter := 0; iter < 40; iter++ {
+		tr := randomTrace(rng)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("iter %d: invalid random trace: %v", iter, err)
+		}
+
+		wantAgg := legacyAggregateCaches(tr)
+		gotAgg := tr.AggregateCaches()
+		if len(gotAgg) != len(wantAgg) {
+			t.Fatalf("iter %d: AggregateCaches len %d, want %d", iter, len(gotAgg), len(wantAgg))
+		}
+		for pid := range wantAgg {
+			if !slices.Equal(gotAgg[pid], wantAgg[pid]) {
+				t.Fatalf("iter %d: AggregateCaches[%d] = %v, want %v", iter, pid, gotAgg[pid], wantAgg[pid])
+			}
+			if (gotAgg[pid] == nil) != (wantAgg[pid] == nil) {
+				t.Fatalf("iter %d: AggregateCaches[%d] nil-ness differs", iter, pid)
+			}
+		}
+
+		if got, want := tr.SourcesPerFile(), legacySourcesPerFile(tr); !slices.Equal(got, want) {
+			t.Fatalf("iter %d: SourcesPerFile = %v, want %v", iter, got, want)
+		}
+		if got, want := tr.DaysSeenPerFile(), legacyDaysSeenPerFile(tr); !slices.Equal(got, want) {
+			t.Fatalf("iter %d: DaysSeenPerFile = %v, want %v", iter, got, want)
+		}
+		if got, want := tr.ObservedFiles(), legacyObservedFiles(tr); !slices.Equal(got, want) {
+			t.Fatalf("iter %d: ObservedFiles = %v, want %v", iter, got, want)
+		}
+		if got, want := tr.FreeRiders(), legacyFreeRiders(tr); got != want {
+			t.Fatalf("iter %d: FreeRiders = %d, want %d", iter, got, want)
+		}
+		if got, want := tr.ObservedPeers(), legacyObservedPeers(tr); got != want {
+			t.Fatalf("iter %d: ObservedPeers = %d, want %d", iter, got, want)
+		}
+		if got, want := tr.Observations(), legacyObservations(tr); got != want {
+			t.Fatalf("iter %d: Observations = %d, want %d", iter, got, want)
+		}
+	}
+}
+
+// The store's per-day snapshots must agree with the raw Snapshot maps:
+// same presence, same caches, same per-day inverted counts.
+func TestStoreSnapshotsMatchTraceDays(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x5eed, 1))
+	for iter := 0; iter < 20; iter++ {
+		tr := randomTrace(rng)
+		st := tr.Store()
+		if st.NumDays() != len(tr.Days) {
+			t.Fatalf("NumDays = %d, want %d", st.NumDays(), len(tr.Days))
+		}
+		for di, s := range tr.Days {
+			sn := st.Snap(di)
+			if sn.Day != s.Day {
+				t.Fatalf("day %d: Day = %d, want %d", di, sn.Day, s.Day)
+			}
+			if sn.ObservedRows() != len(s.Caches) {
+				t.Fatalf("day %d: ObservedRows = %d, want %d", di, sn.ObservedRows(), len(s.Caches))
+			}
+			for pid := 0; pid < len(tr.Peers); pid++ {
+				cache, present := s.Caches[PeerID(pid)]
+				if sn.Observed(PeerID(pid)) != present {
+					t.Fatalf("day %d peer %d: presence differs", di, pid)
+				}
+				if !slices.Equal(sn.Cache(PeerID(pid)), cache) && len(cache) > 0 {
+					t.Fatalf("day %d peer %d: cache %v, want %v", di, pid, sn.Cache(PeerID(pid)), cache)
+				}
+			}
+			// Inverted counts vs a direct scan of the day's maps.
+			counts := make([]int, len(tr.Files))
+			for _, cache := range s.Caches {
+				for _, f := range cache {
+					counts[f]++
+				}
+			}
+			iv := sn.Inverted()
+			for f := range counts {
+				if iv.Count(FileID(f)) != counts[f] {
+					t.Fatalf("day %d file %d: inverted count %d, want %d", di, f, iv.Count(FileID(f)), counts[f])
+				}
+			}
+		}
+	}
+}

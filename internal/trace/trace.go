@@ -18,6 +18,8 @@ package trace
 import (
 	"fmt"
 	"sort"
+
+	"edonkey/internal/tracestore"
 )
 
 // FileID indexes Trace.Files.
@@ -127,11 +129,15 @@ type Snapshot struct {
 	Caches map[PeerID][]FileID
 }
 
-// Trace is a complete crawl data set.
+// Trace is a complete crawl data set. Traces are immutable once built;
+// the derived statistics below are all computed on the columnar Store()
+// view, which is built lazily and shared by concurrent readers.
 type Trace struct {
 	Files []FileMeta
 	Peers []PeerInfo
 	Days  []Snapshot // ascending by Day
+
+	cols storeCache
 }
 
 // Validate checks structural invariants: days ascending, IDs in range,
@@ -203,25 +209,13 @@ func (t *Trace) SnapshotFor(day int) *Snapshot {
 // Observations returns the total number of successful (peer, day)
 // browses — the paper's "successful snapshots".
 func (t *Trace) Observations() int {
-	n := 0
-	for _, s := range t.Days {
-		n += len(s.Caches)
-	}
-	return n
+	return t.Store().Observations()
 }
 
 // ObservedFiles returns, for each file, whether it appeared in at least
 // one snapshot (indexed by FileID).
 func (t *Trace) ObservedFiles() []bool {
-	seen := make([]bool, len(t.Files))
-	for _, s := range t.Days {
-		for _, cache := range s.Caches {
-			for _, f := range cache {
-				seen[f] = true
-			}
-		}
-	}
-	return seen
+	return t.Store().ObservedValues()
 }
 
 // DistinctFiles returns the number of files observed at least once.
@@ -248,51 +242,24 @@ func (t *Trace) DistinctBytes() int64 {
 }
 
 // AggregateCaches returns the union of every observed cache per peer
-// (indexed by PeerID, sorted FileIDs). This is the "potential set of files
-// a peer will request" used by the search simulation (paper §5.1).
+// (indexed by PeerID, sorted FileIDs; nil for peers that never shared).
+// This is the "potential set of files a peer will request" used by the
+// search simulation (paper §5.1). The rows are cached views into the
+// store's aggregate snapshot — shared across calls and goroutines, so
+// callers must treat them as immutable (every consumer copies before
+// mutating).
 func (t *Trace) AggregateCaches() [][]FileID {
-	sets := make([]map[FileID]struct{}, len(t.Peers))
-	for _, s := range t.Days {
-		for pid, cache := range s.Caches {
-			if sets[pid] == nil {
-				sets[pid] = make(map[FileID]struct{}, len(cache))
-			}
-			for _, f := range cache {
-				sets[pid][f] = struct{}{}
-			}
-		}
-	}
-	out := make([][]FileID, len(t.Peers))
-	for pid, set := range sets {
-		if len(set) == 0 {
-			continue
-		}
-		cache := make([]FileID, 0, len(set))
-		for f := range set {
-			cache = append(cache, f)
-		}
-		sort.Slice(cache, func(i, j int) bool { return cache[i] < cache[j] })
-		out[pid] = cache
-	}
-	return out
+	return t.Store().Aggregate().Rows()
 }
 
 // FreeRiders returns the number of peers that never shared a file in any
 // snapshot but were successfully observed at least once.
 func (t *Trace) FreeRiders() int {
-	shared := make([]bool, len(t.Peers))
-	observed := make([]bool, len(t.Peers))
-	for _, s := range t.Days {
-		for pid, cache := range s.Caches {
-			observed[pid] = true
-			if len(cache) > 0 {
-				shared[pid] = true
-			}
-		}
-	}
+	st := t.Store()
+	agg := st.Aggregate()
 	n := 0
-	for pid := range t.Peers {
-		if observed[pid] && !shared[pid] {
+	for pid, observed := range st.ObservedRows() {
+		if observed && len(agg.Cache(PeerID(pid))) == 0 {
 			n++
 		}
 	}
@@ -301,98 +268,30 @@ func (t *Trace) FreeRiders() int {
 
 // ObservedPeers returns the number of peers browsed at least once.
 func (t *Trace) ObservedPeers() int {
-	observed := make([]bool, len(t.Peers))
-	for _, s := range t.Days {
-		for pid := range s.Caches {
-			observed[pid] = true
-		}
-	}
-	n := 0
-	for _, o := range observed {
-		if o {
-			n++
-		}
-	}
-	return n
+	return t.Store().Aggregate().ObservedRows()
 }
 
 // SourcesPerFile counts, for each file, the number of distinct peers that
 // shared it at any point in the trace (the paper's popularity measure:
 // replicas rather than requests).
 func (t *Trace) SourcesPerFile() []int {
-	sources := make(map[FileID]map[PeerID]struct{})
-	for _, s := range t.Days {
-		for pid, cache := range s.Caches {
-			for _, f := range cache {
-				set := sources[f]
-				if set == nil {
-					set = make(map[PeerID]struct{})
-					sources[f] = set
-				}
-				set[pid] = struct{}{}
-			}
-		}
-	}
-	out := make([]int, len(t.Files))
-	for f, set := range sources {
-		out[f] = len(set)
-	}
-	return out
+	return t.Store().SourcesPerFile()
 }
 
 // DaysSeenPerFile counts, for each file, the number of snapshot days on
 // which at least one peer shared it.
 func (t *Trace) DaysSeenPerFile() []int {
-	out := make([]int, len(t.Files))
-	seenToday := make(map[FileID]bool)
-	for _, s := range t.Days {
-		clear(seenToday)
-		for _, cache := range s.Caches {
-			for _, f := range cache {
-				if !seenToday[f] {
-					seenToday[f] = true
-					out[f]++
-				}
-			}
-		}
-	}
-	return out
+	return t.Store().DaysSeenPerFile()
 }
 
 // Intersect returns the sorted intersection of two sorted FileID slices.
 func Intersect(a, b []FileID) []FileID {
-	var out []FileID
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	return out
+	return tracestore.Intersect(a, b)
 }
 
 // IntersectCount returns the size of the intersection of two sorted
-// FileID slices without allocating.
+// FileID slices without allocating. Large size skews take the galloping
+// path; see tracestore.IntersectCount.
 func IntersectCount(a, b []FileID) int {
-	n, i, j := 0, 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
+	return tracestore.IntersectCount(a, b)
 }

@@ -1,0 +1,175 @@
+package tracestore
+
+import "cmp"
+
+// gallopRatio is the size skew beyond which the intersection kernels
+// switch from a linear merge to galloping search of the smaller list
+// into the larger. A linear merge costs len(a)+len(b) comparisons; the
+// galloping path costs about len(a)·log(len(b)), which wins once b is
+// roughly an order of magnitude longer than a.
+const gallopRatio = 8
+
+// IntersectCount returns the size of the intersection of two sorted
+// duplicate-free slices without allocating.
+func IntersectCount[T cmp.Ordered](a, b []T) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 || a[0] > b[len(b)-1] || b[0] > a[len(a)-1] {
+		return 0
+	}
+	if len(b) >= len(a)*gallopRatio {
+		n := 0
+		for _, v := range a {
+			i, ok := gallop(b, v)
+			if ok {
+				n++
+				i++
+			}
+			b = b[i:]
+			if len(b) == 0 {
+				break
+			}
+		}
+		return n
+	}
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Intersect returns the sorted intersection of two sorted duplicate-free
+// slices.
+func Intersect[T cmp.Ordered](a, b []T) []T {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 || a[0] > b[len(b)-1] || b[0] > a[len(a)-1] {
+		return nil
+	}
+	var out []T
+	if len(b) >= len(a)*gallopRatio {
+		for _, v := range a {
+			i, ok := gallop(b, v)
+			if ok {
+				out = append(out, v)
+				i++
+			}
+			b = b[i:]
+			if len(b) == 0 {
+				break
+			}
+		}
+		return out
+	}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// gallop locates v in sorted xs by exponential probing from the front
+// followed by a binary search of the bracketed range. It returns the
+// index of the first element >= v and whether it equals v.
+func gallop[T cmp.Ordered](xs []T, v T) (int, bool) {
+	bound := 1
+	for bound < len(xs) && xs[bound] < v {
+		bound <<= 1
+	}
+	lo := bound >> 1
+	hi := bound
+	if hi > len(xs) {
+		hi = len(xs)
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(xs) && xs[lo] == v
+}
+
+// Contains reports whether sorted xs contains v (binary search).
+func Contains[T cmp.Ordered](xs []T, v T) bool {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(xs) && xs[lo] == v
+}
+
+// ForEachOverlap enumerates every unordered row pair (a < b) of the
+// snapshot that shares at least one value, calling yield with the pair
+// and its overlap count. keep, when non-nil, restricts the counted
+// values to those with keep[f] == true.
+//
+// The enumeration is the store's replacement for the map-of-pairs
+// inversion: one pass over rows in ascending order, charging each
+// co-occurrence O(1) via the inverted index and a scratch counter
+// indexed by row. A per-value cursor tracks how far each inverted list
+// has been consumed, so self and already-yielded pairs are skipped
+// without any search. Deterministic: a ascends, and for a given a the b
+// values arrive in first-co-occurrence order.
+func ForEachOverlap[P, F ID](s *Snapshot[P, F], keep []bool, yield func(a, b P, n int32)) {
+	if keep != nil {
+		s = s.FilterValues(keep)
+	}
+	iv := s.Inverted()
+	cnt := make([]int32, s.numRows)
+	touched := make([]P, 0, 256)
+	cursor := make([]uint32, s.numVals)
+	copy(cursor, iv.offs[:s.numVals])
+	for a := 0; a < s.numRows; a++ {
+		row := s.data[s.offs[a]:s.offs[a+1]]
+		if len(row) == 0 {
+			continue
+		}
+		for _, f := range row {
+			// cursor[f] points at this row's own entry in the inverted
+			// list (every earlier holder advanced past itself already);
+			// skip it and count the holders still ahead.
+			c := cursor[f] + 1
+			cursor[f] = c
+			for _, b := range iv.data[c:iv.offs[f+1]] {
+				if cnt[b] == 0 {
+					touched = append(touched, b)
+				}
+				cnt[b]++
+			}
+		}
+		for _, b := range touched {
+			yield(P(a), b, cnt[b])
+			cnt[b] = 0
+		}
+		touched = touched[:0]
+	}
+}

@@ -1,0 +1,366 @@
+// Package tracestore is the columnar backbone of every analysis in the
+// reproduction. A crawl trace is, per day, a sparse peer x file boolean
+// matrix ("peer p shared file f on day d"); the paper's whole evaluation
+// reduces to row intersections of that matrix (how many files two peers
+// share) and column lookups of its transpose (which peers share a file).
+// The map-of-maps representations the analyses started from cap the
+// tractable trace size: every pairwise overlap rebuilt a hash set, every
+// popularity count rebuilt a map, and the garbage collector paid for all
+// of it.
+//
+// This package stores each snapshot in CSR form — one flat sorted value
+// array plus per-row offsets — with a lazily built inverted index (the
+// CSC transpose) and a shared intersection kernel that switches from a
+// linear merge to galloping binary search when the two rows have very
+// different lengths. Everything is generic over the integer ID types so
+// the same kernels serve FileID rows, PeerID postings and plain ints in
+// tests.
+//
+// The types are deliberately dumb containers: deterministic, free of
+// maps, and safe for concurrent readers after construction (the lazy
+// index builds are sync.Once-guarded). All row slices returned by
+// accessors are views into shared storage and must be treated as
+// immutable.
+package tracestore
+
+import (
+	"math/bits"
+	"slices"
+	"sync"
+)
+
+// ID constrains the integer identifier types stored in snapshots
+// (trace.PeerID, trace.FileID and friends).
+type ID interface{ ~uint32 }
+
+// Snapshot is one CSR matrix: rows indexed by P (peers), each row a
+// sorted duplicate-free slice of F values (files). A row can be present
+// but empty — an observed free-rider — which the presence bitset
+// distinguishes from a peer that was not observed at all.
+type Snapshot[P, F ID] struct {
+	// Day is the trace day this snapshot covers; -1 for aggregates.
+	Day int
+
+	offs     []uint32 // len = numRows+1
+	data     []F      // flat postings, sorted within each row
+	present  []uint64 // bitset over rows: observed this day
+	numRows  int
+	numVals  int // number of distinct F values (indexable bound)
+	observed int // popcount of present
+
+	invOnce  sync.Once
+	inv      *Inverted[P, F]
+	rowsOnce sync.Once
+	rows     [][]F
+}
+
+// FromRows builds a snapshot from dense per-row slices (index = row id).
+// Rows must be sorted and duplicate-free. present marks observed rows;
+// when nil, a row is present iff non-empty. numVals is the exclusive
+// upper bound on stored values (e.g. len(trace.Files)); pass <= 0 to
+// derive it from the data. The input slices are copied, never aliased.
+func FromRows[P, F ID](day int, rowData [][]F, present []bool, numVals int) *Snapshot[P, F] {
+	s := &Snapshot[P, F]{
+		Day:     day,
+		numRows: len(rowData),
+		offs:    make([]uint32, len(rowData)+1),
+		present: make([]uint64, (len(rowData)+63)/64),
+	}
+	nnz := 0
+	for _, row := range rowData {
+		nnz += len(row)
+	}
+	s.data = make([]F, 0, nnz)
+	for r, row := range rowData {
+		s.data = append(s.data, row...)
+		s.offs[r+1] = uint32(len(s.data))
+		if len(row) > 0 || (present != nil && r < len(present) && present[r]) {
+			s.present[r/64] |= 1 << (r % 64)
+		}
+	}
+	for _, w := range s.present {
+		s.observed += bits.OnesCount64(w)
+	}
+	if numVals <= 0 {
+		for r := 0; r < s.numRows; r++ {
+			if row := s.Cache(P(r)); len(row) > 0 {
+				if v := int(row[len(row)-1]) + 1; v > numVals {
+					numVals = v
+				}
+			}
+		}
+	}
+	s.numVals = numVals
+	return s
+}
+
+// NumRows returns the number of rows (peers).
+func (s *Snapshot[P, F]) NumRows() int { return s.numRows }
+
+// NumVals returns the exclusive upper bound on stored values (files).
+func (s *Snapshot[P, F]) NumVals() int { return s.numVals }
+
+// NNZ returns the total number of stored values (replicas).
+func (s *Snapshot[P, F]) NNZ() int { return len(s.data) }
+
+// ObservedRows returns the number of present rows.
+func (s *Snapshot[P, F]) ObservedRows() int { return s.observed }
+
+// Cache returns row p as a sorted view into shared storage (nil when out
+// of range). Callers must not mutate it.
+func (s *Snapshot[P, F]) Cache(p P) []F {
+	if int(p) >= s.numRows {
+		return nil
+	}
+	return s.data[s.offs[p]:s.offs[p+1]]
+}
+
+// Observed reports whether row p was present in this snapshot (it may
+// still be empty: an observed free-rider).
+func (s *Snapshot[P, F]) Observed(p P) bool {
+	if int(p) >= s.numRows {
+		return false
+	}
+	return s.present[p/64]&(1<<(p%64)) != 0
+}
+
+// Rows materializes the snapshot as a dense [][]F of row views, nil for
+// empty rows — the drop-in shape legacy map-based call sites consumed.
+// The result is built once, cached, and shared: treat rows as immutable.
+func (s *Snapshot[P, F]) Rows() [][]F {
+	s.rowsOnce.Do(func() {
+		rows := make([][]F, s.numRows)
+		for r := 0; r < s.numRows; r++ {
+			if row := s.data[s.offs[r]:s.offs[r+1]]; len(row) > 0 {
+				rows[r] = row
+			}
+		}
+		s.rows = rows
+	})
+	return s.rows
+}
+
+// Inverted is the transpose of a Snapshot: for each value (file), the
+// ascending list of rows (peers) holding it.
+type Inverted[P, F ID] struct {
+	offs []uint32 // len = numVals+1
+	data []P
+}
+
+// Inverted returns the snapshot's transpose, building it on first use
+// with a counting sort (O(nnz + numVals)); subsequent calls share it.
+func (s *Snapshot[P, F]) Inverted() *Inverted[P, F] {
+	s.invOnce.Do(func() {
+		iv := &Inverted[P, F]{
+			offs: make([]uint32, s.numVals+1),
+			data: make([]P, len(s.data)),
+		}
+		for _, f := range s.data {
+			iv.offs[f+1]++
+		}
+		for f := 0; f < s.numVals; f++ {
+			iv.offs[f+1] += iv.offs[f]
+		}
+		next := make([]uint32, s.numVals)
+		copy(next, iv.offs[:s.numVals])
+		// Rows are visited in ascending order, so each value's row list
+		// comes out ascending without any sort.
+		for r := 0; r < s.numRows; r++ {
+			for _, f := range s.data[s.offs[r]:s.offs[r+1]] {
+				iv.data[next[f]] = P(r)
+				next[f]++
+			}
+		}
+		s.inv = iv
+	})
+	return s.inv
+}
+
+// Holders returns the ascending rows holding value f, as a shared view.
+func (iv *Inverted[P, F]) Holders(f F) []P {
+	if int(f)+1 >= len(iv.offs) {
+		return nil
+	}
+	return iv.data[iv.offs[f]:iv.offs[f+1]]
+}
+
+// Count returns the number of rows holding value f.
+func (iv *Inverted[P, F]) Count(f F) int { return len(iv.Holders(f)) }
+
+// FilterValues returns a new snapshot containing only values with
+// keep[f] == true (ids unchanged). Presence is preserved.
+func (s *Snapshot[P, F]) FilterValues(keep []bool) *Snapshot[P, F] {
+	out := &Snapshot[P, F]{
+		Day:      s.Day,
+		numRows:  s.numRows,
+		numVals:  s.numVals,
+		observed: s.observed,
+		offs:     make([]uint32, s.numRows+1),
+		present:  s.present, // shared: filtering values never unobserves a row
+		data:     make([]F, 0, len(s.data)),
+	}
+	for r := 0; r < s.numRows; r++ {
+		for _, f := range s.data[s.offs[r]:s.offs[r+1]] {
+			if int(f) < len(keep) && keep[f] {
+				out.data = append(out.data, f)
+			}
+		}
+		out.offs[r+1] = uint32(len(out.data))
+	}
+	return out
+}
+
+// Store is a full trace in columnar form: one CSR snapshot per observed
+// day plus a lazily built aggregate (the per-peer union over all days,
+// i.e. the paper's "potential request set") with its own inverted index.
+type Store[P, F ID] struct {
+	days    []*Snapshot[P, F] // ascending by Day
+	numRows int
+	numVals int
+
+	aggOnce sync.Once
+	agg     *Snapshot[P, F]
+	obsOnce sync.Once
+	obs     []bool
+}
+
+// NewStore assembles a store from per-day snapshots (ascending by Day).
+func NewStore[P, F ID](numRows, numVals int, days []*Snapshot[P, F]) *Store[P, F] {
+	return &Store[P, F]{days: days, numRows: numRows, numVals: numVals}
+}
+
+// NumRows returns the number of peers.
+func (st *Store[P, F]) NumRows() int { return st.numRows }
+
+// NumVals returns the number of files.
+func (st *Store[P, F]) NumVals() int { return st.numVals }
+
+// NumDays returns the number of snapshots.
+func (st *Store[P, F]) NumDays() int { return len(st.days) }
+
+// Snap returns the i-th snapshot (ascending by day).
+func (st *Store[P, F]) Snap(i int) *Snapshot[P, F] { return st.days[i] }
+
+// ByDay returns the snapshot for the given trace day, or nil.
+func (st *Store[P, F]) ByDay(day int) *Snapshot[P, F] {
+	i, ok := slices.BinarySearchFunc(st.days, day, func(s *Snapshot[P, F], d int) int {
+		return s.Day - d
+	})
+	if !ok {
+		return nil
+	}
+	return st.days[i]
+}
+
+// Observations returns the total number of (row, day) observations.
+func (st *Store[P, F]) Observations() int {
+	n := 0
+	for _, s := range st.days {
+		n += s.observed
+	}
+	return n
+}
+
+// Aggregate returns the per-row union across all days as a snapshot
+// (Day == -1), built once: rows are concatenated, sorted and
+// deduplicated. A row is present when it was observed on any day.
+func (st *Store[P, F]) Aggregate() *Snapshot[P, F] {
+	st.aggOnce.Do(func() {
+		agg := &Snapshot[P, F]{
+			Day:     -1,
+			numRows: st.numRows,
+			numVals: st.numVals,
+			offs:    make([]uint32, st.numRows+1),
+			present: make([]uint64, (st.numRows+63)/64),
+		}
+		nnz := 0
+		for _, s := range st.days {
+			nnz += len(s.data)
+		}
+		agg.data = make([]F, 0, nnz)
+		var scratch []F
+		for r := 0; r < st.numRows; r++ {
+			scratch = scratch[:0]
+			for _, s := range st.days {
+				scratch = append(scratch, s.Cache(P(r))...)
+				if s.Observed(P(r)) {
+					agg.present[r/64] |= 1 << (r % 64)
+				}
+			}
+			if len(scratch) > 0 {
+				slices.Sort(scratch)
+				agg.data = append(agg.data, scratch[0])
+				for _, f := range scratch[1:] {
+					if f != agg.data[len(agg.data)-1] {
+						agg.data = append(agg.data, f)
+					}
+				}
+			}
+			agg.offs[r+1] = uint32(len(agg.data))
+		}
+		agg.data = slices.Clip(agg.data)
+		for _, w := range agg.present {
+			agg.observed += bits.OnesCount64(w)
+		}
+		st.agg = agg
+	})
+	return st.agg
+}
+
+// ObservedRows returns, per row, whether it was observed on any day.
+// The slice is cached and shared; treat it as immutable.
+func (st *Store[P, F]) ObservedRows() []bool {
+	st.obsOnce.Do(func() {
+		obs := make([]bool, st.numRows)
+		for _, s := range st.days {
+			for r := range obs {
+				if !obs[r] && s.Observed(P(r)) {
+					obs[r] = true
+				}
+			}
+		}
+		st.obs = obs
+	})
+	return st.obs
+}
+
+// SourcesPerFile counts, per value, the distinct rows that ever held it
+// (the paper's popularity measure). Fresh slice per call; the heavy
+// lifting is the cached aggregate index.
+func (st *Store[P, F]) SourcesPerFile() []int {
+	iv := st.Aggregate().Inverted()
+	out := make([]int, st.numVals)
+	for f := range out {
+		out[f] = int(iv.offs[f+1] - iv.offs[f])
+	}
+	return out
+}
+
+// DaysSeenPerFile counts, per value, the days on which at least one row
+// held it. One epoch-marked pass over the flat postings, no maps.
+func (st *Store[P, F]) DaysSeenPerFile() []int {
+	out := make([]int, st.numVals)
+	mark := make([]int32, st.numVals)
+	for i := range mark {
+		mark[i] = -1
+	}
+	for di, s := range st.days {
+		for _, f := range s.data {
+			if mark[f] != int32(di) {
+				mark[f] = int32(di)
+				out[f]++
+			}
+		}
+	}
+	return out
+}
+
+// ObservedValues returns, per value, whether it appeared in any snapshot.
+func (st *Store[P, F]) ObservedValues() []bool {
+	seen := make([]bool, st.numVals)
+	agg := st.Aggregate()
+	for _, f := range agg.data {
+		seen[f] = true
+	}
+	return seen
+}

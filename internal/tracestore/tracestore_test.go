@@ -1,0 +1,277 @@
+package tracestore
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+func rowsFixture() ([][]uint32, []bool) {
+	rows := [][]uint32{
+		{0, 2, 5},
+		nil,
+		{2, 3},
+		{},
+		{5},
+	}
+	present := []bool{true, false, true, true, true} // row 3: observed free-rider
+	return rows, present
+}
+
+func TestSnapshotAccessors(t *testing.T) {
+	rows, present := rowsFixture()
+	s := FromRows[uint32, uint32](7, rows, present, 0)
+	if s.Day != 7 || s.NumRows() != 5 || s.NNZ() != 6 {
+		t.Fatalf("day/rows/nnz = %d/%d/%d", s.Day, s.NumRows(), s.NNZ())
+	}
+	if s.NumVals() != 6 {
+		t.Fatalf("NumVals = %d, want 6 (max id 5 + 1)", s.NumVals())
+	}
+	if s.ObservedRows() != 4 {
+		t.Fatalf("ObservedRows = %d, want 4", s.ObservedRows())
+	}
+	for r, want := range rows {
+		got := s.Cache(uint32(r))
+		if len(got) != len(want) || (len(want) > 0 && !slices.Equal(got, want)) {
+			t.Fatalf("Cache(%d) = %v, want %v", r, got, want)
+		}
+	}
+	wantObs := []bool{true, false, true, true, true}
+	for r, want := range wantObs {
+		if s.Observed(uint32(r)) != want {
+			t.Fatalf("Observed(%d) = %v, want %v", r, !want, want)
+		}
+	}
+	if s.Observed(99) || s.Cache(99) != nil {
+		t.Fatal("out-of-range row must be absent")
+	}
+	dense := s.Rows()
+	if dense[1] != nil || dense[3] != nil {
+		t.Fatal("Rows: empty rows must be nil")
+	}
+	if !slices.Equal(dense[0], rows[0]) {
+		t.Fatalf("Rows[0] = %v", dense[0])
+	}
+}
+
+func TestInverted(t *testing.T) {
+	rows, present := rowsFixture()
+	s := FromRows[uint32, uint32](0, rows, present, 0)
+	iv := s.Inverted()
+	want := map[uint32][]uint32{
+		0: {0},
+		2: {0, 2},
+		3: {2},
+		5: {0, 4},
+	}
+	for f := uint32(0); f < uint32(s.NumVals()); f++ {
+		got := iv.Holders(f)
+		if len(got) == 0 && len(want[f]) == 0 {
+			continue
+		}
+		if !slices.Equal(got, want[f]) {
+			t.Fatalf("Holders(%d) = %v, want %v", f, got, want[f])
+		}
+		if iv.Count(f) != len(want[f]) {
+			t.Fatalf("Count(%d) = %d", f, iv.Count(f))
+		}
+	}
+	if iv.Holders(100) != nil {
+		t.Fatal("out-of-range value must have no holders")
+	}
+}
+
+func TestFilterValues(t *testing.T) {
+	rows, present := rowsFixture()
+	s := FromRows[uint32, uint32](0, rows, present, 0)
+	keep := []bool{false, false, true, false, false, true} // keep {2, 5}
+	fs := s.FilterValues(keep)
+	if !slices.Equal(fs.Cache(0), []uint32{2, 5}) {
+		t.Fatalf("filtered Cache(0) = %v", fs.Cache(0))
+	}
+	if !slices.Equal(fs.Cache(2), []uint32{2}) {
+		t.Fatalf("filtered Cache(2) = %v", fs.Cache(2))
+	}
+	if fs.ObservedRows() != s.ObservedRows() {
+		t.Fatal("filtering values must preserve row presence")
+	}
+}
+
+func storeFixture() *Store[uint32, uint32] {
+	day0 := FromRows[uint32, uint32](0, [][]uint32{{0, 1}, {1}, nil}, []bool{true, true, false}, 4)
+	day2 := FromRows[uint32, uint32](2, [][]uint32{{1, 3}, nil, {}}, []bool{true, false, true}, 4)
+	return NewStore(3, 4, []*Snapshot[uint32, uint32]{day0, day2})
+}
+
+func TestStoreAggregateAndStats(t *testing.T) {
+	st := storeFixture()
+	agg := st.Aggregate()
+	if agg.Day != -1 {
+		t.Fatalf("aggregate day = %d", agg.Day)
+	}
+	if !slices.Equal(agg.Cache(0), []uint32{0, 1, 3}) {
+		t.Fatalf("agg Cache(0) = %v", agg.Cache(0))
+	}
+	if !slices.Equal(agg.Cache(1), []uint32{1}) {
+		t.Fatalf("agg Cache(1) = %v", agg.Cache(1))
+	}
+	if len(agg.Cache(2)) != 0 {
+		t.Fatalf("agg Cache(2) = %v", agg.Cache(2))
+	}
+	if !agg.Observed(2) {
+		t.Fatal("row 2 was observed on day 2")
+	}
+	if st.Observations() != 4 {
+		t.Fatalf("Observations = %d, want 4", st.Observations())
+	}
+	if got := st.SourcesPerFile(); !slices.Equal(got, []int{1, 2, 0, 1}) {
+		t.Fatalf("SourcesPerFile = %v", got)
+	}
+	if got := st.DaysSeenPerFile(); !slices.Equal(got, []int{1, 2, 0, 1}) {
+		t.Fatalf("DaysSeenPerFile = %v", got)
+	}
+	if got := st.ObservedValues(); !slices.Equal(got, []bool{true, true, false, true}) {
+		t.Fatalf("ObservedValues = %v", got)
+	}
+	if got := st.ObservedRows(); !slices.Equal(got, []bool{true, true, true}) {
+		t.Fatalf("ObservedRows = %v", got)
+	}
+	if st.ByDay(2) == nil || st.ByDay(2).Day != 2 {
+		t.Fatal("ByDay(2) missing")
+	}
+	if st.ByDay(1) != nil {
+		t.Fatal("ByDay(1) must be nil")
+	}
+}
+
+func naiveIntersect(a, b []uint32) []uint32 {
+	var out []uint32
+	for _, x := range a {
+		for _, y := range b {
+			if x == y {
+				out = append(out, x)
+			}
+		}
+	}
+	return out
+}
+
+func randomSorted(rng *rand.Rand, n, space int) []uint32 {
+	seen := make(map[uint32]bool, n)
+	for len(seen) < n {
+		seen[uint32(rng.IntN(space))] = true
+	}
+	out := make([]uint32, 0, n)
+	for v := range seen {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// The kernel must agree with the naive quadratic intersection across
+// size skews wide enough to exercise both the merge and galloping paths.
+func TestKernelsDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	sizes := []struct{ na, nb, space int }{
+		{0, 10, 100}, {1, 1, 4}, {3, 300, 1000}, {50, 60, 200},
+		{7, 3000, 10000}, {100, 100, 150}, {2, 5, 8},
+	}
+	for _, sz := range sizes {
+		for iter := 0; iter < 50; iter++ {
+			a := randomSorted(rng, sz.na, sz.space)
+			b := randomSorted(rng, sz.nb, sz.space)
+			want := naiveIntersect(a, b)
+			if got := Intersect(a, b); !slices.Equal(got, want) {
+				t.Fatalf("Intersect(%v, %v) = %v, want %v", a, b, got, want)
+			}
+			if got := IntersectCount(a, b); got != len(want) {
+				t.Fatalf("IntersectCount(%v, %v) = %d, want %d", a, b, got, len(want))
+			}
+			if got := IntersectCount(b, a); got != len(want) {
+				t.Fatalf("IntersectCount is not symmetric: %d vs %d", got, len(want))
+			}
+			for _, v := range a {
+				if !Contains(a, v) {
+					t.Fatalf("Contains(%v, %d) = false", a, v)
+				}
+			}
+			if Contains(a, uint32(sz.space+1)) {
+				t.Fatal("Contains found an absent value")
+			}
+		}
+	}
+}
+
+func naivePairOverlaps(rows [][]uint32, keep []bool) map[[2]uint32]int32 {
+	filtered := make([][]uint32, len(rows))
+	for r, row := range rows {
+		for _, f := range row {
+			if keep == nil || (int(f) < len(keep) && keep[f]) {
+				filtered[r] = append(filtered[r], f)
+			}
+		}
+	}
+	out := make(map[[2]uint32]int32)
+	for a := 0; a < len(filtered); a++ {
+		for b := a + 1; b < len(filtered); b++ {
+			n := int32(IntersectCount(filtered[a], filtered[b]))
+			if n > 0 {
+				out[[2]uint32{uint32(a), uint32(b)}] = n
+			}
+		}
+	}
+	return out
+}
+
+// ForEachOverlap must yield exactly the naive all-pairs result: every
+// pair once, a < b, with the filtered overlap count.
+func TestForEachOverlapDifferential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 0))
+	for iter := 0; iter < 30; iter++ {
+		nRows := 2 + rng.IntN(40)
+		space := 4 + rng.IntN(60)
+		rows := make([][]uint32, nRows)
+		for r := range rows {
+			if rng.IntN(5) == 0 {
+				continue // free-rider
+			}
+			rows[r] = randomSorted(rng, rng.IntN(min(space, 12)), space)
+		}
+		var keep []bool
+		if iter%2 == 1 {
+			keep = make([]bool, space)
+			for f := range keep {
+				keep[f] = rng.IntN(3) > 0
+			}
+		}
+		want := naivePairOverlaps(rows, keep)
+		got := make(map[[2]uint32]int32)
+		s := FromRows[uint32, uint32](0, rows, nil, space)
+		ForEachOverlap(s, keep, func(a, b uint32, n int32) {
+			if a >= b {
+				t.Fatalf("yielded pair (%d, %d) not ordered", a, b)
+			}
+			key := [2]uint32{a, b}
+			if _, dup := got[key]; dup {
+				t.Fatalf("pair (%d, %d) yielded twice", a, b)
+			}
+			got[key] = n
+		})
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: %d pairs, want %d", iter, len(got), len(want))
+		}
+		for key, n := range want {
+			if got[key] != n {
+				t.Fatalf("iter %d: pair %v = %d, want %d", iter, key, got[key], n)
+			}
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand/v2"
-	"sort"
+	"slices"
 
 	"edonkey/internal/geo"
 	"edonkey/internal/runner"
@@ -99,7 +99,7 @@ func (c *Client) CacheFiles() []int {
 	for f := range c.cache {
 		out = append(out, f)
 	}
-	sort.Ints(out)
+	slices.Sort(out)
 	return out
 }
 
