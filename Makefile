@@ -4,13 +4,16 @@
 GO ?= go
 # Benchmark iteration budget; CI overrides with 1x for the smoke run.
 BENCHTIME ?= 1s
+# Repetitions per benchmark; benchjson keeps the fastest, so counts > 1
+# filter scheduler noise (the bench-diff gate runs with 3).
+BENCHCOUNT ?= 1
 
 # bench/bench-store pipe go test into benchjson; without pipefail a
 # failed benchmark run would still exit 0 and upload a truncated JSON.
 SHELL := /bin/bash
 .SHELLFLAGS := -o pipefail -ec
 
-.PHONY: all build test race bench bench-store bench-smoke scale lint fmt clean
+.PHONY: all build test race bench bench-store bench-diff bench-smoke fuzz scale lint fmt clean
 
 all: build lint test
 
@@ -29,14 +32,31 @@ race:
 bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
 
-# Just the tracked store benchmarks (BenchmarkPairOverlap map-vs-store,
-# BenchmarkSuite); same JSON artefact, much faster than `make bench`.
+# Just the tracked store benchmarks (BenchmarkPairOverlap
+# map-vs-store-vs-sharded, BenchmarkSuite, BenchmarkTraceIO gob-vs-edt);
+# same JSON artefact, much faster than `make bench`.
 bench-store:
-	$(GO) test -run='^$$' -bench='^(BenchmarkPairOverlap|BenchmarkSuite)$$' -benchtime=$(BENCHTIME) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
+	$(GO) test -run='^$$' -bench='^(BenchmarkPairOverlap|BenchmarkSuite|BenchmarkTraceIO)$$' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
+
+# Regression gate: rerun the tracked benchmarks and fail if any ns/op
+# regressed more than 25% against the committed baseline (CI enforces
+# this; refresh the baseline with `make bench-store &&
+# cp BENCH_store.json BENCH_baseline.json` when a change is intentional).
+# The anchor benchmark (frozen legacy gob load) normalizes machine
+# speed, so the committed baseline gates runners faster or slower than
+# the box that recorded it.
+bench-diff: BENCHCOUNT := 3
+bench-diff: bench-store
+	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -in BENCH_store.json -tolerance 25 -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000'
 
 # CI's smoke variant: every benchmark runs exactly once.
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Short fuzz budget over the trace readers (CI runs this and caches the
+# corpus); go's fuzz corpus lives under $(go env GOCACHE)/fuzz.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadTrace -fuzztime=10s ./internal/trace
 
 # Scale scenario: a 100k-peer synthetic population driven through the
 # semantic-search sweep — impractical before the columnar store.

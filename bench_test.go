@@ -189,7 +189,7 @@ func BenchmarkFig13ClusteringCorrelation(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig13Clustering(s.Extrapolated, s.Full)
+		_ = analysis.Fig13Clustering(s.Extrapolated, s.Full, s.Pool())
 	}
 }
 
@@ -197,7 +197,7 @@ func BenchmarkFig14RandomizedCorrelation(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig14RandomizedClustering(s.Filtered, 1)
+		_ = analysis.Fig14RandomizedClustering(s.Filtered, 1, s.Pool())
 	}
 }
 
@@ -206,25 +206,25 @@ func BenchmarkFig15OverlapEvolution(b *testing.B) {
 	levels := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.FigOverlapEvolution("fig15", s.Extrapolated, levels, 2000)
+		_ = analysis.FigOverlapEvolution("fig15", s.Extrapolated, levels, 2000, s.Pool())
 	}
 }
 
 func BenchmarkFig16OverlapEvolutionMid(b *testing.B) {
 	s := benchSetup(b)
-	levels := analysis.PickOverlapLevels(s.Extrapolated, 15, 60, 8)
+	levels := analysis.PickOverlapLevels(s.Extrapolated, 15, 60, 8, s.Pool())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.FigOverlapEvolution("fig16", s.Extrapolated, levels, 2000)
+		_ = analysis.FigOverlapEvolution("fig16", s.Extrapolated, levels, 2000, s.Pool())
 	}
 }
 
 func BenchmarkFig17OverlapEvolutionHigh(b *testing.B) {
 	s := benchSetup(b)
-	levels := analysis.PickOverlapLevels(s.Extrapolated, 61, 0, 4)
+	levels := analysis.PickOverlapLevels(s.Extrapolated, 61, 0, 4, s.Pool())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.FigOverlapEvolution("fig17", s.Extrapolated, levels, 2000)
+		_ = analysis.FigOverlapEvolution("fig17", s.Extrapolated, levels, 2000, s.Pool())
 	}
 }
 

@@ -1,17 +1,34 @@
 // Command benchjson converts `go test -bench` output into a
 // machine-readable JSON file so CI can archive the performance
-// trajectory PR-over-PR. It acts as a tee: every input line is echoed
-// to stdout unchanged, benchmark result lines are additionally parsed
-// into records of the form
+// trajectory PR-over-PR, and diffs two such files to flag regressions.
+//
+// As a filter it acts as a tee: every input line is echoed to stdout
+// unchanged, benchmark result lines are additionally parsed into records
+// of the form
 //
 //	{"op": "BenchmarkPairOverlap/impl=store/peers=10000",
 //	 "ns_op": 16361604, "b_op": 2400352, "allocs_op": 15,
 //	 "peers": 10000}
 //
-// The peers field is extracted from a `peers=N` label in the benchmark
-// name when present. Usage:
+// Custom metrics reported via testing.B.ReportMetric (e.g. the trace
+// format benchmark's file-bytes) land in an "extra" map. The peers field
+// is extracted from a `peers=N` label in the benchmark name when
+// present. Usage:
 //
 //	go test -bench=. -benchmem ./... | benchjson -out BENCH_store.json
+//
+// In diff mode no benchmark output is read; two record files are
+// compared and any shared benchmark whose ns/op regressed by more than
+// -tolerance percent fails the run (`make bench-diff`, enforced in CI):
+//
+//	benchjson -diff BENCH_baseline.json -in BENCH_store.json -tolerance 25 \
+//	          -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000'
+//
+// -anchor normalizes for machine speed: every fresh ns/op is divided by
+// the anchor benchmark's fresh/baseline ratio before comparison, so a
+// baseline recorded on one machine still gates CI runners of different
+// speeds. Pick an anchor whose code never changes (the legacy gob load
+// path here).
 package main
 
 import (
@@ -27,11 +44,12 @@ import (
 
 // Record is one parsed benchmark result.
 type Record struct {
-	Op       string  `json:"op"`
-	NsOp     float64 `json:"ns_op"`
-	BOp      int64   `json:"b_op,omitempty"`
-	AllocsOp int64   `json:"allocs_op,omitempty"`
-	Peers    int     `json:"peers,omitempty"`
+	Op       string             `json:"op"`
+	NsOp     float64            `json:"ns_op"`
+	BOp      int64              `json:"b_op,omitempty"`
+	AllocsOp int64              `json:"allocs_op,omitempty"`
+	Peers    int                `json:"peers,omitempty"`
+	Extra    map[string]float64 `json:"extra,omitempty"`
 }
 
 var (
@@ -64,6 +82,11 @@ func parseLine(line string) (Record, bool) {
 			rec.BOp = int64(v)
 		case "allocs/op":
 			rec.AllocsOp = int64(v)
+		default:
+			if rec.Extra == nil {
+				rec.Extra = make(map[string]float64)
+			}
+			rec.Extra[fields[i+1]] = v
 		}
 	}
 	return rec, ok
@@ -80,19 +103,138 @@ func trimCPUSuffix(name string) string {
 	return name
 }
 
+func readRecords(path string) ([]Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var recs []Record
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return recs, nil
+}
+
+// diff compares fresh against baseline on ns/op, printing a table and
+// returning the ops whose regression exceeds tolerance percent. When
+// anchor names a benchmark present on both sides, every fresh ns/op is
+// first divided by the anchor's fresh/baseline ratio — a machine-speed
+// normalization that lets a baseline recorded on one machine gate runs
+// on another (CI runners differ from dev boxes by more than any sane
+// tolerance; the anchor benchmark itself is the clock and by
+// construction never regresses). Ops present on only one side are
+// reported but never fail the run, so adding or retiring benchmarks
+// does not break CI.
+func diff(baseline, fresh []Record, tolerance float64, anchor string, w *os.File) ([]string, error) {
+	base := make(map[string]Record, len(baseline))
+	for _, r := range baseline {
+		base[r.Op] = r
+	}
+	scale := 1.0
+	if anchor != "" {
+		b, okB := base[anchor]
+		var f Record
+		okF := false
+		for _, r := range fresh {
+			if r.Op == anchor {
+				f, okF = r, true
+				break
+			}
+		}
+		if !okB || !okF || b.NsOp <= 0 || f.NsOp <= 0 {
+			// Without the anchor the comparison degenerates to raw
+			// cross-machine ns/op, which is meaningless against a
+			// committed baseline — fail closed rather than gate on noise.
+			return nil, fmt.Errorf("anchor %q missing or zero in baseline or fresh records", anchor)
+		}
+		scale = f.NsOp / b.NsOp
+		fmt.Fprintf(w, "  machine scale %.3fx from anchor %s\n", scale, anchor)
+	}
+	var regressions []string
+	seen := make(map[string]bool, len(fresh))
+	for _, r := range fresh {
+		b, ok := base[r.Op]
+		if !ok {
+			fmt.Fprintf(w, "  new      %-60s %12.0f ns/op\n", r.Op, r.NsOp)
+			continue
+		}
+		seen[r.Op] = true
+		if b.NsOp <= 0 {
+			continue
+		}
+		delta := 100 * (r.NsOp/scale - b.NsOp) / b.NsOp
+		status := "ok"
+		if delta > tolerance {
+			status = "REGRESSED"
+			regressions = append(regressions, r.Op)
+		}
+		fmt.Fprintf(w, "  %-8s %-60s %12.0f -> %12.0f ns/op (%+.1f%% normalized)\n",
+			status, r.Op, b.NsOp, r.NsOp, delta)
+	}
+	for _, r := range baseline {
+		if !seen[r.Op] {
+			fmt.Fprintf(w, "  removed  %-60s\n", r.Op)
+		}
+	}
+	return regressions, nil
+}
+
 func main() {
-	out := flag.String("out", "BENCH_store.json", "output JSON file")
+	out := flag.String("out", "BENCH_store.json", "output JSON file (tee mode)")
+	diffBase := flag.String("diff", "", "baseline JSON: compare -in against it instead of parsing stdin")
+	in := flag.String("in", "", "fresh results JSON for -diff")
+	tolerance := flag.Float64("tolerance", 25, "max ns/op regression percent allowed by -diff")
+	anchor := flag.String("anchor", "", "benchmark op used to normalize machine speed in -diff")
 	flag.Parse()
 
+	if *diffBase != "" {
+		baseline, err := readRecords(*diffBase)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fresh, err := readRecords(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %s vs %s (tolerance %.0f%%)\n", *in, *diffBase, *tolerance)
+		regressions, err := diff(baseline, fresh, *tolerance, *anchor, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %.0f%%: %s\n",
+				len(regressions), *tolerance, strings.Join(regressions, ", "))
+			os.Exit(1)
+		}
+		fmt.Println("benchjson: no ns/op regressions beyond tolerance")
+		return
+	}
+
+	// Repeated runs of the same benchmark (go test -count=N) collapse to
+	// the fastest one: minimum ns/op is the standard noise filter, and it
+	// is what makes the -diff gate usable on shared CI runners.
 	var records []Record
+	byOp := make(map[string]int)
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)
-		if rec, ok := parseLine(line); ok {
-			records = append(records, rec)
+		rec, ok := parseLine(line)
+		if !ok {
+			continue
 		}
+		if i, dup := byOp[rec.Op]; dup {
+			if rec.NsOp < records[i].NsOp {
+				records[i] = rec
+			}
+			continue
+		}
+		byOp[rec.Op] = len(records)
+		records = append(records, rec)
 	}
 	if err := sc.Err(); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)

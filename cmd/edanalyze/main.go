@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	edanalyze [-workers 0] trace.gob
+//	edanalyze [-workers 0] trace.edt
 package main
 
 import (

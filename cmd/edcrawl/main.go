@@ -3,23 +3,30 @@
 // protocol (server nickname sweeps, reachability filtering, daily cache
 // browsing) and writes the resulting full trace to a file.
 //
+// The output format is inferred from the extension: ".edt" selects the
+// columnar format (the default, written day by day as the crawl runs, so
+// memory stays one day deep), anything else the legacy gob.
+//
 // Usage:
 //
-//	edcrawl -o trace.gob [-peers 1000] [-days 14] [-prefix 2] [-budget 500]
+//	edcrawl -o trace.edt [-peers 1000] [-days 14] [-prefix 2] [-budget 500]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"edonkey/internal/crawler"
+	"edonkey/internal/trace"
 	"edonkey/internal/workload"
 )
 
 func main() {
 	var (
-		out     = flag.String("o", "trace.gob", "output trace file")
+		out     = flag.String("o", "trace.edt", "output trace file (.edt = columnar, else gob)")
 		jsonOut = flag.String("json", "", "also write an anonymized JSON export")
 		seed    = flag.Uint64("seed", 1, "world seed")
 		peers   = flag.Int("peers", 1000, "number of underlying clients")
@@ -53,41 +60,92 @@ func main() {
 		PublishFiles:  *publish,
 	}
 
-	tr, stats, err := crawler.Crawl(wcfg, ccfg)
-	if err != nil {
+	if err := run(wcfg, ccfg, *out, *jsonOut); err != nil {
 		fmt.Fprintln(os.Stderr, "edcrawl:", err)
 		os.Exit(1)
 	}
+}
+
+func run(wcfg workload.Config, ccfg crawler.Config, out, jsonOut string) error {
+	// The .edt path streams each completed day to the open writer — the
+	// whole trace is never resident. The gob format (and the JSON export)
+	// needs the full trace in memory, so those fall back to a batch run.
+	if strings.HasSuffix(out, ".edt") && jsonOut == "" {
+		return runStreaming(wcfg, ccfg, out)
+	}
+	tr, stats, err := crawler.Crawl(wcfg, ccfg)
+	if err != nil {
+		return err
+	}
+	report(stats, tr.ObservedPeers(), tr.DistinctFiles(), tr.Observations())
+	if err := tr.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if jsonOut != "" {
+		f, err := os.Create(jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonOut)
+	}
+	return nil
+}
+
+func runStreaming(wcfg workload.Config, ccfg crawler.Config, out string) error {
+	w, err := workload.New(wcfg)
+	if err != nil {
+		return err
+	}
+	c, err := crawler.New(w, ccfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(f)
+	ew, err := trace.NewEDTWriter(bw)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	if err := c.RunStream(w.Config.Days, ew); err != nil {
+		f.Close()
+		return err
+	}
+	files, peers := c.Meta()
+	if err := ew.Finish(files, peers); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Every registered peer was browsed at least once and every file was
+	// seen in a cache, so the metadata counts are the trace-level stats.
+	report(c.Stats, len(peers), len(files), c.Stats.Snapshots)
+	fmt.Printf("wrote %s (streamed day by day)\n", out)
+	return nil
+}
+
+func report(stats crawler.Stats, peers, files, observations int) {
 	fmt.Printf("crawl finished: %d days, %d queries, %d identities discovered\n",
 		stats.Days, stats.Queries, stats.UniqueUsers)
 	fmt.Printf("  low-ID skipped: %d, browse rejected: %d, snapshots: %d\n",
 		stats.LowIDSkipped, stats.BrowseRejected, stats.Snapshots)
 	fmt.Printf("trace: %d peers, %d distinct files, %d observations\n",
-		tr.ObservedPeers(), tr.DistinctFiles(), tr.Observations())
-
-	if err := tr.WriteFile(*out); err != nil {
-		fmt.Fprintln(os.Stderr, "edcrawl:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("wrote %s\n", *out)
-	if *jsonOut != "" {
-		f, err := os.Create(*jsonOut)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "edcrawl:", err)
-			os.Exit(1)
-		}
-		if err := tr.WriteJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "edcrawl:", err)
-			os.Exit(1)
-		}
-		f.Close()
-		fmt.Printf("wrote %s\n", *jsonOut)
-	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
+		peers, files, observations)
 }

@@ -11,7 +11,7 @@
 //	edrepro                     # all experiments, laptop scale
 //	edrepro -only fig18,table3  # selected experiments
 //	edrepro -scale 2            # 2x the default population
-//	edrepro -trace trace.gob    # use a previously saved trace
+//	edrepro -trace trace.edt    # use a previously saved trace
 //	edrepro -out results/       # also write CSVs to results/
 //	edrepro -workers 1          # serial run (same outputs, slower)
 package main
@@ -33,8 +33,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "world seed")
 		scale     = flag.Float64("scale", 1, "population scale factor")
 		days      = flag.Int("days", 0, "trace days (0 = paper's 56)")
-		tracePath = flag.String("trace", "", "load a saved trace instead of generating")
-		savePath  = flag.String("save", "", "save the generated full trace to this file")
+		tracePath = flag.String("trace", "", "load a saved trace (.edt or gob) instead of generating")
+		savePath  = flag.String("save", "", "save the generated full trace to this file (.edt = columnar, else gob)")
 		outDir    = flag.String("out", "", "also write CSV/text files to this directory")
 		only      = flag.String("only", "", "comma-separated experiment ids (e.g. fig18,table3)")
 		useCrawl  = flag.Bool("crawler", false, "collect via the protocol-level crawler (slow)")

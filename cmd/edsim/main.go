@@ -6,7 +6,7 @@
 //
 //	edsim [-strategy lru|history|random] [-list 20] [-twohop]
 //	      [-drop-uploaders 0.05] [-drop-files 0.15] [-randomize]
-//	      [-lists 5,10,20,50] [-workers 0] [-trace trace.gob]
+//	      [-lists 5,10,20,50] [-workers 0] [-trace trace.edt]
 //
 // With -lists, one simulation per list size runs concurrently on the
 // worker pool and a summary line is printed per size.
@@ -29,7 +29,7 @@ import (
 
 func main() {
 	var (
-		tracePath      = flag.String("trace", "", "saved trace file (default: generate)")
+		tracePath      = flag.String("trace", "", "saved trace file, .edt or gob (default: generate)")
 		seed           = flag.Uint64("seed", 1, "seed")
 		peers          = flag.Int("peers", 2000, "generated population size")
 		days           = flag.Int("days", 30, "generated trace days")

@@ -1,0 +1,163 @@
+// Command edtrace converts, merges and inspects trace files in either
+// format (columnar .edt or legacy gob).
+//
+// Usage:
+//
+//	edtrace info  <file>            # summary + per-day stats (no postings decode for .edt)
+//	edtrace convert <in> <out>      # output format from extension: .edt, .json, else gob
+//	edtrace merge <out> <in> ...    # concatenate capture segments into one trace
+//
+// convert is the gob→edt migration path; merge unifies identities across
+// independently collected capture segments (files by hash, peers by user
+// hash + IP) and renumbers them by first sight, so merging segments that
+// partition one crawl's days reproduces the one-shot trace exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"edonkey/internal/trace"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage:\n  edtrace info <file>\n  edtrace convert <in> <out>\n  edtrace merge <out> <in> ...\n")
+	}
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	switch args[0] {
+	case "info":
+		if len(args) != 2 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		err = info(args[1])
+	case "convert":
+		if len(args) != 3 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		err = convert(args[1], args[2])
+	case "merge":
+		if len(args) < 3 {
+			flag.Usage()
+			os.Exit(2)
+		}
+		err = merge(args[1], args[2:])
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edtrace:", err)
+		os.Exit(1)
+	}
+}
+
+// info prints a capture summary. For .edt files everything comes from
+// the footer index and the identity tables — day postings are never
+// decoded, which is what makes info instant on multi-gigabyte captures.
+func info(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	if trace.IsEDT(f) {
+		er, err := trace.NewEDTReader(f, fi.Size())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: columnar .edt, %d bytes\n", path, fi.Size())
+		fmt.Printf("  peers %d, files %d, days %d\n", er.NumPeers(), er.NumFiles(), er.NumDays())
+		total := 0
+		for i := 0; i < er.NumDays(); i++ {
+			d := er.DayInfo(i)
+			kf := " "
+			if d.Keyframe() {
+				kf = "K"
+			}
+			fmt.Printf("  day %3d %s: %7d peers observed, %9d postings\n", d.Day, kf, d.Rows, d.Postings)
+			total += d.Postings
+		}
+		fmt.Printf("  total postings %d (%.2f bytes/posting on disk)\n",
+			total, float64(fi.Size())/float64(max(total, 1)))
+		return nil
+	}
+
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: legacy gob, %d bytes\n", path, fi.Size())
+	fmt.Printf("  peers %d, files %d, days %d\n", len(tr.Peers), len(tr.Files), len(tr.Days))
+	for _, s := range tr.Days {
+		nnz := 0
+		for _, c := range s.Caches {
+			nnz += len(c)
+		}
+		fmt.Printf("  day %3d  : %7d peers observed, %9d postings\n", s.Day, len(s.Caches), nnz)
+	}
+	return nil
+}
+
+// convert rewrites a trace in the format the output extension selects.
+func convert(in, out string) error {
+	tr, err := trace.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(out, ".json") {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		if err := tr.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	} else if err := tr.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("converted %s -> %s (%d peers, %d files, %d days)\n",
+		in, out, len(tr.Peers), len(tr.Files), len(tr.Days))
+	return nil
+}
+
+// merge concatenates capture segments into out.
+func merge(out string, ins []string) error {
+	segments := make([]*trace.Trace, 0, len(ins))
+	for _, in := range ins {
+		tr, err := trace.ReadFile(in)
+		if err != nil {
+			return fmt.Errorf("%s: %w", in, err)
+		}
+		segments = append(segments, tr)
+	}
+	merged, err := trace.Merge(segments...)
+	if err != nil {
+		return err
+	}
+	if err := merged.WriteFile(out); err != nil {
+		return err
+	}
+	fmt.Printf("merged %d segments -> %s (%d peers, %d files, %d days, %d observations)\n",
+		len(ins), out, len(merged.Peers), len(merged.Files), len(merged.Days), merged.Observations())
+	return nil
+}

@@ -267,7 +267,9 @@ func (s *Study) Suite(seed uint64) []analysis.Experiment {
 
 // ClusteringCorrelation computes the paper's Fig. 13 metric over the
 // study's filtered caches: for each n, the probability that two peers
-// sharing at least n files share another one.
+// sharing at least n files share another one. The pair enumeration
+// shards over the study's worker pool; the curve is bit-identical for
+// any worker count.
 func (s *Study) ClusteringCorrelation() []core.CorrelationPoint {
-	return core.ClusteringCorrelationSnapshot(s.Filtered.Store().Aggregate(), nil)
+	return core.ClusteringCorrelationSharded(s.Filtered.Store().Aggregate(), nil, s.pool)
 }

@@ -249,3 +249,54 @@ func TestStudySuiteDeterministicAcrossWorkers(t *testing.T) {
 		}
 	}
 }
+
+// The .edt acceptance pin: a study loaded from an .edt file renders the
+// full experiment suite bit-identically to one loaded from the gob copy
+// of the same trace, at workers 1, 4 and GOMAXPROCS.
+func TestSuiteIdenticalAcrossTraceFormats(t *testing.T) {
+	study, err := NewStudy(studyConfig(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	gobPath := filepath.Join(dir, "trace.gob")
+	edtPath := filepath.Join(dir, "trace.edt")
+	if err := study.Save(gobPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := study.Save(edtPath); err != nil {
+		t.Fatal(err)
+	}
+
+	render := func(path string, workers int) []string {
+		loaded, err := LoadStudy(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loaded.SetWorkers(workers)
+		suite := loaded.Suite(4)
+		out := make([]string, len(suite))
+		for i, exp := range suite {
+			var buf bytes.Buffer
+			if err := exp.Render(&buf); err != nil {
+				t.Fatalf("%s: %v", exp.ID(), err)
+			}
+			out[i] = exp.ID() + "\n" + buf.String()
+		}
+		return out
+	}
+
+	want := render(gobPath, 1)
+	for _, workers := range []int{1, 4, 0} {
+		got := render(edtPath, workers)
+		if !reflect.DeepEqual(want, got) {
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("experiment %d differs between gob-loaded (1 worker) and edt-loaded (%d workers):\n%s\nvs\n%s",
+						i, workers, want[i][:min(len(want[i]), 400)], got[i][:min(len(got[i]), 400)])
+				}
+			}
+			t.Fatalf("suite output differs between formats at %d workers", workers)
+		}
+	}
+}

@@ -17,7 +17,7 @@ import (
 // that two peers with n common files share another) for all files of the
 // first analysis day, and for audio files in two popularity bands
 // computed on the whole trace.
-func Fig13Clustering(dayTrace, fullTrace *trace.Trace) *Figure {
+func Fig13Clustering(dayTrace, fullTrace *trace.Trace, pool *runner.Pool) *Figure {
 	fig := &Figure{
 		ID: "fig13", Title: "Probability to find additional files on neighbours",
 		XLabel: "number of files in common", YLabel: "probability for another common file (%)",
@@ -26,7 +26,7 @@ func Fig13Clustering(dayTrace, fullTrace *trace.Trace) *Figure {
 	if len(dayTrace.Days) > 0 {
 		fig.Series = append(fig.Series, correlationSeries(
 			"all shared files of first analysis day",
-			core.ClusteringCorrelationSnapshot(dayTrace.Store().Snap(0), nil)))
+			core.ClusteringCorrelationSharded(dayTrace.Store().Snap(0), nil, pool)))
 	}
 	full := fullTrace.Store().Aggregate()
 	audio := trace.KindAudio
@@ -34,9 +34,9 @@ func Fig13Clustering(dayTrace, fullTrace *trace.Trace) *Figure {
 	hi := core.KindPopularityFilter(fullTrace, &audio, 30, 40)
 	fig.Series = append(fig.Series,
 		correlationSeries("audio files, popularity in [1..10]",
-			core.ClusteringCorrelationSnapshot(full, lo)),
+			core.ClusteringCorrelationSharded(full, lo, pool)),
 		correlationSeries("audio files, popularity in [30..40]",
-			core.ClusteringCorrelationSnapshot(full, hi)),
+			core.ClusteringCorrelationSharded(full, hi, pool)),
 	)
 	return fig
 }
@@ -54,10 +54,10 @@ func correlationSeries(label string, pts []core.CorrelationPoint) Series {
 // versus the appendix-randomized trace, for all files and for files of
 // popularity exactly 3 and exactly 5. Randomization preserves generosity
 // and popularity, so any drop is attributable to genuine shared interest.
-func Fig14RandomizedClustering(t *trace.Trace, seed uint64) *Figure {
+func Fig14RandomizedClustering(t *trace.Trace, seed uint64, pool *runner.Pool) *Figure {
 	caches := t.AggregateCaches()
 	rng := rand.New(rand.NewPCG(seed, 0x666967313421))
-	shuffled := randomize.Shuffle(caches, 0, rng)
+	shuffledSnap := core.SnapshotFromCaches(randomize.Shuffle(caches, 0, rng))
 
 	sources := t.SourcesPerFile()
 	fig := &Figure{
@@ -76,9 +76,9 @@ func Fig14RandomizedClustering(t *trace.Trace, seed uint64) *Figure {
 	for _, p := range panels {
 		fig.Series = append(fig.Series,
 			correlationSeries(p.name+" / trace",
-				core.ClusteringCorrelationSnapshot(t.Store().Aggregate(), p.filter)),
+				core.ClusteringCorrelationSharded(t.Store().Aggregate(), p.filter, pool)),
 			correlationSeries(p.name+" / random",
-				core.ClusteringCorrelation(shuffled, p.filter)),
+				core.ClusteringCorrelationSharded(shuffledSnap, p.filter, pool)),
 		)
 	}
 	return fig
@@ -88,10 +88,11 @@ func Fig14RandomizedClustering(t *trace.Trace, seed uint64) *Figure {
 // time of peer pairs grouped by first-day overlap. Level selection
 // follows the paper: Fig. 15 uses levels 1..10; Figs. 16/17 pick higher
 // levels that exist in the trace.
-func FigOverlapEvolution(id string, t *trace.Trace, levels []int, maxPairs int) *Figure {
+func FigOverlapEvolution(id string, t *trace.Trace, levels []int, maxPairs int, pool *runner.Pool) *Figure {
 	groups := core.OverlapEvolution(t, core.OverlapEvolutionOptions{
 		Levels:           levels,
 		MaxPairsPerLevel: maxPairs,
+		Pool:             pool,
 	})
 	fig := &Figure{
 		ID: id, Title: "Evolution of cache overlap between pairs of clients",
@@ -113,8 +114,8 @@ func FigOverlapEvolution(id string, t *trace.Trace, levels []int, maxPairs int) 
 // PickOverlapLevels selects up to k observed first-day overlap levels in
 // [lo, hi] (inclusive), spread evenly, for Figs. 16/17 on traces whose
 // overlap range differs from the paper's.
-func PickOverlapLevels(t *trace.Trace, lo, hi, k int) []int {
-	levels, _ := core.ObservedOverlapLevels(t)
+func PickOverlapLevels(t *trace.Trace, lo, hi, k int, pool *runner.Pool) []int {
+	levels, _ := core.ObservedOverlapLevels(t, pool)
 	var in []int
 	for _, l := range levels {
 		if l >= lo && (hi <= 0 || l <= hi) {

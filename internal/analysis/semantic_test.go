@@ -13,7 +13,7 @@ var testPool = runner.New(0)
 
 func TestFig13Clustering(t *testing.T) {
 	full, _, ex := traces(t)
-	fig := Fig13Clustering(ex, full)
+	fig := Fig13Clustering(ex, full, nil)
 	renderOK(t, fig)
 	if len(fig.Series) < 2 {
 		t.Fatalf("series = %d", len(fig.Series))
@@ -41,7 +41,7 @@ func TestFig13Clustering(t *testing.T) {
 
 func TestFig14RandomizationReducesClustering(t *testing.T) {
 	_, filt, _ := traces(t)
-	fig := Fig14RandomizedClustering(filt, 11)
+	fig := Fig14RandomizedClustering(filt, 11, nil)
 	renderOK(t, fig)
 	if len(fig.Series) != 6 {
 		t.Fatalf("series = %d, want 6 (3 panels x trace/random)", len(fig.Series))
@@ -63,7 +63,7 @@ func TestFig14RandomizationReducesClustering(t *testing.T) {
 
 func TestFigOverlapEvolution(t *testing.T) {
 	_, _, ex := traces(t)
-	fig := FigOverlapEvolution("fig15", ex, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 400)
+	fig := FigOverlapEvolution("fig15", ex, []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 400, nil)
 	renderOK(t, fig)
 	if len(fig.Series) == 0 {
 		t.Fatal("no overlap groups")
@@ -79,7 +79,7 @@ func TestFigOverlapEvolution(t *testing.T) {
 
 func TestPickOverlapLevels(t *testing.T) {
 	_, _, ex := traces(t)
-	levels := PickOverlapLevels(ex, 10, 0, 5)
+	levels := PickOverlapLevels(ex, 10, 0, 5, nil)
 	if len(levels) == 0 {
 		t.Skip("no overlaps >= 10 at this scale")
 	}

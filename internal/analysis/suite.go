@@ -95,19 +95,19 @@ func FullSuite(in SuiteInput) []Experiment {
 		func() Experiment {
 			return figure(FigHomeConcentration("fig12", in.Filtered, true, []float64{1, 1.5, 2, 3, 5, 10}))
 		},
-		func() Experiment { return figure(Fig13Clustering(in.Extrapolated, in.Full)) },
-		func() Experiment { return figure(Fig14RandomizedClustering(in.Filtered, in.Seed)) },
+		func() Experiment { return figure(Fig13Clustering(in.Extrapolated, in.Full, in.Pool)) },
+		func() Experiment { return figure(Fig14RandomizedClustering(in.Filtered, in.Seed, in.Pool)) },
 		func() Experiment {
 			return figure(FigOverlapEvolution("fig15", in.Extrapolated,
-				[]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 2000))
+				[]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 2000, in.Pool))
 		},
 		func() Experiment {
 			return figure(FigOverlapEvolution("fig16", in.Extrapolated,
-				PickOverlapLevels(in.Extrapolated, 15, 60, 8), 2000))
+				PickOverlapLevels(in.Extrapolated, 15, 60, 8, in.Pool), 2000, in.Pool))
 		},
 		func() Experiment {
 			return figure(FigOverlapEvolution("fig17", in.Extrapolated,
-				PickOverlapLevels(in.Extrapolated, 61, 0, 4), 2000))
+				PickOverlapLevels(in.Extrapolated, 61, 0, 4, in.Pool), 2000, in.Pool))
 		},
 		func() Experiment { return figure(Fig18HitRates(in.Caches, sizes, in.Seed, in.Pool)) },
 		func() Experiment {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"edonkey/internal/runner"
 	"edonkey/internal/stats"
 	"edonkey/internal/trace"
 	"edonkey/internal/tracestore"
@@ -54,8 +55,7 @@ func SplitPairKey(k uint64) (a, b trace.PeerID) {
 // snapshot; callers already holding one (a store day or aggregate)
 // should use ForEachPairOverlapSnapshot to skip that copy.
 func ForEachPairOverlap(caches [][]trace.FileID, filter FileFilter, yield func(a, b trace.PeerID, n int32)) {
-	sn := tracestore.FromRows[trace.PeerID, trace.FileID](0, caches, nil, 0)
-	ForEachPairOverlapSnapshot(sn, filter, yield)
+	ForEachPairOverlapSnapshot(SnapshotFromCaches(caches), filter, yield)
 }
 
 // ForEachPairOverlapSnapshot runs the pair enumeration directly on an
@@ -72,6 +72,53 @@ func ForEachPairOverlapSnapshot(sn *trace.StoreSnapshot, filter FileFilter, yiel
 		}
 	}
 	tracestore.ForEachOverlap(sn, keep, yield)
+}
+
+// SnapshotFromCaches encodes dense per-peer caches (sorted FileIDs) as a
+// columnar snapshot, the entry ticket for the snapshot-based enumeration
+// and its sharded variant.
+func SnapshotFromCaches(caches [][]trace.FileID) *trace.StoreSnapshot {
+	return tracestore.FromRows[trace.PeerID, trace.FileID](0, caches, nil, 0)
+}
+
+// ShardedPairOverlap is ForEachPairOverlapSnapshot with the outer
+// per-peer loop sharded over the pool (ROADMAP "Parallel pair
+// enumeration"): newShard builds one private consumer state per shard,
+// visit observes one overlapping pair, and the states come back in
+// ascending peer order. Concatenating them in order reproduces the
+// serial enumeration sequence exactly, so any cut-insensitive merge
+// (integer counters, histograms, ordered appends) is bit-identical for
+// every worker count.
+func ShardedPairOverlap[S any](sn *trace.StoreSnapshot, filter FileFilter, pool *runner.Pool,
+	newShard func() S, visit func(shard S, a, b trace.PeerID, n int32)) []S {
+	var keep []bool
+	if filter != nil {
+		keep = make([]bool, sn.NumVals())
+		for f := range keep {
+			keep[f] = filter(trace.FileID(f))
+		}
+	}
+	return tracestore.OverlapSharded(sn, keep, pool, newShard, visit)
+}
+
+// OverlapHistogramSharded is OverlapHistogramSnapshot computed on the
+// pool: per-shard histograms merged in shard order, bit-identical to the
+// serial result for any worker count.
+func OverlapHistogramSharded(sn *trace.StoreSnapshot, filter FileFilter, pool *runner.Pool) *stats.Histogram {
+	shards := ShardedPairOverlap(sn, filter, pool,
+		stats.NewHistogram,
+		func(h *stats.Histogram, _, _ trace.PeerID, n int32) { h.Add(int(n)) })
+	out := shards[0]
+	for _, h := range shards[1:] {
+		out.Merge(h)
+	}
+	return out
+}
+
+// ClusteringCorrelationSharded is ClusteringCorrelationSnapshot on the
+// pool — the form the clustering figures (13, 14) use.
+func ClusteringCorrelationSharded(sn *trace.StoreSnapshot, filter FileFilter, pool *runner.Pool) []CorrelationPoint {
+	return CorrelationCurve(OverlapHistogramSharded(sn, filter, pool))
 }
 
 // PairOverlaps materializes ForEachPairOverlap into a map keyed by

@@ -3,6 +3,7 @@ package core
 import (
 	"slices"
 
+	"edonkey/internal/runner"
 	"edonkey/internal/trace"
 	"edonkey/internal/tracestore"
 )
@@ -32,19 +33,47 @@ type OverlapEvolutionOptions struct {
 	// MaxPairsPerLevel caps the tracked pairs per level to bound cost;
 	// 0 means unlimited. Selection is deterministic (smallest pair keys).
 	MaxPairsPerLevel int
+	// Pool shards the first-day pair enumeration and the per-day mean
+	// computation; nil runs serially. Results are bit-identical for any
+	// worker count.
+	Pool *runner.Pool
+}
+
+// levelShard accumulates one shard's first-day enumeration; appends per
+// level arrive in enumeration order, so concatenating shards in order
+// reproduces the serial sequence.
+type levelShard struct {
+	byLevel map[int][]uint64
+	totals  map[int]int
+	wanted  map[int]bool
+}
+
+func (s *levelShard) visit(a, b trace.PeerID, n int32) {
+	level := int(n)
+	if len(s.wanted) > 0 && !s.wanted[level] {
+		return
+	}
+	s.totals[level]++
+	s.byLevel[level] = append(s.byLevel[level], PairKey(a, b))
 }
 
 // ObservedOverlapLevels returns the distinct initial-overlap values of
 // the first snapshot, ascending, with their pair counts. Use it to pick
-// Fig. 16/17-style levels that actually exist in a given trace.
-func ObservedOverlapLevels(t *trace.Trace) ([]int, map[int]int) {
+// Fig. 16/17-style levels that actually exist in a given trace. The
+// enumeration shards over pool (nil = serial; identical results).
+func ObservedOverlapLevels(t *trace.Trace, pool *runner.Pool) ([]int, map[int]int) {
 	if len(t.Days) == 0 {
 		return nil, nil
 	}
-	counts := make(map[int]int)
-	ForEachPairOverlapSnapshot(t.Store().Snap(0), nil, func(_, _ trace.PeerID, n int32) {
-		counts[int(n)]++
-	})
+	shards := ShardedPairOverlap(t.Store().Snap(0), nil, pool,
+		func() map[int]int { return make(map[int]int) },
+		func(counts map[int]int, _, _ trace.PeerID, n int32) { counts[int(n)]++ })
+	counts := shards[0]
+	for _, sh := range shards[1:] {
+		for l, c := range sh {
+			counts[l] += c
+		}
+	}
 	levels := make([]int, 0, len(counts))
 	for l := range counts {
 		levels = append(levels, l)
@@ -70,17 +99,23 @@ func OverlapEvolution(t *trace.Trace, opts OverlapEvolutionOptions) []OverlapGro
 	}
 
 	// Bucket the first day's pairs by initial overlap level as they are
-	// enumerated — the pair map never materializes.
-	byLevel := make(map[int][]uint64)
-	totals := make(map[int]int)
-	ForEachPairOverlapSnapshot(st.Snap(0), nil, func(a, b trace.PeerID, n int32) {
-		level := int(n)
-		if len(wanted) > 0 && !wanted[level] {
-			return
+	// enumerated — the pair map never materializes. Shards merge in
+	// order, reproducing the serial append sequence exactly.
+	shards := ShardedPairOverlap(st.Snap(0), nil, opts.Pool,
+		func() *levelShard {
+			return &levelShard{byLevel: make(map[int][]uint64), totals: make(map[int]int), wanted: wanted}
+		},
+		(*levelShard).visit)
+	byLevel := shards[0].byLevel
+	totals := shards[0].totals
+	for _, sh := range shards[1:] {
+		for level, keys := range sh.byLevel {
+			byLevel[level] = append(byLevel[level], keys...)
 		}
-		totals[level]++
-		byLevel[level] = append(byLevel[level], PairKey(a, b))
-	})
+		for level, n := range sh.totals {
+			totals[level] += n
+		}
+	}
 	// Deterministic sampling: sort keys, take the first MaxPairsPerLevel.
 	for level, keys := range byLevel {
 		slices.Sort(keys)
@@ -106,8 +141,15 @@ func OverlapEvolution(t *trace.Trace, opts OverlapEvolutionOptions) []OverlapGro
 		}
 	}
 
-	for di := 0; di < st.NumDays(); di++ {
+	// Each (day, level) mean is independent; fan the days out over the
+	// pool and assemble in day order.
+	type dayMeans struct {
+		day   int
+		means []float64
+	}
+	perDay := runner.Collect(opts.Pool, st.NumDays(), func(di int) dayMeans {
 		sn := st.Snap(di)
+		out := dayMeans{day: sn.Day, means: make([]float64, len(levels))}
 		for gi, level := range levels {
 			keys := byLevel[level]
 			if len(keys) == 0 {
@@ -120,9 +162,18 @@ func OverlapEvolution(t *trace.Trace, opts OverlapEvolutionOptions) []OverlapGro
 					sum += int64(tracestore.IntersectCount(sn.Cache(a), sn.Cache(b)))
 				}
 			}
+			out.means[gi] = float64(sum) / float64(len(keys))
+		}
+		return out
+	})
+	for _, dm := range perDay {
+		for gi := range levels {
+			if len(byLevel[levels[gi]]) == 0 {
+				continue
+			}
 			g := &groups[gi]
-			g.Days = append(g.Days, sn.Day)
-			g.Mean = append(g.Mean, float64(sum)/float64(len(keys)))
+			g.Days = append(g.Days, dm.day)
+			g.Mean = append(g.Mean, dm.means[gi])
 		}
 	}
 	return groups

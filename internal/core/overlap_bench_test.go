@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"edonkey/internal/runner"
 	"edonkey/internal/trace"
 )
 
@@ -115,6 +116,55 @@ func BenchmarkPairOverlap(b *testing.B) {
 				_ = h
 			}
 		})
+		b.Run(fmt.Sprintf("impl=sharded/peers=%d", peers), func(b *testing.B) {
+			b.ReportAllocs()
+			pool := runner.New(0)
+			sn := SnapshotFromCaches(caches)
+			sn.Inverted() // steady state: index built once, reused per run
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				shards := ShardedPairOverlap(sn, nil, pool,
+					func() *int64 { return new(int64) },
+					func(h *int64, _, _ trace.PeerID, n int32) { *h += int64(n) })
+				h := int64(0)
+				for _, sh := range shards {
+					h += *sh
+				}
+				_ = h
+			}
+		})
+	}
+}
+
+// The sharded enumeration must agree with the serial one on the
+// benchmark population for every pool size, order included.
+func TestShardedPairOverlapMatchesSerial(t *testing.T) {
+	caches := benchCaches(1500)
+	sn := SnapshotFromCaches(caches)
+	type triple struct {
+		a, b trace.PeerID
+		n    int32
+	}
+	var want []triple
+	ForEachPairOverlapSnapshot(sn, nil, func(a, b trace.PeerID, n int32) {
+		want = append(want, triple{a, b, n})
+	})
+	for _, workers := range []int{1, 2, 4, 7} {
+		shards := ShardedPairOverlap(sn, nil, runner.New(workers),
+			func() *[]triple { return &[]triple{} },
+			func(sh *[]triple, a, b trace.PeerID, n int32) { *sh = append(*sh, triple{a, b, n}) })
+		var got []triple
+		for _, sh := range shards {
+			got = append(got, *sh...)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers %d: %d triples, want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers %d: triple %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
 	}
 }
 

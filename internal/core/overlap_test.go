@@ -94,7 +94,7 @@ func TestOverlapEvolutionSampling(t *testing.T) {
 
 func TestObservedOverlapLevels(t *testing.T) {
 	tr := overlapTrace(t)
-	levels, counts := ObservedOverlapLevels(tr)
+	levels, counts := ObservedOverlapLevels(tr, nil)
 	if len(levels) != 2 || levels[0] != 2 || levels[1] != 3 {
 		t.Fatalf("levels = %v", levels)
 	}
@@ -107,7 +107,7 @@ func TestOverlapEvolutionEmptyTrace(t *testing.T) {
 	if g := OverlapEvolution(&trace.Trace{}, OverlapEvolutionOptions{}); g != nil {
 		t.Errorf("empty trace gave %v", g)
 	}
-	levels, _ := ObservedOverlapLevels(&trace.Trace{})
+	levels, _ := ObservedOverlapLevels(&trace.Trace{}, nil)
 	if levels != nil {
 		t.Errorf("empty trace gave levels %v", levels)
 	}

@@ -165,6 +165,37 @@ func (c *Crawler) Run(days int) (*trace.Trace, error) {
 	return c.builder.Build(), nil
 }
 
+// RunStream crawls like Run but hands each completed day straight to the
+// sink (typically an open trace.EDTWriter) and drops it from memory, so
+// the crawl's resident set stays one day deep no matter how long the
+// capture runs. Identity metadata still accumulates (it is the trace's
+// symbol table); read it with Meta when the run ends to finalize the
+// sink. The recorded days and metadata are bit-identical to a Run of the
+// same world and config.
+func (c *Crawler) RunStream(days int, sink trace.DaySink) error {
+	for d := 0; d < days; d++ {
+		if d > 0 {
+			c.world.Step()
+		}
+		if err := c.crawlDay(d, days); err != nil {
+			return err
+		}
+		c.Stats.Days++
+		if snap, ok := c.builder.DrainDay(d); ok {
+			if err := sink.AppendDay(snap); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Meta returns the file and peer identities registered so far, as shared
+// read-only views (the arguments EDTWriter.Finish expects).
+func (c *Crawler) Meta() ([]trace.FileMeta, []trace.PeerInfo) {
+	return c.builder.Files(), c.builder.Peers()
+}
+
 // crawlDay brings the day's population online, runs the sweep and browses.
 func (c *Crawler) crawlDay(day, totalDays int) error {
 	c.server.DisconnectAll()

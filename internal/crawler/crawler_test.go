@@ -1,8 +1,11 @@
 package crawler
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
 
+	"edonkey/internal/trace"
 	"edonkey/internal/workload"
 )
 
@@ -153,3 +156,110 @@ func TestNewRejectsDeepPrefix(t *testing.T) {
 		t.Error("prefix length 4 accepted")
 	}
 }
+
+// RunStream must record exactly what Run records — same identities, same
+// snapshots, same stats — while handing days to the sink as they
+// complete, here through a full .edt round trip.
+func TestRunStreamMatchesRun(t *testing.T) {
+	cfg := crawlWorldConfig(9)
+
+	batchWorld, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchCrawler, err := New(batchWorld, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := batchCrawler.Run(cfg.Days)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamWorld, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamCrawler, err := New(streamWorld, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	ew, err := trace.NewEDTWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := streamCrawler.RunStream(cfg.Days, ew); err != nil {
+		t.Fatal(err)
+	}
+	files, peers := streamCrawler.Meta()
+	if err := ew.Finish(files, peers); err != nil {
+		t.Fatal(err)
+	}
+	if streamCrawler.Stats != batchCrawler.Stats {
+		t.Errorf("stats diverge: %+v vs %+v", streamCrawler.Stats, batchCrawler.Stats)
+	}
+
+	got, err := trace.Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want.Files, got.Files) {
+		t.Error("streamed trace: Files differ")
+	}
+	if !reflect.DeepEqual(want.Peers, got.Peers) {
+		t.Error("streamed trace: Peers differ")
+	}
+	if !reflect.DeepEqual(want.Days, got.Days) {
+		t.Error("streamed trace: Days differ")
+	}
+}
+
+// A trace can itself be the sink: appending streamed days to a Trace
+// whose metadata is grown alongside reproduces the batch result. This is
+// the in-memory incremental-ingest path (ROADMAP "Incremental
+// aggregates").
+func TestRunStreamIntoTrace(t *testing.T) {
+	cfg := crawlWorldConfig(10)
+	want, _, err := Crawl(cfg, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := New(w, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := &trace.Trace{}
+	sink := sinkFunc(func(s trace.Snapshot) error {
+		// Metadata grows as the crawl discovers identities; sync it
+		// before appending so AppendDay's validation sees the new ids.
+		got.Files, got.Peers = c.Meta()
+		if err := got.AppendDay(s); err != nil {
+			return err
+		}
+		_ = got.Observations() // force the store so appends maintain it
+		return nil
+	})
+	if err := c.RunStream(cfg.Days, sink); err != nil {
+		t.Fatal(err)
+	}
+	if got.Observations() != want.Observations() ||
+		got.FreeRiders() != want.FreeRiders() ||
+		got.DistinctFiles() != want.DistinctFiles() {
+		t.Errorf("incremental trace stats diverge: %d/%d/%d vs %d/%d/%d",
+			got.Observations(), got.FreeRiders(), got.DistinctFiles(),
+			want.Observations(), want.FreeRiders(), want.DistinctFiles())
+	}
+	if !reflect.DeepEqual(want.Days, got.Days) {
+		t.Error("incremental trace: Days differ")
+	}
+}
+
+type sinkFunc func(trace.Snapshot) error
+
+func (f sinkFunc) AppendDay(s trace.Snapshot) error { return f(s) }

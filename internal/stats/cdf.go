@@ -124,6 +124,15 @@ func (h *Histogram) AddN(k int, n int64) {
 	h.total += n
 }
 
+// Merge adds every bucket of o into h. Integer counts make merging
+// exact, so histograms accumulated in parallel shards and merged are
+// bit-identical to one serially filled histogram.
+func (h *Histogram) Merge(o *Histogram) {
+	for k, n := range o.counts {
+		h.AddN(k, n)
+	}
+}
+
 // Count returns the number of observations in bucket k.
 func (h *Histogram) Count(k int) int64 { return h.counts[k] }
 

@@ -67,6 +67,27 @@ func (b *Builder) NumPeers() int { return len(b.peers) }
 // NumFiles returns the number of registered files so far.
 func (b *Builder) NumFiles() int { return len(b.files) }
 
+// Files returns the file metadata registered so far, as a shared
+// read-only view. Streaming producers pair it with DrainDay to finalize
+// a trace file without ever materializing the whole trace.
+func (b *Builder) Files() []FileMeta { return b.files }
+
+// Peers returns the peer metadata registered so far (shared, read-only).
+func (b *Builder) Peers() []PeerInfo { return b.peers }
+
+// DrainDay removes and returns the snapshot for the given day; ok is
+// false when the day recorded no observations. A streaming producer
+// calls it after finishing each day so the builder holds at most the day
+// in flight, instead of the whole trace.
+func (b *Builder) DrainDay(day int) (s Snapshot, ok bool) {
+	m := b.days[day]
+	if m == nil {
+		return Snapshot{}, false
+	}
+	delete(b.days, day)
+	return Snapshot{Day: day, Caches: m}, true
+}
+
 // Build finalizes the trace. The builder may keep being used afterwards;
 // the returned trace does not alias builder state that later calls mutate
 // (snapshot maps are shared until the next Observe on the same day).

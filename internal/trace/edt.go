@@ -1,0 +1,1010 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"slices"
+)
+
+// The .edt trace format (EDonkey Trace, version 1) serializes the
+// columnar layout of internal/tracestore directly, so a trace can be
+// written day by day as a crawl progresses and read day by day without
+// decoding the rest of the file:
+//
+//	magic "EDTRACE1"
+//	one section per observed day, ascending
+//	files section (string table + per-file metadata)
+//	peers section (string table + per-peer metadata)
+//	footer section (per-day offsets and stats, table offsets)
+//	tail: uint64 footer offset + magic "EDTFOOT1"
+//
+// Every section is framed as {kind byte, codec byte, uint32 stored
+// length, uint32 raw length} followed by the body, either stored raw or
+// as a DEFLATE stream. Day bodies are the CSR rows of that day as column
+// streams: observed peer ids ascending (an entry with an empty cache is
+// an observed free-rider), then per-entry tags, then the id payloads,
+// every ascending id run stored as (delta-1) unsigned varints — the
+// peer-id column of a well-observed day is mostly zero bytes and a
+// clustered cache costs about a byte per posting.
+//
+// Caches churn slowly (the paper measures ~5 files/day against caches of
+// ~100), so most of a day repeats the previous observation. Day sections
+// therefore come in two flavors, keyframes and deltas, exactly like
+// video codecs: every edtKeyframeEvery-th section is a keyframe whose
+// entries are all absolute caches, and in between an entry may encode
+// its cache as removals+additions against the same peer's previous
+// observation since the last keyframe (the writer picks whichever is
+// smaller per entry). That makes the steady-state cost of a day
+// proportional to the churn, not the cache size — the raw varint columns
+// end up smaller than DEFLATE could get the absolute encoding, while
+// decoding stays a linear scan with no entropy coder. A partial load
+// starts at the nearest keyframe at or before the requested range, so
+// random access costs at most edtKeyframeEvery-1 extra sections.
+//
+// The identity tables split their incompressible hash/IP columns into
+// raw sections and run the rest (very compressible name strings) through
+// DEFLATE; readers honor whatever codec each section declares. The
+// footer lets a reader seek straight to any day and carries the per-day
+// row/posting counts so tools can report on a capture without decoding
+// it.
+const (
+	edtMagic     = "EDTRACE1"
+	edtTailMagic = "EDTFOOT1"
+
+	edtKindDay       = byte('D')
+	edtKindFiles     = byte('F')
+	edtKindFileHash  = byte('f')
+	edtKindPeers     = byte('P')
+	edtKindPeerIdent = byte('p')
+	edtKindFoot      = byte('X')
+
+	edtCodecRaw   = byte(0)
+	edtCodecFlate = byte(1)
+
+	// edtKeyframeEvery is the keyframe cadence: day section indices
+	// divisible by it carry absolute caches only and reset the delta
+	// chain, bounding how much a partial load must replay.
+	edtKeyframeEvery = 8
+
+	// edtFlagKeyframe marks a self-contained day section in the footer.
+	edtFlagKeyframe = 1
+
+	// edtMaxSection caps a single section's raw body, bounding what a
+	// corrupted (or hostile) length field can make the reader allocate.
+	edtMaxSection = 1 << 30
+
+	edtSectionHeader = 10 // kind + codec + stored + raw length
+	edtTailLen       = 16 // footer offset + tail magic
+)
+
+// IsEDT reports whether the stream starts with the .edt format magic —
+// the format-sniffing primitive ReadFile, Decode and edtrace share.
+func IsEDT(r io.ReaderAt) bool {
+	var magic [len(edtMagic)]byte
+	n, _ := r.ReadAt(magic[:], 0)
+	return n == len(magic) && string(magic[:]) == edtMagic
+}
+
+// EDTDayInfo is the footer's record of one day section: enough to report
+// on a capture (edtrace info) without decoding any postings.
+type EDTDayInfo struct {
+	// Day is the trace day the section covers.
+	Day int
+	// Rows is the number of observed peers (free-riders included).
+	Rows int
+	// Postings is the number of (peer, file) entries (after delta
+	// reconstruction; deltas store only the churn).
+	Postings int
+
+	flags int
+	off   int64 // absolute offset of the section header
+}
+
+// Keyframe reports whether the section is self-contained (absolute
+// caches only); delta sections decode by replaying from the nearest
+// preceding keyframe.
+func (d EDTDayInfo) Keyframe() bool { return d.flags&edtFlagKeyframe != 0 }
+
+// EDTWriter streams a trace into the .edt format: days are appended as
+// they complete and never buffered, so a crawler's resident set stays
+// one day deep; Finish writes the identity tables and the footer index.
+// The writer never seeks — any io.Writer works — and does not close the
+// underlying writer.
+type EDTWriter struct {
+	w    io.Writer
+	off  int64
+	days []EDTDayInfo
+	// lastCache tracks each peer's most recent cache since the last
+	// keyframe, the delta-encoding base. It holds references to appended
+	// caches, which callers must not mutate afterwards (Builder.DrainDay
+	// hands ownership over; Trace days are immutable).
+	lastCache map[PeerID][]FileID
+	// largest ids referenced by any day, checked against the tables in
+	// Finish so a file can never reference identities it does not carry.
+	maxPeer int64
+	maxFile int64
+	done    bool
+}
+
+// NewEDTWriter writes the format magic and returns an open writer.
+func NewEDTWriter(w io.Writer) (*EDTWriter, error) {
+	ew := &EDTWriter{w: w, maxPeer: -1, maxFile: -1, lastCache: make(map[PeerID][]FileID)}
+	if err := ew.write([]byte(edtMagic)); err != nil {
+		return nil, err
+	}
+	return ew, nil
+}
+
+func (ew *EDTWriter) write(p []byte) error {
+	n, err := ew.w.Write(p)
+	ew.off += int64(n)
+	if err != nil {
+		return fmt.Errorf("trace: edt write: %w", err)
+	}
+	return nil
+}
+
+// writeSection frames one section body under the given codec.
+func (ew *EDTWriter) writeSection(kind, codec byte, body []byte) error {
+	if len(body) > edtMaxSection {
+		return fmt.Errorf("trace: edt section exceeds %d bytes", edtMaxSection)
+	}
+	stored := body
+	if codec == edtCodecFlate {
+		var comp bytes.Buffer
+		fw, err := flate.NewWriter(&comp, flate.DefaultCompression)
+		if err != nil {
+			return err
+		}
+		if _, err := fw.Write(body); err != nil {
+			return err
+		}
+		if err := fw.Close(); err != nil {
+			return err
+		}
+		stored = comp.Bytes()
+	}
+	hdr := make([]byte, edtSectionHeader)
+	hdr[0] = kind
+	hdr[1] = codec
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(stored)))
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(len(body)))
+	if err := ew.write(hdr); err != nil {
+		return err
+	}
+	return ew.write(stored)
+}
+
+// AppendDay writes one day section. Days must arrive in strictly
+// ascending order with sorted duplicate-free caches (what Builder and
+// Trace both guarantee). AppendDay implements DaySink.
+func (ew *EDTWriter) AppendDay(s Snapshot) error {
+	if ew.done {
+		return fmt.Errorf("trace: edt: AppendDay after Finish")
+	}
+	if s.Day < 0 {
+		return fmt.Errorf("trace: edt: negative day %d", s.Day)
+	}
+	if n := len(ew.days); n > 0 && s.Day <= ew.days[n-1].Day {
+		return fmt.Errorf("trace: edt: day %d not after %d", s.Day, ew.days[n-1].Day)
+	}
+	pids := make([]PeerID, 0, len(s.Caches))
+	for pid := range s.Caches {
+		pids = append(pids, pid)
+	}
+	slices.Sort(pids)
+
+	keyframe := len(ew.days)%edtKeyframeEvery == 0
+	if keyframe {
+		clear(ew.lastCache) // delta bases may not cross a keyframe
+	}
+
+	// Column streams; every ascending id run encodes as (delta-1) with an
+	// implicit -1 predecessor, so first elements land as absolute values.
+	// Tags pick the per-entry encoding: len<<1 for an absolute cache,
+	// (nRemoved<<1)|1 for a diff against the peer's previous observation.
+	nnz := 0
+	var tags, addLens, payload []byte
+	var removed, added []FileID
+	for _, pid := range pids {
+		cache := s.Caches[pid]
+		for i, f := range cache {
+			if i > 0 && cache[i-1] >= f {
+				return fmt.Errorf("trace: edt: day %d peer %d cache not sorted/unique", s.Day, pid)
+			}
+		}
+		nnz += len(cache)
+		if len(cache) > 0 {
+			ew.maxFile = max(ew.maxFile, int64(cache[len(cache)-1]))
+		}
+		prev, hasPrev := ew.lastCache[pid]
+		if hasPrev && !keyframe {
+			removed, added = diffSorted(prev, cache, removed[:0], added[:0])
+			if len(removed)+len(added) < len(cache) {
+				tags = binary.AppendUvarint(tags, uint64(len(removed))<<1|1)
+				addLens = binary.AppendUvarint(addLens, uint64(len(added)))
+				payload = appendIDRun(payload, removed)
+				payload = appendIDRun(payload, added)
+				ew.lastCache[pid] = cache
+				continue
+			}
+		}
+		tags = binary.AppendUvarint(tags, uint64(len(cache))<<1)
+		payload = appendIDRun(payload, cache)
+		ew.lastCache[pid] = cache
+	}
+
+	body := binary.AppendUvarint(nil, uint64(s.Day))
+	body = binary.AppendUvarint(body, uint64(len(pids)))
+	prevP := int64(-1)
+	for _, pid := range pids {
+		body = binary.AppendUvarint(body, uint64(int64(pid)-prevP-1))
+		prevP = int64(pid)
+	}
+	ew.maxPeer = max(ew.maxPeer, prevP)
+	body = append(body, tags...)
+	body = append(body, addLens...)
+	body = append(body, payload...)
+
+	flags := 0
+	if keyframe {
+		flags = edtFlagKeyframe
+	}
+	info := EDTDayInfo{Day: s.Day, Rows: len(pids), Postings: nnz, flags: flags, off: ew.off}
+	if err := ew.writeSection(edtKindDay, edtCodecRaw, body); err != nil {
+		return err
+	}
+	ew.days = append(ew.days, info)
+	return nil
+}
+
+// appendIDRun delta-encodes one strictly ascending id list.
+func appendIDRun(body []byte, ids []FileID) []byte {
+	prev := int64(-1)
+	for _, f := range ids {
+		body = binary.AppendUvarint(body, uint64(int64(f)-prev-1))
+		prev = int64(f)
+	}
+	return body
+}
+
+// diffSorted computes cur relative to prev (both sorted, duplicate-free):
+// removed = prev\cur, added = cur\prev, appended to the given scratch.
+func diffSorted(prev, cur, removed, added []FileID) (rem, add []FileID) {
+	i, j := 0, 0
+	for i < len(prev) && j < len(cur) {
+		switch {
+		case prev[i] < cur[j]:
+			removed = append(removed, prev[i])
+			i++
+		case prev[i] > cur[j]:
+			added = append(added, cur[j])
+			j++
+		default:
+			i++
+			j++
+		}
+	}
+	removed = append(removed, prev[i:]...)
+	added = append(added, cur[j:]...)
+	return removed, added
+}
+
+// Finish writes the identity tables, the footer index and the tail.
+// After Finish the writer is closed to further appends; the underlying
+// io.Writer remains the caller's to flush and close.
+func (ew *EDTWriter) Finish(files []FileMeta, peers []PeerInfo) error {
+	if ew.done {
+		return fmt.Errorf("trace: edt: Finish called twice")
+	}
+	if ew.maxFile >= int64(len(files)) || ew.maxPeer >= int64(len(peers)) {
+		return fmt.Errorf("trace: edt: day sections reference file %d / peer %d beyond tables (%d files, %d peers)",
+			ew.maxFile, ew.maxPeer, len(files), len(peers))
+	}
+	ew.done = true
+	ew.lastCache = nil
+
+	// Identity hashes are cryptographic noise: they go into raw sections
+	// so loading them is a copy, not an entropy decode. The remaining
+	// columns (mostly names) compress extremely well and stay DEFLATE'd.
+	body := make([]byte, 0, 16*len(files))
+	for _, f := range files {
+		body = append(body, f.Hash[:]...)
+	}
+	fileHashOff := ew.off
+	if err := ew.writeSection(edtKindFileHash, edtCodecRaw, body); err != nil {
+		return err
+	}
+
+	// Metadata is laid out column-wise (all name lengths, all name bytes,
+	// all sizes, ...): DEFLATE models each column far better than an
+	// interleaved stream, and the reader can rebuild every string as a
+	// slice of one shared backing array instead of one allocation each.
+	body = binary.AppendUvarint(body[:0], uint64(len(files)))
+	for _, f := range files {
+		body = binary.AppendUvarint(body, uint64(len(f.Name)))
+	}
+	for _, f := range files {
+		body = append(body, f.Name...)
+	}
+	for _, f := range files {
+		body = binary.AppendVarint(body, f.Size)
+	}
+	for _, f := range files {
+		body = append(body, byte(f.Kind))
+	}
+	for _, f := range files {
+		body = binary.AppendVarint(body, int64(f.Topic))
+	}
+	for _, f := range files {
+		body = binary.AppendVarint(body, int64(f.ReleaseDay))
+	}
+	filesOff := ew.off
+	if err := ew.writeSection(edtKindFiles, edtCodecFlate, body); err != nil {
+		return err
+	}
+
+	body = body[:0]
+	for _, p := range peers {
+		body = append(body, p.UserHash[:]...)
+		body = binary.LittleEndian.AppendUint32(body, p.IP)
+	}
+	peerIdentOff := ew.off
+	if err := ew.writeSection(edtKindPeerIdent, edtCodecRaw, body); err != nil {
+		return err
+	}
+
+	body = binary.AppendUvarint(body[:0], uint64(len(peers)))
+	for _, p := range peers {
+		body = binary.AppendUvarint(body, uint64(len(p.Country)))
+	}
+	for _, p := range peers {
+		body = append(body, p.Country...)
+	}
+	for _, p := range peers {
+		body = binary.AppendUvarint(body, uint64(len(p.Nickname)))
+	}
+	for _, p := range peers {
+		body = append(body, p.Nickname...)
+	}
+	for _, p := range peers {
+		body = binary.AppendUvarint(body, uint64(p.ASN))
+	}
+	for _, p := range peers {
+		var flags byte
+		if p.Firewalled {
+			flags |= 1
+		}
+		if p.BrowseOK {
+			flags |= 2
+		}
+		body = append(body, flags)
+	}
+	for _, p := range peers {
+		body = binary.AppendVarint(body, int64(p.AliasOf))
+	}
+	peersOff := ew.off
+	if err := ew.writeSection(edtKindPeers, edtCodecFlate, body); err != nil {
+		return err
+	}
+
+	body = binary.AppendUvarint(body[:0], uint64(len(peers)))
+	body = binary.AppendUvarint(body, uint64(len(files)))
+	body = binary.AppendUvarint(body, uint64(len(ew.days)))
+	for _, d := range ew.days {
+		body = binary.AppendUvarint(body, uint64(d.Day))
+		body = binary.AppendUvarint(body, uint64(d.off))
+		body = binary.AppendUvarint(body, uint64(d.Rows))
+		body = binary.AppendUvarint(body, uint64(d.Postings))
+		body = binary.AppendUvarint(body, uint64(d.flags))
+	}
+	body = binary.AppendUvarint(body, uint64(fileHashOff))
+	body = binary.AppendUvarint(body, uint64(filesOff))
+	body = binary.AppendUvarint(body, uint64(peerIdentOff))
+	body = binary.AppendUvarint(body, uint64(peersOff))
+	footerOff := ew.off
+	if err := ew.writeSection(edtKindFoot, edtCodecFlate, body); err != nil {
+		return err
+	}
+
+	tail := binary.LittleEndian.AppendUint64(nil, uint64(footerOff))
+	tail = append(tail, edtTailMagic...)
+	return ew.write(tail)
+}
+
+// WriteEDT writes the whole trace in the .edt format.
+func (t *Trace) WriteEDT(w io.Writer) error {
+	ew, err := NewEDTWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, s := range t.Days {
+		if err := ew.AppendDay(s); err != nil {
+			return err
+		}
+	}
+	return ew.Finish(t.Files, t.Peers)
+}
+
+// EDTReader is the random-access side of the format: the footer is read
+// once, then identity tables and individual day sections are decoded on
+// demand. Any io.ReaderAt works; nothing is cached beyond the footer, so
+// readers are safe for concurrent use.
+type EDTReader struct {
+	r            io.ReaderAt
+	days         []EDTDayInfo
+	numPeers     int
+	numFiles     int
+	fileHashOff  int64
+	filesOff     int64
+	peerIdentOff int64
+	peersOff     int64
+}
+
+// NewEDTReader validates the magic, tail and footer of an .edt stream.
+func NewEDTReader(r io.ReaderAt, size int64) (*EDTReader, error) {
+	if size < int64(len(edtMagic))+edtTailLen {
+		return nil, fmt.Errorf("trace: edt: truncated file (%d bytes)", size)
+	}
+	head := make([]byte, len(edtMagic))
+	if _, err := r.ReadAt(head, 0); err != nil {
+		return nil, fmt.Errorf("trace: edt: %w", err)
+	}
+	if string(head) != edtMagic {
+		return nil, fmt.Errorf("trace: edt: bad magic")
+	}
+	tail := make([]byte, edtTailLen)
+	if _, err := r.ReadAt(tail, size-edtTailLen); err != nil {
+		return nil, fmt.Errorf("trace: edt: %w", err)
+	}
+	if string(tail[8:]) != edtTailMagic {
+		return nil, fmt.Errorf("trace: edt: bad tail magic (truncated write?)")
+	}
+	footerOff := int64(binary.LittleEndian.Uint64(tail))
+	er := &EDTReader{r: r}
+	body, err := er.section(footerOff, size, edtKindFoot)
+	if err != nil {
+		return nil, err
+	}
+	br := byteReader{buf: body}
+	numPeers := br.uvarint()
+	numFiles := br.uvarint()
+	numDays := br.count(5)
+	// Every claimed element occupies real bytes somewhere in the file —
+	// 20 per peer in the identity section, 16 per file hash, a 10-byte
+	// header per day section — so counts are bounded by the actual file
+	// size, and nothing a hostile footer claims can make allocations
+	// exceed a small multiple of the bytes it actually ships.
+	if numPeers > uint64(size)/20+1 || numFiles > uint64(size)/16+1 ||
+		numDays > uint64(size)/edtSectionHeader+1 {
+		return nil, fmt.Errorf("trace: edt: footer counts exceed file size")
+	}
+	er.numPeers, er.numFiles = int(numPeers), int(numFiles)
+	er.days = make([]EDTDayInfo, 0, numDays)
+	lastDay := int64(-1)
+	for i := uint64(0); i < numDays; i++ {
+		day, off := br.uvarint(), br.uvarint()
+		rows, nnz := br.uvarint(), br.uvarint()
+		flags := br.uvarint()
+		if int64(day) <= lastDay {
+			return nil, fmt.Errorf("trace: edt: footer days not ascending")
+		}
+		lastDay = int64(day)
+		if off < uint64(len(edtMagic)) || int64(off) >= footerOff {
+			return nil, fmt.Errorf("trace: edt: day offset out of range")
+		}
+		if i == 0 && flags&edtFlagKeyframe == 0 {
+			return nil, fmt.Errorf("trace: edt: first day section is not a keyframe")
+		}
+		er.days = append(er.days, EDTDayInfo{
+			Day: int(day), Rows: int(rows), Postings: int(nnz),
+			flags: int(flags), off: int64(off),
+		})
+	}
+	er.fileHashOff = int64(br.uvarint())
+	er.filesOff = int64(br.uvarint())
+	er.peerIdentOff = int64(br.uvarint())
+	er.peersOff = int64(br.uvarint())
+	if br.err != nil {
+		return nil, fmt.Errorf("trace: edt: corrupt footer: %w", br.err)
+	}
+	if er.fileHashOff >= footerOff || er.filesOff >= footerOff ||
+		er.peerIdentOff >= footerOff || er.peersOff >= footerOff {
+		return nil, fmt.Errorf("trace: edt: table offset out of range")
+	}
+	return er, nil
+}
+
+// section reads and decompresses the section at off, checking its kind.
+// limit bounds how far the compressed payload may extend.
+func (er *EDTReader) section(off, limit int64, kind byte) ([]byte, error) {
+	if off < 0 || off+edtSectionHeader > limit {
+		return nil, fmt.Errorf("trace: edt: section header out of range")
+	}
+	hdr := make([]byte, edtSectionHeader)
+	if _, err := er.r.ReadAt(hdr, off); err != nil {
+		return nil, fmt.Errorf("trace: edt: %w", err)
+	}
+	if hdr[0] != kind {
+		return nil, fmt.Errorf("trace: edt: section kind %q, want %q", hdr[0], kind)
+	}
+	codec := hdr[1]
+	storedLen := int64(binary.LittleEndian.Uint32(hdr[2:]))
+	rawLen := int64(binary.LittleEndian.Uint32(hdr[6:]))
+	if rawLen > edtMaxSection || off+edtSectionHeader+storedLen > limit {
+		return nil, fmt.Errorf("trace: edt: section length out of range")
+	}
+	switch codec {
+	case edtCodecRaw:
+		if storedLen != rawLen {
+			return nil, fmt.Errorf("trace: edt: raw section length mismatch")
+		}
+		body := make([]byte, rawLen)
+		if _, err := er.r.ReadAt(body, off+edtSectionHeader); err != nil {
+			return nil, fmt.Errorf("trace: edt: %w", err)
+		}
+		return body, nil
+	case edtCodecFlate:
+		fr := flate.NewReader(io.NewSectionReader(er.r, off+edtSectionHeader, storedLen))
+		defer fr.Close()
+		body := make([]byte, rawLen)
+		if _, err := io.ReadFull(fr, body); err != nil {
+			return nil, fmt.Errorf("trace: edt: decompress: %w", err)
+		}
+		var extra [1]byte
+		if n, _ := fr.Read(extra[:]); n != 0 {
+			return nil, fmt.Errorf("trace: edt: section longer than declared")
+		}
+		return body, nil
+	default:
+		return nil, fmt.Errorf("trace: edt: unknown section codec %d", codec)
+	}
+}
+
+// NumDays returns the number of day sections.
+func (er *EDTReader) NumDays() int { return len(er.days) }
+
+// NumPeers returns the size of the peer table.
+func (er *EDTReader) NumPeers() int { return er.numPeers }
+
+// NumFiles returns the size of the file table.
+func (er *EDTReader) NumFiles() int { return er.numFiles }
+
+// DayInfo returns the footer stats of the i-th day section — no decoding.
+func (er *EDTReader) DayInfo(i int) EDTDayInfo { return er.days[i] }
+
+// Meta decodes the identity tables.
+func (er *EDTReader) Meta() ([]FileMeta, []PeerInfo, error) {
+	hashes, err := er.section(er.fileHashOff, er.fileHashOff+edtSectionHeader+edtMaxSection, edtKindFileHash)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(hashes) != 16*er.numFiles {
+		return nil, nil, fmt.Errorf("trace: edt: file hash column size mismatch")
+	}
+	fbody, err := er.section(er.filesOff, er.filesOff+edtSectionHeader+edtMaxSection, edtKindFiles)
+	if err != nil {
+		return nil, nil, err
+	}
+	br := byteReader{buf: fbody}
+	nFiles := br.count(4) // ≥4 bytes of fields per file
+	if uint64(er.numFiles) != nFiles {
+		return nil, nil, fmt.Errorf("trace: edt: file table count mismatch")
+	}
+	files := make([]FileMeta, nFiles)
+	fileNames := br.strColumn(int(nFiles))
+	for i := range files {
+		files[i].ID = FileID(i)
+		copy(files[i].Hash[:], hashes[16*i:])
+		files[i].Name = fileNames(i)
+	}
+	for i := range files {
+		files[i].Size = br.varint()
+	}
+	for i := range files {
+		if k := br.byte(); k < byte(numKinds) {
+			files[i].Kind = FileKind(k)
+		} else {
+			br.fail("file kind out of range")
+		}
+	}
+	for i := range files {
+		files[i].Topic = int32(br.varint())
+	}
+	for i := range files {
+		files[i].ReleaseDay = int32(br.varint())
+	}
+	if br.err != nil {
+		return nil, nil, fmt.Errorf("trace: edt: corrupt file table: %w", br.err)
+	}
+
+	idents, err := er.section(er.peerIdentOff, er.peerIdentOff+edtSectionHeader+edtMaxSection, edtKindPeerIdent)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(idents) != 20*er.numPeers {
+		return nil, nil, fmt.Errorf("trace: edt: peer identity column size mismatch")
+	}
+	pbody, err := er.section(er.peersOff, er.peersOff+edtSectionHeader+edtMaxSection, edtKindPeers)
+	if err != nil {
+		return nil, nil, err
+	}
+	br = byteReader{buf: pbody}
+	nPeers := br.count(4) // ≥4 bytes of fields per peer
+	if uint64(er.numPeers) != nPeers {
+		return nil, nil, fmt.Errorf("trace: edt: peer table count mismatch")
+	}
+	peers := make([]PeerInfo, nPeers)
+	countries := br.strColumn(int(nPeers))
+	for i := range peers {
+		peers[i].ID = PeerID(i)
+		copy(peers[i].UserHash[:], idents[20*i:])
+		peers[i].IP = binary.LittleEndian.Uint32(idents[20*i+16:])
+		peers[i].Country = countries(i)
+	}
+	nicks := br.strColumn(int(nPeers))
+	for i := range peers {
+		peers[i].Nickname = nicks(i)
+	}
+	for i := range peers {
+		peers[i].ASN = uint32(br.uvarint())
+	}
+	for i := range peers {
+		flags := br.byte()
+		peers[i].Firewalled = flags&1 != 0
+		peers[i].BrowseOK = flags&2 != 0
+	}
+	for i := range peers {
+		alias := br.varint()
+		if alias >= int64(nPeers) || alias < -(1<<31) {
+			br.fail("alias out of range")
+			break
+		}
+		peers[i].AliasOf = int32(alias)
+	}
+	if br.err != nil {
+		return nil, nil, fmt.Errorf("trace: edt: corrupt peer table: %w", br.err)
+	}
+	return files, peers, nil
+}
+
+// Day decodes the i-th day section into a Snapshot. A keyframe section
+// decodes alone; a delta section replays forward from the nearest
+// keyframe at or before it (at most edtKeyframeEvery-1 extra sections).
+func (er *EDTReader) Day(i int) (Snapshot, error) {
+	if i < 0 || i >= len(er.days) {
+		return Snapshot{}, fmt.Errorf("trace: edt: day index %d out of range", i)
+	}
+	start := i
+	for start > 0 && !er.days[start].Keyframe() {
+		start--
+	}
+	state := make(map[PeerID][]FileID)
+	for j := start; j < i; j++ {
+		if _, err := er.decodeDay(j, state, false); err != nil {
+			return Snapshot{}, err
+		}
+	}
+	return er.decodeDay(i, state, true)
+}
+
+// decodeDay decodes one section against the running per-peer cache state
+// (the delta chain), updating it in place by replacement — previously
+// returned snapshots never alias slices that later days mutate. Run-up
+// days decoded only to advance the chain pass wantSnapshot=false and
+// skip the Snapshot map construction entirely.
+func (er *EDTReader) decodeDay(i int, state map[PeerID][]FileID, wantSnapshot bool) (Snapshot, error) {
+	info := er.days[i]
+	body, err := er.section(info.off, info.off+edtSectionHeader+edtMaxSection, edtKindDay)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if info.Keyframe() {
+		clear(state) // delta bases may not cross a keyframe
+	}
+	// The footer's row count sizes allocations below; a corrupted footer
+	// cannot claim more entries than the section has bytes.
+	if info.Rows > len(body) {
+		return Snapshot{}, fmt.Errorf("trace: edt: day %d counts exceed section size", info.Day)
+	}
+	br := byteReader{buf: body}
+	if day := br.uvarint(); br.err == nil && int(day) != info.Day {
+		return Snapshot{}, fmt.Errorf("trace: edt: day section %d claims day %d", info.Day, day)
+	}
+	nRows := br.count(2)
+	if int(nRows) != info.Rows {
+		return Snapshot{}, fmt.Errorf("trace: edt: day %d row count mismatch", info.Day)
+	}
+	if int(nRows) > er.numPeers {
+		// More observed rows than peers is impossible for a valid file
+		// (pids are strictly ascending below numPeers) and would let a
+		// corrupted section inflate the allocations that follow.
+		return Snapshot{}, fmt.Errorf("trace: edt: day %d claims %d rows for %d peers", info.Day, nRows, er.numPeers)
+	}
+	pids := make([]PeerID, 0, nRows)
+	prevP := int64(-1)
+	for r := uint64(0); r < nRows && br.err == nil; r++ {
+		pid := prevP + 1 + int64(br.delta())
+		prevP = pid
+		if pid >= int64(er.numPeers) {
+			return Snapshot{}, fmt.Errorf("trace: edt: day %d references peer %d beyond table", info.Day, pid)
+		}
+		pids = append(pids, PeerID(pid))
+	}
+	// Tags: absolute cache length (<<1) or diff removal count (<<1 | 1);
+	// diffs carry their addition count in the next column. payloadIDs
+	// tracks how many ids the payload column must still provide, bounding
+	// every count against the actual section size.
+	tags := make([]uint64, 0, nRows)
+	addLens := make([]uint64, 0, nRows)
+	payloadIDs := uint64(0)
+	nDiffs := 0
+	for r := uint64(0); r < nRows && br.err == nil; r++ {
+		tag := br.uvarint()
+		tags = append(tags, tag)
+		payloadIDs += tag >> 1
+		if tag&1 != 0 {
+			nDiffs++
+		}
+	}
+	for d := 0; d < nDiffs && br.err == nil; d++ {
+		n := br.uvarint()
+		addLens = append(addLens, n)
+		payloadIDs += n
+	}
+	if br.err == nil && payloadIDs > uint64(len(body)-br.off) {
+		return Snapshot{}, fmt.Errorf("trace: edt: day %d counts exceed section size", info.Day)
+	}
+	numFiles := int64(er.numFiles)
+	var s Snapshot
+	if wantSnapshot {
+		s = Snapshot{Day: info.Day, Caches: make(map[PeerID][]FileID, nRows)}
+	}
+	nnz := 0
+	diff := 0
+	var scratch []FileID
+	for r := 0; r < len(pids) && br.err == nil; r++ {
+		pid := pids[r]
+		tag := tags[r]
+		var cache []FileID // empty caches stay nil, like Builder.Observe
+		if tag&1 == 0 {
+			if n := tag >> 1; n > 0 {
+				cache = make([]FileID, 0, n)
+				cache, err = br.idRun(cache, n, numFiles)
+				if err != nil {
+					return Snapshot{}, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+				}
+			}
+		} else {
+			prev, ok := state[pid]
+			if !ok {
+				return Snapshot{}, fmt.Errorf("trace: edt: day %d: delta for peer %d without a base", info.Day, pid)
+			}
+			nRem, nAdd := tag>>1, addLens[diff]
+			diff++
+			scratch = scratch[:0]
+			if scratch, err = br.idRun(scratch, nRem, numFiles); err != nil {
+				return Snapshot{}, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+			}
+			if scratch, err = br.idRun(scratch, nAdd, numFiles); err != nil {
+				return Snapshot{}, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+			}
+			removed, added := scratch[:nRem], scratch[nRem:]
+			if cache, err = applyDiff(prev, removed, added); err != nil {
+				return Snapshot{}, fmt.Errorf("trace: edt: day %d peer %d: %w", info.Day, pid, err)
+			}
+		}
+		nnz += len(cache)
+		state[pid] = cache
+		if wantSnapshot {
+			s.Caches[pid] = cache
+		}
+	}
+	if br.err != nil {
+		return Snapshot{}, fmt.Errorf("trace: edt: corrupt day %d: %w", info.Day, br.err)
+	}
+	if nnz != info.Postings {
+		return Snapshot{}, fmt.Errorf("trace: edt: day %d posting count mismatch", info.Day)
+	}
+	return s, nil
+}
+
+// applyDiff reconstructs a cache from its base: removed must be a subset
+// of prev, added must be disjoint from what remains; both are sorted, so
+// one linear merge rebuilds the cache and verifies the invariants.
+func applyDiff(prev, removed, added []FileID) ([]FileID, error) {
+	if len(removed) > len(prev) {
+		return nil, fmt.Errorf("removes %d of %d entries", len(removed), len(prev))
+	}
+	out := make([]FileID, 0, len(prev)-len(removed)+len(added))
+	i, j := 0, 0
+	for _, p := range prev {
+		if i < len(removed) && removed[i] == p {
+			i++
+			continue
+		}
+		for j < len(added) && added[j] < p {
+			out = append(out, added[j])
+			j++
+		}
+		if j < len(added) && added[j] == p {
+			return nil, fmt.Errorf("delta adds file %d already present", p)
+		}
+		out = append(out, p)
+	}
+	if i < len(removed) {
+		return nil, fmt.Errorf("delta removes file %d not in base", removed[i])
+	}
+	out = append(out, added[j:]...)
+	if len(out) == 0 {
+		return nil, nil // an emptied cache stays nil, like Builder.Observe
+	}
+	return out, nil
+}
+
+// Trace decodes the whole file.
+func (er *EDTReader) Trace() (*Trace, error) {
+	return er.TraceRange(0, len(er.days))
+}
+
+// TraceRange decodes only the day sections in index range [lo, hi) —
+// plus the keyframe run-up before lo, decoded but discarded — along with
+// the identity tables: the partial-load path that lets analyses over a
+// week of a multi-month capture skip the rest. The result needs no
+// Validate pass: every invariant Validate checks (days ascending, ids in
+// range, caches strictly sorted, identity fields matching their index)
+// is enforced structurally during decoding, which FuzzReadTrace pins by
+// validating whatever this returns.
+func (er *EDTReader) TraceRange(lo, hi int) (*Trace, error) {
+	if lo < 0 || hi > len(er.days) || lo > hi {
+		return nil, fmt.Errorf("trace: edt: day range [%d, %d) out of [0, %d)", lo, hi, len(er.days))
+	}
+	files, peers, err := er.Meta()
+	if err != nil {
+		return nil, err
+	}
+	start := lo
+	for start > 0 && start < len(er.days) && !er.days[start].Keyframe() {
+		start--
+	}
+	t := &Trace{Files: files, Peers: peers}
+	state := make(map[PeerID][]FileID)
+	for i := start; i < hi; i++ {
+		s, err := er.decodeDay(i, state, i >= lo)
+		if err != nil {
+			return nil, err
+		}
+		if i >= lo {
+			t.Days = append(t.Days, s)
+		}
+	}
+	return t, nil
+}
+
+// byteReader decodes varint-framed section bodies with saturating error
+// handling: after the first failure every accessor returns zero values,
+// so decode loops stay branch-light and cannot run past the buffer.
+type byteReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *byteReader) fail(msg string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%s at offset %d", msg, r.off)
+	}
+}
+
+func (r *byteReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *byteReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// delta reads a (delta-1) id gap, which is at most 2^32 for valid files
+// (ids are strictly ascending uint32s); anything larger would overflow
+// the running id and is rejected.
+func (r *byteReader) delta() uint64 {
+	v := r.uvarint()
+	if r.err == nil && v > 1<<32 {
+		r.fail("id delta out of range")
+		return 0
+	}
+	return v
+}
+
+// count reads an element count and rejects values that could not
+// possibly fit in the remaining bytes at minBytes per element, which
+// bounds allocations against corrupted counts.
+func (r *byteReader) count(minBytes int) uint64 {
+	v := r.uvarint()
+	if r.err == nil && v > uint64(len(r.buf)-r.off)/uint64(minBytes)+1 {
+		r.fail("count exceeds section size")
+		return 0
+	}
+	return v
+}
+
+func (r *byteReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(r.buf)-r.off {
+		r.fail("field extends past section")
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// strColumn reads one string column (n lengths, then the concatenated
+// bytes) and returns an accessor; all returned strings slice one shared
+// backing string, so the column costs two allocations total.
+func (r *byteReader) strColumn(n int) func(i int) string {
+	offs := make([]int, n+1)
+	for i := 0; i < n; i++ {
+		offs[i+1] = offs[i] + int(r.count(1))
+	}
+	all := string(r.take(offs[n]))
+	if r.err != nil {
+		return func(int) string { return "" }
+	}
+	return func(i int) string { return all[offs[i]:offs[i+1]] }
+}
+
+// idRun appends n ids of a (delta-1)-encoded ascending run, rejecting
+// ids at or beyond limit. The single-byte fast path matters: clustered
+// caches make most gaps fit one varint byte.
+func (r *byteReader) idRun(out []FileID, n uint64, limit int64) ([]FileID, error) {
+	prev := int64(-1)
+	for j := uint64(0); j < n; j++ {
+		var d uint64
+		if r.err == nil && r.off < len(r.buf) && r.buf[r.off] < 0x80 {
+			d = uint64(r.buf[r.off])
+			r.off++
+		} else {
+			d = r.delta()
+			if r.err != nil {
+				return out, r.err
+			}
+		}
+		prev += 1 + int64(d)
+		if prev >= limit {
+			return out, fmt.Errorf("id %d beyond table", prev)
+		}
+		out = append(out, FileID(prev))
+	}
+	return out, nil
+}
+
+func (r *byteReader) byte() byte {
+	if b := r.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}

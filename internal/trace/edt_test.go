@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// randomRichTrace builds a structurally valid trace with adversarial-ish
+// metadata: unicode names, empty caches (observed free-riders), sparse
+// days, alias chains.
+func randomRichTrace(rng *rand.Rand) *Trace {
+	b := NewBuilder()
+	nFiles := 1 + rng.IntN(60)
+	nPeers := 1 + rng.IntN(40)
+	nDays := 1 + rng.IntN(8)
+	names := []string{"", "a", "Hôtel.mp3", "日本語タイトル", "x y\tz", "long-" + string(make([]byte, 40))}
+	for i := 0; i < nFiles; i++ {
+		var h [16]byte
+		for j := range h {
+			h[j] = byte(rng.Uint64())
+		}
+		b.AddFile(FileMeta{
+			Hash: h, Name: names[rng.IntN(len(names))], Size: rng.Int64N(1 << 40),
+			Kind: FileKind(rng.IntN(int(numKinds))), Topic: int32(rng.IntN(10)) - 1,
+			ReleaseDay: int32(rng.IntN(10)) - 1,
+		})
+	}
+	for i := 0; i < nPeers; i++ {
+		var h [16]byte
+		for j := range h {
+			h[j] = byte(rng.Uint64())
+		}
+		alias := int32(-1)
+		if i > 0 && rng.IntN(5) == 0 {
+			alias = int32(rng.IntN(i))
+		}
+		b.AddPeer(PeerInfo{
+			UserHash: h, IP: rng.Uint32(), Country: []string{"", "FR", "DE", "KR"}[rng.IntN(4)],
+			ASN: rng.Uint32N(1 << 17), Nickname: names[rng.IntN(len(names))],
+			Firewalled: rng.IntN(4) == 0, BrowseOK: rng.IntN(4) > 0, AliasOf: alias,
+		})
+	}
+	day := 0
+	for d := 0; d < nDays; d++ {
+		day += 1 + rng.IntN(3) // gaps between observed days
+		for p := 0; p < nPeers; p++ {
+			if rng.IntN(3) == 0 {
+				continue // not observed this day
+			}
+			var cache []FileID
+			if rng.IntN(5) > 0 { // otherwise an observed free-rider
+				n := rng.IntN(12)
+				for j := 0; j < n; j++ {
+					cache = append(cache, FileID(rng.IntN(nFiles)))
+				}
+			}
+			b.Observe(day, PeerID(p), cache)
+		}
+	}
+	return b.Build()
+}
+
+func tracesEqual(t *testing.T, want, got *Trace, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Files, got.Files) {
+		t.Fatalf("%s: Files differ", label)
+	}
+	if !reflect.DeepEqual(want.Peers, got.Peers) {
+		t.Fatalf("%s: Peers differ", label)
+	}
+	if !reflect.DeepEqual(want.Days, got.Days) {
+		t.Fatalf("%s: Days differ", label)
+	}
+}
+
+// Property: any valid trace survives the .edt round trip bit-exactly,
+// and the edt-loaded copy equals the gob-loaded copy of the same trace.
+func TestEDTRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 0))
+	for iter := 0; iter < 40; iter++ {
+		tr := randomRichTrace(rng)
+		var edt bytes.Buffer
+		if err := tr.WriteEDT(&edt); err != nil {
+			t.Fatalf("iter %d: WriteEDT: %v", iter, err)
+		}
+		back, err := Decode(edt.Bytes())
+		if err != nil {
+			t.Fatalf("iter %d: Decode: %v", iter, err)
+		}
+		tracesEqual(t, tr, back, fmt.Sprintf("iter %d edt", iter))
+
+		var gob bytes.Buffer
+		if err := tr.Write(&gob); err != nil {
+			t.Fatalf("iter %d: Write: %v", iter, err)
+		}
+		viaGob, err := Decode(gob.Bytes())
+		if err != nil {
+			t.Fatalf("iter %d: Decode gob: %v", iter, err)
+		}
+		tracesEqual(t, viaGob, back, fmt.Sprintf("iter %d gob-vs-edt", iter))
+	}
+}
+
+// WriteFile must pick the format from the extension and ReadFile must
+// detect it from the content, even when the extension lies.
+func TestFileFormatInference(t *testing.T) {
+	rng := rand.New(rand.NewPCG(33, 0))
+	tr := randomRichTrace(rng)
+	dir := t.TempDir()
+
+	edtPath := filepath.Join(dir, "trace.edt")
+	if err := tr.WriteFile(edtPath); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(edtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(raw[:len(edtMagic)]) != edtMagic {
+		t.Fatal("WriteFile(.edt) did not produce the columnar format")
+	}
+	back, err := ReadFile(edtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, back, "edt file")
+
+	gobPath := filepath.Join(dir, "trace.gob")
+	if err := tr.WriteFile(gobPath); err != nil {
+		t.Fatal(err)
+	}
+	// A gob trace renamed to .edt must still load: detection is by
+	// content, not name.
+	lying := filepath.Join(dir, "renamed.edt")
+	if err := os.Rename(gobPath, lying); err != nil {
+		t.Fatal(err)
+	}
+	back, err = ReadFile(lying)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, back, "renamed gob")
+}
+
+// The footer must let a reader load a slice of days without decoding the
+// rest, with per-day stats available before any decoding at all.
+func TestEDTDaySkipping(t *testing.T) {
+	rng := rand.New(rand.NewPCG(37, 0))
+	tr := randomRichTrace(rng)
+	for len(tr.Days) < 3 {
+		tr = randomRichTrace(rng)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteEDT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	er, err := NewEDTReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if er.NumDays() != len(tr.Days) || er.NumPeers() != len(tr.Peers) || er.NumFiles() != len(tr.Files) {
+		t.Fatalf("reader reports %d/%d/%d days/peers/files", er.NumDays(), er.NumPeers(), er.NumFiles())
+	}
+	for i, s := range tr.Days {
+		info := er.DayInfo(i)
+		nnz := 0
+		for _, c := range s.Caches {
+			nnz += len(c)
+		}
+		if info.Day != s.Day || info.Rows != len(s.Caches) || info.Postings != nnz {
+			t.Fatalf("DayInfo(%d) = %+v, want day %d rows %d postings %d",
+				i, info, s.Day, len(s.Caches), nnz)
+		}
+	}
+	lo, hi := 1, len(tr.Days)-1
+	partial, err := er.TraceRange(lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Trace{Files: tr.Files, Peers: tr.Peers, Days: tr.Days[lo:hi]}
+	tracesEqual(t, want, partial, "partial load")
+}
+
+// The writer must reject the malformed inputs a buggy producer could
+// feed it, and refuse tables that do not cover the written days.
+func TestEDTWriterErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(41, 0))
+	tr := randomRichTrace(rng)
+
+	w, err := NewEDTWriter(&bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendDay(Snapshot{Day: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.AppendDay(Snapshot{Day: 3}); err == nil {
+		t.Error("duplicate day accepted")
+	}
+	if err := w.AppendDay(Snapshot{Day: 2}); err == nil {
+		t.Error("out-of-order day accepted")
+	}
+	if err := w.AppendDay(Snapshot{Day: 5, Caches: map[PeerID][]FileID{0: {2, 1}}}); err == nil {
+		t.Error("unsorted cache accepted")
+	}
+	if err := w.AppendDay(Snapshot{Day: 6, Caches: map[PeerID][]FileID{4: {0}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Finish(tr.Files[:1], nil); err == nil {
+		t.Error("Finish accepted tables smaller than referenced ids")
+	}
+
+	w2, _ := NewEDTWriter(&bytes.Buffer{})
+	if err := w2.Finish(tr.Files, tr.Peers); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Finish(tr.Files, tr.Peers); err == nil {
+		t.Error("double Finish accepted")
+	}
+	if err := w2.AppendDay(Snapshot{Day: 9}); err == nil {
+		t.Error("AppendDay after Finish accepted")
+	}
+}
+
+// Every truncation of a valid file must fail cleanly, and single-byte
+// corruption must never panic (it may still decode when it hits slack
+// like flate padding).
+func TestEDTRejectsCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(43, 0))
+	tr := randomRichTrace(rng)
+	var buf bytes.Buffer
+	if err := tr.WriteEDT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for n := 0; n < len(data); n += 1 + n/64 {
+		if _, err := Decode(data[:n]); err == nil {
+			t.Fatalf("truncation to %d of %d bytes decoded successfully", n, len(data))
+		}
+	}
+	for i := 0; i < len(data); i += 1 + i/64 {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x5A
+		_, _ = Decode(mut) // must not panic
+	}
+}

@@ -1,0 +1,49 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+)
+
+// FuzzReadTrace throws arbitrary bytes at the format-sniffing decoder.
+// The invariant is simple: Decode either errors or returns a trace that
+// passed Validate, whose derived statistics can then be computed without
+// panicking. Seeds cover both formats plus truncations and bit flips of
+// a valid .edt file, so the fuzzer starts inside the interesting states.
+func FuzzReadTrace(f *testing.F) {
+	rng := rand.New(rand.NewPCG(47, 0))
+	tr := randomRichTrace(rng)
+	var edt, gob bytes.Buffer
+	if err := tr.WriteEDT(&edt); err != nil {
+		f.Fatal(err)
+	}
+	if err := tr.Write(&gob); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(edt.Bytes())
+	f.Add(gob.Bytes())
+	f.Add(edt.Bytes()[:edt.Len()/2])
+	f.Add(edt.Bytes()[:len(edtMagic)+3])
+	f.Add([]byte(edtMagic))
+	f.Add([]byte{})
+	for _, i := range []int{10, edt.Len() / 2, edt.Len() - 5} {
+		mut := append([]byte(nil), edt.Bytes()...)
+		mut[i] ^= 0xFF
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("Decode returned an invalid trace: %v", err)
+		}
+		// Derived statistics must hold up on whatever was decoded.
+		_ = tr.Observations()
+		_ = tr.DistinctFiles()
+		_ = tr.FreeRiders()
+	})
+}

@@ -2,16 +2,20 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"compress/gzip"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 )
 
-// Write serializes the trace as gzip-compressed gob. The format is
-// self-contained: files, peers and all snapshots.
+// Write serializes the trace as gzip-compressed gob — the legacy format,
+// kept so existing trace files stay readable. New files should use the
+// columnar .edt format (WriteEDT / WriteFile with an .edt path), which
+// loads several times faster and is roughly half the size.
 func (t *Trace) Write(w io.Writer) error {
 	zw := gzip.NewWriter(w)
 	enc := gob.NewEncoder(zw)
@@ -25,7 +29,8 @@ func (t *Trace) Write(w io.Writer) error {
 	return nil
 }
 
-// Read deserializes a trace written by Write and validates it.
+// Read deserializes a gob trace written by Write and validates it. Use
+// ReadFile or Decode to accept either format transparently.
 func Read(r io.Reader) (*Trace, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
@@ -42,14 +47,21 @@ func Read(r io.Reader) (*Trace, error) {
 	return &t, nil
 }
 
-// WriteFile writes the trace to the named file.
+// WriteFile writes the trace to the named file, inferring the format
+// from the extension: ".edt" selects the columnar format, anything else
+// the legacy gob.
 func (t *Trace) WriteFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	bw := bufio.NewWriter(f)
-	if err := t.Write(bw); err != nil {
+	if strings.HasSuffix(path, ".edt") {
+		err = t.WriteEDT(bw)
+	} else {
+		err = t.Write(bw)
+	}
+	if err != nil {
 		f.Close()
 		return err
 	}
@@ -60,14 +72,41 @@ func (t *Trace) WriteFile(path string) error {
 	return f.Close()
 }
 
-// ReadFile reads a trace from the named file.
+// ReadFile reads a trace from the named file, detecting the format from
+// the content (.edt magic or gzip'd gob) — renamed files load fine.
 func ReadFile(path string) (*Trace, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
+	if IsEDT(f) {
+		fi, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		er, err := NewEDTReader(f, fi.Size())
+		if err != nil {
+			return nil, err
+		}
+		return er.Trace()
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
 	return Read(bufio.NewReader(f))
+}
+
+// Decode reads a trace of either format from an in-memory buffer.
+func Decode(data []byte) (*Trace, error) {
+	if IsEDT(bytes.NewReader(data)) {
+		er, err := NewEDTReader(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			return nil, err
+		}
+		return er.Trace()
+	}
+	return Read(bytes.NewReader(data))
 }
 
 // jsonTrace is the anonymized interchange schema: hashes become hex-free

@@ -1,0 +1,91 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// synthLoadTrace generates a heavy-tailed crawl-shaped trace: file
+// popularity falls off with FileID (first-sight numbering puts popular
+// files at low ids in real captures), cache sizes are skewed, and days
+// churn ~10% of each cache. Deterministic per seed.
+func synthLoadTrace(peers, files, days, meanCache int, seed uint64) *Trace {
+	rng := rand.New(rand.NewPCG(seed, 0))
+	b := NewBuilder()
+	for i := 0; i < files; i++ {
+		var h [16]byte
+		for j := range h {
+			h[j] = byte(rng.Uint64())
+		}
+		b.AddFile(FileMeta{Hash: h, Name: fmt.Sprintf("f%07d.dat", i),
+			Size: rng.Int64N(1 << 30), Kind: FileKind(rng.IntN(int(numKinds)))})
+	}
+	pick := func() FileID {
+		// Density ∝ rank^(-2/3): a heavy head without a degenerate one.
+		u := rng.Float64()
+		return FileID(int(u * u * u * float64(files)))
+	}
+	caches := make([][]FileID, peers)
+	for p := 0; p < peers; p++ {
+		var h [16]byte
+		for j := range h {
+			h[j] = byte(rng.Uint64())
+		}
+		b.AddPeer(PeerInfo{UserHash: h, IP: rng.Uint32(), Country: "FR",
+			ASN: rng.Uint32N(1 << 16), Nickname: fmt.Sprintf("peer%06d", p), BrowseOK: true, AliasOf: -1})
+		size := 1 + int(rng.ExpFloat64()*float64(meanCache))
+		cache := make([]FileID, 0, size)
+		for j := 0; j < size; j++ {
+			cache = append(cache, pick())
+		}
+		caches[p] = cache
+	}
+	for d := 0; d < days; d++ {
+		for p := 0; p < peers; p++ {
+			if rng.Float64() < 0.2 {
+				continue // offline today
+			}
+			if d > 0 { // ~10% churn per day
+				churn := 1 + len(caches[p])/10
+				for j := 0; j < churn; j++ {
+					caches[p][rng.IntN(len(caches[p]))] = pick()
+				}
+			}
+			b.Observe(d, PeerID(p), caches[p])
+		}
+	}
+	return b.Build()
+}
+
+// The size win must hold, not just be benchmarked: at 2k peers the .edt
+// file is required to be ≥1.5x smaller than the gzip'd gob. Both
+// encoders are deterministic, so this cannot flake.
+func TestEDTSmallerThanGob(t *testing.T) {
+	tr := synthLoadTrace(2000, 20000, 14, 40, 7)
+	dir := t.TempDir()
+	gobPath := filepath.Join(dir, "t.gob")
+	edtPath := filepath.Join(dir, "t.edt")
+	if err := tr.WriteFile(gobPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteFile(edtPath); err != nil {
+		t.Fatal(err)
+	}
+	gi, err := os.Stat(gobPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ei, err := os.Stat(edtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(gi.Size()) / float64(ei.Size())
+	t.Logf("gob %d bytes, edt %d bytes, ratio %.2fx", gi.Size(), ei.Size(), ratio)
+	if math.IsNaN(ratio) || ratio < 1.5 {
+		t.Errorf("edt must be >= 1.5x smaller than gob, got %.2fx", ratio)
+	}
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"fmt"
+	"slices"
+)
+
+// Merge combines independently collected capture segments into one
+// trace, the way a single longer crawl would have recorded them ("Ten
+// weeks in the life of an eDonkey server"-style long captures are
+// usually assembled from shorter runs). Identities are unified across
+// segments the same way the crawler assigns them within one run: files
+// by their eDonkey hash, peers by (user hash, IP). New identities are
+// numbered by first sight in segment order, so merging segments that
+// partition a crawl's days reproduces the one-shot trace exactly — ids,
+// metadata and snapshots. When segments disagree on metadata for the
+// same identity, the first segment wins; when they both observed a
+// (day, peer), the later segment's cache wins, like a re-browse.
+func Merge(segments ...*Trace) (*Trace, error) {
+	b := NewBuilder()
+	fileIDs := make(map[[16]byte]FileID)
+	type peerKey struct {
+		hash [16]byte
+		ip   uint32
+	}
+	peerIDs := make(map[peerKey]PeerID)
+	for si, t := range segments {
+		fmap := make([]FileID, len(t.Files))
+		for i, f := range t.Files {
+			id, ok := fileIDs[f.Hash]
+			if !ok {
+				id = b.AddFile(f)
+				fileIDs[f.Hash] = id
+			}
+			fmap[i] = id
+		}
+		pmap := make([]PeerID, len(t.Peers))
+		for i, p := range t.Peers {
+			k := peerKey{p.UserHash, p.IP}
+			id, ok := peerIDs[k]
+			if !ok {
+				if p.AliasOf >= 0 {
+					// Aliases point at an earlier identity of the same
+					// client; a forward reference has no remapped target
+					// yet and would silently corrupt the ground truth.
+					if int(p.AliasOf) >= i {
+						return nil, fmt.Errorf("trace: merge segment %d: peer %d aliases later identity %d", si, i, p.AliasOf)
+					}
+					p.AliasOf = int32(pmap[p.AliasOf])
+				}
+				id = b.AddPeer(p)
+				peerIDs[k] = id
+			}
+			pmap[i] = id
+		}
+		for _, s := range t.Days {
+			// Ascending local pid order keeps the re-browse overwrite
+			// deterministic even if a malformed segment maps two local
+			// identities onto one merged peer.
+			pids := make([]PeerID, 0, len(s.Caches))
+			for pid := range s.Caches {
+				pids = append(pids, pid)
+			}
+			slices.Sort(pids)
+			for _, pid := range pids {
+				cache := s.Caches[pid]
+				mapped := make([]FileID, len(cache))
+				for j, f := range cache {
+					mapped[j] = fmap[f]
+				}
+				b.Observe(s.Day, pmap[pid], mapped)
+			}
+		}
+	}
+	merged := b.Build()
+	if err := merged.Validate(); err != nil {
+		return nil, err
+	}
+	return merged, nil
+}

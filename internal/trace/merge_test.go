@@ -1,0 +1,146 @@
+package trace_test
+
+import (
+	"bytes"
+	"cmp"
+	"reflect"
+	"slices"
+	"testing"
+
+	"edonkey/internal/crawler"
+	"edonkey/internal/trace"
+	"edonkey/internal/workload"
+)
+
+// captureSegment extracts the trace an independent crawl of days
+// [lo, hi] would have produced: only the identities observed in the
+// window, numbered by first sight in the crawler's processing order
+// (days ascending, peers by ascending (user hash, IP) within a day —
+// exactly how the real crawler walks its browse list).
+func captureSegment(t *trace.Trace, lo, hi int) *trace.Trace {
+	b := trace.NewBuilder()
+	fids := make(map[trace.FileID]trace.FileID)
+	pids := make(map[trace.PeerID]trace.PeerID)
+	for _, s := range t.Days {
+		if s.Day < lo || s.Day > hi {
+			continue
+		}
+		order := make([]trace.PeerID, 0, len(s.Caches))
+		for pid := range s.Caches {
+			order = append(order, pid)
+		}
+		slices.SortFunc(order, func(a, b trace.PeerID) int {
+			if c := bytes.Compare(t.Peers[a].UserHash[:], t.Peers[b].UserHash[:]); c != 0 {
+				return c
+			}
+			return cmp.Compare(t.Peers[a].IP, t.Peers[b].IP)
+		})
+		for _, pid := range order {
+			np, ok := pids[pid]
+			if !ok {
+				np = b.AddPeer(t.Peers[pid])
+				pids[pid] = np
+			}
+			cache := s.Caches[pid]
+			mapped := make([]trace.FileID, 0, len(cache))
+			for _, f := range cache {
+				nf, ok := fids[f]
+				if !ok {
+					nf = b.AddFile(t.Files[f])
+					fids[f] = nf
+				}
+				mapped = append(mapped, nf)
+			}
+			b.Observe(s.Day, np, mapped)
+		}
+	}
+	return b.Build()
+}
+
+func crawlTrace(t *testing.T, days int) *trace.Trace {
+	t.Helper()
+	wcfg := workload.DefaultConfig()
+	wcfg.Seed = 77
+	wcfg.Peers = 120
+	wcfg.Days = days
+	wcfg.InitialFiles = 2500
+	wcfg.Topics = 10
+	tr, _, err := crawler.Crawl(wcfg, crawler.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func requireTracesEqual(t *testing.T, want, got *trace.Trace, label string) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Files, got.Files) {
+		t.Fatalf("%s: Files differ (%d vs %d)", label, len(want.Files), len(got.Files))
+	}
+	if !reflect.DeepEqual(want.Peers, got.Peers) {
+		t.Fatalf("%s: Peers differ (%d vs %d)", label, len(want.Peers), len(got.Peers))
+	}
+	if !reflect.DeepEqual(want.Days, got.Days) {
+		t.Fatalf("%s: Days differ", label)
+	}
+}
+
+// The acceptance pin: merging two disjoint-day capture segments must
+// equal the trace collected in one run — identities, numbering and
+// snapshots — after each segment also survived an .edt round trip.
+func TestMergeDisjointCapturesEqualsOneRun(t *testing.T) {
+	full := crawlTrace(t, 8)
+	if len(full.Days) != 8 {
+		t.Fatalf("crawl produced %d days, want 8", len(full.Days))
+	}
+	segA := captureSegment(full, 0, 3)
+	segB := captureSegment(full, 4, 7)
+	if len(segA.Peers) == len(full.Peers) || len(segB.Peers) == len(full.Peers) {
+		t.Fatal("segments should each miss some identities, or the test is vacuous")
+	}
+
+	// Ship both segments through the wire format first, as real capture
+	// files would be.
+	for i, seg := range []**trace.Trace{&segA, &segB} {
+		var buf bytes.Buffer
+		if err := (*seg).WriteEDT(&buf); err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		back, err := trace.Decode(buf.Bytes())
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		*seg = back
+	}
+
+	merged, err := trace.Merge(segA, segB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTracesEqual(t, full, merged, "merged")
+}
+
+// Merging a trace with itself (fully overlapping capture) is the
+// re-browse case: the result must equal the input.
+func TestMergeIdempotent(t *testing.T) {
+	full := crawlTrace(t, 4)
+	merged, err := trace.Merge(full, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireTracesEqual(t, full, merged, "self-merge")
+}
+
+// A forward alias reference (possible in a hand-built segment) must be
+// rejected, not silently remapped through an unassigned slot.
+func TestMergeRejectsForwardAlias(t *testing.T) {
+	b := trace.NewBuilder()
+	b.AddFile(trace.FileMeta{Hash: [16]byte{1}})
+	b.AddPeer(trace.PeerInfo{UserHash: [16]byte{1}, IP: 1, AliasOf: 1})
+	b.AddPeer(trace.PeerInfo{UserHash: [16]byte{2}, IP: 2, AliasOf: -1})
+	b.Observe(0, 0, []trace.FileID{0})
+	seg := b.Build()
+	if _, err := trace.Merge(seg); err == nil {
+		t.Fatal("forward alias accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"sync"
 
 	"edonkey/internal/tracestore"
@@ -18,18 +19,23 @@ type Store = tracestore.Store[PeerID, FileID]
 type StoreSnapshot = tracestore.Snapshot[PeerID, FileID]
 
 // storeCache is embedded in Trace to build the columnar view once.
-// Traces are immutable after construction, so the lazily built store can
-// be shared by any number of concurrent readers.
+// Traces are immutable to readers, so the lazily built store can be
+// shared by any number of them; AppendDay — the one sanctioned mutation,
+// for streaming ingest — keeps the store consistent incrementally and
+// must not run concurrently with readers.
 type storeCache struct {
-	once  sync.Once
+	mu    sync.Mutex
 	store *Store
 }
 
 // Store returns the trace's columnar view, building it on first use
-// (O(observations + replicas)). The trace must not be mutated after the
-// first call; all slices reachable from the store are shared views.
+// (O(observations + replicas)). Aside from AppendDay, the trace must not
+// be mutated after the first call; all slices reachable from the store
+// are shared views.
 func (t *Trace) Store() *Store {
-	t.cols.once.Do(func() {
+	t.cols.mu.Lock()
+	defer t.cols.mu.Unlock()
+	if t.cols.store == nil {
 		days := make([]*StoreSnapshot, len(t.Days))
 		rows := make([][]FileID, len(t.Peers))
 		present := make([]bool, len(t.Peers))
@@ -43,6 +49,45 @@ func (t *Trace) Store() *Store {
 			days[i] = tracestore.FromRows[PeerID, FileID](s.Day, rows, present, len(t.Files))
 		}
 		t.cols.store = tracestore.NewStore[PeerID, FileID](len(t.Peers), len(t.Files), days)
-	})
+	}
 	return t.cols.store
+}
+
+// DaySink consumes completed day snapshots from a streaming trace
+// producer (the crawler, an .edt writer, a trace under construction).
+type DaySink interface {
+	AppendDay(Snapshot) error
+}
+
+// AppendDay appends a snapshot for a day after every existing one — the
+// streaming-ingest path. Caches must be sorted and duplicate-free, and
+// every referenced identity must already be in Files/Peers (grow those
+// first when ingesting identities incrementally). If the columnar store
+// has been built it is maintained incrementally: the new day becomes one
+// more CSR snapshot and cached aggregates fold it in with a single
+// linear union merge instead of rebuilding. AppendDay must not run
+// concurrently with any reader of the trace.
+func (t *Trace) AppendDay(s Snapshot) error {
+	if s.Day < 0 {
+		return fmt.Errorf("trace: AppendDay: negative day %d", s.Day)
+	}
+	if len(t.Days) > 0 && s.Day <= t.Days[len(t.Days)-1].Day {
+		return fmt.Errorf("trace: AppendDay %d not after %d", s.Day, t.Days[len(t.Days)-1].Day)
+	}
+	if err := validateDaySnapshot(s, len(t.Peers), len(t.Files)); err != nil {
+		return fmt.Errorf("trace: AppendDay: %w", err)
+	}
+	t.Days = append(t.Days, s)
+	t.cols.mu.Lock()
+	defer t.cols.mu.Unlock()
+	if st := t.cols.store; st != nil {
+		rows := make([][]FileID, len(t.Peers))
+		present := make([]bool, len(t.Peers))
+		for pid, c := range s.Caches {
+			rows[pid] = c
+			present[pid] = true
+		}
+		st.Append(tracestore.FromRows[PeerID, FileID](s.Day, rows, present, len(t.Files)))
+	}
+	return nil
 }

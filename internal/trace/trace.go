@@ -140,6 +140,27 @@ type Trace struct {
 	cols storeCache
 }
 
+// validateDaySnapshot checks one day's caches against the identity
+// table sizes: ids in range, caches sorted and duplicate-free. It is
+// the single home of the per-snapshot invariants, shared by Validate
+// and the streaming AppendDay path.
+func validateDaySnapshot(s Snapshot, numPeers, numFiles int) error {
+	for pid, cache := range s.Caches {
+		if int(pid) >= numPeers {
+			return fmt.Errorf("trace: day %d references unknown peer %d", s.Day, pid)
+		}
+		for i, f := range cache {
+			if int(f) >= numFiles {
+				return fmt.Errorf("trace: day %d peer %d references unknown file %d", s.Day, pid, f)
+			}
+			if i > 0 && cache[i-1] >= f {
+				return fmt.Errorf("trace: day %d peer %d cache not sorted/unique", s.Day, pid)
+			}
+		}
+	}
+	return nil
+}
+
 // Validate checks structural invariants: days ascending, IDs in range,
 // caches sorted and duplicate-free. Derivations assume a valid trace.
 func (t *Trace) Validate() error {
@@ -149,18 +170,8 @@ func (t *Trace) Validate() error {
 			return fmt.Errorf("trace: days not strictly ascending at %d", s.Day)
 		}
 		lastDay = s.Day
-		for pid, cache := range s.Caches {
-			if int(pid) >= len(t.Peers) {
-				return fmt.Errorf("trace: day %d references unknown peer %d", s.Day, pid)
-			}
-			for i, f := range cache {
-				if int(f) >= len(t.Files) {
-					return fmt.Errorf("trace: day %d peer %d references unknown file %d", s.Day, pid, f)
-				}
-				if i > 0 && cache[i-1] >= f {
-					return fmt.Errorf("trace: day %d peer %d cache not sorted/unique", s.Day, pid)
-				}
-			}
+		if err := validateDaySnapshot(s, len(t.Peers), len(t.Files)); err != nil {
+			return err
 		}
 	}
 	for i, p := range t.Peers {

@@ -1,0 +1,62 @@
+package trace_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"edonkey/internal/trace"
+	"edonkey/internal/workload"
+)
+
+// BenchmarkTraceIO is the acceptance benchmark for the .edt format: load
+// time and file size against the legacy gob on a 20k-peer, 14-day trace
+// from the paper-calibrated workload generator (clustered caches, slow
+// churn — the shape real captures have). The file-bytes metric rides
+// into BENCH_store.json alongside ns/op via cmd/benchjson.
+func BenchmarkTraceIO(b *testing.B) {
+	cfg := workload.DefaultConfig()
+	cfg.Seed = 5
+	cfg.Peers = 20000
+	cfg.Days = 14
+	cfg.Topics = 1000
+	cfg.InitialFiles = 600000
+	cfg.NewFilesPerDay = 6000
+	tr, _, err := workload.Collect(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dir := b.TempDir()
+	paths := map[string]string{
+		"gob": filepath.Join(dir, "trace.gob"),
+		"edt": filepath.Join(dir, "trace.edt"),
+	}
+	for _, format := range []string{"gob", "edt"} {
+		if err := tr.WriteFile(paths[format]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, format := range []string{"gob", "edt"} {
+		fi, err := os.Stat(paths[format])
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("op=load/format=%s/peers=20000", format), func(b *testing.B) {
+			b.ReportMetric(float64(fi.Size()), "file-bytes")
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.ReadFile(paths[format]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("op=write/format=%s/peers=20000", format), func(b *testing.B) {
+			out := filepath.Join(dir, "out."+format)
+			for i := 0; i < b.N; i++ {
+				if err := tr.WriteFile(out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

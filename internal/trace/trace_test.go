@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math/rand/v2"
 	"reflect"
+	"slices"
 	"testing"
 	"testing/quick"
 )
@@ -372,5 +373,73 @@ func TestValidateCatchesCorruption(t *testing.T) {
 	tr.Days = append(tr.Days, Snapshot{Day: tr.Days[len(tr.Days)-1].Day})
 	if err := tr.Validate(); err == nil {
 		t.Error("expected error for non-ascending days")
+	}
+}
+
+// AppendDay must keep the trace and its columnar store consistent with a
+// batch-built copy, including after the store and its aggregates have
+// already been built (the streaming-ingest path).
+func TestAppendDayIncremental(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xa99e4d, 0))
+	for iter := 0; iter < 25; iter++ {
+		full := randomTrace(rng)
+		if len(full.Days) < 2 {
+			continue
+		}
+		inc := &Trace{Files: full.Files, Peers: full.Peers, Days: full.Days[:1:1]}
+		// Build the store and aggregates early so appends must maintain
+		// them incrementally rather than from scratch.
+		inc.AggregateCaches()
+		inc.Observations()
+		for _, s := range full.Days[1:] {
+			if err := inc.AppendDay(s); err != nil {
+				t.Fatalf("iter %d: AppendDay: %v", iter, err)
+			}
+			if rng.IntN(2) == 0 {
+				inc.AggregateCaches() // interleave reads with appends
+			}
+		}
+		if inc.Observations() != full.Observations() {
+			t.Fatalf("iter %d: Observations %d, want %d", iter, inc.Observations(), full.Observations())
+		}
+		if inc.FreeRiders() != full.FreeRiders() {
+			t.Fatalf("iter %d: FreeRiders differ", iter)
+		}
+		if inc.ObservedPeers() != full.ObservedPeers() {
+			t.Fatalf("iter %d: ObservedPeers differ", iter)
+		}
+		if !reflect.DeepEqual(inc.SourcesPerFile(), full.SourcesPerFile()) {
+			t.Fatalf("iter %d: SourcesPerFile differ", iter)
+		}
+		if !reflect.DeepEqual(inc.DaysSeenPerFile(), full.DaysSeenPerFile()) {
+			t.Fatalf("iter %d: DaysSeenPerFile differ", iter)
+		}
+		incCaches, fullCaches := inc.AggregateCaches(), full.AggregateCaches()
+		for pid := range fullCaches {
+			if !slices.Equal(incCaches[pid], fullCaches[pid]) {
+				t.Fatalf("iter %d: aggregate cache of peer %d differs", iter, pid)
+			}
+		}
+	}
+}
+
+// AppendDay must reject malformed snapshots outright.
+func TestAppendDayRejectsInvalid(t *testing.T) {
+	tr := tiny(t)
+	last := tr.Days[len(tr.Days)-1].Day
+	if err := tr.AppendDay(Snapshot{Day: last}); err == nil {
+		t.Error("non-ascending day accepted")
+	}
+	if err := tr.AppendDay(Snapshot{Day: last + 1,
+		Caches: map[PeerID][]FileID{PeerID(len(tr.Peers)): {0}}}); err == nil {
+		t.Error("unknown peer accepted")
+	}
+	if err := tr.AppendDay(Snapshot{Day: last + 1,
+		Caches: map[PeerID][]FileID{0: {FileID(len(tr.Files))}}}); err == nil {
+		t.Error("unknown file accepted")
+	}
+	if err := tr.AppendDay(Snapshot{Day: last + 1,
+		Caches: map[PeerID][]FileID{0: {1, 0}}}); err == nil {
+		t.Error("unsorted cache accepted")
 	}
 }

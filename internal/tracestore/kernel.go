@@ -1,6 +1,11 @@
 package tracestore
 
-import "cmp"
+import (
+	"cmp"
+	"slices"
+
+	"edonkey/internal/runner"
+)
 
 // gallopRatio is the size skew beyond which the intersection kernels
 // switch from a linear merge to galloping search of the smaller list
@@ -143,12 +148,30 @@ func ForEachOverlap[P, F ID](s *Snapshot[P, F], keep []bool, yield func(a, b P, 
 	if keep != nil {
 		s = s.FilterValues(keep)
 	}
+	forEachOverlapRange(s, 0, s.numRows, yield)
+}
+
+// forEachOverlapRange enumerates the pairs whose smaller row lies in
+// [lo, hi). The per-value cursors are seeded to the first holder >= lo,
+// which restores the invariant the full-range pass maintains by
+// construction: when row a of the range holds value f, cursor[f] points
+// at a's own entry in the inverted list (every earlier in-range holder
+// advanced past itself, every pre-range holder is excluded by the seed).
+func forEachOverlapRange[P, F ID](s *Snapshot[P, F], lo, hi int, yield func(a, b P, n int32)) {
 	iv := s.Inverted()
 	cnt := make([]int32, s.numRows)
 	touched := make([]P, 0, 256)
 	cursor := make([]uint32, s.numVals)
-	copy(cursor, iv.offs[:s.numVals])
-	for a := 0; a < s.numRows; a++ {
+	if lo == 0 {
+		copy(cursor, iv.offs[:s.numVals])
+	} else {
+		for f := 0; f < s.numVals; f++ {
+			first, end := iv.offs[f], iv.offs[f+1]
+			i, _ := slices.BinarySearch(iv.data[first:end], P(lo))
+			cursor[f] = first + uint32(i)
+		}
+	}
+	for a := lo; a < hi; a++ {
 		row := s.data[s.offs[a]:s.offs[a+1]]
 		if len(row) == 0 {
 			continue
@@ -172,4 +195,73 @@ func ForEachOverlap[P, F ID](s *Snapshot[P, F], keep []bool, yield func(a, b P, 
 		}
 		touched = touched[:0]
 	}
+}
+
+// OverlapSharded is ForEachOverlap with the outer per-row loop sharded
+// over the pool (ROADMAP "Parallel pair enumeration"). Each shard covers
+// a contiguous ascending row range balanced by estimated enumeration
+// cost; within a shard, visit receives exactly the (a, b, n) sequence
+// ForEachOverlap would produce for those rows. newShard creates one
+// private consumer state per shard, so no visit ever races another; the
+// returned states are in ascending row order, and concatenating them
+// reproduces the serial enumeration order exactly.
+//
+// Shard boundaries depend on the pool's worker count, but any merge of
+// the shard states that is insensitive to where the sequence was cut —
+// integer counters, histograms, in-order concatenation — is bit-identical
+// for every worker count.
+func OverlapSharded[P, F ID, S any](s *Snapshot[P, F], keep []bool, pool *runner.Pool,
+	newShard func() S, visit func(shard S, a, b P, n int32)) []S {
+	if keep != nil {
+		s = s.FilterValues(keep)
+	}
+	shards := pool.Workers()
+	if shards > s.numRows {
+		shards = s.numRows
+	}
+	if shards <= 1 {
+		state := newShard()
+		forEachOverlapRange(s, 0, s.numRows, func(a, b P, n int32) { visit(state, a, b, n) })
+		return []S{state}
+	}
+	s.Inverted() // build once, shared read-only by every shard
+	bounds := shardBounds(s, shards)
+	return runner.Collect(pool, shards, func(i int) S {
+		state := newShard()
+		forEachOverlapRange(s, bounds[i], bounds[i+1], func(a, b P, n int32) { visit(state, a, b, n) })
+		return state
+	})
+}
+
+// shardBounds splits the rows into contiguous ranges of roughly equal
+// enumeration cost. The cost of row a is dominated by the holders listed
+// after it in its values' inverted lists, which the total co-occurrence
+// weight sum(count(f) for f in row) tracks closely enough for balancing.
+func shardBounds[P, F ID](s *Snapshot[P, F], shards int) []int {
+	iv := s.Inverted()
+	var total uint64
+	weight := make([]uint64, s.numRows)
+	for r := 0; r < s.numRows; r++ {
+		var w uint64
+		for _, f := range s.data[s.offs[r]:s.offs[r+1]] {
+			w += uint64(iv.offs[f+1] - iv.offs[f])
+		}
+		weight[r] = w
+		total += w
+	}
+	bounds := make([]int, shards+1)
+	bounds[shards] = s.numRows
+	var cum uint64
+	next := 1
+	for r := 0; r < s.numRows && next < shards; r++ {
+		cum += weight[r]
+		for next < shards && cum >= total*uint64(next)/uint64(shards) {
+			bounds[next] = r + 1
+			next++
+		}
+	}
+	for ; next < shards; next++ {
+		bounds[next] = s.numRows
+	}
+	return bounds
 }

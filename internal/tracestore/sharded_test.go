@@ -1,0 +1,87 @@
+package tracestore
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"edonkey/internal/runner"
+)
+
+type overlapTriple struct {
+	a, b uint32
+	n    int32
+}
+
+// OverlapSharded must reproduce the serial enumeration exactly: the
+// concatenation of the per-shard sequences (in shard order) equals the
+// ForEachOverlap sequence for every worker count, filtered or not.
+func TestOverlapShardedMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewPCG(19, 0))
+	pools := []*runner.Pool{nil, runner.New(1), runner.New(2), runner.New(3), runner.New(8)}
+	for iter := 0; iter < 25; iter++ {
+		nRows := 1 + rng.IntN(60)
+		space := 4 + rng.IntN(80)
+		rows := make([][]uint32, nRows)
+		for r := range rows {
+			if rng.IntN(5) == 0 {
+				continue
+			}
+			rows[r] = randomSorted(rng, rng.IntN(min(space, 14)), space)
+		}
+		var keep []bool
+		if iter%3 == 1 {
+			keep = make([]bool, space)
+			for f := range keep {
+				keep[f] = rng.IntN(3) > 0
+			}
+		}
+		s := FromRows[uint32, uint32](0, rows, nil, space)
+		var want []overlapTriple
+		ForEachOverlap(s, keep, func(a, b uint32, n int32) {
+			want = append(want, overlapTriple{a, b, n})
+		})
+		for _, pool := range pools {
+			shards := OverlapSharded(s, keep, pool,
+				func() *[]overlapTriple { return &[]overlapTriple{} },
+				func(sh *[]overlapTriple, a, b uint32, n int32) {
+					*sh = append(*sh, overlapTriple{a, b, n})
+				})
+			var got []overlapTriple
+			for _, sh := range shards {
+				got = append(got, *sh...)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("iter %d, workers %d: sharded sequence diverges (%d vs %d triples)",
+					iter, pool.Workers(), len(got), len(want))
+			}
+		}
+	}
+}
+
+// Shard boundaries must partition the rows exactly, whatever the skew.
+func TestShardBounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 0))
+	for iter := 0; iter < 20; iter++ {
+		nRows := 1 + rng.IntN(50)
+		rows := make([][]uint32, nRows)
+		for r := range rows {
+			rows[r] = randomSorted(rng, rng.IntN(10), 40)
+		}
+		s := FromRows[uint32, uint32](0, rows, nil, 40)
+		for _, shards := range []int{1, 2, 3, 7, nRows} {
+			if shards > nRows {
+				continue
+			}
+			bounds := shardBounds(s, shards)
+			if len(bounds) != shards+1 || bounds[0] != 0 || bounds[shards] != nRows {
+				t.Fatalf("bounds %v do not span [0, %d]", bounds, nRows)
+			}
+			for i := 1; i <= shards; i++ {
+				if bounds[i] < bounds[i-1] {
+					t.Fatalf("bounds %v not monotone", bounds)
+				}
+			}
+		}
+	}
+}

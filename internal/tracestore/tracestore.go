@@ -213,20 +213,47 @@ func (s *Snapshot[P, F]) FilterValues(keep []bool) *Snapshot[P, F] {
 // Store is a full trace in columnar form: one CSR snapshot per observed
 // day plus a lazily built aggregate (the per-peer union over all days,
 // i.e. the paper's "potential request set") with its own inverted index.
+//
+// Stores support streaming ingest: Append adds a later day, and the next
+// Aggregate/ObservedRows call folds only the pending days into the cached
+// union (one linear merge per day) instead of rebuilding from scratch.
+// Append is a mutation and must not run concurrently with any reader;
+// concurrent readers of an un-appended store remain safe.
 type Store[P, F ID] struct {
 	days    []*Snapshot[P, F] // ascending by Day
 	numRows int
 	numVals int
 
-	aggOnce sync.Once
+	// mu guards the lazily built union state below so concurrent readers
+	// can race to build it. The cached slices/snapshots are never mutated
+	// after publication: folding in an appended day replaces them.
+	mu      sync.Mutex
 	agg     *Snapshot[P, F]
-	obsOnce sync.Once
+	aggDays int // leading days folded into agg
 	obs     []bool
+	obsDays int // leading days folded into obs
 }
 
 // NewStore assembles a store from per-day snapshots (ascending by Day).
 func NewStore[P, F ID](numRows, numVals int, days []*Snapshot[P, F]) *Store[P, F] {
 	return &Store[P, F]{days: days, numRows: numRows, numVals: numVals}
+}
+
+// Append adds a snapshot for a day after every existing one, growing the
+// store's row/value bounds to cover it. Cached aggregates are not thrown
+// away: the next Aggregate or ObservedRows call merges the new day in
+// incrementally. Append must not run concurrently with readers.
+func (st *Store[P, F]) Append(s *Snapshot[P, F]) {
+	if len(st.days) > 0 && s.Day <= st.days[len(st.days)-1].Day {
+		panic("tracestore: Append out of day order")
+	}
+	st.days = append(st.days, s)
+	if s.numRows > st.numRows {
+		st.numRows = s.numRows
+	}
+	if s.numVals > st.numVals {
+		st.numVals = s.numVals
+	}
 }
 
 // NumRows returns the number of peers.
@@ -262,57 +289,120 @@ func (st *Store[P, F]) Observations() int {
 }
 
 // Aggregate returns the per-row union across all days as a snapshot
-// (Day == -1), built once: rows are concatenated, sorted and
-// deduplicated. A row is present when it was observed on any day.
+// (Day == -1). The first call builds it batch-wise (concatenate, sort,
+// deduplicate); after an Append only the pending days are folded in, one
+// linear union merge each. A row is present when it was observed on any
+// day. The returned snapshot is immutable; a later Append+Aggregate
+// yields a new snapshot rather than mutating this one.
 func (st *Store[P, F]) Aggregate() *Snapshot[P, F] {
-	st.aggOnce.Do(func() {
-		agg := &Snapshot[P, F]{
-			Day:     -1,
-			numRows: st.numRows,
-			numVals: st.numVals,
-			offs:    make([]uint32, st.numRows+1),
-			present: make([]uint64, (st.numRows+63)/64),
-		}
-		nnz := 0
-		for _, s := range st.days {
-			nnz += len(s.data)
-		}
-		agg.data = make([]F, 0, nnz)
-		var scratch []F
-		for r := 0; r < st.numRows; r++ {
-			scratch = scratch[:0]
-			for _, s := range st.days {
-				scratch = append(scratch, s.Cache(P(r))...)
-				if s.Observed(P(r)) {
-					agg.present[r/64] |= 1 << (r % 64)
-				}
-			}
-			if len(scratch) > 0 {
-				slices.Sort(scratch)
-				agg.data = append(agg.data, scratch[0])
-				for _, f := range scratch[1:] {
-					if f != agg.data[len(agg.data)-1] {
-						agg.data = append(agg.data, f)
-					}
-				}
-			}
-			agg.offs[r+1] = uint32(len(agg.data))
-		}
-		agg.data = slices.Clip(agg.data)
-		for _, w := range agg.present {
-			agg.observed += bits.OnesCount64(w)
-		}
-		st.agg = agg
-	})
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.agg == nil {
+		st.agg = buildUnion(st.days, st.numRows, st.numVals)
+		st.aggDays = len(st.days)
+	}
+	for st.aggDays < len(st.days) {
+		st.agg = mergeUnion(st.agg, st.days[st.aggDays], st.numRows, st.numVals)
+		st.aggDays++
+	}
 	return st.agg
 }
 
+// buildUnion computes the per-row union of days from scratch.
+func buildUnion[P, F ID](days []*Snapshot[P, F], numRows, numVals int) *Snapshot[P, F] {
+	agg := &Snapshot[P, F]{
+		Day:     -1,
+		numRows: numRows,
+		numVals: numVals,
+		offs:    make([]uint32, numRows+1),
+		present: make([]uint64, (numRows+63)/64),
+	}
+	nnz := 0
+	for _, s := range days {
+		nnz += len(s.data)
+	}
+	agg.data = make([]F, 0, nnz)
+	var scratch []F
+	for r := 0; r < numRows; r++ {
+		scratch = scratch[:0]
+		for _, s := range days {
+			scratch = append(scratch, s.Cache(P(r))...)
+			if s.Observed(P(r)) {
+				agg.present[r/64] |= 1 << (r % 64)
+			}
+		}
+		if len(scratch) > 0 {
+			slices.Sort(scratch)
+			agg.data = append(agg.data, scratch[0])
+			for _, f := range scratch[1:] {
+				if f != agg.data[len(agg.data)-1] {
+					agg.data = append(agg.data, f)
+				}
+			}
+		}
+		agg.offs[r+1] = uint32(len(agg.data))
+	}
+	agg.data = slices.Clip(agg.data)
+	for _, w := range agg.present {
+		agg.observed += bits.OnesCount64(w)
+	}
+	return agg
+}
+
+// mergeUnion folds one more day into an existing union snapshot with a
+// per-row linear merge — O(nnz(agg) + nnz(day) + numRows), independent of
+// how many days the aggregate already covers.
+func mergeUnion[P, F ID](agg, day *Snapshot[P, F], numRows, numVals int) *Snapshot[P, F] {
+	out := &Snapshot[P, F]{
+		Day:     -1,
+		numRows: numRows,
+		numVals: numVals,
+		offs:    make([]uint32, numRows+1),
+		present: make([]uint64, (numRows+63)/64),
+	}
+	out.data = make([]F, 0, len(agg.data)+len(day.data))
+	for r := 0; r < numRows; r++ {
+		a, b := agg.Cache(P(r)), day.Cache(P(r))
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				out.data = append(out.data, a[i])
+				i++
+			case a[i] > b[j]:
+				out.data = append(out.data, b[j])
+				j++
+			default:
+				out.data = append(out.data, a[i])
+				i++
+				j++
+			}
+		}
+		out.data = append(out.data, a[i:]...)
+		out.data = append(out.data, b[j:]...)
+		out.offs[r+1] = uint32(len(out.data))
+		if agg.Observed(P(r)) || day.Observed(P(r)) {
+			out.present[r/64] |= 1 << (r % 64)
+		}
+	}
+	out.data = slices.Clip(out.data)
+	for _, w := range out.present {
+		out.observed += bits.OnesCount64(w)
+	}
+	return out
+}
+
 // ObservedRows returns, per row, whether it was observed on any day.
-// The slice is cached and shared; treat it as immutable.
+// The slice is cached and shared; treat it as immutable. Like Aggregate,
+// days added by Append are folded in incrementally (copy-on-write, so
+// previously returned slices are never mutated).
 func (st *Store[P, F]) ObservedRows() []bool {
-	st.obsOnce.Do(func() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.obs == nil || st.obsDays < len(st.days) || len(st.obs) < st.numRows {
 		obs := make([]bool, st.numRows)
-		for _, s := range st.days {
+		copy(obs, st.obs)
+		for _, s := range st.days[st.obsDays:] {
 			for r := range obs {
 				if !obs[r] && s.Observed(P(r)) {
 					obs[r] = true
@@ -320,7 +410,8 @@ func (st *Store[P, F]) ObservedRows() []bool {
 			}
 		}
 		st.obs = obs
-	})
+		st.obsDays = len(st.days)
+	}
 	return st.obs
 }
 

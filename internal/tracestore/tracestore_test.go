@@ -275,3 +275,87 @@ func min(a, b int) int {
 	}
 	return b
 }
+
+// Append must grow the store and fold new days into already-built
+// aggregates so that every statistic matches a store built in one shot.
+func TestStoreAppendIncremental(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 0))
+	for iter := 0; iter < 20; iter++ {
+		nDays := 2 + rng.IntN(5)
+		days := make([]*Snapshot[uint32, uint32], nDays)
+		rowsSoFar := 0
+		for d := range days {
+			// Later days may introduce new rows and new values, like a
+			// streaming crawl discovering peers and files.
+			rowsSoFar += rng.IntN(8)
+			space := 4 + rng.IntN(40)
+			rows := make([][]uint32, rowsSoFar)
+			present := make([]bool, rowsSoFar)
+			for r := range rows {
+				if rng.IntN(4) == 0 {
+					present[r] = rng.IntN(2) == 0 // maybe an observed free-rider
+					continue
+				}
+				present[r] = true
+				rows[r] = randomSorted(rng, rng.IntN(min(space, 10)), space)
+			}
+			days[d] = FromRows[uint32, uint32](d*2, rows, present, space)
+		}
+
+		maxRows, maxVals := 0, 0
+		for _, s := range days {
+			maxRows = max(maxRows, s.NumRows())
+			maxVals = max(maxVals, s.NumVals())
+		}
+		batch := NewStore(maxRows, maxVals, days)
+
+		// Incremental: start with the first day, interleave reads with
+		// appends so cached aggregates must be folded, not rebuilt.
+		inc := NewStore(days[0].NumRows(), days[0].NumVals(), days[:1:1])
+		inc.Aggregate()
+		inc.ObservedRows()
+		for _, s := range days[1:] {
+			inc.Append(s)
+			if rng.IntN(2) == 0 {
+				inc.Aggregate() // fold mid-stream
+			}
+		}
+
+		if inc.NumRows() != batch.NumRows() || inc.NumVals() != batch.NumVals() {
+			t.Fatalf("iter %d: dims %dx%d, want %dx%d",
+				iter, inc.NumRows(), inc.NumVals(), batch.NumRows(), batch.NumVals())
+		}
+		wantAgg, gotAgg := batch.Aggregate(), inc.Aggregate()
+		for r := 0; r < maxRows; r++ {
+			if !slices.Equal(wantAgg.Cache(uint32(r)), gotAgg.Cache(uint32(r))) {
+				t.Fatalf("iter %d: agg row %d = %v, want %v",
+					iter, r, gotAgg.Cache(uint32(r)), wantAgg.Cache(uint32(r)))
+			}
+			if wantAgg.Observed(uint32(r)) != gotAgg.Observed(uint32(r)) {
+				t.Fatalf("iter %d: agg presence of row %d differs", iter, r)
+			}
+		}
+		if !slices.Equal(batch.ObservedRows(), inc.ObservedRows()) {
+			t.Fatalf("iter %d: ObservedRows differ", iter)
+		}
+		if !slices.Equal(batch.SourcesPerFile(), inc.SourcesPerFile()) {
+			t.Fatalf("iter %d: SourcesPerFile differ", iter)
+		}
+		if !slices.Equal(batch.DaysSeenPerFile(), inc.DaysSeenPerFile()) {
+			t.Fatalf("iter %d: DaysSeenPerFile differ", iter)
+		}
+		if batch.Observations() != inc.Observations() {
+			t.Fatalf("iter %d: Observations %d vs %d", iter, inc.Observations(), batch.Observations())
+		}
+	}
+}
+
+func TestStoreAppendOutOfOrderPanics(t *testing.T) {
+	st := storeFixture()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append of an earlier day must panic")
+		}
+	}()
+	st.Append(FromRows[uint32, uint32](1, nil, nil, 1))
+}
