@@ -44,10 +44,11 @@ bench-store:
 # cp BENCH_store.json BENCH_baseline.json` when a change is intentional).
 # The anchor benchmark (frozen legacy gob load) normalizes machine
 # speed, so the committed baseline gates runners faster or slower than
-# the box that recorded it.
+# the box that recorded it. Machine-independent byte metrics (resident
+# bytes after load, on-disk file size) gate unscaled alongside ns/op.
 bench-diff: BENCHCOUNT := 3
 bench-diff: bench-store
-	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -in BENCH_store.json -tolerance 25 -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000'
+	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -in BENCH_store.json -tolerance 25 -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000' -gate-extra bytes_after_load,file-bytes
 
 # CI's smoke variant: every benchmark runs exactly once.
 bench-smoke:

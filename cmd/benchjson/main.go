@@ -22,13 +22,20 @@
 // -tolerance percent fails the run (`make bench-diff`, enforced in CI):
 //
 //	benchjson -diff BENCH_baseline.json -in BENCH_store.json -tolerance 25 \
-//	          -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000'
+//	          -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000' \
+//	          -gate-extra bytes_after_load,file-bytes
 //
 // -anchor normalizes for machine speed: every fresh ns/op is divided by
 // the anchor benchmark's fresh/baseline ratio before comparison, so a
 // baseline recorded on one machine still gates CI runners of different
 // speeds. Pick an anchor whose code never changes (the legacy gob load
 // path here).
+//
+// -gate-extra names custom metrics (comma-separated) gated with the
+// same tolerance wherever baseline and fresh both report them. Unlike
+// ns/op they are machine-independent (bytes, counts), so no anchor
+// scaling applies — a bytes_after_load regression fails CI exactly like
+// an ns/op regression.
 package main
 
 import (
@@ -125,7 +132,7 @@ func readRecords(path string) ([]Record, error) {
 // construction never regresses). Ops present on only one side are
 // reported but never fail the run, so adding or retiring benchmarks
 // does not break CI.
-func diff(baseline, fresh []Record, tolerance float64, anchor string, w *os.File) ([]string, error) {
+func diff(baseline, fresh []Record, tolerance float64, anchor string, gateExtras []string, w *os.File) ([]string, error) {
 	base := make(map[string]Record, len(baseline))
 	for _, r := range baseline {
 		base[r.Op] = r
@@ -170,6 +177,22 @@ func diff(baseline, fresh []Record, tolerance float64, anchor string, w *os.File
 		}
 		fmt.Fprintf(w, "  %-8s %-60s %12.0f -> %12.0f ns/op (%+.1f%% normalized)\n",
 			status, r.Op, b.NsOp, r.NsOp, delta)
+		// Machine-independent extras (bytes, counts) gate unscaled.
+		for _, name := range gateExtras {
+			bv, okB := b.Extra[name]
+			fv, okF := r.Extra[name]
+			if !okB || !okF || bv <= 0 {
+				continue
+			}
+			ed := 100 * (fv - bv) / bv
+			estatus := "ok"
+			if ed > tolerance {
+				estatus = "REGRESSED"
+				regressions = append(regressions, r.Op+" "+name)
+			}
+			fmt.Fprintf(w, "  %-8s %-60s %12.0f -> %12.0f %s (%+.1f%%)\n",
+				estatus, r.Op, bv, fv, name, ed)
+		}
 	}
 	for _, r := range baseline {
 		if !seen[r.Op] {
@@ -185,6 +208,7 @@ func main() {
 	in := flag.String("in", "", "fresh results JSON for -diff")
 	tolerance := flag.Float64("tolerance", 25, "max ns/op regression percent allowed by -diff")
 	anchor := flag.String("anchor", "", "benchmark op used to normalize machine speed in -diff")
+	gateExtra := flag.String("gate-extra", "", "comma-separated custom metrics gated by -diff (unscaled)")
 	flag.Parse()
 
 	if *diffBase != "" {
@@ -198,8 +222,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)
 		}
+		var gateExtras []string
+		for _, name := range strings.Split(*gateExtra, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				gateExtras = append(gateExtras, name)
+			}
+		}
 		fmt.Printf("benchjson: %s vs %s (tolerance %.0f%%)\n", *in, *diffBase, *tolerance)
-		regressions, err := diff(baseline, fresh, *tolerance, *anchor, os.Stdout)
+		regressions, err := diff(baseline, fresh, *tolerance, *anchor, gateExtras, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "benchjson:", err)
 			os.Exit(1)

@@ -95,11 +95,11 @@ func TestCrawlBudgetDecline(t *testing.T) {
 	// First day at most 30 snapshots, last day at most 10.
 	first := tr.Days[0]
 	last := tr.Days[len(tr.Days)-1]
-	if len(first.Caches) > 30 {
-		t.Errorf("day 0 snapshots = %d > 30", len(first.Caches))
+	if first.ObservedRows() > 30 {
+		t.Errorf("day 0 snapshots = %d > 30", first.ObservedRows())
 	}
-	if len(last.Caches) > 10 {
-		t.Errorf("last day snapshots = %d > 10", len(last.Caches))
+	if last.ObservedRows() > 10 {
+		t.Errorf("last day snapshots = %d > 10", last.ObservedRows())
 	}
 }
 
@@ -210,8 +210,20 @@ func TestRunStreamMatchesRun(t *testing.T) {
 	if !reflect.DeepEqual(want.Peers, got.Peers) {
 		t.Error("streamed trace: Peers differ")
 	}
-	if !reflect.DeepEqual(want.Days, got.Days) {
-		t.Error("streamed trace: Days differ")
+	requireDaysEqual(t, want, got, "streamed trace")
+}
+
+// requireDaysEqual compares day snapshots by content (container layout
+// and row-bound slack are representation detail).
+func requireDaysEqual(t *testing.T, want, got *trace.Trace, label string) {
+	t.Helper()
+	if len(want.Days) != len(got.Days) {
+		t.Fatalf("%s: %d days, want %d", label, len(got.Days), len(want.Days))
+	}
+	for i := range want.Days {
+		if !want.Days[i].Equal(got.Days[i]) {
+			t.Fatalf("%s: day index %d differs", label, i)
+		}
 	}
 }
 
@@ -235,7 +247,7 @@ func TestRunStreamIntoTrace(t *testing.T) {
 		t.Fatal(err)
 	}
 	got := &trace.Trace{}
-	sink := sinkFunc(func(s trace.Snapshot) error {
+	sink := sinkFunc(func(s *trace.DaySnapshot) error {
 		// Metadata grows as the crawl discovers identities; sync it
 		// before appending so AppendDay's validation sees the new ids.
 		got.Files, got.Peers = c.Meta()
@@ -255,11 +267,9 @@ func TestRunStreamIntoTrace(t *testing.T) {
 			got.Observations(), got.FreeRiders(), got.DistinctFiles(),
 			want.Observations(), want.FreeRiders(), want.DistinctFiles())
 	}
-	if !reflect.DeepEqual(want.Days, got.Days) {
-		t.Error("incremental trace: Days differ")
-	}
+	requireDaysEqual(t, want, got, "incremental trace")
 }
 
-type sinkFunc func(trace.Snapshot) error
+type sinkFunc func(*trace.DaySnapshot) error
 
-func (f sinkFunc) AppendDay(s trace.Snapshot) error { return f(s) }
+func (f sinkFunc) AppendDay(d *trace.DaySnapshot) error { return f(d) }

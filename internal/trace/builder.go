@@ -3,20 +3,33 @@ package trace
 import (
 	"fmt"
 	"slices"
+
+	"edonkey/internal/tracestore"
 )
 
 // Builder assembles a Trace incrementally. It is used by both trace
-// producers: the synthetic-workload oracle and the protocol-level crawler.
-// Builders are not safe for concurrent use.
+// producers: the synthetic-workload oracle and the protocol-level
+// crawler. Days accumulate as per-day cache lists (a small pid->slot
+// index handles re-browse overwrites) and leave the builder as columnar
+// DaySnapshots — DrainDay for streaming producers, Build for the batch
+// path. Builders are not safe for concurrent use.
 type Builder struct {
 	files []FileMeta
 	peers []PeerInfo
-	days  map[int]map[PeerID][]FileID
+	days  map[int]*dayAccum
+}
+
+// dayAccum buffers one day's observations until it is drained or built.
+type dayAccum struct {
+	index  map[PeerID]int32 // pid -> slot in pids/caches
+	pids   []PeerID
+	caches [][]FileID
+	nnz    int
 }
 
 // NewBuilder returns an empty builder.
 func NewBuilder() *Builder {
-	return &Builder{days: make(map[int]map[PeerID][]FileID)}
+	return &Builder{days: make(map[int]*dayAccum)}
 }
 
 // AddFile registers file metadata and returns its assigned FileID.
@@ -44,10 +57,10 @@ func (b *Builder) Observe(day int, pid PeerID, cache []FileID) {
 	if int(pid) >= len(b.peers) {
 		panic(fmt.Sprintf("trace: Observe of unregistered peer %d", pid))
 	}
-	snap := b.days[day]
-	if snap == nil {
-		snap = make(map[PeerID][]FileID)
-		b.days[day] = snap
+	acc := b.days[day]
+	if acc == nil {
+		acc = &dayAccum{index: make(map[PeerID]int32)}
+		b.days[day] = acc
 	}
 	c := append([]FileID(nil), cache...)
 	slices.Sort(c)
@@ -58,7 +71,15 @@ func (b *Builder) Observe(day int, pid PeerID, cache []FileID) {
 			out = append(out, f)
 		}
 	}
-	snap[pid] = out
+	if slot, ok := acc.index[pid]; ok {
+		acc.nnz += len(out) - len(acc.caches[slot])
+		acc.caches[slot] = out
+		return
+	}
+	acc.index[pid] = int32(len(acc.pids))
+	acc.pids = append(acc.pids, pid)
+	acc.caches = append(acc.caches, out)
+	acc.nnz += len(out)
 }
 
 // NumPeers returns the number of registered peers so far.
@@ -75,22 +96,47 @@ func (b *Builder) Files() []FileMeta { return b.files }
 // Peers returns the peer metadata registered so far (shared, read-only).
 func (b *Builder) Peers() []PeerInfo { return b.peers }
 
-// DrainDay removes and returns the snapshot for the given day; ok is
-// false when the day recorded no observations. A streaming producer
-// calls it after finishing each day so the builder holds at most the day
-// in flight, instead of the whole trace.
-func (b *Builder) DrainDay(day int) (s Snapshot, ok bool) {
-	m := b.days[day]
-	if m == nil {
-		return Snapshot{}, false
+// snapshot converts one accumulated day into its columnar form.
+func (b *Builder) snapshot(day int, acc *dayAccum) *DaySnapshot {
+	order := make([]int32, len(acc.pids))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	slices.SortFunc(order, func(x, y int32) int {
+		return int(acc.pids[x]) - int(acc.pids[y])
+	})
+	sb := tracestore.NewSnapBuilder[PeerID, FileID](day, len(b.files), true)
+	sb.Grow(len(acc.pids), acc.nnz)
+	numRows := 0
+	for _, slot := range order {
+		pid := acc.pids[slot]
+		if err := sb.AppendRow(pid, acc.caches[slot]); err != nil {
+			panic(fmt.Sprintf("trace: builder day %d: %v", day, err))
+		}
+		numRows = int(pid) + 1
+	}
+	d, err := sb.Finish(numRows)
+	if err != nil {
+		panic(fmt.Sprintf("trace: builder day %d: %v", day, err))
+	}
+	return d
+}
+
+// DrainDay removes and returns the columnar snapshot for the given day;
+// ok is false when the day recorded no observations. A streaming
+// producer calls it after finishing each day so the builder holds at
+// most the day in flight, instead of the whole trace.
+func (b *Builder) DrainDay(day int) (d *DaySnapshot, ok bool) {
+	acc := b.days[day]
+	if acc == nil {
+		return nil, false
 	}
 	delete(b.days, day)
-	return Snapshot{Day: day, Caches: m}, true
+	return b.snapshot(day, acc), true
 }
 
 // Build finalizes the trace. The builder may keep being used afterwards;
-// the returned trace does not alias builder state that later calls mutate
-// (snapshot maps are shared until the next Observe on the same day).
+// the returned trace shares no mutable state with it.
 func (b *Builder) Build() *Trace {
 	t := &Trace{
 		Files: append([]FileMeta(nil), b.files...),
@@ -102,7 +148,7 @@ func (b *Builder) Build() *Trace {
 	}
 	slices.Sort(days)
 	for _, d := range days {
-		t.Days = append(t.Days, Snapshot{Day: d, Caches: b.days[d]})
+		t.Days = append(t.Days, b.snapshot(d, b.days[d]))
 	}
 	return t
 }

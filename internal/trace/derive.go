@@ -2,8 +2,27 @@ package trace
 
 import (
 	"cmp"
+	"fmt"
 	"slices"
+
+	"edonkey/internal/tracestore"
 )
+
+// mustFinish closes a snapshot builder whose inputs were already
+// validated; a failure is a programmer error, not a data error.
+func mustFinish(b *tracestore.SnapBuilder[PeerID, FileID], numRows int) *DaySnapshot {
+	d, err := b.Finish(numRows)
+	if err != nil {
+		panic(fmt.Sprintf("trace: %v", err))
+	}
+	return d
+}
+
+func mustAppendRow(b *tracestore.SnapBuilder[PeerID, FileID], pid PeerID, row []FileID) {
+	if err := b.AppendRow(pid, row); err != nil {
+		panic(fmt.Sprintf("trace: %v", err))
+	}
+}
 
 // Filter derives the paper's "filtered trace": every client identity that
 // shares an IP address or a user hash with another identity is removed as
@@ -21,11 +40,11 @@ func (t *Trace) Filter() *Trace {
 	// A peer is a free-rider for filtering purposes if it never shared.
 	shares := make([]bool, len(t.Peers))
 	for _, s := range t.Days {
-		for pid, cache := range s.Caches {
+		s.ForEachRow(func(pid PeerID, cache []FileID) {
 			if len(cache) > 0 {
 				shares[pid] = true
 			}
-		}
+		})
 	}
 	keep := make([]bool, len(t.Peers))
 	for i, p := range t.Peers {
@@ -37,7 +56,8 @@ func (t *Trace) Filter() *Trace {
 
 // SubsetPeers returns a new trace containing only the peers with
 // keep[pid] == true, renumbered densely. Files are unchanged. AliasOf
-// links pointing at dropped peers become -1.
+// links pointing at dropped peers become -1. Days on which no kept peer
+// was observed are dropped.
 func (t *Trace) SubsetPeers(keep []bool) *Trace {
 	remap := make([]int32, len(t.Peers))
 	var peers []PeerInfo
@@ -60,14 +80,21 @@ func (t *Trace) SubsetPeers(keep []bool) *Trace {
 		Peers: peers,
 	}
 	for _, s := range t.Days {
-		caches := make(map[PeerID][]FileID)
-		for pid, cache := range s.Caches {
-			if np := remap[pid]; np >= 0 {
-				caches[PeerID(np)] = cache
+		// The dense renumbering is monotonic, so rows stay ascending and
+		// one pass rebuilds the day.
+		b := tracestore.NewSnapBuilder[PeerID, FileID](s.Day, len(t.Files), true)
+		rows, numRows := 0, 0
+		s.ForEachRow(func(pid PeerID, cache []FileID) {
+			np := remap[pid]
+			if np < 0 {
+				return
 			}
-		}
-		if len(caches) > 0 {
-			out.Days = append(out.Days, Snapshot{Day: s.Day, Caches: caches})
+			mustAppendRow(b, PeerID(np), cache)
+			rows++
+			numRows = int(np) + 1
+		})
+		if rows > 0 {
+			out.Days = append(out.Days, mustFinish(b, numRows))
 		}
 	}
 	return out
@@ -94,18 +121,23 @@ func (t *Trace) SubsetFiles(keep []bool) *Trace {
 		Files: files,
 		Peers: append([]PeerInfo(nil), t.Peers...),
 	}
+	var nc []FileID
 	for _, s := range t.Days {
-		caches := make(map[PeerID][]FileID, len(s.Caches))
-		for pid, cache := range s.Caches {
-			nc := make([]FileID, 0, len(cache))
+		b := tracestore.NewSnapBuilder[PeerID, FileID](s.Day, len(files), true)
+		numRows := 0
+		s.ForEachRow(func(pid PeerID, cache []FileID) {
+			nc = nc[:0]
 			for _, f := range cache {
 				if nf := remap[f]; nf >= 0 {
-					nc = append(nc, FileID(nf))
+					nc = append(nc, FileID(nf)) // remapping preserves order
 				}
 			}
-			caches[pid] = nc // remapping preserves order, still sorted
-		}
-		out.Days = append(out.Days, Snapshot{Day: s.Day, Caches: caches})
+			// Peers whose whole cache was dropped stay observed, exactly
+			// like the map path kept their (now empty) cache entry.
+			mustAppendRow(b, pid, nc)
+			numRows = int(pid) + 1
+		})
+		out.Days = append(out.Days, mustFinish(b, numRows))
 	}
 	return out
 }
@@ -137,41 +169,52 @@ func (t *Trace) Extrapolate(opts ExtrapolateOptions) *Trace {
 	if opts.MinSnapshots == 0 && opts.MinSpanDays == 0 {
 		opts = DefaultExtrapolateOptions()
 	}
-	type obs struct {
-		day   int
-		cache []FileID
-	}
-	byPeer := make(map[PeerID][]obs)
+	count := make([]int, len(t.Peers))
+	firstDay := make([]int, len(t.Peers))
+	lastDay := make([]int, len(t.Peers))
 	for _, s := range t.Days {
-		for pid, cache := range s.Caches {
-			byPeer[pid] = append(byPeer[pid], obs{s.Day, cache})
-		}
+		s.ForEachRow(func(pid PeerID, _ []FileID) {
+			if count[pid] == 0 {
+				firstDay[pid] = s.Day
+			}
+			lastDay[pid] = s.Day
+			count[pid]++
+		})
 	}
 	keep := make([]bool, len(t.Peers))
-	for pid, list := range byPeer {
-		span := list[len(list)-1].day - list[0].day
-		if len(list) >= opts.MinSnapshots && span >= opts.MinSpanDays {
+	for pid := range t.Peers {
+		if count[pid] >= opts.MinSnapshots && lastDay[pid]-firstDay[pid] >= opts.MinSpanDays {
 			keep[pid] = true
 		}
 	}
 	sub := t.SubsetPeers(keep)
 
-	// Fill gaps. Work on the subset so PeerIDs are final.
-	daysOut := make(map[int]map[PeerID][]FileID)
-	for _, s := range sub.Days {
-		m := make(map[PeerID][]FileID, len(s.Caches))
-		for pid, c := range s.Caches {
-			m[pid] = c
-		}
-		daysOut[s.Day] = m
+	// Fill gaps. Work on the subset so PeerIDs are final. Observed days
+	// keep their rows as stable views (Cache); fills go into per-day
+	// accumulations that are sorted by peer and rebuilt columnar.
+	type row struct {
+		pid   PeerID
+		cache []FileID
 	}
-	byPeer2 := make(map[PeerID][]obs)
+	daysOut := make(map[int][]row)
 	for _, s := range sub.Days {
-		for pid, cache := range s.Caches {
-			byPeer2[pid] = append(byPeer2[pid], obs{s.Day, cache})
-		}
+		rows := make([]row, 0, s.ObservedRows())
+		s.ForEachRow(func(pid PeerID, _ []FileID) {
+			rows = append(rows, row{pid, s.Cache(pid)})
+		})
+		daysOut[s.Day] = rows
 	}
-	for pid, list := range byPeer2 {
+	type obs struct {
+		day   int
+		cache []FileID
+	}
+	byPeer := make(map[PeerID][]obs)
+	for _, s := range sub.Days {
+		s.ForEachRow(func(pid PeerID, _ []FileID) {
+			byPeer[pid] = append(byPeer[pid], obs{s.Day, s.Cache(pid)})
+		})
+	}
+	for pid, list := range byPeer {
 		slices.SortFunc(list, func(a, b obs) int { return cmp.Compare(a.day, b.day) })
 		for i := 0; i+1 < len(list); i++ {
 			prev, next := list[i], list[i+1]
@@ -180,12 +223,7 @@ func (t *Trace) Extrapolate(opts ExtrapolateOptions) *Trace {
 			}
 			fill := Intersect(prev.cache, next.cache)
 			for d := prev.day + 1; d < next.day; d++ {
-				m := daysOut[d]
-				if m == nil {
-					m = make(map[PeerID][]FileID)
-					daysOut[d] = m
-				}
-				m[pid] = fill
+				daysOut[d] = append(daysOut[d], row{pid, fill})
 			}
 		}
 	}
@@ -196,7 +234,15 @@ func (t *Trace) Extrapolate(opts ExtrapolateOptions) *Trace {
 	}
 	slices.Sort(days)
 	for _, d := range days {
-		out.Days = append(out.Days, Snapshot{Day: d, Caches: daysOut[d]})
+		rows := daysOut[d]
+		slices.SortFunc(rows, func(a, b row) int { return cmp.Compare(a.pid, b.pid) })
+		b := tracestore.NewSnapBuilder[PeerID, FileID](d, len(sub.Files), true)
+		numRows := 0
+		for _, r := range rows {
+			mustAppendRow(b, r.pid, r.cache)
+			numRows = int(r.pid) + 1
+		}
+		out.Days = append(out.Days, mustFinish(b, numRows))
 	}
 	return out
 }

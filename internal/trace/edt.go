@@ -7,6 +7,9 @@ import (
 	"fmt"
 	"io"
 	"slices"
+
+	"edonkey/internal/runner"
+	"edonkey/internal/tracestore"
 )
 
 // The .edt trace format (EDonkey Trace, version 1) serializes the
@@ -80,6 +83,18 @@ const (
 	edtTailLen       = 16 // footer offset + tail magic
 )
 
+// edtPool is the worker pool .edt readers and writers use by default:
+// TraceRange decodes keyframe groups as parallel jobs (day sections
+// between keyframes are independent, including the DEFLATE of the
+// identity tables), and EDTWriter.Finish compresses the two string-table
+// sections concurrently. SetPool overrides it, e.g. for serial loads.
+var edtPool = runner.New(0)
+
+// emptyFiles marks "observed with an empty cache" in the decoder's
+// per-peer delta-base state, where nil means "not observed since the
+// last keyframe".
+var emptyFiles = []FileID{}
+
 // IsEDT reports whether the stream starts with the .edt format magic —
 // the format-sniffing primitive ReadFile, Decode and edtrace share.
 func IsEDT(r io.ReaderAt) bool {
@@ -117,10 +132,10 @@ type EDTWriter struct {
 	w    io.Writer
 	off  int64
 	days []EDTDayInfo
+	pool *runner.Pool
 	// lastCache tracks each peer's most recent cache since the last
-	// keyframe, the delta-encoding base. It holds references to appended
-	// caches, which callers must not mutate afterwards (Builder.DrainDay
-	// hands ownership over; Trace days are immutable).
+	// keyframe, the delta-encoding base. It holds stable views into the
+	// appended snapshots, which are immutable.
 	lastCache map[PeerID][]FileID
 	// largest ids referenced by any day, checked against the tables in
 	// Finish so a file can never reference identities it does not carry.
@@ -138,6 +153,21 @@ func NewEDTWriter(w io.Writer) (*EDTWriter, error) {
 	return ew, nil
 }
 
+// SetPool overrides the worker pool Finish compresses tables on
+// (runner.New(1) forces serial compression; nil restores the shared
+// default pool). It returns the writer.
+func (ew *EDTWriter) SetPool(p *runner.Pool) *EDTWriter {
+	ew.pool = p
+	return ew
+}
+
+func (ew *EDTWriter) workers() *runner.Pool {
+	if ew.pool != nil {
+		return ew.pool
+	}
+	return edtPool
+}
+
 func (ew *EDTWriter) write(p []byte) error {
 	n, err := ew.w.Write(p)
 	ew.off += int64(n)
@@ -147,55 +177,67 @@ func (ew *EDTWriter) write(p []byte) error {
 	return nil
 }
 
-// writeSection frames one section body under the given codec.
-func (ew *EDTWriter) writeSection(kind, codec byte, body []byte) error {
-	if len(body) > edtMaxSection {
-		return fmt.Errorf("trace: edt section exceeds %d bytes", edtMaxSection)
+// deflateBody compresses one section body; safe to run as a pool job.
+func deflateBody(body []byte) ([]byte, error) {
+	var comp bytes.Buffer
+	fw, err := flate.NewWriter(&comp, flate.DefaultCompression)
+	if err != nil {
+		return nil, err
 	}
-	stored := body
-	if codec == edtCodecFlate {
-		var comp bytes.Buffer
-		fw, err := flate.NewWriter(&comp, flate.DefaultCompression)
-		if err != nil {
-			return err
-		}
-		if _, err := fw.Write(body); err != nil {
-			return err
-		}
-		if err := fw.Close(); err != nil {
-			return err
-		}
-		stored = comp.Bytes()
+	if _, err := fw.Write(body); err != nil {
+		return nil, err
+	}
+	if err := fw.Close(); err != nil {
+		return nil, err
+	}
+	return comp.Bytes(), nil
+}
+
+// writeStored frames one section whose stored (possibly pre-compressed)
+// payload is already known.
+func (ew *EDTWriter) writeStored(kind, codec byte, stored []byte, rawLen int) error {
+	if rawLen > edtMaxSection {
+		return fmt.Errorf("trace: edt section exceeds %d bytes", edtMaxSection)
 	}
 	hdr := make([]byte, edtSectionHeader)
 	hdr[0] = kind
 	hdr[1] = codec
 	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(stored)))
-	binary.LittleEndian.PutUint32(hdr[6:], uint32(len(body)))
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(rawLen))
 	if err := ew.write(hdr); err != nil {
 		return err
 	}
 	return ew.write(stored)
 }
 
-// AppendDay writes one day section. Days must arrive in strictly
-// ascending order with sorted duplicate-free caches (what Builder and
-// Trace both guarantee). AppendDay implements DaySink.
-func (ew *EDTWriter) AppendDay(s Snapshot) error {
+// writeSection frames one section body under the given codec,
+// compressing inline when asked.
+func (ew *EDTWriter) writeSection(kind, codec byte, body []byte) error {
+	stored := body
+	if codec == edtCodecFlate {
+		var err error
+		if stored, err = deflateBody(body); err != nil {
+			return err
+		}
+	}
+	return ew.writeStored(kind, codec, stored, len(body))
+}
+
+// AppendDay writes one day section straight off the columnar snapshot.
+// Days must arrive in strictly ascending order with sorted
+// duplicate-free caches (what the snapshot builder guarantees
+// structurally; hand-assembled snapshots are re-checked). AppendDay
+// implements DaySink.
+func (ew *EDTWriter) AppendDay(d *DaySnapshot) error {
 	if ew.done {
 		return fmt.Errorf("trace: edt: AppendDay after Finish")
 	}
-	if s.Day < 0 {
-		return fmt.Errorf("trace: edt: negative day %d", s.Day)
+	if d.Day < 0 {
+		return fmt.Errorf("trace: edt: negative day %d", d.Day)
 	}
-	if n := len(ew.days); n > 0 && s.Day <= ew.days[n-1].Day {
-		return fmt.Errorf("trace: edt: day %d not after %d", s.Day, ew.days[n-1].Day)
+	if n := len(ew.days); n > 0 && d.Day <= ew.days[n-1].Day {
+		return fmt.Errorf("trace: edt: day %d not after %d", d.Day, ew.days[n-1].Day)
 	}
-	pids := make([]PeerID, 0, len(s.Caches))
-	for pid := range s.Caches {
-		pids = append(pids, pid)
-	}
-	slices.Sort(pids)
 
 	keyframe := len(ew.days)%edtKeyframeEvery == 0
 	if keyframe {
@@ -206,45 +248,62 @@ func (ew *EDTWriter) AppendDay(s Snapshot) error {
 	// implicit -1 predecessor, so first elements land as absolute values.
 	// Tags pick the per-entry encoding: len<<1 for an absolute cache,
 	// (nRemoved<<1)|1 for a diff against the peer's previous observation.
-	nnz := 0
-	var tags, addLens, payload []byte
+	// The CSR snapshot iterates observed peers in ascending order, so the
+	// pid column encodes in the same pass.
+	nnz, rows := 0, 0
+	prevP := int64(-1)
+	var pidCol, tags, addLens, payload []byte
 	var removed, added []FileID
-	for _, pid := range pids {
-		cache := s.Caches[pid]
+	var rowErr error
+	d.ForEachRow(func(pid PeerID, cache []FileID) {
+		if rowErr != nil {
+			return
+		}
 		for i, f := range cache {
 			if i > 0 && cache[i-1] >= f {
-				return fmt.Errorf("trace: edt: day %d peer %d cache not sorted/unique", s.Day, pid)
+				rowErr = fmt.Errorf("trace: edt: day %d peer %d cache not sorted/unique", d.Day, pid)
+				return
 			}
 		}
+		pidCol = binary.AppendUvarint(pidCol, uint64(int64(pid)-prevP-1))
+		prevP = int64(pid)
+		rows++
 		nnz += len(cache)
 		if len(cache) > 0 {
 			ew.maxFile = max(ew.maxFile, int64(cache[len(cache)-1]))
 		}
+		// lastCache always holds private copies: the iteration row is
+		// shared scratch, and retaining snapshot views would pin each
+		// streamed day's whole postings pool until the next keyframe.
 		prev, hasPrev := ew.lastCache[pid]
 		if hasPrev && !keyframe {
 			removed, added = diffSorted(prev, cache, removed[:0], added[:0])
+			if len(removed)+len(added) == 0 && len(cache) > 0 {
+				tags = binary.AppendUvarint(tags, 1) // empty diff: unchanged
+				addLens = binary.AppendUvarint(addLens, 0)
+				return // prev already equals cache; no new copy needed
+			}
 			if len(removed)+len(added) < len(cache) {
 				tags = binary.AppendUvarint(tags, uint64(len(removed))<<1|1)
 				addLens = binary.AppendUvarint(addLens, uint64(len(added)))
 				payload = appendIDRun(payload, removed)
 				payload = appendIDRun(payload, added)
-				ew.lastCache[pid] = cache
-				continue
+				ew.lastCache[pid] = slices.Clone(cache)
+				return
 			}
 		}
 		tags = binary.AppendUvarint(tags, uint64(len(cache))<<1)
 		payload = appendIDRun(payload, cache)
-		ew.lastCache[pid] = cache
-	}
-
-	body := binary.AppendUvarint(nil, uint64(s.Day))
-	body = binary.AppendUvarint(body, uint64(len(pids)))
-	prevP := int64(-1)
-	for _, pid := range pids {
-		body = binary.AppendUvarint(body, uint64(int64(pid)-prevP-1))
-		prevP = int64(pid)
+		ew.lastCache[pid] = slices.Clone(cache)
+	})
+	if rowErr != nil {
+		return rowErr
 	}
 	ew.maxPeer = max(ew.maxPeer, prevP)
+
+	body := binary.AppendUvarint(nil, uint64(d.Day))
+	body = binary.AppendUvarint(body, uint64(rows))
+	body = append(body, pidCol...)
 	body = append(body, tags...)
 	body = append(body, addLens...)
 	body = append(body, payload...)
@@ -253,7 +312,7 @@ func (ew *EDTWriter) AppendDay(s Snapshot) error {
 	if keyframe {
 		flags = edtFlagKeyframe
 	}
-	info := EDTDayInfo{Day: s.Day, Rows: len(pids), Postings: nnz, flags: flags, off: ew.off}
+	info := EDTDayInfo{Day: d.Day, Rows: rows, Postings: nnz, flags: flags, off: ew.off}
 	if err := ew.writeSection(edtKindDay, edtCodecRaw, body); err != nil {
 		return err
 	}
@@ -310,68 +369,56 @@ func (ew *EDTWriter) Finish(files []FileMeta, peers []PeerInfo) error {
 	// Identity hashes are cryptographic noise: they go into raw sections
 	// so loading them is a copy, not an entropy decode. The remaining
 	// columns (mostly names) compress extremely well and stay DEFLATE'd.
-	body := make([]byte, 0, 16*len(files))
+	hashBody := make([]byte, 0, 16*len(files))
 	for _, f := range files {
-		body = append(body, f.Hash[:]...)
-	}
-	fileHashOff := ew.off
-	if err := ew.writeSection(edtKindFileHash, edtCodecRaw, body); err != nil {
-		return err
+		hashBody = append(hashBody, f.Hash[:]...)
 	}
 
 	// Metadata is laid out column-wise (all name lengths, all name bytes,
 	// all sizes, ...): DEFLATE models each column far better than an
 	// interleaved stream, and the reader can rebuild every string as a
 	// slice of one shared backing array instead of one allocation each.
-	body = binary.AppendUvarint(body[:0], uint64(len(files)))
+	filesBody := binary.AppendUvarint(nil, uint64(len(files)))
 	for _, f := range files {
-		body = binary.AppendUvarint(body, uint64(len(f.Name)))
+		filesBody = binary.AppendUvarint(filesBody, uint64(len(f.Name)))
 	}
 	for _, f := range files {
-		body = append(body, f.Name...)
+		filesBody = append(filesBody, f.Name...)
 	}
 	for _, f := range files {
-		body = binary.AppendVarint(body, f.Size)
+		filesBody = binary.AppendVarint(filesBody, f.Size)
 	}
 	for _, f := range files {
-		body = append(body, byte(f.Kind))
+		filesBody = append(filesBody, byte(f.Kind))
 	}
 	for _, f := range files {
-		body = binary.AppendVarint(body, int64(f.Topic))
+		filesBody = binary.AppendVarint(filesBody, int64(f.Topic))
 	}
 	for _, f := range files {
-		body = binary.AppendVarint(body, int64(f.ReleaseDay))
-	}
-	filesOff := ew.off
-	if err := ew.writeSection(edtKindFiles, edtCodecFlate, body); err != nil {
-		return err
+		filesBody = binary.AppendVarint(filesBody, int64(f.ReleaseDay))
 	}
 
-	body = body[:0]
+	identBody := make([]byte, 0, 20*len(peers))
 	for _, p := range peers {
-		body = append(body, p.UserHash[:]...)
-		body = binary.LittleEndian.AppendUint32(body, p.IP)
-	}
-	peerIdentOff := ew.off
-	if err := ew.writeSection(edtKindPeerIdent, edtCodecRaw, body); err != nil {
-		return err
+		identBody = append(identBody, p.UserHash[:]...)
+		identBody = binary.LittleEndian.AppendUint32(identBody, p.IP)
 	}
 
-	body = binary.AppendUvarint(body[:0], uint64(len(peers)))
+	peersBody := binary.AppendUvarint(nil, uint64(len(peers)))
 	for _, p := range peers {
-		body = binary.AppendUvarint(body, uint64(len(p.Country)))
+		peersBody = binary.AppendUvarint(peersBody, uint64(len(p.Country)))
 	}
 	for _, p := range peers {
-		body = append(body, p.Country...)
+		peersBody = append(peersBody, p.Country...)
 	}
 	for _, p := range peers {
-		body = binary.AppendUvarint(body, uint64(len(p.Nickname)))
+		peersBody = binary.AppendUvarint(peersBody, uint64(len(p.Nickname)))
 	}
 	for _, p := range peers {
-		body = append(body, p.Nickname...)
+		peersBody = append(peersBody, p.Nickname...)
 	}
 	for _, p := range peers {
-		body = binary.AppendUvarint(body, uint64(p.ASN))
+		peersBody = binary.AppendUvarint(peersBody, uint64(p.ASN))
 	}
 	for _, p := range peers {
 		var flags byte
@@ -381,17 +428,51 @@ func (ew *EDTWriter) Finish(files []FileMeta, peers []PeerInfo) error {
 		if p.BrowseOK {
 			flags |= 2
 		}
-		body = append(body, flags)
+		peersBody = append(peersBody, flags)
 	}
 	for _, p := range peers {
-		body = binary.AppendVarint(body, int64(p.AliasOf))
+		peersBody = binary.AppendVarint(peersBody, int64(p.AliasOf))
+	}
+
+	// Profiles put DEFLATE of the two string-table sections at about half
+	// of write-side I/O time; they are independent, so compress them as
+	// pool jobs and only the ordered writes stay serial.
+	if len(filesBody) > edtMaxSection || len(peersBody) > edtMaxSection {
+		return fmt.Errorf("trace: edt section exceeds %d bytes", edtMaxSection)
+	}
+	stored := make([][]byte, 2)
+	errs := make([]error, 2)
+	ew.workers().Map(2, func(i int) {
+		if i == 0 {
+			stored[0], errs[0] = deflateBody(filesBody)
+		} else {
+			stored[1], errs[1] = deflateBody(peersBody)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	fileHashOff := ew.off
+	if err := ew.writeSection(edtKindFileHash, edtCodecRaw, hashBody); err != nil {
+		return err
+	}
+	filesOff := ew.off
+	if err := ew.writeStored(edtKindFiles, edtCodecFlate, stored[0], len(filesBody)); err != nil {
+		return err
+	}
+	peerIdentOff := ew.off
+	if err := ew.writeSection(edtKindPeerIdent, edtCodecRaw, identBody); err != nil {
+		return err
 	}
 	peersOff := ew.off
-	if err := ew.writeSection(edtKindPeers, edtCodecFlate, body); err != nil {
+	if err := ew.writeStored(edtKindPeers, edtCodecFlate, stored[1], len(peersBody)); err != nil {
 		return err
 	}
 
-	body = binary.AppendUvarint(body[:0], uint64(len(peers)))
+	body := binary.AppendUvarint(nil, uint64(len(peers)))
 	body = binary.AppendUvarint(body, uint64(len(files)))
 	body = binary.AppendUvarint(body, uint64(len(ew.days)))
 	for _, d := range ew.days {
@@ -431,17 +512,35 @@ func (t *Trace) WriteEDT(w io.Writer) error {
 
 // EDTReader is the random-access side of the format: the footer is read
 // once, then identity tables and individual day sections are decoded on
-// demand. Any io.ReaderAt works; nothing is cached beyond the footer, so
-// readers are safe for concurrent use.
+// demand — directly into columnar DaySnapshots, never through maps. Any
+// io.ReaderAt works; nothing is cached beyond the footer, so readers are
+// safe for concurrent use. TraceRange fans keyframe groups out over a
+// worker pool (SetPool overrides the default GOMAXPROCS-sized one).
 type EDTReader struct {
 	r            io.ReaderAt
 	days         []EDTDayInfo
+	pool         *runner.Pool
 	numPeers     int
 	numFiles     int
 	fileHashOff  int64
 	filesOff     int64
 	peerIdentOff int64
 	peersOff     int64
+}
+
+// SetPool overrides the worker pool TraceRange and Meta decode on
+// (runner.New(1) forces a serial load; nil restores the shared default
+// pool). It returns the reader.
+func (er *EDTReader) SetPool(p *runner.Pool) *EDTReader {
+	er.pool = p
+	return er
+}
+
+func (er *EDTReader) workers() *runner.Pool {
+	if er.pool != nil {
+		return er.pool
+	}
+	return edtPool
 }
 
 // NewEDTReader validates the magic, tail and footer of an .edt stream.
@@ -495,6 +594,16 @@ func NewEDTReader(r io.ReaderAt, size int64) (*EDTReader, error) {
 		lastDay = int64(day)
 		if off < uint64(len(edtMagic)) || int64(off) >= footerOff {
 			return nil, fmt.Errorf("trace: edt: day offset out of range")
+		}
+		// A day cannot observe more rows than the peer table holds or
+		// reconstruct more postings than a full peer x file matrix, so a
+		// hostile footer cannot inflate decode allocations through these
+		// counts (phrased as a division to dodge product overflow).
+		if rows > numPeers {
+			return nil, fmt.Errorf("trace: edt: footer day counts exceed table sizes")
+		}
+		if nnz > 0 && (numPeers == 0 || numFiles == 0 || (nnz-1)/numFiles >= numPeers) {
+			return nil, fmt.Errorf("trace: edt: footer day counts exceed table sizes")
 		}
 		if i == 0 && flags&edtFlagKeyframe == 0 {
 			return nil, fmt.Errorf("trace: edt: first day section is not a keyframe")
@@ -576,23 +685,45 @@ func (er *EDTReader) NumFiles() int { return er.numFiles }
 // DayInfo returns the footer stats of the i-th day section — no decoding.
 func (er *EDTReader) DayInfo(i int) EDTDayInfo { return er.days[i] }
 
-// Meta decodes the identity tables.
+// Meta decodes the identity tables. The file and peer tables are
+// independent sections, so their DEFLATE streams inflate as two pool
+// jobs.
 func (er *EDTReader) Meta() ([]FileMeta, []PeerInfo, error) {
+	var files []FileMeta
+	var peers []PeerInfo
+	errs := make([]error, 2)
+	er.workers().Map(2, func(i int) {
+		if i == 0 {
+			files, errs[0] = er.metaFiles()
+		} else {
+			peers, errs[1] = er.metaPeers()
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	return files, peers, nil
+}
+
+// metaFiles decodes the file hash column and file metadata table.
+func (er *EDTReader) metaFiles() ([]FileMeta, error) {
 	hashes, err := er.section(er.fileHashOff, er.fileHashOff+edtSectionHeader+edtMaxSection, edtKindFileHash)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if len(hashes) != 16*er.numFiles {
-		return nil, nil, fmt.Errorf("trace: edt: file hash column size mismatch")
+		return nil, fmt.Errorf("trace: edt: file hash column size mismatch")
 	}
 	fbody, err := er.section(er.filesOff, er.filesOff+edtSectionHeader+edtMaxSection, edtKindFiles)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	br := byteReader{buf: fbody}
 	nFiles := br.count(4) // ≥4 bytes of fields per file
 	if uint64(er.numFiles) != nFiles {
-		return nil, nil, fmt.Errorf("trace: edt: file table count mismatch")
+		return nil, fmt.Errorf("trace: edt: file table count mismatch")
 	}
 	files := make([]FileMeta, nFiles)
 	fileNames := br.strColumn(int(nFiles))
@@ -618,24 +749,28 @@ func (er *EDTReader) Meta() ([]FileMeta, []PeerInfo, error) {
 		files[i].ReleaseDay = int32(br.varint())
 	}
 	if br.err != nil {
-		return nil, nil, fmt.Errorf("trace: edt: corrupt file table: %w", br.err)
+		return nil, fmt.Errorf("trace: edt: corrupt file table: %w", br.err)
 	}
+	return files, nil
+}
 
+// metaPeers decodes the peer identity column and peer metadata table.
+func (er *EDTReader) metaPeers() ([]PeerInfo, error) {
 	idents, err := er.section(er.peerIdentOff, er.peerIdentOff+edtSectionHeader+edtMaxSection, edtKindPeerIdent)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	if len(idents) != 20*er.numPeers {
-		return nil, nil, fmt.Errorf("trace: edt: peer identity column size mismatch")
+		return nil, fmt.Errorf("trace: edt: peer identity column size mismatch")
 	}
 	pbody, err := er.section(er.peersOff, er.peersOff+edtSectionHeader+edtMaxSection, edtKindPeers)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	br = byteReader{buf: pbody}
+	br := byteReader{buf: pbody}
 	nPeers := br.count(4) // ≥4 bytes of fields per peer
 	if uint64(er.numPeers) != nPeers {
-		return nil, nil, fmt.Errorf("trace: edt: peer table count mismatch")
+		return nil, fmt.Errorf("trace: edt: peer table count mismatch")
 	}
 	peers := make([]PeerInfo, nPeers)
 	countries := br.strColumn(int(nPeers))
@@ -666,63 +801,69 @@ func (er *EDTReader) Meta() ([]FileMeta, []PeerInfo, error) {
 		peers[i].AliasOf = int32(alias)
 	}
 	if br.err != nil {
-		return nil, nil, fmt.Errorf("trace: edt: corrupt peer table: %w", br.err)
+		return nil, fmt.Errorf("trace: edt: corrupt peer table: %w", br.err)
 	}
-	return files, peers, nil
+	return peers, nil
 }
 
-// Day decodes the i-th day section into a Snapshot. A keyframe section
-// decodes alone; a delta section replays forward from the nearest
-// keyframe at or before it (at most edtKeyframeEvery-1 extra sections).
-func (er *EDTReader) Day(i int) (Snapshot, error) {
+// Day decodes the i-th day section into a columnar DaySnapshot. A
+// keyframe section decodes alone; a delta section replays forward from
+// the nearest keyframe at or before it (at most edtKeyframeEvery-1
+// extra sections).
+func (er *EDTReader) Day(i int) (*DaySnapshot, error) {
 	if i < 0 || i >= len(er.days) {
-		return Snapshot{}, fmt.Errorf("trace: edt: day index %d out of range", i)
+		return nil, fmt.Errorf("trace: edt: day index %d out of range", i)
 	}
 	start := i
 	for start > 0 && !er.days[start].Keyframe() {
 		start--
 	}
-	state := make(map[PeerID][]FileID)
+	state := make([][]FileID, er.numPeers)
+	stateNNZ := 0
 	for j := start; j < i; j++ {
-		if _, err := er.decodeDay(j, state, false); err != nil {
-			return Snapshot{}, err
+		if _, err := er.decodeDay(j, state, &stateNNZ, false); err != nil {
+			return nil, err
 		}
 	}
-	return er.decodeDay(i, state, true)
+	return er.decodeDay(i, state, &stateNNZ, true)
 }
 
-// decodeDay decodes one section against the running per-peer cache state
-// (the delta chain), updating it in place by replacement — previously
-// returned snapshots never alias slices that later days mutate. Run-up
-// days decoded only to advance the chain pass wantSnapshot=false and
-// skip the Snapshot map construction entirely.
-func (er *EDTReader) decodeDay(i int, state map[PeerID][]FileID, wantSnapshot bool) (Snapshot, error) {
+// decodeDay decodes one section directly into a columnar DaySnapshot,
+// against the running per-peer cache state (the delta chain, indexed by
+// PeerID; nil = not observed since the last keyframe, emptyFiles = an
+// observed empty cache; stateNNZ tracks its total postings). The state
+// is updated by replacement, so previously returned snapshots never
+// alias slices that later days mutate. Run-up days decoded only to
+// advance the chain pass wantSnapshot=false and skip the snapshot
+// construction entirely.
+func (er *EDTReader) decodeDay(i int, state [][]FileID, stateNNZ *int, wantSnapshot bool) (*DaySnapshot, error) {
 	info := er.days[i]
 	body, err := er.section(info.off, info.off+edtSectionHeader+edtMaxSection, edtKindDay)
 	if err != nil {
-		return Snapshot{}, err
+		return nil, err
 	}
 	if info.Keyframe() {
 		clear(state) // delta bases may not cross a keyframe
+		*stateNNZ = 0
 	}
 	// The footer's row count sizes allocations below; a corrupted footer
 	// cannot claim more entries than the section has bytes.
 	if info.Rows > len(body) {
-		return Snapshot{}, fmt.Errorf("trace: edt: day %d counts exceed section size", info.Day)
+		return nil, fmt.Errorf("trace: edt: day %d counts exceed section size", info.Day)
 	}
 	br := byteReader{buf: body}
 	if day := br.uvarint(); br.err == nil && int(day) != info.Day {
-		return Snapshot{}, fmt.Errorf("trace: edt: day section %d claims day %d", info.Day, day)
+		return nil, fmt.Errorf("trace: edt: day section %d claims day %d", info.Day, day)
 	}
 	nRows := br.count(2)
 	if int(nRows) != info.Rows {
-		return Snapshot{}, fmt.Errorf("trace: edt: day %d row count mismatch", info.Day)
+		return nil, fmt.Errorf("trace: edt: day %d row count mismatch", info.Day)
 	}
 	if int(nRows) > er.numPeers {
 		// More observed rows than peers is impossible for a valid file
 		// (pids are strictly ascending below numPeers) and would let a
 		// corrupted section inflate the allocations that follow.
-		return Snapshot{}, fmt.Errorf("trace: edt: day %d claims %d rows for %d peers", info.Day, nRows, er.numPeers)
+		return nil, fmt.Errorf("trace: edt: day %d claims %d rows for %d peers", info.Day, nRows, er.numPeers)
 	}
 	pids := make([]PeerID, 0, nRows)
 	prevP := int64(-1)
@@ -730,7 +871,7 @@ func (er *EDTReader) decodeDay(i int, state map[PeerID][]FileID, wantSnapshot bo
 		pid := prevP + 1 + int64(br.delta())
 		prevP = pid
 		if pid >= int64(er.numPeers) {
-			return Snapshot{}, fmt.Errorf("trace: edt: day %d references peer %d beyond table", info.Day, pid)
+			return nil, fmt.Errorf("trace: edt: day %d references peer %d beyond table", info.Day, pid)
 		}
 		pids = append(pids, PeerID(pid))
 	}
@@ -756,12 +897,23 @@ func (er *EDTReader) decodeDay(i int, state map[PeerID][]FileID, wantSnapshot bo
 		payloadIDs += n
 	}
 	if br.err == nil && payloadIDs > uint64(len(body)-br.off) {
-		return Snapshot{}, fmt.Errorf("trace: edt: day %d counts exceed section size", info.Day)
+		return nil, fmt.Errorf("trace: edt: day %d counts exceed section size", info.Day)
 	}
 	numFiles := int64(er.numFiles)
-	var s Snapshot
+	var sb *tracestore.SnapBuilder[PeerID, FileID]
 	if wantSnapshot {
-		s = Snapshot{Day: info.Day, Caches: make(map[PeerID][]FileID, nRows)}
+		sb = tracestore.NewSnapBuilder[PeerID, FileID](info.Day, er.numFiles, true)
+		// The footer's posting count sizes the builder pools, clamped to
+		// what this section can actually reconstruct — every carried-over
+		// base posting plus every id the payload ships — so a corrupted
+		// count (already table-bounded in NewEDTReader) can never make
+		// the hint allocate beyond real data; the exact nnz cross-check
+		// below still rejects the file.
+		hint := info.Postings
+		if lim := *stateNNZ + int(payloadIDs); hint > lim {
+			hint = lim
+		}
+		sb.Grow(int(nRows), hint)
 	}
 	nnz := 0
 	diff := 0
@@ -770,46 +922,71 @@ func (er *EDTReader) decodeDay(i int, state map[PeerID][]FileID, wantSnapshot bo
 		pid := pids[r]
 		tag := tags[r]
 		var cache []FileID // empty caches stay nil, like Builder.Observe
+		var enc []byte     // absolute runs are already in container coding
 		if tag&1 == 0 {
 			if n := tag >> 1; n > 0 {
+				start := br.off
 				cache = make([]FileID, 0, n)
 				cache, err = br.idRun(cache, n, numFiles)
 				if err != nil {
-					return Snapshot{}, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+					return nil, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
 				}
+				enc = body[start:br.off]
 			}
 		} else {
-			prev, ok := state[pid]
-			if !ok {
-				return Snapshot{}, fmt.Errorf("trace: edt: day %d: delta for peer %d without a base", info.Day, pid)
+			prev := state[pid]
+			if prev == nil {
+				return nil, fmt.Errorf("trace: edt: day %d: delta for peer %d without a base", info.Day, pid)
 			}
 			nRem, nAdd := tag>>1, addLens[diff]
 			diff++
 			scratch = scratch[:0]
 			if scratch, err = br.idRun(scratch, nRem, numFiles); err != nil {
-				return Snapshot{}, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+				return nil, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
 			}
 			if scratch, err = br.idRun(scratch, nAdd, numFiles); err != nil {
-				return Snapshot{}, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+				return nil, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
 			}
 			removed, added := scratch[:nRem], scratch[nRem:]
 			if cache, err = applyDiff(prev, removed, added); err != nil {
-				return Snapshot{}, fmt.Errorf("trace: edt: day %d peer %d: %w", info.Day, pid, err)
+				return nil, fmt.Errorf("trace: edt: day %d peer %d: %w", info.Day, pid, err)
 			}
 		}
 		nnz += len(cache)
-		state[pid] = cache
+		*stateNNZ += len(cache) - len(state[pid])
+		if cache == nil {
+			state[pid] = emptyFiles
+		} else {
+			state[pid] = cache
+		}
 		if wantSnapshot {
-			s.Caches[pid] = cache
+			// The file's absolute runs are verbatim (delta-1) varint
+			// codings, already validated by idRun: a varint container is
+			// a byte copy, not a re-encode.
+			if enc != nil {
+				err = sb.AppendRowEnc(pid, cache, enc)
+			} else {
+				err = sb.AppendRow(pid, cache)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+			}
 		}
 	}
 	if br.err != nil {
-		return Snapshot{}, fmt.Errorf("trace: edt: corrupt day %d: %w", info.Day, br.err)
+		return nil, fmt.Errorf("trace: edt: corrupt day %d: %w", info.Day, br.err)
 	}
 	if nnz != info.Postings {
-		return Snapshot{}, fmt.Errorf("trace: edt: day %d posting count mismatch", info.Day)
+		return nil, fmt.Errorf("trace: edt: day %d posting count mismatch", info.Day)
 	}
-	return s, nil
+	if !wantSnapshot {
+		return nil, nil
+	}
+	d, err := sb.Finish(er.numPeers)
+	if err != nil {
+		return nil, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+	}
+	return d, nil
 }
 
 // applyDiff reconstructs a cache from its base: removed must be a subset
@@ -858,28 +1035,66 @@ func (er *EDTReader) Trace() (*Trace, error) {
 // range, caches strictly sorted, identity fields matching their index)
 // is enforced structurally during decoding, which FuzzReadTrace pins by
 // validating whatever this returns.
+//
+// Day sections between keyframes are independent of everything outside
+// their keyframe group, so the load fans out over the reader's worker
+// pool: one job per keyframe group (each restarting its delta chain at
+// its own keyframe) plus one for the identity tables, assembled in day
+// order — the result is bit-identical for any worker count.
 func (er *EDTReader) TraceRange(lo, hi int) (*Trace, error) {
 	if lo < 0 || hi > len(er.days) || lo > hi {
 		return nil, fmt.Errorf("trace: edt: day range [%d, %d) out of [0, %d)", lo, hi, len(er.days))
 	}
-	files, peers, err := er.Meta()
-	if err != nil {
-		return nil, err
-	}
-	start := lo
-	for start > 0 && start < len(er.days) && !er.days[start].Keyframe() {
-		start--
-	}
-	t := &Trace{Files: files, Peers: peers}
-	state := make(map[PeerID][]FileID)
-	for i := start; i < hi; i++ {
-		s, err := er.decodeDay(i, state, i >= lo)
-		if err != nil {
-			return nil, err
+	// Keyframe groups overlapping [lo, hi): decode each from its keyframe
+	// (run-up sections advance the delta chain only) up to its last
+	// wanted section.
+	type group struct{ start, from, to int }
+	var groups []group
+	for g0 := 0; g0 < len(er.days); {
+		g1 := g0 + 1
+		for g1 < len(er.days) && !er.days[g1].Keyframe() {
+			g1++
 		}
-		if i >= lo {
-			t.Days = append(t.Days, s)
+		from, to := max(g0, lo), min(g1, hi)
+		if from < to {
+			groups = append(groups, group{start: g0, from: from, to: to})
 		}
+		g0 = g1
+	}
+	type result struct {
+		days  []*DaySnapshot
+		files []FileMeta
+		peers []PeerInfo
+		err   error
+	}
+	results := runner.Collect(er.workers(), len(groups)+1, func(j int) result {
+		if j == 0 {
+			files, peers, err := er.Meta()
+			return result{files: files, peers: peers, err: err}
+		}
+		g := groups[j-1]
+		state := make([][]FileID, er.numPeers)
+		stateNNZ := 0
+		out := make([]*DaySnapshot, 0, g.to-g.from)
+		for i := g.start; i < g.to; i++ {
+			d, err := er.decodeDay(i, state, &stateNNZ, i >= g.from)
+			if err != nil {
+				return result{err: err}
+			}
+			if i >= g.from {
+				out = append(out, d)
+			}
+		}
+		return result{days: out}
+	})
+	for _, r := range results {
+		if r.err != nil {
+			return nil, r.err
+		}
+	}
+	t := &Trace{Files: results[0].files, Peers: results[0].peers}
+	for _, r := range results[1:] {
+		t.Days = append(t.Days, r.days...)
 	}
 	return t, nil
 }

@@ -1,0 +1,242 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+
+	"edonkey/internal/runner"
+)
+
+// The pre-refactor map-based .edt day decoder, kept verbatim as a
+// differential oracle: the CSR-native decoder must reproduce its output
+// bit-for-bit on arbitrary traces and arbitrary load windows, including
+// windows that start in the middle of a keyframe group.
+
+func legacyDecodeDay(er *EDTReader, i int, state map[PeerID][]FileID, wantSnapshot bool) (Snapshot, error) {
+	info := er.days[i]
+	body, err := er.section(info.off, info.off+edtSectionHeader+edtMaxSection, edtKindDay)
+	if err != nil {
+		return Snapshot{}, err
+	}
+	if info.Keyframe() {
+		clear(state) // delta bases may not cross a keyframe
+	}
+	if info.Rows > len(body) {
+		return Snapshot{}, fmt.Errorf("trace: edt: day %d counts exceed section size", info.Day)
+	}
+	br := byteReader{buf: body}
+	if day := br.uvarint(); br.err == nil && int(day) != info.Day {
+		return Snapshot{}, fmt.Errorf("trace: edt: day section %d claims day %d", info.Day, day)
+	}
+	nRows := br.count(2)
+	if int(nRows) != info.Rows {
+		return Snapshot{}, fmt.Errorf("trace: edt: day %d row count mismatch", info.Day)
+	}
+	if int(nRows) > er.numPeers {
+		return Snapshot{}, fmt.Errorf("trace: edt: day %d claims %d rows for %d peers", info.Day, nRows, er.numPeers)
+	}
+	pids := make([]PeerID, 0, nRows)
+	prevP := int64(-1)
+	for r := uint64(0); r < nRows && br.err == nil; r++ {
+		pid := prevP + 1 + int64(br.delta())
+		prevP = pid
+		if pid >= int64(er.numPeers) {
+			return Snapshot{}, fmt.Errorf("trace: edt: day %d references peer %d beyond table", info.Day, pid)
+		}
+		pids = append(pids, PeerID(pid))
+	}
+	tags := make([]uint64, 0, nRows)
+	addLens := make([]uint64, 0, nRows)
+	payloadIDs := uint64(0)
+	nDiffs := 0
+	for r := uint64(0); r < nRows && br.err == nil; r++ {
+		tag := br.uvarint()
+		tags = append(tags, tag)
+		payloadIDs += tag >> 1
+		if tag&1 != 0 {
+			nDiffs++
+		}
+	}
+	for d := 0; d < nDiffs && br.err == nil; d++ {
+		n := br.uvarint()
+		addLens = append(addLens, n)
+		payloadIDs += n
+	}
+	if br.err == nil && payloadIDs > uint64(len(body)-br.off) {
+		return Snapshot{}, fmt.Errorf("trace: edt: day %d counts exceed section size", info.Day)
+	}
+	numFiles := int64(er.numFiles)
+	var s Snapshot
+	if wantSnapshot {
+		s = Snapshot{Day: info.Day, Caches: make(map[PeerID][]FileID, nRows)}
+	}
+	nnz := 0
+	diff := 0
+	var scratch []FileID
+	for r := 0; r < len(pids) && br.err == nil; r++ {
+		pid := pids[r]
+		tag := tags[r]
+		var cache []FileID // empty caches stay nil, like Builder.Observe
+		if tag&1 == 0 {
+			if n := tag >> 1; n > 0 {
+				cache = make([]FileID, 0, n)
+				cache, err = br.idRun(cache, n, numFiles)
+				if err != nil {
+					return Snapshot{}, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+				}
+			}
+		} else {
+			prev, ok := state[pid]
+			if !ok {
+				return Snapshot{}, fmt.Errorf("trace: edt: day %d: delta for peer %d without a base", info.Day, pid)
+			}
+			nRem, nAdd := tag>>1, addLens[diff]
+			diff++
+			scratch = scratch[:0]
+			if scratch, err = br.idRun(scratch, nRem, numFiles); err != nil {
+				return Snapshot{}, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+			}
+			if scratch, err = br.idRun(scratch, nAdd, numFiles); err != nil {
+				return Snapshot{}, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+			}
+			removed, added := scratch[:nRem], scratch[nRem:]
+			if cache, err = applyDiff(prev, removed, added); err != nil {
+				return Snapshot{}, fmt.Errorf("trace: edt: day %d peer %d: %w", info.Day, pid, err)
+			}
+		}
+		nnz += len(cache)
+		state[pid] = cache
+		if wantSnapshot {
+			s.Caches[pid] = cache
+		}
+	}
+	if br.err != nil {
+		return Snapshot{}, fmt.Errorf("trace: edt: corrupt day %d: %w", info.Day, br.err)
+	}
+	if nnz != info.Postings {
+		return Snapshot{}, fmt.Errorf("trace: edt: day %d posting count mismatch", info.Day)
+	}
+	return s, nil
+}
+
+// legacyDecodeRange is the pre-refactor serial TraceRange day loop: walk
+// back to the nearest keyframe, replay the delta chain through map
+// state, keep the in-range days as map snapshots.
+func legacyDecodeRange(t *testing.T, er *EDTReader, lo, hi int) []Snapshot {
+	t.Helper()
+	start := lo
+	for start > 0 && start < len(er.days) && !er.days[start].Keyframe() {
+		start--
+	}
+	state := make(map[PeerID][]FileID)
+	var out []Snapshot
+	for i := start; i < hi; i++ {
+		s, err := legacyDecodeDay(er, i, state, i >= lo)
+		if err != nil {
+			t.Fatalf("legacy decode day %d: %v", i, err)
+		}
+		if i >= lo {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// churnTrace builds a trace long enough to span several keyframe groups
+// with slow churn, so the file mixes keyframe and delta sections —
+// exactly the shape the CSR-native decoder has to replay.
+func churnTrace(seed uint64) *Trace {
+	return synthLoadTrace(40, 300, 20, 25, seed)
+}
+
+// requireDaysMatchLegacy pins the columnar days against legacy map
+// snapshots field by field (day, presence, caches, nil-ness).
+func requireDaysMatchLegacy(t *testing.T, label string, got []*DaySnapshot, want []Snapshot) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d days, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		gm := MapDay(got[i])
+		if !reflect.DeepEqual(gm, want[i]) {
+			t.Fatalf("%s: day index %d differs from legacy decode", label, i)
+		}
+	}
+}
+
+// The CSR-native decoder must be bit-identical to the retired map-based
+// decoder over whole files.
+func TestEDTDecodeMatchesLegacyOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		tr := churnTrace(seed)
+		var buf bytes.Buffer
+		if err := tr.WriteEDT(&buf); err != nil {
+			t.Fatal(err)
+		}
+		er, err := NewEDTReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := er.Trace()
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireDaysMatchLegacy(t, fmt.Sprintf("seed %d full", seed),
+			got.Days, legacyDecodeRange(t, er, 0, len(tr.Days)))
+	}
+}
+
+// Every window — in particular windows starting mid-keyframe-group,
+// whose delta chains must be replayed from a keyframe the caller never
+// sees — must match the legacy decode of the same window, at several
+// worker counts.
+func TestTraceRangeWindowsMatchLegacyOracle(t *testing.T) {
+	tr := churnTrace(7)
+	var buf bytes.Buffer
+	if err := tr.WriteEDT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	er, err := NewEDTReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := er.NumDays()
+	if n <= edtKeyframeEvery {
+		t.Fatalf("trace too short to span keyframe groups: %d days", n)
+	}
+	rng := rand.New(rand.NewPCG(99, 0))
+	windows := [][2]int{
+		{0, n},
+		{1, n}, // mid-group start
+		{edtKeyframeEvery - 1, edtKeyframeEvery + 2}, // straddles a keyframe
+		{edtKeyframeEvery + 3, n},                    // mid-second-group start
+		{edtKeyframeEvery, edtKeyframeEvery},         // empty range
+		{n - 1, n},                                   // tail only
+	}
+	for i := 0; i < 6; i++ {
+		lo := rng.IntN(n)
+		windows = append(windows, [2]int{lo, lo + 1 + rng.IntN(n-lo)})
+	}
+	for _, workers := range []int{1, 4} {
+		er.SetPool(runner.New(workers))
+		for _, w := range windows {
+			lo, hi := w[0], w[1]
+			got, err := er.TraceRange(lo, hi)
+			if err != nil {
+				t.Fatalf("workers %d TraceRange(%d, %d): %v", workers, lo, hi, err)
+			}
+			requireDaysMatchLegacy(t, fmt.Sprintf("workers %d window [%d, %d)", workers, lo, hi),
+				got.Days, legacyDecodeRange(t, er, lo, hi))
+			// And the window must equal the corresponding slice of the
+			// full in-memory trace.
+			for j, d := range got.Days {
+				if !d.Equal(tr.Days[lo+j]) {
+					t.Fatalf("workers %d window [%d, %d): day %d differs from source trace", workers, lo, hi, lo+j)
+				}
+			}
+		}
+	}
+}

@@ -2,12 +2,16 @@ package trace
 
 import (
 	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/gob"
 	"fmt"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
+	"time"
 )
 
 // randomRichTrace builds a structurally valid trace with adversarial-ish
@@ -73,8 +77,13 @@ func tracesEqual(t *testing.T, want, got *Trace, label string) {
 	if !reflect.DeepEqual(want.Peers, got.Peers) {
 		t.Fatalf("%s: Peers differ", label)
 	}
-	if !reflect.DeepEqual(want.Days, got.Days) {
-		t.Fatalf("%s: Days differ", label)
+	if len(want.Days) != len(got.Days) {
+		t.Fatalf("%s: %d days, want %d", label, len(got.Days), len(want.Days))
+	}
+	for i := range want.Days {
+		if !want.Days[i].Equal(got.Days[i]) {
+			t.Fatalf("%s: day index %d differs", label, i)
+		}
 	}
 }
 
@@ -168,13 +177,9 @@ func TestEDTDaySkipping(t *testing.T) {
 	}
 	for i, s := range tr.Days {
 		info := er.DayInfo(i)
-		nnz := 0
-		for _, c := range s.Caches {
-			nnz += len(c)
-		}
-		if info.Day != s.Day || info.Rows != len(s.Caches) || info.Postings != nnz {
+		if info.Day != s.Day || info.Rows != s.ObservedRows() || info.Postings != s.NNZ() {
 			t.Fatalf("DayInfo(%d) = %+v, want day %d rows %d postings %d",
-				i, info, s.Day, len(s.Caches), nnz)
+				i, info, s.Day, s.ObservedRows(), s.NNZ())
 		}
 	}
 	lo, hi := 1, len(tr.Days)-1
@@ -196,19 +201,19 @@ func TestEDTWriterErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := w.AppendDay(Snapshot{Day: 3}); err != nil {
+	if err := w.AppendDay(dayFromRows(3, nil)); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.AppendDay(Snapshot{Day: 3}); err == nil {
+	if err := w.AppendDay(dayFromRows(3, nil)); err == nil {
 		t.Error("duplicate day accepted")
 	}
-	if err := w.AppendDay(Snapshot{Day: 2}); err == nil {
+	if err := w.AppendDay(dayFromRows(2, nil)); err == nil {
 		t.Error("out-of-order day accepted")
 	}
-	if err := w.AppendDay(Snapshot{Day: 5, Caches: map[PeerID][]FileID{0: {2, 1}}}); err == nil {
+	if err := w.AppendDay(dayFromRows(5, [][]FileID{{2, 1}})); err == nil {
 		t.Error("unsorted cache accepted")
 	}
-	if err := w.AppendDay(Snapshot{Day: 6, Caches: map[PeerID][]FileID{4: {0}}}); err != nil {
+	if err := w.AppendDay(dayFromRows(6, [][]FileID{4: {0}})); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Finish(tr.Files[:1], nil); err == nil {
@@ -222,8 +227,99 @@ func TestEDTWriterErrors(t *testing.T) {
 	if err := w2.Finish(tr.Files, tr.Peers); err == nil {
 		t.Error("double Finish accepted")
 	}
-	if err := w2.AppendDay(Snapshot{Day: 9}); err == nil {
+	if err := w2.AppendDay(dayFromRows(9, nil)); err == nil {
 		t.Error("AppendDay after Finish accepted")
+	}
+}
+
+// A hostile footer claiming an absurd per-day posting count must be
+// rejected by the footer bounds (and the decode-side Grow clamp) rather
+// than driving an unbounded allocation. The footer section is
+// flate-compressed, so the test inflates it, patches the nnz varint of
+// day 0 and rebuilds the file with a corrected tail.
+func TestEDTRejectsHostileFooterPostings(t *testing.T) {
+	rng := rand.New(rand.NewPCG(51, 0))
+	tr := randomRichTrace(rng)
+	var buf bytes.Buffer
+	if err := tr.WriteEDT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	footerOff := int64(binary.LittleEndian.Uint64(data[len(data)-edtTailLen:]))
+	er := &EDTReader{r: bytes.NewReader(data)}
+	body, err := er.section(footerOff, int64(len(data)), edtKindFoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footer layout: numPeers, numFiles, numDays, then per day
+	// {day, off, rows, postings, flags}.
+	br := byteReader{buf: body}
+	br.uvarint() // numPeers
+	br.uvarint() // numFiles
+	if n := br.uvarint(); n == 0 {
+		t.Fatal("no day records")
+	}
+	br.uvarint() // day 0: day
+	br.uvarint() // day 0: off
+	br.uvarint() // day 0: rows
+	start := br.off
+	br.uvarint() // day 0: postings
+	if br.err != nil {
+		t.Fatal(br.err)
+	}
+	patched := append([]byte(nil), body[:start]...)
+	patched = binary.AppendUvarint(patched, 1<<40) // claim ~10^12 postings
+	patched = append(patched, body[br.off:]...)
+	stored, err := deflateBody(patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := append([]byte(nil), data[:footerOff]...)
+	hdr := make([]byte, edtSectionHeader)
+	hdr[0] = edtKindFoot
+	hdr[1] = edtCodecFlate
+	binary.LittleEndian.PutUint32(hdr[2:], uint32(len(stored)))
+	binary.LittleEndian.PutUint32(hdr[6:], uint32(len(patched)))
+	mut = append(mut, hdr...)
+	mut = append(mut, stored...)
+	mut = binary.LittleEndian.AppendUint64(mut, uint64(footerOff))
+	mut = append(mut, edtTailMagic...)
+	if _, err := Decode(mut); err == nil {
+		t.Fatal("hostile footer posting count accepted")
+	}
+}
+
+// A forged legacy gob file whose cache map holds a huge PeerID must
+// fail fast on the identity bound, not size columnar day columns to
+// the rogue id (multi-GB allocation).
+func TestGobRejectsHostilePeerID(t *testing.T) {
+	hostile := gobTrace{
+		Files: []FileMeta{{ID: 0}},
+		Peers: []PeerInfo{{ID: 0, AliasOf: -1}},
+		Days: []Snapshot{{Day: 0, Caches: map[PeerID][]FileID{
+			4_000_000_000: {0},
+		}}},
+	}
+	var buf bytes.Buffer
+	zw := gzip.NewWriter(&buf)
+	if err := gob.NewEncoder(zw).Encode(&hostile); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := Read(bytes.NewReader(buf.Bytes()))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("hostile peer id accepted")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("hostile peer id ground instead of failing fast")
 	}
 }
 

@@ -1,0 +1,190 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// EDTVerifyReport summarizes a structural check of an .edt stream. When
+// the footer is intact the counts come from it and every section frame
+// has been checked; when the tail or footer is damaged (a truncated
+// capture), Truncated is set and the counts come from a forward scan of
+// the self-framing sections instead.
+type EDTVerifyReport struct {
+	Size     int64
+	Peers    int
+	Files    int
+	Days     int
+	Postings int
+	// Truncated marks a stream whose tail/footer could not be used; the
+	// section counts then describe the readable prefix.
+	Truncated bool
+	// ScannedBytes is how far the forward scan got (Truncated only).
+	ScannedBytes int64
+}
+
+// VerifyEDT structurally checks an .edt stream without decoding any
+// postings: tail and footer, section framing (kinds, codecs, lengths,
+// contiguous tiling of the day region), per-day header invariants (day
+// number and row count matching the footer, row count within the peer
+// table) and identity-table sizes. It reads O(days) small headers plus
+// the footer, so it is usable on multi-gigabyte captures.
+//
+// On a truncated capture the footer is gone; VerifyEDT then scans the
+// self-framing sections from the top and reports how much of the stream
+// is intact, alongside the error describing the damage.
+func VerifyEDT(r io.ReaderAt, size int64) (EDTVerifyReport, error) {
+	rep := EDTVerifyReport{Size: size}
+	er, err := NewEDTReader(r, size)
+	if err != nil {
+		rep.Truncated = true
+		rep.Days, rep.ScannedBytes = scanEDTSections(r, size)
+		return rep, err
+	}
+	rep.Peers, rep.Files, rep.Days = er.numPeers, er.numFiles, len(er.days)
+
+	// Day sections must tile the region between the magic and the first
+	// identity table, in footer order, each framed as an uncompressed
+	// day section whose header matches the footer's record.
+	next := int64(len(edtMagic))
+	hdr := make([]byte, edtSectionHeader)
+	for i, d := range er.days {
+		rep.Postings += d.Postings
+		if d.off != next {
+			return rep, fmt.Errorf("trace: edt: day section %d at offset %d, want %d (hole or overlap)", i, d.off, next)
+		}
+		if _, err := r.ReadAt(hdr, d.off); err != nil {
+			return rep, fmt.Errorf("trace: edt: day section %d header: %w", i, err)
+		}
+		if hdr[0] != edtKindDay {
+			return rep, fmt.Errorf("trace: edt: day section %d has kind %q", i, hdr[0])
+		}
+		if hdr[1] != edtCodecRaw {
+			return rep, fmt.Errorf("trace: edt: day section %d has codec %d, want raw", i, hdr[1])
+		}
+		stored := int64(binary.LittleEndian.Uint32(hdr[2:]))
+		raw := int64(binary.LittleEndian.Uint32(hdr[6:]))
+		if stored != raw {
+			return rep, fmt.Errorf("trace: edt: day section %d raw/stored length mismatch", i)
+		}
+		next = d.off + edtSectionHeader + stored
+		if next > size {
+			return rep, fmt.Errorf("trace: edt: day section %d extends past end of file", i)
+		}
+		// Light header parse: the body must open with the footer's day
+		// number and row count, and the row count must fit the peer
+		// table. Postings stay undecoded.
+		head := make([]byte, min(stored, 24))
+		if _, err := r.ReadAt(head, d.off+edtSectionHeader); err != nil {
+			return rep, fmt.Errorf("trace: edt: day section %d body: %w", i, err)
+		}
+		br := byteReader{buf: head}
+		day := br.uvarint()
+		rows := br.uvarint()
+		if br.err != nil {
+			return rep, fmt.Errorf("trace: edt: day section %d: corrupt header varints", i)
+		}
+		if int(day) != d.Day {
+			return rep, fmt.Errorf("trace: edt: day section %d claims day %d, footer says %d", i, day, d.Day)
+		}
+		if int(rows) != d.Rows {
+			return rep, fmt.Errorf("trace: edt: day section %d claims %d rows, footer says %d", i, rows, d.Rows)
+		}
+		if int(rows) > er.numPeers {
+			return rep, fmt.Errorf("trace: edt: day section %d claims %d rows for %d peers", i, rows, er.numPeers)
+		}
+		if d.Rows == 0 && d.Postings > 0 {
+			return rep, fmt.Errorf("trace: edt: day section %d has postings but no rows", i)
+		}
+	}
+
+	// Identity tables follow the day region in fixed order, with fixed
+	// codecs and — for the raw hash/IP columns — sizes implied by the
+	// footer counts.
+	checkTable := func(name string, off int64, kind, codec byte, wantRaw int64) (int64, error) {
+		if off != next {
+			return 0, fmt.Errorf("trace: edt: %s section at offset %d, want %d", name, off, next)
+		}
+		if _, err := r.ReadAt(hdr, off); err != nil {
+			return 0, fmt.Errorf("trace: edt: %s section header: %w", name, err)
+		}
+		if hdr[0] != kind {
+			return 0, fmt.Errorf("trace: edt: %s section has kind %q, want %q", name, hdr[0], kind)
+		}
+		if hdr[1] != codec {
+			return 0, fmt.Errorf("trace: edt: %s section has codec %d, want %d", name, hdr[1], codec)
+		}
+		stored := int64(binary.LittleEndian.Uint32(hdr[2:]))
+		raw := int64(binary.LittleEndian.Uint32(hdr[6:]))
+		if codec == edtCodecRaw && stored != raw {
+			return 0, fmt.Errorf("trace: edt: %s section raw/stored length mismatch", name)
+		}
+		if wantRaw >= 0 && raw != wantRaw {
+			return 0, fmt.Errorf("trace: edt: %s section holds %d bytes, want %d", name, raw, wantRaw)
+		}
+		end := off + edtSectionHeader + stored
+		if end > size {
+			return 0, fmt.Errorf("trace: edt: %s section extends past end of file", name)
+		}
+		return end, nil
+	}
+	if next, err = checkTable("file hash", er.fileHashOff, edtKindFileHash, edtCodecRaw, 16*int64(er.numFiles)); err != nil {
+		return rep, err
+	}
+	if next, err = checkTable("file table", er.filesOff, edtKindFiles, edtCodecFlate, -1); err != nil {
+		return rep, err
+	}
+	if next, err = checkTable("peer identity", er.peerIdentOff, edtKindPeerIdent, edtCodecRaw, 20*int64(er.numPeers)); err != nil {
+		return rep, err
+	}
+	if next, err = checkTable("peer table", er.peersOff, edtKindPeers, edtCodecFlate, -1); err != nil {
+		return rep, err
+	}
+	// The footer section and tail close the file exactly.
+	if next, err = checkTable("footer", next, edtKindFoot, edtCodecFlate, -1); err != nil {
+		return rep, err
+	}
+	if next+edtTailLen != size {
+		return rep, fmt.Errorf("trace: edt: %d trailing bytes after the footer", size-next-edtTailLen)
+	}
+	return rep, nil
+}
+
+// scanEDTSections walks the self-framing sections from the top of a
+// stream whose footer is unusable, returning how many day sections are
+// intact and how far the scan got before running out of valid frames.
+func scanEDTSections(r io.ReaderAt, size int64) (days int, scanned int64) {
+	off := int64(len(edtMagic))
+	if size < off {
+		return 0, 0
+	}
+	hdr := make([]byte, edtSectionHeader)
+	for off+edtSectionHeader <= size {
+		if _, err := r.ReadAt(hdr, off); err != nil {
+			break
+		}
+		switch hdr[0] {
+		case edtKindDay, edtKindFiles, edtKindFileHash, edtKindPeers, edtKindPeerIdent, edtKindFoot:
+		default:
+			return days, off
+		}
+		if hdr[1] != edtCodecRaw && hdr[1] != edtCodecFlate {
+			return days, off
+		}
+		stored := int64(binary.LittleEndian.Uint32(hdr[2:]))
+		raw := int64(binary.LittleEndian.Uint32(hdr[6:]))
+		if raw > edtMaxSection || (hdr[1] == edtCodecRaw && stored != raw) {
+			return days, off
+		}
+		end := off + edtSectionHeader + stored
+		if end > size {
+			return days, off
+		}
+		if hdr[0] == edtKindDay {
+			days++
+		}
+		off = end
+	}
+	return days, off
+}

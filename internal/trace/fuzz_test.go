@@ -33,6 +33,40 @@ func FuzzReadTrace(f *testing.F) {
 		f.Add(mut)
 	}
 
+	// Delta-heavy seed: many days with slow churn, so most sections are
+	// deltas spanning several keyframe groups — the delta-replay and
+	// group-parallel decode paths start inside the interesting states.
+	var deltaHeavy bytes.Buffer
+	if err := churnTrace(11).WriteEDT(&deltaHeavy); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(deltaHeavy.Bytes())
+	// Bitmap-container seed: dense clustered caches whose decoded rows
+	// land in bitmap containers, exercising the packed snapshot builder.
+	db := NewBuilder()
+	for i := 0; i < 400; i++ {
+		db.AddFile(FileMeta{Hash: [16]byte{byte(i), byte(i >> 8)}})
+	}
+	for p := 0; p < 6; p++ {
+		db.AddPeer(PeerInfo{UserHash: [16]byte{byte(p + 1)}, IP: uint32(p + 1), AliasOf: -1})
+	}
+	for d := 0; d < 10; d++ {
+		for p := 0; p < 6; p++ {
+			var cache []FileID
+			for v := p * 10; v < p*10+330; v++ {
+				if (v+d)%5 != 0 {
+					cache = append(cache, FileID(v))
+				}
+			}
+			db.Observe(d, PeerID(p), cache)
+		}
+	}
+	var dense bytes.Buffer
+	if err := db.Build().WriteEDT(&dense); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(dense.Bytes())
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := Decode(data)
 		if err != nil {

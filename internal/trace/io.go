@@ -12,14 +12,29 @@ import (
 	"strings"
 )
 
+// gobTrace is the legacy gzip'd-gob schema: the field names and the
+// map-based Snapshot day shape match what the pre-columnar Trace
+// serialized, so files written before the CSR-native pipeline still
+// load and files written now still open with older builds.
+type gobTrace struct {
+	Files []FileMeta
+	Peers []PeerInfo
+	Days  []Snapshot
+}
+
 // Write serializes the trace as gzip-compressed gob — the legacy format,
-// kept so existing trace files stay readable. New files should use the
+// kept so existing trace files stay readable. The columnar days are
+// converted to the map schema on the way out. New files should use the
 // columnar .edt format (WriteEDT / WriteFile with an .edt path), which
 // loads several times faster and is roughly half the size.
 func (t *Trace) Write(w io.Writer) error {
+	legacy := gobTrace{Files: t.Files, Peers: t.Peers, Days: make([]Snapshot, len(t.Days))}
+	for i, d := range t.Days {
+		legacy.Days[i] = MapDay(d)
+	}
 	zw := gzip.NewWriter(w)
 	enc := gob.NewEncoder(zw)
-	if err := enc.Encode(t); err != nil {
+	if err := enc.Encode(&legacy); err != nil {
 		zw.Close()
 		return fmt.Errorf("trace: encode: %w", err)
 	}
@@ -29,22 +44,31 @@ func (t *Trace) Write(w io.Writer) error {
 	return nil
 }
 
-// Read deserializes a gob trace written by Write and validates it. Use
-// ReadFile or Decode to accept either format transparently.
+// Read deserializes a gob trace written by Write, converts the map days
+// to the columnar representation and validates the result. Use ReadFile
+// or Decode to accept either format transparently.
 func Read(r io.Reader) (*Trace, error) {
 	zr, err := gzip.NewReader(r)
 	if err != nil {
 		return nil, fmt.Errorf("trace: decompress: %w", err)
 	}
 	defer zr.Close()
-	var t Trace
-	if err := gob.NewDecoder(zr).Decode(&t); err != nil {
+	var legacy gobTrace
+	if err := gob.NewDecoder(zr).Decode(&legacy); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
+	}
+	t := &Trace{Files: legacy.Files, Peers: legacy.Peers}
+	for _, s := range legacy.Days {
+		d, err := NewDaySnapshot(s.Day, s.Caches, len(legacy.Peers), len(legacy.Files))
+		if err != nil {
+			return nil, err
+		}
+		t.Days = append(t.Days, d)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
-	return &t, nil
+	return t, nil
 }
 
 // WriteFile writes the trace to the named file, inferring the format
@@ -146,11 +170,11 @@ type jsonSnapshot struct {
 func (t *Trace) WriteJSON(w io.Writer) error {
 	shares := make([]bool, len(t.Peers))
 	for _, s := range t.Days {
-		for pid, cache := range s.Caches {
+		s.ForEachRow(func(pid PeerID, cache []FileID) {
 			if len(cache) > 0 {
 				shares[pid] = true
 			}
-		}
+		})
 	}
 	out := jsonTrace{}
 	for _, f := range t.Files {
@@ -166,7 +190,7 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 		})
 	}
 	for _, s := range t.Days {
-		out.Days = append(out.Days, jsonSnapshot{Day: s.Day, Caches: s.Caches})
+		out.Days = append(out.Days, jsonSnapshot{Day: s.Day, Caches: s.ToMap()})
 	}
 	enc := json.NewEncoder(w)
 	return enc.Encode(out)

@@ -2,7 +2,6 @@ package trace
 
 import (
 	"fmt"
-	"slices"
 )
 
 // Merge combines independently collected capture segments into one
@@ -54,22 +53,17 @@ func Merge(segments ...*Trace) (*Trace, error) {
 			pmap[i] = id
 		}
 		for _, s := range t.Days {
-			// Ascending local pid order keeps the re-browse overwrite
-			// deterministic even if a malformed segment maps two local
-			// identities onto one merged peer.
-			pids := make([]PeerID, 0, len(s.Caches))
-			for pid := range s.Caches {
-				pids = append(pids, pid)
-			}
-			slices.Sort(pids)
-			for _, pid := range pids {
-				cache := s.Caches[pid]
-				mapped := make([]FileID, len(cache))
-				for j, f := range cache {
-					mapped[j] = fmap[f]
+			// ForEachRow visits local pids in ascending order, which keeps
+			// the re-browse overwrite deterministic even if a malformed
+			// segment maps two local identities onto one merged peer.
+			var mapped []FileID
+			s.ForEachRow(func(pid PeerID, cache []FileID) {
+				mapped = mapped[:0]
+				for _, f := range cache {
+					mapped = append(mapped, fmap[f])
 				}
 				b.Observe(s.Day, pmap[pid], mapped)
-			}
+			})
 		}
 	}
 	merged := b.Build()

@@ -3,6 +3,7 @@ package trace_test
 import (
 	"bytes"
 	"cmp"
+	"math/rand/v2"
 	"reflect"
 	"slices"
 	"testing"
@@ -25,10 +26,10 @@ func captureSegment(t *trace.Trace, lo, hi int) *trace.Trace {
 		if s.Day < lo || s.Day > hi {
 			continue
 		}
-		order := make([]trace.PeerID, 0, len(s.Caches))
-		for pid := range s.Caches {
+		order := make([]trace.PeerID, 0, s.ObservedRows())
+		s.ForEachRow(func(pid trace.PeerID, _ []trace.FileID) {
 			order = append(order, pid)
-		}
+		})
 		slices.SortFunc(order, func(a, b trace.PeerID) int {
 			if c := bytes.Compare(t.Peers[a].UserHash[:], t.Peers[b].UserHash[:]); c != 0 {
 				return c
@@ -41,7 +42,7 @@ func captureSegment(t *trace.Trace, lo, hi int) *trace.Trace {
 				np = b.AddPeer(t.Peers[pid])
 				pids[pid] = np
 			}
-			cache := s.Caches[pid]
+			cache := s.Cache(pid)
 			mapped := make([]trace.FileID, 0, len(cache))
 			for _, f := range cache {
 				nf, ok := fids[f]
@@ -80,8 +81,13 @@ func requireTracesEqual(t *testing.T, want, got *trace.Trace, label string) {
 	if !reflect.DeepEqual(want.Peers, got.Peers) {
 		t.Fatalf("%s: Peers differ (%d vs %d)", label, len(want.Peers), len(got.Peers))
 	}
-	if !reflect.DeepEqual(want.Days, got.Days) {
-		t.Fatalf("%s: Days differ", label)
+	if len(want.Days) != len(got.Days) {
+		t.Fatalf("%s: %d days, want %d", label, len(got.Days), len(want.Days))
+	}
+	for i := range want.Days {
+		if !want.Days[i].Equal(got.Days[i]) {
+			t.Fatalf("%s: day index %d differs", label, i)
+		}
 	}
 }
 
@@ -129,6 +135,127 @@ func TestMergeIdempotent(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireTracesEqual(t, full, merged, "self-merge")
+}
+
+// Merging segments whose day windows overlap exercises the re-browse
+// rule: when two segments observed the same (day, peer), the later
+// segment's cache wins. Pinned against a map-based oracle that replays
+// the same identity unification and overwrite semantics the pre-refactor
+// merge had, on randomized segment pairs with shared peers and
+// conflicting caches.
+func TestMergeOverlappingSegmentsMatchMapOracle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0x0eb1, 7))
+	for iter := 0; iter < 15; iter++ {
+		segA := randomSegment(rng, 0x100+uint64(iter))
+		segB := randomSegment(rng, 0x100+uint64(iter)) // same hash space: many shared identities
+		merged, err := trace.Merge(segA, segB)
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+
+		// Map oracle: files by hash, peers by (user hash, IP), caches
+		// overwritten in segment order with local pids ascending.
+		type peerKey struct {
+			hash [16]byte
+			ip   uint32
+		}
+		fileIDs := make(map[[16]byte]trace.FileID)
+		peerIDs := make(map[peerKey]trace.PeerID)
+		var nFiles, nPeers int
+		days := make(map[int]map[trace.PeerID][]trace.FileID)
+		for _, seg := range []*trace.Trace{segA, segB} {
+			// Merge registers every table identity by first sight in
+			// segment order, observed or not.
+			for _, f := range seg.Files {
+				if _, ok := fileIDs[f.Hash]; !ok {
+					fileIDs[f.Hash] = trace.FileID(nFiles)
+					nFiles++
+				}
+			}
+			for _, p := range seg.Peers {
+				k := peerKey{p.UserHash, p.IP}
+				if _, ok := peerIDs[k]; !ok {
+					peerIDs[k] = trace.PeerID(nPeers)
+					nPeers++
+				}
+			}
+			for _, s := range seg.Days {
+				caches := days[s.Day]
+				if caches == nil {
+					caches = make(map[trace.PeerID][]trace.FileID)
+					days[s.Day] = caches
+				}
+				s.ForEachRow(func(pid trace.PeerID, cache []trace.FileID) {
+					mp := peerIDs[peerKey{seg.Peers[pid].UserHash, seg.Peers[pid].IP}]
+					mapped := make([]trace.FileID, 0, len(cache))
+					for _, f := range cache {
+						mapped = append(mapped, fileIDs[seg.Files[f].Hash])
+					}
+					slices.Sort(mapped)
+					caches[mp] = mapped // later observation wins
+				})
+			}
+		}
+		if len(merged.Files) != nFiles || len(merged.Peers) != nPeers {
+			t.Fatalf("iter %d: merged %d files / %d peers, oracle %d / %d",
+				iter, len(merged.Files), len(merged.Peers), nFiles, nPeers)
+		}
+		if len(merged.Days) != len(days) {
+			t.Fatalf("iter %d: merged %d days, oracle %d", iter, len(merged.Days), len(days))
+		}
+		for _, d := range merged.Days {
+			want := days[d.Day]
+			got := d.ToMap()
+			if len(got) != len(want) {
+				t.Fatalf("iter %d day %d: %d observed peers, oracle %d", iter, d.Day, len(got), len(want))
+			}
+			for pid, cache := range want {
+				g, ok := got[pid]
+				if !ok {
+					t.Fatalf("iter %d day %d: peer %d missing", iter, d.Day, pid)
+				}
+				if len(cache) == 0 {
+					cache = nil
+				}
+				if !slices.Equal(g, cache) {
+					t.Fatalf("iter %d day %d peer %d: cache %v, oracle %v", iter, d.Day, pid, g, cache)
+				}
+			}
+		}
+	}
+}
+
+// randomSegment builds a capture segment over a tiny shared identity
+// space (8 possible user hashes, 6 possible file hashes), so two
+// segments drawn from the same space share peers and disagree on their
+// caches for overlapping days.
+func randomSegment(rng *rand.Rand, space uint64) *trace.Trace {
+	b := trace.NewBuilder()
+	nFiles := 1 + rng.IntN(6)
+	for i := 0; i < nFiles; i++ {
+		b.AddFile(trace.FileMeta{Hash: [16]byte{byte(space), byte(i + 1)}})
+	}
+	nPeers := 1 + rng.IntN(8)
+	for i := 0; i < nPeers; i++ {
+		b.AddPeer(trace.PeerInfo{UserHash: [16]byte{byte(space >> 8), byte(i + 1)}, IP: uint32(i + 1), AliasOf: -1})
+	}
+	lo := rng.IntN(4)
+	hi := lo + 1 + rng.IntN(6)
+	for d := lo; d <= hi; d++ {
+		for p := 0; p < nPeers; p++ {
+			if rng.IntN(3) == 0 {
+				continue
+			}
+			var cache []trace.FileID
+			for f := 0; f < nFiles; f++ {
+				if rng.IntN(2) == 0 {
+					cache = append(cache, trace.FileID(f))
+				}
+			}
+			b.Observe(d, trace.PeerID(p), cache)
+		}
+	}
+	return b.Build()
 }
 
 // A forward alias reference (possible in a hand-built segment) must be

@@ -2,20 +2,24 @@ package trace
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"edonkey/internal/tracestore"
 )
 
-// Store is the columnar (CSR) view of a trace: per-day snapshots with
-// flat sorted postings, presence bitsets, a lazily built aggregate (the
-// per-peer union over all days) and lazily built inverted indexes
-// (file -> sorted peer list). Every derived statistic of Trace routes
-// through it, and the pairwise-overlap hot paths in internal/core and
-// internal/overlay consume its views directly.
+// Store is the columnar (CSR) view of a trace: the trace's own per-day
+// snapshots plus a lazily built aggregate (the per-peer union over all
+// days) and lazily built inverted indexes (file -> sorted peer list).
+// Since Trace.Days already holds columnar snapshots, building the store
+// copies nothing — it only fixes the row/value bounds at the identity
+// table sizes. Every derived statistic of Trace routes through it, and
+// the pairwise-overlap hot paths in internal/core and internal/overlay
+// consume its views directly.
 type Store = tracestore.Store[PeerID, FileID]
 
-// StoreSnapshot is one CSR day (or the aggregate) of a Store.
+// StoreSnapshot is one CSR day (or the aggregate) of a Store; identical
+// to DaySnapshot, kept as the name analysis-side consumers use.
 type StoreSnapshot = tracestore.Snapshot[PeerID, FileID]
 
 // storeCache is embedded in Trace to build the columnar view once.
@@ -28,35 +32,24 @@ type storeCache struct {
 	store *Store
 }
 
-// Store returns the trace's columnar view, building it on first use
-// (O(observations + replicas)). Aside from AppendDay, the trace must not
-// be mutated after the first call; all slices reachable from the store
-// are shared views.
+// Store returns the trace's columnar view, wrapping the trace's own day
+// snapshots (no copy). Aside from AppendDay, the trace must not be
+// mutated after the first call; all slices reachable from the store are
+// shared views.
 func (t *Trace) Store() *Store {
 	t.cols.mu.Lock()
 	defer t.cols.mu.Unlock()
 	if t.cols.store == nil {
-		days := make([]*StoreSnapshot, len(t.Days))
-		rows := make([][]FileID, len(t.Peers))
-		present := make([]bool, len(t.Peers))
-		for i, s := range t.Days {
-			clear(rows)
-			clear(present)
-			for pid, c := range s.Caches {
-				rows[pid] = c
-				present[pid] = true
-			}
-			days[i] = tracestore.FromRows[PeerID, FileID](s.Day, rows, present, len(t.Files))
-		}
-		t.cols.store = tracestore.NewStore[PeerID, FileID](len(t.Peers), len(t.Files), days)
+		t.cols.store = tracestore.NewStore(len(t.Peers), len(t.Files), slices.Clone(t.Days))
 	}
 	return t.cols.store
 }
 
-// DaySink consumes completed day snapshots from a streaming trace
-// producer (the crawler, an .edt writer, a trace under construction).
+// DaySink consumes completed columnar day snapshots from a streaming
+// trace producer (the crawler, an .edt writer, a trace under
+// construction).
 type DaySink interface {
-	AppendDay(Snapshot) error
+	AppendDay(*DaySnapshot) error
 }
 
 // AppendDay appends a snapshot for a day after every existing one — the
@@ -67,27 +60,21 @@ type DaySink interface {
 // more CSR snapshot and cached aggregates fold it in with a single
 // linear union merge instead of rebuilding. AppendDay must not run
 // concurrently with any reader of the trace.
-func (t *Trace) AppendDay(s Snapshot) error {
-	if s.Day < 0 {
-		return fmt.Errorf("trace: AppendDay: negative day %d", s.Day)
+func (t *Trace) AppendDay(d *DaySnapshot) error {
+	if d.Day < 0 {
+		return fmt.Errorf("trace: AppendDay: negative day %d", d.Day)
 	}
-	if len(t.Days) > 0 && s.Day <= t.Days[len(t.Days)-1].Day {
-		return fmt.Errorf("trace: AppendDay %d not after %d", s.Day, t.Days[len(t.Days)-1].Day)
+	if len(t.Days) > 0 && d.Day <= t.Days[len(t.Days)-1].Day {
+		return fmt.Errorf("trace: AppendDay %d not after %d", d.Day, t.Days[len(t.Days)-1].Day)
 	}
-	if err := validateDaySnapshot(s, len(t.Peers), len(t.Files)); err != nil {
+	if err := checkDay(d, len(t.Peers), len(t.Files)); err != nil {
 		return fmt.Errorf("trace: AppendDay: %w", err)
 	}
-	t.Days = append(t.Days, s)
+	t.Days = append(t.Days, d)
 	t.cols.mu.Lock()
 	defer t.cols.mu.Unlock()
 	if st := t.cols.store; st != nil {
-		rows := make([][]FileID, len(t.Peers))
-		present := make([]bool, len(t.Peers))
-		for pid, c := range s.Caches {
-			rows[pid] = c
-			present[pid] = true
-		}
-		st.Append(tracestore.FromRows[PeerID, FileID](s.Day, rows, present, len(t.Files)))
+		st.Append(d)
 	}
 	return nil
 }

@@ -9,11 +9,20 @@ import (
 
 // The legacy map-of-maps implementations of every derived statistic,
 // kept verbatim as differential oracles: the columnar store must match
-// them bit-for-bit on arbitrary traces.
+// them bit-for-bit on arbitrary traces. The oracles consume the legacy
+// map day shape, produced through the sanctioned ToMap conversion.
+
+func legacyDays(t *Trace) []Snapshot {
+	out := make([]Snapshot, len(t.Days))
+	for i, d := range t.Days {
+		out[i] = MapDay(d)
+	}
+	return out
+}
 
 func legacyAggregateCaches(t *Trace) [][]FileID {
 	sets := make([]map[FileID]struct{}, len(t.Peers))
-	for _, s := range t.Days {
+	for _, s := range legacyDays(t) {
 		for pid, cache := range s.Caches {
 			if sets[pid] == nil {
 				sets[pid] = make(map[FileID]struct{}, len(cache))
@@ -40,7 +49,7 @@ func legacyAggregateCaches(t *Trace) [][]FileID {
 
 func legacySourcesPerFile(t *Trace) []int {
 	sources := make(map[FileID]map[PeerID]struct{})
-	for _, s := range t.Days {
+	for _, s := range legacyDays(t) {
 		for pid, cache := range s.Caches {
 			for _, f := range cache {
 				set := sources[f]
@@ -62,7 +71,7 @@ func legacySourcesPerFile(t *Trace) []int {
 func legacyDaysSeenPerFile(t *Trace) []int {
 	out := make([]int, len(t.Files))
 	seenToday := make(map[FileID]bool)
-	for _, s := range t.Days {
+	for _, s := range legacyDays(t) {
 		clear(seenToday)
 		for _, cache := range s.Caches {
 			for _, f := range cache {
@@ -78,7 +87,7 @@ func legacyDaysSeenPerFile(t *Trace) []int {
 
 func legacyObservedFiles(t *Trace) []bool {
 	seen := make([]bool, len(t.Files))
-	for _, s := range t.Days {
+	for _, s := range legacyDays(t) {
 		for _, cache := range s.Caches {
 			for _, f := range cache {
 				seen[f] = true
@@ -91,7 +100,7 @@ func legacyObservedFiles(t *Trace) []bool {
 func legacyFreeRiders(t *Trace) int {
 	shared := make([]bool, len(t.Peers))
 	observed := make([]bool, len(t.Peers))
-	for _, s := range t.Days {
+	for _, s := range legacyDays(t) {
 		for pid, cache := range s.Caches {
 			observed[pid] = true
 			if len(cache) > 0 {
@@ -110,7 +119,7 @@ func legacyFreeRiders(t *Trace) int {
 
 func legacyObservedPeers(t *Trace) int {
 	observed := make([]bool, len(t.Peers))
-	for _, s := range t.Days {
+	for _, s := range legacyDays(t) {
 		for pid := range s.Caches {
 			observed[pid] = true
 		}
@@ -126,7 +135,7 @@ func legacyObservedPeers(t *Trace) int {
 
 func legacyObservations(t *Trace) int {
 	n := 0
-	for _, s := range t.Days {
+	for _, s := range legacyDays(t) {
 		n += len(s.Caches)
 	}
 	return n
@@ -209,8 +218,10 @@ func TestStoreStatsMatchLegacyDifferential(t *testing.T) {
 	}
 }
 
-// The store's per-day snapshots must agree with the raw Snapshot maps:
-// same presence, same caches, same per-day inverted counts.
+// The store's per-day snapshots must agree with the legacy map view of
+// the same days: same presence, same caches, same per-day inverted
+// counts — and the map round trip (ToMap -> NewDaySnapshot) must be
+// lossless.
 func TestStoreSnapshotsMatchTraceDays(t *testing.T) {
 	rng := rand.New(rand.NewPCG(0x5eed, 1))
 	for iter := 0; iter < 20; iter++ {
@@ -219,8 +230,9 @@ func TestStoreSnapshotsMatchTraceDays(t *testing.T) {
 		if st.NumDays() != len(tr.Days) {
 			t.Fatalf("NumDays = %d, want %d", st.NumDays(), len(tr.Days))
 		}
-		for di, s := range tr.Days {
+		for di := range tr.Days {
 			sn := st.Snap(di)
+			s := MapDay(sn)
 			if sn.Day != s.Day {
 				t.Fatalf("day %d: Day = %d, want %d", di, sn.Day, s.Day)
 			}
@@ -248,6 +260,14 @@ func TestStoreSnapshotsMatchTraceDays(t *testing.T) {
 				if iv.Count(FileID(f)) != counts[f] {
 					t.Fatalf("day %d file %d: inverted count %d, want %d", di, f, iv.Count(FileID(f)), counts[f])
 				}
+			}
+			// The sanctioned conversions round-trip losslessly.
+			back, err := NewDaySnapshot(s.Day, s.Caches, len(tr.Peers), len(tr.Files))
+			if err != nil {
+				t.Fatalf("day %d: NewDaySnapshot: %v", di, err)
+			}
+			if !back.Equal(sn) {
+				t.Fatalf("day %d: map round trip differs", di)
 			}
 		}
 	}

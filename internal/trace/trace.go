@@ -17,6 +17,7 @@ package trace
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"edonkey/internal/tracestore"
@@ -121,44 +122,94 @@ type PeerInfo struct {
 	AliasOf int32
 }
 
-// Snapshot holds the cache contents observed on one day. Only peers that
-// were successfully browsed that day appear. Cache slices are sorted by
+// DaySnapshot is one day of the trace in columnar (CSR) form: sorted
+// postings behind per-peer offsets, a presence bitset distinguishing
+// observed free-riders from unobserved peers, and per-row array-or-
+// bitmap containers. It is the canonical per-day representation from
+// ingest to analysis — the .edt reader decodes straight into it, the
+// builder and crawler emit it, and Store() wraps the same snapshots
+// without copying.
+type DaySnapshot = tracestore.Snapshot[PeerID, FileID]
+
+// Snapshot is the legacy map-of-caches view of one day, kept only as a
+// conversion helper for tests and the JSON/gob interchange paths; the
+// pipeline itself never materializes it. Cache slices are sorted by
 // FileID and free of duplicates.
 type Snapshot struct {
 	Day    int
 	Caches map[PeerID][]FileID
 }
 
+// MapDay converts a columnar day to the legacy map form (copying rows).
+func MapDay(d *DaySnapshot) Snapshot {
+	return Snapshot{Day: d.Day, Caches: d.ToMap()}
+}
+
+// NewDaySnapshot builds a columnar day from the legacy map form. Caches
+// must be keyed by PeerIDs below numPeers and hold sorted
+// duplicate-free FileIDs below numFiles; empty caches mark observed
+// free-riders. The bounds are checked before anything is built, so a
+// hostile map (e.g. from a forged gob file) fails fast instead of
+// sizing columns to a rogue id. Dense rows land in packed containers.
+func NewDaySnapshot(day int, caches map[PeerID][]FileID, numPeers, numFiles int) (*DaySnapshot, error) {
+	pids := make([]PeerID, 0, len(caches))
+	for pid := range caches {
+		if int(pid) >= numPeers {
+			return nil, fmt.Errorf("trace: day %d references unknown peer %d", day, pid)
+		}
+		pids = append(pids, pid)
+	}
+	slices.Sort(pids)
+	b := tracestore.NewSnapBuilder[PeerID, FileID](day, numFiles, true)
+	numRows := 0
+	for _, pid := range pids {
+		if err := b.AppendRow(pid, caches[pid]); err != nil {
+			return nil, fmt.Errorf("trace: day %d peer %d: %w", day, pid, err)
+		}
+		numRows = int(pid) + 1
+	}
+	return b.Finish(numRows)
+}
+
 // Trace is a complete crawl data set. Traces are immutable once built;
 // the derived statistics below are all computed on the columnar Store()
-// view, which is built lazily and shared by concurrent readers.
+// view, which wraps the Days snapshots without copying them and is
+// shared by concurrent readers.
 type Trace struct {
 	Files []FileMeta
 	Peers []PeerInfo
-	Days  []Snapshot // ascending by Day
+	Days  []*DaySnapshot // ascending by Day
 
 	cols storeCache
 }
 
-// validateDaySnapshot checks one day's caches against the identity
-// table sizes: ids in range, caches sorted and duplicate-free. It is
-// the single home of the per-snapshot invariants, shared by Validate
-// and the streaming AppendDay path.
-func validateDaySnapshot(s Snapshot, numPeers, numFiles int) error {
-	for pid, cache := range s.Caches {
+// checkDay checks one columnar day against the identity table sizes:
+// ids in range, caches sorted and duplicate-free. It is the single home
+// of the per-snapshot invariants, shared by Validate and the streaming
+// AppendDay path. Snapshot-builder output satisfies it by construction;
+// hand-assembled snapshots (tracestore.FromRows) may not.
+func checkDay(d *DaySnapshot, numPeers, numFiles int) error {
+	var err error
+	d.ForEachRow(func(pid PeerID, cache []FileID) {
+		if err != nil {
+			return
+		}
 		if int(pid) >= numPeers {
-			return fmt.Errorf("trace: day %d references unknown peer %d", s.Day, pid)
+			err = fmt.Errorf("trace: day %d references unknown peer %d", d.Day, pid)
+			return
 		}
 		for i, f := range cache {
 			if int(f) >= numFiles {
-				return fmt.Errorf("trace: day %d peer %d references unknown file %d", s.Day, pid, f)
+				err = fmt.Errorf("trace: day %d peer %d references unknown file %d", d.Day, pid, f)
+				return
 			}
 			if i > 0 && cache[i-1] >= f {
-				return fmt.Errorf("trace: day %d peer %d cache not sorted/unique", s.Day, pid)
+				err = fmt.Errorf("trace: day %d peer %d cache not sorted/unique", d.Day, pid)
+				return
 			}
 		}
-	}
-	return nil
+	})
+	return err
 }
 
 // Validate checks structural invariants: days ascending, IDs in range,
@@ -170,7 +221,7 @@ func (t *Trace) Validate() error {
 			return fmt.Errorf("trace: days not strictly ascending at %d", s.Day)
 		}
 		lastDay = s.Day
-		if err := validateDaySnapshot(s, len(t.Peers), len(t.Files)); err != nil {
+		if err := checkDay(s, len(t.Peers), len(t.Files)); err != nil {
 			return err
 		}
 	}
@@ -208,11 +259,11 @@ func (t *Trace) DurationDays() int {
 	return last - first + 1
 }
 
-// SnapshotFor returns the snapshot for the given day, or nil.
-func (t *Trace) SnapshotFor(day int) *Snapshot {
+// SnapshotFor returns the columnar snapshot for the given day, or nil.
+func (t *Trace) SnapshotFor(day int) *DaySnapshot {
 	idx := sort.Search(len(t.Days), func(i int) bool { return t.Days[i].Day >= day })
 	if idx < len(t.Days) && t.Days[idx].Day == day {
-		return &t.Days[idx]
+		return t.Days[idx]
 	}
 	return nil
 }

@@ -4,17 +4,66 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"testing"
 
+	"edonkey/internal/runner"
 	"edonkey/internal/trace"
 	"edonkey/internal/workload"
 )
 
+// bytesAfterLoad loads the trace once around forced GCs and reports the
+// resident heap growth the loaded trace is responsible for — the
+// bytes_after_load figure BENCH_store.json trends and make bench-diff
+// gates alongside ns/op. The CSR-native pipeline keeps exactly one
+// columnar copy of each day (Store() wraps the same snapshots), with
+// dense rows in bitmap containers, which is what this metric pins.
+func bytesAfterLoad(b *testing.B, load func() (*trace.Trace, error)) float64 {
+	b.Helper()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	tr, err := load()
+	if err != nil {
+		b.Fatal(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	grown := int64(after.HeapAlloc) - int64(before.HeapAlloc)
+	runtime.KeepAlive(tr)
+	if grown < 0 {
+		grown = 0
+	}
+	return float64(grown)
+}
+
+// edtLoadWorkers loads an .edt file on a pool of the given size.
+func edtLoadWorkers(path string, workers int) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	er, err := trace.NewEDTReader(f, fi.Size())
+	if err != nil {
+		return nil, err
+	}
+	return er.SetPool(runner.New(workers)).Trace()
+}
+
 // BenchmarkTraceIO is the acceptance benchmark for the .edt format: load
-// time and file size against the legacy gob on a 20k-peer, 14-day trace
-// from the paper-calibrated workload generator (clustered caches, slow
-// churn — the shape real captures have). The file-bytes metric rides
-// into BENCH_store.json alongside ns/op via cmd/benchjson.
+// time, file size and resident bytes after load against the legacy gob
+// on a 20k-peer, 14-day trace from the paper-calibrated workload
+// generator (clustered caches, slow churn — the shape real captures
+// have). The file-bytes and bytes_after_load metrics ride into
+// BENCH_store.json alongside ns/op via cmd/benchjson; the workers=N
+// variants pin the keyframe-group-parallel load path at several pool
+// sizes (day sections between keyframes decode independently, so load
+// scales with cores).
 func BenchmarkTraceIO(b *testing.B) {
 	cfg := workload.DefaultConfig()
 	cfg.Seed = 5
@@ -42,18 +91,32 @@ func BenchmarkTraceIO(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		path := paths[format]
 		b.Run(fmt.Sprintf("op=load/format=%s/peers=20000", format), func(b *testing.B) {
-			b.ReportMetric(float64(fi.Size()), "file-bytes")
+			resident := bytesAfterLoad(b, func() (*trace.Trace, error) { return trace.ReadFile(path) })
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := trace.ReadFile(paths[format]); err != nil {
+				if _, err := trace.ReadFile(path); err != nil {
 					b.Fatal(err)
 				}
 			}
+			b.StopTimer()
+			b.ReportMetric(float64(fi.Size()), "file-bytes")
+			b.ReportMetric(resident, "bytes_after_load")
 		})
 		b.Run(fmt.Sprintf("op=write/format=%s/peers=20000", format), func(b *testing.B) {
 			out := filepath.Join(dir, "out."+format)
 			for i := 0; i < b.N; i++ {
 				if err := tr.WriteFile(out); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("op=load/format=edt/workers=%d/peers=20000", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := edtLoadWorkers(paths["edt"], workers); err != nil {
 					b.Fatal(err)
 				}
 			}

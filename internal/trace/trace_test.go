@@ -7,6 +7,8 @@ import (
 	"slices"
 	"testing"
 	"testing/quick"
+
+	"edonkey/internal/tracestore"
 )
 
 // tiny builds a small hand-checked trace:
@@ -45,9 +47,9 @@ func TestBuilderSortsAndDedupes(t *testing.T) {
 	p := b.AddPeer(PeerInfo{AliasOf: -1})
 	b.Observe(0, p, []FileID{2, 0, 2, 1, 0})
 	tr := b.Build()
-	got := tr.Days[0].Caches[p]
+	got := tr.Days[0].Cache(p)
 	want := []FileID{0, 1, 2}
-	if !reflect.DeepEqual(got, want) {
+	if !slices.Equal(got, want) {
 		t.Errorf("cache = %v, want %v", got, want)
 	}
 }
@@ -210,13 +212,13 @@ func TestSubsetFiles(t *testing.T) {
 		t.Fatalf("subset invalid: %v", err)
 	}
 	for _, s := range sub.Days {
-		for pid, cache := range s.Caches {
+		s.ForEachRow(func(pid PeerID, cache []FileID) {
 			for _, f := range cache {
 				if sub.Files[f].Size == 200 {
 					t.Errorf("day %d peer %d still holds dropped file", s.Day, pid)
 				}
 			}
-		}
+		})
 	}
 }
 
@@ -249,17 +251,17 @@ func TestExtrapolate(t *testing.T) {
 		if s == nil {
 			t.Fatalf("day %d missing", d)
 		}
-		if want := []FileID{1, 2}; !reflect.DeepEqual(s.Caches[0], want) {
-			t.Errorf("day %d cache = %v, want %v", d, s.Caches[0], want)
+		if want := []FileID{1, 2}; !slices.Equal(s.Cache(0), want) {
+			t.Errorf("day %d cache = %v, want %v", d, s.Cache(0), want)
 		}
 	}
 	// Day 11 filled with intersection of {2,3} and {2,3,4}: {2,3}.
-	if s := ex.SnapshotFor(11); s == nil || !reflect.DeepEqual(s.Caches[0], []FileID{2, 3}) {
+	if s := ex.SnapshotFor(11); s == nil || !slices.Equal(s.Cache(0), []FileID{2, 3}) {
 		t.Errorf("day 11 fill wrong: %v", s)
 	}
 	// Observed days are untouched.
-	if s := ex.SnapshotFor(3); !reflect.DeepEqual(s.Caches[0], []FileID{1, 2, 3}) {
-		t.Errorf("day 3 overwritten: %v", s.Caches[0])
+	if s := ex.SnapshotFor(3); !slices.Equal(s.Cache(0), []FileID{1, 2, 3}) {
+		t.Errorf("day 3 overwritten: %v", s.Cache(0))
 	}
 }
 
@@ -296,7 +298,7 @@ func TestExtrapolationPessimismProperty(t *testing.T) {
 			}
 			prev := caches[s.Day/4*4]
 			next := caches[(s.Day/4+1)*4]
-			got := s.Caches[0]
+			got := s.Cache(0)
 			if len(got) != IntersectCount(prev, next) {
 				return false
 			}
@@ -333,9 +335,7 @@ func TestRoundTripGob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(tr, back) {
-		t.Error("round trip mismatch")
-	}
+	tracesEqual(t, tr, back, "gob round trip")
 }
 
 func TestReadRejectsGarbage(t *testing.T) {
@@ -358,21 +358,33 @@ func TestWriteJSON(t *testing.T) {
 	}
 }
 
+// dayFromRows hand-assembles a columnar day without any validation
+// (tracestore.FromRows performs none), which is how these tests build
+// snapshots the structural builder path would refuse.
+func dayFromRows(day int, rows [][]FileID) *DaySnapshot {
+	return tracestore.FromRows[PeerID, FileID](day, rows, nil, 0)
+}
+
 func TestValidateCatchesCorruption(t *testing.T) {
 	tr := tiny(t)
-	tr.Days[0].Caches[0] = []FileID{99}
+	tr.Days[0] = dayFromRows(0, [][]FileID{{99}})
 	if err := tr.Validate(); err == nil {
 		t.Error("expected error for unknown file")
 	}
 	tr = tiny(t)
-	tr.Days[0].Caches[0] = []FileID{1, 0}
+	tr.Days[0] = dayFromRows(0, [][]FileID{{1, 0}})
 	if err := tr.Validate(); err == nil {
 		t.Error("expected error for unsorted cache")
 	}
 	tr = tiny(t)
-	tr.Days = append(tr.Days, Snapshot{Day: tr.Days[len(tr.Days)-1].Day})
+	tr.Days = append(tr.Days, dayFromRows(tr.Days[len(tr.Days)-1].Day, nil))
 	if err := tr.Validate(); err == nil {
 		t.Error("expected error for non-ascending days")
+	}
+	tr = tiny(t)
+	tr.Days[0] = dayFromRows(0, [][]FileID{3: {0}})
+	if err := tr.Validate(); err == nil {
+		t.Error("expected error for unknown peer")
 	}
 }
 
@@ -427,19 +439,20 @@ func TestAppendDayIncremental(t *testing.T) {
 func TestAppendDayRejectsInvalid(t *testing.T) {
 	tr := tiny(t)
 	last := tr.Days[len(tr.Days)-1].Day
-	if err := tr.AppendDay(Snapshot{Day: last}); err == nil {
+	if err := tr.AppendDay(dayFromRows(last, nil)); err == nil {
 		t.Error("non-ascending day accepted")
 	}
-	if err := tr.AppendDay(Snapshot{Day: last + 1,
-		Caches: map[PeerID][]FileID{PeerID(len(tr.Peers)): {0}}}); err == nil {
+	badPeer := make([][]FileID, len(tr.Peers)+1)
+	badPeer[len(tr.Peers)] = []FileID{0}
+	if err := tr.AppendDay(dayFromRows(last+1, badPeer)); err == nil {
 		t.Error("unknown peer accepted")
 	}
-	if err := tr.AppendDay(Snapshot{Day: last + 1,
-		Caches: map[PeerID][]FileID{0: {FileID(len(tr.Files))}}}); err == nil {
+	if err := tr.AppendDay(dayFromRows(last+1,
+		[][]FileID{{FileID(len(tr.Files))}})); err == nil {
 		t.Error("unknown file accepted")
 	}
-	if err := tr.AppendDay(Snapshot{Day: last + 1,
-		Caches: map[PeerID][]FileID{0: {1, 0}}}); err == nil {
+	if err := tr.AppendDay(dayFromRows(last+1,
+		[][]FileID{{1, 0}})); err == nil {
 		t.Error("unsorted cache accepted")
 	}
 }

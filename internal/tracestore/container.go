@@ -1,0 +1,333 @@
+package tracestore
+
+import (
+	"fmt"
+	"math/bits"
+	"slices"
+)
+
+// Roaring-style postings containers. Each row of a snapshot is stored
+// in whichever of three containers is smallest for its contents:
+//
+//   - array: the row's values live as a contiguous sorted run inside the
+//     snapshot's shared data pool (the classic CSR layout, zero-copy
+//     views, galloping intersections);
+//   - bitmap: dense rows store one bit per value in a span-trimmed
+//     bitmap — words covering [base, last] only — inside the snapshot's
+//     shared word pool;
+//   - varint: sparse but clustered rows (the common crawl shape: a cache
+//     of tens of files whose first-sight ids sit near each other) store
+//     their ascending run as (delta-1) unsigned varints in the
+//     snapshot's shared byte pool, the same coding the .edt day sections
+//     use on disk — typically 1-2 bytes per posting instead of 4.
+//
+// The choice is per row (per peer-day), deterministic, and invisible to
+// readers: Cache() hydrates packed rows into a lazily built arena the
+// first time one is touched, Row()/AppendRowTo decode into caller
+// scratch without retaining anything, and the kernels iterate packed
+// rows through a row walker. A packed container is chosen only when it
+// is smaller than the uint32 array (metadata included), so packing can
+// only shrink a snapshot.
+
+// bmMeta locates one bitmap row in the shared word pool: the row's
+// words cover values [base, base+64*words) with n bits set, starting at
+// word off.
+type bmMeta struct {
+	base  uint32
+	off   uint32
+	words uint32
+	n     uint32
+}
+
+// packMinRow is the smallest row length eligible for a packed
+// container: below it the few bytes saved never repay the ~8 bytes of
+// side-table metadata, and the array fast path keeps the row.
+const packMinRow = 6
+
+// appendVarintRun appends the (delta-1) varint coding of a strictly
+// ascending run — identical to the .edt payload coding, so a clustered
+// cache costs about one byte per posting.
+func appendVarintRun[F ID](dst []byte, vals []F) []byte {
+	prev := int64(-1)
+	for _, v := range vals {
+		d := uint64(int64(v) - prev - 1)
+		for d >= 0x80 {
+			dst = append(dst, byte(d)|0x80)
+			d >>= 7
+		}
+		dst = append(dst, byte(d))
+		prev = int64(v)
+	}
+	return dst
+}
+
+// forEachVarintVal decodes one varint run (framed by its byte range,
+// not a count), calling fn for each value in ascending order. It is the
+// single decoder for the container coding; every reader goes through it
+// so the coding cannot drift between call sites.
+func forEachVarintVal[F ID](enc []byte, fn func(F)) {
+	prev := int64(-1)
+	for i := 0; i < len(enc); {
+		var d uint64
+		if b := enc[i]; b < 0x80 { // single-byte gaps dominate
+			d = uint64(b)
+			i++
+		} else {
+			shift := 0
+			for {
+				b := enc[i]
+				d |= uint64(b&0x7F) << shift
+				i++
+				if b < 0x80 {
+					break
+				}
+				shift += 7
+			}
+		}
+		prev += 1 + int64(d)
+		fn(F(prev))
+	}
+}
+
+// appendVarintVals decodes one varint run into ascending values
+// appended to dst.
+func appendVarintVals[F ID](enc []byte, dst []F) []F {
+	forEachVarintVal(enc, func(v F) { dst = append(dst, v) })
+	return dst
+}
+
+// varintRunLen counts the values in a varint run: one per byte without
+// the continuation bit.
+func varintRunLen(enc []byte) int {
+	n := 0
+	for _, b := range enc {
+		if b < 0x80 {
+			n++
+		}
+	}
+	return n
+}
+
+// forEachBit calls fn for every set bit of the bitmap row, in ascending
+// value order.
+func forEachBit[F ID](m bmMeta, pool []uint64, fn func(F)) {
+	for wi, w := range pool[m.off : m.off+m.words] {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(F(m.base + uint32(64*wi+b)))
+			w &= w - 1
+		}
+	}
+}
+
+// appendBits appends the bitmap row's values to dst in ascending order,
+// through the one bitmap traversal so the two readers cannot drift.
+func appendBits[F ID](m bmMeta, pool []uint64, dst []F) []F {
+	forEachBit(m, pool, func(v F) { dst = append(dst, v) })
+	return dst
+}
+
+// rowWalker iterates a snapshot's rows in ascending row order without
+// allocating per row: array rows come back as direct views, packed rows
+// decode into one reused scratch buffer. Calls must pass ascending row
+// ids; the returned slice is valid until the next call.
+type rowWalker[P, F ID] struct {
+	s       *Snapshot[P, F]
+	bmIdx   int
+	vrIdx   int
+	scratch []F
+}
+
+func newRowWalker[P, F ID](s *Snapshot[P, F], startRow int) rowWalker[P, F] {
+	b, _ := slices.BinarySearch(s.bmRows, uint32(startRow))
+	v, _ := slices.BinarySearch(s.vrRows, uint32(startRow))
+	return rowWalker[P, F]{s: s, bmIdx: b, vrIdx: v}
+}
+
+func (w *rowWalker[P, F]) row(r int) []F {
+	s := w.s
+	if i, j := s.offs[r], s.offs[r+1]; i != j {
+		return s.data[i:j]
+	}
+	for w.bmIdx < len(s.bmRows) && s.bmRows[w.bmIdx] < uint32(r) {
+		w.bmIdx++
+	}
+	if w.bmIdx < len(s.bmRows) && s.bmRows[w.bmIdx] == uint32(r) {
+		w.scratch = appendBits(s.bmMeta[w.bmIdx], s.bmWords, w.scratch[:0])
+		return w.scratch
+	}
+	for w.vrIdx < len(s.vrRows) && s.vrRows[w.vrIdx] < uint32(r) {
+		w.vrIdx++
+	}
+	if w.vrIdx < len(s.vrRows) && s.vrRows[w.vrIdx] == uint32(r) {
+		enc := s.vrBytes[s.vrOffs[w.vrIdx]:s.vrOffs[w.vrIdx+1]]
+		w.scratch = appendVarintVals(enc, w.scratch[:0])
+		return w.scratch
+	}
+	return nil
+}
+
+// SnapBuilder assembles one Snapshot row by row in ascending row order,
+// choosing a container per row. It is the single constructor behind
+// every trace producer — the .edt decoder, the trace builder, the
+// derivation passes — so the sorted/unique/in-range invariants are
+// enforced structurally in one place: AppendRow rejects out-of-order
+// rows, unsorted values and values at or beyond numVals.
+type SnapBuilder[P, F ID] struct {
+	snap    *Snapshot[P, F]
+	pack    bool
+	lastRow int64
+}
+
+// NewSnapBuilder starts a snapshot for the given day with values bounded
+// by numVals (exclusive; must be positive). pack enables per-row bitmap
+// containers; without it every row lands in the shared array pool.
+func NewSnapBuilder[P, F ID](day, numVals int, pack bool) *SnapBuilder[P, F] {
+	return &SnapBuilder[P, F]{
+		snap:    &Snapshot[P, F]{Day: day, numVals: numVals},
+		pack:    pack,
+		lastRow: -1,
+	}
+}
+
+// Grow pre-sizes the builder for rows observed rows carrying nnz values
+// in total. With packing on, the byte pool (where clustered rows land at
+// ~1-2 bytes per value) is pre-sized instead of the array pool, so the
+// hint never allocates a large array Finish would immediately drop.
+func (b *SnapBuilder[P, F]) Grow(rows, nnz int) {
+	s := b.snap
+	s.offs = slices.Grow(s.offs, rows+1)
+	if b.pack {
+		s.vrBytes = slices.Grow(s.vrBytes, nnz+nnz/4)
+		s.vrRows = slices.Grow(s.vrRows, rows)
+		s.vrOffs = slices.Grow(s.vrOffs, rows+1)
+	} else {
+		s.data = slices.Grow(s.data, nnz)
+	}
+}
+
+// AppendRow adds row p with the given sorted duplicate-free values
+// (empty marks an observed free-rider). Rows must arrive in strictly
+// ascending order; vals is copied, never retained.
+func (b *SnapBuilder[P, F]) AppendRow(p P, vals []F) error {
+	// One fused pass validates (ascending, in range) and prices the
+	// varint container.
+	prev := int64(-1)
+	vrLen := 0
+	for _, v := range vals {
+		if int(v) >= b.snap.numVals {
+			return fmt.Errorf("tracestore: row %d value %d out of range %d", p, v, b.snap.numVals)
+		}
+		if int64(v) <= prev {
+			return fmt.Errorf("tracestore: row %d values not sorted/unique", p)
+		}
+		d := uint64(int64(v)-prev-1) | 1
+		vrLen += (bits.Len64(d) + 6) / 7
+		prev = int64(v)
+	}
+	return b.appendRow(p, vals, nil, vrLen)
+}
+
+// AppendRowEnc is AppendRow for callers that already hold the (delta-1)
+// varint coding of vals — the .edt decoder, whose absolute cache runs
+// arrive in exactly that coding — so a varint container is a byte copy
+// instead of a re-encode. vals must be sorted, duplicate-free and below
+// numVals (the decoder's idRun enforces that while producing them); enc
+// must encode exactly vals.
+func (b *SnapBuilder[P, F]) AppendRowEnc(p P, vals []F, enc []byte) error {
+	return b.appendRow(p, vals, enc, len(enc))
+}
+
+func (b *SnapBuilder[P, F]) appendRow(p P, vals []F, enc []byte, vrLen int) error {
+	s := b.snap
+	if int64(p) <= b.lastRow {
+		return fmt.Errorf("tracestore: row %d not after %d", p, b.lastRow)
+	}
+	b.lastRow = int64(p)
+	// Fill the offset column across unobserved rows, then this row.
+	for len(s.offs) <= int(p) {
+		s.offs = append(s.offs, uint32(len(s.data)))
+	}
+	for len(s.present) <= int(p)/64 {
+		s.present = append(s.present, 0)
+	}
+	s.present[p/64] |= 1 << (p % 64)
+	s.observed++
+
+	// Container selection by exact size, raw uint32 array as the
+	// baseline. Sizes include the per-row side-table metadata, so a
+	// packed container is picked only when it really is smaller.
+	rawBytes := 4 * len(vals)
+	bmWords := 0
+	if b.pack && len(vals) >= packMinRow {
+		bmWords = int((uint64(vals[len(vals)-1]) - uint64(vals[0]) + 64) / 64)
+	}
+	switch {
+	case bmWords > 0 && bmWords*8+16 < rawBytes && bmWords*8 <= vrLen:
+		base := uint32(vals[0])
+		off := uint32(len(s.bmWords))
+		s.bmWords = slices.Grow(s.bmWords, bmWords)[:int(off)+bmWords]
+		w := s.bmWords[off:]
+		for _, v := range vals {
+			d := uint32(v) - base
+			w[d/64] |= 1 << (d % 64)
+		}
+		s.bmRows = append(s.bmRows, uint32(p))
+		s.bmMeta = append(s.bmMeta, bmMeta{base: base, off: off, words: uint32(bmWords), n: uint32(len(vals))})
+	case bmWords > 0 && vrLen+8 < rawBytes:
+		if len(s.vrRows) == 0 && len(s.vrOffs) == 0 {
+			s.vrOffs = append(s.vrOffs, 0)
+		}
+		if enc != nil {
+			s.vrBytes = append(s.vrBytes, enc...)
+		} else {
+			s.vrBytes = appendVarintRun(s.vrBytes, vals)
+		}
+		s.vrRows = append(s.vrRows, uint32(p))
+		s.vrOffs = append(s.vrOffs, uint32(len(s.vrBytes)))
+		s.vrNNZ += len(vals)
+	default:
+		s.data = append(s.data, vals...)
+	}
+	s.offs = append(s.offs, uint32(len(s.data)))
+	return nil
+}
+
+// fitSlice reallocates a slice to exact size when its backing array
+// carries growth slack — slices.Clip would keep the oversized backing
+// array alive, defeating the resident-memory point of packing.
+func fitSlice[T any](xs []T) []T {
+	if cap(xs) == len(xs) {
+		return xs
+	}
+	return append(make([]T, 0, len(xs)), xs...)
+}
+
+// Finish pads the snapshot out to numRows rows and returns it. Every
+// pool is reallocated to exact size, so growth slack (and the array
+// pool pre-sized by Grow for rows that ended up packed) never stays
+// resident. The builder must not be used afterwards.
+func (b *SnapBuilder[P, F]) Finish(numRows int) (*Snapshot[P, F], error) {
+	s := b.snap
+	if int64(numRows) <= b.lastRow {
+		return nil, fmt.Errorf("tracestore: %d rows cannot hold row %d", numRows, b.lastRow)
+	}
+	for len(s.offs) <= numRows {
+		s.offs = append(s.offs, uint32(len(s.data)))
+	}
+	for len(s.present) < (numRows+63)/64 {
+		s.present = append(s.present, 0)
+	}
+	s.numRows = numRows
+	s.offs = fitSlice(s.offs)
+	s.data = fitSlice(s.data)
+	s.present = fitSlice(s.present)
+	s.bmRows = fitSlice(s.bmRows)
+	s.bmMeta = fitSlice(s.bmMeta)
+	s.bmWords = fitSlice(s.bmWords)
+	s.vrRows = fitSlice(s.vrRows)
+	s.vrOffs = fitSlice(s.vrOffs)
+	s.vrBytes = fitSlice(s.vrBytes)
+	b.snap = nil
+	return s, nil
+}

@@ -1,0 +1,238 @@
+package tracestore
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// randomRows draws a mix of row shapes: empty (observed free-riders),
+// sparse scattered rows (array containers) and dense clustered runs
+// (bitmap containers when packing is on).
+func randomRows(rng *rand.Rand, numRows, numVals int) ([][]uint32, []bool) {
+	rows := make([][]uint32, numRows)
+	present := make([]bool, numRows)
+	for r := 0; r < numRows; r++ {
+		switch rng.IntN(4) {
+		case 0: // not observed
+		case 1: // observed free-rider
+			present[r] = true
+		case 2: // sparse scattered row
+			present[r] = true
+			seen := make(map[uint32]bool)
+			for j := 0; j < rng.IntN(10); j++ {
+				seen[uint32(rng.IntN(numVals))] = true
+			}
+			for v := range seen {
+				rows[r] = append(rows[r], v)
+			}
+			slices.Sort(rows[r])
+		case 3: // dense clustered run: bitmap-eligible
+			present[r] = true
+			base := rng.IntN(numVals / 2)
+			span := 20 + rng.IntN(numVals/2-20)
+			for v := base; v < base+span && v < numVals; v++ {
+				if rng.IntN(3) > 0 {
+					rows[r] = append(rows[r], uint32(v))
+				}
+			}
+		}
+	}
+	return rows, present
+}
+
+func buildWith(t *testing.T, day int, rows [][]uint32, present []bool, numVals int, pack bool) *Snapshot[uint32, uint32] {
+	t.Helper()
+	b := NewSnapBuilder[uint32, uint32](day, numVals, pack)
+	for r, row := range rows {
+		if !present[r] && len(row) == 0 {
+			continue
+		}
+		if err := b.AppendRow(uint32(r), row); err != nil {
+			t.Fatalf("AppendRow(%d): %v", r, err)
+		}
+	}
+	s, err := b.Finish(len(rows))
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return s
+}
+
+// A packed snapshot must be indistinguishable from its array twin and
+// from FromRows through every accessor.
+func TestPackedSnapshotAccessorParity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xc0de, 0))
+	for iter := 0; iter < 30; iter++ {
+		numRows := 1 + rng.IntN(40)
+		numVals := 64 + rng.IntN(400)
+		rows, present := randomRows(rng, numRows, numVals)
+		packed := buildWith(t, 3, rows, present, numVals, true)
+		plain := buildWith(t, 3, rows, present, numVals, false)
+		legacy := FromRows[uint32, uint32](3, rows, present, numVals)
+
+		if plain.Packed() {
+			t.Fatal("unpacked builder produced bitmap rows")
+		}
+		if !packed.Equal(plain) || !packed.Equal(legacy) || !plain.Equal(legacy) {
+			t.Fatalf("iter %d: Equal disagrees across layouts", iter)
+		}
+		if packed.NNZ() != legacy.NNZ() || packed.ObservedRows() != legacy.ObservedRows() {
+			t.Fatalf("iter %d: NNZ/ObservedRows differ", iter)
+		}
+		var scratch []uint32
+		for r := 0; r < numRows; r++ {
+			p := uint32(r)
+			if packed.Observed(p) != legacy.Observed(p) {
+				t.Fatalf("iter %d row %d: Observed differs", iter, r)
+			}
+			if packed.RowLen(p) != len(legacy.Cache(p)) {
+				t.Fatalf("iter %d row %d: RowLen = %d, want %d", iter, r, packed.RowLen(p), len(legacy.Cache(p)))
+			}
+			if !slices.Equal(packed.Row(p, scratch), legacy.Cache(p)) && len(legacy.Cache(p)) > 0 {
+				t.Fatalf("iter %d row %d: Row differs", iter, r)
+			}
+			if !slices.Equal(packed.Cache(p), legacy.Cache(p)) && len(legacy.Cache(p)) > 0 {
+				t.Fatalf("iter %d row %d: Cache differs", iter, r)
+			}
+			if got := packed.AppendRowTo(p, nil); !slices.Equal(got, legacy.Cache(p)) && len(legacy.Cache(p)) > 0 {
+				t.Fatalf("iter %d row %d: AppendRowTo differs", iter, r)
+			}
+		}
+		// Inverted index parity.
+		pv, lv := packed.Inverted(), legacy.Inverted()
+		for f := 0; f < numVals; f++ {
+			if !slices.Equal(pv.Holders(uint32(f)), lv.Holders(uint32(f))) {
+				t.Fatalf("iter %d file %d: Holders differ", iter, f)
+			}
+		}
+		// ForEachRow visits the same rows with the same contents.
+		type visit struct {
+			p   uint32
+			row []uint32
+		}
+		collect := func(s *Snapshot[uint32, uint32]) []visit {
+			var out []visit
+			s.ForEachRow(func(p uint32, row []uint32) {
+				out = append(out, visit{p, slices.Clone(row)})
+			})
+			return out
+		}
+		gp, gl := collect(packed), collect(legacy)
+		if len(gp) != len(gl) {
+			t.Fatalf("iter %d: ForEachRow visit counts differ", iter)
+		}
+		for i := range gp {
+			if gp[i].p != gl[i].p || !slices.Equal(gp[i].row, gl[i].row) {
+				t.Fatalf("iter %d: ForEachRow visit %d differs", iter, i)
+			}
+		}
+		// FilterValues parity.
+		keep := make([]bool, numVals)
+		for f := range keep {
+			keep[f] = rng.IntN(2) == 0
+		}
+		if !packed.FilterValues(keep).Equal(legacy.FilterValues(keep)) {
+			t.Fatalf("iter %d: FilterValues differs", iter)
+		}
+		// ToMap parity.
+		pm, lm := packed.ToMap(), legacy.ToMap()
+		if len(pm) != len(lm) {
+			t.Fatalf("iter %d: ToMap sizes differ", iter)
+		}
+		for p, row := range lm {
+			if !slices.Equal(pm[p], row) {
+				t.Fatalf("iter %d: ToMap row %d differs", iter, p)
+			}
+		}
+	}
+}
+
+// ForEachOverlap must yield the identical pair sequence on packed and
+// array layouts (the kernel walks bitmap rows by bit-scanning).
+func TestPackedOverlapKernelParity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(0xbeef, 1))
+	for iter := 0; iter < 10; iter++ {
+		numRows := 2 + rng.IntN(30)
+		numVals := 64 + rng.IntN(300)
+		rows, present := randomRows(rng, numRows, numVals)
+		packed := buildWith(t, 0, rows, present, numVals, true)
+		plain := buildWith(t, 0, rows, present, numVals, false)
+		type pair struct {
+			a, b uint32
+			n    int32
+		}
+		var gp, gl []pair
+		ForEachOverlap(packed, nil, func(a, b uint32, n int32) { gp = append(gp, pair{a, b, n}) })
+		ForEachOverlap(plain, nil, func(a, b uint32, n int32) { gl = append(gl, pair{a, b, n}) })
+		if !slices.Equal(gp, gl) {
+			t.Fatalf("iter %d: overlap sequences differ (%d vs %d pairs)", iter, len(gp), len(gl))
+		}
+	}
+}
+
+// Dense clustered rows must actually land in bitmap containers, and the
+// packed layout must never be larger than the array layout.
+func TestPackingChoosesBitmaps(t *testing.T) {
+	vals := make([]uint32, 0, 300)
+	for v := 0; v < 400; v++ {
+		if v%4 != 3 {
+			vals = append(vals, uint32(v))
+		}
+	}
+	b := NewSnapBuilder[uint32, uint32](0, 1000, true)
+	if err := b.AppendRow(0, vals); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(1, []uint32{5, 900}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := b.Finish(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Packed() {
+		t.Fatal("dense clustered row not packed into a bitmap container")
+	}
+	if s.RowLen(0) != len(vals) || !slices.Equal(s.Cache(0), vals) {
+		t.Fatal("bitmap row decodes wrong")
+	}
+	if got := s.Cache(1); !slices.Equal(got, []uint32{5, 900}) {
+		t.Fatalf("array row = %v", got)
+	}
+	// Span-trimmed bitmap: 400-value span = 7 words = 56 bytes, against
+	// 300*4 = 1200 array bytes.
+	if len(s.bmWords) > 7 {
+		t.Fatalf("bitmap uses %d words, want <= 7", len(s.bmWords))
+	}
+}
+
+// The builder is the validation funnel: out-of-order rows, unsorted
+// values and out-of-range values must all be rejected.
+func TestSnapBuilderRejectsInvalid(t *testing.T) {
+	b := NewSnapBuilder[uint32, uint32](0, 10, true)
+	if err := b.AppendRow(3, []uint32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(3, nil); err == nil {
+		t.Error("duplicate row accepted")
+	}
+	if err := b.AppendRow(2, nil); err == nil {
+		t.Error("out-of-order row accepted")
+	}
+	if err := b.AppendRow(4, []uint32{2, 1}); err == nil {
+		t.Error("unsorted values accepted")
+	}
+	if err := b.AppendRow(5, []uint32{4, 4}); err == nil {
+		t.Error("duplicate values accepted")
+	}
+	if err := b.AppendRow(6, []uint32{10}); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+	if _, err := b.Finish(3); err == nil {
+		t.Error("Finish accepted numRows below the last appended row")
+	}
+	if _, err := b.Finish(7); err != nil {
+		t.Errorf("Finish: %v", err)
+	}
+}

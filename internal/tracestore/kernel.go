@@ -171,8 +171,9 @@ func forEachOverlapRange[P, F ID](s *Snapshot[P, F], lo, hi int, yield func(a, b
 			cursor[f] = first + uint32(i)
 		}
 	}
+	walk := newRowWalker(s, lo)
 	for a := lo; a < hi; a++ {
-		row := s.data[s.offs[a]:s.offs[a+1]]
+		row := walk.row(a)
 		if len(row) == 0 {
 			continue
 		}
@@ -241,9 +242,10 @@ func shardBounds[P, F ID](s *Snapshot[P, F], shards int) []int {
 	iv := s.Inverted()
 	var total uint64
 	weight := make([]uint64, s.numRows)
+	walk := newRowWalker(s, 0)
 	for r := 0; r < s.numRows; r++ {
 		var w uint64
-		for _, f := range s.data[s.offs[r]:s.offs[r+1]] {
+		for _, f := range walk.row(r) {
 			w += uint64(iv.offs[f+1] - iv.offs[f])
 		}
 		weight[r] = w

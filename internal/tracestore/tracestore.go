@@ -12,15 +12,18 @@
 // array plus per-row offsets — with a lazily built inverted index (the
 // CSC transpose) and a shared intersection kernel that switches from a
 // linear merge to galloping binary search when the two rows have very
-// different lengths. Everything is generic over the integer ID types so
-// the same kernels serve FileID rows, PeerID postings and plain ints in
-// tests.
+// different lengths. Dense or tightly clustered rows may instead live in
+// span-trimmed bitmap containers (see container.go), chosen per row at
+// build time, which roughly halves resident memory on real crawl shapes
+// without changing any observable result. Everything is generic over the
+// integer ID types so the same kernels serve FileID rows, PeerID
+// postings and plain ints in tests.
 //
 // The types are deliberately dumb containers: deterministic, free of
 // maps, and safe for concurrent readers after construction (the lazy
-// index builds are sync.Once-guarded). All row slices returned by
-// accessors are views into shared storage and must be treated as
-// immutable.
+// index and hydration builds are sync.Once-guarded). All row slices
+// returned by accessors are views into shared storage and must be
+// treated as immutable.
 package tracestore
 
 import (
@@ -36,17 +39,41 @@ type ID interface{ ~uint32 }
 // Snapshot is one CSR matrix: rows indexed by P (peers), each row a
 // sorted duplicate-free slice of F values (files). A row can be present
 // but empty — an observed free-rider — which the presence bitset
-// distinguishes from a peer that was not observed at all.
+// distinguishes from a peer that was not observed at all. Rows built
+// with packing enabled may be stored as bitmap containers; every
+// accessor hides the difference.
 type Snapshot[P, F ID] struct {
 	// Day is the trace day this snapshot covers; -1 for aggregates.
 	Day int
 
-	offs     []uint32 // len = numRows+1
-	data     []F      // flat postings, sorted within each row
+	offs     []uint32 // len = numRows+1; array-container ranges into data
+	data     []F      // flat postings of array rows, sorted within each row
 	present  []uint64 // bitset over rows: observed this day
 	numRows  int
 	numVals  int // number of distinct F values (indexable bound)
 	observed int // popcount of present
+
+	// Bitmap containers: bmRows lists the rows stored as bitmaps
+	// (ascending), bmMeta locates each in the shared bmWords pool.
+	bmRows  []uint32
+	bmMeta  []bmMeta
+	bmWords []uint64
+
+	// Varint containers: vrRows lists the rows stored as (delta-1)
+	// varint runs (ascending), framed by vrOffs byte ranges into the
+	// shared vrBytes pool. vrNNZ caches their total value count.
+	vrRows  []uint32
+	vrOffs  []uint32
+	vrBytes []byte
+	vrNNZ   int
+
+	// hyd is the lazily built hydration arena: packed rows decoded once
+	// into flat storage so Cache() can keep returning stable views
+	// (bitmap rows first, then varint rows).
+	hydOnce   sync.Once
+	hyd       []F
+	hydOffs   []uint32
+	hydVrOffs []uint32
 
 	invOnce  sync.Once
 	inv      *Inverted[P, F]
@@ -59,6 +86,9 @@ type Snapshot[P, F ID] struct {
 // when nil, a row is present iff non-empty. numVals is the exclusive
 // upper bound on stored values (e.g. len(trace.Files)); pass <= 0 to
 // derive it from the data. The input slices are copied, never aliased.
+// Rows always land in array containers; use a SnapBuilder with packing
+// for container selection. Unlike the builder, FromRows performs no
+// validation, which the tests rely on to construct invalid snapshots.
 func FromRows[P, F ID](day int, rowData [][]F, present []bool, numVals int) *Snapshot[P, F] {
 	s := &Snapshot[P, F]{
 		Day:     day,
@@ -101,18 +131,147 @@ func (s *Snapshot[P, F]) NumRows() int { return s.numRows }
 func (s *Snapshot[P, F]) NumVals() int { return s.numVals }
 
 // NNZ returns the total number of stored values (replicas).
-func (s *Snapshot[P, F]) NNZ() int { return len(s.data) }
+func (s *Snapshot[P, F]) NNZ() int {
+	n := len(s.data) + s.vrNNZ
+	for _, m := range s.bmMeta {
+		n += int(m.n)
+	}
+	return n
+}
 
 // ObservedRows returns the number of present rows.
 func (s *Snapshot[P, F]) ObservedRows() int { return s.observed }
 
+// Packed reports whether any row lives in a bitmap or varint container.
+func (s *Snapshot[P, F]) Packed() bool { return len(s.bmRows)+len(s.vrRows) > 0 }
+
+// bitmapIndex returns the index of row p in the bitmap side table, or -1
+// when p is stored elsewhere (or not at all).
+func (s *Snapshot[P, F]) bitmapIndex(p P) int {
+	if len(s.bmRows) == 0 {
+		return -1
+	}
+	if i, ok := slices.BinarySearch(s.bmRows, uint32(p)); ok {
+		return i
+	}
+	return -1
+}
+
+// varintIndex returns the index of row p in the varint side table, or -1.
+func (s *Snapshot[P, F]) varintIndex(p P) int {
+	if len(s.vrRows) == 0 {
+		return -1
+	}
+	if i, ok := slices.BinarySearch(s.vrRows, uint32(p)); ok {
+		return i
+	}
+	return -1
+}
+
+// varintRow returns the encoded byte range of varint row vi.
+func (s *Snapshot[P, F]) varintRow(vi int) []byte {
+	return s.vrBytes[s.vrOffs[vi]:s.vrOffs[vi+1]]
+}
+
+// hydrate decodes every packed row into the shared arena, once.
+func (s *Snapshot[P, F]) hydrate() {
+	s.hydOnce.Do(func() {
+		total := s.vrNNZ
+		for _, m := range s.bmMeta {
+			total += int(m.n)
+		}
+		hyd := make([]F, 0, total)
+		offs := make([]uint32, len(s.bmRows)+1)
+		for i, m := range s.bmMeta {
+			hyd = appendBits(m, s.bmWords, hyd)
+			offs[i+1] = uint32(len(hyd))
+		}
+		vrOffs := make([]uint32, len(s.vrRows)+1)
+		vrOffs[0] = uint32(len(hyd))
+		for i := range s.vrRows {
+			hyd = appendVarintVals(s.varintRow(i), hyd)
+			vrOffs[i+1] = uint32(len(hyd))
+		}
+		s.hyd, s.hydOffs, s.hydVrOffs = hyd, offs, vrOffs
+	})
+}
+
 // Cache returns row p as a sorted view into shared storage (nil when out
-// of range). Callers must not mutate it.
+// of range). Callers must not mutate it. A bitmap row is decoded into
+// the snapshot's hydration arena on first touch and the stable arena
+// view returned from then on; use Row with a scratch buffer on paths
+// that must not grow the snapshot's footprint.
 func (s *Snapshot[P, F]) Cache(p P) []F {
 	if int(p) >= s.numRows {
 		return nil
 	}
-	return s.data[s.offs[p]:s.offs[p+1]]
+	if i, j := s.offs[p], s.offs[p+1]; i != j {
+		return s.data[i:j]
+	}
+	if bi := s.bitmapIndex(p); bi >= 0 {
+		s.hydrate()
+		return s.hyd[s.hydOffs[bi]:s.hydOffs[bi+1]]
+	}
+	if vi := s.varintIndex(p); vi >= 0 {
+		s.hydrate()
+		return s.hyd[s.hydVrOffs[vi]:s.hydVrOffs[vi+1]]
+	}
+	return s.data[s.offs[p]:s.offs[p]]
+}
+
+// Row returns row p's values: array rows come back as direct views and
+// leave scratch untouched; bitmap rows decode into scratch (reuse it
+// across calls to stay allocation-free). The result is only valid until
+// scratch is reused.
+func (s *Snapshot[P, F]) Row(p P, scratch []F) []F {
+	if int(p) >= s.numRows {
+		return nil
+	}
+	if i, j := s.offs[p], s.offs[p+1]; i != j {
+		return s.data[i:j]
+	}
+	if bi := s.bitmapIndex(p); bi >= 0 {
+		return appendBits(s.bmMeta[bi], s.bmWords, scratch[:0])
+	}
+	if vi := s.varintIndex(p); vi >= 0 {
+		return appendVarintVals(s.varintRow(vi), scratch[:0])
+	}
+	return nil
+}
+
+// AppendRowTo appends row p's values to dst (decoding bitmap rows),
+// returning the extended slice.
+func (s *Snapshot[P, F]) AppendRowTo(p P, dst []F) []F {
+	if int(p) >= s.numRows {
+		return dst
+	}
+	if i, j := s.offs[p], s.offs[p+1]; i != j {
+		return append(dst, s.data[i:j]...)
+	}
+	if bi := s.bitmapIndex(p); bi >= 0 {
+		return appendBits(s.bmMeta[bi], s.bmWords, dst)
+	}
+	if vi := s.varintIndex(p); vi >= 0 {
+		return appendVarintVals(s.varintRow(vi), dst)
+	}
+	return dst
+}
+
+// RowLen returns the number of values in row p without decoding it.
+func (s *Snapshot[P, F]) RowLen(p P) int {
+	if int(p) >= s.numRows {
+		return 0
+	}
+	if i, j := s.offs[p], s.offs[p+1]; i != j {
+		return int(j - i)
+	}
+	if bi := s.bitmapIndex(p); bi >= 0 {
+		return int(s.bmMeta[bi].n)
+	}
+	if vi := s.varintIndex(p); vi >= 0 {
+		return varintRunLen(s.varintRow(vi))
+	}
+	return 0
 }
 
 // Observed reports whether row p was present in this snapshot (it may
@@ -124,6 +283,72 @@ func (s *Snapshot[P, F]) Observed(p P) bool {
 	return s.present[p/64]&(1<<(p%64)) != 0
 }
 
+// ForEachRow calls fn for every present row in ascending order. The row
+// slice is shared storage or scratch, valid only during the call; it is
+// empty (but the call still happens) for observed free-riders.
+func (s *Snapshot[P, F]) ForEachRow(fn func(p P, row []F)) {
+	walk := newRowWalker(s, 0)
+	for wi, w := range s.present {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			w &= w - 1
+			p := 64*wi + b
+			fn(P(p), walk.row(p))
+		}
+	}
+}
+
+// ToMap materializes the snapshot as the legacy map-of-caches shape:
+// present rows only, empty rows as nil. The conversion helper for tests,
+// JSON export and the gob compatibility path — not for hot paths.
+func (s *Snapshot[P, F]) ToMap() map[P][]F {
+	out := make(map[P][]F, s.observed)
+	s.ForEachRow(func(p P, row []F) {
+		if len(row) == 0 {
+			out[p] = nil
+			return
+		}
+		out[p] = slices.Clone(row)
+	})
+	return out
+}
+
+// Equal reports whether two snapshots carry the same day, presence and
+// row contents, regardless of container layout or row-bound slack.
+func (s *Snapshot[P, F]) Equal(o *Snapshot[P, F]) bool {
+	if s.Day != o.Day || s.observed != o.observed {
+		return false
+	}
+	nr := max(s.numRows, o.numRows)
+	var sa, sb []F
+	for r := 0; r < nr; r++ {
+		if s.Observed(P(r)) != o.Observed(P(r)) {
+			return false
+		}
+		sa = s.AppendRowTo(P(r), sa[:0])
+		sb = o.AppendRowTo(P(r), sb[:0])
+		if !slices.Equal(sa, sb) {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachValue calls fn for every stored value, rows in unspecified
+// order (array pool first, then bitmap rows) — for counting passes that
+// do not care which row a value came from.
+func (s *Snapshot[P, F]) forEachValue(fn func(F)) {
+	for _, f := range s.data {
+		fn(f)
+	}
+	for _, m := range s.bmMeta {
+		forEachBit(m, s.bmWords, fn)
+	}
+	for vi := range s.vrRows {
+		forEachVarintVal(s.varintRow(vi), fn)
+	}
+}
+
 // Rows materializes the snapshot as a dense [][]F of row views, nil for
 // empty rows — the drop-in shape legacy map-based call sites consumed.
 // The result is built once, cached, and shared: treat rows as immutable.
@@ -131,7 +356,7 @@ func (s *Snapshot[P, F]) Rows() [][]F {
 	s.rowsOnce.Do(func() {
 		rows := make([][]F, s.numRows)
 		for r := 0; r < s.numRows; r++ {
-			if row := s.data[s.offs[r]:s.offs[r+1]]; len(row) > 0 {
+			if row := s.Cache(P(r)); len(row) > 0 {
 				rows[r] = row
 			}
 		}
@@ -153,11 +378,9 @@ func (s *Snapshot[P, F]) Inverted() *Inverted[P, F] {
 	s.invOnce.Do(func() {
 		iv := &Inverted[P, F]{
 			offs: make([]uint32, s.numVals+1),
-			data: make([]P, len(s.data)),
+			data: make([]P, s.NNZ()),
 		}
-		for _, f := range s.data {
-			iv.offs[f+1]++
-		}
+		s.forEachValue(func(f F) { iv.offs[f+1]++ })
 		for f := 0; f < s.numVals; f++ {
 			iv.offs[f+1] += iv.offs[f]
 		}
@@ -165,8 +388,9 @@ func (s *Snapshot[P, F]) Inverted() *Inverted[P, F] {
 		copy(next, iv.offs[:s.numVals])
 		// Rows are visited in ascending order, so each value's row list
 		// comes out ascending without any sort.
+		walk := newRowWalker(s, 0)
 		for r := 0; r < s.numRows; r++ {
-			for _, f := range s.data[s.offs[r]:s.offs[r+1]] {
+			for _, f := range walk.row(r) {
 				iv.data[next[f]] = P(r)
 				next[f]++
 			}
@@ -188,7 +412,8 @@ func (iv *Inverted[P, F]) Holders(f F) []P {
 func (iv *Inverted[P, F]) Count(f F) int { return len(iv.Holders(f)) }
 
 // FilterValues returns a new snapshot containing only values with
-// keep[f] == true (ids unchanged). Presence is preserved.
+// keep[f] == true (ids unchanged). Presence is preserved. The result is
+// always array-form (it is transient kernel input, not resident state).
 func (s *Snapshot[P, F]) FilterValues(keep []bool) *Snapshot[P, F] {
 	out := &Snapshot[P, F]{
 		Day:      s.Day,
@@ -197,10 +422,11 @@ func (s *Snapshot[P, F]) FilterValues(keep []bool) *Snapshot[P, F] {
 		observed: s.observed,
 		offs:     make([]uint32, s.numRows+1),
 		present:  s.present, // shared: filtering values never unobserves a row
-		data:     make([]F, 0, len(s.data)),
+		data:     make([]F, 0, s.NNZ()),
 	}
+	walk := newRowWalker(s, 0)
 	for r := 0; r < s.numRows; r++ {
-		for _, f := range s.data[s.offs[r]:s.offs[r+1]] {
+		for _, f := range walk.row(r) {
 			if int(f) < len(keep) && keep[f] {
 				out.data = append(out.data, f)
 			}
@@ -235,6 +461,7 @@ type Store[P, F ID] struct {
 }
 
 // NewStore assembles a store from per-day snapshots (ascending by Day).
+// The slice is aliased; do not append to it afterwards.
 func NewStore[P, F ID](numRows, numVals int, days []*Snapshot[P, F]) *Store[P, F] {
 	return &Store[P, F]{days: days, numRows: numRows, numVals: numVals}
 }
@@ -308,7 +535,9 @@ func (st *Store[P, F]) Aggregate() *Snapshot[P, F] {
 	return st.agg
 }
 
-// buildUnion computes the per-row union of days from scratch.
+// buildUnion computes the per-row union of days from scratch. The
+// result is always array-form: the aggregate is the hottest kernel
+// input and its rows are the paper's per-peer request sets.
 func buildUnion[P, F ID](days []*Snapshot[P, F], numRows, numVals int) *Snapshot[P, F] {
 	agg := &Snapshot[P, F]{
 		Day:     -1,
@@ -319,14 +548,14 @@ func buildUnion[P, F ID](days []*Snapshot[P, F], numRows, numVals int) *Snapshot
 	}
 	nnz := 0
 	for _, s := range days {
-		nnz += len(s.data)
+		nnz += s.NNZ()
 	}
 	agg.data = make([]F, 0, nnz)
 	var scratch []F
 	for r := 0; r < numRows; r++ {
 		scratch = scratch[:0]
 		for _, s := range days {
-			scratch = append(scratch, s.Cache(P(r))...)
+			scratch = s.AppendRowTo(P(r), scratch)
 			if s.Observed(P(r)) {
 				agg.present[r/64] |= 1 << (r % 64)
 			}
@@ -360,9 +589,14 @@ func mergeUnion[P, F ID](agg, day *Snapshot[P, F], numRows, numVals int) *Snapsh
 		offs:    make([]uint32, numRows+1),
 		present: make([]uint64, (numRows+63)/64),
 	}
-	out.data = make([]F, 0, len(agg.data)+len(day.data))
+	out.data = make([]F, 0, len(agg.data)+day.NNZ())
+	walk := newRowWalker(day, 0)
 	for r := 0; r < numRows; r++ {
-		a, b := agg.Cache(P(r)), day.Cache(P(r))
+		a := agg.Cache(P(r))
+		var b []F
+		if r < day.numRows {
+			b = walk.row(r)
+		}
 		i, j := 0, 0
 		for i < len(a) && j < len(b) {
 			switch {
@@ -436,12 +670,13 @@ func (st *Store[P, F]) DaysSeenPerFile() []int {
 		mark[i] = -1
 	}
 	for di, s := range st.days {
-		for _, f := range s.data {
-			if mark[f] != int32(di) {
-				mark[f] = int32(di)
+		epoch := int32(di)
+		s.forEachValue(func(f F) {
+			if mark[f] != epoch {
+				mark[f] = epoch
 				out[f]++
 			}
-		}
+		})
 	}
 	return out
 }

@@ -505,19 +505,11 @@ func TestCollectDeterministicAcrossWorkers(t *testing.T) {
 	}
 	for d := range want.Days {
 		a, b := want.Days[d], got.Days[d]
-		if len(a.Caches) != len(b.Caches) {
-			t.Fatalf("day %d: cache maps differ in size", a.Day)
+		if a.ObservedRows() != b.ObservedRows() {
+			t.Fatalf("day %d: observed row counts differ", a.Day)
 		}
-		for pid, cache := range a.Caches {
-			other, ok := b.Caches[pid]
-			if !ok || len(other) != len(cache) {
-				t.Fatalf("day %d peer %d: caches differ", a.Day, pid)
-			}
-			for i := range cache {
-				if cache[i] != other[i] {
-					t.Fatalf("day %d peer %d: file %d differs", a.Day, pid, i)
-				}
-			}
+		if !a.Equal(b) {
+			t.Fatalf("day %d: snapshots differ", a.Day)
 		}
 	}
 }
