@@ -33,10 +33,11 @@ bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
 
 # Just the tracked store benchmarks (BenchmarkPairOverlap
-# map-vs-store-vs-sharded, BenchmarkSuite, BenchmarkTraceIO gob-vs-edt);
-# same JSON artefact, much faster than `make bench`.
+# map-vs-store-vs-sharded, BenchmarkSuite, BenchmarkTraceIO gob-vs-edt,
+# BenchmarkCrawlScale with its bytes_per_peer floor); same JSON artefact,
+# much faster than `make bench`.
 bench-store:
-	$(GO) test -run='^$$' -bench='^(BenchmarkPairOverlap|BenchmarkSuite|BenchmarkTraceIO)$$' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
+	$(GO) test -run='^$$' -bench='^(BenchmarkPairOverlap|BenchmarkSuite|BenchmarkTraceIO|BenchmarkCrawlScale)$$' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
 
 # Regression gate: rerun the tracked benchmarks and fail if any ns/op
 # regressed more than 25% against the committed baseline (CI enforces
@@ -48,7 +49,7 @@ bench-store:
 # bytes after load, on-disk file size) gate unscaled alongside ns/op.
 bench-diff: BENCHCOUNT := 3
 bench-diff: bench-store
-	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -in BENCH_store.json -tolerance 25 -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000' -gate-extra bytes_after_load,file-bytes
+	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -in BENCH_store.json -tolerance 25 -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000' -gate-extra bytes_after_load,file-bytes,bytes_per_peer
 
 # CI's smoke variant: every benchmark runs exactly once.
 bench-smoke:
@@ -63,6 +64,15 @@ fuzz:
 # semantic-search sweep — impractical before the columnar store.
 scale:
 	$(GO) run ./cmd/edsim -peers 100000 -days 14 -lists 5,20,50 -workers 0
+
+# Scale scenario: a million-peer 14-day protocol crawl streamed to .edt —
+# impractical before the cohort-streamed columnar world (the boxed world
+# held every client as pointer-heavy heap). Single machine, roughly 10-15
+# minutes on one core, a few GB resident; the heartbeat reports the
+# resident floor as it runs.
+scale-crawl:
+	$(GO) run ./cmd/edcrawl -peers 1000000 -days 14 -workers 0 -progress -o trace_1m.edt
+	$(GO) run ./cmd/edtrace verify trace_1m.edt
 
 lint:
 	$(GO) vet ./...

@@ -3,13 +3,20 @@
 // protocol (server nickname sweeps, reachability filtering, daily cache
 // browsing) and writes the resulting full trace to a file.
 //
+// The population is held column-wise and stepped cohort-at-a-time, and
+// the protocol side is served by a gateway view over those columns, so
+// million-peer crawls fit on a single machine: memory scales with the
+// population's packed columns (a few hundred bytes per peer plus the
+// catalogue), never with boxed per-client state, and each crawled day
+// streams straight to the .edt writer.
+//
 // The output format is inferred from the extension: ".edt" selects the
 // columnar format (the default, written day by day as the crawl runs, so
-// memory stays one day deep), anything else the legacy gob.
+// trace memory stays one day deep), anything else the legacy gob.
 //
 // Usage:
 //
-//	edcrawl -o trace.edt [-peers 1000] [-days 14] [-prefix 2] [-budget 500]
+//	edcrawl -o trace.edt [-peers 1000000] [-days 14] [-prefix 2] [-budget 500] [-progress]
 package main
 
 import (
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"edonkey/internal/crawler"
@@ -26,17 +34,18 @@ import (
 
 func main() {
 	var (
-		out     = flag.String("o", "trace.edt", "output trace file (.edt = columnar, else gob)")
-		jsonOut = flag.String("json", "", "also write an anonymized JSON export")
-		seed    = flag.Uint64("seed", 1, "world seed")
-		peers   = flag.Int("peers", 1000, "number of underlying clients")
-		days    = flag.Int("days", 14, "crawl duration in days")
-		files   = flag.Int("files", 0, "initial catalogue size (0 = 30x peers)")
-		prefix  = flag.Int("prefix", 2, "nickname sweep depth (1..3 letters)")
-		budget  = flag.Int("budget", 0, "initial daily browse budget (0 = unlimited)")
-		final   = flag.Int("final-budget", 0, "final daily browse budget (models bandwidth decline)")
-		publish = flag.Bool("publish", false, "clients publish caches to the server too")
-		workers = flag.Int("workers", 0, "worker pool size for world evolution (0 = GOMAXPROCS, 1 = serial); traces are identical for any value")
+		out      = flag.String("o", "trace.edt", "output trace file (.edt = columnar, else gob)")
+		jsonOut  = flag.String("json", "", "also write an anonymized JSON export")
+		seed     = flag.Uint64("seed", 1, "world seed")
+		peers    = flag.Int("peers", 1000, "number of underlying clients")
+		days     = flag.Int("days", 14, "crawl duration in days")
+		files    = flag.Int("files", 0, "initial catalogue size (0 = 30x peers)")
+		prefix   = flag.Int("prefix", 2, "nickname sweep depth (1..3 letters)")
+		budget   = flag.Int("budget", 0, "initial daily browse budget (0 = unlimited)")
+		final    = flag.Int("final-budget", 0, "final daily browse budget (models bandwidth decline)")
+		publish  = flag.Bool("publish", false, "serve the publication-backed source/keyword index too")
+		workers  = flag.Int("workers", 0, "worker pool size for world evolution (0 = GOMAXPROCS, 1 = serial); traces are identical for any value")
+		progress = flag.Bool("progress", false, "print a per-day heartbeat (day, peers stepped, snapshots, resident bytes)")
 	)
 	flag.Parse()
 
@@ -60,24 +69,90 @@ func main() {
 		PublishFiles:  *publish,
 	}
 
-	if err := run(wcfg, ccfg, *out, *jsonOut); err != nil {
+	if err := run(wcfg, ccfg, *out, *jsonOut, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "edcrawl:", err)
 		os.Exit(1)
 	}
 }
 
-func run(wcfg workload.Config, ccfg crawler.Config, out, jsonOut string) error {
+// heartbeat tracks resident memory across the crawl and prints the
+// per-day -progress lines.
+type heartbeat struct {
+	peers     int
+	enabled   bool
+	peakHeap  uint64
+	snapshots func() int
+	world     *workload.World
+}
+
+// sample reads the allocator state and updates the peak.
+func (h *heartbeat) sample() (heap uint64) {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc > h.peakHeap {
+		h.peakHeap = m.HeapAlloc
+	}
+	return m.HeapAlloc
+}
+
+// day is the crawler's Progress hook.
+func (h *heartbeat) day(day, totalDays int) {
+	heap := h.sample()
+	if !h.enabled {
+		return
+	}
+	fmt.Printf("progress: day %d/%d, %d peers stepped, %d snapshots, resident %s (peak %s)\n",
+		day+1, totalDays, h.peers, h.snapshots(), formatBytes(heap), formatBytes(h.peakHeap))
+}
+
+// summary prints the peak-memory line of the final report: the
+// allocator-level peak plus the world's own column accounting, so the
+// floor attributable to the population is visible next to the total.
+func (h *heartbeat) summary() {
+	h.sample()
+	// "peak bytes/peer" is the whole-process high-water mark per peer —
+	// deliberately not named like the gated bytes_per_peer bench metric,
+	// which measures only the built world's allocator delta.
+	fmt.Printf("memory: peak resident %s (world columns %s), %.0f peak bytes/peer\n",
+		formatBytes(h.peakHeap), formatBytes(uint64(h.world.Footprint().Total())),
+		float64(h.peakHeap)/float64(h.peers))
+}
+
+func formatBytes(v uint64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.2f GB", float64(v)/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1f MB", float64(v)/(1<<20))
+	default:
+		return fmt.Sprintf("%d KB", v>>10)
+	}
+}
+
+func run(wcfg workload.Config, ccfg crawler.Config, out, jsonOut string, progress bool) error {
+	w, err := workload.New(wcfg)
+	if err != nil {
+		return err
+	}
+	c, err := crawler.New(w, ccfg)
+	if err != nil {
+		return err
+	}
+	hb := &heartbeat{peers: wcfg.Peers, enabled: progress, snapshots: func() int { return c.Stats.Snapshots }, world: w}
+	hb.sample() // capture the built world before the first crawl day
+	c.Progress = hb.day
+
 	// The .edt path streams each completed day to the open writer — the
 	// whole trace is never resident. The gob format (and the JSON export)
 	// needs the full trace in memory, so those fall back to a batch run.
 	if strings.HasSuffix(out, ".edt") && jsonOut == "" {
-		return runStreaming(wcfg, ccfg, out)
+		return runStreaming(w, c, hb, out)
 	}
-	tr, stats, err := crawler.Crawl(wcfg, ccfg)
+	tr, err := c.Run(w.Config.Days)
 	if err != nil {
 		return err
 	}
-	report(stats, tr.ObservedPeers(), tr.DistinctFiles(), tr.Observations())
+	report(c.Stats, tr.ObservedPeers(), tr.DistinctFiles(), tr.Observations())
 	if err := tr.WriteFile(out); err != nil {
 		return err
 	}
@@ -96,18 +171,12 @@ func run(wcfg workload.Config, ccfg crawler.Config, out, jsonOut string) error {
 		}
 		fmt.Printf("wrote %s\n", jsonOut)
 	}
+	// Summarize last so the peak covers serialization too.
+	hb.summary()
 	return nil
 }
 
-func runStreaming(wcfg workload.Config, ccfg crawler.Config, out string) error {
-	w, err := workload.New(wcfg)
-	if err != nil {
-		return err
-	}
-	c, err := crawler.New(w, ccfg)
-	if err != nil {
-		return err
-	}
+func runStreaming(w *workload.World, c *crawler.Crawler, hb *heartbeat, out string) error {
 	f, err := os.Create(out)
 	if err != nil {
 		return err
@@ -137,6 +206,7 @@ func runStreaming(wcfg workload.Config, ccfg crawler.Config, out string) error {
 	// Every registered peer was browsed at least once and every file was
 	// seen in a cache, so the metadata counts are the trace-level stats.
 	report(c.Stats, len(peers), len(files), c.Stats.Snapshots)
+	hb.summary()
 	fmt.Printf("wrote %s (streamed day by day)\n", out)
 	return nil
 }

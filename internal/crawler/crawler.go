@@ -61,11 +61,14 @@ var serverEndpoint = protocol.Endpoint{IP: 0xFFFE0001, Port: 4661}
 var crawlerEndpoint = protocol.Endpoint{IP: 0xFFFE0002, Port: 4662}
 
 // Crawler drives a crawl of a workload.World over the eDonkey protocol.
+// The world side of the wire is served by a worldGateway view over the
+// columnar population, so the crawl's resident cost scales with what the
+// crawler observes, never with the number of simulated clients.
 type Crawler struct {
 	cfg     Config
 	world   *workload.World
 	network *edonkey.Network
-	server  *edonkey.Server
+	gateway *worldGateway
 	builder *trace.Builder
 
 	// identity bookkeeping: (user hash, IP) pairs become trace peers.
@@ -74,6 +77,10 @@ type Crawler struct {
 
 	// Stats accumulates observable crawl counters.
 	Stats Stats
+
+	// Progress, when set, is invoked after each crawled day (used by
+	// edcrawl's -progress heartbeat).
+	Progress func(day, totalDays int)
 }
 
 type identityKey struct {
@@ -111,10 +118,11 @@ func New(w *workload.World, cfg Config) (*Crawler, error) {
 		peerIDs: make(map[identityKey]trace.PeerID),
 		fileIDs: make(map[[16]byte]trace.FileID),
 	}
-	c.server = edonkey.NewServer(c.network, serverEndpoint)
-	if err := c.server.Start(); err != nil {
+	gw, err := newWorldGateway(w, cfg, c.network)
+	if err != nil {
 		return nil, err
 	}
+	c.gateway = gw
 	return c, nil
 }
 
@@ -161,6 +169,9 @@ func (c *Crawler) Run(days int) (*trace.Trace, error) {
 			return nil, err
 		}
 		c.Stats.Days++
+		if c.Progress != nil {
+			c.Progress(d, days)
+		}
 	}
 	return c.builder.Build(), nil
 }
@@ -186,6 +197,9 @@ func (c *Crawler) RunStream(days int, sink trace.DaySink) error {
 				return err
 			}
 		}
+		if c.Progress != nil {
+			c.Progress(d, days)
+		}
 	}
 	return nil
 }
@@ -196,14 +210,11 @@ func (c *Crawler) Meta() ([]trace.FileMeta, []trace.PeerInfo) {
 	return c.builder.Files(), c.builder.Peers()
 }
 
-// crawlDay brings the day's population online, runs the sweep and browses.
+// crawlDay brings the day's population online (one deterministic gateway
+// pass over the columns, never a boxed client), runs the sweep and
+// browses.
 func (c *Crawler) crawlDay(day, totalDays int) error {
-	c.server.DisconnectAll()
-	population, shutdown, err := c.bringWorldOnline(day)
-	if err != nil {
-		return err
-	}
-	defer shutdown()
+	c.gateway.beginDay(day)
 
 	me := edonkey.NewClient(c.network, [16]byte{0xCA, 0x11}, crawlerEndpoint, "crawler")
 	if err := me.GoOnline(); err != nil {
@@ -262,7 +273,7 @@ func (c *Crawler) crawlDay(day, totalDays int) error {
 		c.Stats.BrowseAttempts++
 		files, err := me.Browse(u.Endpoint)
 		if err != nil {
-			if _, wasBrowsable := population[key]; wasBrowsable {
+			if c.gateway.wasBrowsable(key) {
 				c.Stats.BrowseFailed++ // unexpected: peer vanished mid-day
 			} else {
 				c.Stats.BrowseRejected++ // browse disabled by the user
@@ -273,70 +284,6 @@ func (c *Crawler) crawlDay(day, totalDays int) error {
 		c.Stats.Snapshots++
 	}
 	return nil
-}
-
-// bringWorldOnline creates protocol clients for every online world client
-// and logs them into the server. It returns the set of identities that
-// accept browsing (for stats classification) and a shutdown func.
-func (c *Crawler) bringWorldOnline(day int) (map[identityKey]struct{}, func(), error) {
-	browsable := make(map[identityKey]struct{})
-	var online []*edonkey.Client
-	shutdown := func() {
-		for _, cl := range online {
-			cl.GoOffline()
-		}
-	}
-	for i := range c.world.Clients {
-		wc := &c.world.Clients[i]
-		if !wc.Online() {
-			continue
-		}
-		ip, hash := wc.IdentityAt(day)
-		ep := protocol.Endpoint{IP: ip, Port: uint16(4000 + i%60000)}
-		ec := edonkey.NewClient(c.network, hash, ep, wc.Nickname)
-		ec.Firewalled = wc.Firewalled
-		ec.BrowseOK = wc.BrowseOK
-		ec.SetShared(c.entriesFor(wc))
-		if err := ec.GoOnline(); err != nil {
-			// Endpoint collision (same IP and port): this client loses
-			// the address today, like a real NAT conflict; skip it.
-			continue
-		}
-		online = append(online, ec)
-		sess, err := ec.Connect(serverEndpoint)
-		if err != nil {
-			shutdown()
-			return nil, nil, err
-		}
-		if c.cfg.PublishFiles {
-			if err := ec.Publish(sess); err != nil {
-				sess.Close()
-				shutdown()
-				return nil, nil, err
-			}
-		}
-		sess.Close()
-		if !wc.Firewalled && wc.BrowseOK {
-			browsable[identityKey{hash, ip}] = struct{}{}
-		}
-	}
-	return browsable, shutdown, nil
-}
-
-// entriesFor renders a world client's cache as protocol file entries.
-func (c *Crawler) entriesFor(wc *workload.Client) []protocol.FileEntry {
-	files := wc.CacheFiles()
-	out := make([]protocol.FileEntry, 0, len(files))
-	for _, fi := range files {
-		f := &c.world.Files[fi]
-		out = append(out, protocol.FileEntry{
-			Hash: f.Hash,
-			Size: uint64(f.Size),
-			Name: f.Name,
-			Type: f.Kind.String(),
-		})
-	}
-	return out
 }
 
 // record registers the browsed identity and its cache in the trace.
@@ -374,7 +321,9 @@ func (c *Crawler) record(day int, u protocol.UserEntry, files []protocol.FileEnt
 		}
 		cache = append(cache, fid)
 	}
-	c.builder.Observe(day, pid, cache)
+	// The slice was built for this observation; hand it over instead of
+	// having the builder copy it again.
+	c.builder.ObserveOwned(day, pid, cache)
 }
 
 func sortIdentityKeys(keys []identityKey) {

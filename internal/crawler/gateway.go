@@ -1,0 +1,461 @@
+package crawler
+
+import (
+	"bytes"
+	"net"
+	"slices"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"edonkey/internal/edonkey"
+	"edonkey/internal/protocol"
+	"edonkey/internal/workload"
+)
+
+// worldGateway puts an entire columnar world on the wire without boxing
+// it. The legacy crawl path materialized one edonkey.Client per online
+// world client every day — a goroutine-backed listener, a login
+// round-trip and a fully rendered file list each, which is what capped
+// edcrawl far below the population sizes the trace layer can ingest. The
+// gateway replaces all of that with two views over the world's columns:
+//
+//   - the server view: a protocol.ServerCore whose Directory enumerates
+//     online clients straight from the packed nickname/identity/flag
+//     columns (one static nickname-sorted permutation, binary-searched
+//     per query), with the legacy login-probe reachability semantics
+//     (including endpoint-collision losers) replayed from one
+//     deterministic pass per day;
+//   - the client view: a Network resolver that answers Browse dials for
+//     any online client's endpoint with a handler rendering that
+//     client's cache span on the fly.
+//
+// The crawler still learns everything through wire messages — the same
+// frames, caps, rejects and unreachable errors — but the per-day cost is
+// proportional to what the crawler touches, not to the population.
+//
+// Unlike the boxed server, whose user-search truncation order was Go map
+// order, the gateway's enumeration order is fully deterministic
+// (nickname-sorted, client index breaking ties), so capped million-peer
+// crawls are bit-identical for any worker count.
+type worldGateway struct {
+	w   *workload.World
+	cfg Config
+	net *edonkey.Network
+
+	// maxUserReplies is the served reply cap (DefaultMaxUserReplies;
+	// tests lower it to exercise deterministic truncation at small scale).
+	maxUserReplies int
+
+	// nickOrder is the static nickname-sorted client permutation behind
+	// prefix queries; nicknames never change, so it is built once.
+	nickOrder []int32
+
+	// Per-day state, rebuilt by beginDay.
+	day           int
+	epOwner       map[protocol.Endpoint]int32
+	participating []bool // logged in today (online and not a collision loser)
+	reachable     []bool // would probe high-ID today
+	browsable     map[identityKey]struct{}
+
+	mu       sync.Mutex
+	sessions []protocol.UserEntry // wire logins (the crawler itself)
+
+	// hash -> catalogue index, built lazily for the publish-backed
+	// source/keyword queries (nil until first needed) and topped up when
+	// the catalogue has grown since.
+	hashMu   sync.Mutex
+	hashIdx  map[[16]byte]int32
+	hashSize int // catalogue length the index covers
+}
+
+func newWorldGateway(w *workload.World, cfg Config, n *edonkey.Network) (*worldGateway, error) {
+	g := &worldGateway{w: w, cfg: cfg, net: n, maxUserReplies: edonkey.DefaultMaxUserReplies}
+	g.buildNickOrder()
+	if err := n.Listen(serverEndpoint, g.serveServer); err != nil {
+		return nil, err
+	}
+	n.SetResolver(g.resolveClient)
+	return g, nil
+}
+
+func (g *worldGateway) core() *protocol.ServerCore {
+	return &protocol.ServerCore{
+		Dir:                g,
+		MaxUserReplies:     g.maxUserReplies,
+		SupportsUserSearch: true,
+	}
+}
+
+// buildNickOrder sorts the client indices by nickname (index breaking
+// ties; nicknames embed the index, so ties cannot actually occur). The
+// strings are materialized once for the sort, then dropped: steady state
+// keeps only the permutation.
+func (g *worldGateway) buildNickOrder() {
+	n := g.w.NumClients()
+	names := make([]string, n)
+	g.nickOrder = make([]int32, n)
+	for i := 0; i < n; i++ {
+		names[i] = g.w.Nickname(i)
+		g.nickOrder[i] = int32(i)
+	}
+	slices.SortFunc(g.nickOrder, func(a, b int32) int {
+		if c := strings.Compare(names[a], names[b]); c != 0 {
+			return c
+		}
+		return int(a - b)
+	})
+}
+
+// clientPort mirrors the legacy per-client port assignment.
+func clientPort(i int) uint16 { return uint16(4000 + i%60000) }
+
+func (g *worldGateway) endpointOf(i, day int) protocol.Endpoint {
+	ip, _ := g.w.IdentityAt(i, day)
+	return protocol.Endpoint{IP: ip, Port: clientPort(i)}
+}
+
+// beginDay re-derives the day's server-side state from the world
+// columns: who is logged in, who probes reachable and who owns a
+// contested endpoint. The pass replays the legacy login sequence
+// exactly — clients "log in" in index order, a non-firewalled client
+// claims its endpoint (first claimant wins, later colliders drop off the
+// network for the day, like a real NAT conflict), and a firewalled
+// client counts as reachable only if an earlier client already listens
+// on its endpoint (the probe quirk the boxed path had).
+func (g *worldGateway) beginDay(day int) {
+	w := g.w
+	n := w.NumClients()
+	g.day = day
+	if g.participating == nil {
+		g.participating = make([]bool, n)
+		g.reachable = make([]bool, n)
+	}
+	g.epOwner = make(map[protocol.Endpoint]int32, w.OnlineCount())
+	g.browsable = make(map[identityKey]struct{}, w.OnlineCount())
+	g.mu.Lock()
+	g.sessions = nil // day boundary: every wire session re-logs
+	g.mu.Unlock()
+	for i := 0; i < n; i++ {
+		g.participating[i] = false
+		g.reachable[i] = false
+		if !w.Online(i) {
+			continue
+		}
+		ip, hash := w.IdentityAt(i, day)
+		ep := protocol.Endpoint{IP: ip, Port: clientPort(i)}
+		if !w.Firewalled(i) {
+			if _, taken := g.epOwner[ep]; taken {
+				continue // endpoint collision: loses the address today
+			}
+			g.epOwner[ep] = int32(i)
+			g.participating[i] = true
+			g.reachable[i] = true
+			if w.BrowseOK(i) {
+				g.browsable[identityKey{hash, ip}] = struct{}{}
+			}
+		} else {
+			g.participating[i] = true
+			_, g.reachable[i] = g.epOwner[ep]
+		}
+	}
+}
+
+// wasBrowsable reports whether the identity belonged to a client that
+// accepted browsing today (the crawler's stats classification).
+func (g *worldGateway) wasBrowsable(key identityKey) bool {
+	_, ok := g.browsable[key]
+	return ok
+}
+
+// --- protocol.Directory over the world columns ---------------------------
+
+func (g *worldGateway) Servers() []protocol.Endpoint {
+	return []protocol.Endpoint{serverEndpoint}
+}
+
+func (g *worldGateway) userEntry(i int) protocol.UserEntry {
+	ip, hash := g.w.IdentityAt(i, g.day)
+	id := uint32(1) // low ID
+	if g.reachable[i] {
+		id = ip
+		if id < protocol.LowIDThreshold {
+			id += protocol.LowIDThreshold
+		}
+	}
+	return protocol.UserEntry{
+		Hash:     hash,
+		ClientID: id,
+		Endpoint: protocol.Endpoint{IP: ip, Port: clientPort(i)},
+		Nickname: g.w.Nickname(i),
+	}
+}
+
+func (g *worldGateway) UsersWithPrefix(prefix string, yield func(protocol.UserEntry) bool) {
+	// Nicknames are lowercase letters, digits and '_', all below '{', so
+	// the prefix bucket is the contiguous range [prefix, prefix+"{").
+	lo := sort.Search(len(g.nickOrder), func(k int) bool {
+		return g.w.Nickname(int(g.nickOrder[k])) >= prefix
+	})
+	hi := sort.Search(len(g.nickOrder), func(k int) bool {
+		return g.w.Nickname(int(g.nickOrder[k])) >= prefix+"{"
+	})
+	for k := lo; k < hi; k++ {
+		i := int(g.nickOrder[k])
+		if !g.participating[i] {
+			continue
+		}
+		if !yield(g.userEntry(i)) {
+			return
+		}
+	}
+	// Wire sessions (the crawler's own login) are enumerated after the
+	// population, like any other logged-in user.
+	g.mu.Lock()
+	sessions := g.sessions
+	g.mu.Unlock()
+	for _, u := range sessions {
+		if strings.HasPrefix(strings.ToLower(u.Nickname), prefix) {
+			if !yield(u) {
+				return
+			}
+		}
+	}
+}
+
+// fileIndex lazily builds the hash -> catalogue index used by the
+// publish-backed queries, and tops it up whenever the catalogue has
+// released files since the last query (the columns are append-only, so
+// the top-up is just the new suffix). A straight crawl never sends those
+// queries, so the million-peer path never pays for this map.
+func (g *worldGateway) fileIndex() map[[16]byte]int32 {
+	g.hashMu.Lock()
+	defer g.hashMu.Unlock()
+	n := g.w.NumFiles()
+	if g.hashIdx == nil {
+		g.hashIdx = make(map[[16]byte]int32, n)
+	}
+	for fi := g.hashSize; fi < n; fi++ {
+		g.hashIdx[g.w.FileHash(fi)] = int32(fi)
+	}
+	g.hashSize = n
+	return g.hashIdx
+}
+
+// holders returns the logged-in clients sharing catalogue file fi, in
+// client order.
+func (g *worldGateway) holders(fi int32) []int {
+	var out []int
+	for i := 0; i < g.w.NumClients(); i++ {
+		if !g.participating[i] {
+			continue
+		}
+		files, _ := g.w.CacheView(i)
+		if _, ok := slices.BinarySearch(files, fi); ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (g *worldGateway) SourcesOf(hash [16]byte) []protocol.Endpoint {
+	if !g.cfg.PublishFiles {
+		return nil // nothing was published to the index
+	}
+	fi, ok := g.fileIndex()[hash]
+	if !ok {
+		return nil
+	}
+	var out []protocol.Endpoint
+	for _, i := range g.holders(fi) {
+		out = append(out, g.endpointOf(i, g.day))
+	}
+	slices.SortFunc(out, func(a, b protocol.Endpoint) int {
+		if a.IP != b.IP {
+			if a.IP < b.IP {
+				return -1
+			}
+			return 1
+		}
+		return int(a.Port) - int(b.Port)
+	})
+	return out
+}
+
+func (g *worldGateway) SearchFiles(keyword string) []protocol.FileEntry {
+	if !g.cfg.PublishFiles {
+		return nil
+	}
+	// One pass over the catalogue names finds the keyword matches, then
+	// one pass over the logged-in caches counts each match's sources —
+	// O(catalogue + cached files) per query regardless of how many files
+	// match, instead of an O(clients) holder scan per match.
+	matches := make(map[int32]uint32)
+	for fi := 0; fi < g.w.NumFiles(); fi++ {
+		if nameHasToken(g.w.FileName(fi), keyword) {
+			matches[int32(fi)] = 0
+		}
+	}
+	if len(matches) == 0 {
+		return nil
+	}
+	for i := 0; i < g.w.NumClients(); i++ {
+		if !g.participating[i] {
+			continue
+		}
+		files, _ := g.w.CacheView(i)
+		for _, fi := range files {
+			if n, ok := matches[fi]; ok {
+				matches[fi] = n + 1
+			}
+		}
+	}
+	var out []protocol.FileEntry
+	for fi, sources := range matches {
+		if sources == 0 {
+			continue // unpublished: no online client shares it
+		}
+		out = append(out, protocol.FileEntry{
+			Hash:         g.w.FileHash(int(fi)),
+			Size:         uint64(g.w.FileSize(int(fi))),
+			Name:         g.w.FileName(int(fi)),
+			Type:         g.w.FileKind(int(fi)).String(),
+			Availability: sources,
+		})
+	}
+	slices.SortFunc(out, func(a, b protocol.FileEntry) int {
+		return bytes.Compare(a.Hash[:], b.Hash[:])
+	})
+	return out
+}
+
+// nameHasToken mirrors the boxed server's name tokenizer.
+func nameHasToken(name, token string) bool {
+	for _, t := range strings.FieldsFunc(strings.ToLower(name), func(r rune) bool {
+		switch r {
+		case '_', '.', '-', ' ', '(', ')', '[', ']':
+			return true
+		}
+		return false
+	}) {
+		if t == token {
+			return true
+		}
+	}
+	return false
+}
+
+// --- wire handlers --------------------------------------------------------
+
+func gwSend(conn net.Conn, m protocol.Message) error {
+	if err := conn.SetDeadline(time.Now().Add(edonkey.DialTimeout)); err != nil {
+		return err
+	}
+	return protocol.WriteMessage(conn, m)
+}
+
+// serveServer answers one connection to the first-tier server endpoint.
+func (g *worldGateway) serveServer(conn net.Conn) {
+	defer conn.Close()
+	core := g.core()
+	for {
+		m, err := protocol.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		var reply protocol.Message
+		switch req := m.(type) {
+		case *protocol.LoginRequest:
+			reply = g.handleLogin(req)
+		case *protocol.OfferFiles:
+			continue // accepted silently, like the original protocol
+		default:
+			var handled bool
+			if reply, handled = core.Handle(m); !handled {
+				reply = &protocol.Reject{Reason: "unsupported request"}
+			}
+		}
+		if err := gwSend(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// handleLogin registers a wire session (in a crawl: the crawler itself)
+// with the legacy probe semantics: reachable endpoints get an IP-derived
+// high ID.
+func (g *worldGateway) handleLogin(req *protocol.LoginRequest) protocol.Message {
+	id := uint32(1)
+	if g.net.Listening(req.Endpoint) {
+		id = req.Endpoint.IP
+		if id < protocol.LowIDThreshold {
+			id += protocol.LowIDThreshold
+		}
+	}
+	g.mu.Lock()
+	g.sessions = append(g.sessions, protocol.UserEntry{
+		Hash:     req.UserHash,
+		ClientID: id,
+		Endpoint: req.Endpoint,
+		Nickname: req.Nickname,
+	})
+	g.mu.Unlock()
+	return &protocol.IDChange{ClientID: id}
+}
+
+// resolveClient is the Network fallback: it owns every claimed client
+// endpoint of the day and serves the client-client protocol (handshake,
+// browse) straight from the owner's columns.
+func (g *worldGateway) resolveClient(ep protocol.Endpoint) (edonkey.ConnHandler, bool) {
+	owner, ok := g.epOwner[ep]
+	if !ok {
+		return nil, false
+	}
+	return func(conn net.Conn) {
+		g.serveClient(int(owner), conn)
+	}, true
+}
+
+// serveClient answers client-client sessions for world client i.
+func (g *worldGateway) serveClient(i int, conn net.Conn) {
+	defer conn.Close()
+	for {
+		m, err := protocol.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		var reply protocol.Message
+		switch m.(type) {
+		case *protocol.Hello:
+			_, hash := g.w.IdentityAt(i, g.day)
+			reply = &protocol.HelloAnswer{UserHash: hash, Nickname: g.w.Nickname(i)}
+		case *protocol.AskSharedFiles:
+			if !g.w.BrowseOK(i) {
+				reply = &protocol.Reject{Reason: "browsing disabled"}
+			} else {
+				reply = &protocol.SharedFilesAnswer{Files: g.entriesFor(i)}
+			}
+		default:
+			reply = &protocol.Reject{Reason: "unsupported"}
+		}
+		if err := gwSend(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// entriesFor renders client i's cache span as protocol file entries.
+func (g *worldGateway) entriesFor(i int) []protocol.FileEntry {
+	files, _ := g.w.CacheView(i)
+	out := make([]protocol.FileEntry, 0, len(files))
+	for _, fi := range files {
+		out = append(out, protocol.FileEntry{
+			Hash: g.w.FileHash(int(fi)),
+			Size: uint64(g.w.FileSize(int(fi))),
+			Name: g.w.FileName(int(fi)),
+			Type: g.w.FileKind(int(fi)).String(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,81 @@
+package crawler
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"edonkey/internal/trace"
+	"edonkey/internal/workload"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden traces")
+
+// goldenConfig is small enough that no nickname bucket exceeds the
+// server's 200-user reply cap and the whole crawl is deterministic, so
+// the capture pins the crawl pipeline (world evolution, discovery,
+// browsing, identity/file numbering) end to end.
+func goldenConfig(seed uint64) workload.Config {
+	cfg := workload.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Peers = 300
+	cfg.Days = 6
+	cfg.Topics = 40
+	cfg.InitialFiles = 9000
+	cfg.NewFilesPerDay = 120
+	return cfg
+}
+
+// TestCrawlGolden pins the crawled trace against a capture generated
+// before the columnar-world refactor (PR 5). The cohort-streamed world
+// and the gateway-served protocol path must reproduce the boxed
+// per-client path bit for bit: same identities in the same order, same
+// file numbering, same per-day snapshots. Regenerate with -update only
+// for an intentional trace-shape change.
+func TestCrawlGolden(t *testing.T) {
+	for _, seed := range []uint64{1, 9} {
+		path := filepath.Join("testdata", goldenName(seed))
+		tr, _, err := Crawl(goldenConfig(seed), DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *updateGolden {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := tr.WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("wrote %s: %d peers, %d files, %d observations",
+				path, len(tr.Peers), len(tr.Files), tr.Observations())
+			continue
+		}
+		want, err := trace.ReadFile(path)
+		if err != nil {
+			t.Fatalf("read golden (regenerate with -update): %v", err)
+		}
+		if !reflect.DeepEqual(want.Files, tr.Files) {
+			t.Errorf("seed %d: file metadata diverged from pre-refactor capture", seed)
+		}
+		if !reflect.DeepEqual(want.Peers, tr.Peers) {
+			t.Errorf("seed %d: peer identities diverged from pre-refactor capture", seed)
+		}
+		if len(want.Days) != len(tr.Days) {
+			t.Fatalf("seed %d: %d days, want %d", seed, len(tr.Days), len(want.Days))
+		}
+		for i := range want.Days {
+			if !want.Days[i].Equal(tr.Days[i]) {
+				t.Fatalf("seed %d: day index %d diverged from pre-refactor capture", seed, i)
+			}
+		}
+	}
+}
+
+func goldenName(seed uint64) string {
+	if seed == 1 {
+		return "golden_crawl_s1.edt"
+	}
+	return "golden_crawl_s9.edt"
+}

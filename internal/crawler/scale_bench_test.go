@@ -1,0 +1,75 @@
+package crawler
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"edonkey/internal/trace"
+	"edonkey/internal/workload"
+)
+
+// BenchmarkCrawlScale is the acceptance benchmark for the cohort-streamed
+// columnar world: it builds a population at the paper's files-per-peer
+// ratio (30x, like edcrawl's default) and streams a short protocol crawl
+// into a discarded .edt writer — the exact million-peer pipeline, scaled
+// down to CI size. Besides ns/op it reports bytes_per_peer, the resident
+// cost of the built world per underlying client, measured allocator-level
+// after a forced GC. The metric is gated unscaled by `make bench-diff`
+// (benchjson -gate-extra): a change that re-boxes per-client state — a
+// map here, a string column there — moves it far beyond the gate's
+// tolerance and fails CI.
+func BenchmarkCrawlScale(b *testing.B) {
+	for _, peers := range []int{20000} {
+		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+			cfg := workload.DefaultConfig()
+			cfg.Seed = 5
+			cfg.Peers = peers
+			cfg.Days = 2
+			cfg.Topics = max(8, peers/20)
+			cfg.InitialFiles = 30 * peers
+			cfg.NewFilesPerDay = max(1, cfg.InitialFiles/100)
+
+			var bytesPerPeer float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				before := heapAfterGC()
+				w, err := workload.New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if bytesPerPeer == 0 {
+					bytesPerPeer = float64(heapAfterGC()-before) / float64(peers)
+				}
+				c, err := New(w, DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				ew, err := trace.NewEDTWriter(io.Discard)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := c.RunStream(cfg.Days, ew); err != nil {
+					b.Fatal(err)
+				}
+				files, peerInfos := c.Meta()
+				if err := ew.Finish(files, peerInfos); err != nil {
+					b.Fatal(err)
+				}
+				if c.Stats.Snapshots == 0 {
+					b.Fatal("empty crawl")
+				}
+			}
+			b.ReportMetric(bytesPerPeer, "bytes_per_peer")
+		})
+	}
+}
+
+// heapAfterGC returns live heap bytes after a forced collection.
+func heapAfterGC() uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m.HeapAlloc
+}

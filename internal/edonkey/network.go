@@ -37,6 +37,7 @@ type ConnHandler func(conn net.Conn)
 type Network struct {
 	mu        sync.Mutex
 	listeners map[protocol.Endpoint]ConnHandler
+	resolver  func(protocol.Endpoint) (ConnHandler, bool)
 }
 
 // NewNetwork returns an empty switchboard.
@@ -63,20 +64,41 @@ func (n *Network) Unlisten(ep protocol.Endpoint) {
 	delete(n.listeners, ep)
 }
 
+// SetResolver installs a fallback consulted by Dial (and Listening) for
+// endpoints with no explicitly registered listener. It lets one gateway
+// serve an entire population's endpoints without registering — or even
+// representing — each client individually; a million-peer world answers
+// browse dials through a single resolver over its columns. The resolver
+// must be safe for concurrent use; a nil resolver removes the fallback.
+func (n *Network) SetResolver(r func(protocol.Endpoint) (ConnHandler, bool)) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.resolver = r
+}
+
 // Listening reports whether someone accepts connections on ep.
 func (n *Network) Listening(ep protocol.Endpoint) bool {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	_, ok := n.listeners[ep]
+	r := n.resolver
+	n.mu.Unlock()
+	if !ok && r != nil {
+		_, ok = r(ep)
+	}
 	return ok
 }
 
 // Dial connects to an endpoint. The remote handler runs in its own
-// goroutine on the other end of the pipe.
+// goroutine on the other end of the pipe. Explicit listeners win over
+// the resolver fallback.
 func (n *Network) Dial(ep protocol.Endpoint) (net.Conn, error) {
 	n.mu.Lock()
 	h, ok := n.listeners[ep]
+	r := n.resolver
 	n.mu.Unlock()
+	if !ok && r != nil {
+		h, ok = r(ep)
+	}
 	if !ok {
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, ep)
 	}

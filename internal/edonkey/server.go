@@ -31,8 +31,9 @@ type fileRecord struct {
 }
 
 // Server is a first-tier eDonkey server: it indexes client publications
-// and answers source, keyword and user queries. All methods are safe for
-// concurrent use; each connection is served on its own goroutine.
+// and answers source, keyword and user queries through a
+// protocol.ServerCore over its map-backed state. All methods are safe
+// for concurrent use; each connection is served on its own goroutine.
 type Server struct {
 	Endpoint protocol.Endpoint
 	// MaxUserReplies caps SearchUser replies (default 200, as measured).
@@ -50,6 +51,87 @@ type Server struct {
 	files   map[[16]byte]*fileRecord
 	keyword map[string]map[[16]byte]struct{} // token -> file hashes
 	servers map[protocol.Endpoint]struct{}   // known servers (incl. self)
+}
+
+// core builds the request engine view of the server's current settings.
+func (s *Server) core() *protocol.ServerCore {
+	return &protocol.ServerCore{
+		Dir:                (*serverDirectory)(s),
+		MaxUserReplies:     s.MaxUserReplies,
+		SupportsUserSearch: s.SupportsUserSearch,
+	}
+}
+
+// serverDirectory adapts the server's publication maps to the
+// protocol.Directory the shared request engine consults. Enumeration
+// order for user searches is Go map order — the boxed server keeps the
+// arbitrary-truncation behaviour real servers had; the columnar world
+// gateway is the deterministic implementation.
+type serverDirectory Server
+
+func (d *serverDirectory) Servers() []protocol.Endpoint {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]protocol.Endpoint, 0, len(d.servers))
+	for ep := range d.servers {
+		out = append(out, ep)
+	}
+	slices.SortFunc(out, compareEndpoints)
+	return out
+}
+
+func (d *serverDirectory) UsersWithPrefix(prefix string, yield func(protocol.UserEntry) bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, u := range d.users {
+		if !strings.HasPrefix(strings.ToLower(u.nickname), prefix) {
+			continue
+		}
+		if !yield(protocol.UserEntry{
+			Hash:     u.hash,
+			ClientID: u.clientID,
+			Endpoint: u.endpoint,
+			Nickname: u.nickname,
+		}) {
+			return
+		}
+	}
+}
+
+func (d *serverDirectory) SourcesOf(hash [16]byte) []protocol.Endpoint {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []protocol.Endpoint
+	if rec, ok := d.files[hash]; ok {
+		for _, ep := range rec.sources {
+			out = append(out, ep)
+		}
+		slices.SortFunc(out, compareEndpoints)
+	}
+	return out
+}
+
+func (d *serverDirectory) SearchFiles(keyword string) []protocol.FileEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []protocol.FileEntry
+	for h := range d.keyword[keyword] {
+		rec := d.files[h]
+		entry := rec.entry
+		entry.Availability = uint32(len(rec.sources))
+		out = append(out, entry)
+	}
+	slices.SortFunc(out, func(a, b protocol.FileEntry) int {
+		return bytes.Compare(a.Hash[:], b.Hash[:])
+	})
+	return out
+}
+
+func compareEndpoints(a, b protocol.Endpoint) int {
+	if a.IP != b.IP {
+		return cmp.Compare(a.IP, b.IP)
+	}
+	return cmp.Compare(a.Port, b.Port)
 }
 
 // NewServer creates a server on the given endpoint of the switchboard.
@@ -99,9 +181,12 @@ func (s *Server) DisconnectAll() {
 	s.keyword = make(map[string]map[[16]byte]struct{})
 }
 
-// Serve handles one client connection until it closes.
+// Serve handles one client connection until it closes. Session state
+// (login, publications) is handled here; queries route through the
+// shared protocol.ServerCore request engine.
 func (s *Server) Serve(conn net.Conn) {
 	defer conn.Close()
+	core := s.core()
 	var sessionUser *userRecord
 	for {
 		m, err := protocol.ReadMessage(conn)
@@ -115,16 +200,11 @@ func (s *Server) Serve(conn net.Conn) {
 		case *protocol.OfferFiles:
 			s.handleOffer(sessionUser, req)
 			continue // no reply, like the original protocol
-		case *protocol.GetServerList:
-			reply = s.handleServerList()
-		case *protocol.SearchUser:
-			reply = s.handleSearchUser(req)
-		case *protocol.GetSources:
-			reply = s.handleGetSources(req)
-		case *protocol.SearchRequest:
-			reply = s.handleSearch(req)
 		default:
-			reply = &protocol.Reject{Reason: "unsupported request"}
+			var handled bool
+			if reply, handled = core.Handle(m); !handled {
+				reply = &protocol.Reject{Reason: "unsupported request"}
+			}
 		}
 		if err := send(conn, reply); err != nil {
 			return
@@ -201,86 +281,4 @@ func (s *Server) handleOffer(u *userRecord, req *protocol.OfferFiles) {
 		}
 		rec.sources[u.hash] = u.endpoint
 	}
-}
-
-func (s *Server) handleServerList() protocol.Message {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := &protocol.ServerList{}
-	for ep := range s.servers {
-		out.Servers = append(out.Servers, ep)
-	}
-	slices.SortFunc(out.Servers, func(a, b protocol.Endpoint) int {
-		if a.IP != b.IP {
-			return cmp.Compare(a.IP, b.IP)
-		}
-		return cmp.Compare(a.Port, b.Port)
-	})
-	return out
-}
-
-// handleSearchUser implements the crawler's discovery primitive: a prefix
-// match on nicknames, truncated at MaxUserReplies. Many users share short
-// prefixes, so a sweep cannot retrieve everyone — the same bias the paper
-// reports.
-func (s *Server) handleSearchUser(req *protocol.SearchUser) protocol.Message {
-	if !s.SupportsUserSearch {
-		return &protocol.Reject{Reason: "query-users not implemented"}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := &protocol.SearchUserResult{}
-	q := strings.ToLower(req.Query)
-	for _, u := range s.users {
-		if len(out.Users) >= s.MaxUserReplies {
-			break
-		}
-		if strings.HasPrefix(strings.ToLower(u.nickname), q) {
-			out.Users = append(out.Users, protocol.UserEntry{
-				Hash:     u.hash,
-				ClientID: u.clientID,
-				Endpoint: u.endpoint,
-				Nickname: u.nickname,
-			})
-		}
-	}
-	return out
-}
-
-func (s *Server) handleGetSources(req *protocol.GetSources) protocol.Message {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := &protocol.FoundSources{Hash: req.Hash}
-	if rec, ok := s.files[req.Hash]; ok {
-		for _, ep := range rec.sources {
-			out.Sources = append(out.Sources, ep)
-		}
-		slices.SortFunc(out.Sources, func(a, b protocol.Endpoint) int {
-			if a.IP != b.IP {
-				return cmp.Compare(a.IP, b.IP)
-			}
-			return cmp.Compare(a.Port, b.Port)
-		})
-	}
-	return out
-}
-
-func (s *Server) handleSearch(req *protocol.SearchRequest) protocol.Message {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := &protocol.SearchResult{}
-	hashes, ok := s.keyword[strings.ToLower(req.Keyword)]
-	if !ok {
-		return out
-	}
-	for h := range hashes {
-		rec := s.files[h]
-		entry := rec.entry
-		entry.Availability = uint32(len(rec.sources))
-		out.Files = append(out.Files, entry)
-	}
-	slices.SortFunc(out.Files, func(a, b protocol.FileEntry) int {
-		return bytes.Compare(a.Hash[:], b.Hash[:])
-	})
-	return out
 }

@@ -1,0 +1,77 @@
+// Server-side request engine. The measurement artefacts the paper's
+// methodology hinges on — the 200-user reply cap on nickname queries,
+// the reject semantics of removed features — live at the protocol layer,
+// so they are implemented here once, over a pluggable Directory, and
+// shared by every server implementation: the boxed in-memory server
+// (internal/edonkey.Server, fed by wire publications) and the columnar
+// world gateway (internal/crawler), whose directory is a view over a
+// million-peer population that never materializes per-client state.
+package protocol
+
+import "strings"
+
+// Directory is the index a first-tier server consults to answer queries.
+// Implementations define their own enumeration order for UsersWithPrefix;
+// a deterministic directory makes the served crawl deterministic even
+// when replies truncate at the cap.
+type Directory interface {
+	// Servers returns the known-server list in reply order.
+	Servers() []Endpoint
+	// UsersWithPrefix visits the logged-in users whose nickname starts
+	// with the (lowercased) prefix, in the directory's enumeration order,
+	// stopping early when yield returns false.
+	UsersWithPrefix(prefix string, yield func(UserEntry) bool)
+	// SourcesOf returns the endpoints currently offering the file, in
+	// reply order.
+	SourcesOf(hash [16]byte) []Endpoint
+	// SearchFiles returns the published entries matching a keyword
+	// token, in reply order, with Availability filled in.
+	SearchFiles(keyword string) []FileEntry
+}
+
+// ServerCore turns server-bound request messages into replies using a
+// Directory. It enforces the measured server behaviours: the reply cap
+// on user searches and the "query-users not implemented" reject of newer
+// servers. Login and publication are session state and stay with the
+// host; everything else routes through Handle.
+type ServerCore struct {
+	Dir Directory
+	// MaxUserReplies caps SearchUser replies (the paper measured 200).
+	MaxUserReplies int
+	// SupportsUserSearch mirrors the paper's observation that newer
+	// servers removed the query-users feature; when false, SearchUser
+	// gets a Reject.
+	SupportsUserSearch bool
+}
+
+// Handle answers one request. It returns handled=false for messages the
+// core does not own (login, publications, client-client traffic).
+func (s *ServerCore) Handle(m Message) (reply Message, handled bool) {
+	switch req := m.(type) {
+	case *GetServerList:
+		return &ServerList{Servers: s.Dir.Servers()}, true
+	case *SearchUser:
+		return s.searchUser(req), true
+	case *GetSources:
+		return &FoundSources{Hash: req.Hash, Sources: s.Dir.SourcesOf(req.Hash)}, true
+	case *SearchRequest:
+		return &SearchResult{Files: s.Dir.SearchFiles(strings.ToLower(req.Keyword))}, true
+	}
+	return nil, false
+}
+
+func (s *ServerCore) searchUser(req *SearchUser) Message {
+	if !s.SupportsUserSearch {
+		return &Reject{Reason: "query-users not implemented"}
+	}
+	out := &SearchUserResult{}
+	q := strings.ToLower(req.Query)
+	s.Dir.UsersWithPrefix(q, func(u UserEntry) bool {
+		if len(out.Users) >= s.MaxUserReplies {
+			return false
+		}
+		out.Users = append(out.Users, u)
+		return true
+	})
+	return out
+}

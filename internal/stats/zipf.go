@@ -131,34 +131,54 @@ type WeightedChoice struct {
 
 // NewWeightedChoice prepares cumulative weights for repeated drawing.
 func NewWeightedChoice(weights []float64) *WeightedChoice {
+	cum := make([]float64, len(weights))
+	copy(cum, weights)
+	return &WeightedChoice{cum: Cumulate(cum)}
+}
+
+// Cumulate turns a weight slice into its normalized cumulative
+// distribution in place and returns it, with the same validation and the
+// same floating-point operation order as NewWeightedChoice — DrawCum over
+// the result is bit-identical to WeightedChoice.Draw over the same
+// weights. It exists so columnar callers can rebuild large distributions
+// daily into reused buffers instead of allocating a WeightedChoice per
+// rebuild.
+func Cumulate(weights []float64) []float64 {
 	if len(weights) == 0 {
 		panic("stats: empty weight slice")
 	}
-	cum := make([]float64, len(weights))
 	var total float64
 	for i, w := range weights {
 		if w < 0 || math.IsNaN(w) {
 			panic(fmt.Sprintf("stats: invalid weight %v at %d", w, i))
 		}
 		total += w
-		cum[i] = total
+		weights[i] = total
 	}
 	if total == 0 {
 		panic("stats: all-zero weights")
 	}
-	for i := range cum {
-		cum[i] /= total
+	for i := range weights {
+		weights[i] /= total
 	}
-	return &WeightedChoice{cum: cum}
+	return weights
 }
 
 // Draw returns a weighted random index.
 func (w *WeightedChoice) Draw(rng *rand.Rand) int {
+	return DrawCum(rng, w.cum)
+}
+
+// DrawCum draws a weighted index from a normalized cumulative
+// distribution built by Cumulate (or held inside a WeightedChoice). It
+// lets flat columnar stores keep many per-row distributions in one
+// backing array and draw from borrowed subslices.
+func DrawCum(rng *rand.Rand, cum []float64) int {
 	u := rng.Float64()
-	lo, hi := 0, len(w.cum)-1
+	lo, hi := 0, len(cum)-1
 	for lo < hi {
 		mid := (lo + hi) / 2
-		if w.cum[mid] < u {
+		if cum[mid] < u {
 			lo = mid + 1
 		} else {
 			hi = mid

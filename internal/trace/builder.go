@@ -54,6 +54,15 @@ func (b *Builder) AddPeer(info PeerInfo) PeerID {
 // cache slice is copied, sorted and deduplicated. Observing the same
 // (day, peer) twice overwrites the previous observation (a re-browse).
 func (b *Builder) Observe(day int, pid PeerID, cache []FileID) {
+	b.ObserveOwned(day, pid, append([]FileID(nil), cache...))
+}
+
+// ObserveOwned is Observe for producers that hand the cache slice over:
+// the builder keeps it (sorting and deduplicating in place) instead of
+// copying. Streaming observers — the crawler records millions of cache
+// snapshots per simulated day at full scale — build each slice for the
+// observation anyway, so the copy would be pure churn.
+func (b *Builder) ObserveOwned(day int, pid PeerID, cache []FileID) {
 	if int(pid) >= len(b.peers) {
 		panic(fmt.Sprintf("trace: Observe of unregistered peer %d", pid))
 	}
@@ -62,7 +71,7 @@ func (b *Builder) Observe(day int, pid PeerID, cache []FileID) {
 		acc = &dayAccum{index: make(map[PeerID]int32)}
 		b.days[day] = acc
 	}
-	c := append([]FileID(nil), cache...)
+	c := cache
 	slices.Sort(c)
 	// Deduplicate in place.
 	out := c[:0]

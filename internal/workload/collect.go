@@ -17,7 +17,7 @@ type Collector struct {
 	w       *World
 	builder *trace.Builder
 	peerIDs map[identKey]trace.PeerID
-	fileIDs map[int]trace.FileID
+	fileIDs map[int32]trace.FileID
 }
 
 type identKey struct {
@@ -31,80 +31,83 @@ func NewCollector(w *World) *Collector {
 		w:       w,
 		builder: trace.NewBuilder(),
 		peerIDs: make(map[identKey]trace.PeerID),
-		fileIDs: make(map[int]trace.FileID),
+		fileIDs: make(map[int32]trace.FileID),
 	}
 }
 
-func (c *Collector) segmentAt(cl *Client, day int) int {
-	for i, id := range cl.identities {
-		if day >= id.startDay && day <= id.endDay {
-			return i
+func (c *Collector) segmentAt(i, day int) int {
+	ids := c.w.identities(i)
+	for s, id := range ids {
+		if day >= int(id.startDay) && day <= int(id.endDay) {
+			return s
 		}
 	}
-	return len(cl.identities) - 1
+	return len(ids) - 1
 }
 
-func (c *Collector) peerID(cl *Client, day int) trace.PeerID {
-	seg := c.segmentAt(cl, day)
-	key := identKey{cl.ID, seg}
+func (c *Collector) peerID(i, day int) trace.PeerID {
+	seg := c.segmentAt(i, day)
+	key := identKey{i, seg}
 	if pid, ok := c.peerIDs[key]; ok {
 		return pid
 	}
 	alias := int32(-1)
 	if seg > 0 {
-		if prev, ok := c.peerIDs[identKey{cl.ID, seg - 1}]; ok {
+		if prev, ok := c.peerIDs[identKey{i, seg - 1}]; ok {
 			alias = int32(prev)
 		}
 	}
-	id := cl.identities[seg]
+	id := c.w.identities(i)[seg]
+	loc := c.w.Location(i)
 	pid := c.builder.AddPeer(trace.PeerInfo{
 		UserHash:   id.hash,
 		IP:         id.ip,
-		Country:    cl.Loc.Country,
-		ASN:        cl.Loc.ASN,
-		Nickname:   cl.Nickname,
-		Firewalled: cl.Firewalled,
-		BrowseOK:   cl.BrowseOK,
+		Country:    loc.Country,
+		ASN:        loc.ASN,
+		Nickname:   c.w.Nickname(i),
+		Firewalled: c.w.Firewalled(i),
+		BrowseOK:   c.w.BrowseOK(i),
 		AliasOf:    alias,
 	})
 	c.peerIDs[key] = pid
 	return pid
 }
 
-func (c *Collector) fileID(idx int) trace.FileID {
+func (c *Collector) fileID(idx int32) trace.FileID {
 	if fid, ok := c.fileIDs[idx]; ok {
 		return fid
 	}
-	f := &c.w.Files[idx]
 	fid := c.builder.AddFile(trace.FileMeta{
-		Hash:       f.Hash,
-		Name:       f.Name,
-		Size:       f.Size,
-		Kind:       f.Kind,
-		Topic:      int32(f.Topic),
-		ReleaseDay: int32(f.ReleaseDay),
+		Hash:       c.w.FileHash(int(idx)),
+		Name:       c.w.FileName(int(idx)),
+		Size:       c.w.FileSize(int(idx)),
+		Kind:       c.w.FileKind(int(idx)),
+		Topic:      w32(c.w.FileTopic(int(idx))),
+		ReleaseDay: w32(c.w.FileRelease(int(idx))),
 	})
 	c.fileIDs[idx] = fid
 	return fid
 }
 
+func w32(v int) int32 { return int32(v) }
+
 // ObserveDay records the caches of all crawlable online clients for the
-// world's current day. CacheFiles returns world-index order, which keeps
+// world's current day. CacheView returns world-index order, which keeps
 // the lazy trace FileID numbering deterministic run-to-run.
 func (c *Collector) ObserveDay() {
 	day := c.w.Day()
-	for i := range c.w.Clients {
-		cl := &c.w.Clients[i]
-		if !cl.online || cl.Firewalled || !cl.BrowseOK {
+	for i := 0; i < c.w.NumClients(); i++ {
+		if !c.w.Online(i) || c.w.Firewalled(i) || !c.w.BrowseOK(i) {
 			continue
 		}
-		pid := c.peerID(cl, day)
-		files := cl.CacheFiles()
+		pid := c.peerID(i, day)
+		files, _ := c.w.CacheView(i)
 		cache := make([]trace.FileID, 0, len(files))
 		for _, fi := range files {
 			cache = append(cache, c.fileID(fi))
 		}
-		c.builder.Observe(day, pid, cache)
+		// Built for this observation; the builder may keep it.
+		c.builder.ObserveOwned(day, pid, cache)
 	}
 }
 

@@ -1,0 +1,190 @@
+package workload
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// diffConfig is deliberately hostile to the cohort layout: a peer count
+// that does not divide the cohort size, aliasing, and enough days for
+// pending bundle queues to survive across steps.
+func diffConfig(seed uint64, workers, cohortSize int) Config {
+	cfg := DefaultConfig()
+	cfg.Seed = seed
+	cfg.Peers = 337
+	cfg.Days = 16
+	cfg.Topics = 48
+	cfg.InitialFiles = 9000
+	cfg.NewFilesPerDay = 120
+	cfg.AliasFraction = 0.4
+	cfg.Workers = workers
+	cfg.CohortSize = cohortSize
+	return cfg
+}
+
+// requireWorldsEqual compares every piece of stochastic state the two
+// representations share on the current day.
+func requireWorldsEqual(t *testing.T, label string, lw *legacyWorld, w *World) {
+	t.Helper()
+	if len(lw.Files) != w.NumFiles() {
+		t.Fatalf("%s: catalogue sizes differ: legacy %d columnar %d", label, len(lw.Files), w.NumFiles())
+	}
+	for i := range lw.Clients {
+		lc := &lw.Clients[i]
+		if lc.online != w.Online(i) {
+			t.Fatalf("%s: client %d presence differs", label, i)
+		}
+		files, days := w.CacheView(i)
+		if len(lc.cache) != len(files) {
+			t.Fatalf("%s: client %d cache size: legacy %d columnar %d", label, i, len(lc.cache), len(files))
+		}
+		for j, fi := range files {
+			d, ok := lc.cache[int(fi)]
+			if !ok {
+				t.Fatalf("%s: client %d columnar caches file %d the legacy world lacks", label, i, fi)
+			}
+			if int32(d) != days[j] {
+				t.Fatalf("%s: client %d file %d added-day: legacy %d columnar %d", label, i, fi, d, days[j])
+			}
+		}
+		if len(lc.pending) != len(w.cl.pending[i]) {
+			t.Fatalf("%s: client %d pending queue lengths differ", label, i)
+		}
+		for j, fi := range lc.pending {
+			if int32(fi) != w.cl.pending[i][j] {
+				t.Fatalf("%s: client %d pending[%d] differs", label, i, j)
+			}
+		}
+	}
+}
+
+// requireBuildEqual compares the static build outputs (catalogue rows,
+// client attributes, identities, interests).
+func requireBuildEqual(t *testing.T, lw *legacyWorld, w *World) {
+	t.Helper()
+	for fi := range lw.Files {
+		lf := &lw.Files[fi]
+		cf := w.File(fi)
+		if lf.Hash != cf.Hash || lf.Size != cf.Size || lf.Name != cf.Name ||
+			lf.Topic != cf.Topic || lf.Kind != cf.Kind ||
+			lf.ReleaseDay != cf.ReleaseDay || lf.Bundle != cf.Bundle {
+			t.Fatalf("file %d differs:\nlegacy   %+v\ncolumnar %+v", fi, *lf, cf)
+		}
+	}
+	for i := range lw.Clients {
+		lc := &lw.Clients[i]
+		if lc.Nickname != w.Nickname(i) {
+			t.Fatalf("client %d nickname: legacy %q columnar %q", i, lc.Nickname, w.Nickname(i))
+		}
+		if lc.Loc != w.Location(i) {
+			t.Fatalf("client %d location differs", i)
+		}
+		if lc.FreeRider != w.FreeRider(i) || lc.Firewalled != w.Firewalled(i) || lc.BrowseOK != w.BrowseOK(i) {
+			t.Fatalf("client %d flags differ", i)
+		}
+		if lc.targetCache != w.TargetCache(i) {
+			t.Fatalf("client %d target cache: legacy %d columnar %d", i, lc.targetCache, w.TargetCache(i))
+		}
+		ints := w.Interests(i)
+		if len(lc.interests) != len(ints) {
+			t.Fatalf("client %d interest counts differ", i)
+		}
+		for j := range ints {
+			if lc.interests[j] != int(ints[j]) {
+				t.Fatalf("client %d interest %d differs", i, j)
+			}
+		}
+		ids := w.identities(i)
+		if len(lc.identities) != len(ids) {
+			t.Fatalf("client %d identity segment counts differ", i)
+		}
+		for j := range ids {
+			li, ci := lc.identities[j], ids[j]
+			if li.startDay != int(ci.startDay) || li.endDay != int(ci.endDay) ||
+				li.ip != ci.ip || li.hash != ci.hash {
+				t.Fatalf("client %d identity %d differs", i, j)
+			}
+		}
+	}
+}
+
+// TestColumnarWorldMatchesLegacy pins the cohort-streamed columnar world
+// bit-identical to the retained legacy resident world: same build, same
+// presence, same cache contents with the same added-days, same pending
+// bundle queues — every day, across worker counts, cohort sizes and
+// seeds. This is the PR-5 equivalence guarantee: the representation
+// changed, the population did not.
+func TestColumnarWorldMatchesLegacy(t *testing.T) {
+	variants := []struct{ workers, cohortSize int }{
+		{1, 0},
+		{4, 64},
+		{runtime.GOMAXPROCS(0), 0},
+	}
+	for _, seed := range []uint64{3, 21} {
+		lw, err := newLegacyWorld(diffConfig(seed, 1, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range variants {
+			v := v
+			t.Run(fmt.Sprintf("seed=%d/workers=%d/cohort=%d", seed, v.workers, v.cohortSize), func(t *testing.T) {
+				w, err := New(diffConfig(seed, v.workers, v.cohortSize))
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireBuildEqual(t, lw, w)
+				// Fresh legacy world per variant so both sides replay the
+				// same day sequence from the start.
+				ref, err := newLegacyWorld(diffConfig(seed, 1, 0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireWorldsEqual(t, "day 0", ref, w)
+				for d := 1; d < 8; d++ {
+					ref.Step()
+					w.Step()
+					requireWorldsEqual(t, fmt.Sprintf("day %d", d), ref, w)
+				}
+			})
+		}
+	}
+}
+
+// TestSourceCountMatchesLegacyScan cross-checks the cohort-merged
+// aggregate against a direct scan of the legacy world.
+func TestSourceCountMatchesLegacyScan(t *testing.T) {
+	lw, err := newLegacyWorld(diffConfig(7, 1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := New(diffConfig(7, 3, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 3; d++ {
+		lw.Step()
+		w.Step()
+	}
+	for fi := 0; fi < 200; fi++ {
+		want := 0
+		for i := range lw.Clients {
+			if _, ok := lw.Clients[i].cache[fi]; ok {
+				want++
+			}
+		}
+		if got := w.SourceCount(fi); got != want {
+			t.Fatalf("SourceCount(%d) = %d, legacy scan %d", fi, got, want)
+		}
+	}
+	// Presence partials must merge to the legacy total too.
+	wantOnline := 0
+	for i := range lw.Clients {
+		if lw.Clients[i].online {
+			wantOnline++
+		}
+	}
+	if got := w.OnlineCount(); got != wantOnline {
+		t.Fatalf("OnlineCount = %d, legacy scan %d", got, wantOnline)
+	}
+}

@@ -104,12 +104,18 @@ type Config struct {
 	DecayDays      float64
 	LifecycleFloor float64
 
-	// Workers bounds the worker pool that runs the per-client daily
+	// Workers bounds the worker pool that runs the per-cohort daily
 	// updates (cache fills, additions, eviction, presence) concurrently:
 	// 0 selects GOMAXPROCS, 1 runs serially. Every worker count produces
 	// bit-identical worlds, because each client draws from a private
 	// generator seeded from (Seed, client ID).
 	Workers int
+	// CohortSize is the number of clients per deterministic shard of the
+	// columnar world; cohorts are the unit of parallel stepping and of
+	// cache-arena ownership. 0 selects the default (4096). The partition
+	// is a pure function of the config, so the cohort size changes
+	// scheduling granularity and arena layout but never a single draw.
+	CohortSize int
 }
 
 // DefaultConfig returns the laptop-scale defaults used across tests,
@@ -250,6 +256,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("workload: BundleFollow = %v out of [0,1]", c.BundleFollow)
 	case c.Workers < 0:
 		return fmt.Errorf("workload: Workers = %d, need >= 0", c.Workers)
+	case c.CohortSize < 0:
+		return fmt.Errorf("workload: CohortSize = %d, need >= 0", c.CohortSize)
 	}
 	return nil
 }

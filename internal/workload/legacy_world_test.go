@@ -1,0 +1,494 @@
+package workload
+
+// This file retains the pre-PR-5 resident world — the array-of-structs
+// implementation with one boxed Client (map cache, slice state, private
+// rng) per peer — verbatim except for renames. It is the differential
+// oracle for the cohort-streamed columnar World: TestColumnarWorldMatchesLegacy
+// pins the refactored representation bit-identical to this one at small
+// scale, across worker counts and seeds. Nothing outside the tests may
+// use it; it exists to make representation bugs (a reordered rng draw, a
+// broken eviction tie-break, a lost pending-bundle queue) loud.
+
+import (
+	"math"
+	"math/rand/v2"
+	"slices"
+
+	"edonkey/internal/geo"
+	"edonkey/internal/runner"
+	"edonkey/internal/stats"
+	"edonkey/internal/trace"
+)
+
+type legacyTopic struct {
+	ID           int
+	HomeCountry  string
+	DominantKind trace.FileKind
+	Weight       float64
+	Files        []int
+
+	sampler *stats.WeightedChoice
+}
+
+type legacyFile struct {
+	Index      int
+	Topic      int
+	Kind       trace.FileKind
+	Size       int64
+	Name       string
+	Hash       [16]byte
+	ReleaseDay int
+	Bundle     int
+	baseWeight float64
+}
+
+type legacyIdentity struct {
+	startDay int
+	endDay   int
+	ip       uint32
+	hash     [16]byte
+}
+
+type legacyClient struct {
+	ID         int
+	Loc        geo.Location
+	Nickname   string
+	FreeRider  bool
+	Firewalled bool
+	BrowseOK   bool
+
+	onlineProb  float64
+	interests   []int
+	interestW   *stats.WeightedChoice
+	targetCache int
+	globalDraw  float64
+	identities  []legacyIdentity
+
+	rng     *rand.Rand
+	cache   map[int]int
+	pending []int
+	online  bool
+}
+
+func (c *legacyClient) cacheFiles() []int {
+	out := make([]int, 0, len(c.cache))
+	for f := range c.cache {
+		out = append(out, f)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func (c *legacyClient) identityAt(day int) (ip uint32, hash [16]byte) {
+	for _, id := range c.identities {
+		if day >= id.startDay && day <= id.endDay {
+			return id.ip, id.hash
+		}
+	}
+	last := c.identities[len(c.identities)-1]
+	return last.ip, last.hash
+}
+
+type legacyWorld struct {
+	Config   Config
+	Registry *geo.Registry
+	Topics   []legacyTopic
+	Files    []legacyFile
+	Clients  []legacyClient
+
+	rng  *rand.Rand
+	pool *runner.Pool
+	day  int
+
+	topicsByCountry map[string][]int
+	topicChoice     *stats.WeightedChoice
+	topicFileAlloc  *stats.WeightedChoice
+	kindMix         *stats.WeightedChoice
+	topicKindMix    *stats.WeightedChoice
+	globalSampler   *stats.WeightedChoice
+}
+
+func newLegacyWorld(cfg Config) (*legacyWorld, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &legacyWorld{
+		Config:          cfg,
+		Registry:        geo.NewRegistry(),
+		rng:             rand.New(rand.NewPCG(cfg.Seed, 0x65646f6e6b6579)),
+		pool:            runner.New(cfg.Workers),
+		topicsByCountry: make(map[string][]int),
+	}
+	w.buildKindMix()
+	w.buildTopics()
+	w.seedCatalogue()
+	w.buildClients()
+	w.refreshSamplers()
+	w.fillInitialCaches()
+	w.refreshPresence()
+	return w, nil
+}
+
+func (w *legacyWorld) buildKindMix() {
+	weights := make([]float64, int(trace.KindVideo)+1)
+	weights[trace.KindOther] = 0.04
+	weights[trace.KindDocument] = 0.20
+	weights[trace.KindImage] = 0.16
+	weights[trace.KindAudio] = 0.50
+	weights[trace.KindProgram] = 0.04
+	weights[trace.KindArchive] = 0.04
+	weights[trace.KindVideo] = 0.02
+	w.kindMix = stats.NewWeightedChoice(weights)
+
+	tw := make([]float64, int(trace.KindVideo)+1)
+	tw[trace.KindOther] = 0.05
+	tw[trace.KindDocument] = 0.17
+	tw[trace.KindImage] = 0.13
+	tw[trace.KindAudio] = 0.52
+	tw[trace.KindProgram] = 0.04
+	tw[trace.KindArchive] = 0.05
+	tw[trace.KindVideo] = 0.04
+	w.topicKindMix = stats.NewWeightedChoice(tw)
+}
+
+func (w *legacyWorld) sampleSize(k trace.FileKind) int64 {
+	const (
+		kb = 1 << 10
+		mb = 1 << 20
+	)
+	var v float64
+	switch k {
+	case trace.KindDocument:
+		v = stats.BoundedLogNormal(w.rng, math.Log(300*kb), 1.0, 4*kb, 1*mb)
+	case trace.KindImage:
+		v = stats.BoundedLogNormal(w.rng, math.Log(150*kb), 0.9, 10*kb, 1*mb)
+	case trace.KindAudio:
+		v = stats.BoundedLogNormal(w.rng, math.Log(3800*kb), 0.45, 1*mb, 10*mb)
+	case trace.KindProgram:
+		v = stats.BoundedLogNormal(w.rng, math.Log(40*mb), 1.1, 10*mb, 600*mb)
+	case trace.KindArchive:
+		v = stats.BoundedLogNormal(w.rng, math.Log(80*mb), 1.0, 10*mb, 600*mb)
+	case trace.KindVideo:
+		v = stats.BoundedLogNormal(w.rng, math.Log(700*mb), 0.12, 601*mb, 900*mb)
+	default:
+		v = stats.BoundedLogNormal(w.rng, math.Log(2*mb), 1.5, 16*kb, 100*mb)
+	}
+	return int64(v)
+}
+
+func (w *legacyWorld) buildTopics() {
+	w.Topics = make([]legacyTopic, w.Config.Topics)
+	weights := make([]float64, w.Config.Topics)
+	alloc := make([]float64, w.Config.Topics)
+	perm := w.rng.Perm(w.Config.Topics)
+	for i := range w.Topics {
+		rank := perm[i] + 1
+		country := w.Registry.SampleCountry(w.rng)
+		kind := trace.FileKind(w.topicKindMix.Draw(w.rng))
+		base := math.Pow(float64(rank), -w.Config.TopicZipf)
+		weight := base * topicKindFactor(kind)
+		w.Topics[i] = legacyTopic{
+			ID:           i,
+			HomeCountry:  country,
+			DominantKind: kind,
+			Weight:       weight,
+		}
+		weights[i] = weight
+		alloc[i] = base
+		w.topicsByCountry[country] = append(w.topicsByCountry[country], i)
+	}
+	w.topicChoice = stats.NewWeightedChoice(weights)
+	w.topicFileAlloc = stats.NewWeightedChoice(alloc)
+}
+
+func (w *legacyWorld) addFile(topicID, releaseDay int) int {
+	t := &w.Topics[topicID]
+	kind := t.DominantKind
+	if w.rng.Float64() > 0.8 {
+		kind = trace.FileKind(w.kindMix.Draw(w.rng))
+	}
+	rank := len(t.Files) + 1
+	f := legacyFile{
+		Index:      len(w.Files),
+		Topic:      topicID,
+		Kind:       kind,
+		Size:       w.sampleSize(kind),
+		Name:       fileName(w.rng, topicID, kind, len(t.Files)),
+		ReleaseDay: releaseDay,
+		Bundle:     len(t.Files) / w.Config.BundleSize,
+		baseWeight: math.Pow(float64(rank), -w.Config.FileZipf) * kindBoost(kind),
+	}
+	w.rng.Uint64() // decouple hash bytes from later draws
+	for i := 0; i < 16; i += 8 {
+		v := w.rng.Uint64()
+		for j := 0; j < 8; j++ {
+			f.Hash[i+j] = byte(v >> (8 * j))
+		}
+	}
+	w.Files = append(w.Files, f)
+	t.Files = append(t.Files, f.Index)
+	return f.Index
+}
+
+func (w *legacyWorld) seedCatalogue() {
+	for i := 0; i < w.Config.InitialFiles; i++ {
+		topicID := w.topicFileAlloc.Draw(w.rng)
+		release := -w.rng.IntN(90)
+		w.addFile(topicID, release)
+	}
+}
+
+func (w *legacyWorld) buildClients() {
+	cfg := w.Config
+	w.Clients = make([]legacyClient, cfg.Peers)
+	for i := range w.Clients {
+		c := &w.Clients[i]
+		c.ID = i
+		c.rng = runner.NewRNG(cfg.Seed, uint64(i))
+		c.Loc = w.Registry.SampleLocation(w.rng)
+		c.Nickname = nickname(w.rng, i)
+		c.FreeRider = w.rng.Float64() < cfg.FreeRiderFraction
+		c.Firewalled = w.rng.Float64() < cfg.FirewalledFraction
+		c.BrowseOK = w.rng.Float64() >= cfg.NoBrowseFraction
+		c.onlineProb = cfg.OnlineMin + w.rng.Float64()*(cfg.OnlineMax-cfg.OnlineMin)
+		c.cache = make(map[int]int)
+
+		if !c.FreeRider {
+			c.targetCache = int(stats.BoundedLogNormal(w.rng,
+				math.Log(cfg.CacheMedian), cfg.CacheSigma, 1, float64(cfg.MaxCache)))
+			scale := float64(c.targetCache) / 500
+			if scale > 1 {
+				scale = 1
+			}
+			c.globalDraw = cfg.GlobalDraw + cfg.CollectorPopBias*scale
+			w.assignInterests(c)
+		}
+
+		ip := w.Registry.AllocIP(w.rng, c.Loc)
+		var hash [16]byte
+		for j := 0; j < 16; j += 8 {
+			v := w.rng.Uint64()
+			for k := 0; k < 8; k++ {
+				hash[j+k] = byte(v >> (8 * k))
+			}
+		}
+		if w.rng.Float64() < cfg.AliasFraction && cfg.Days > 10 {
+			switchDay := 5 + w.rng.IntN(cfg.Days-10)
+			ip2, hash2 := ip, hash
+			if w.rng.Float64() < 0.7 {
+				ip2 = w.Registry.AllocIP(w.rng, c.Loc)
+			} else {
+				for j := 0; j < 16; j += 8 {
+					v := w.rng.Uint64()
+					for k := 0; k < 8; k++ {
+						hash2[j+k] = byte(v >> (8 * k))
+					}
+				}
+			}
+			c.identities = []legacyIdentity{
+				{0, switchDay - 1, ip, hash},
+				{switchDay, cfg.Days - 1, ip2, hash2},
+			}
+		} else {
+			c.identities = []legacyIdentity{{0, cfg.Days - 1, ip, hash}}
+		}
+	}
+}
+
+func (w *legacyWorld) assignInterests(c *legacyClient) {
+	n := 2 + c.targetCache/60
+	if n > 6 {
+		n = 6
+	}
+	if n > w.Config.Topics {
+		n = w.Config.Topics
+	}
+	gamma := 1 + float64(c.targetCache)/500
+	if gamma > 2 {
+		gamma = 2
+	}
+	home := w.topicsByCountry[c.Loc.Country]
+	chosen := make(map[int]bool)
+	var homeChoice *stats.WeightedChoice
+	if len(home) > 0 {
+		hw := make([]float64, len(home))
+		for i, t := range home {
+			hw[i] = math.Pow(w.Topics[t].Weight, gamma)
+		}
+		homeChoice = stats.NewWeightedChoice(hw)
+	}
+	globalChoice := w.topicChoice
+	if gamma > 1.05 {
+		gw := make([]float64, len(w.Topics))
+		for i := range w.Topics {
+			gw[i] = math.Pow(w.Topics[i].Weight, gamma)
+		}
+		globalChoice = stats.NewWeightedChoice(gw)
+	}
+	for len(chosen) < n {
+		var topicID int
+		if homeChoice != nil && w.rng.Float64() < w.Config.GeoBias {
+			topicID = home[homeChoice.Draw(w.rng)]
+		} else {
+			topicID = globalChoice.Draw(w.rng)
+		}
+		chosen[topicID] = true
+	}
+	c.interests = c.interests[:0]
+	weights := make([]float64, 0, len(chosen))
+	for t := range chosen {
+		c.interests = append(c.interests, t)
+	}
+	slices.Sort(c.interests)
+	for _, t := range c.interests {
+		weights = append(weights, w.Topics[t].Weight)
+	}
+	c.interestW = stats.NewWeightedChoice(weights)
+}
+
+func (w *legacyWorld) lifecycle(age int) float64 {
+	if age < 0 {
+		return 0
+	}
+	ramp := w.Config.RampDays
+	if age < ramp {
+		return float64(age+1) / float64(ramp+1)
+	}
+	v := math.Exp(-float64(age-ramp) / w.Config.DecayDays)
+	if v < w.Config.LifecycleFloor {
+		return w.Config.LifecycleFloor
+	}
+	return v
+}
+
+func (w *legacyWorld) refreshSamplers() {
+	for i := range w.Topics {
+		t := &w.Topics[i]
+		if len(t.Files) == 0 {
+			t.sampler = nil
+			continue
+		}
+		weights := make([]float64, len(t.Files))
+		for j, fi := range t.Files {
+			f := &w.Files[fi]
+			weights[j] = f.baseWeight * w.lifecycle(w.day-f.ReleaseDay)
+		}
+		t.sampler = stats.NewWeightedChoice(weights)
+	}
+	global := make([]float64, len(w.Files))
+	for i := range w.Files {
+		f := &w.Files[i]
+		global[i] = f.baseWeight * kindBoost(f.Kind) * w.lifecycle(w.day-f.ReleaseDay)
+	}
+	w.globalSampler = stats.NewWeightedChoice(global)
+}
+
+func (w *legacyWorld) drawFile(c *legacyClient) int {
+	for attempt := 0; attempt < 12; attempt++ {
+		var fi int
+		if c.rng.Float64() < c.globalDraw {
+			fi = w.globalSampler.Draw(c.rng)
+		} else {
+			topicID := c.interests[c.interestW.Draw(c.rng)]
+			t := &w.Topics[topicID]
+			if t.sampler == nil {
+				continue
+			}
+			fi = t.Files[t.sampler.Draw(c.rng)]
+		}
+		if _, dup := c.cache[fi]; !dup {
+			return fi
+		}
+	}
+	return -1
+}
+
+func (w *legacyWorld) bundleMates(fi int) []int {
+	f := &w.Files[fi]
+	t := &w.Topics[f.Topic]
+	start := f.Bundle * w.Config.BundleSize
+	end := start + w.Config.BundleSize
+	if end > len(t.Files) {
+		end = len(t.Files)
+	}
+	var out []int
+	for _, other := range t.Files[start:end] {
+		if other != fi {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+func (w *legacyWorld) nextAdd(c *legacyClient) int {
+	for len(c.pending) > 0 {
+		fi := c.pending[0]
+		c.pending = c.pending[1:]
+		if _, dup := c.cache[fi]; !dup {
+			return fi
+		}
+	}
+	fi := w.drawFile(c)
+	if fi >= 0 && w.Config.BundleSize > 1 && c.rng.Float64() < w.Config.BundleFollow {
+		c.pending = append(c.pending, w.bundleMates(fi)...)
+	}
+	return fi
+}
+
+func (w *legacyWorld) fillInitialCaches() {
+	w.pool.Map(len(w.Clients), func(i int) {
+		c := &w.Clients[i]
+		if c.FreeRider {
+			return
+		}
+		for len(c.cache) < c.targetCache {
+			fi := w.nextAdd(c)
+			if fi < 0 {
+				break
+			}
+			c.cache[fi] = -c.rng.IntN(60)
+		}
+		c.pending = nil
+	})
+}
+
+func (w *legacyWorld) refreshPresence() {
+	w.pool.Map(len(w.Clients), func(i int) {
+		c := &w.Clients[i]
+		c.online = c.rng.Float64() < c.onlineProb
+	})
+}
+
+func (w *legacyWorld) Step() {
+	w.day++
+	for i := 0; i < w.Config.NewFilesPerDay; i++ {
+		w.addFile(w.topicFileAlloc.Draw(w.rng), w.day)
+	}
+	w.refreshSamplers()
+	w.pool.Map(len(w.Clients), func(i int) {
+		c := &w.Clients[i]
+		c.online = c.rng.Float64() < c.onlineProb
+		if c.FreeRider || !c.online {
+			return
+		}
+		adds := stats.Poisson(c.rng, w.Config.DailyAdds)
+		for a := 0; a < adds; a++ {
+			if fi := w.nextAdd(c); fi >= 0 {
+				c.cache[fi] = w.day
+			}
+		}
+		w.evict(c)
+	})
+}
+
+func (w *legacyWorld) evict(c *legacyClient) {
+	for len(c.cache) > c.targetCache {
+		oldestFile, oldestDay := -1, math.MaxInt
+		for fi, d := range c.cache {
+			if d < oldestDay || (d == oldestDay && fi < oldestFile) {
+				oldestFile, oldestDay = fi, d
+			}
+		}
+		delete(c.cache, oldestFile)
+	}
+}

@@ -40,24 +40,54 @@ func extFor(k trace.FileKind) string {
 	}
 }
 
+// fileNameWords makes the name's two word draws. The columnar catalogue
+// stores just these two nibbles and re-synthesizes the string on demand
+// with formatFileName.
+func fileNameWords(rng *rand.Rand) (adj, noun uint8) {
+	adj = uint8(rng.IntN(len(nameAdjectives)))
+	noun = uint8(rng.IntN(len(nameNouns)))
+	return adj, noun
+}
+
+// formatFileName renders a file name from its stored word draws; the
+// remaining parts (topic, in-topic sequence, extension) are structural.
+func formatFileName(adj, noun uint8, topic int, kind trace.FileKind, seq int) string {
+	return fmt.Sprintf("%s_%s_t%03d_%04d.%s",
+		nameAdjectives[adj], nameNouns[noun], topic, seq, extFor(kind))
+}
+
 // fileName synthesizes a plausible shared-file name, unique per
 // (topic, sequence) pair.
 func fileName(rng *rand.Rand, topic int, kind trace.FileKind, seq int) string {
-	adj := nameAdjectives[rng.IntN(len(nameAdjectives))]
-	noun := nameNouns[rng.IntN(len(nameNouns))]
-	return fmt.Sprintf("%s_%s_t%03d_%04d.%s", adj, noun, topic, seq, extFor(kind))
+	adj, noun := fileNameWords(rng)
+	return formatFileName(adj, noun, topic, kind, seq)
 }
 
 const nickLetters = "abcdefghijklmnopqrstuvwxyz"
+
+// nicknameLetters draws the three leading nickname letters and packs them
+// base-26 into one uint16; nicknameAt re-synthesizes the full string.
+func nicknameLetters(rng *rand.Rand) uint16 {
+	v := uint16(rng.IntN(26))
+	v = v*26 + uint16(rng.IntN(26))
+	v = v*26 + uint16(rng.IntN(26))
+	return v
+}
+
+// nicknameAt renders the nickname of client id from its packed letters.
+func nicknameAt(packed uint16, id int) string {
+	b := [3]byte{
+		nickLetters[packed/676],
+		nickLetters[(packed/26)%26],
+		nickLetters[packed%26],
+	}
+	return fmt.Sprintf("%s_%d", b[:], id)
+}
 
 // nickname synthesizes a client nickname starting with three lowercase
 // letters, the shape the crawler's query sweep (aaa..zzz) relies on.
 // Many users share short prefixes, which is why the paper's crawler could
 // not retrieve every user — the same collision behaviour emerges here.
 func nickname(rng *rand.Rand, id int) string {
-	b := make([]byte, 3)
-	for i := range b {
-		b[i] = nickLetters[rng.IntN(26)]
-	}
-	return fmt.Sprintf("%s_%d", b, id)
+	return nicknameAt(nicknameLetters(rng), id)
 }

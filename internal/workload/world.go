@@ -12,6 +12,22 @@ import (
 	"edonkey/internal/trace"
 )
 
+// The world is stored column-wise (structure of arrays), not as one Go
+// struct per client or file: at the million-peer scale the ROADMAP targets,
+// an array-of-structs world (map caches, per-client slices, boxed rngs)
+// costs kilobytes of pointer-heavy heap per peer and cannot be walked
+// without chasing it all. Here every per-client and per-file attribute
+// lives in a packed parallel column, variable-length state (interests,
+// identities, cache contents) lives in flat arrays addressed by spans,
+// and clients are partitioned into fixed, deterministic cohorts that step
+// as independent worker-pool jobs over cohort-owned cache arenas.
+//
+// The evolution itself is unchanged bit for bit: every client draws from
+// the same private splitmix64-seeded generator stream as the legacy
+// resident world (see legacy_world_test.go, the retained oracle), so
+// worlds are identical for any worker count, any cohort size and either
+// representation.
+
 // Topic is a latent interest community: a themed pool of files with a home
 // country. Peers subscribe to topics; files belong to exactly one.
 type Topic struct {
@@ -21,13 +37,17 @@ type Topic struct {
 	DominantKind trace.FileKind
 	// Weight is the topic's global popularity share (Zipf over topics).
 	Weight float64
-	// Files holds indices into World.Files, in release order.
-	Files []int
+	// Files holds catalogue indices, in release order.
+	Files []int32
 
-	sampler *stats.WeightedChoice // rebuilt each day over Files
+	// cum is the topic's normalized cumulative file-attractiveness
+	// distribution, rebuilt each day in place (nil while empty).
+	cum []float64
 }
 
-// File is one shared file in the world catalogue.
+// File is a materialized view of one catalogue row, assembled on demand
+// from the packed columns. It is the convenience shape for tests and
+// examples; hot paths read the columns through the File* accessors.
 type File struct {
 	Index      int
 	Topic      int
@@ -39,96 +59,112 @@ type File struct {
 	// Bundle is the file's position-group within its topic: consecutive
 	// releases of a topic form albums/series that peers fetch together.
 	Bundle int
-	// baseWeight is the file's intrinsic attractiveness before the
-	// lifecycle modulation (within-topic Zipf x kind boost).
-	baseWeight float64
 }
 
-// identity is one crawlable identity of a client (clients that change IP
-// or reinstall appear under several identities in the full trace).
+// catalogue is the file universe as parallel packed columns. Names are
+// not stored at all: the two word draws are packed into one byte and the
+// string is re-synthesized on demand, which keeps the per-file footprint
+// flat while browse replies still carry full names.
+type catalogue struct {
+	hash    [][16]byte
+	size    []int64
+	topic   []int32
+	pos     []int32 // release position within the topic
+	release []int32
+	kind    []uint8
+	nameBit []uint8 // adjective<<4 | noun word indices
+	baseW   []float64
+}
+
+func (c *catalogue) len() int { return len(c.hash) }
+
+// identity is one crawlable identity segment of a client (clients that
+// change IP or reinstall appear under several identities in the trace).
 type identity struct {
-	startDay int // inclusive
-	endDay   int // inclusive
+	startDay int32 // inclusive
+	endDay   int32 // inclusive
 	ip       uint32
 	hash     [16]byte
 }
 
-// Client is one underlying eDonkey user.
-type Client struct {
-	ID         int
-	Loc        geo.Location
-	Nickname   string
-	FreeRider  bool
-	Firewalled bool
-	BrowseOK   bool
+// Per-client flag bits in clientCols.flags.
+const (
+	flagFreeRider = 1 << iota
+	flagFirewalled
+	flagBrowseOK
+	flagOnline
+)
 
-	onlineProb  float64
-	interests   []int
-	interestW   *stats.WeightedChoice
-	targetCache int
-	globalDraw  float64 // per-client charts share (collectors get more)
-	identities  []identity
+// clientCols holds all per-client state as parallel columns. Fixed-width
+// attributes are one slot per client; variable-length attributes
+// (interests with their cumulative weights, identity segments) are flat
+// arrays sliced by offset columns; cache contents live in the cohort
+// arenas addressed by (cacheOff, cacheLen, cacheCap) spans.
+type clientCols struct {
+	nick       []uint16 // three base-26 letters, packed
+	countryIdx []uint8  // index into Registry.Countries()
+	asn        []uint32
+	flags      []uint8
+	onlineProb []float64
+	globalDraw []float64
+	target     []int32
+	rng        []rand.PCG // private per-client generator state, inline
 
-	// rng is the client's private generator, seeded from the world seed
-	// and the client ID. All per-client daily draws (presence, additions,
-	// bundle following) come from it, which is what lets Step update
-	// clients concurrently with bit-identical results for any worker
-	// count or scheduling order.
-	rng *rand.Rand
-	// cache maps file index -> day added (for FIFO-ish eviction).
-	cache map[int]int
-	// pending queues bundle-mates of a recently fetched file: albums
-	// are downloaded over consecutive additions.
-	pending []int
-	// online is refreshed each Step.
-	online bool
+	interests   []int32 // flat topic ids, ascending per client
+	interestCum []float64
+	interestOff []uint32 // len NumClients+1, indexes interests/interestCum
+
+	idents   []identity
+	identOff []uint32 // len NumClients+1
+
+	cacheOff []uint32 // span start, relative to the client's cohort arena
+	cacheLen []int32
+	cacheCap []int32
+
+	// pending queues bundle-mates of a recently fetched file: albums are
+	// downloaded over consecutive additions. Almost always nil.
+	pending [][]int32
 }
 
-// Online reports whether the client is present on the current day.
-func (c *Client) Online() bool { return c.online }
+// cohort is one deterministic shard of the client population. Each cohort
+// owns the mutable arena behind its clients' cache spans, so cohorts can
+// step concurrently without sharing any growable structure.
+type cohort struct {
+	lo, hi int // client index range [lo, hi)
 
-// CacheSize returns the number of files currently shared.
-func (c *Client) CacheSize() int { return len(c.cache) }
+	// files/days are the cache arena: per-client spans of ascending file
+	// indices with the day each was added (negative for the staggered
+	// initial fill), used for FIFO-ish eviction.
+	files []int32
+	days  []int32
 
-// CacheFiles returns the indices of the currently shared files in
-// ascending order. The order matters: observers assign trace FileIDs
-// lazily on first sight, so iterating the cache map directly would
-// number files differently on every run even for identical worlds.
-func (c *Client) CacheFiles() []int {
-	out := make([]int, 0, len(c.cache))
-	for f := range c.cache {
-		out = append(out, f)
-	}
-	slices.Sort(out)
-	return out
+	online int // presence partial, merged deterministically after each step
 }
 
-// Interests returns the client's topic subscriptions (shared slice).
-func (c *Client) Interests() []int { return c.interests }
+// defaultCohortSize balances scheduling granularity against per-job
+// overhead; at 4096 clients a million-peer world steps as ~250 jobs.
+const defaultCohortSize = 4096
 
-// IdentityAt returns the (ip, userHash) pair in effect on the given day.
-func (c *Client) IdentityAt(day int) (ip uint32, hash [16]byte) {
-	for _, id := range c.identities {
-		if day >= id.startDay && day <= id.endDay {
-			return id.ip, id.hash
-		}
-	}
-	// Days outside the trace use the last identity.
-	last := c.identities[len(c.identities)-1]
-	return last.ip, last.hash
-}
+// cacheSlack is the per-sharer arena headroom over the target cache size.
+// A day adds Poisson(DailyAdds) files before eviction trims back to the
+// target, so spans virtually never need to move.
+const cacheSlack = 32
 
 // World is the evolving synthetic population.
 type World struct {
 	Config   Config
 	Registry *geo.Registry
 	Topics   []Topic
-	Files    []File
-	Clients  []Client
+
+	cat     catalogue
+	cl      clientCols
+	cohorts []cohort
 
 	rng  *rand.Rand
 	pool *runner.Pool
 	day  int
+
+	onlineCount int
 
 	topicsByCountry map[string][]int
 	// topicChoice weights topics by audience (zipf x kind factor) and
@@ -140,9 +176,10 @@ type World struct {
 	topicFileAlloc *stats.WeightedChoice
 	kindMix        *stats.WeightedChoice
 	topicKindMix   *stats.WeightedChoice
-	// globalSampler draws from the whole catalogue proportionally to
-	// intrinsic attractiveness x lifecycle ("the charts"); rebuilt daily.
-	globalSampler *stats.WeightedChoice
+	// globalCum draws from the whole catalogue proportionally to
+	// intrinsic attractiveness x lifecycle ("the charts"); rebuilt daily
+	// in place.
+	globalCum []float64
 }
 
 // New builds the world at day 0 with initial catalogues and filled caches.
@@ -162,6 +199,7 @@ func New(cfg Config) (*World, error) {
 	w.buildTopics()
 	w.seedCatalogue()
 	w.buildClients()
+	w.buildCohorts()
 	w.refreshSamplers()
 	w.fillInitialCaches()
 	w.refreshPresence()
@@ -170,6 +208,10 @@ func New(cfg Config) (*World, error) {
 
 // Day returns the current simulation day.
 func (w *World) Day() int { return w.day }
+
+// Pool exposes the world's worker pool so observers (collector, crawler)
+// can fan their own per-cohort passes out over the same budget.
+func (w *World) Pool() *runner.Pool { return w.pool }
 
 // kind mix over distinct files, chosen so that ~40% of files are <1MB
 // (documents/images), ~50% are 1-10MB (audio) and ~10% are larger
@@ -284,7 +326,9 @@ func (w *World) buildTopics() {
 	w.topicFileAlloc = stats.NewWeightedChoice(alloc)
 }
 
-// addFile creates a file inside a topic with the given release day.
+// addFile appends a file to the catalogue columns with the given release
+// day. The rng draw order (kind, size, name words, decouple, hash) is the
+// legacy order; only the storage changed.
 func (w *World) addFile(topicID, releaseDay int) int {
 	t := &w.Topics[topicID]
 	kind := t.DominantKind
@@ -292,26 +336,27 @@ func (w *World) addFile(topicID, releaseDay int) int {
 		kind = trace.FileKind(w.kindMix.Draw(w.rng))
 	}
 	rank := len(t.Files) + 1
-	f := File{
-		Index:      len(w.Files),
-		Topic:      topicID,
-		Kind:       kind,
-		Size:       w.sampleSize(kind),
-		Name:       fileName(w.rng, topicID, kind, len(t.Files)),
-		ReleaseDay: releaseDay,
-		Bundle:     len(t.Files) / w.Config.BundleSize,
-		baseWeight: math.Pow(float64(rank), -w.Config.FileZipf) * kindBoost(kind),
-	}
+	idx := w.cat.len()
+	size := w.sampleSize(kind)
+	adj, noun := fileNameWords(w.rng)
 	w.rng.Uint64() // decouple hash bytes from later draws
+	var hash [16]byte
 	for i := 0; i < 16; i += 8 {
 		v := w.rng.Uint64()
 		for j := 0; j < 8; j++ {
-			f.Hash[i+j] = byte(v >> (8 * j))
+			hash[i+j] = byte(v >> (8 * j))
 		}
 	}
-	w.Files = append(w.Files, f)
-	t.Files = append(t.Files, f.Index)
-	return f.Index
+	w.cat.hash = append(w.cat.hash, hash)
+	w.cat.size = append(w.cat.size, size)
+	w.cat.topic = append(w.cat.topic, int32(topicID))
+	w.cat.pos = append(w.cat.pos, int32(rank-1))
+	w.cat.release = append(w.cat.release, int32(releaseDay))
+	w.cat.kind = append(w.cat.kind, uint8(kind))
+	w.cat.nameBit = append(w.cat.nameBit, adj<<4|noun)
+	w.cat.baseW = append(w.cat.baseW, math.Pow(float64(rank), -w.Config.FileZipf)*kindBoost(kind))
+	t.Files = append(t.Files, int32(idx))
+	return idx
 }
 
 func (w *World) seedCatalogue() {
@@ -324,35 +369,80 @@ func (w *World) seedCatalogue() {
 	}
 }
 
+// interestCache memoizes the gamma-powered topic distributions built
+// during interest assignment. The legacy path rebuilt them per client —
+// O(topics) pow calls each, which at a million peers and tens of
+// thousands of topics is billions of pow calls. The distributions depend
+// only on (gamma, country), gamma only on the target cache size, so
+// memoizing by (target, country) reproduces the exact draws at a tiny
+// fraction of the cost. The cache is discarded when building finishes.
+type interestCache struct {
+	global map[int32][]float64 // target -> cumulated global weights^gamma
+	home   map[int64][]float64 // (countryIdx, target) -> cumulated home weights^gamma
+}
+
 func (w *World) buildClients() {
 	cfg := w.Config
-	w.Clients = make([]Client, cfg.Peers)
-	for i := range w.Clients {
-		c := &w.Clients[i]
-		c.ID = i
-		c.rng = runner.NewRNG(cfg.Seed, uint64(i))
-		c.Loc = w.Registry.SampleLocation(w.rng)
-		c.Nickname = nickname(w.rng, i)
-		c.FreeRider = w.rng.Float64() < cfg.FreeRiderFraction
-		c.Firewalled = w.rng.Float64() < cfg.FirewalledFraction
-		c.BrowseOK = w.rng.Float64() >= cfg.NoBrowseFraction
-		c.onlineProb = cfg.OnlineMin + w.rng.Float64()*(cfg.OnlineMax-cfg.OnlineMin)
-		c.cache = make(map[int]int)
+	n := cfg.Peers
+	w.cl = clientCols{
+		nick:        make([]uint16, n),
+		countryIdx:  make([]uint8, n),
+		asn:         make([]uint32, n),
+		flags:       make([]uint8, n),
+		onlineProb:  make([]float64, n),
+		globalDraw:  make([]float64, n),
+		target:      make([]int32, n),
+		rng:         make([]rand.PCG, n),
+		interestOff: make([]uint32, n+1),
+		identOff:    make([]uint32, n+1),
+		cacheOff:    make([]uint32, n),
+		cacheLen:    make([]int32, n),
+		cacheCap:    make([]int32, n),
+		pending:     make([][]int32, n),
+	}
+	countryOf := make(map[string]uint8, len(w.Registry.Countries()))
+	for i, c := range w.Registry.Countries() {
+		countryOf[c.Code] = uint8(i)
+	}
+	ic := &interestCache{
+		global: make(map[int32][]float64),
+		home:   make(map[int64][]float64),
+	}
+	for i := 0; i < n; i++ {
+		w.cl.rng[i].Seed(runner.SubSeed(cfg.Seed, uint64(i)), uint64(i))
+		loc := w.Registry.SampleLocation(w.rng)
+		w.cl.countryIdx[i] = countryOf[loc.Country]
+		w.cl.asn[i] = loc.ASN
+		w.cl.nick[i] = nicknameLetters(w.rng)
+		var flags uint8
+		if w.rng.Float64() < cfg.FreeRiderFraction {
+			flags |= flagFreeRider
+		}
+		if w.rng.Float64() < cfg.FirewalledFraction {
+			flags |= flagFirewalled
+		}
+		if w.rng.Float64() >= cfg.NoBrowseFraction {
+			flags |= flagBrowseOK
+		}
+		w.cl.flags[i] = flags
+		w.cl.onlineProb[i] = cfg.OnlineMin + w.rng.Float64()*(cfg.OnlineMax-cfg.OnlineMin)
 
-		if !c.FreeRider {
-			c.targetCache = int(stats.BoundedLogNormal(w.rng,
+		if flags&flagFreeRider == 0 {
+			target := int32(stats.BoundedLogNormal(w.rng,
 				math.Log(cfg.CacheMedian), cfg.CacheSigma, 1, float64(cfg.MaxCache)))
-			scale := float64(c.targetCache) / 500
+			w.cl.target[i] = target
+			scale := float64(target) / 500
 			if scale > 1 {
 				scale = 1
 			}
-			c.globalDraw = cfg.GlobalDraw + cfg.CollectorPopBias*scale
-			w.assignInterests(c)
+			w.cl.globalDraw[i] = cfg.GlobalDraw + cfg.CollectorPopBias*scale
+			w.assignInterests(i, loc.Country, target, ic)
 		}
+		w.cl.interestOff[i+1] = uint32(len(w.cl.interests))
 
 		// Identity segments: most clients keep one identity; aliased
 		// clients switch IP (DHCP) or user hash (reinstall) once.
-		ip := w.Registry.AllocIP(w.rng, c.Loc)
+		ip := w.Registry.AllocIP(w.rng, loc)
 		var hash [16]byte
 		for j := 0; j < 16; j += 8 {
 			v := w.rng.Uint64()
@@ -364,7 +454,7 @@ func (w *World) buildClients() {
 			switchDay := 5 + w.rng.IntN(cfg.Days-10)
 			ip2, hash2 := ip, hash
 			if w.rng.Float64() < 0.7 {
-				ip2 = w.Registry.AllocIP(w.rng, c.Loc) // DHCP renumbering
+				ip2 = w.Registry.AllocIP(w.rng, loc) // DHCP renumbering
 			} else {
 				for j := 0; j < 16; j += 8 { // reinstall: new user hash
 					v := w.rng.Uint64()
@@ -373,13 +463,13 @@ func (w *World) buildClients() {
 					}
 				}
 			}
-			c.identities = []identity{
-				{0, switchDay - 1, ip, hash},
-				{switchDay, cfg.Days - 1, ip2, hash2},
-			}
+			w.cl.idents = append(w.cl.idents,
+				identity{0, int32(switchDay - 1), ip, hash},
+				identity{int32(switchDay), int32(cfg.Days - 1), ip2, hash2})
 		} else {
-			c.identities = []identity{{0, cfg.Days - 1, ip, hash}}
+			w.cl.idents = append(w.cl.idents, identity{0, int32(cfg.Days - 1), ip, hash})
 		}
+		w.cl.identOff[i+1] = uint32(len(w.cl.idents))
 	}
 }
 
@@ -389,8 +479,8 @@ func (w *World) buildClients() {
 // topics (the paper's generous peers). With probability GeoBias each pick
 // comes from the client's own country's topics, which creates the
 // geographic clustering of file sources.
-func (w *World) assignInterests(c *Client) {
-	n := 2 + c.targetCache/60
+func (w *World) assignInterests(i int, country string, target int32, ic *interestCache) {
+	n := 2 + int(target)/60
 	if n > 6 {
 		n = 6
 	}
@@ -401,56 +491,149 @@ func (w *World) assignInterests(c *Client) {
 	// mirror the mainstream corpus and, crucially, each other — which is
 	// why the paper's hit rate drops when they are removed): their topic
 	// picks use weight^gamma with gamma growing up to 2.
-	gamma := 1 + float64(c.targetCache)/500
+	gamma := 1 + float64(target)/500
 	if gamma > 2 {
 		gamma = 2
 	}
-	home := w.topicsByCountry[c.Loc.Country]
-	chosen := make(map[int]bool)
-	var homeChoice *stats.WeightedChoice
+	home := w.topicsByCountry[country]
+	var homeCum []float64
 	if len(home) > 0 {
-		hw := make([]float64, len(home))
-		for i, t := range home {
-			hw[i] = math.Pow(w.Topics[t].Weight, gamma)
+		key := int64(w.cl.countryIdx[i])<<32 | int64(target)
+		homeCum = ic.home[key]
+		if homeCum == nil {
+			hw := make([]float64, len(home))
+			for j, t := range home {
+				hw[j] = math.Pow(w.Topics[t].Weight, gamma)
+			}
+			homeCum = stats.Cumulate(hw)
+			ic.home[key] = homeCum
 		}
-		homeChoice = stats.NewWeightedChoice(hw)
 	}
-	globalChoice := w.topicChoice
+	globalCum := w.topicChoice
+	var globalGamma []float64
 	if gamma > 1.05 {
-		gw := make([]float64, len(w.Topics))
-		for i := range w.Topics {
-			gw[i] = math.Pow(w.Topics[i].Weight, gamma)
+		globalGamma = ic.global[target]
+		if globalGamma == nil {
+			gw := make([]float64, len(w.Topics))
+			for j := range w.Topics {
+				gw[j] = math.Pow(w.Topics[j].Weight, gamma)
+			}
+			globalGamma = stats.Cumulate(gw)
+			ic.global[target] = globalGamma
 		}
-		globalChoice = stats.NewWeightedChoice(gw)
 	}
+	var chosen []int32
 	for len(chosen) < n {
 		var topicID int
-		if homeChoice != nil && w.rng.Float64() < w.Config.GeoBias {
-			topicID = home[homeChoice.Draw(w.rng)]
+		if homeCum != nil && w.rng.Float64() < w.Config.GeoBias {
+			topicID = home[stats.DrawCum(w.rng, homeCum)]
+		} else if globalGamma != nil {
+			topicID = stats.DrawCum(w.rng, globalGamma)
 		} else {
-			topicID = globalChoice.Draw(w.rng)
+			topicID = globalCum.Draw(w.rng)
 		}
-		chosen[topicID] = true
-	}
-	c.interests = c.interests[:0]
-	weights := make([]float64, 0, len(chosen))
-	for t := range chosen {
-		c.interests = append(c.interests, t)
+		if !slices.Contains(chosen, int32(topicID)) {
+			chosen = append(chosen, int32(topicID))
+		}
 	}
 	// Deterministic order for reproducibility.
-	sortInts(c.interests)
-	for _, t := range c.interests {
-		weights = append(weights, w.Topics[t].Weight)
+	slices.Sort(chosen)
+	for _, t := range chosen {
+		w.cl.interests = append(w.cl.interests, t)
+		w.cl.interestCum = append(w.cl.interestCum, w.Topics[t].Weight)
 	}
-	c.interestW = stats.NewWeightedChoice(weights)
+	stats.Cumulate(w.cl.interestCum[w.cl.interestOff[i]:])
 }
 
-func sortInts(xs []int) {
-	for i := 1; i < len(xs); i++ {
-		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
-			xs[j-1], xs[j] = xs[j], xs[j-1]
+// buildCohorts partitions the clients into fixed spans and lays out each
+// cohort's cache arena: one span per client with capacity target+slack,
+// so a cohort steps without ever allocating on the common path. The
+// partition is a pure function of the config — never of the worker count.
+func (w *World) buildCohorts() {
+	size := w.Config.CohortSize
+	if size <= 0 {
+		size = defaultCohortSize
+	}
+	n := w.Config.Peers
+	numCohorts := (n + size - 1) / size
+	w.cohorts = make([]cohort, numCohorts)
+	for ci := range w.cohorts {
+		lo := ci * size
+		hi := min(lo+size, n)
+		var arena uint32
+		for i := lo; i < hi; i++ {
+			w.cl.cacheOff[i] = arena
+			if w.cl.flags[i]&flagFreeRider == 0 {
+				w.cl.cacheCap[i] = w.cl.target[i] + cacheSlack
+				arena += uint32(w.cl.cacheCap[i])
+			}
+		}
+		w.cohorts[ci] = cohort{
+			lo:    lo,
+			hi:    hi,
+			files: make([]int32, arena),
+			days:  make([]int32, arena),
 		}
 	}
+}
+
+// cohortOf maps a client index to its cohort. Only warm paths use it;
+// cohort loops know their range already.
+func (w *World) cohortOf(i int) *cohort {
+	size := w.Config.CohortSize
+	if size <= 0 {
+		size = defaultCohortSize
+	}
+	return &w.cohorts[i/size]
+}
+
+// cacheSpan returns the live (files, days) span of client i.
+func (co *cohort) cacheSpan(cl *clientCols, i int) ([]int32, []int32) {
+	off, n := cl.cacheOff[i], cl.cacheLen[i]
+	return co.files[off : off+uint32(n)], co.days[off : off+uint32(n)]
+}
+
+// cacheContains reports whether fi is in client i's cache.
+func (co *cohort) cacheContains(cl *clientCols, i int, fi int32) bool {
+	files, _ := co.cacheSpan(cl, i)
+	_, ok := slices.BinarySearch(files, fi)
+	return ok
+}
+
+// cacheInsert adds (fi -> day) to client i's sorted cache span, growing
+// the span at the arena tail in the rare case it is full. The caller
+// guarantees fi is not present.
+func (co *cohort) cacheInsert(cl *clientCols, i int, fi, day int32) {
+	n := cl.cacheLen[i]
+	if n == cl.cacheCap[i] {
+		// Relocate to the arena tail with more headroom. The old span is
+		// abandoned; caches are capped, so the leak is bounded and rare
+		// (a day's additions exceeding cacheSlack before eviction).
+		newCap := cl.cacheCap[i] + cl.cacheCap[i]/2 + 8
+		off := uint32(len(co.files))
+		co.files = append(co.files, make([]int32, newCap)...)
+		co.days = append(co.days, make([]int32, newCap)...)
+		copy(co.files[off:], co.files[cl.cacheOff[i]:cl.cacheOff[i]+uint32(n)])
+		copy(co.days[off:], co.days[cl.cacheOff[i]:cl.cacheOff[i]+uint32(n)])
+		cl.cacheOff[i] = off
+		cl.cacheCap[i] = newCap
+	}
+	off := cl.cacheOff[i]
+	files := co.files[off : off+uint32(n)]
+	pos, _ := slices.BinarySearch(files, fi)
+	copy(co.files[off+uint32(pos)+1:off+uint32(n)+1], co.files[off+uint32(pos):off+uint32(n)])
+	copy(co.days[off+uint32(pos)+1:off+uint32(n)+1], co.days[off+uint32(pos):off+uint32(n)])
+	co.files[off+uint32(pos)] = fi
+	co.days[off+uint32(pos)] = day
+	cl.cacheLen[i] = n + 1
+}
+
+// cacheRemoveAt deletes the entry at position pos of client i's span.
+func (co *cohort) cacheRemoveAt(cl *clientCols, i int, pos int) {
+	off, n := cl.cacheOff[i], uint32(cl.cacheLen[i])
+	copy(co.files[off+uint32(pos):off+n-1], co.files[off+uint32(pos)+1:off+n])
+	copy(co.days[off+uint32(pos):off+n-1], co.days[off+uint32(pos)+1:off+n])
+	cl.cacheLen[i]--
 }
 
 // lifecycle returns the attractiveness multiplier of a file of the given
@@ -472,121 +655,161 @@ func (w *World) lifecycle(age int) float64 {
 	return v
 }
 
-// refreshSamplers rebuilds each topic's file sampler and the global
-// charts sampler with the current file ages.
+// refreshSamplers rebuilds each topic's file distribution and the global
+// charts distribution with the current file ages, into buffers reused
+// across days. Topics are independent pool jobs; the global column is
+// filled in parallel chunks and cumulated serially. All of it is a pure
+// function of the catalogue, so worker count cannot change a bit.
 func (w *World) refreshSamplers() {
-	for i := range w.Topics {
+	w.pool.Map(len(w.Topics), func(i int) {
 		t := &w.Topics[i]
 		if len(t.Files) == 0 {
-			t.sampler = nil
-			continue
+			t.cum = nil
+			return
 		}
-		weights := make([]float64, len(t.Files))
+		t.cum = resizeF64(t.cum, len(t.Files))
 		for j, fi := range t.Files {
-			f := &w.Files[fi]
-			weights[j] = f.baseWeight * w.lifecycle(w.day-f.ReleaseDay)
+			t.cum[j] = w.cat.baseW[fi] * w.lifecycle(w.day-int(w.cat.release[fi]))
 		}
-		t.sampler = stats.NewWeightedChoice(weights)
+		stats.Cumulate(t.cum)
+	})
+	w.globalCum = resizeF64(w.globalCum, w.cat.len())
+	const chunk = 1 << 16
+	numChunks := (w.cat.len() + chunk - 1) / chunk
+	w.pool.Map(numChunks, func(c int) {
+		lo := c * chunk
+		hi := min(lo+chunk, w.cat.len())
+		for i := lo; i < hi; i++ {
+			// The kind boost applies twice for charts content:
+			// cross-interest hits are overwhelmingly big releases
+			// (movies), which is what drives Fig. 6's "popular files
+			// are large".
+			w.globalCum[i] = w.cat.baseW[i] * kindBoost(trace.FileKind(w.cat.kind[i])) *
+				w.lifecycle(w.day-int(w.cat.release[i]))
+		}
+	})
+	stats.Cumulate(w.globalCum)
+}
+
+func resizeF64(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
 	}
-	global := make([]float64, len(w.Files))
-	for i := range w.Files {
-		f := &w.Files[i]
-		// The kind boost applies twice for charts content: cross-interest
-		// hits are overwhelmingly big releases (movies), which is what
-		// drives Fig. 6's "popular files are large".
-		global[i] = f.baseWeight * kindBoost(f.Kind) * w.lifecycle(w.day-f.ReleaseDay)
-	}
-	w.globalSampler = stats.NewWeightedChoice(global)
+	return buf[:n]
 }
 
 // drawFile samples a file for the client: usually from its interest
 // topics, sometimes from the global charts, always avoiding files already
 // cached. Returns -1 if no fresh file was found. All draws come from the
-// client's private generator; the samplers are only read, so concurrent
-// clients can draw from the same catalogue.
-func (w *World) drawFile(c *Client) int {
+// client's private generator; the distributions are only read, so
+// concurrent cohorts can draw from the same catalogue.
+func (w *World) drawFile(co *cohort, i int, rng *rand.Rand) int32 {
+	interests := w.Interests(i)
+	interestCum := w.cl.interestCum[w.cl.interestOff[i]:w.cl.interestOff[i+1]]
 	for attempt := 0; attempt < 12; attempt++ {
-		var fi int
-		if c.rng.Float64() < c.globalDraw {
-			fi = w.globalSampler.Draw(c.rng)
+		var fi int32
+		if rng.Float64() < w.cl.globalDraw[i] {
+			fi = int32(stats.DrawCum(rng, w.globalCum))
 		} else {
-			topicID := c.interests[c.interestW.Draw(c.rng)]
+			topicID := interests[stats.DrawCum(rng, interestCum)]
 			t := &w.Topics[topicID]
-			if t.sampler == nil {
+			if t.cum == nil {
 				continue
 			}
-			fi = t.Files[t.sampler.Draw(c.rng)]
+			fi = t.Files[stats.DrawCum(rng, t.cum)]
 		}
-		if _, dup := c.cache[fi]; !dup {
+		if !co.cacheContains(&w.cl, i, fi) {
 			return fi
 		}
 	}
 	return -1
 }
 
-// bundleMates returns the other files of fi's bundle, in topic order.
-func (w *World) bundleMates(fi int) []int {
-	f := &w.Files[fi]
-	t := &w.Topics[f.Topic]
-	start := f.Bundle * w.Config.BundleSize
-	end := start + w.Config.BundleSize
-	if end > len(t.Files) {
-		end = len(t.Files)
-	}
-	var out []int
+// appendBundleMates appends the other files of fi's bundle, in topic
+// order, to the client's pending queue.
+func (w *World) appendBundleMates(pending []int32, fi int32) []int32 {
+	t := &w.Topics[w.cat.topic[fi]]
+	bundle := int(w.cat.pos[fi]) / w.Config.BundleSize
+	start := bundle * w.Config.BundleSize
+	end := min(start+w.Config.BundleSize, len(t.Files))
 	for _, other := range t.Files[start:end] {
 		if other != fi {
-			out = append(out, other)
+			pending = append(pending, other)
 		}
 	}
-	return out
+	return pending
 }
 
 // nextAdd picks the client's next acquisition: queued bundle-mates first
 // (finishing the album), otherwise a fresh draw that may start a new
 // bundle run. Returns -1 when nothing fresh is available.
-func (w *World) nextAdd(c *Client) int {
-	for len(c.pending) > 0 {
-		fi := c.pending[0]
-		c.pending = c.pending[1:]
-		if _, dup := c.cache[fi]; !dup {
+func (w *World) nextAdd(co *cohort, i int, rng *rand.Rand) int32 {
+	for len(w.cl.pending[i]) > 0 {
+		fi := w.cl.pending[i][0]
+		w.cl.pending[i] = w.cl.pending[i][1:]
+		if !co.cacheContains(&w.cl, i, fi) {
 			return fi
 		}
 	}
-	fi := w.drawFile(c)
-	if fi >= 0 && w.Config.BundleSize > 1 && c.rng.Float64() < w.Config.BundleFollow {
-		c.pending = append(c.pending, w.bundleMates(fi)...)
+	fi := w.drawFile(co, i, rng)
+	if fi >= 0 && w.Config.BundleSize > 1 && rng.Float64() < w.Config.BundleFollow {
+		w.cl.pending[i] = w.appendBundleMates(w.cl.pending[i], fi)
 	}
 	return fi
 }
 
 // fillInitialCaches fills every sharer's cache to its target size. Each
-// client is an independent job on the pool: it mutates only its own
-// state and draws only from its private generator.
+// cohort is an independent job on the pool: it mutates only its own
+// arena and its clients' columns, and every client draws only from its
+// private generator.
 func (w *World) fillInitialCaches() {
-	w.pool.Map(len(w.Clients), func(i int) {
-		c := &w.Clients[i]
-		if c.FreeRider {
-			return
-		}
-		for len(c.cache) < c.targetCache {
-			fi := w.nextAdd(c)
-			if fi < 0 {
-				break // interests saturated
+	w.pool.Map(len(w.cohorts), func(ci int) {
+		co := &w.cohorts[ci]
+		for i := co.lo; i < co.hi; i++ {
+			if w.cl.flags[i]&flagFreeRider != 0 {
+				continue
 			}
-			// Stagger "added" days into the past so initial eviction
-			// order is not arbitrary.
-			c.cache[fi] = -c.rng.IntN(60)
+			rng := rand.New(&w.cl.rng[i])
+			for w.cl.cacheLen[i] < w.cl.target[i] {
+				fi := w.nextAdd(co, i, rng)
+				if fi < 0 {
+					break // interests saturated
+				}
+				// Stagger "added" days into the past so initial eviction
+				// order is not arbitrary.
+				co.cacheInsert(&w.cl, i, fi, -int32(rng.IntN(60)))
+			}
+			w.cl.pending[i] = nil
 		}
-		c.pending = nil
 	})
 }
 
 func (w *World) refreshPresence() {
-	w.pool.Map(len(w.Clients), func(i int) {
-		c := &w.Clients[i]
-		c.online = c.rng.Float64() < c.onlineProb
+	w.pool.Map(len(w.cohorts), func(ci int) {
+		co := &w.cohorts[ci]
+		co.online = 0
+		for i := co.lo; i < co.hi; i++ {
+			rng := rand.New(&w.cl.rng[i])
+			if rng.Float64() < w.cl.onlineProb[i] {
+				w.cl.flags[i] |= flagOnline
+				co.online++
+			} else {
+				w.cl.flags[i] &^= flagOnline
+			}
+		}
 	})
+	w.mergeOnline()
+}
+
+// mergeOnline folds the per-cohort presence partials into the global
+// count, in cohort order — the deterministic-merge shape every global
+// aggregate of the streamed world follows.
+func (w *World) mergeOnline() {
+	total := 0
+	for ci := range w.cohorts {
+		total += w.cohorts[ci].online
+	}
+	w.onlineCount = total
 }
 
 // Step advances the world one day: new releases appear, attractiveness
@@ -594,60 +817,251 @@ func (w *World) refreshPresence() {
 // to stay near their target size.
 //
 // The catalogue update (releases, sampler rebuild) is serial; the
-// per-client updates then run as jobs on the world's pool. After the
-// samplers are rebuilt the catalogue is read-only, each client draws
-// from its private generator and writes only its own cache, so the day
-// is bit-identical for any worker count.
+// cohorts then step as jobs on the world's pool. After the samplers are
+// rebuilt the catalogue is read-only, each client draws from its private
+// generator, and each cohort writes only its own arena and client slots,
+// so the day is bit-identical for any worker count.
 func (w *World) Step() {
 	w.day++
 	for i := 0; i < w.Config.NewFilesPerDay; i++ {
 		w.addFile(w.topicFileAlloc.Draw(w.rng), w.day)
 	}
 	w.refreshSamplers()
-	w.pool.Map(len(w.Clients), func(i int) {
-		c := &w.Clients[i]
-		c.online = c.rng.Float64() < c.onlineProb
-		if c.FreeRider || !c.online {
-			return
+	w.pool.Map(len(w.cohorts), func(ci int) {
+		w.stepCohort(ci)
+	})
+	w.mergeOnline()
+}
+
+// stepCohort runs one cohort's daily update: presence, additions,
+// eviction. It touches nothing outside the cohort's arena and its
+// clients' column slots.
+func (w *World) stepCohort(ci int) {
+	co := &w.cohorts[ci]
+	co.online = 0
+	day := int32(w.day)
+	for i := co.lo; i < co.hi; i++ {
+		rng := rand.New(&w.cl.rng[i])
+		online := rng.Float64() < w.cl.onlineProb[i]
+		if online {
+			w.cl.flags[i] |= flagOnline
+			co.online++
+		} else {
+			w.cl.flags[i] &^= flagOnline
 		}
-		adds := stats.Poisson(c.rng, w.Config.DailyAdds)
+		if w.cl.flags[i]&flagFreeRider != 0 || !online {
+			continue
+		}
+		adds := stats.Poisson(rng, w.Config.DailyAdds)
 		for a := 0; a < adds; a++ {
-			if fi := w.nextAdd(c); fi >= 0 {
-				c.cache[fi] = w.day
+			if fi := w.nextAdd(co, i, rng); fi >= 0 {
+				co.cacheInsert(&w.cl, i, fi, day)
 			}
 		}
-		w.evict(c)
-	})
+		w.evict(co, i)
+	}
 }
 
 // evict removes the oldest cache entries until the cache is back at its
-// target size, modelling disk-space-driven cleanup.
-func (w *World) evict(c *Client) {
-	for len(c.cache) > c.targetCache {
-		oldestFile, oldestDay := -1, math.MaxInt
-		for fi, d := range c.cache {
-			if d < oldestDay || (d == oldestDay && fi < oldestFile) {
-				oldestFile, oldestDay = fi, d
+// target size, modelling disk-space-driven cleanup. Oldest means the
+// smallest (day added, file index) pair, exactly the legacy tie-break.
+func (w *World) evict(co *cohort, i int) {
+	for w.cl.cacheLen[i] > w.cl.target[i] {
+		_, days := co.cacheSpan(&w.cl, i)
+		best := 0
+		for pos := 1; pos < len(days); pos++ {
+			// Strict less keeps the first (lowest file index) of a day.
+			if days[pos] < days[best] {
+				best = pos
 			}
 		}
-		delete(c.cache, oldestFile)
+		co.cacheRemoveAt(&w.cl, i, best)
 	}
 }
 
-// SourceCount returns how many clients currently share the given file.
-// Intended for tests and diagnostics; O(clients).
-func (w *World) SourceCount(fileIndex int) int {
-	n := 0
-	for i := range w.Clients {
-		if _, ok := w.Clients[i].cache[fileIndex]; ok {
-			n++
+// --- population accessors -------------------------------------------------
+
+// NumClients returns the number of underlying clients.
+func (w *World) NumClients() int { return len(w.cl.flags) }
+
+// NumFiles returns the catalogue size.
+func (w *World) NumFiles() int { return w.cat.len() }
+
+// Online reports whether client i is present on the current day.
+func (w *World) Online(i int) bool { return w.cl.flags[i]&flagOnline != 0 }
+
+// OnlineCount returns how many clients are present today (merged from
+// the per-cohort presence partials).
+func (w *World) OnlineCount() int { return w.onlineCount }
+
+// FreeRider reports whether client i never shares anything.
+func (w *World) FreeRider(i int) bool { return w.cl.flags[i]&flagFreeRider != 0 }
+
+// Firewalled reports whether client i cannot accept connections.
+func (w *World) Firewalled(i int) bool { return w.cl.flags[i]&flagFirewalled != 0 }
+
+// BrowseOK reports whether client i answers browse requests.
+func (w *World) BrowseOK(i int) bool { return w.cl.flags[i]&flagBrowseOK != 0 }
+
+// TargetCache returns client i's target cache size (0 for free riders).
+func (w *World) TargetCache(i int) int { return int(w.cl.target[i]) }
+
+// Nickname synthesizes client i's nickname from the packed letter draws.
+func (w *World) Nickname(i int) string { return nicknameAt(w.cl.nick[i], i) }
+
+// Location returns client i's resolved (country, AS) pair.
+func (w *World) Location(i int) geo.Location {
+	return geo.Location{
+		Country: w.Registry.Countries()[w.cl.countryIdx[i]].Code,
+		ASN:     w.cl.asn[i],
+	}
+}
+
+// Interests returns client i's topic subscriptions (shared column view).
+func (w *World) Interests(i int) []int32 {
+	return w.cl.interests[w.cl.interestOff[i]:w.cl.interestOff[i+1]]
+}
+
+// identities returns client i's identity segments (shared column view).
+func (w *World) identities(i int) []identity {
+	return w.cl.idents[w.cl.identOff[i]:w.cl.identOff[i+1]]
+}
+
+// IdentityAt returns the (ip, userHash) pair of client i in effect on the
+// given day.
+func (w *World) IdentityAt(i, day int) (ip uint32, hash [16]byte) {
+	ids := w.identities(i)
+	for _, id := range ids {
+		if day >= int(id.startDay) && day <= int(id.endDay) {
+			return id.ip, id.hash
 		}
 	}
-	return n
+	// Days outside the trace use the last identity.
+	last := ids[len(ids)-1]
+	return last.ip, last.hash
+}
+
+// CacheSize returns the number of files client i currently shares.
+func (w *World) CacheSize(i int) int { return int(w.cl.cacheLen[i]) }
+
+// CacheView returns client i's shared files in ascending catalogue order
+// with the day each was added, as shared read-only views into the cohort
+// arena. The views are invalidated by the next Step. The order matters:
+// observers assign trace FileIDs lazily on first sight, so any other
+// order would number files differently run to run.
+func (w *World) CacheView(i int) (files, days []int32) {
+	return w.cohortOf(i).cacheSpan(&w.cl, i)
+}
+
+// CacheFiles returns a copy of client i's shared file indices in
+// ascending order (the legacy convenience shape; hot paths use CacheView).
+func (w *World) CacheFiles(i int) []int {
+	files, _ := w.CacheView(i)
+	out := make([]int, len(files))
+	for j, f := range files {
+		out[j] = int(f)
+	}
+	return out
+}
+
+// --- catalogue accessors --------------------------------------------------
+
+// FileHash returns the content hash of catalogue file fi.
+func (w *World) FileHash(fi int) [16]byte { return w.cat.hash[fi] }
+
+// FileSize returns the size in bytes of catalogue file fi.
+func (w *World) FileSize(fi int) int64 { return w.cat.size[fi] }
+
+// FileKind returns the content kind of catalogue file fi.
+func (w *World) FileKind(fi int) trace.FileKind { return trace.FileKind(w.cat.kind[fi]) }
+
+// FileTopic returns the latent topic of catalogue file fi.
+func (w *World) FileTopic(fi int) int { return int(w.cat.topic[fi]) }
+
+// FileRelease returns the release day of catalogue file fi.
+func (w *World) FileRelease(fi int) int { return int(w.cat.release[fi]) }
+
+// FileName re-synthesizes the name of catalogue file fi from the packed
+// word draws; equal to what the resident world stored.
+func (w *World) FileName(fi int) string {
+	b := w.cat.nameBit[fi]
+	return formatFileName(b>>4, b&0x0F, int(w.cat.topic[fi]),
+		trace.FileKind(w.cat.kind[fi]), int(w.cat.pos[fi]))
+}
+
+// File materializes the full catalogue row fi.
+func (w *World) File(fi int) File {
+	return File{
+		Index:      fi,
+		Topic:      int(w.cat.topic[fi]),
+		Kind:       trace.FileKind(w.cat.kind[fi]),
+		Size:       w.cat.size[fi],
+		Name:       w.FileName(fi),
+		Hash:       w.cat.hash[fi],
+		ReleaseDay: int(w.cat.release[fi]),
+		Bundle:     int(w.cat.pos[fi]) / w.Config.BundleSize,
+	}
+}
+
+// SourceCount returns how many clients currently share the given file,
+// summed from per-cohort partials in cohort order. Intended for tests and
+// diagnostics; O(total cached files).
+func (w *World) SourceCount(fileIndex int) int {
+	fi := int32(fileIndex)
+	partials := runner.Collect(w.pool, len(w.cohorts), func(ci int) int {
+		co := &w.cohorts[ci]
+		n := 0
+		for i := co.lo; i < co.hi; i++ {
+			if co.cacheContains(&w.cl, i, fi) {
+				n++
+			}
+		}
+		return n
+	})
+	total := 0
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// Footprint reports the approximate resident cost of the world's columns
+// (edcrawl's heartbeat prints it alongside the allocator-level view; the
+// gated bytes_per_peer bench metric is measured at the allocator).
+type Footprint struct {
+	CatalogueBytes  int64
+	ClientBytes     int64
+	CacheArenaBytes int64
+	SamplerBytes    int64
+}
+
+// Total sums all components.
+func (f Footprint) Total() int64 {
+	return f.CatalogueBytes + f.ClientBytes + f.CacheArenaBytes + f.SamplerBytes
+}
+
+// Footprint measures the world's column storage. It undercounts Go/heap
+// overheads (it is not a substitute for runtime.MemStats) but attributes
+// the dominant arrays exactly.
+func (w *World) Footprint() Footprint {
+	var f Footprint
+	f.CatalogueBytes = int64(w.cat.len()) * (16 + 8 + 4 + 4 + 4 + 1 + 1 + 8)
+	for i := range w.Topics {
+		f.CatalogueBytes += int64(len(w.Topics[i].Files)) * 4
+		f.SamplerBytes += int64(len(w.Topics[i].cum)) * 8
+	}
+	f.SamplerBytes += int64(len(w.globalCum)) * 8
+	n := int64(w.NumClients())
+	f.ClientBytes = n*(2+1+4+1+8+8+4+16+4+4+4+4+4+24) +
+		int64(len(w.cl.interests))*(4+8) + int64(len(w.cl.idents))*28
+	for ci := range w.cohorts {
+		f.CacheArenaBytes += int64(len(w.cohorts[ci].files)) * 8
+	}
+	return f
 }
 
 // String summarizes the world state.
 func (w *World) String() string {
-	return fmt.Sprintf("world{day %d, %d clients, %d files, %d topics}",
-		w.day, len(w.Clients), len(w.Files), len(w.Topics))
+	return fmt.Sprintf("world{day %d, %d clients, %d files, %d topics, %d cohorts}",
+		w.day, w.NumClients(), w.NumFiles(), len(w.Topics), len(w.cohorts))
 }

@@ -45,6 +45,11 @@ func TestConfigValidate(t *testing.T) {
 	if err := bad.Validate(); err == nil {
 		t.Error("expected error for InitialFiles < Topics")
 	}
+	bad = DefaultConfig()
+	bad.CohortSize = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative CohortSize")
+	}
 }
 
 func TestWorldDeterminism(t *testing.T) {
@@ -60,12 +65,11 @@ func TestWorldDeterminism(t *testing.T) {
 		w1.Step()
 		w2.Step()
 	}
-	if len(w1.Files) != len(w2.Files) {
-		t.Fatalf("file counts diverge: %d vs %d", len(w1.Files), len(w2.Files))
+	if w1.NumFiles() != w2.NumFiles() {
+		t.Fatalf("file counts diverge: %d vs %d", w1.NumFiles(), w2.NumFiles())
 	}
-	for i := range w1.Clients {
-		c1, c2 := &w1.Clients[i], &w2.Clients[i]
-		if c1.CacheSize() != c2.CacheSize() || c1.Loc != c2.Loc {
+	for i := 0; i < w1.NumClients(); i++ {
+		if w1.CacheSize(i) != w2.CacheSize(i) || w1.Location(i) != w2.Location(i) {
 			t.Fatalf("client %d diverged", i)
 		}
 	}
@@ -75,8 +79,8 @@ func TestWorldDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	same := true
-	for i := range w1.Clients {
-		if w1.Clients[i].Loc != w3.Clients[i].Loc {
+	for i := 0; i < w1.NumClients(); i++ {
+		if w1.Location(i) != w3.Location(i) {
 			same = false
 			break
 		}
@@ -95,18 +99,17 @@ func TestFreeRidersShareNothing(t *testing.T) {
 		w.Step()
 	}
 	frac := 0.0
-	for i := range w.Clients {
-		c := &w.Clients[i]
-		if c.FreeRider {
+	for i := 0; i < w.NumClients(); i++ {
+		if w.FreeRider(i) {
 			frac++
-			if c.CacheSize() != 0 {
-				t.Fatalf("free-rider %d shares %d files", i, c.CacheSize())
+			if w.CacheSize(i) != 0 {
+				t.Fatalf("free-rider %d shares %d files", i, w.CacheSize(i))
 			}
-		} else if c.CacheSize() == 0 {
+		} else if w.CacheSize(i) == 0 {
 			t.Errorf("sharer %d has an empty cache", i)
 		}
 	}
-	frac /= float64(len(w.Clients))
+	frac /= float64(w.NumClients())
 	if frac < 0.65 || frac > 0.85 {
 		t.Errorf("free-rider fraction = %v, want ~0.75", frac)
 	}
@@ -120,13 +123,12 @@ func TestCacheSizesNearTarget(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		w.Step()
 	}
-	for i := range w.Clients {
-		c := &w.Clients[i]
-		if c.FreeRider {
+	for i := 0; i < w.NumClients(); i++ {
+		if w.FreeRider(i) {
 			continue
 		}
-		if c.CacheSize() > c.targetCache {
-			t.Errorf("client %d cache %d exceeds target %d", i, c.CacheSize(), c.targetCache)
+		if w.CacheSize(i) > w.TargetCache(i) {
+			t.Errorf("client %d cache %d exceeds target %d", i, w.CacheSize(i), w.TargetCache(i))
 		}
 	}
 }
@@ -139,9 +141,9 @@ func TestGenerositySkew(t *testing.T) {
 		t.Fatal(err)
 	}
 	var sizes []float64
-	for i := range w.Clients {
-		if c := &w.Clients[i]; !c.FreeRider {
-			sizes = append(sizes, float64(c.CacheSize()))
+	for i := 0; i < w.NumClients(); i++ {
+		if !w.FreeRider(i) {
+			sizes = append(sizes, float64(w.CacheSize(i)))
 		}
 	}
 	share, err := stats.TopShare(sizes, 0.15)
@@ -190,29 +192,29 @@ func TestIdentitySegments(t *testing.T) {
 		t.Fatal(err)
 	}
 	aliased := 0
-	for i := range w.Clients {
-		c := &w.Clients[i]
-		if len(c.identities) == 2 {
+	for i := 0; i < w.NumClients(); i++ {
+		ids := w.identities(i)
+		if len(ids) == 2 {
 			aliased++
-			a, b := c.identities[0], c.identities[1]
+			a, b := ids[0], ids[1]
 			if a.endDay+1 != b.startDay {
-				t.Fatalf("client %d identity gap: %+v", i, c.identities)
+				t.Fatalf("client %d identity gap: %+v", i, ids)
 			}
 			if a.ip == b.ip && a.hash == b.hash {
 				t.Fatalf("client %d alias changed nothing", i)
 			}
-			ip0, h0 := c.IdentityAt(0)
+			ip0, h0 := w.IdentityAt(i, 0)
 			if ip0 != a.ip || h0 != a.hash {
 				t.Fatalf("IdentityAt(0) wrong for client %d", i)
 			}
-			ipEnd, hEnd := c.IdentityAt(cfg.Days - 1)
+			ipEnd, hEnd := w.IdentityAt(i, cfg.Days-1)
 			if ipEnd != b.ip || hEnd != b.hash {
 				t.Fatalf("IdentityAt(last) wrong for client %d", i)
 			}
 		}
 	}
-	if aliased < len(w.Clients)*9/10 {
-		t.Errorf("only %d/%d clients aliased", aliased, len(w.Clients))
+	if aliased < w.NumClients()*9/10 {
+		t.Errorf("only %d/%d clients aliased", aliased, w.NumClients())
 	}
 }
 
@@ -224,8 +226,8 @@ func TestCountryMixEmerges(t *testing.T) {
 		t.Fatal(err)
 	}
 	counts := map[string]int{}
-	for i := range w.Clients {
-		counts[w.Clients[i].Loc.Country]++
+	for i := 0; i < w.NumClients(); i++ {
+		counts[w.Location(i).Country]++
 	}
 	fr := float64(counts["FR"]) / float64(cfg.Peers)
 	de := float64(counts["DE"]) / float64(cfg.Peers)
@@ -385,10 +387,10 @@ func TestStepGrowsCatalogue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before := len(w.Files)
+	before := w.NumFiles()
 	w.Step()
-	if len(w.Files) != before+w.Config.NewFilesPerDay {
-		t.Errorf("catalogue grew by %d, want %d", len(w.Files)-before, w.Config.NewFilesPerDay)
+	if w.NumFiles() != before+w.Config.NewFilesPerDay {
+		t.Errorf("catalogue grew by %d, want %d", w.NumFiles()-before, w.Config.NewFilesPerDay)
 	}
 	if w.Day() != 1 {
 		t.Errorf("Day = %d, want 1", w.Day())
@@ -404,14 +406,13 @@ func TestInterestsAreHomeBiased(t *testing.T) {
 		t.Fatal(err)
 	}
 	homeCount, total := 0, 0
-	for i := range w.Clients {
-		c := &w.Clients[i]
-		if c.FreeRider {
+	for i := 0; i < w.NumClients(); i++ {
+		if w.FreeRider(i) {
 			continue
 		}
-		for _, tid := range c.Interests() {
+		for _, tid := range w.Interests(i) {
 			total++
-			if w.Topics[tid].HomeCountry == c.Loc.Country {
+			if w.Topics[tid].HomeCountry == w.Location(i).Country {
 				homeCount++
 			}
 		}
@@ -426,35 +427,36 @@ func TestInterestsAreHomeBiased(t *testing.T) {
 }
 
 // clientFingerprint summarizes the stochastic per-client state that the
-// parallel Step path touches: presence, cache contents and added-days.
-func clientFingerprint(c *Client) uint64 {
+// parallel cohort step touches: presence, cache contents and added-days.
+func clientFingerprint(w *World, i int) uint64 {
 	var h uint64 = 1469598103934665603 // FNV offset basis
 	mix := func(v uint64) {
 		h ^= v
 		h *= 1099511628211
 	}
-	if c.online {
+	if w.Online(i) {
 		mix(1)
 	}
-	files := c.CacheFiles()
-	sortInts(files)
-	for _, fi := range files {
-		mix(uint64(fi))
-		mix(uint64(int64(c.cache[fi])) + 1<<32)
+	files, days := w.CacheView(i)
+	for j, fi := range files {
+		mix(uint64(uint32(fi)))
+		mix(uint64(uint32(days[j])) + 1<<32)
 	}
 	return h
 }
 
 // The engine guarantee at the generator layer: worlds evolved with 1, 4
-// and GOMAXPROCS workers are bit-identical, because every client draws
-// from a private generator and owns its own state.
+// and GOMAXPROCS workers — and with any cohort partition — are
+// bit-identical, because every client draws from a private generator and
+// every cohort owns its own arena.
 func TestWorldDeterministicAcrossWorkers(t *testing.T) {
-	evolve := func(workers int) []uint64 {
+	evolve := func(workers, cohortSize int) []uint64 {
 		cfg := smallConfig(77)
 		cfg.Peers = 300
 		cfg.InitialFiles = 8000
 		cfg.NewFilesPerDay = 100
 		cfg.Workers = workers
+		cfg.CohortSize = cohortSize
 		w, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
@@ -462,18 +464,21 @@ func TestWorldDeterministicAcrossWorkers(t *testing.T) {
 		for d := 0; d < 6; d++ {
 			w.Step()
 		}
-		out := make([]uint64, len(w.Clients))
-		for i := range w.Clients {
-			out[i] = clientFingerprint(&w.Clients[i])
+		out := make([]uint64, w.NumClients())
+		for i := range out {
+			out[i] = clientFingerprint(w, i)
 		}
 		return out
 	}
-	want := evolve(1)
-	for _, workers := range []int{4, 0} {
-		got := evolve(workers)
+	want := evolve(1, 0)
+	for _, v := range []struct{ workers, cohortSize int }{
+		{4, 0}, {0, 0}, {4, 37}, {1, 1},
+	} {
+		got := evolve(v.workers, v.cohortSize)
 		for i := range want {
 			if got[i] != want[i] {
-				t.Fatalf("workers=%d: client %d state depends on worker count", workers, i)
+				t.Fatalf("workers=%d cohort=%d: client %d state depends on scheduling",
+					v.workers, v.cohortSize, i)
 			}
 		}
 	}
