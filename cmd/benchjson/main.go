@@ -32,10 +32,12 @@
 // path here).
 //
 // -gate-extra names custom metrics (comma-separated) gated with the
-// same tolerance wherever baseline and fresh both report them. Unlike
-// ns/op they are machine-independent (bytes, counts), so no anchor
-// scaling applies — a bytes_after_load regression fails CI exactly like
-// an ns/op regression.
+// same tolerance wherever baseline and fresh both report them. Byte and
+// count metrics are machine-independent, so no anchor scaling applies —
+// a bytes_after_load regression fails CI exactly like an ns/op
+// regression. Metrics whose unit starts with "ns/" (ns/snap, the browse
+// cost per snapshot) are wall clock and are anchor-normalized like
+// ns/op before the comparison.
 package main
 
 import (
@@ -177,14 +179,20 @@ func diff(baseline, fresh []Record, tolerance float64, anchor string, gateExtras
 		}
 		fmt.Fprintf(w, "  %-8s %-60s %12.0f -> %12.0f ns/op (%+.1f%% normalized)\n",
 			status, r.Op, b.NsOp, r.NsOp, delta)
-		// Machine-independent extras (bytes, counts) gate unscaled.
+		// Machine-independent extras (bytes, counts) gate unscaled;
+		// time-valued extras (unit "ns/...", e.g. ns/snap) are wall
+		// clock like ns/op and get the same anchor normalization.
 		for _, name := range gateExtras {
 			bv, okB := b.Extra[name]
 			fv, okF := r.Extra[name]
 			if !okB || !okF || bv <= 0 {
 				continue
 			}
-			ed := 100 * (fv - bv) / bv
+			norm := fv
+			if strings.HasPrefix(name, "ns/") {
+				norm = fv / scale
+			}
+			ed := 100 * (norm - bv) / bv
 			estatus := "ok"
 			if ed > tolerance {
 				estatus = "REGRESSED"

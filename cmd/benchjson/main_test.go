@@ -1,0 +1,60 @@
+package main
+
+import (
+	"os"
+	"slices"
+	"testing"
+)
+
+// TestDiffGatesExtras pins the -gate-extra semantics: byte metrics gate
+// unscaled, time-valued ("ns/...") metrics are anchor-normalized first,
+// and a regression in either fails the diff even when ns/op is fine.
+func TestDiffGatesExtras(t *testing.T) {
+	sink, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sink.Close()
+
+	baseline := []Record{
+		{Op: "anchor", NsOp: 100},
+		{Op: "crawl", NsOp: 1000, Extra: map[string]float64{
+			"bytes_per_peer": 2000, "ns/snap": 500,
+		}},
+	}
+	gate := []string{"bytes_per_peer", "ns/snap"}
+
+	// A 2x slower machine (anchor 100 -> 200): doubled ns/op and ns/snap
+	// normalize away, while the unscaled byte metric must hold still.
+	fresh := []Record{
+		{Op: "anchor", NsOp: 200},
+		{Op: "crawl", NsOp: 2000, Extra: map[string]float64{
+			"bytes_per_peer": 2000, "ns/snap": 1000,
+		}},
+	}
+	regs, err := diff(baseline, fresh, 25, "anchor", gate, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Errorf("machine-speed-only change flagged: %v", regs)
+	}
+
+	// A genuine browse slowdown and a re-boxed world on the same machine:
+	// both extras must be reported as regressions.
+	fresh = []Record{
+		{Op: "anchor", NsOp: 100},
+		{Op: "crawl", NsOp: 1000, Extra: map[string]float64{
+			"bytes_per_peer": 3000, "ns/snap": 800,
+		}},
+	}
+	regs, err = diff(baseline, fresh, 25, "anchor", gate, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"crawl bytes_per_peer", "crawl ns/snap"} {
+		if !slices.Contains(regs, want) {
+			t.Errorf("regressions %v missing %q", regs, want)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"edonkey/internal/crawler"
 	"edonkey/internal/trace"
@@ -45,7 +46,7 @@ func main() {
 		final    = flag.Int("final-budget", 0, "final daily browse budget (models bandwidth decline)")
 		publish  = flag.Bool("publish", false, "serve the publication-backed source/keyword index too")
 		workers  = flag.Int("workers", 0, "worker pool size for world evolution (0 = GOMAXPROCS, 1 = serial); traces are identical for any value")
-		progress = flag.Bool("progress", false, "print a per-day heartbeat (day, peers stepped, snapshots, resident bytes)")
+		progress = flag.Bool("progress", false, "print a per-day heartbeat (day, peers stepped, snapshots, browse snap/s, resident bytes)")
 	)
 	flag.Parse()
 
@@ -75,14 +76,16 @@ func main() {
 	}
 }
 
-// heartbeat tracks resident memory across the crawl and prints the
-// per-day -progress lines.
+// heartbeat tracks resident memory and browse throughput across the
+// crawl and prints the per-day -progress lines.
 type heartbeat struct {
 	peers     int
 	enabled   bool
 	peakHeap  uint64
 	snapshots func() int
 	world     *workload.World
+	mark      time.Time // start of the day in flight
+	lastSnaps int       // snapshot count when that day started
 }
 
 // sample reads the allocator state and updates the peak.
@@ -95,14 +98,27 @@ func (h *heartbeat) sample() (heap uint64) {
 	return m.HeapAlloc
 }
 
-// day is the crawler's Progress hook.
+// day is the crawler's Progress hook. Besides the memory line it
+// reports the day's browse throughput — snapshots captured this day
+// over the day's wall time — so a scaling run shows at a glance whether
+// the parallel browse keeps the pool fed.
 func (h *heartbeat) day(day, totalDays int) {
 	heap := h.sample()
+	now := time.Now()
+	snaps := h.snapshots()
+	daySnaps := snaps - h.lastSnaps
+	elapsed := now.Sub(h.mark).Seconds()
+	h.mark = now
+	h.lastSnaps = snaps
 	if !h.enabled {
 		return
 	}
-	fmt.Printf("progress: day %d/%d, %d peers stepped, %d snapshots, resident %s (peak %s)\n",
-		day+1, totalDays, h.peers, h.snapshots(), formatBytes(heap), formatBytes(h.peakHeap))
+	rate := "n/a"
+	if elapsed > 0 {
+		rate = fmt.Sprintf("%.0f", float64(daySnaps)/elapsed)
+	}
+	fmt.Printf("progress: day %d/%d, %d peers stepped, %d snapshots (%s snap/s), resident %s (peak %s)\n",
+		day+1, totalDays, h.peers, snaps, rate, formatBytes(heap), formatBytes(h.peakHeap))
 }
 
 // summary prints the peak-memory line of the final report: the
@@ -140,6 +156,7 @@ func run(wcfg workload.Config, ccfg crawler.Config, out, jsonOut string, progres
 	}
 	hb := &heartbeat{peers: wcfg.Peers, enabled: progress, snapshots: func() int { return c.Stats.Snapshots }, world: w}
 	hb.sample() // capture the built world before the first crawl day
+	hb.mark = time.Now()
 	c.Progress = hb.day
 
 	// The .edt path streams each completed day to the open writer — the

@@ -9,7 +9,9 @@
 //	      [-lists 5,10,20,50] [-workers 0] [-trace trace.edt]
 //
 // With -lists, one simulation per list size runs concurrently on the
-// worker pool and a summary line is printed per size.
+// worker pool and a summary line is printed per size. A single point
+// scales with -workers too: its event loop is sharded across the pool
+// (speculate in parallel, commit in order), bit-identical to -workers 1.
 package main
 
 import (
@@ -41,7 +43,7 @@ func main() {
 		dropFiles      = flag.Float64("drop-files", 0, "fraction of top popular files removed")
 		randomizeTrace = flag.Bool("randomize", false, "fully randomize caches first (appendix algorithm)")
 		load           = flag.Bool("load", false, "print the query-load distribution")
-		workers        = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical for any value")
+		workers        = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); shards sweeps and single points alike, results identical for any value")
 		cpuprofile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile     = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)

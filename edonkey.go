@@ -220,12 +220,15 @@ func (opt SearchOptions) simOptions() (core.SimOptions, error) {
 }
 
 // SearchSim runs the paper's trace-driven semantic search simulation on
-// the study's filtered caches.
+// the study's filtered caches. The single point shards its event loop
+// over the study's worker pool (SetWorkers), with a result bit-identical
+// for any worker count.
 func (s *Study) SearchSim(opt SearchOptions) (core.SimResult, error) {
 	sim, err := opt.simOptions()
 	if err != nil {
 		return core.SimResult{}, err
 	}
+	sim.Pool = s.pool
 	return core.RunSim(s.Caches, sim), nil
 }
 

@@ -7,6 +7,7 @@ import (
 	"slices"
 
 	"edonkey/internal/randomize"
+	"edonkey/internal/runner"
 	"edonkey/internal/trace"
 )
 
@@ -22,6 +23,12 @@ type SimOptions struct {
 	// Seed drives request ordering, fallback-uploader choice and the
 	// Random strategy.
 	Seed uint64
+
+	// Pool, when it has more than one worker, shards the event loop of
+	// this single simulation point across the pool (speculative
+	// evaluation against chunk-start state, serial in-order commit).
+	// The result is bit-identical for any worker count, including nil.
+	Pool *runner.Pool
 
 	// DropTopUploaders removes the given fraction of the most generous
 	// sharers (by cache size) before the simulation, with their request
@@ -228,6 +235,14 @@ func (s sharedSet) set(pos int)      { s[pos/64] |= 1 << (pos % 64) }
 // neighbours, if TwoHop), falls back to the global search on failure, and
 // in every case records the uploader in its semantic list and starts
 // sharing the file.
+//
+// Randomness is split into two decorrelated streams: the schedule stream
+// (setup shuffles and which active peer requests next) is drawn from one
+// shared generator, while the fallback-uploader choice of event e is a
+// pure function of (Seed, e). The split is what makes the event loop
+// shardable — the whole schedule can be drawn ahead of the outcome of any
+// event — and it makes one RunSim bit-identical for every worker count of
+// opt.Pool, including the serial nil pool.
 func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 	if opt.ListSize <= 0 {
 		opt.ListSize = 20
@@ -235,30 +250,38 @@ func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 	rng := rand.New(rand.NewPCG(opt.Seed, 0x73696d)) // "sim"
 	prepared := PrepareCaches(caches, opt, rng)
 
-	res := SimResult{
-		Strategy: opt.Kind.String(),
-		ListSize: opt.ListSize,
-		TwoHop:   opt.TwoHop,
-		Peers:    len(prepared),
+	s := &simState{
+		opt:      opt,
+		rng:      rng,
+		prepared: prepared,
+		// Decorrelate the per-event fallback stream from every other use
+		// of Seed (schedule stream, world sub-seeds).
+		fallback: runner.SubSeed(opt.Seed, 0x66616c6c), // "fall"
+		res: SimResult{
+			Strategy: opt.Kind.String(),
+			ListSize: opt.ListSize,
+			TwoHop:   opt.TwoHop,
+			Peers:    len(prepared),
+		},
 	}
 
 	// Request lists: shuffled copies of each cache. Popping from the
 	// back of a shuffled list is equivalent to the paper's "pick a
 	// random file from the remaining set".
-	requests := make([][]trace.FileID, len(prepared))
+	s.requests = make([][]trace.FileID, len(prepared))
 	var sharerPool []trace.PeerID
 	for pid, c := range prepared {
 		if len(c) == 0 {
 			continue
 		}
-		res.Sharers++
+		s.res.Sharers++
 		sharerPool = append(sharerPool, trace.PeerID(pid))
 		list := append([]trace.FileID(nil), c...)
 		rng.Shuffle(len(list), func(i, j int) { list[i], list[j] = list[j], list[i] })
-		requests[pid] = list
+		s.requests[pid] = list
 	}
 
-	strategies := make([]Strategy, len(prepared))
+	s.strategies = make([]Strategy, len(prepared))
 	for _, pid := range sharerPool {
 		if opt.FixedLists != nil {
 			var list []trace.PeerID
@@ -268,136 +291,345 @@ func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 					list = list[:opt.ListSize]
 				}
 			}
-			strategies[pid] = NewFixed(list)
+			s.strategies[pid] = NewFixed(list)
 			continue
 		}
 		switch opt.Kind {
 		case LRU:
-			strategies[pid] = NewLRU(opt.ListSize)
+			s.strategies[pid] = NewLRU(opt.ListSize)
 		case History:
-			strategies[pid] = NewHistory(opt.ListSize)
+			s.strategies[pid] = NewHistory(opt.ListSize)
 		case Random:
-			strategies[pid] = NewRandom(opt.ListSize, pid, sharerPool, rng)
+			s.strategies[pid] = NewRandom(opt.ListSize, pid, sharerPool, rng)
 		default:
 			panic(fmt.Sprintf("core: unknown strategy kind %d", opt.Kind))
 		}
 	}
 	if opt.FixedLists != nil {
-		res.Strategy = "Fixed"
+		s.res.Strategy = "Fixed"
 	}
 
 	// Per-peer shared bitsets over cache positions, and the holder lists
 	// indexed directly by FileID (dense array, no map).
-	shared := make([]sharedSet, len(prepared))
-	holders := make([][]trace.PeerID, maxFileID(prepared)+1)
-	sharesFile := func(p trace.PeerID, f trace.FileID) bool {
-		if shared[p] == nil {
-			return false
-		}
-		pos, ok := slices.BinarySearch(prepared[p], f)
-		return ok && shared[p].has(pos)
-	}
-	startSharing := func(p trace.PeerID, f trace.FileID) {
-		if shared[p] == nil {
-			shared[p] = make(sharedSet, (len(prepared[p])+63)/64)
-		}
-		pos, _ := slices.BinarySearch(prepared[p], f)
-		shared[p].set(pos)
-	}
+	s.shared = make([]sharedSet, len(prepared))
+	s.holders = make([][]trace.PeerID, maxFileID(prepared)+1)
 	if opt.TrackLoad {
-		res.LoadPerPeer = make([]int64, len(prepared))
+		s.res.LoadPerPeer = make([]int64, len(prepared))
 	}
 
 	// Active peers with remaining requests, for uniform random choice.
-	active := append([]trace.PeerID(nil), sharerPool...)
-	// Epoch-marked scratch for two-hop deduplication (no per-request map).
-	var queried []uint32
-	var epoch uint32
-	if opt.TwoHop {
-		queried = make([]uint32, len(prepared))
+	s.active = append([]trace.PeerID(nil), sharerPool...)
+
+	if opt.Pool.Workers() > 1 {
+		s.runSharded(opt.Pool)
+	} else {
+		s.runSerial()
 	}
+	return s.res
+}
 
-	for len(active) > 0 {
-		ai := rng.IntN(len(active))
-		p := active[ai]
-		reqs := requests[p]
-		f := reqs[len(reqs)-1]
-		requests[p] = reqs[:len(reqs)-1]
-		if len(requests[p]) == 0 {
-			active[ai] = active[len(active)-1]
-			active = active[:len(active)-1]
+// simState is the live state of one RunSim event loop, shared by the
+// serial path and the sharded path (which interleaves parallel read-only
+// speculation with the same serial commits).
+type simState struct {
+	opt        SimOptions
+	rng        *rand.Rand // schedule stream: setup shuffles + active-peer picks
+	fallback   uint64     // base seed of the per-event fallback-uploader stream
+	prepared   [][]trace.FileID
+	requests   [][]trace.FileID
+	strategies []Strategy
+	shared     []sharedSet
+	holders    [][]trace.PeerID
+	active     []trace.PeerID
+	res        SimResult
+}
+
+// simEvent is one scheduled request: peer p pops file f.
+type simEvent struct {
+	p trace.PeerID
+	f trace.FileID
+}
+
+// eventSpec is the outcome of evaluating one event against a fixed state
+// snapshot: either the commit-time state (serial path, exact) or the
+// chunk-start state (sharded path, speculative until validated).
+type eventSpec struct {
+	contribution bool
+	hit          bool
+	twoHop       bool // the two-hop ring was scanned (one-hop missed)
+	uploader     trace.PeerID
+	messages     int64
+	targets      []trace.PeerID // peers messaged, recorded under TrackLoad only
+}
+
+// twoHopScratch is per-evaluator epoch-marked deduplication state for the
+// two-hop scan; it never influences results, so workers can reuse any
+// instance.
+type twoHopScratch struct {
+	queried []uint32
+	epoch   uint32
+}
+
+func (s *simState) sharesFile(p trace.PeerID, f trace.FileID) bool {
+	if s.shared[p] == nil {
+		return false
+	}
+	pos, ok := slices.BinarySearch(s.prepared[p], f)
+	return ok && s.shared[p].has(pos)
+}
+
+func (s *simState) startSharing(p trace.PeerID, f trace.FileID) {
+	if s.shared[p] == nil {
+		s.shared[p] = make(sharedSet, (len(s.prepared[p])+63)/64)
+	}
+	pos, _ := slices.BinarySearch(s.prepared[p], f)
+	s.shared[p].set(pos)
+}
+
+// nextEvent draws the next scheduled request from the schedule stream:
+// a uniformly random active peer pops the tail of its shuffled request
+// list. The schedule depends only on the stream and the request-list
+// lengths — never on event outcomes — which is what lets the sharded
+// path draw a whole chunk of events before evaluating any of them.
+func (s *simState) nextEvent() (simEvent, bool) {
+	if len(s.active) == 0 {
+		return simEvent{}, false
+	}
+	ai := s.rng.IntN(len(s.active))
+	p := s.active[ai]
+	reqs := s.requests[p]
+	f := reqs[len(reqs)-1]
+	s.requests[p] = reqs[:len(reqs)-1]
+	if len(s.requests[p]) == 0 {
+		s.active[ai] = s.active[len(s.active)-1]
+		s.active = s.active[:len(s.active)-1]
+	}
+	return simEvent{p: p, f: f}, true
+}
+
+// fallbackIdx picks the fallback uploader index for global event g among
+// n sources, from the per-event derived stream.
+func (s *simState) fallbackIdx(g uint64, n int) int {
+	return int(runner.SubSeed(s.fallback, g) % uint64(n))
+}
+
+// evaluate computes the outcome of ev against the current (or, on the
+// sharded path, chunk-start) state. It is read-only: strategies, shared
+// bitsets and holder lists are probed but never written, so any number
+// of evaluators can run concurrently between commits.
+func (s *simState) evaluate(ev simEvent, sc *twoHopScratch) eventSpec {
+	if len(s.holders[ev.f]) == 0 {
+		return eventSpec{contribution: true}
+	}
+	var spec eventSpec
+	neigh := s.strategies[ev.p].Neighbours()
+	for _, n := range neigh {
+		spec.messages++
+		if s.opt.TrackLoad {
+			spec.targets = append(spec.targets, n)
 		}
-
-		srcs := holders[f]
-		if len(srcs) == 0 {
-			// p is the original contributor of f.
-			res.Contributions++
-			startSharing(p, f)
-			holders[f] = append(holders[f], p)
-			continue
+		if s.sharesFile(n, ev.f) {
+			spec.hit = true
+			spec.uploader = n
+			return spec
 		}
-
-		res.Requests++
-		var uploader trace.PeerID
-		hit := false
-		hop := 1
-
-		neigh := strategies[p].Neighbours()
+	}
+	if s.opt.TwoHop {
+		spec.twoHop = true
+		sc.epoch++
+		sc.queried[ev.p] = sc.epoch
 		for _, n := range neigh {
-			res.Messages++
-			if opt.TrackLoad {
-				res.LoadPerPeer[n]++
-			}
-			if sharesFile(n, f) {
-				hit = true
-				uploader = n
-				break
-			}
+			sc.queried[n] = sc.epoch
 		}
-		if !hit && opt.TwoHop {
-			hop = 2
-			epoch++
-			queried[p] = epoch
-			for _, n := range neigh {
-				queried[n] = epoch
+		for _, n := range neigh {
+			if s.strategies[n] == nil {
+				continue
 			}
-		twoHop:
-			for _, n := range neigh {
-				if strategies[n] == nil {
+			for _, nn := range s.strategies[n].Neighbours() {
+				if sc.queried[nn] == sc.epoch {
 					continue
 				}
-				for _, nn := range strategies[n].Neighbours() {
-					if queried[nn] == epoch {
-						continue
-					}
-					queried[nn] = epoch
-					res.Messages++
-					if opt.TrackLoad {
-						res.LoadPerPeer[nn]++
-					}
-					if sharesFile(nn, f) {
-						hit = true
-						uploader = nn
-						break twoHop
-					}
+				sc.queried[nn] = sc.epoch
+				spec.messages++
+				if s.opt.TrackLoad {
+					spec.targets = append(spec.targets, nn)
+				}
+				if s.sharesFile(nn, ev.f) {
+					spec.hit = true
+					spec.uploader = nn
+					return spec
 				}
 			}
 		}
-
-		if hit {
-			res.Hits++
-			if hop == 1 {
-				res.OneHopHits++
-			} else {
-				res.TwoHopHits++
-			}
-		} else {
-			// Fallback search (server or flooding) finds some source.
-			uploader = srcs[rng.IntN(len(srcs))]
-		}
-		strategies[p].RecordUpload(uploader)
-		startSharing(p, f)
-		holders[f] = append(holders[f], p)
 	}
-	return res
+	return spec
+}
+
+// apply commits an evaluated event: result counters, the upload record,
+// the new share and the holder-list append. g is the event's global
+// schedule index (it seeds the fallback-uploader draw).
+func (s *simState) apply(ev simEvent, spec *eventSpec, g uint64) {
+	if spec.contribution {
+		// ev.p is the original contributor of ev.f.
+		s.res.Contributions++
+		s.startSharing(ev.p, ev.f)
+		s.holders[ev.f] = append(s.holders[ev.f], ev.p)
+		return
+	}
+	s.res.Requests++
+	s.res.Messages += spec.messages
+	if s.opt.TrackLoad {
+		for _, n := range spec.targets {
+			s.res.LoadPerPeer[n]++
+		}
+	}
+	uploader := spec.uploader
+	if spec.hit {
+		s.res.Hits++
+		if spec.twoHop {
+			s.res.TwoHopHits++
+		} else {
+			s.res.OneHopHits++
+		}
+	} else {
+		// Fallback search (server or flooding) finds some source.
+		srcs := s.holders[ev.f]
+		uploader = srcs[s.fallbackIdx(g, len(srcs))]
+	}
+	s.strategies[ev.p].RecordUpload(uploader)
+	s.startSharing(ev.p, ev.f)
+	s.holders[ev.f] = append(s.holders[ev.f], ev.p)
+}
+
+// newScratch allocates two-hop dedup state (a no-op shell otherwise).
+func (s *simState) newScratch() *twoHopScratch {
+	sc := &twoHopScratch{}
+	if s.opt.TwoHop {
+		sc.queried = make([]uint32, len(s.prepared))
+	}
+	return sc
+}
+
+// runSerial is the direct event loop: evaluate and commit one event at a
+// time against live state.
+func (s *simState) runSerial() {
+	sc := s.newScratch()
+	for g := uint64(0); ; g++ {
+		ev, ok := s.nextEvent()
+		if !ok {
+			return
+		}
+		spec := s.evaluate(ev, sc)
+		s.apply(ev, &spec, g)
+	}
+}
+
+// Sharded event-loop tuning. Chunk sizing is pure performance tuning:
+// valid speculations equal the serial outcome and invalid ones are
+// re-evaluated serially, so any chunking (and any worker count) yields
+// the serial result bit for bit.
+const (
+	// simMaxChunkEvents caps how many scheduled events are drawn ahead
+	// and speculatively evaluated per round.
+	simMaxChunkEvents = 4096
+	// simMinChunkEvents keeps chunks worth a pool dispatch.
+	simMinChunkEvents = 64
+)
+
+// chunkTarget sizes the next speculation chunk from the current active
+// set: a chunk much larger than the number of active peers would give
+// almost every event an earlier same-requester event and invalidate the
+// whole round. One-eighth of the active set keeps the expected
+// same-peer collision rate low while leaving enough events to spread
+// over the pool. The active count is schedule state — identical for
+// every worker count — so adaptive sizing preserves determinism.
+func chunkTarget(active int) int {
+	t := active / 8
+	if t > simMaxChunkEvents {
+		t = simMaxChunkEvents
+	}
+	if t < simMinChunkEvents {
+		t = simMinChunkEvents
+	}
+	return t
+}
+
+// runSharded executes the event loop in chunks: draw simChunkEvents of
+// schedule, evaluate them all in parallel against the chunk-start state,
+// then commit serially in schedule order. A speculative outcome is valid
+// unless an earlier commit in the same chunk could have changed what the
+// evaluation read: the requester's own strategy (same peer earlier in
+// chunk), the file's holder list or share bits (same file earlier in
+// chunk), or — for two-hop scans — a scanned neighbour's list (neighbour
+// was an earlier requester). Invalid events are simply re-evaluated
+// against live state at commit, which is exactly the serial semantics,
+// so every worker count produces the serial result bit for bit.
+func (s *simState) runSharded(pool *runner.Pool) {
+	var (
+		events = make([]simEvent, 0, simMaxChunkEvents)
+		specs  = make([]eventSpec, simMaxChunkEvents)
+		// Last-touch global indices (+1, 0 = never), per peer and file.
+		peerTouched = make([]uint64, len(s.prepared))
+		fileTouched = make([]uint64, len(s.holders))
+		commitSc    = s.newScratch()
+	)
+	// Evaluator scratch checkout: at most Workers() jobs run at once.
+	scratches := make(chan *twoHopScratch, pool.Workers())
+	for i := 0; i < pool.Workers(); i++ {
+		scratches <- s.newScratch()
+	}
+
+	for chunkStart := uint64(0); ; {
+		events = events[:0]
+		for target := chunkTarget(len(s.active)); len(events) < target; {
+			ev, ok := s.nextEvent()
+			if !ok {
+				break
+			}
+			events = append(events, ev)
+		}
+		if len(events) == 0 {
+			return
+		}
+
+		// Phase 1: speculative evaluation, read-only on shared state.
+		// Sub-chunk so each worker gets a few dispatches per round
+		// (work-stealing evens out uneven scan costs).
+		sub := (len(events) + 4*pool.Workers() - 1) / (4 * pool.Workers())
+		if sub < 8 {
+			sub = 8
+		}
+		jobs := (len(events) + sub - 1) / sub
+		pool.Map(jobs, func(j int) {
+			lo := j * sub
+			hi := min(lo+sub, len(events))
+			sc := <-scratches
+			for i := lo; i < hi; i++ {
+				specs[i] = s.evaluate(events[i], sc)
+			}
+			scratches <- sc
+		})
+
+		// Phase 2: in-order commit with conservative validation.
+		for i, ev := range events {
+			g := chunkStart + uint64(i)
+			valid := peerTouched[ev.p] <= chunkStart && fileTouched[ev.f] <= chunkStart
+			if valid && specs[i].twoHop {
+				for _, n := range s.strategies[ev.p].Neighbours() {
+					if peerTouched[n] > chunkStart {
+						valid = false
+						break
+					}
+				}
+			}
+			if !valid {
+				specs[i] = s.evaluate(ev, commitSc)
+			}
+			s.apply(ev, &specs[i], g)
+			specs[i] = eventSpec{} // drop the TrackLoad target list
+			peerTouched[ev.p] = g + 1
+			fileTouched[ev.f] = g + 1
+		}
+		chunkStart += uint64(len(events))
+	}
 }

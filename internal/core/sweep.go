@@ -13,8 +13,14 @@ import (
 // Results are returned in input order and are bit-identical to a serial
 // loop for any worker count: every point derives its private rand.Rand
 // from its own SimOptions.Seed, never from a shared stream.
+//
+// Each point also inherits the pool for its own sharded event loop, so a
+// sweep narrower than the worker count (or a single point) still scales:
+// idle workers pick up speculation jobs from the points in flight.
 func RunSweep(caches [][]trace.FileID, opts []SimOptions, pool *runner.Pool) []SimResult {
 	return runner.Collect(pool, len(opts), func(i int) SimResult {
-		return RunSim(caches, opts[i])
+		opt := opts[i]
+		opt.Pool = pool
+		return RunSim(caches, opt)
 	})
 }

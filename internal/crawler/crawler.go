@@ -257,34 +257,60 @@ func (c *Crawler) crawlDay(day, totalDays int) error {
 		}
 	}
 
-	// Browse pass, within the day's budget. Iterate deterministically.
+	// Browse pass, within the day's budget. The browse set and its order
+	// are fixed before the first dial (sorted identities, budget prefix),
+	// so the round-trips — the dominant cost of a crawl day at scale —
+	// can run as independent pool jobs while the trace-side commit
+	// (identity registration, first-sight file numbering, stats) stays a
+	// single serial pass in key order. Any worker count produces the same
+	// trace bit-for-bit. Jobs run in bounded chunks so at most one
+	// chunk's rendered file lists is ever resident.
 	keys := make([]identityKey, 0, len(reachable))
 	for k := range reachable {
 		keys = append(keys, k)
 	}
 	sortIdentityKeys(keys)
 	budget := c.budgetFor(day, totalDays)
-	for i, key := range keys {
-		if i >= budget {
-			c.Stats.BudgetExhausted++
-			break
-		}
-		u := reachable[key]
-		c.Stats.BrowseAttempts++
-		files, err := me.Browse(u.Endpoint)
-		if err != nil {
-			if c.gateway.wasBrowsable(key) {
-				c.Stats.BrowseFailed++ // unexpected: peer vanished mid-day
-			} else {
-				c.Stats.BrowseRejected++ // browse disabled by the user
+	n := len(keys)
+	if n > budget {
+		n = budget
+		c.Stats.BudgetExhausted++
+	}
+	type browseResult struct {
+		files []protocol.FileEntry
+		err   error
+	}
+	pool := c.world.Pool()
+	results := make([]browseResult, min(n, browseChunkSize))
+	for start := 0; start < n; start += browseChunkSize {
+		chunk := keys[start:min(start+browseChunkSize, n)]
+		pool.Map(len(chunk), func(j int) {
+			files, err := me.Browse(reachable[chunk[j]].Endpoint)
+			results[j] = browseResult{files, err}
+		})
+		for j, key := range chunk {
+			c.Stats.BrowseAttempts++
+			r := results[j]
+			results[j] = browseResult{} // release the rendered entries
+			if r.err != nil {
+				if c.gateway.wasBrowsable(key) {
+					c.Stats.BrowseFailed++ // unexpected: peer vanished mid-day
+				} else {
+					c.Stats.BrowseRejected++ // browse disabled by the user
+				}
+				continue
 			}
-			continue
+			c.record(day, reachable[key], r.files)
+			c.Stats.Snapshots++
 		}
-		c.record(day, u, files)
-		c.Stats.Snapshots++
 	}
 	return nil
 }
+
+// browseChunkSize bounds how many browse replies are in flight at once.
+// It is a constant, never derived from the worker count, so chunking
+// affects memory and scheduling but not one byte of the trace.
+const browseChunkSize = 4096
 
 // record registers the browsed identity and its cache in the trace.
 func (c *Crawler) record(day int, u protocol.UserEntry, files []protocol.FileEntry) {

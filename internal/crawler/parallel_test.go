@@ -1,0 +1,36 @@
+package crawler
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// TestBudgetedCrawlDeterministicAcrossWorkers pins the parallel browse
+// loop under a daily budget that cuts discovery short: the budget
+// prefix is decided before any browse job runs, so the trace and every
+// crawl statistic must be bit-identical whether the day's browses run
+// serially or as pool jobs on 4 or GOMAXPROCS workers. (The unbudgeted
+// case is covered by TestCrawlDeterministicAcrossWorkers and the golden
+// captures.)
+func TestBudgetedCrawlDeterministicAcrossWorkers(t *testing.T) {
+	cfg := crawlWorldConfig(34)
+	ccfg := DefaultConfig()
+	ccfg.InitialBudget = 40
+	ccfg.FinalBudget = 15
+
+	want, wantStats := crawlWith(t, cfg, ccfg, 1, 0)
+	if wantStats.Snapshots == 0 {
+		t.Fatal("reference crawl recorded no snapshots")
+	}
+	if wantStats.BudgetExhausted == 0 {
+		t.Fatal("budget never bound: test is not exercising the prefix cut")
+	}
+	for _, workers := range []int{4, runtime.GOMAXPROCS(0)} {
+		got, gotStats := crawlWith(t, cfg, ccfg, workers, 0)
+		if wantStats != gotStats {
+			t.Fatalf("workers=%d: stats diverge:\nserial  %+v\nworkers %+v", workers, wantStats, gotStats)
+		}
+		requireTracesEqual(t, want, got, fmt.Sprintf("budgeted crawl workers=%d", workers))
+	}
+}

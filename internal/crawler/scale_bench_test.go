@@ -5,6 +5,7 @@ import (
 	"io"
 	"runtime"
 	"testing"
+	"time"
 
 	"edonkey/internal/trace"
 	"edonkey/internal/workload"
@@ -16,9 +17,12 @@ import (
 // into a discarded .edt writer — the exact million-peer pipeline, scaled
 // down to CI size. Besides ns/op it reports bytes_per_peer, the resident
 // cost of the built world per underlying client, measured allocator-level
-// after a forced GC. The metric is gated unscaled by `make bench-diff`
-// (benchjson -gate-extra): a change that re-boxes per-client state — a
-// map here, a string column there — moves it far beyond the gate's
+// after a forced GC, and ns/snap, the wall cost per captured browse
+// snapshot (lower is better, so the gate catches a browse-throughput
+// regression directly). Both metrics are gated unscaled by
+// `make bench-diff` (benchjson -gate-extra): a change that re-boxes
+// per-client state — a map here, a string column there — or one that
+// serializes the parallel browse moves them far beyond the gate's
 // tolerance and fails CI.
 func BenchmarkCrawlScale(b *testing.B) {
 	for _, peers := range []int{20000} {
@@ -32,6 +36,7 @@ func BenchmarkCrawlScale(b *testing.B) {
 			cfg.NewFilesPerDay = max(1, cfg.InitialFiles/100)
 
 			var bytesPerPeer float64
+			var crawlNs, snapshots int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				before := heapAfterGC()
@@ -50,9 +55,11 @@ func BenchmarkCrawlScale(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
+				crawlStart := time.Now()
 				if err := c.RunStream(cfg.Days, ew); err != nil {
 					b.Fatal(err)
 				}
+				crawlNs += time.Since(crawlStart).Nanoseconds()
 				files, peerInfos := c.Meta()
 				if err := ew.Finish(files, peerInfos); err != nil {
 					b.Fatal(err)
@@ -60,8 +67,10 @@ func BenchmarkCrawlScale(b *testing.B) {
 				if c.Stats.Snapshots == 0 {
 					b.Fatal("empty crawl")
 				}
+				snapshots += int64(c.Stats.Snapshots)
 			}
 			b.ReportMetric(bytesPerPeer, "bytes_per_peer")
+			b.ReportMetric(float64(crawlNs)/float64(snapshots), "ns/snap")
 		})
 	}
 }

@@ -104,11 +104,13 @@ type Config struct {
 	DecayDays      float64
 	LifecycleFloor float64
 
-	// Workers bounds the worker pool that runs the per-cohort daily
-	// updates (cache fills, additions, eviction, presence) concurrently:
-	// 0 selects GOMAXPROCS, 1 runs serially. Every worker count produces
-	// bit-identical worlds, because each client draws from a private
-	// generator seeded from (Seed, client ID).
+	// Workers bounds the worker pool that runs the initial build
+	// (per-client attribute draws, interest assignment, identity
+	// segments, cache fills) and the per-cohort daily updates (cache
+	// additions, eviction, presence) concurrently: 0 selects GOMAXPROCS,
+	// 1 runs serially. Every worker count produces bit-identical worlds,
+	// because each client draws from a private generator seeded from
+	// (Seed, client ID).
 	Workers int
 	// CohortSize is the number of clients per deterministic shard of the
 	// columnar world; cohorts are the unit of parallel stepping and of

@@ -244,17 +244,20 @@ func (w *legacyWorld) buildClients() {
 	for i := range w.Clients {
 		c := &w.Clients[i]
 		c.ID = i
+		// Every attribute draws from the client's private stream — the
+		// columnar world builds clients in parallel from the same
+		// (Seed, ID) sub-seeded generators, so the oracle must too.
 		c.rng = runner.NewRNG(cfg.Seed, uint64(i))
-		c.Loc = w.Registry.SampleLocation(w.rng)
-		c.Nickname = nickname(w.rng, i)
-		c.FreeRider = w.rng.Float64() < cfg.FreeRiderFraction
-		c.Firewalled = w.rng.Float64() < cfg.FirewalledFraction
-		c.BrowseOK = w.rng.Float64() >= cfg.NoBrowseFraction
-		c.onlineProb = cfg.OnlineMin + w.rng.Float64()*(cfg.OnlineMax-cfg.OnlineMin)
+		c.Loc = w.Registry.SampleLocation(c.rng)
+		c.Nickname = nickname(c.rng, i)
+		c.FreeRider = c.rng.Float64() < cfg.FreeRiderFraction
+		c.Firewalled = c.rng.Float64() < cfg.FirewalledFraction
+		c.BrowseOK = c.rng.Float64() >= cfg.NoBrowseFraction
+		c.onlineProb = cfg.OnlineMin + c.rng.Float64()*(cfg.OnlineMax-cfg.OnlineMin)
 		c.cache = make(map[int]int)
 
 		if !c.FreeRider {
-			c.targetCache = int(stats.BoundedLogNormal(w.rng,
+			c.targetCache = int(stats.BoundedLogNormal(c.rng,
 				math.Log(cfg.CacheMedian), cfg.CacheSigma, 1, float64(cfg.MaxCache)))
 			scale := float64(c.targetCache) / 500
 			if scale > 1 {
@@ -264,22 +267,22 @@ func (w *legacyWorld) buildClients() {
 			w.assignInterests(c)
 		}
 
-		ip := w.Registry.AllocIP(w.rng, c.Loc)
+		ip := w.Registry.AllocIP(c.rng, c.Loc)
 		var hash [16]byte
 		for j := 0; j < 16; j += 8 {
-			v := w.rng.Uint64()
+			v := c.rng.Uint64()
 			for k := 0; k < 8; k++ {
 				hash[j+k] = byte(v >> (8 * k))
 			}
 		}
-		if w.rng.Float64() < cfg.AliasFraction && cfg.Days > 10 {
-			switchDay := 5 + w.rng.IntN(cfg.Days-10)
+		if c.rng.Float64() < cfg.AliasFraction && cfg.Days > 10 {
+			switchDay := 5 + c.rng.IntN(cfg.Days-10)
 			ip2, hash2 := ip, hash
-			if w.rng.Float64() < 0.7 {
-				ip2 = w.Registry.AllocIP(w.rng, c.Loc)
+			if c.rng.Float64() < 0.7 {
+				ip2 = w.Registry.AllocIP(c.rng, c.Loc)
 			} else {
 				for j := 0; j < 16; j += 8 {
-					v := w.rng.Uint64()
+					v := c.rng.Uint64()
 					for k := 0; k < 8; k++ {
 						hash2[j+k] = byte(v >> (8 * k))
 					}
@@ -327,10 +330,10 @@ func (w *legacyWorld) assignInterests(c *legacyClient) {
 	}
 	for len(chosen) < n {
 		var topicID int
-		if homeChoice != nil && w.rng.Float64() < w.Config.GeoBias {
-			topicID = home[homeChoice.Draw(w.rng)]
+		if homeChoice != nil && c.rng.Float64() < w.Config.GeoBias {
+			topicID = home[homeChoice.Draw(c.rng)]
 		} else {
-			topicID = globalChoice.Draw(w.rng)
+			topicID = globalChoice.Draw(c.rng)
 		}
 		chosen[topicID] = true
 	}

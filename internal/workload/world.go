@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand/v2"
 	"slices"
+	"sync"
 
 	"edonkey/internal/geo"
 	"edonkey/internal/runner"
@@ -376,11 +377,63 @@ func (w *World) seedCatalogue() {
 // only on (gamma, country), gamma only on the target cache size, so
 // memoizing by (target, country) reproduces the exact draws at a tiny
 // fraction of the cost. The cache is discarded when building finishes.
+//
+// Build chunks share one cache under a mutex. Every memoized value is a
+// pure function of its key, so whichever chunk computes it first stores
+// the same slice a serial build would — scheduling changes hit/miss
+// patterns, never a draw.
 type interestCache struct {
+	mu     sync.Mutex
 	global map[int32][]float64 // target -> cumulated global weights^gamma
 	home   map[int64][]float64 // (countryIdx, target) -> cumulated home weights^gamma
 }
 
+// memo returns cached[key], computing it with build (outside the lock;
+// concurrent builders produce identical values) on a miss.
+func memo[K comparable](mu *sync.Mutex, cache map[K][]float64, key K, build func() []float64) []float64 {
+	mu.Lock()
+	v := cache[key]
+	mu.Unlock()
+	if v != nil {
+		return v
+	}
+	v = build()
+	mu.Lock()
+	if prev := cache[key]; prev != nil {
+		v = prev
+	} else {
+		cache[key] = v
+	}
+	mu.Unlock()
+	return v
+}
+
+// clientChunkSize is the unit of parallel client construction. Like the
+// cohort partition it is a pure function of the population, never of the
+// worker count, and since every client draws only from its private
+// generator the chunking affects scheduling and stitch order bookkeeping
+// but not a single attribute.
+const clientChunkSize = 2048
+
+// clientPart buffers one build chunk's variable-length columns until the
+// serial stitch appends them in chunk order.
+type clientPart struct {
+	interests   []int32
+	interestCum []float64
+	interestEnd []uint32 // per-client end offsets into the part's flat columns
+	idents      []identity
+	identEnd    []uint32
+}
+
+// buildClients constructs the population. Every per-client attribute —
+// location, nickname, flags, presence probability, target cache size,
+// interests, identity segments — is drawn from the client's private
+// generator (seeded from (Seed, client ID), the same stream that later
+// drives its cache fill and daily steps), so clients build concurrently
+// as chunk jobs on the pool, bit-identical for any worker count. The
+// shared world stream plays no part here; chunk-local buffers for the
+// variable-length columns are stitched serially in chunk order so the
+// flat layout matches a serial build exactly.
 func (w *World) buildClients() {
 	cfg := w.Config
 	n := cfg.Peers
@@ -408,68 +461,102 @@ func (w *World) buildClients() {
 		global: make(map[int32][]float64),
 		home:   make(map[int64][]float64),
 	}
-	for i := 0; i < n; i++ {
-		w.cl.rng[i].Seed(runner.SubSeed(cfg.Seed, uint64(i)), uint64(i))
-		loc := w.Registry.SampleLocation(w.rng)
-		w.cl.countryIdx[i] = countryOf[loc.Country]
-		w.cl.asn[i] = loc.ASN
-		w.cl.nick[i] = nicknameLetters(w.rng)
-		var flags uint8
-		if w.rng.Float64() < cfg.FreeRiderFraction {
-			flags |= flagFreeRider
+	numChunks := (n + clientChunkSize - 1) / clientChunkSize
+	parts := make([]clientPart, numChunks)
+	w.pool.Map(numChunks, func(ci int) {
+		lo := ci * clientChunkSize
+		hi := min(lo+clientChunkSize, n)
+		part := &parts[ci]
+		for i := lo; i < hi; i++ {
+			w.buildClient(i, countryOf, ic, part)
+			part.interestEnd = append(part.interestEnd, uint32(len(part.interests)))
+			part.identEnd = append(part.identEnd, uint32(len(part.idents)))
 		}
-		if w.rng.Float64() < cfg.FirewalledFraction {
-			flags |= flagFirewalled
+	})
+	for ci := range parts {
+		part := &parts[ci]
+		lo := ci * clientChunkSize
+		intBase := uint32(len(w.cl.interests))
+		idBase := uint32(len(w.cl.idents))
+		w.cl.interests = append(w.cl.interests, part.interests...)
+		w.cl.interestCum = append(w.cl.interestCum, part.interestCum...)
+		w.cl.idents = append(w.cl.idents, part.idents...)
+		for j, end := range part.interestEnd {
+			w.cl.interestOff[lo+j+1] = intBase + end
 		}
-		if w.rng.Float64() >= cfg.NoBrowseFraction {
-			flags |= flagBrowseOK
+		for j, end := range part.identEnd {
+			w.cl.identOff[lo+j+1] = idBase + end
 		}
-		w.cl.flags[i] = flags
-		w.cl.onlineProb[i] = cfg.OnlineMin + w.rng.Float64()*(cfg.OnlineMax-cfg.OnlineMin)
+		parts[ci] = clientPart{} // the stitched part is dead weight
+	}
+}
 
-		if flags&flagFreeRider == 0 {
-			target := int32(stats.BoundedLogNormal(w.rng,
-				math.Log(cfg.CacheMedian), cfg.CacheSigma, 1, float64(cfg.MaxCache)))
-			w.cl.target[i] = target
-			scale := float64(target) / 500
-			if scale > 1 {
-				scale = 1
-			}
-			w.cl.globalDraw[i] = cfg.GlobalDraw + cfg.CollectorPopBias*scale
-			w.assignInterests(i, loc.Country, target, ic)
-		}
-		w.cl.interestOff[i+1] = uint32(len(w.cl.interests))
+// buildClient draws every attribute of client i from its freshly seeded
+// private generator. It writes fixed-width columns at index i and
+// appends variable-length data to the chunk's part; all other state it
+// touches (registry, topics, samplers) is read-only, and the interest
+// memo is internally locked.
+func (w *World) buildClient(i int, countryOf map[string]uint8, ic *interestCache, part *clientPart) {
+	cfg := w.Config
+	w.cl.rng[i].Seed(runner.SubSeed(cfg.Seed, uint64(i)), uint64(i))
+	rng := rand.New(&w.cl.rng[i])
+	loc := w.Registry.SampleLocation(rng)
+	w.cl.countryIdx[i] = countryOf[loc.Country]
+	w.cl.asn[i] = loc.ASN
+	w.cl.nick[i] = nicknameLetters(rng)
+	var flags uint8
+	if rng.Float64() < cfg.FreeRiderFraction {
+		flags |= flagFreeRider
+	}
+	if rng.Float64() < cfg.FirewalledFraction {
+		flags |= flagFirewalled
+	}
+	if rng.Float64() >= cfg.NoBrowseFraction {
+		flags |= flagBrowseOK
+	}
+	w.cl.flags[i] = flags
+	w.cl.onlineProb[i] = cfg.OnlineMin + rng.Float64()*(cfg.OnlineMax-cfg.OnlineMin)
 
-		// Identity segments: most clients keep one identity; aliased
-		// clients switch IP (DHCP) or user hash (reinstall) once.
-		ip := w.Registry.AllocIP(w.rng, loc)
-		var hash [16]byte
-		for j := 0; j < 16; j += 8 {
-			v := w.rng.Uint64()
-			for k := 0; k < 8; k++ {
-				hash[j+k] = byte(v >> (8 * k))
-			}
+	if flags&flagFreeRider == 0 {
+		target := int32(stats.BoundedLogNormal(rng,
+			math.Log(cfg.CacheMedian), cfg.CacheSigma, 1, float64(cfg.MaxCache)))
+		w.cl.target[i] = target
+		scale := float64(target) / 500
+		if scale > 1 {
+			scale = 1
 		}
-		if w.rng.Float64() < cfg.AliasFraction && cfg.Days > 10 {
-			switchDay := 5 + w.rng.IntN(cfg.Days-10)
-			ip2, hash2 := ip, hash
-			if w.rng.Float64() < 0.7 {
-				ip2 = w.Registry.AllocIP(w.rng, loc) // DHCP renumbering
-			} else {
-				for j := 0; j < 16; j += 8 { // reinstall: new user hash
-					v := w.rng.Uint64()
-					for k := 0; k < 8; k++ {
-						hash2[j+k] = byte(v >> (8 * k))
-					}
+		w.cl.globalDraw[i] = cfg.GlobalDraw + cfg.CollectorPopBias*scale
+		w.assignInterests(rng, i, loc.Country, target, ic, part)
+	}
+
+	// Identity segments: most clients keep one identity; aliased
+	// clients switch IP (DHCP) or user hash (reinstall) once.
+	ip := w.Registry.AllocIP(rng, loc)
+	var hash [16]byte
+	for j := 0; j < 16; j += 8 {
+		v := rng.Uint64()
+		for k := 0; k < 8; k++ {
+			hash[j+k] = byte(v >> (8 * k))
+		}
+	}
+	if rng.Float64() < cfg.AliasFraction && cfg.Days > 10 {
+		switchDay := 5 + rng.IntN(cfg.Days-10)
+		ip2, hash2 := ip, hash
+		if rng.Float64() < 0.7 {
+			ip2 = w.Registry.AllocIP(rng, loc) // DHCP renumbering
+		} else {
+			for j := 0; j < 16; j += 8 { // reinstall: new user hash
+				v := rng.Uint64()
+				for k := 0; k < 8; k++ {
+					hash2[j+k] = byte(v >> (8 * k))
 				}
 			}
-			w.cl.idents = append(w.cl.idents,
-				identity{0, int32(switchDay - 1), ip, hash},
-				identity{int32(switchDay), int32(cfg.Days - 1), ip2, hash2})
-		} else {
-			w.cl.idents = append(w.cl.idents, identity{0, int32(cfg.Days - 1), ip, hash})
 		}
-		w.cl.identOff[i+1] = uint32(len(w.cl.idents))
+		part.idents = append(part.idents,
+			identity{0, int32(switchDay - 1), ip, hash},
+			identity{int32(switchDay), int32(cfg.Days - 1), ip2, hash2})
+	} else {
+		part.idents = append(part.idents, identity{0, int32(cfg.Days - 1), ip, hash})
 	}
 }
 
@@ -478,8 +565,10 @@ func (w *World) buildClients() {
 // communities deeply, which makes them near-complete answerers for their
 // topics (the paper's generous peers). With probability GeoBias each pick
 // comes from the client's own country's topics, which creates the
-// geographic clustering of file sources.
-func (w *World) assignInterests(i int, country string, target int32, ic *interestCache) {
+// geographic clustering of file sources. All picks draw from the
+// client's private rng and append to the chunk's part buffers, so
+// clients assign interests concurrently.
+func (w *World) assignInterests(rng *rand.Rand, i int, country string, target int32, ic *interestCache, part *clientPart) {
 	n := 2 + int(target)/60
 	if n > 6 {
 		n = 6
@@ -499,38 +588,34 @@ func (w *World) assignInterests(i int, country string, target int32, ic *interes
 	var homeCum []float64
 	if len(home) > 0 {
 		key := int64(w.cl.countryIdx[i])<<32 | int64(target)
-		homeCum = ic.home[key]
-		if homeCum == nil {
+		homeCum = memo(&ic.mu, ic.home, key, func() []float64 {
 			hw := make([]float64, len(home))
 			for j, t := range home {
 				hw[j] = math.Pow(w.Topics[t].Weight, gamma)
 			}
-			homeCum = stats.Cumulate(hw)
-			ic.home[key] = homeCum
-		}
+			return stats.Cumulate(hw)
+		})
 	}
 	globalCum := w.topicChoice
 	var globalGamma []float64
 	if gamma > 1.05 {
-		globalGamma = ic.global[target]
-		if globalGamma == nil {
+		globalGamma = memo(&ic.mu, ic.global, target, func() []float64 {
 			gw := make([]float64, len(w.Topics))
 			for j := range w.Topics {
 				gw[j] = math.Pow(w.Topics[j].Weight, gamma)
 			}
-			globalGamma = stats.Cumulate(gw)
-			ic.global[target] = globalGamma
-		}
+			return stats.Cumulate(gw)
+		})
 	}
 	var chosen []int32
 	for len(chosen) < n {
 		var topicID int
-		if homeCum != nil && w.rng.Float64() < w.Config.GeoBias {
-			topicID = home[stats.DrawCum(w.rng, homeCum)]
+		if homeCum != nil && rng.Float64() < w.Config.GeoBias {
+			topicID = home[stats.DrawCum(rng, homeCum)]
 		} else if globalGamma != nil {
-			topicID = stats.DrawCum(w.rng, globalGamma)
+			topicID = stats.DrawCum(rng, globalGamma)
 		} else {
-			topicID = globalCum.Draw(w.rng)
+			topicID = globalCum.Draw(rng)
 		}
 		if !slices.Contains(chosen, int32(topicID)) {
 			chosen = append(chosen, int32(topicID))
@@ -538,11 +623,12 @@ func (w *World) assignInterests(i int, country string, target int32, ic *interes
 	}
 	// Deterministic order for reproducibility.
 	slices.Sort(chosen)
+	start := len(part.interestCum)
 	for _, t := range chosen {
-		w.cl.interests = append(w.cl.interests, t)
-		w.cl.interestCum = append(w.cl.interestCum, w.Topics[t].Weight)
+		part.interests = append(part.interests, t)
+		part.interestCum = append(part.interestCum, w.Topics[t].Weight)
 	}
-	stats.Cumulate(w.cl.interestCum[w.cl.interestOff[i]:])
+	stats.Cumulate(part.interestCum[start:])
 }
 
 // buildCohorts partitions the clients into fixed spans and lays out each
