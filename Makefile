@@ -33,12 +33,14 @@ bench:
 	$(GO) test -bench=. -benchtime=$(BENCHTIME) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
 
 # Just the tracked store benchmarks (BenchmarkPairOverlap
-# map-vs-store-vs-sharded, BenchmarkSuite, BenchmarkTraceIO gob-vs-edt,
-# BenchmarkCrawlScale with its bytes_per_peer floor and ns/snap browse
-# cost, BenchmarkRunSimParallel's sharded event loop at one worker vs
-# the machine); same JSON artefact, much faster than `make bench`.
+# map-vs-store-vs-sharded, BenchmarkSuite, BenchmarkSuiteScale's
+# crawl-scale suite at workers=1 vs the machine with its ns/figure cost,
+# BenchmarkTraceIO gob-vs-edt, BenchmarkCrawlScale with its
+# bytes_per_peer floor and ns/snap browse cost,
+# BenchmarkRunSimParallel's sharded event loop at one worker vs the
+# machine); same JSON artefact, much faster than `make bench`.
 bench-store:
-	$(GO) test -run='^$$' -bench='^(BenchmarkPairOverlap|BenchmarkSuite|BenchmarkTraceIO|BenchmarkCrawlScale|BenchmarkRunSimParallel)$$' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
+	$(GO) test -run='^$$' -bench='^(BenchmarkPairOverlap|BenchmarkSuite|BenchmarkSuiteScale|BenchmarkTraceIO|BenchmarkCrawlScale|BenchmarkRunSimParallel)$$' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
 
 # Regression gate: rerun the tracked benchmarks and fail if any ns/op
 # regressed more than 25% against the committed baseline (CI enforces
@@ -50,7 +52,7 @@ bench-store:
 # bytes after load, on-disk file size) gate unscaled alongside ns/op.
 bench-diff: BENCHCOUNT := 3
 bench-diff: bench-store
-	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -in BENCH_store.json -tolerance 25 -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000' -gate-extra bytes_after_load,file-bytes,bytes_per_peer,ns/snap
+	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -in BENCH_store.json -tolerance 25 -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000' -gate-extra bytes_after_load,file-bytes,bytes_per_peer,ns/snap,ns/figure
 
 # CI's smoke variant: every benchmark runs exactly once.
 bench-smoke:

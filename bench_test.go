@@ -98,7 +98,7 @@ func BenchmarkFig02NewFiles(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig2NewFiles(s.Full)
+		_ = analysis.Fig2NewFiles(s.Full, nil)
 	}
 }
 
@@ -106,7 +106,7 @@ func BenchmarkFig03Extrapolated(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig3ExtrapolatedCoverage(s.Extrapolated)
+		_ = analysis.Fig3ExtrapolatedCoverage(s.Extrapolated, nil)
 	}
 }
 
@@ -123,7 +123,7 @@ func BenchmarkFig05Replication(b *testing.B) {
 	first, mid, last := benchDays(s)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig5Replication(s.Extrapolated, []int{first, mid, last})
+		_ = analysis.Fig5Replication(s.Extrapolated, []int{first, mid, last}, nil)
 	}
 }
 
@@ -131,7 +131,7 @@ func BenchmarkFig06FileSizes(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig6FileSizes(s.Filtered, []int{1, 5, 10})
+		_ = analysis.Fig6FileSizes(s.Filtered, []int{1, 5, 10}, nil)
 	}
 }
 
@@ -139,7 +139,7 @@ func BenchmarkFig07Contribution(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig7Contribution(s.Filtered)
+		_ = analysis.Fig7Contribution(s.Filtered, nil)
 	}
 }
 
@@ -147,7 +147,7 @@ func BenchmarkFig08Spread(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.Fig8Spread(s.Filtered, 6)
+		_ = analysis.Fig8Spread(s.Filtered, 6, nil)
 	}
 }
 
@@ -156,7 +156,7 @@ func BenchmarkFig09RankEvolution(b *testing.B) {
 	first, _, _ := s.Filtered.DayRange()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.FigRankEvolution("fig09", s.Filtered, first, 5)
+		_ = analysis.FigRankEvolution("fig09", s.Filtered, first, 5, nil)
 	}
 }
 
@@ -165,7 +165,7 @@ func BenchmarkFig10RankEvolution(b *testing.B) {
 	first, last, _ := s.Filtered.DayRange()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.FigRankEvolution("fig10", s.Filtered, (first+last)/2, 5)
+		_ = analysis.FigRankEvolution("fig10", s.Filtered, (first+last)/2, 5, nil)
 	}
 }
 
@@ -173,7 +173,7 @@ func BenchmarkFig11HomeCountry(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.FigHomeConcentration("fig11", s.Filtered, false, []float64{1, 1.5, 2})
+		_ = analysis.FigHomeConcentration("fig11", s.Filtered, false, []float64{1, 1.5, 2}, nil)
 	}
 }
 
@@ -181,7 +181,7 @@ func BenchmarkFig12HomeAS(b *testing.B) {
 	s := benchSetup(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = analysis.FigHomeConcentration("fig12", s.Filtered, true, []float64{1, 1.5, 2})
+		_ = analysis.FigHomeConcentration("fig12", s.Filtered, true, []float64{1, 1.5, 2}, nil)
 	}
 }
 
@@ -423,6 +423,73 @@ func BenchmarkSuite(b *testing.B) {
 			_ = analysis.FullSuite(benchSuiteInput(s, runner.New(1)))
 		}
 	})
+}
+
+var (
+	suiteScaleOnce  sync.Once
+	suiteScaleStudy *Study
+	suiteScaleErr   error
+)
+
+// suiteScaleSetup builds a crawl-scale study once: 5k peers at the
+// paper's ~30x files-per-peer ratio over 14 days — the same shape as the
+// million-peer capture, scaled so the count=3 bench-diff gate fits the
+// PR-CI budget.
+func suiteScaleSetup(b *testing.B) *Study {
+	b.Helper()
+	suiteScaleOnce.Do(func() {
+		cfg := DefaultStudyConfig()
+		cfg.World = workload.Config{
+			Seed:           5,
+			Peers:          5000,
+			Days:           14,
+			Topics:         250,
+			InitialFiles:   150000,
+			NewFilesPerDay: 1500,
+		}
+		suiteScaleStudy, suiteScaleErr = NewStudy(cfg)
+	})
+	if suiteScaleErr != nil {
+		b.Fatal(suiteScaleErr)
+	}
+	return suiteScaleStudy
+}
+
+// BenchmarkSuiteScale is the tracked scale benchmark behind the
+// million-peer analysis path: the full experiment suite on the
+// crawl-scale study, at one worker and at GOMAXPROCS workers. The
+// outputs are bit-identical; the workers=max/workers=1 ratio is the
+// suite's parallel speedup (≥4x expected on a multi-core CI runner).
+// Besides ns/op it reports ns/figure, the anchor-normalized per-
+// experiment cost `make bench-diff` gates, so a serial consumer
+// sneaking back into a dominant kernel fails CI even on machines
+// whose core counts differ from the baseline's.
+func BenchmarkSuiteScale(b *testing.B) {
+	s := suiteScaleSetup(b)
+	numExperiments := len(analysis.SuiteIDs())
+	reg := s.World.Registry
+	for _, variant := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=max", 0}} {
+		b.Run(fmt.Sprintf("peers=%d/%s", s.Config.World.Peers, variant.name), func(b *testing.B) {
+			pool := runner.New(variant.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = analysis.FullSuite(analysis.SuiteInput{
+					Full:         s.Full,
+					Filtered:     s.Filtered,
+					Extrapolated: s.Extrapolated,
+					Caches:       s.Caches,
+					Registry:     reg,
+					Seed:         1,
+					ListSizes:    benchListSizes,
+					Pool:         pool,
+				})
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*numExperiments), "ns/figure")
+		})
+	}
 }
 
 func BenchmarkAblationSuiteSerial(b *testing.B) {

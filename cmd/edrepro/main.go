@@ -9,11 +9,13 @@
 // Typical runs:
 //
 //	edrepro                     # all experiments, laptop scale
-//	edrepro -only fig18,table3  # selected experiments
+//	edrepro -figures fig18,table3  # compute only selected experiments
 //	edrepro -scale 2            # 2x the default population
 //	edrepro -trace trace.edt    # use a previously saved trace
+//	edrepro -window 0:7         # only the first week of the trace file
 //	edrepro -out results/       # also write CSVs to results/
 //	edrepro -workers 1          # serial run (same outputs, slower)
+//	edrepro -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -21,60 +23,125 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
+	"time"
 
 	"edonkey"
 	"edonkey/internal/analysis"
+	"edonkey/internal/prof"
 	"edonkey/internal/workload"
 )
 
+type options struct {
+	seed      uint64
+	scale     float64
+	days      int
+	workers   int
+	tracePath string
+	window    string
+	savePath  string
+	outDir    string
+	only      string
+	figures   string
+	lists     string
+	useCrawl  bool
+	cpuProf   string
+	memProf   string
+	verbose   bool
+}
+
 func main() {
-	var (
-		seed      = flag.Uint64("seed", 1, "world seed")
-		scale     = flag.Float64("scale", 1, "population scale factor")
-		days      = flag.Int("days", 0, "trace days (0 = paper's 56)")
-		tracePath = flag.String("trace", "", "load a saved trace (.edt or gob) instead of generating")
-		savePath  = flag.String("save", "", "save the generated full trace to this file (.edt = columnar, else gob)")
-		outDir    = flag.String("out", "", "also write CSV/text files to this directory")
-		only      = flag.String("only", "", "comma-separated experiment ids (e.g. fig18,table3)")
-		useCrawl  = flag.Bool("crawler", false, "collect via the protocol-level crawler (slow)")
-		workers   = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); outputs are identical for any value")
-	)
+	var o options
+	flag.Uint64Var(&o.seed, "seed", 1, "world seed")
+	flag.Float64Var(&o.scale, "scale", 1, "population scale factor")
+	flag.IntVar(&o.days, "days", 0, "trace days (0 = paper's 56)")
+	flag.StringVar(&o.tracePath, "trace", "", "load a saved trace (.edt or gob) instead of generating")
+	flag.StringVar(&o.window, "window", "", "with -trace: analyse only days lo:hi of the file (e.g. 0:7; hi empty = end)")
+	flag.StringVar(&o.savePath, "save", "", "save the generated full trace to this file (.edt = columnar, else gob)")
+	flag.StringVar(&o.outDir, "out", "", "also write CSV/text files to this directory")
+	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids to print (computes everything; see -figures)")
+	flag.StringVar(&o.figures, "figures", "", "comma-separated experiment ids to compute (skips the rest entirely)")
+	flag.StringVar(&o.lists, "lists", "", "comma-separated semantic-list sizes for the simulation figures (default 5,10,20,50,100,200)")
+	flag.BoolVar(&o.useCrawl, "crawler", false, "collect via the protocol-level crawler (slow)")
+	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); outputs are identical for any value")
+	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
+	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile to this file")
+	flag.BoolVar(&o.verbose, "v", false, "report phase timings and memory to stderr")
 	flag.Parse()
 
-	if err := run(*seed, *scale, *days, *workers, *tracePath, *savePath, *outDir, *only, *useCrawl); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "edrepro:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, scale float64, days, workers int, tracePath, savePath, outDir, only string, useCrawl bool) error {
-	var study *edonkey.Study
-	var err error
-	if tracePath != "" {
-		study, err = edonkey.LoadStudy(tracePath)
-		if err == nil {
-			study.SetWorkers(workers)
-		}
-	} else {
-		cfg := edonkey.DefaultStudyConfig()
-		cfg.World = scaledWorld(seed, scale, days)
-		cfg.UseCrawler = useCrawl
-		cfg.Workers = workers
-		study, err = edonkey.NewStudy(cfg)
-	}
+func run(o options) error {
+	stopProf, err := prof.Start(o.cpuProf, o.memProf)
 	if err != nil {
 		return err
 	}
-	if savePath != "" {
-		if err := study.Save(savePath); err != nil {
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "edrepro:", err)
+		}
+	}()
+
+	figures, err := parseFigures(o.figures)
+	if err != nil {
+		return err
+	}
+	sizes, err := parseLists(o.lists)
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	var study *edonkey.Study
+	if o.tracePath != "" {
+		if o.window != "" {
+			lo, hi, err := parseWindow(o.window)
+			if err != nil {
+				return err
+			}
+			study, err = edonkey.LoadStudyWindow(o.tracePath, lo, hi)
+			if err != nil {
+				return err
+			}
+		} else {
+			study, err = edonkey.LoadStudy(o.tracePath)
+			if err != nil {
+				return err
+			}
+		}
+		study.SetWorkers(o.workers)
+	} else {
+		if o.window != "" {
+			return fmt.Errorf("-window requires -trace")
+		}
+		cfg := edonkey.DefaultStudyConfig()
+		cfg.World = scaledWorld(o.seed, o.scale, o.days)
+		cfg.UseCrawler = o.useCrawl
+		cfg.Workers = o.workers
+		study, err = edonkey.NewStudy(cfg)
+		if err != nil {
 			return err
 		}
-		fmt.Printf("saved full trace to %s\n", savePath)
+	}
+	if sizes != nil {
+		study.Config.ListSizes = sizes
+	}
+	report(o.verbose, start, "load")
+	if o.savePath != "" {
+		if err := study.Save(o.savePath); err != nil {
+			return err
+		}
+		fmt.Printf("saved full trace to %s\n", o.savePath)
 	}
 
 	selected := map[string]bool{}
-	for _, id := range strings.Split(only, ",") {
+	for _, id := range strings.Split(o.only, ",") {
 		if id = strings.TrimSpace(id); id != "" {
 			selected[strings.ToLower(id)] = true
 		}
@@ -88,16 +155,88 @@ func run(seed uint64, scale float64, days, workers int, tracePath, savePath, out
 		study.Extrapolated.ObservedPeers(), study.Full.DistinctFiles(),
 		study.Pool().Workers())
 
-	suite := study.Suite(seed)
+	suiteStart := time.Now()
+	suite := study.SuiteSubset(o.seed, figures)
+	report(o.verbose, suiteStart, fmt.Sprintf("suite (%d experiments)", len(suite)))
 	for _, exp := range suite {
 		if !want(exp.ID()) {
 			continue
 		}
-		if err := emit(exp, outDir); err != nil {
+		if err := emit(exp, o.outDir); err != nil {
 			return err
 		}
 	}
+	report(o.verbose, start, "total")
 	return nil
+}
+
+// parseFigures validates a -figures list against the suite's known IDs.
+func parseFigures(s string) ([]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	canonical := map[string]string{}
+	for _, id := range analysis.SuiteIDs() {
+		canonical[strings.ToLower(id)] = id
+	}
+	var out []string
+	for _, id := range strings.Split(s, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
+		}
+		c, ok := canonical[strings.ToLower(id)]
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q (known: %s)",
+				id, strings.Join(analysis.SuiteIDs(), ","))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func parseLists(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -lists entry %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// parseWindow parses "lo:hi" day indices; an empty hi means "to the end".
+func parseWindow(s string) (lo, hi int, err error) {
+	loS, hiS, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -window %q: want lo:hi", s)
+	}
+	if lo, err = strconv.Atoi(loS); err != nil {
+		return 0, 0, fmt.Errorf("bad -window %q: %v", s, err)
+	}
+	hi = -1
+	if hiS != "" {
+		if hi, err = strconv.Atoi(hiS); err != nil {
+			return 0, 0, fmt.Errorf("bad -window %q: %v", s, err)
+		}
+	}
+	return lo, hi, nil
+}
+
+func report(verbose bool, since time.Time, phase string) {
+	if !verbose {
+		return
+	}
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	fmt.Fprintf(os.Stderr, "edrepro: %-24s %8.1fs  heap %5.1f GB  sys %5.1f GB\n",
+		phase, time.Since(since).Seconds(),
+		float64(m.HeapInuse)/(1<<30), float64(m.Sys)/(1<<30))
 }
 
 func scaledWorld(seed uint64, scale float64, days int) workload.Config {

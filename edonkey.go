@@ -62,6 +62,10 @@ type StudyConfig struct {
 	// 1 runs serially. Every worker count produces bit-identical traces
 	// and experiment data; see internal/runner.
 	Workers int
+	// ListSizes overrides the semantic-list-size grid the simulation
+	// figures sweep (nil = the paper's {5, 10, 20, 50, 100, 200}).
+	// Shorter grids cut suite wall-clock roughly proportionally.
+	ListSizes []int
 }
 
 // DefaultStudyConfig returns the laptop-scale defaults (about 4k peers,
@@ -137,6 +141,21 @@ func NewStudy(cfg StudyConfig) (*Study, error) {
 // imported anonymized real trace).
 func LoadStudy(path string) (*Study, error) {
 	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &Study{Config: DefaultStudyConfig(), Full: tr, pool: runner.New(0)}
+	s.derive()
+	return s, nil
+}
+
+// LoadStudyWindow is LoadStudy restricted to the day window [lo, hi) of
+// the saved trace (hi < 0 means "through the last day"). For .edt files
+// only the keyframe groups overlapping the window are decoded, so a
+// slice of a million-peer capture can be analysed without pinning all
+// of its days in memory.
+func LoadStudyWindow(path string, lo, hi int) (*Study, error) {
+	tr, err := trace.ReadFileRange(path, lo, hi)
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +272,13 @@ func (s *Study) SearchSweep(opts []SearchOptions) ([]core.SimResult, error) {
 // inside the sweep experiments) run concurrently on the study's worker
 // pool; the output is bit-identical for any worker count.
 func (s *Study) Suite(seed uint64) []analysis.Experiment {
+	return s.SuiteSubset(seed, nil)
+}
+
+// SuiteSubset is Suite restricted to the named experiment IDs (see
+// analysis.SuiteIDs); the unselected derivations are skipped entirely,
+// not computed and discarded. Nil or empty runs everything.
+func (s *Study) SuiteSubset(seed uint64, only []string) []analysis.Experiment {
 	reg := geo.NewRegistry()
 	if s.World != nil {
 		reg = s.World.Registry
@@ -264,7 +290,9 @@ func (s *Study) Suite(seed uint64) []analysis.Experiment {
 		Caches:       s.Caches,
 		Registry:     reg,
 		Seed:         seed,
+		ListSizes:    s.Config.ListSizes,
 		Pool:         s.pool,
+		Only:         only,
 	})
 }
 

@@ -119,7 +119,7 @@ func TestFig1(t *testing.T) {
 
 func TestFig2NewFilesDeclines(t *testing.T) {
 	full, _, _ := traces(t)
-	fig := Fig2NewFiles(full)
+	fig := Fig2NewFiles(full, nil)
 	renderOK(t, fig)
 	newF := fig.Series[0].Y
 	tot := fig.Series[1].Y
@@ -142,7 +142,7 @@ func TestFig2NewFilesDeclines(t *testing.T) {
 
 func TestFig3(t *testing.T) {
 	_, _, ex := traces(t)
-	fig := Fig3ExtrapolatedCoverage(ex)
+	fig := Fig3ExtrapolatedCoverage(ex, nil)
 	renderOK(t, fig)
 	if len(fig.Series) != 2 || len(fig.Series[0].X) == 0 {
 		t.Fatalf("bad fig3: %+v", fig.Series)
@@ -169,7 +169,7 @@ func TestFig4CountryMix(t *testing.T) {
 func TestFig5ZipfShape(t *testing.T) {
 	_, _, ex := traces(t)
 	first, last, _ := ex.DayRange()
-	fig := Fig5Replication(ex, []int{first, (first + last) / 2, last})
+	fig := Fig5Replication(ex, []int{first, (first + last) / 2, last}, nil)
 	renderOK(t, fig)
 	if len(fig.Series) != 3 {
 		t.Fatalf("series = %d", len(fig.Series))
@@ -189,7 +189,7 @@ func TestFig5ZipfShape(t *testing.T) {
 
 func TestFig6PopularFilesAreBig(t *testing.T) {
 	_, filt, _ := traces(t)
-	fig := Fig6FileSizes(filt, []int{1, 5, 10})
+	fig := Fig6FileSizes(filt, []int{1, 5, 10}, nil)
 	renderOK(t, fig)
 	if len(fig.Series) != 3 {
 		t.Fatalf("series = %d", len(fig.Series))
@@ -219,7 +219,7 @@ func TestFig6PopularFilesAreBig(t *testing.T) {
 
 func TestFig7FreeRiding(t *testing.T) {
 	_, filt, _ := traces(t)
-	fig := Fig7Contribution(filt)
+	fig := Fig7Contribution(filt, nil)
 	renderOK(t, fig)
 	// CDF of files at x=1 for the full population ~= free-rider share
 	// (at least 60%); excluding free-riders it must be far lower.
@@ -235,7 +235,7 @@ func TestFig7FreeRiding(t *testing.T) {
 
 func TestFig8SpreadBoundedAndPeaked(t *testing.T) {
 	_, filt, _ := traces(t)
-	fig := Fig8Spread(filt, 6)
+	fig := Fig8Spread(filt, 6, nil)
 	renderOK(t, fig)
 	if len(fig.Series) != 6 {
 		t.Fatalf("series = %d", len(fig.Series))
@@ -259,7 +259,7 @@ func TestFig8SpreadBoundedAndPeaked(t *testing.T) {
 func TestFigRankEvolution(t *testing.T) {
 	_, filt, _ := traces(t)
 	first, last, _ := filt.DayRange()
-	fig := FigRankEvolution("fig09", filt, first, 5)
+	fig := FigRankEvolution("fig09", filt, first, 5, nil)
 	renderOK(t, fig)
 	if len(fig.Series) != 5 {
 		t.Fatalf("series = %d", len(fig.Series))
@@ -273,7 +273,7 @@ func TestFigRankEvolution(t *testing.T) {
 			t.Errorf("file #%d has rank %v on its reference day", i+1, s.Y[0])
 		}
 	}
-	fig10 := FigRankEvolution("fig10", filt, (first+last)/2, 5)
+	fig10 := FigRankEvolution("fig10", filt, (first+last)/2, 5, nil)
 	renderOK(t, fig10)
 	if len(fig10.Series) != 5 {
 		t.Errorf("fig10 series = %d", len(fig10.Series))
@@ -284,7 +284,7 @@ func TestFigHomeConcentration(t *testing.T) {
 	_, filt, _ := traces(t)
 	// Average popularity compresses at laptop scale (sources/daysSeen);
 	// the paper's levels up to 100 exist only at the real scale.
-	fig := FigHomeConcentration("fig11", filt, false, []float64{1, 1.5})
+	fig := FigHomeConcentration("fig11", filt, false, []float64{1, 1.5}, nil)
 	renderOK(t, fig)
 	if len(fig.Series) < 2 {
 		t.Fatalf("series = %d", len(fig.Series))
@@ -307,7 +307,7 @@ func TestFigHomeConcentration(t *testing.T) {
 			atShare(low, 98), atShare(high, 98))
 	}
 
-	figAS := FigHomeConcentration("fig12", filt, true, []float64{1, 1.5})
+	figAS := FigHomeConcentration("fig12", filt, true, []float64{1, 1.5}, nil)
 	renderOK(t, figAS)
 	if len(figAS.Series) < 2 {
 		t.Errorf("fig12 series = %d", len(figAS.Series))
@@ -316,7 +316,7 @@ func TestFigHomeConcentration(t *testing.T) {
 
 func TestLocalityPotential(t *testing.T) {
 	_, filt, _ := traces(t)
-	l := MeasureLocality(filt)
+	l := MeasureLocality(filt, nil)
 	if l.Replicas == 0 {
 		t.Fatal("no replicas examined")
 	}
@@ -336,7 +336,7 @@ func TestLocalityPotential(t *testing.T) {
 	if l.TopASShare < 0.40 || l.TopASShare > 0.70 {
 		t.Errorf("top-5 AS share = %v, want ~0.54", l.TopASShare)
 	}
-	tab := TableLocality(filt)
+	tab := TableLocality(filt, nil)
 	var buf bytes.Buffer
 	if err := tab.Render(&buf); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"edonkey/internal/runner"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the suite golden file")
+
+// TestFullSuiteGolden pins the rendered output of every experiment in
+// the suite to a committed fixture. Any refactor of a figure derivation
+// (sharding, merge-order changes, memory-budget rewrites) must leave
+// every byte unchanged; regenerate deliberately with `go test
+// ./internal/analysis -run TestFullSuiteGolden -update`.
+func TestFullSuiteGolden(t *testing.T) {
+	got := renderSuite(t, runner.New(0))
+	ids := make([]string, 0, len(got))
+	for id := range got {
+		ids = append(ids, id)
+	}
+	// Render in the suite's canonical order (table1, table2, fig01, ...),
+	// which sorts lexically except for the leading tables.
+	sortSuiteIDs(ids)
+	var sb strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&sb, "==== %s ====\n%s\n", id, got[id])
+	}
+	path := filepath.Join("testdata", "suite_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d experiments)", path, len(ids))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if sb.String() == string(want) {
+		return
+	}
+	// Report per-experiment so a diff names the figure, not a byte offset.
+	wantBlocks := splitGolden(string(want))
+	for _, id := range ids {
+		if got[id] != wantBlocks[id] {
+			t.Errorf("%s render differs from golden", id)
+		}
+	}
+	for id := range wantBlocks {
+		if _, ok := got[id]; !ok {
+			t.Errorf("%s present in golden but not produced", id)
+		}
+	}
+}
+
+func sortSuiteIDs(ids []string) {
+	rank := func(id string) string {
+		// Tables 1-2 lead, table3/tableX1 trail, figures sort by number.
+		switch id {
+		case "table1":
+			return "0table1"
+		case "table2":
+			return "0table2"
+		case "table3":
+			return "zztable3"
+		case "tableX1":
+			return "zztableX1"
+		}
+		return id
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && rank(ids[j]) < rank(ids[j-1]); j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func splitGolden(s string) map[string]string {
+	out := make(map[string]string)
+	parts := strings.Split(s, "==== ")
+	for _, p := range parts {
+		if p == "" {
+			continue
+		}
+		head, body, ok := strings.Cut(p, " ====\n")
+		if !ok {
+			continue
+		}
+		out[head] = strings.TrimSuffix(body, "\n")
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"edonkey/internal/runner"
 	"edonkey/internal/trace"
 )
 
@@ -43,36 +44,48 @@ func (l LocalityPotential) FractionSameCountry() float64 {
 // MeasureLocality computes the locality potential over a trace's
 // aggregate caches, one file at a time off the store's inverted index:
 // the per-file location tallies stay small and transient instead of one
-// map-of-maps over the whole catalogue.
-func MeasureLocality(t *trace.Trace) LocalityPotential {
+// map-of-maps over the whole catalogue. File ranges reduce in parallel
+// on the pool; the three counters merge by integer addition, so the
+// result is identical for any worker count.
+func MeasureLocality(t *trace.Trace, pool *runner.Pool) LocalityPotential {
 	st := t.Store()
 	iv := st.Aggregate().Inverted()
 	var out LocalityPotential
 
-	byASN := make(map[uint32]int)
-	byCountry := make(map[string]int)
-	for f := 0; f < st.NumVals(); f++ {
-		holders := iv.Holders(trace.FileID(f))
-		if len(holders) == 0 {
-			continue
-		}
-		clear(byASN)
-		clear(byCountry)
-		for _, pid := range holders {
-			p := &t.Peers[pid]
-			byASN[p.ASN]++
-			byCountry[p.Country]++
-		}
-		for _, pid := range holders {
-			p := &t.Peers[pid]
-			out.Replicas++
-			if byASN[p.ASN] > 1 {
-				out.SameAS++
+	asOf := peerLocations(t, true)
+	countryOf := peerLocations(t, false)
+	partials := runner.Collect(pool, fileRanges(st.NumVals()), func(ri int) LocalityPotential {
+		lo, hi := fileRange(ri, st.NumVals())
+		var p LocalityPotential
+		byASN := make(map[uint64]int)
+		byCountry := make(map[uint64]int)
+		for f := lo; f < hi; f++ {
+			holders := iv.Holders(trace.FileID(f))
+			if len(holders) == 0 {
+				continue
 			}
-			if byCountry[p.Country] > 1 {
-				out.SameCountry++
+			clear(byASN)
+			clear(byCountry)
+			for _, pid := range holders {
+				byASN[asOf[pid]]++
+				byCountry[countryOf[pid]]++
+			}
+			for _, pid := range holders {
+				p.Replicas++
+				if byASN[asOf[pid]] > 1 {
+					p.SameAS++
+				}
+				if byCountry[countryOf[pid]] > 1 {
+					p.SameCountry++
+				}
 			}
 		}
+		return p
+	})
+	for _, p := range partials {
+		out.Replicas += p.Replicas
+		out.SameAS += p.SameAS
+		out.SameCountry += p.SameCountry
 	}
 
 	// Top-5 AS share of clients.
@@ -108,8 +121,8 @@ func MeasureLocality(t *trace.Trace) LocalityPotential {
 
 // TableLocality renders the locality potential as an extension table
 // (id "tableX1"; not in the paper, supports its §4.1 discussion).
-func TableLocality(t *trace.Trace) *Table {
-	l := MeasureLocality(t)
+func TableLocality(t *trace.Trace, pool *runner.Pool) *Table {
+	l := MeasureLocality(t, pool)
 	return &Table{
 		ID:     "tableX1",
 		Title:  "Extension: AS/country locality potential (PeerCache opportunity, paper §4.1)",

@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"edonkey/internal/runner"
+	"edonkey/internal/trace"
+	"edonkey/internal/workload"
+)
+
+// Each newly-sharded figure derivation must render byte-identically to
+// its serial (nil pool) run at workers 1, 4 and GOMAXPROCS (0), on two
+// different synthetic worlds. This is the per-derivation counterpart of
+// the whole-suite determinism test: when one figure diverges, this
+// names it directly.
+func TestShardedDerivationsMatchSerial(t *testing.T) {
+	for _, seed := range []uint64{11, 23} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			cfg := workload.DefaultConfig()
+			cfg.Seed = seed
+			cfg.Peers = 400
+			cfg.Days = 16
+			cfg.Topics = 40
+			cfg.InitialFiles = 12000
+			cfg.NewFilesPerDay = 120
+			full, _, err := workload.Collect(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			filt := full.Filter()
+			ex := filt.Extrapolate(trace.DefaultExtrapolateOptions())
+			firstF, lastF, _ := filt.DayRange()
+			firstE, lastE, _ := ex.DayRange()
+
+			derivations := []struct {
+				name   string
+				render func(pool *runner.Pool) string
+			}{
+				{"fig02", func(p *runner.Pool) string { return renderFig(t, Fig2NewFiles(full, p)) }},
+				{"fig03", func(p *runner.Pool) string { return renderFig(t, Fig3ExtrapolatedCoverage(ex, p)) }},
+				{"fig05", func(p *runner.Pool) string {
+					return renderFig(t, Fig5Replication(ex, []int{firstE, (firstE + lastE) / 2, lastE}, p))
+				}},
+				{"fig06", func(p *runner.Pool) string { return renderFig(t, Fig6FileSizes(filt, []int{1, 5, 10}, p)) }},
+				{"fig07", func(p *runner.Pool) string { return renderFig(t, Fig7Contribution(filt, p)) }},
+				{"fig08", func(p *runner.Pool) string { return renderFig(t, Fig8Spread(filt, 6, p)) }},
+				{"fig09", func(p *runner.Pool) string { return renderFig(t, FigRankEvolution("fig09", filt, firstF, 5, p)) }},
+				{"fig10", func(p *runner.Pool) string {
+					return renderFig(t, FigRankEvolution("fig10", filt, (firstF+lastF)/2, 5, p))
+				}},
+				{"fig11", func(p *runner.Pool) string {
+					return renderFig(t, FigHomeConcentration("fig11", filt, false, []float64{1, 1.5, 2}, p))
+				}},
+				{"fig12", func(p *runner.Pool) string {
+					return renderFig(t, FigHomeConcentration("fig12", filt, true, []float64{1, 1.5, 2}, p))
+				}},
+				{"fig15", func(p *runner.Pool) string {
+					return renderFig(t, FigOverlapEvolution("fig15", ex, []int{1, 2, 3, 4, 5}, 500, p))
+				}},
+				{"fig13", func(p *runner.Pool) string { return renderFig(t, Fig13Clustering(ex, full, p)) }},
+				{"tableX1", func(p *runner.Pool) string {
+					var buf bytes.Buffer
+					if err := TableLocality(filt, p).Render(&buf); err != nil {
+						t.Fatal(err)
+					}
+					return buf.String()
+				}},
+			}
+			for _, d := range derivations {
+				want := d.render(nil)
+				if want == "" {
+					t.Fatalf("%s: empty serial render", d.name)
+				}
+				for _, workers := range []int{1, 4, 0} {
+					if got := d.render(runner.New(workers)); got != want {
+						t.Errorf("seed %d, %s: workers=%d differs from serial", seed, d.name, workers)
+					}
+				}
+			}
+		})
+	}
+}
+
+func renderFig(t *testing.T, f *Figure) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := f.Render(&buf); err != nil {
+		t.Fatalf("%s: %v", f.ID, err)
+	}
+	return buf.String()
+}

@@ -48,17 +48,142 @@ type SuiteInput struct {
 	// ListSizes used by the search-simulation figures; nil applies the
 	// paper's grid {5, 10, 20, 50, 100, 200}.
 	ListSizes []int
-	// Pool runs independent experiments (and the sweep points inside
-	// them) concurrently; nil runs everything serially. The experiment
-	// data is bit-identical for any worker count.
+	// Pool runs independent experiments (and the sharded reductions and
+	// sweep points inside them) concurrently; nil runs everything
+	// serially. The experiment data is bit-identical for any worker
+	// count.
 	Pool *runner.Pool
+	// Only restricts the suite to the named experiment IDs ("fig13",
+	// "table1", ...), skipping the other derivations entirely — the
+	// computation-level filter behind `edrepro -figures`. Nil or empty
+	// runs everything. Unknown names are ignored.
+	Only []string
+}
+
+// SuiteIDs returns the IDs of every experiment FullSuite can build, in
+// presentation order.
+func SuiteIDs() []string {
+	ids := make([]string, len(suiteBuilders))
+	for i, b := range suiteBuilders {
+		ids[i] = b.id
+	}
+	return ids
+}
+
+// suiteBuilder names one experiment before it is built, so a filtered
+// suite can skip the unselected derivations instead of rendering and
+// discarding them.
+type suiteBuilder struct {
+	id    string
+	build func(in SuiteInput, sizes []int) Experiment
+}
+
+func table(t *Table) Experiment   { return &TableExperiment{t} }
+func figure(f *Figure) Experiment { return &FigureExperiment{f} }
+
+// suiteBuilders lists every experiment in the paper's presentation
+// order: Tables 1-3, Figures 1-23 and the locality extension.
+var suiteBuilders = []suiteBuilder{
+	{"table1", func(in SuiteInput, _ []int) Experiment {
+		return table(Table1(in.Full, in.Filtered, in.Extrapolated))
+	}},
+	{"table2", func(in SuiteInput, _ []int) Experiment {
+		return table(Table2(in.Filtered, in.Registry, 5))
+	}},
+	{"fig01", func(in SuiteInput, _ []int) Experiment {
+		return figure(Fig1ClientsFilesPerDay(in.Full))
+	}},
+	{"fig02", func(in SuiteInput, _ []int) Experiment {
+		return figure(Fig2NewFiles(in.Full, in.Pool))
+	}},
+	{"fig03", func(in SuiteInput, _ []int) Experiment {
+		return figure(Fig3ExtrapolatedCoverage(in.Extrapolated, in.Pool))
+	}},
+	{"fig04", func(in SuiteInput, _ []int) Experiment {
+		return figure(Fig4Countries(in.Full, 11))
+	}},
+	{"fig05", func(in SuiteInput, _ []int) Experiment {
+		firstEx, lastEx, _ := in.Extrapolated.DayRange()
+		fig5Days := []int{firstEx, firstEx + (lastEx-firstEx)/4, (firstEx + lastEx) / 2,
+			firstEx + 3*(lastEx-firstEx)/4, lastEx}
+		return figure(Fig5Replication(in.Extrapolated, fig5Days, in.Pool))
+	}},
+	{"fig06", func(in SuiteInput, _ []int) Experiment {
+		return figure(Fig6FileSizes(in.Filtered, []int{1, 5, 10}, in.Pool))
+	}},
+	{"fig07", func(in SuiteInput, _ []int) Experiment {
+		return figure(Fig7Contribution(in.Filtered, in.Pool))
+	}},
+	{"fig08", func(in SuiteInput, _ []int) Experiment {
+		return figure(Fig8Spread(in.Filtered, 6, in.Pool))
+	}},
+	{"fig09", func(in SuiteInput, _ []int) Experiment {
+		firstF, _, _ := in.Filtered.DayRange()
+		return figure(FigRankEvolution("fig09", in.Filtered, firstF, 5, in.Pool))
+	}},
+	{"fig10", func(in SuiteInput, _ []int) Experiment {
+		firstF, lastF, _ := in.Filtered.DayRange()
+		return figure(FigRankEvolution("fig10", in.Filtered, (firstF+lastF)/2, 5, in.Pool))
+	}},
+	{"fig11", func(in SuiteInput, _ []int) Experiment {
+		return figure(FigHomeConcentration("fig11", in.Filtered, false, []float64{1, 1.5, 2, 3, 5, 10}, in.Pool))
+	}},
+	{"fig12", func(in SuiteInput, _ []int) Experiment {
+		return figure(FigHomeConcentration("fig12", in.Filtered, true, []float64{1, 1.5, 2, 3, 5, 10}, in.Pool))
+	}},
+	{"fig13", func(in SuiteInput, _ []int) Experiment {
+		return figure(Fig13Clustering(in.Extrapolated, in.Full, in.Pool))
+	}},
+	{"fig14", func(in SuiteInput, _ []int) Experiment {
+		return figure(Fig14RandomizedClustering(in.Filtered, in.Seed, in.Pool))
+	}},
+	{"fig15", func(in SuiteInput, _ []int) Experiment {
+		return figure(FigOverlapEvolution("fig15", in.Extrapolated,
+			[]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 2000, in.Pool))
+	}},
+	{"fig16", func(in SuiteInput, _ []int) Experiment {
+		return figure(FigOverlapEvolution("fig16", in.Extrapolated,
+			PickOverlapLevels(in.Extrapolated, 15, 60, 8, in.Pool), 2000, in.Pool))
+	}},
+	{"fig17", func(in SuiteInput, _ []int) Experiment {
+		return figure(FigOverlapEvolution("fig17", in.Extrapolated,
+			PickOverlapLevels(in.Extrapolated, 61, 0, 4, in.Pool), 2000, in.Pool))
+	}},
+	{"fig18", func(in SuiteInput, sizes []int) Experiment {
+		return figure(Fig18HitRates(in.Caches, sizes, in.Seed, in.Pool))
+	}},
+	{"fig19", func(in SuiteInput, sizes []int) Experiment {
+		return figure(Fig19UploaderAblation(in.Caches, sizes, []float64{0, 0.05, 0.10, 0.15}, in.Seed, in.Pool))
+	}},
+	{"fig20", func(in SuiteInput, sizes []int) Experiment {
+		return figure(Fig20PopularityAblation(in.Caches, sizes, []float64{0, 0.05, 0.15, 0.30}, in.Seed, in.Pool))
+	}},
+	{"fig21", func(in SuiteInput, _ []int) Experiment {
+		return figure(Fig21RandomizedHitRate(in.Caches,
+			[]float64{0, 0.05, 0.125, 0.25, 0.5, 0.75, 1}, in.Seed, in.Pool))
+	}},
+	{"fig22", func(in SuiteInput, _ []int) Experiment {
+		return figure(Fig22LoadDistribution(in.Caches, []float64{0, 0.05, 0.10, 0.15}, in.Seed, in.Pool))
+	}},
+	{"fig23", func(in SuiteInput, sizes []int) Experiment {
+		return figure(Fig23TwoHop(in.Caches, sizes, []float64{0, 0.05, 0.15}, in.Seed, in.Pool))
+	}},
+	{"table3", func(in SuiteInput, _ []int) Experiment {
+		return table(Table3Combined(in.Caches, in.Seed, in.Pool))
+	}},
+	// Extension beyond the paper: the AS-level cache opportunity its
+	// §4.1 discussion points at.
+	{"tableX1", func(in SuiteInput, _ []int) Experiment {
+		return table(TableLocality(in.Filtered, in.Pool))
+	}},
 }
 
 // FullSuite regenerates every table and figure of the paper in order:
-// Tables 1-3 and Figures 1-23. Each experiment is an independent job on
-// the pool, and the simulation-sweep experiments additionally fan their
-// parameter points out over the same pool; the traces and caches are
-// shared read-only by all jobs.
+// Tables 1-3 and Figures 1-23 (or the subset named by in.Only). Each
+// experiment is an independent job on the pool, and the sharded
+// reductions and simulation sweeps inside the experiments additionally
+// fan out over the same pool; the traces and caches are shared
+// read-only by all jobs.
 func FullSuite(in SuiteInput) []Experiment {
 	if in.Registry == nil {
 		in.Registry = geo.NewRegistry()
@@ -67,71 +192,20 @@ func FullSuite(in SuiteInput) []Experiment {
 	if sizes == nil {
 		sizes = []int{5, 10, 20, 50, 100, 200}
 	}
-	firstEx, lastEx, _ := in.Extrapolated.DayRange()
-	firstF, lastF, _ := in.Filtered.DayRange()
-	midEx := (firstEx + lastEx) / 2
-	fig5Days := []int{firstEx, firstEx + (lastEx-firstEx)/4, midEx,
-		firstEx + 3*(lastEx-firstEx)/4, lastEx}
-
-	table := func(t *Table) Experiment { return &TableExperiment{t} }
-	figure := func(f *Figure) Experiment { return &FigureExperiment{f} }
-
-	builders := []func() Experiment{
-		func() Experiment { return table(Table1(in.Full, in.Filtered, in.Extrapolated)) },
-		func() Experiment { return table(Table2(in.Filtered, in.Registry, 5)) },
-		func() Experiment { return figure(Fig1ClientsFilesPerDay(in.Full)) },
-		func() Experiment { return figure(Fig2NewFiles(in.Full)) },
-		func() Experiment { return figure(Fig3ExtrapolatedCoverage(in.Extrapolated)) },
-		func() Experiment { return figure(Fig4Countries(in.Full, 11)) },
-		func() Experiment { return figure(Fig5Replication(in.Extrapolated, fig5Days)) },
-		func() Experiment { return figure(Fig6FileSizes(in.Filtered, []int{1, 5, 10})) },
-		func() Experiment { return figure(Fig7Contribution(in.Filtered)) },
-		func() Experiment { return figure(Fig8Spread(in.Filtered, 6)) },
-		func() Experiment { return figure(FigRankEvolution("fig09", in.Filtered, firstF, 5)) },
-		func() Experiment { return figure(FigRankEvolution("fig10", in.Filtered, (firstF+lastF)/2, 5)) },
-		func() Experiment {
-			return figure(FigHomeConcentration("fig11", in.Filtered, false, []float64{1, 1.5, 2, 3, 5, 10}))
-		},
-		func() Experiment {
-			return figure(FigHomeConcentration("fig12", in.Filtered, true, []float64{1, 1.5, 2, 3, 5, 10}))
-		},
-		func() Experiment { return figure(Fig13Clustering(in.Extrapolated, in.Full, in.Pool)) },
-		func() Experiment { return figure(Fig14RandomizedClustering(in.Filtered, in.Seed, in.Pool)) },
-		func() Experiment {
-			return figure(FigOverlapEvolution("fig15", in.Extrapolated,
-				[]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}, 2000, in.Pool))
-		},
-		func() Experiment {
-			return figure(FigOverlapEvolution("fig16", in.Extrapolated,
-				PickOverlapLevels(in.Extrapolated, 15, 60, 8, in.Pool), 2000, in.Pool))
-		},
-		func() Experiment {
-			return figure(FigOverlapEvolution("fig17", in.Extrapolated,
-				PickOverlapLevels(in.Extrapolated, 61, 0, 4, in.Pool), 2000, in.Pool))
-		},
-		func() Experiment { return figure(Fig18HitRates(in.Caches, sizes, in.Seed, in.Pool)) },
-		func() Experiment {
-			return figure(Fig19UploaderAblation(in.Caches, sizes, []float64{0, 0.05, 0.10, 0.15}, in.Seed, in.Pool))
-		},
-		func() Experiment {
-			return figure(Fig20PopularityAblation(in.Caches, sizes, []float64{0, 0.05, 0.15, 0.30}, in.Seed, in.Pool))
-		},
-		func() Experiment {
-			return figure(Fig21RandomizedHitRate(in.Caches,
-				[]float64{0, 0.05, 0.125, 0.25, 0.5, 0.75, 1}, in.Seed, in.Pool))
-		},
-		func() Experiment {
-			return figure(Fig22LoadDistribution(in.Caches, []float64{0, 0.05, 0.10, 0.15}, in.Seed, in.Pool))
-		},
-		func() Experiment {
-			return figure(Fig23TwoHop(in.Caches, sizes, []float64{0, 0.05, 0.15}, in.Seed, in.Pool))
-		},
-		func() Experiment { return table(Table3Combined(in.Caches, in.Seed, in.Pool)) },
-		// Extension beyond the paper: the AS-level cache opportunity its
-		// §4.1 discussion points at.
-		func() Experiment { return table(TableLocality(in.Filtered)) },
+	builders := suiteBuilders
+	if len(in.Only) > 0 {
+		want := make(map[string]bool, len(in.Only))
+		for _, id := range in.Only {
+			want[id] = true
+		}
+		builders = nil
+		for _, b := range suiteBuilders {
+			if want[b.id] {
+				builders = append(builders, b)
+			}
+		}
 	}
 	return runner.Collect(in.Pool, len(builders), func(i int) Experiment {
-		return builders[i]()
+		return builders[i].build(in, sizes)
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"slices"
 
 	"edonkey/internal/geo"
+	"edonkey/internal/runner"
 	"edonkey/internal/stats"
 	"edonkey/internal/trace"
 )
@@ -114,25 +115,39 @@ func Fig1ClientsFilesPerDay(t *trace.Trace) *Figure {
 }
 
 // Fig2 reproduces Figure 2: newly discovered and cumulative distinct
-// files over the crawl.
-func Fig2NewFiles(t *trace.Trace) *Figure {
+// files over the crawl. Each day's distinct file list is an independent
+// pool job over the packed rows (no cache hydration); only the cheap
+// fold against the global seen set — inherently sequential in day order
+// — stays serial, so the counts match the serial scan exactly.
+func Fig2NewFiles(t *trace.Trace, pool *runner.Pool) *Figure {
 	st := t.Store()
+	dayLists := runner.Collect(pool, st.NumDays(), func(di int) []trace.FileID {
+		sn := st.Snap(di)
+		mark := make([]bool, st.NumVals())
+		var list []trace.FileID
+		sn.ForEachRow(func(_ trace.PeerID, row []trace.FileID) {
+			for _, f := range row {
+				if !mark[f] {
+					mark[f] = true
+					list = append(list, f)
+				}
+			}
+		})
+		return list
+	})
 	seen := make([]bool, st.NumVals())
 	total := 0
 	var days, newFiles, totals []float64
-	for di := 0; di < st.NumDays(); di++ {
-		sn := st.Snap(di)
+	for di, list := range dayLists {
 		newToday := 0
-		for pid := 0; pid < sn.NumRows(); pid++ {
-			for _, f := range sn.Cache(trace.PeerID(pid)) {
-				if !seen[f] {
-					seen[f] = true
-					newToday++
-				}
+		for _, f := range list {
+			if !seen[f] {
+				seen[f] = true
+				newToday++
 			}
 		}
 		total += newToday
-		days = append(days, float64(sn.Day))
+		days = append(days, float64(st.Snap(di).Day))
 		newFiles = append(newFiles, float64(newToday))
 		totals = append(totals, float64(total))
 	}
@@ -147,18 +162,23 @@ func Fig2NewFiles(t *trace.Trace) *Figure {
 }
 
 // Fig3 reproduces Figure 3: files and non-empty caches per day after
-// filtering and extrapolation — the data used to pick the analysis window.
-func Fig3ExtrapolatedCoverage(t *trace.Trace) *Figure {
+// filtering and extrapolation — the data used to pick the analysis
+// window. Days count in parallel; RowLen never decodes a row.
+func Fig3ExtrapolatedCoverage(t *trace.Trace, pool *runner.Pool) *Figure {
 	st := t.Store()
-	var days, files, nonEmpty []float64
-	for di := 0; di < st.NumDays(); di++ {
+	perDay := runner.Collect(pool, st.NumDays(), func(di int) int {
 		sn := st.Snap(di)
 		ne := 0
 		for pid := 0; pid < sn.NumRows(); pid++ {
-			if len(sn.Cache(trace.PeerID(pid))) > 0 {
+			if sn.RowLen(trace.PeerID(pid)) > 0 {
 				ne++
 			}
 		}
+		return ne
+	})
+	var days, files, nonEmpty []float64
+	for di, ne := range perDay {
+		sn := st.Snap(di)
 		days = append(days, float64(sn.Day))
 		files = append(files, float64(sn.NNZ()))
 		nonEmpty = append(nonEmpty, float64(ne))
@@ -227,26 +247,27 @@ func Fig4Countries(t *trace.Trace, topK int) *Figure {
 }
 
 // Fig5 reproduces Figure 5: the distribution of file replication per file
-// rank (log-log) for a handful of days.
-func Fig5Replication(t *trace.Trace, days []int) *Figure {
+// rank (log-log) for a handful of days. One pool job per day; the
+// per-day replica counts come from ValueCounts, so no per-day inverted
+// index is built or pinned.
+func Fig5Replication(t *trace.Trace, days []int, pool *runner.Pool) *Figure {
 	fig := &Figure{
 		ID: "fig05", Title: "File replication per rank",
 		XLabel: "file rank", YLabel: "sources per file",
 		LogX: true, LogY: true,
 	}
 	st := t.Store()
-	for _, day := range days {
+	series := runner.Collect(pool, len(days), func(i int) *Series {
+		day := days[i]
 		sn := st.ByDay(day)
 		if sn == nil {
-			continue
+			return nil
 		}
-		// Per-file replica counts that day, straight off the inverted
-		// index (free-rider rows contribute nothing either way).
-		iv := sn.Inverted()
+		counts := sn.ValueCounts()
 		var sources []int
-		for f := 0; f < sn.NumVals(); f++ {
-			if n := iv.Count(trace.FileID(f)); n > 0 {
-				sources = append(sources, n)
+		for _, n := range counts {
+			if n > 0 {
+				sources = append(sources, int(n))
 			}
 		}
 		slices.SortFunc(sources, func(a, b int) int { return cmp.Compare(b, a) })
@@ -256,10 +277,15 @@ func Fig5Replication(t *trace.Trace, days []int) *Figure {
 			xs = append(xs, float64(rank))
 			ys = append(ys, float64(sources[rank-1]))
 		}
-		fig.Series = append(fig.Series, Series{
+		return &Series{
 			Label: fmt.Sprintf("day %d (%d files)", day, len(sources)),
 			X:     xs, Y: ys,
-		})
+		}
+	})
+	for _, s := range series {
+		if s != nil {
+			fig.Series = append(fig.Series, *s)
+		}
 	}
 	return fig
 }
@@ -273,8 +299,9 @@ func nextLogRank(rank int) int {
 }
 
 // Fig6 reproduces Figure 6: the cumulative distribution of file sizes for
-// different popularity thresholds.
-func Fig6FileSizes(t *trace.Trace, popThresholds []int) *Figure {
+// different popularity thresholds. Popularity comes from the store's
+// incremental aggregate; each threshold's CDF is an independent pool job.
+func Fig6FileSizes(t *trace.Trace, popThresholds []int, pool *runner.Pool) *Figure {
 	sources := t.SourcesPerFile()
 	fig := &Figure{
 		ID: "fig06", Title: "Cumulative distribution of file sizes",
@@ -282,7 +309,8 @@ func Fig6FileSizes(t *trace.Trace, popThresholds []int) *Figure {
 		LogX: true,
 	}
 	grid := stats.LogGrid(1, 2e6, 60) // 1 KB .. 2 GB
-	for _, minPop := range popThresholds {
+	series := runner.Collect(pool, len(popThresholds), func(i int) *Series {
+		minPop := popThresholds[i]
 		cdf := &stats.CDF{}
 		for fid, n := range sources {
 			if n >= minPop {
@@ -290,38 +318,64 @@ func Fig6FileSizes(t *trace.Trace, popThresholds []int) *Figure {
 			}
 		}
 		if cdf.Len() == 0 {
-			continue
+			return nil
 		}
-		fig.Series = append(fig.Series, Series{
+		return &Series{
 			Label: fmt.Sprintf("popularity >= %d (%d files)", minPop, cdf.Len()),
 			X:     grid, Y: cdf.Points(grid),
-		})
+		}
+	})
+	for _, s := range series {
+		if s != nil {
+			fig.Series = append(fig.Series, *s)
+		}
 	}
 	return fig
 }
 
+// fig7Chunk is the row-range granularity of the contribution reduction.
+const fig7Chunk = 8192
+
 // Fig7 reproduces Figure 7: files and disk space shared per client, with
-// and without free-riders.
-func Fig7Contribution(t *trace.Trace) *Figure {
+// and without free-riders. Contiguous peer ranges reduce into private
+// CDFs on the pool and merge in range order; the CDF is a multiset, so
+// the merged distribution is exactly the serial one.
+func Fig7Contribution(t *trace.Trace, pool *runner.Pool) *Figure {
 	caches := t.AggregateCaches()
 	observed := t.Store().ObservedRows()
-	var filesAll, filesSharers, spaceAll, spaceSharers []float64
-	for pid := range t.Peers {
-		if !observed[pid] {
-			continue
+	type chunkCDFs struct {
+		filesAll, filesSharers, spaceAll, spaceSharers stats.CDF
+	}
+	nChunks := (len(t.Peers) + fig7Chunk - 1) / fig7Chunk
+	chunks := runner.Collect(pool, nChunks, func(ci int) *chunkCDFs {
+		lo := ci * fig7Chunk
+		hi := min(lo+fig7Chunk, len(t.Peers))
+		out := &chunkCDFs{}
+		for pid := lo; pid < hi; pid++ {
+			if !observed[pid] {
+				continue
+			}
+			n := len(caches[pid])
+			var bytes int64
+			for _, f := range caches[pid] {
+				bytes += t.Files[f].Size
+			}
+			gb := float64(bytes) / (1 << 30)
+			out.filesAll.Add(float64(n))
+			out.spaceAll.Add(gb)
+			if n > 0 {
+				out.filesSharers.Add(float64(n))
+				out.spaceSharers.Add(gb)
+			}
 		}
-		n := len(caches[pid])
-		var bytes int64
-		for _, f := range caches[pid] {
-			bytes += t.Files[f].Size
-		}
-		gb := float64(bytes) / (1 << 30)
-		filesAll = append(filesAll, float64(n))
-		spaceAll = append(spaceAll, gb)
-		if n > 0 {
-			filesSharers = append(filesSharers, float64(n))
-			spaceSharers = append(spaceSharers, gb)
-		}
+		return out
+	})
+	var filesAll, filesSharers, spaceAll, spaceSharers stats.CDF
+	for _, c := range chunks {
+		filesAll.Merge(&c.filesAll)
+		filesSharers.Merge(&c.filesSharers)
+		spaceAll.Merge(&c.spaceAll)
+		spaceSharers.Merge(&c.spaceSharers)
 	}
 	fileGrid := stats.LogGrid(1, 1e5, 40)
 	spaceGrid := stats.LogGrid(0.01, 1000, 40)
@@ -330,18 +384,19 @@ func Fig7Contribution(t *trace.Trace) *Figure {
 		XLabel: "shared files / shared space (GB)", YLabel: "proportion of clients (CDF)",
 		LogX: true,
 		Series: []Series{
-			{Label: "files (full)", X: fileGrid, Y: stats.NewCDF(filesAll).Points(fileGrid)},
-			{Label: "files (free-riders excluded)", X: fileGrid, Y: stats.NewCDF(filesSharers).Points(fileGrid)},
-			{Label: "space GB (full)", X: spaceGrid, Y: stats.NewCDF(spaceAll).Points(spaceGrid)},
-			{Label: "space GB (free-riders excluded)", X: spaceGrid, Y: stats.NewCDF(spaceSharers).Points(spaceGrid)},
+			{Label: "files (full)", X: fileGrid, Y: filesAll.Points(fileGrid)},
+			{Label: "files (free-riders excluded)", X: fileGrid, Y: filesSharers.Points(fileGrid)},
+			{Label: "space GB (full)", X: spaceGrid, Y: spaceAll.Points(spaceGrid)},
+			{Label: "space GB (free-riders excluded)", X: spaceGrid, Y: spaceSharers.Points(spaceGrid)},
 		},
 	}
 }
 
 // Fig8 reproduces Figure 8: the spread (fraction of clients sharing) of
-// the most popular files over time. The per-day sharer count of a file
-// is one inverted-index row length — no per-cache searches.
-func Fig8Spread(t *trace.Trace, topK int) *Figure {
+// the most popular files over time. Days count in parallel off
+// ValueCounts — at a million peers the old per-day inverted indexes were
+// the suite's largest resident cost.
+func Fig8Spread(t *trace.Trace, topK int, pool *runner.Pool) *Figure {
 	top := t.TopFiles(topK)
 	clients := float64(max(1, t.ObservedPeers()))
 	st := t.Store()
@@ -349,12 +404,19 @@ func Fig8Spread(t *trace.Trace, topK int) *Figure {
 		ID: "fig08", Title: fmt.Sprintf("Spread of the %d most popular files", topK),
 		XLabel: "day", YLabel: "spread (fraction of clients)",
 	}
-	for rank, fid := range top {
+	perDay := runner.Collect(pool, st.NumDays(), func(di int) []int32 {
+		counts := st.Snap(di).ValueCounts()
+		dayCounts := make([]int32, len(top))
+		for i, fid := range top {
+			dayCounts[i] = counts[fid]
+		}
+		return dayCounts
+	})
+	for rank := range top {
 		var xs, ys []float64
 		for di := 0; di < st.NumDays(); di++ {
-			sn := st.Snap(di)
-			xs = append(xs, float64(sn.Day))
-			ys = append(ys, float64(sn.Inverted().Count(fid))/clients)
+			xs = append(xs, float64(st.Snap(di).Day))
+			ys = append(ys, float64(perDay[di][rank])/clients)
 		}
 		fig.Series = append(fig.Series, Series{
 			Label: fmt.Sprintf("#%d", rank+1), X: xs, Y: ys,
@@ -364,8 +426,12 @@ func Fig8Spread(t *trace.Trace, topK int) *Figure {
 }
 
 // FigRankEvolution reproduces Figures 9 and 10: the popularity rank over
-// time of the files that were the top-K on a reference day.
-func FigRankEvolution(id string, t *trace.Trace, referenceDay, topK int) *Figure {
+// time of the files that were the top-K on a reference day. The days
+// rank in parallel off transient ValueCounts; since only the K tracked
+// files need ranks, each day counts the files ahead of them in the
+// (count desc, fid asc) order instead of sorting the whole catalogue —
+// the same total order the full sort used, so ranks are identical.
+func FigRankEvolution(id string, t *trace.Trace, referenceDay, topK int, pool *runner.Pool) *Figure {
 	st := t.Store()
 	ref := st.ByDay(referenceDay)
 	fig := &Figure{
@@ -375,60 +441,63 @@ func FigRankEvolution(id string, t *trace.Trace, referenceDay, topK int) *Figure
 	if ref == nil {
 		return fig
 	}
-	// Per-day popularity counts (inverted-index row lengths) -> ranks.
-	rankOn := func(sn *trace.StoreSnapshot) map[trace.FileID]int {
-		iv := sn.Inverted()
-		type fc struct {
-			fid trace.FileID
-			n   int
+	// Top-K of the reference day by (count desc, fid asc).
+	refCounts := ref.ValueCounts()
+	type fc struct {
+		fid trace.FileID
+		n   int32
+	}
+	var tops []fc
+	for f, n := range refCounts {
+		if n == 0 {
+			continue
 		}
-		var list []fc
-		for f := 0; f < sn.NumVals(); f++ {
-			if n := iv.Count(trace.FileID(f)); n > 0 {
-				list = append(list, fc{trace.FileID(f), n})
-			}
+		c := fc{trace.FileID(f), n}
+		i := len(tops)
+		for i > 0 && (tops[i-1].n < c.n || (tops[i-1].n == c.n && tops[i-1].fid > c.fid)) {
+			i--
 		}
-		slices.SortFunc(list, func(a, b fc) int {
-			if a.n != b.n {
-				return cmp.Compare(b.n, a.n)
+		if i >= topK {
+			continue
+		}
+		tops = append(tops, fc{})
+		copy(tops[i+1:], tops[i:])
+		tops[i] = c
+		if len(tops) > topK {
+			tops = tops[:topK]
+		}
+	}
+	// Per-day rank of each tracked file: 1 + files strictly ahead of it.
+	perDay := runner.Collect(pool, st.NumDays(), func(di int) []int {
+		counts := st.Snap(di).ValueCounts()
+		ranks := make([]int, len(tops))
+		for ti, top := range tops {
+			c := counts[top.fid]
+			if c == 0 {
+				continue // unseen that day: rank stays 0
 			}
-			return cmp.Compare(a.fid, b.fid)
-		})
-		ranks := make(map[trace.FileID]int, len(list))
-		for i, e := range list {
-			ranks[e.fid] = i + 1
+			rank := 1
+			for f, n := range counts {
+				if n > c || (n == c && trace.FileID(f) < top.fid) {
+					rank++
+				}
+			}
+			ranks[ti] = rank
 		}
 		return ranks
-	}
-	refRanks := rankOn(ref)
-	type fr struct {
-		fid  trace.FileID
-		rank int
-	}
-	var tops []fr
-	for f, r := range refRanks {
-		if r <= topK {
-			tops = append(tops, fr{f, r})
-		}
-	}
-	slices.SortFunc(tops, func(a, b fr) int { return cmp.Compare(a.rank, b.rank) })
-
-	perDay := make([]map[trace.FileID]int, st.NumDays())
-	for i := range perDay {
-		perDay[i] = rankOn(st.Snap(i))
-	}
-	for _, top := range tops {
+	})
+	for ti := range tops {
 		var xs, ys []float64
-		for i := 0; i < st.NumDays(); i++ {
-			r, ok := perDay[i][top.fid]
-			if !ok {
+		for di := 0; di < st.NumDays(); di++ {
+			r := perDay[di][ti]
+			if r == 0 {
 				continue // unseen that day
 			}
-			xs = append(xs, float64(st.Snap(i).Day))
+			xs = append(xs, float64(st.Snap(di).Day))
 			ys = append(ys, float64(r))
 		}
 		fig.Series = append(fig.Series, Series{
-			Label: fmt.Sprintf("#%d", top.rank), X: xs, Y: ys,
+			Label: fmt.Sprintf("#%d", ti+1), X: xs, Y: ys,
 		})
 	}
 	return fig
@@ -439,44 +508,43 @@ func FigRankEvolution(id string, t *trace.Trace, referenceDay, topK int) *Figure
 // country/AS, split by average popularity thresholds. The home location
 // is the one hosting the most sources. Average popularity is distinct
 // sources divided by days seen, as in the paper.
-func FigHomeConcentration(id string, t *trace.Trace, byAS bool, popLevels []float64) *Figure {
+func FigHomeConcentration(id string, t *trace.Trace, byAS bool, popLevels []float64, pool *runner.Pool) *Figure {
 	// The distinct (file, peer) source pairs over the whole trace are
 	// exactly the aggregate snapshot; its inverted index lists each
 	// file's sources directly, replacing the seen-pair map the legacy
 	// implementation deduplicated day by day.
-	locOf := make([]string, len(t.Peers))
-	for pid, p := range t.Peers {
-		if byAS {
-			locOf[pid] = fmt.Sprintf("AS%d", p.ASN)
-		} else {
-			locOf[pid] = p.Country
-		}
-	}
+	locOf := peerLocations(t, byAS)
 	st := t.Store()
 	iv := st.Aggregate().Inverted()
 	daysSeen := t.DaysSeenPerFile()
 
 	// Per file: total distinct sources, and the count in the dominant
-	// location, computed once and reused across popularity levels.
-	sources := make([]int, st.NumVals())
-	mainLoc := make([]int, st.NumVals())
-	locCount := make(map[string]int)
-	for f := 0; f < st.NumVals(); f++ {
-		holders := iv.Holders(trace.FileID(f))
-		if len(holders) == 0 {
-			continue
-		}
-		sources[f] = len(holders)
-		clear(locCount)
-		maxN := 0
-		for _, pid := range holders {
-			locCount[locOf[pid]]++
-			if n := locCount[locOf[pid]]; n > maxN {
-				maxN = n
+	// location. File ranges fill disjoint slots of the shared vectors on
+	// the pool, each range with its private tally map.
+	sources := make([]int32, st.NumVals())
+	mainLoc := make([]int32, st.NumVals())
+	nRanges := fileRanges(st.NumVals())
+	runner.Collect(pool, nRanges, func(ri int) struct{} {
+		lo, hi := fileRange(ri, st.NumVals())
+		locCount := make(map[uint64]int32)
+		for f := lo; f < hi; f++ {
+			holders := iv.Holders(trace.FileID(f))
+			if len(holders) == 0 {
+				continue
 			}
+			sources[f] = int32(len(holders))
+			clear(locCount)
+			var maxN int32
+			for _, pid := range holders {
+				locCount[locOf[pid]]++
+				if n := locCount[locOf[pid]]; n > maxN {
+					maxN = n
+				}
+			}
+			mainLoc[f] = maxN
 		}
-		mainLoc[f] = maxN
-	}
+		return struct{}{}
+	})
 
 	what := "country"
 	if byAS {
@@ -488,7 +556,8 @@ func FigHomeConcentration(id string, t *trace.Trace, byAS bool, popLevels []floa
 		YLabel: "proportion of files (CDF)",
 	}
 	grid := stats.LinGrid(0, 100, 51)
-	for _, level := range popLevels {
+	series := runner.Collect(pool, len(popLevels), func(i int) *Series {
+		level := popLevels[i]
 		cdf := &stats.CDF{}
 		for f := 0; f < st.NumVals(); f++ {
 			if sources[f] == 0 || daysSeen[f] == 0 {
@@ -501,14 +570,55 @@ func FigHomeConcentration(id string, t *trace.Trace, byAS bool, popLevels []floa
 			cdf.Add(100 * float64(mainLoc[f]) / float64(sources[f]))
 		}
 		if cdf.Len() == 0 {
-			continue
+			return nil
 		}
-		fig.Series = append(fig.Series, Series{
+		return &Series{
 			Label: fmt.Sprintf("avg popularity >= %g (%d files)", level, cdf.Len()),
 			X:     grid, Y: cdf.Points(grid),
-		})
+		}
+	})
+	for _, s := range series {
+		if s != nil {
+			fig.Series = append(fig.Series, *s)
+		}
 	}
 	return fig
+}
+
+// peerLocations maps every peer to a packed location key: the ASN, or
+// the country code packed into a uint64 (ISO codes are two bytes, far
+// under the eight that fit). Grouping by packed key tallies exactly like
+// grouping by the string it encodes, without a string allocation per
+// peer at million-peer scale.
+func peerLocations(t *trace.Trace, byAS bool) []uint64 {
+	locOf := make([]uint64, len(t.Peers))
+	for pid := range t.Peers {
+		p := &t.Peers[pid]
+		if byAS {
+			locOf[pid] = uint64(p.ASN)
+		} else {
+			var key uint64
+			for i := 0; i < len(p.Country) && i < 8; i++ {
+				key = key<<8 | uint64(p.Country[i])
+			}
+			locOf[pid] = key
+		}
+	}
+	return locOf
+}
+
+// fileRangeChunk is the file-range granularity of the per-file
+// reductions (home concentration, locality).
+const fileRangeChunk = 16384
+
+func fileRanges(numVals int) int {
+	return (numVals + fileRangeChunk - 1) / fileRangeChunk
+}
+
+func fileRange(ri, numVals int) (lo, hi int) {
+	lo = ri * fileRangeChunk
+	hi = min(lo+fileRangeChunk, numVals)
+	return lo, hi
 }
 
 func max(a, b int) int {

@@ -4,6 +4,7 @@ import (
 	"slices"
 
 	"edonkey/internal/runner"
+	"edonkey/internal/stats"
 	"edonkey/internal/trace"
 	"edonkey/internal/tracestore"
 )
@@ -141,39 +142,56 @@ func OverlapEvolution(t *trace.Trace, opts OverlapEvolutionOptions) []OverlapGro
 		}
 	}
 
-	// Each (day, level) mean is independent; fan the days out over the
-	// pool and assemble in day order.
-	type dayMeans struct {
-		day   int
-		means []float64
+	// Flatten the tracked keys so the per-day sums can shard finer than
+	// one job per day (14 days never fills a big machine). Each (day,
+	// key-chunk) job sums overlaps into a private per-level vector; a
+	// day's vectors merge by integer addition, which is cut-insensitive,
+	// so the means are bit-identical for any worker count. Rows decode
+	// into job-private buffers — the packed day snapshots stay packed
+	// instead of hydrating every tracked peer's cache into the arena.
+	flat := make([]uint64, 0, 1024)
+	flatLevel := make([]int, 0, 1024)
+	for gi, level := range levels {
+		for _, key := range byLevel[level] {
+			flat = append(flat, key)
+			flatLevel = append(flatLevel, gi)
+		}
 	}
-	perDay := runner.Collect(opts.Pool, st.NumDays(), func(di int) dayMeans {
+	const chunkKeys = 2048
+	nChunks := (len(flat) + chunkKeys - 1) / chunkKeys
+	if nChunks == 0 {
+		nChunks = 1
+	}
+	partials := runner.Collect(opts.Pool, st.NumDays()*nChunks, func(j int) stats.Counts {
+		di, ci := j/nChunks, j%nChunks
 		sn := st.Snap(di)
-		out := dayMeans{day: sn.Day, means: make([]float64, len(levels))}
-		for gi, level := range levels {
-			keys := byLevel[level]
+		lo := ci * chunkKeys
+		hi := min(lo+chunkKeys, len(flat))
+		sums := stats.NewCounts(len(levels))
+		var bufA, bufB []trace.FileID
+		for k := lo; k < hi; k++ {
+			a, b := SplitPairKey(flat[k])
+			if sn.Observed(a) && sn.Observed(b) {
+				bufA = sn.AppendRowTo(a, bufA[:0])
+				bufB = sn.AppendRowTo(b, bufB[:0])
+				sums[flatLevel[k]] += int64(tracestore.IntersectCount(bufA, bufB))
+			}
+		}
+		return sums
+	})
+	for di := 0; di < st.NumDays(); di++ {
+		daySums := stats.NewCounts(len(levels))
+		for ci := 0; ci < nChunks; ci++ {
+			daySums.Merge(partials[di*nChunks+ci])
+		}
+		for gi := range levels {
+			keys := byLevel[levels[gi]]
 			if len(keys) == 0 {
 				continue
 			}
-			var sum int64
-			for _, key := range keys {
-				a, b := SplitPairKey(key)
-				if sn.Observed(a) && sn.Observed(b) {
-					sum += int64(tracestore.IntersectCount(sn.Cache(a), sn.Cache(b)))
-				}
-			}
-			out.means[gi] = float64(sum) / float64(len(keys))
-		}
-		return out
-	})
-	for _, dm := range perDay {
-		for gi := range levels {
-			if len(byLevel[levels[gi]]) == 0 {
-				continue
-			}
 			g := &groups[gi]
-			g.Days = append(g.Days, dm.day)
-			g.Mean = append(g.Mean, dm.means[gi])
+			g.Days = append(g.Days, st.Snap(di).Day)
+			g.Mean = append(g.Mean, float64(daySums[gi])/float64(len(keys)))
 		}
 	}
 	return groups

@@ -67,6 +67,18 @@ func (c *CDF) Quantile(q float64) (float64, error) {
 	return c.values[idx], nil
 }
 
+// Merge appends every observation of o into c. The CDF is a multiset —
+// Points/At/Quantile sort on demand — so CDFs filled by parallel shards
+// and merged in any order are indistinguishable from one serially
+// filled CDF.
+func (c *CDF) Merge(o *CDF) {
+	if o == nil || len(o.values) == 0 {
+		return
+	}
+	c.values = append(c.values, o.values...)
+	c.sorted = false
+}
+
 // Points samples the CDF at the given x positions, returning P(X <= x)
 // for each. Useful for rendering figures at fixed grids.
 func (c *CDF) Points(xs []float64) []float64 {

@@ -1,0 +1,39 @@
+package stats
+
+// Counts is a dense vector of int64 accumulators — the mergeable
+// counterpart of Histogram for consumers whose keys are small dense
+// indices (overlap levels, per-day slots, rank buckets). Shards
+// accumulate privately and merge by element-wise addition; integer sums
+// are cut-insensitive, so any shard partition merges to the same vector
+// a serial fill would produce.
+type Counts []int64
+
+// NewCounts returns a zeroed vector of n accumulators.
+func NewCounts(n int) Counts { return make(Counts, n) }
+
+// Add increments slot i by n, growing the vector if needed.
+func (c *Counts) Add(i int, n int64) {
+	for i >= len(*c) {
+		*c = append(*c, 0)
+	}
+	(*c)[i] += n
+}
+
+// Merge adds every slot of o into c, growing c to cover o.
+func (c *Counts) Merge(o Counts) {
+	if len(o) > len(*c) {
+		*c = append(*c, make(Counts, len(o)-len(*c))...)
+	}
+	for i, n := range o {
+		(*c)[i] += n
+	}
+}
+
+// Total returns the sum of all slots.
+func (c Counts) Total() int64 {
+	var s int64
+	for _, n := range c {
+		s += n
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The merge contracts the sharded reductions rely on: merging an empty
+// accumulator is a no-op, self-merge doubles every count, and any shard
+// partition merges to the serial result.
+
+func TestHistogramMergeEmpty(t *testing.T) {
+	h := NewHistogram()
+	h.Add(3)
+	h.AddN(7, 4)
+	h.Merge(NewHistogram())
+	if h.Total() != 5 || h.Count(3) != 1 || h.Count(7) != 4 {
+		t.Fatalf("merge of empty changed histogram: total=%d", h.Total())
+	}
+	empty := NewHistogram()
+	empty.Merge(h)
+	if empty.Total() != h.Total() || empty.Count(7) != 4 {
+		t.Fatalf("merge into empty lost counts: total=%d", empty.Total())
+	}
+}
+
+func TestHistogramMergeSelf(t *testing.T) {
+	h := NewHistogram()
+	h.Add(1)
+	h.AddN(2, 3)
+	h.Merge(h)
+	if h.Count(1) != 2 || h.Count(2) != 6 || h.Total() != 8 {
+		t.Fatalf("self-merge: got counts %d/%d total %d, want 2/6/8",
+			h.Count(1), h.Count(2), h.Total())
+	}
+}
+
+func TestHistogramMergePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	serial := NewHistogram()
+	shards := []*Histogram{NewHistogram(), NewHistogram(), NewHistogram()}
+	for i := 0; i < 1000; i++ {
+		k := rng.Intn(20)
+		serial.Add(k)
+		shards[i%3].Add(k)
+	}
+	merged := NewHistogram()
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	if merged.Total() != serial.Total() {
+		t.Fatalf("totals differ: %d vs %d", merged.Total(), serial.Total())
+	}
+	for _, b := range serial.Buckets() {
+		if merged.Count(b) != serial.Count(b) {
+			t.Errorf("bucket %d: %d vs %d", b, merged.Count(b), serial.Count(b))
+		}
+	}
+}
+
+func TestCDFMergeEmptyAndSelf(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3})
+	c.Merge(&CDF{})
+	c.Merge(nil)
+	if c.Len() != 3 {
+		t.Fatalf("merge of empty changed CDF: len=%d", c.Len())
+	}
+	c.Merge(c)
+	if c.Len() != 6 {
+		t.Fatalf("self-merge: len=%d, want 6", c.Len())
+	}
+	if got := c.At(1); got != 2.0/6.0 {
+		t.Errorf("At(1) after self-merge = %v, want 1/3", got)
+	}
+}
+
+func TestCDFMergeMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	serial := &CDF{}
+	a, b := &CDF{}, &CDF{}
+	for i := 0; i < 500; i++ {
+		v := rng.NormFloat64()
+		serial.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	merged := &CDF{}
+	// Merge in reverse shard order: the multiset is order-insensitive.
+	merged.Merge(b)
+	merged.Merge(a)
+	grid := LinGrid(-3, 3, 13)
+	got, want := merged.Points(grid), serial.Points(grid)
+	for i := range grid {
+		if got[i] != want[i] {
+			t.Errorf("Points[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCountsMerge(t *testing.T) {
+	var c Counts
+	c.Add(2, 5)
+	c.Add(0, 1)
+	if len(c) != 3 || c[2] != 5 || c[0] != 1 {
+		t.Fatalf("Add grew wrong: %v", c)
+	}
+	c.Merge(nil)
+	if c.Total() != 6 {
+		t.Fatalf("merge of empty changed counts: %v", c)
+	}
+	// Merge a longer vector: c grows.
+	other := NewCounts(5)
+	other.Add(4, 7)
+	c.Merge(other)
+	if len(c) != 5 || c[4] != 7 || c.Total() != 13 {
+		t.Fatalf("merge with growth wrong: %v", c)
+	}
+	// Self-merge doubles.
+	c.Merge(c)
+	if c[2] != 10 || c[4] != 14 || c.Total() != 26 {
+		t.Fatalf("self-merge wrong: %v", c)
+	}
+}
+
+func TestCountsPartitionMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	serial := NewCounts(16)
+	shards := []Counts{nil, nil, nil, nil}
+	for i := 0; i < 2000; i++ {
+		k, n := rng.Intn(16), int64(rng.Intn(9))
+		serial.Add(k, n)
+		shards[i%4].Add(k, n)
+	}
+	var merged Counts
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	for i := range serial {
+		if merged[i] != serial[i] {
+			t.Errorf("slot %d: %d vs %d", i, merged[i], serial[i])
+		}
+	}
+}

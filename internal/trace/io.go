@@ -121,6 +121,49 @@ func ReadFile(path string) (*Trace, error) {
 	return Read(bufio.NewReader(f))
 }
 
+// ReadFileRange reads only the day window [lo, hi) of a saved trace
+// (hi < 0 means "through the last day"). For .edt files this decodes
+// just the keyframe groups overlapping the window — the memory-budget
+// path for analysing a slice of a large capture without pinning every
+// day. Legacy gob files have no random access; they are fully decoded
+// and then sliced.
+func ReadFileRange(path string, lo, hi int) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if IsEDT(f) {
+		fi, err := f.Stat()
+		if err != nil {
+			return nil, err
+		}
+		er, err := NewEDTReader(f, fi.Size())
+		if err != nil {
+			return nil, err
+		}
+		if hi < 0 {
+			hi = er.NumDays()
+		}
+		return er.TraceRange(lo, hi)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	t, err := Read(bufio.NewReader(f))
+	if err != nil {
+		return nil, err
+	}
+	if hi < 0 {
+		hi = len(t.Days)
+	}
+	if lo < 0 || hi > len(t.Days) || lo > hi {
+		return nil, fmt.Errorf("trace: day range [%d, %d) out of [0, %d)", lo, hi, len(t.Days))
+	}
+	t.Days = t.Days[lo:hi]
+	return t, nil
+}
+
 // Decode reads a trace of either format from an in-memory buffer.
 func Decode(data []byte) (*Trace, error) {
 	if IsEDT(bytes.NewReader(data)) {

@@ -216,17 +216,20 @@ func OverlapSharded[P, F ID, S any](s *Snapshot[P, F], keep []bool, pool *runner
 	if keep != nil {
 		s = s.FilterValues(keep)
 	}
-	shards := pool.Workers()
-	if shards > s.numRows {
-		shards = s.numRows
-	}
-	if shards <= 1 {
+	if pool.Workers() <= 1 || s.numRows <= 1 {
 		state := newShard()
 		forEachOverlapRange(s, 0, s.numRows, func(a, b P, n int32) { visit(state, a, b, n) })
 		return []S{state}
 	}
 	s.Inverted() // build once, shared read-only by every shard
-	bounds := shardBounds(s, shards)
+	weight, total := shardWeights(s)
+	shards := planShards(pool.Workers(), total, s.numRows, s.numVals)
+	if shards <= 1 {
+		state := newShard()
+		forEachOverlapRange(s, 0, s.numRows, func(a, b P, n int32) { visit(state, a, b, n) })
+		return []S{state}
+	}
+	bounds := boundsFromWeights(weight, total, shards, s.numRows)
 	return runner.Collect(pool, shards, func(i int) S {
 		state := newShard()
 		forEachOverlapRange(s, bounds[i], bounds[i+1], func(a, b P, n int32) { visit(state, a, b, n) })
@@ -234,11 +237,42 @@ func OverlapSharded[P, F ID, S any](s *Snapshot[P, F], keep []bool, pool *runner
 	})
 }
 
-// shardBounds splits the rows into contiguous ranges of roughly equal
-// enumeration cost. The cost of row a is dominated by the holders listed
-// after it in its values' inverted lists, which the total co-occurrence
-// weight sum(count(f) for f in row) tracks closely enough for balancing.
-func shardBounds[P, F ID](s *Snapshot[P, F], shards int) []int {
+// overshardFactor is how many shards the planner cuts per worker. Row
+// weight only estimates enumeration cost; oversharding lets the pool
+// steal around estimation error and popularity skew, and since any
+// cut-insensitive merge is exact, extra shards cost only their setup.
+const overshardFactor = 4
+
+// minShardWeight is the co-occurrence weight below which another shard
+// stops paying for itself (each range pays O(numVals) cursor seeding
+// plus an O(numRows) scratch counter).
+const minShardWeight = 1 << 17
+
+// planShards picks the shard count for a snapshot of the given total
+// co-occurrence weight: up to overshardFactor per worker, but never so
+// many that a shard's enumeration work is dwarfed by its fixed setup —
+// the per-shard floor adapts to the snapshot (whichever is larger of
+// minShardWeight and the numVals cursor-seeding cost).
+func planShards(workers int, total uint64, numRows, numVals int) int {
+	shards := workers * overshardFactor
+	floor := uint64(minShardWeight)
+	if uint64(numVals) > floor {
+		floor = uint64(numVals)
+	}
+	if byWeight := int(total/floor) + 1; byWeight < shards {
+		shards = byWeight
+	}
+	if shards > numRows {
+		shards = numRows
+	}
+	return shards
+}
+
+// shardWeights estimates each row's enumeration cost. The cost of row a
+// is dominated by the holders listed after it in its values' inverted
+// lists, which the total co-occurrence weight sum(count(f) for f in row)
+// tracks closely enough for balancing.
+func shardWeights[P, F ID](s *Snapshot[P, F]) ([]uint64, uint64) {
 	iv := s.Inverted()
 	var total uint64
 	weight := make([]uint64, s.numRows)
@@ -251,11 +285,17 @@ func shardBounds[P, F ID](s *Snapshot[P, F], shards int) []int {
 		weight[r] = w
 		total += w
 	}
+	return weight, total
+}
+
+// boundsFromWeights splits the rows into shards contiguous ranges of
+// roughly equal total weight.
+func boundsFromWeights(weight []uint64, total uint64, shards, numRows int) []int {
 	bounds := make([]int, shards+1)
-	bounds[shards] = s.numRows
+	bounds[shards] = numRows
 	var cum uint64
 	next := 1
-	for r := 0; r < s.numRows && next < shards; r++ {
+	for r := 0; r < numRows && next < shards; r++ {
 		cum += weight[r]
 		for next < shards && cum >= total*uint64(next)/uint64(shards) {
 			bounds[next] = r + 1
@@ -263,7 +303,14 @@ func shardBounds[P, F ID](s *Snapshot[P, F], shards int) []int {
 		}
 	}
 	for ; next < shards; next++ {
-		bounds[next] = s.numRows
+		bounds[next] = numRows
 	}
 	return bounds
+}
+
+// shardBounds splits the rows into contiguous ranges of roughly equal
+// enumeration cost (see shardWeights).
+func shardBounds[P, F ID](s *Snapshot[P, F], shards int) []int {
+	weight, total := shardWeights(s)
+	return boundsFromWeights(weight, total, shards, s.numRows)
 }

@@ -59,6 +59,64 @@ func TestOverlapShardedMatchesSerial(t *testing.T) {
 	}
 }
 
+// The adaptive planner must overshard large snapshots for stealing
+// headroom, collapse tiny ones to a single shard, and never exceed the
+// row count.
+func TestPlanShards(t *testing.T) {
+	cases := []struct {
+		workers          int
+		total            uint64
+		numRows, numVals int
+		want             int
+	}{
+		// Tiny snapshot: one shard, the fixed setup dominates.
+		{workers: 8, total: 100, numRows: 1000, numVals: 50, want: 1},
+		// Huge weight: full overshard, workers x factor.
+		{workers: 8, total: 1 << 40, numRows: 1 << 20, numVals: 1000, want: 8 * overshardFactor},
+		// Weight floor binds: total/minShardWeight+1 shards.
+		{workers: 8, total: 3 * minShardWeight, numRows: 1 << 20, numVals: 1000, want: 4},
+		// numVals floor binds when the value space dwarfs minShardWeight.
+		{workers: 8, total: 10 << 20, numRows: 1 << 20, numVals: 4 << 20, want: 3},
+		// Never more shards than rows.
+		{workers: 8, total: 1 << 40, numRows: 5, numVals: 10, want: 5},
+	}
+	for i, c := range cases {
+		if got := planShards(c.workers, c.total, c.numRows, c.numVals); got != c.want {
+			t.Errorf("case %d: planShards(%d, %d, %d, %d) = %d, want %d",
+				i, c.workers, c.total, c.numRows, c.numVals, got, c.want)
+		}
+	}
+}
+
+// ValueCounts must agree with the inverted index without caching
+// anything on the snapshot.
+func TestValueCounts(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 0))
+	for iter := 0; iter < 10; iter++ {
+		nRows := 1 + rng.IntN(40)
+		space := 4 + rng.IntN(60)
+		rows := make([][]uint32, nRows)
+		for r := range rows {
+			rows[r] = randomSorted(rng, rng.IntN(min(space, 12)), space)
+		}
+		s := FromRows[uint32, uint32](0, rows, nil, space)
+		counts := s.ValueCounts()
+		if len(counts) != space {
+			t.Fatalf("len = %d, want %d", len(counts), space)
+		}
+		if s.inv != nil {
+			t.Fatal("ValueCounts cached an inverted index")
+		}
+		iv := s.Inverted()
+		for f := 0; f < space; f++ {
+			if int(counts[f]) != iv.Count(uint32(f)) {
+				t.Errorf("iter %d: value %d count %d, inverted says %d",
+					iter, f, counts[f], iv.Count(uint32(f)))
+			}
+		}
+	}
+}
+
 // Shard boundaries must partition the rows exactly, whatever the skew.
 func TestShardBounds(t *testing.T) {
 	rng := rand.New(rand.NewPCG(23, 0))

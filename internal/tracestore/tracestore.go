@@ -349,6 +349,19 @@ func (s *Snapshot[P, F]) forEachValue(fn func(F)) {
 	}
 }
 
+// ValueCounts returns the number of rows holding each value — the
+// inverted index's counting pass alone. Unlike Inverted, nothing is
+// cached: the caller owns the returned slice and the snapshot keeps no
+// per-day transpose resident. Figures that only need per-day popularity
+// (replication ranks, rank evolution) use this so the suite's peak RSS
+// stays bounded at million-peer scale instead of pinning one transpose
+// per decoded day.
+func (s *Snapshot[P, F]) ValueCounts() []int32 {
+	counts := make([]int32, s.numVals)
+	s.forEachValue(func(f F) { counts[f]++ })
+	return counts
+}
+
 // Rows materializes the snapshot as a dense [][]F of row views, nil for
 // empty rows — the drop-in shape legacy map-based call sites consumed.
 // The result is built once, cached, and shared: treat rows as immutable.
