@@ -417,7 +417,7 @@ func benchSuiteInput(s *Study, pool *runner.Pool) analysis.SuiteInput {
 // BENCH_store.json so the perf trajectory is visible PR-over-PR.
 func BenchmarkSuite(b *testing.B) {
 	s := benchSetup(b)
-	b.Run(fmt.Sprintf("peers=%d", len(s.Filtered.Peers)), func(b *testing.B) {
+	b.Run(fmt.Sprintf("peers=%d", s.Filtered.NumPeers()), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_ = analysis.FullSuite(benchSuiteInput(s, runner.New(1)))

@@ -14,6 +14,13 @@
 // columnar format (the default, written day by day as the crawl runs, so
 // trace memory stays one day deep), anything else the legacy gob.
 //
+// Capture length is bounded by disk, not memory: days stream to the
+// writer as they complete, and the .edt delta encoding stores only each
+// day's churn, so a ten-week (-days 70) million-peer capture costs
+// weeks-of-churn on disk but the same resident floor as a two-week one.
+// Analyse long captures with `edrepro -trace ... -stream` to keep the
+// analysis side's memory bounded too.
+//
 // Usage:
 //
 //	edcrawl -o trace.edt [-peers 1000000] [-days 14] [-prefix 2] [-budget 500] [-progress]

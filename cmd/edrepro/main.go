@@ -12,6 +12,7 @@
 //	edrepro -figures fig18,table3  # compute only selected experiments
 //	edrepro -scale 2            # 2x the default population
 //	edrepro -trace trace.edt    # use a previously saved trace
+//	edrepro -trace trace.edt -stream  # same outputs, bounded memory
 //	edrepro -window 0:7         # only the first week of the trace file
 //	edrepro -out results/       # also write CSVs to results/
 //	edrepro -workers 1          # serial run (same outputs, slower)
@@ -41,6 +42,7 @@ type options struct {
 	workers   int
 	tracePath string
 	window    string
+	stream    bool
 	savePath  string
 	outDir    string
 	only      string
@@ -59,6 +61,7 @@ func main() {
 	flag.IntVar(&o.days, "days", 0, "trace days (0 = paper's 56)")
 	flag.StringVar(&o.tracePath, "trace", "", "load a saved trace (.edt or gob) instead of generating")
 	flag.StringVar(&o.window, "window", "", "with -trace: analyse only days lo:hi of the file (e.g. 0:7; hi empty = end)")
+	flag.BoolVar(&o.stream, "stream", false, "with -trace: stream .edt day windows instead of holding the full trace resident (same outputs, bounded memory)")
 	flag.StringVar(&o.savePath, "save", "", "save the generated full trace to this file (.edt = columnar, else gob)")
 	flag.StringVar(&o.outDir, "out", "", "also write CSV/text files to this directory")
 	flag.StringVar(&o.only, "only", "", "comma-separated experiment ids to print (computes everything; see -figures)")
@@ -100,7 +103,11 @@ func run(o options) error {
 	start := time.Now()
 	var study *edonkey.Study
 	if o.tracePath != "" {
-		if o.window != "" {
+		switch {
+		case o.window != "":
+			if o.stream {
+				return fmt.Errorf("-stream and -window are mutually exclusive")
+			}
 			lo, hi, err := parseWindow(o.window)
 			if err != nil {
 				return err
@@ -109,7 +116,12 @@ func run(o options) error {
 			if err != nil {
 				return err
 			}
-		} else {
+		case o.stream:
+			study, err = edonkey.LoadStudyStream(o.tracePath)
+			if err != nil {
+				return err
+			}
+		default:
 			study, err = edonkey.LoadStudy(o.tracePath)
 			if err != nil {
 				return err
@@ -119,6 +131,9 @@ func run(o options) error {
 	} else {
 		if o.window != "" {
 			return fmt.Errorf("-window requires -trace")
+		}
+		if o.stream {
+			return fmt.Errorf("-stream requires -trace")
 		}
 		cfg := edonkey.DefaultStudyConfig()
 		cfg.World = scaledWorld(o.seed, o.scale, o.days)
@@ -134,6 +149,9 @@ func run(o options) error {
 	}
 	report(o.verbose, start, "load")
 	if o.savePath != "" {
+		if o.stream {
+			return fmt.Errorf("-save cannot re-export a streamed study (its full trace is not resident)")
+		}
 		if err := study.Save(o.savePath); err != nil {
 			return err
 		}

@@ -94,18 +94,30 @@ func info(path string) error {
 		}
 		fmt.Printf("%s: columnar .edt, %d bytes\n", path, fi.Size())
 		fmt.Printf("  peers %d, files %d, days %d\n", er.NumPeers(), er.NumFiles(), er.NumDays())
-		total := 0
+		if fh, fm, pi, pm, err := er.IdentBytes(); err == nil {
+			fmt.Printf("  identity tables: %d bytes on disk (file hashes %d, file meta %d, peer idents %d, peer meta %d) — decoded lazily, column by column\n",
+				fh+fm+pi+pm, fh, fm, pi, pm)
+		}
+		total, shared := 0, 0
 		for i := 0; i < er.NumDays(); i++ {
 			d := er.DayInfo(i)
 			kf := " "
 			if d.Keyframe() {
 				kf = "K"
 			}
-			fmt.Printf("  day %3d %s: %7d peers observed, %9d postings\n", d.Day, kf, d.Rows, d.Postings)
+			// The tag scan costs a few varints per row; failures (it
+			// re-checks row counts) degrade to the footer-only line.
+			if dd, err := er.DayDelta(i); err == nil && dd.Changed+dd.Unchanged > 0 {
+				fmt.Printf("  day %3d %s: %7d peers observed, %9d postings, %7d shared rows, churn %5.1f%%\n",
+					d.Day, kf, d.Rows, d.Postings, dd.Unchanged, 100*dd.Churn())
+				shared += dd.Unchanged
+			} else {
+				fmt.Printf("  day %3d %s: %7d peers observed, %9d postings\n", d.Day, kf, d.Rows, d.Postings)
+			}
 			total += d.Postings
 		}
-		fmt.Printf("  total postings %d (%.2f bytes/posting on disk)\n",
-			total, float64(fi.Size())/float64(max(total, 1)))
+		fmt.Printf("  total postings %d (%.2f bytes/posting on disk), %d shared rows across days\n",
+			total, float64(fi.Size())/float64(max(total, 1)), shared)
 		return nil
 	}
 
@@ -114,7 +126,7 @@ func info(path string) error {
 		return err
 	}
 	fmt.Printf("%s: legacy gob, %d bytes\n", path, fi.Size())
-	fmt.Printf("  peers %d, files %d, days %d\n", len(tr.Peers), len(tr.Files), len(tr.Days))
+	fmt.Printf("  peers %d, files %d, days %d\n", tr.NumPeers(), tr.NumFiles(), len(tr.Days))
 	for _, s := range tr.Days {
 		fmt.Printf("  day %3d  : %7d peers observed, %9d postings\n", s.Day, s.ObservedRows(), s.NNZ())
 	}
@@ -173,7 +185,7 @@ func convert(in, out string) error {
 		return err
 	}
 	fmt.Printf("converted %s -> %s (%d peers, %d files, %d days)\n",
-		in, out, len(tr.Peers), len(tr.Files), len(tr.Days))
+		in, out, tr.NumPeers(), tr.NumFiles(), len(tr.Days))
 	return nil
 }
 
@@ -195,6 +207,6 @@ func merge(out string, ins []string) error {
 		return err
 	}
 	fmt.Printf("merged %d segments -> %s (%d peers, %d files, %d days, %d observations)\n",
-		len(ins), out, len(merged.Peers), len(merged.Files), len(merged.Days), merged.Observations())
+		len(ins), out, merged.NumPeers(), merged.NumFiles(), len(merged.Days), merged.Observations())
 	return nil
 }

@@ -90,6 +90,12 @@ type Study struct {
 	// (dynamic analyses).
 	Extrapolated *trace.Trace
 
+	// FullStats is the full trace's day-by-day fold (Table 1, Figures
+	// 1-2). On a streamed study it is the only record of the full
+	// trace's per-day history — Full then carries just the identity
+	// tables plus one aggregate day.
+	FullStats *analysis.FullStats
+
 	// Caches are the filtered trace's aggregate per-peer cache contents
 	// (the search simulation's request sets). They are shared read-only
 	// views into Filtered.Store()'s columnar aggregate: safe for any
@@ -178,6 +184,7 @@ func (s *Study) SetWorkers(n int) *Study {
 func (s *Study) Pool() *runner.Pool { return s.pool }
 
 func (s *Study) derive() {
+	s.FullStats = analysis.FoldFullStats(s.Full)
 	s.Filtered = s.Full.Filter()
 	s.Extrapolated = s.Filtered.Extrapolate(s.Config.Extrapolate)
 	s.Caches = s.Filtered.AggregateCaches()
@@ -287,6 +294,7 @@ func (s *Study) SuiteSubset(seed uint64, only []string) []analysis.Experiment {
 		Full:         s.Full,
 		Filtered:     s.Filtered,
 		Extrapolated: s.Extrapolated,
+		FullStats:    s.FullStats,
 		Caches:       s.Caches,
 		Registry:     reg,
 		Seed:         seed,

@@ -33,8 +33,8 @@ func TestNewStudyOracle(t *testing.T) {
 	if err := study.Full.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	if len(study.Caches) != len(study.Filtered.Peers) {
-		t.Errorf("caches %d != filtered peers %d", len(study.Caches), len(study.Filtered.Peers))
+	if len(study.Caches) != study.Filtered.NumPeers() {
+		t.Errorf("caches %d != filtered peers %d", len(study.Caches), study.Filtered.NumPeers())
 	}
 	if study.World == nil {
 		t.Error("generated study should retain its world")

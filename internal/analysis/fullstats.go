@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"fmt"
+
+	"edonkey/internal/trace"
+)
+
+// FullDayStats summarizes one full-trace day for the experiments that
+// plot per-day measurement coverage (Figures 1 and 2).
+type FullDayStats struct {
+	Day      int
+	Rows     int // peers successfully observed
+	Postings int // cache entries recorded
+	NewFiles int // files first seen on this day
+}
+
+// FullStats accumulates every full-trace statistic Table 1 and Figures
+// 1-2 need, one day at a time. It is the streaming suite's replacement
+// for holding the full trace's day snapshots resident: a window of days
+// is decoded, folded through AddDay, and dropped. The non-streaming
+// path folds the same resident days through the same code
+// (FoldFullStats), so both suites derive their numbers from literally
+// identical arithmetic.
+type FullStats struct {
+	// Days records one entry per folded day, in fold order (callers fold
+	// days ascending, matching the trace's day order).
+	Days []FullDayStats
+	// Observations is the total number of successful (peer, day) browses.
+	Observations int
+
+	observed []bool // per peer: browsed at least once
+	shared   []bool // per peer: shared at least one file once
+	seen     []bool // per file: appeared in at least one cache
+	distinct int
+}
+
+// NewFullStats returns an empty accumulator for a trace with the given
+// identity-table sizes.
+func NewFullStats(numPeers, numFiles int) *FullStats {
+	return &FullStats{
+		observed: make([]bool, numPeers),
+		shared:   make([]bool, numPeers),
+		seen:     make([]bool, numFiles),
+	}
+}
+
+// FoldFullStats folds every resident day of a trace. The streaming path
+// instead calls AddDay window by window.
+func FoldFullStats(t *trace.Trace) *FullStats {
+	st := NewFullStats(t.NumPeers(), t.NumFiles())
+	for _, s := range t.Days {
+		st.AddDay(s)
+	}
+	return st
+}
+
+// AddDay folds one day into the accumulator. Days must arrive in
+// ascending day order.
+func (st *FullStats) AddDay(s *trace.DaySnapshot) {
+	d := FullDayStats{Day: s.Day, Rows: s.ObservedRows(), Postings: s.NNZ()}
+	s.ForEachRow(func(pid trace.PeerID, cache []trace.FileID) {
+		st.observed[pid] = true
+		if len(cache) > 0 {
+			st.shared[pid] = true
+		}
+		for _, f := range cache {
+			if !st.seen[f] {
+				st.seen[f] = true
+				st.distinct++
+				d.NewFiles++
+			}
+		}
+	})
+	st.Observations += d.Rows
+	st.Days = append(st.Days, d)
+}
+
+// DurationDays returns the calendar span of the folded days.
+func (st *FullStats) DurationDays() int {
+	if len(st.Days) == 0 {
+		return 0
+	}
+	return st.Days[len(st.Days)-1].Day - st.Days[0].Day + 1
+}
+
+// ObservedPeers returns the number of peers browsed at least once.
+func (st *FullStats) ObservedPeers() int {
+	n := 0
+	for _, o := range st.observed {
+		if o {
+			n++
+		}
+	}
+	return n
+}
+
+// FreeRiders returns the number of peers observed at least once that
+// never shared a file.
+func (st *FullStats) FreeRiders() int {
+	n := 0
+	for pid, o := range st.observed {
+		if o && !st.shared[pid] {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctFiles returns the number of files observed at least once.
+func (st *FullStats) DistinctFiles() int { return st.distinct }
+
+// DistinctBytes totals the sizes of the distinct observed files; ident
+// provides the (possibly lazy) file size column.
+func (st *FullStats) DistinctBytes(ident *trace.Trace) int64 {
+	var total int64
+	for fid, seen := range st.seen {
+		if seen {
+			total += ident.FileSize(trace.FileID(fid))
+		}
+	}
+	return total
+}
+
+// Observed returns the per-peer observation bitset as a shared
+// read-only view — the streamed study uses it to mark observed
+// free-riders in the aggregate day it substitutes for the full trace.
+func (st *FullStats) Observed() []bool { return st.observed }
+
+// Shared returns the per-peer "ever shared" bitset (shared read-only
+// view) — the input trace.FilterKeep needs to classify free-riders.
+func (st *FullStats) Shared() []bool { return st.shared }
+
+// Table1FromStats is Table1 with the full trace's day-level scans
+// replaced by a precomputed fold; ident supplies the file size column
+// for the distinct-bytes row and may carry no days at all.
+func Table1FromStats(st *FullStats, ident, filtered, extrapolated *trace.Trace) *Table {
+	t := &Table{
+		ID:     "table1",
+		Title:  "General characteristics of the trace",
+		Header: []string{"quantity", "value"},
+	}
+	add := func(k, v string) { t.Rows = append(t.Rows, []string{k, v}) }
+	add("Full trace", "")
+	add("  Duration (days)", fmtInt(st.DurationDays()))
+	add("  Number of uniquely identified clients", fmtInt(st.ObservedPeers()))
+	fr := st.FreeRiders()
+	add("  Number of free-riders", fmt.Sprintf("%d (%.0f %%)", fr,
+		100*float64(fr)/float64(max(1, st.ObservedPeers()))))
+	add("  Number of successful snapshots", fmtInt(st.Observations))
+	add("  Number of distinct files", fmtInt(st.DistinctFiles()))
+	add("  Space used by distinct files", fmtBytes(st.DistinctBytes(ident)))
+	add("Filtered trace", "")
+	add("  Number of distinct clients", fmtInt(filtered.ObservedPeers()))
+	ffr := filtered.FreeRiders()
+	add("  Number of free-riders", fmt.Sprintf("%d (%.0f %%)", ffr,
+		100*float64(ffr)/float64(max(1, filtered.ObservedPeers()))))
+	add("Extrapolated trace", "")
+	add("  Duration (days)", fmtInt(extrapolated.DurationDays()))
+	add("  Number of distinct clients", fmtInt(extrapolated.ObservedPeers()))
+	efr := extrapolated.FreeRiders()
+	add("  Number of free-riders", fmt.Sprintf("%d (%.0f %%)", efr,
+		100*float64(efr)/float64(max(1, extrapolated.ObservedPeers()))))
+	return t
+}
+
+// Fig1FromStats is Fig1ClientsFilesPerDay from a precomputed fold.
+func Fig1FromStats(st *FullStats) *Figure {
+	var days, clients, files []float64
+	for _, d := range st.Days {
+		days = append(days, float64(d.Day))
+		clients = append(clients, float64(d.Rows))
+		files = append(files, float64(d.Postings))
+	}
+	return &Figure{
+		ID: "fig01", Title: "Clients and shared files scanned per day",
+		XLabel: "day", YLabel: "count",
+		Series: []Series{
+			{Label: "clients", X: days, Y: clients},
+			{Label: "files", X: days, Y: files},
+		},
+	}
+}
+
+// Fig2FromStats is Fig2NewFiles from a precomputed fold.
+func Fig2FromStats(st *FullStats) *Figure {
+	total := 0
+	var days, newFiles, totals []float64
+	for _, d := range st.Days {
+		total += d.NewFiles
+		days = append(days, float64(d.Day))
+		newFiles = append(newFiles, float64(d.NewFiles))
+		totals = append(totals, float64(total))
+	}
+	return &Figure{
+		ID: "fig02", Title: "Files discovered during the trace",
+		XLabel: "day", YLabel: "files",
+		Series: []Series{
+			{Label: "new files", X: days, Y: newFiles},
+			{Label: "total files", X: days, Y: totals},
+		},
+	}
+}

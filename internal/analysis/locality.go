@@ -91,9 +91,9 @@ func MeasureLocality(t *trace.Trace, pool *runner.Pool) LocalityPotential {
 	// Top-5 AS share of clients.
 	asCounts := make(map[uint32]int)
 	total := 0
-	for _, p := range t.Peers {
-		if p.ASN != 0 {
-			asCounts[p.ASN]++
+	for i := 0; i < t.NumPeers(); i++ {
+		if asn := t.PeerASN(trace.PeerID(i)); asn != 0 {
+			asCounts[asn]++
 			total++
 		}
 	}

@@ -39,6 +39,12 @@ type SuiteInput struct {
 	Full         *trace.Trace
 	Filtered     *trace.Trace
 	Extrapolated *trace.Trace
+	// FullStats, when set, replaces the full trace's day-level scans in
+	// table1/fig01/fig02 with a precomputed (possibly windowed) fold —
+	// under `edrepro -stream` Full carries only the identity tables plus
+	// one aggregate day, and this fold is the only record of its
+	// per-day history.
+	FullStats *FullStats
 	// Caches are the filtered trace's aggregate caches (request sets).
 	Caches [][]trace.FileID
 	// Registry resolves AS names for Table 2 (nil: a default registry).
@@ -85,15 +91,24 @@ func figure(f *Figure) Experiment { return &FigureExperiment{f} }
 // order: Tables 1-3, Figures 1-23 and the locality extension.
 var suiteBuilders = []suiteBuilder{
 	{"table1", func(in SuiteInput, _ []int) Experiment {
+		if in.FullStats != nil {
+			return table(Table1FromStats(in.FullStats, in.Full, in.Filtered, in.Extrapolated))
+		}
 		return table(Table1(in.Full, in.Filtered, in.Extrapolated))
 	}},
 	{"table2", func(in SuiteInput, _ []int) Experiment {
 		return table(Table2(in.Filtered, in.Registry, 5))
 	}},
 	{"fig01", func(in SuiteInput, _ []int) Experiment {
+		if in.FullStats != nil {
+			return figure(Fig1FromStats(in.FullStats))
+		}
 		return figure(Fig1ClientsFilesPerDay(in.Full))
 	}},
 	{"fig02", func(in SuiteInput, _ []int) Experiment {
+		if in.FullStats != nil {
+			return figure(Fig2FromStats(in.FullStats))
+		}
 		return figure(Fig2NewFiles(in.Full, in.Pool))
 	}},
 	{"fig03", func(in SuiteInput, _ []int) Experiment {

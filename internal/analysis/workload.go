@@ -49,12 +49,13 @@ func Table2(t *trace.Trace, reg *geo.Registry, topK int) *Table {
 	byAS := make(map[uint32]int)
 	byCountry := make(map[string]int)
 	total := 0
-	for _, p := range t.Peers {
-		if p.ASN == 0 {
+	for i := 0; i < t.NumPeers(); i++ {
+		asn := t.PeerASN(trace.PeerID(i))
+		if asn == 0 {
 			continue
 		}
-		byAS[p.ASN]++
-		byCountry[p.Country]++
+		byAS[asn]++
+		byCountry[t.PeerCountry(trace.PeerID(i))]++
 		total++
 	}
 	type asCount struct {
@@ -197,11 +198,12 @@ func Fig3ExtrapolatedCoverage(t *trace.Trace, pool *runner.Pool) *Figure {
 func Fig4Countries(t *trace.Trace, topK int) *Figure {
 	counts := make(map[string]int)
 	total := 0
-	for _, p := range t.Peers {
-		if p.Country == "" {
+	for i := 0; i < t.NumPeers(); i++ {
+		c := t.PeerCountry(trace.PeerID(i))
+		if c == "" {
 			continue
 		}
-		counts[p.Country]++
+		counts[c]++
 		total++
 	}
 	type cc struct {
@@ -314,7 +316,7 @@ func Fig6FileSizes(t *trace.Trace, popThresholds []int, pool *runner.Pool) *Figu
 		cdf := &stats.CDF{}
 		for fid, n := range sources {
 			if n >= minPop {
-				cdf.Add(float64(t.Files[fid].Size) / 1024)
+				cdf.Add(float64(t.FileSize(trace.FileID(fid))) / 1024)
 			}
 		}
 		if cdf.Len() == 0 {
@@ -346,10 +348,10 @@ func Fig7Contribution(t *trace.Trace, pool *runner.Pool) *Figure {
 	type chunkCDFs struct {
 		filesAll, filesSharers, spaceAll, spaceSharers stats.CDF
 	}
-	nChunks := (len(t.Peers) + fig7Chunk - 1) / fig7Chunk
+	nChunks := (t.NumPeers() + fig7Chunk - 1) / fig7Chunk
 	chunks := runner.Collect(pool, nChunks, func(ci int) *chunkCDFs {
 		lo := ci * fig7Chunk
-		hi := min(lo+fig7Chunk, len(t.Peers))
+		hi := min(lo+fig7Chunk, t.NumPeers())
 		out := &chunkCDFs{}
 		for pid := lo; pid < hi; pid++ {
 			if !observed[pid] {
@@ -358,7 +360,7 @@ func Fig7Contribution(t *trace.Trace, pool *runner.Pool) *Figure {
 			n := len(caches[pid])
 			var bytes int64
 			for _, f := range caches[pid] {
-				bytes += t.Files[f].Size
+				bytes += t.FileSize(f)
 			}
 			gb := float64(bytes) / (1 << 30)
 			out.filesAll.Add(float64(n))
@@ -591,15 +593,15 @@ func FigHomeConcentration(id string, t *trace.Trace, byAS bool, popLevels []floa
 // grouping by the string it encodes, without a string allocation per
 // peer at million-peer scale.
 func peerLocations(t *trace.Trace, byAS bool) []uint64 {
-	locOf := make([]uint64, len(t.Peers))
-	for pid := range t.Peers {
-		p := &t.Peers[pid]
+	locOf := make([]uint64, t.NumPeers())
+	for pid := range locOf {
 		if byAS {
-			locOf[pid] = uint64(p.ASN)
+			locOf[pid] = uint64(t.PeerASN(trace.PeerID(pid)))
 		} else {
+			c := t.PeerCountry(trace.PeerID(pid))
 			var key uint64
-			for i := 0; i < len(p.Country) && i < 8; i++ {
-				key = key<<8 | uint64(p.Country[i])
+			for i := 0; i < len(c) && i < 8; i++ {
+				key = key<<8 | uint64(c[i])
 			}
 			locOf[pid] = key
 		}

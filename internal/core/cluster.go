@@ -17,7 +17,7 @@ type FileFilter func(trace.FileID) bool
 func KindPopularityFilter(t *trace.Trace, kind *trace.FileKind, minPop, maxPop int) FileFilter {
 	sources := t.SourcesPerFile()
 	return func(f trace.FileID) bool {
-		if kind != nil && t.Files[f].Kind != *kind {
+		if kind != nil && t.FileKind(f) != *kind {
 			return false
 		}
 		n := sources[f]

@@ -109,13 +109,13 @@ func TestCrawlGeoResolution(t *testing.T) {
 		t.Fatal(err)
 	}
 	resolved := 0
-	for _, p := range tr.Peers {
-		if p.Country != "" {
+	for i := 0; i < tr.NumPeers(); i++ {
+		if tr.PeerCountry(trace.PeerID(i)) != "" {
 			resolved++
 		}
 	}
-	if resolved < len(tr.Peers)*9/10 {
-		t.Errorf("only %d/%d peers geo-resolved", resolved, len(tr.Peers))
+	if resolved < tr.NumPeers()*9/10 {
+		t.Errorf("only %d/%d peers geo-resolved", resolved, tr.NumPeers())
 	}
 }
 
@@ -128,8 +128,8 @@ func TestCrawlAliasesCreateDuplicateIdentities(t *testing.T) {
 		t.Fatal(err)
 	}
 	ft := tr.Filter()
-	if len(ft.Peers) >= len(tr.Peers) {
-		t.Errorf("filtering removed nothing: %d -> %d peers", len(tr.Peers), len(ft.Peers))
+	if ft.NumPeers() >= tr.NumPeers() {
+		t.Errorf("filtering removed nothing: %d -> %d peers", tr.NumPeers(), ft.NumPeers())
 	}
 }
 
@@ -204,13 +204,36 @@ func TestRunStreamMatchesRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(want.Files, got.Files) {
-		t.Error("streamed trace: Files differ")
-	}
-	if !reflect.DeepEqual(want.Peers, got.Peers) {
-		t.Error("streamed trace: Peers differ")
-	}
+	requireMetaEqual(t, want, got, "streamed trace")
 	requireDaysEqual(t, want, got, "streamed trace")
+}
+
+// requireMetaEqual materializes and compares both identity tables; the
+// .edt-loaded side decodes its lazy columns here.
+func requireMetaEqual(t *testing.T, want, got *trace.Trace, label string) {
+	t.Helper()
+	wantFiles, err := want.Files()
+	if err != nil {
+		t.Fatalf("%s: Files: %v", label, err)
+	}
+	gotFiles, err := got.Files()
+	if err != nil {
+		t.Fatalf("%s: Files: %v", label, err)
+	}
+	if !reflect.DeepEqual(wantFiles, gotFiles) {
+		t.Errorf("%s: Files differ", label)
+	}
+	wantPeers, err := want.Peers()
+	if err != nil {
+		t.Fatalf("%s: Peers: %v", label, err)
+	}
+	gotPeers, err := got.Peers()
+	if err != nil {
+		t.Fatalf("%s: Peers: %v", label, err)
+	}
+	if !reflect.DeepEqual(wantPeers, gotPeers) {
+		t.Errorf("%s: Peers differ", label)
+	}
 }
 
 // requireDaysEqual compares day snapshots by content (container layout
@@ -250,7 +273,7 @@ func TestRunStreamIntoTrace(t *testing.T) {
 	sink := sinkFunc(func(s *trace.DaySnapshot) error {
 		// Metadata grows as the crawl discovers identities; sync it
 		// before appending so AppendDay's validation sees the new ids.
-		got.Files, got.Peers = c.Meta()
+		got.SetIdentities(c.Meta())
 		if err := got.AppendDay(s); err != nil {
 			return err
 		}

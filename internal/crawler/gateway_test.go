@@ -35,10 +35,14 @@ func crawlWith(t *testing.T, cfg workload.Config, ccfg Config, workers, cap int)
 
 func requireTracesEqual(t *testing.T, want, got *trace.Trace, label string) {
 	t.Helper()
-	if !reflect.DeepEqual(want.Files, got.Files) {
+	wantFiles, _ := want.Files()
+	gotFiles, _ := got.Files()
+	if !reflect.DeepEqual(wantFiles, gotFiles) {
 		t.Fatalf("%s: file tables differ", label)
 	}
-	if !reflect.DeepEqual(want.Peers, got.Peers) {
+	wantPeers, _ := want.Peers()
+	gotPeers, _ := got.Peers()
+	if !reflect.DeepEqual(wantPeers, gotPeers) {
 		t.Fatalf("%s: peer tables differ", label)
 	}
 	if len(want.Days) != len(got.Days) {

@@ -49,17 +49,27 @@ func TestCrawlGolden(t *testing.T) {
 				t.Fatal(err)
 			}
 			t.Logf("wrote %s: %d peers, %d files, %d observations",
-				path, len(tr.Peers), len(tr.Files), tr.Observations())
+				path, tr.NumPeers(), tr.NumFiles(), tr.Observations())
 			continue
 		}
 		want, err := trace.ReadFile(path)
 		if err != nil {
 			t.Fatalf("read golden (regenerate with -update): %v", err)
 		}
-		if !reflect.DeepEqual(want.Files, tr.Files) {
+		wantFiles, err := want.Files()
+		if err != nil {
+			t.Fatalf("seed %d: golden Files: %v", seed, err)
+		}
+		wantPeers, err := want.Peers()
+		if err != nil {
+			t.Fatalf("seed %d: golden Peers: %v", seed, err)
+		}
+		gotFiles, _ := tr.Files()
+		gotPeers, _ := tr.Peers()
+		if !reflect.DeepEqual(wantFiles, gotFiles) {
 			t.Errorf("seed %d: file metadata diverged from pre-refactor capture", seed)
 		}
-		if !reflect.DeepEqual(want.Peers, tr.Peers) {
+		if !reflect.DeepEqual(wantPeers, gotPeers) {
 			t.Errorf("seed %d: peer identities diverged from pre-refactor capture", seed)
 		}
 		if len(want.Days) != len(tr.Days) {

@@ -2,7 +2,6 @@ package crawler
 
 import (
 	"fmt"
-	"io"
 	"runtime"
 	"testing"
 	"time"
@@ -23,20 +22,30 @@ import (
 // `make bench-diff` (benchjson -gate-extra): a change that re-boxes
 // per-client state — a map here, a string column there — or one that
 // serializes the parallel browse moves them far beyond the gate's
-// tolerance and fails CI.
+// tolerance and fails CI. The days=28 variant crawls a smaller
+// population for four weeks and additionally reports
+// bytes_per_peer_day: the streamed .edt bytes one (peer, day) costs
+// once the delta encoding reaches its slow-churn steady state — the
+// number that decides whether a ten-week million-peer capture fits a
+// disk. Also gated unscaled.
 func BenchmarkCrawlScale(b *testing.B) {
-	for _, peers := range []int{20000} {
-		b.Run(fmt.Sprintf("peers=%d", peers), func(b *testing.B) {
+	for _, shape := range []struct{ peers, days int }{{20000, 2}, {2000, 28}} {
+		peers, days := shape.peers, shape.days
+		name := fmt.Sprintf("peers=%d", peers)
+		if days != 2 {
+			name = fmt.Sprintf("peers=%d/days=%d", peers, days)
+		}
+		b.Run(name, func(b *testing.B) {
 			cfg := workload.DefaultConfig()
 			cfg.Seed = 5
 			cfg.Peers = peers
-			cfg.Days = 2
+			cfg.Days = days
 			cfg.Topics = max(8, peers/20)
 			cfg.InitialFiles = 30 * peers
 			cfg.NewFilesPerDay = max(1, cfg.InitialFiles/100)
 
 			var bytesPerPeer float64
-			var crawlNs, snapshots int64
+			var crawlNs, snapshots, written int64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				before := heapAfterGC()
@@ -51,7 +60,8 @@ func BenchmarkCrawlScale(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				ew, err := trace.NewEDTWriter(io.Discard)
+				cw := &countWriter{}
+				ew, err := trace.NewEDTWriter(cw)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -68,11 +78,23 @@ func BenchmarkCrawlScale(b *testing.B) {
 					b.Fatal("empty crawl")
 				}
 				snapshots += int64(c.Stats.Snapshots)
+				written = cw.n
 			}
 			b.ReportMetric(bytesPerPeer, "bytes_per_peer")
 			b.ReportMetric(float64(crawlNs)/float64(snapshots), "ns/snap")
+			if days > 2 {
+				b.ReportMetric(float64(written)/float64(peers*days), "bytes_per_peer_day")
+			}
 		})
 	}
+}
+
+// countWriter counts streamed bytes (the crawl discards the capture).
+type countWriter struct{ n int64 }
+
+func (w *countWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
 }
 
 // heapAfterGC returns live heap bytes after a forced collection.

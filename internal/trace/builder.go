@@ -147,10 +147,11 @@ func (b *Builder) DrainDay(day int) (d *DaySnapshot, ok bool) {
 // Build finalizes the trace. The builder may keep being used afterwards;
 // the returned trace shares no mutable state with it.
 func (b *Builder) Build() *Trace {
-	t := &Trace{
-		Files: append([]FileMeta(nil), b.files...),
-		Peers: append([]PeerInfo(nil), b.peers...),
-	}
+	t := New(
+		append([]FileMeta(nil), b.files...),
+		append([]PeerInfo(nil), b.peers...),
+		nil,
+	)
 	days := make([]int, 0, len(b.days))
 	for d := range b.days {
 		days = append(days, d)

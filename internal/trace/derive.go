@@ -31,14 +31,8 @@ func mustAppendRow(b *tracestore.SnapBuilder[PeerID, FileID], pid PeerID, row []
 // the paper ("we removed all clients sharing either the same IP address or
 // the same unique identifier (and kept the free riders)").
 func (t *Trace) Filter() *Trace {
-	byIP := make(map[uint32]int)
-	byHash := make(map[[16]byte]int)
-	for _, p := range t.Peers {
-		byIP[p.IP]++
-		byHash[p.UserHash]++
-	}
 	// A peer is a free-rider for filtering purposes if it never shared.
-	shares := make([]bool, len(t.Peers))
+	shares := make([]bool, t.NumPeers())
 	for _, s := range t.Days {
 		s.ForEachRow(func(pid PeerID, cache []FileID) {
 			if len(cache) > 0 {
@@ -46,12 +40,29 @@ func (t *Trace) Filter() *Trace {
 			}
 		})
 	}
-	keep := make([]bool, len(t.Peers))
-	for i, p := range t.Peers {
-		dup := byIP[p.IP] > 1 || byHash[p.UserHash] > 1
-		keep[i] = !dup || !shares[i]
+	return t.SubsetPeers(t.FilterKeep(shares))
+}
+
+// FilterKeep computes the Filter keep mask from an externally folded
+// "ever shared" bitset. The streaming loader builds shares window by
+// window without holding the days resident, then applies the mask to
+// each decoded window; Filter above is the resident-trace shorthand.
+func (t *Trace) FilterKeep(shares []bool) []bool {
+	// Only the identity columns (user hash + IP) are touched — names,
+	// countries and the rest stay undecoded on a lazy trace.
+	n := t.NumPeers()
+	byIP := make(map[uint32]int, n)
+	byHash := make(map[[16]byte]int, n)
+	for i := 0; i < n; i++ {
+		byIP[t.PeerIP(PeerID(i))]++
+		byHash[t.PeerUserHash(PeerID(i))]++
 	}
-	return t.SubsetPeers(keep)
+	keep := make([]bool, n)
+	for i := 0; i < n; i++ {
+		dup := byIP[t.PeerIP(PeerID(i))] > 1 || byHash[t.PeerUserHash(PeerID(i))] > 1
+		keep[i] = !dup || i >= len(shares) || !shares[i]
+	}
+	return keep
 }
 
 // SubsetPeers returns a new trace containing only the peers with
@@ -59,30 +70,29 @@ func (t *Trace) Filter() *Trace {
 // links pointing at dropped peers become -1. Days on which no kept peer
 // was observed are dropped.
 func (t *Trace) SubsetPeers(keep []bool) *Trace {
-	remap := make([]int32, len(t.Peers))
-	var peers []PeerInfo
-	for i, p := range t.Peers {
+	n := t.NumPeers()
+	remap := make([]int32, n)
+	var orig []PeerID
+	for i := 0; i < n; i++ {
 		if i < len(keep) && keep[i] {
-			remap[i] = int32(len(peers))
-			peers = append(peers, p)
+			remap[i] = int32(len(orig))
+			orig = append(orig, PeerID(i))
 		} else {
 			remap[i] = -1
 		}
 	}
-	for i := range peers {
-		peers[i].ID = PeerID(i)
-		if a := peers[i].AliasOf; a >= 0 {
-			peers[i].AliasOf = remap[a]
-		}
-	}
 	out := &Trace{
-		Files: append([]FileMeta(nil), t.Files...),
-		Peers: peers,
+		files: t.ftab(),
+		peers: &peerSubset{parent: t.ptab(), orig: orig, remap: remap},
 	}
+	numFiles := t.NumFiles()
+	var prev *DaySnapshot
 	for _, s := range t.Days {
 		// The dense renumbering is monotonic, so rows stay ascending and
-		// one pass rebuilds the day.
-		b := tracestore.NewSnapBuilder[PeerID, FileID](s.Day, len(t.Files), true)
+		// one pass rebuilds the day. Rows identical to the previous kept
+		// day dedup into shared references instead of fresh containers.
+		b := tracestore.NewSnapBuilder[PeerID, FileID](s.Day, numFiles, true)
+		b.SetShareBase(prev)
 		rows, numRows := 0, 0
 		s.ForEachRow(func(pid PeerID, cache []FileID) {
 			np := remap[pid]
@@ -94,7 +104,9 @@ func (t *Trace) SubsetPeers(keep []bool) *Trace {
 			numRows = int(np) + 1
 		})
 		if rows > 0 {
-			out.Days = append(out.Days, mustFinish(b, numRows))
+			d := mustFinish(b, numRows)
+			out.Days = append(out.Days, d)
+			prev = d
 		}
 	}
 	return out
@@ -104,26 +116,26 @@ func (t *Trace) SubsetPeers(keep []bool) *Trace {
 // keep[fid] == true, renumbered densely and removed from every cache.
 // Used by the popular-file ablations (paper Fig. 20).
 func (t *Trace) SubsetFiles(keep []bool) *Trace {
-	remap := make([]int32, len(t.Files))
-	var files []FileMeta
-	for i := range t.Files {
+	n := t.NumFiles()
+	remap := make([]int32, n)
+	var orig []FileID
+	for i := 0; i < n; i++ {
 		if i < len(keep) && keep[i] {
-			remap[i] = int32(len(files))
-			files = append(files, t.Files[i])
+			remap[i] = int32(len(orig))
+			orig = append(orig, FileID(i))
 		} else {
 			remap[i] = -1
 		}
 	}
-	for i := range files {
-		files[i].ID = FileID(i)
-	}
 	out := &Trace{
-		Files: files,
-		Peers: append([]PeerInfo(nil), t.Peers...),
+		files: &fileSubset{parent: t.ftab(), orig: orig},
+		peers: t.ptab(),
 	}
 	var nc []FileID
+	var prev *DaySnapshot
 	for _, s := range t.Days {
-		b := tracestore.NewSnapBuilder[PeerID, FileID](s.Day, len(files), true)
+		b := tracestore.NewSnapBuilder[PeerID, FileID](s.Day, len(orig), true)
+		b.SetShareBase(prev)
 		numRows := 0
 		s.ForEachRow(func(pid PeerID, cache []FileID) {
 			nc = nc[:0]
@@ -137,7 +149,9 @@ func (t *Trace) SubsetFiles(keep []bool) *Trace {
 			mustAppendRow(b, pid, nc)
 			numRows = int(pid) + 1
 		})
-		out.Days = append(out.Days, mustFinish(b, numRows))
+		d := mustFinish(b, numRows)
+		out.Days = append(out.Days, d)
+		prev = d
 	}
 	return out
 }
@@ -169,9 +183,10 @@ func (t *Trace) Extrapolate(opts ExtrapolateOptions) *Trace {
 	if opts.MinSnapshots == 0 && opts.MinSpanDays == 0 {
 		opts = DefaultExtrapolateOptions()
 	}
-	count := make([]int, len(t.Peers))
-	firstDay := make([]int, len(t.Peers))
-	lastDay := make([]int, len(t.Peers))
+	numPeers := t.NumPeers()
+	count := make([]int, numPeers)
+	firstDay := make([]int, numPeers)
+	lastDay := make([]int, numPeers)
 	for _, s := range t.Days {
 		s.ForEachRow(func(pid PeerID, _ []FileID) {
 			if count[pid] == 0 {
@@ -181,8 +196,8 @@ func (t *Trace) Extrapolate(opts ExtrapolateOptions) *Trace {
 			count[pid]++
 		})
 	}
-	keep := make([]bool, len(t.Peers))
-	for pid := range t.Peers {
+	keep := make([]bool, numPeers)
+	for pid := 0; pid < numPeers; pid++ {
 		if count[pid] >= opts.MinSnapshots && lastDay[pid]-firstDay[pid] >= opts.MinSpanDays {
 			keep[pid] = true
 		}
@@ -227,22 +242,30 @@ func (t *Trace) Extrapolate(opts ExtrapolateOptions) *Trace {
 			}
 		}
 	}
-	out := &Trace{Files: sub.Files, Peers: sub.Peers}
+	out := &Trace{files: sub.ftab(), peers: sub.ptab()}
 	days := make([]int, 0, len(daysOut))
 	for d := range daysOut {
 		days = append(days, d)
 	}
 	slices.Sort(days)
+	numFiles := sub.NumFiles()
+	var prev *DaySnapshot
 	for _, d := range days {
 		rows := daysOut[d]
 		slices.SortFunc(rows, func(a, b row) int { return cmp.Compare(a.pid, b.pid) })
-		b := tracestore.NewSnapBuilder[PeerID, FileID](d, len(sub.Files), true)
+		// Gap fills repeat the same intersection across every day of a
+		// gap; sharing against the previous built day stores each fill
+		// (and every unchanged observed row) once.
+		b := tracestore.NewSnapBuilder[PeerID, FileID](d, numFiles, true)
+		b.SetShareBase(prev)
 		numRows := 0
 		for _, r := range rows {
 			mustAppendRow(b, r.pid, r.cache)
 			numRows = int(r.pid) + 1
 		}
-		out.Days = append(out.Days, mustFinish(b, numRows))
+		ds := mustFinish(b, numRows)
+		out.Days = append(out.Days, ds)
+		prev = ds
 	}
 	return out
 }

@@ -6,7 +6,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
 	"slices"
+	"sync"
 
 	"edonkey/internal/runner"
 	"edonkey/internal/tracestore"
@@ -496,7 +498,9 @@ func (ew *EDTWriter) Finish(files []FileMeta, peers []PeerInfo) error {
 	return ew.write(tail)
 }
 
-// WriteEDT writes the whole trace in the .edt format.
+// WriteEDT writes the whole trace in the .edt format. The identity
+// tables are materialized for the writer, so a lazy trace decodes them
+// here (and a corrupt one fails here).
 func (t *Trace) WriteEDT(w io.Writer) error {
 	ew, err := NewEDTWriter(w)
 	if err != nil {
@@ -507,7 +511,15 @@ func (t *Trace) WriteEDT(w io.Writer) error {
 			return err
 		}
 	}
-	return ew.Finish(t.Files, t.Peers)
+	files, err := t.Files()
+	if err != nil {
+		return err
+	}
+	peers, err := t.Peers()
+	if err != nil {
+		return err
+	}
+	return ew.Finish(files, peers)
 }
 
 // EDTReader is the random-access side of the format: the footer is read
@@ -518,6 +530,7 @@ func (t *Trace) WriteEDT(w io.Writer) error {
 // worker pool (SetPool overrides the default GOMAXPROCS-sized one).
 type EDTReader struct {
 	r            io.ReaderAt
+	path         string // reopen source for post-load lazy decodes
 	days         []EDTDayInfo
 	pool         *runner.Pool
 	numPeers     int
@@ -526,6 +539,22 @@ type EDTReader struct {
 	filesOff     int64
 	peerIdentOff int64
 	peersOff     int64
+
+	// Lazy identity tables, shared by every Trace this reader returns
+	// (windowed loads of the same file decode each column group once).
+	ftab *edtFiles
+	ptab *edtPeers
+}
+
+// SetPath tells the reader where to reopen its file for identity
+// decodes that happen after the load — ReadFile closes its handle when
+// it returns, but a lazy trace touches identity sections later. Without
+// a path, lazy decodes read the original ReaderAt, which the caller
+// must then keep open as long as the returned traces live (always true
+// for in-memory readers). It returns the reader.
+func (er *EDTReader) SetPath(path string) *EDTReader {
+	er.path = path
+	return er
 }
 
 // SetPool overrides the worker pool TraceRange and Meta decode on
@@ -624,17 +653,39 @@ func NewEDTReader(r io.ReaderAt, size int64) (*EDTReader, error) {
 		er.peerIdentOff >= footerOff || er.peersOff >= footerOff {
 		return nil, fmt.Errorf("trace: edt: table offset out of range")
 	}
+	er.ftab = &edtFiles{er: er, n: er.numFiles}
+	er.ptab = &edtPeers{er: er, n: er.numPeers}
 	return er, nil
 }
 
 // section reads and decompresses the section at off, checking its kind.
 // limit bounds how far the compressed payload may extend.
 func (er *EDTReader) section(off, limit int64, kind byte) ([]byte, error) {
+	return sectionFrom(er.r, off, limit, kind)
+}
+
+// identSection reads one identity-table section after the load may have
+// finished: with a path set, the file is reopened for the read (the
+// load-time handle is gone); otherwise the original ReaderAt serves it.
+func (er *EDTReader) identSection(off int64, kind byte) ([]byte, error) {
+	r := er.r
+	if er.path != "" {
+		f, err := os.Open(er.path)
+		if err != nil {
+			return nil, fmt.Errorf("trace: edt: reopen for identity decode: %w", err)
+		}
+		defer f.Close()
+		r = f
+	}
+	return sectionFrom(r, off, off+edtSectionHeader+edtMaxSection, kind)
+}
+
+func sectionFrom(r io.ReaderAt, off, limit int64, kind byte) ([]byte, error) {
 	if off < 0 || off+edtSectionHeader > limit {
 		return nil, fmt.Errorf("trace: edt: section header out of range")
 	}
 	hdr := make([]byte, edtSectionHeader)
-	if _, err := er.r.ReadAt(hdr, off); err != nil {
+	if _, err := r.ReadAt(hdr, off); err != nil {
 		return nil, fmt.Errorf("trace: edt: %w", err)
 	}
 	if hdr[0] != kind {
@@ -652,12 +703,12 @@ func (er *EDTReader) section(off, limit int64, kind byte) ([]byte, error) {
 			return nil, fmt.Errorf("trace: edt: raw section length mismatch")
 		}
 		body := make([]byte, rawLen)
-		if _, err := er.r.ReadAt(body, off+edtSectionHeader); err != nil {
+		if _, err := r.ReadAt(body, off+edtSectionHeader); err != nil {
 			return nil, fmt.Errorf("trace: edt: %w", err)
 		}
 		return body, nil
 	case edtCodecFlate:
-		fr := flate.NewReader(io.NewSectionReader(er.r, off+edtSectionHeader, storedLen))
+		fr := flate.NewReader(io.NewSectionReader(r, off+edtSectionHeader, storedLen))
 		defer fr.Close()
 		body := make([]byte, rawLen)
 		if _, err := io.ReadFull(fr, body); err != nil {
@@ -684,6 +735,99 @@ func (er *EDTReader) NumFiles() int { return er.numFiles }
 
 // DayInfo returns the footer stats of the i-th day section — no decoding.
 func (er *EDTReader) DayInfo(i int) EDTDayInfo { return er.days[i] }
+
+// EDTDayDelta is the delta structure of one day section, recovered from
+// a tag-column scan without decoding any postings: how many observed
+// rows were stored absolute, how many as real diffs, and how many as
+// byte-free "unchanged" markers — the rows that decode into shared
+// containers and cost (almost) no resident memory.
+type EDTDayDelta struct {
+	Rows      int // observed rows
+	Absolute  int // absolute cache encodings
+	Changed   int // diffs carrying removals/additions
+	Unchanged int // no-op diffs: shared rows after decode
+}
+
+// Churn is the fraction of delta-encodable rows that actually changed:
+// Changed / (Changed + Unchanged). It reports 0 for a day with no
+// delta-encoded rows (e.g. a keyframe).
+func (d EDTDayDelta) Churn() float64 {
+	if n := d.Changed + d.Unchanged; n > 0 {
+		return float64(d.Changed) / float64(n)
+	}
+	return 0
+}
+
+// DayDelta scans the tag columns of the i-th day section. It reads the
+// section body but stops before the id payload, so the cost is a few
+// varints per row, not per posting.
+func (er *EDTReader) DayDelta(i int) (EDTDayDelta, error) {
+	if i < 0 || i >= len(er.days) {
+		return EDTDayDelta{}, fmt.Errorf("trace: edt: day index %d out of range", i)
+	}
+	info := er.days[i]
+	body, err := er.section(info.off, info.off+edtSectionHeader+edtMaxSection, edtKindDay)
+	if err != nil {
+		return EDTDayDelta{}, err
+	}
+	br := byteReader{buf: body}
+	br.uvarint() // day
+	nRows := br.count(2)
+	if int(nRows) != info.Rows {
+		return EDTDayDelta{}, fmt.Errorf("trace: edt: day %d row count mismatch", info.Day)
+	}
+	for r := uint64(0); r < nRows && br.err == nil; r++ {
+		br.delta() // pid column
+	}
+	d := EDTDayDelta{Rows: int(nRows)}
+	var diffRems []uint64
+	for r := uint64(0); r < nRows && br.err == nil; r++ {
+		tag := br.uvarint()
+		if tag&1 == 0 {
+			d.Absolute++
+		} else {
+			diffRems = append(diffRems, tag>>1)
+		}
+	}
+	for _, nRem := range diffRems {
+		if br.err != nil {
+			break
+		}
+		if nAdd := br.uvarint(); nRem == 0 && nAdd == 0 {
+			d.Unchanged++
+		} else {
+			d.Changed++
+		}
+	}
+	if br.err != nil {
+		return EDTDayDelta{}, fmt.Errorf("trace: edt: corrupt day %d: %w", info.Day, br.err)
+	}
+	return d, nil
+}
+
+// IdentBytes returns the stored (on-disk) sizes of the four identity
+// sections: file hashes, file metadata, peer identities, peer metadata.
+// Only the 10-byte section headers are read.
+func (er *EDTReader) IdentBytes() (fileHash, files, peerIdent, peers int64, err error) {
+	read := func(off int64) (int64, error) {
+		hdr := make([]byte, edtSectionHeader)
+		if _, err := er.r.ReadAt(hdr, off); err != nil {
+			return 0, fmt.Errorf("trace: edt: %w", err)
+		}
+		return int64(binary.LittleEndian.Uint32(hdr[2:])), nil
+	}
+	if fileHash, err = read(er.fileHashOff); err != nil {
+		return
+	}
+	if files, err = read(er.filesOff); err != nil {
+		return
+	}
+	if peerIdent, err = read(er.peerIdentOff); err != nil {
+		return
+	}
+	peers, err = read(er.peersOff)
+	return
+}
 
 // Meta decodes the identity tables. The file and peer tables are
 // independent sections, so their DEFLATE streams inflate as two pool
@@ -806,6 +950,385 @@ func (er *EDTReader) metaPeers() ([]PeerInfo, error) {
 	return peers, nil
 }
 
+// edtFiles is the lazy file table of one .edt file. Nothing is read at
+// construction; each column group decodes once, on first touch, under
+// its own sync.Once with a sticky error:
+//
+//   - hashes: the raw hash section, kept as a 16-byte-stride column;
+//   - meta: sizes/kinds/topics/release days, decoded by inflating the
+//     files section and skipping the name bytes without retaining them;
+//   - names: the name column as one shared backing string — until this
+//     group is touched the names exist only as DEFLATE bytes on disk.
+//
+// Accessors return zero values on decode errors and out-of-range ids;
+// decodeFiles surfaces the sticky errors.
+type edtFiles struct {
+	er *EDTReader
+	n  int
+
+	hashOnce sync.Once
+	hashes   []byte
+	hashErr  error
+
+	metaOnce sync.Once
+	sizes    []int64
+	kinds    []byte
+	topics   []int32
+	releases []int32
+	metaErr  error
+
+	nameOnce sync.Once
+	nameOffs []int32
+	names    string
+	nameErr  error
+}
+
+func (ft *edtFiles) loadHashes() error {
+	ft.hashOnce.Do(func() {
+		body, err := ft.er.identSection(ft.er.fileHashOff, edtKindFileHash)
+		if err == nil && len(body) != 16*ft.n {
+			err = fmt.Errorf("trace: edt: file hash column size mismatch")
+		}
+		if err != nil {
+			ft.hashErr = err
+			return
+		}
+		ft.hashes = body
+	})
+	return ft.hashErr
+}
+
+// filesBody inflates the files section and positions a reader past the
+// leading count, which both column groups share.
+func (ft *edtFiles) filesBody() (byteReader, error) {
+	body, err := ft.er.identSection(ft.er.filesOff, edtKindFiles)
+	if err != nil {
+		return byteReader{}, err
+	}
+	br := byteReader{buf: body}
+	if n := br.count(4); br.err != nil || uint64(ft.n) != n {
+		return byteReader{}, fmt.Errorf("trace: edt: file table count mismatch")
+	}
+	return br, nil
+}
+
+func (ft *edtFiles) loadMeta() error {
+	ft.metaOnce.Do(func() { ft.metaErr = ft.decodeMeta() })
+	return ft.metaErr
+}
+
+func (ft *edtFiles) decodeMeta() error {
+	br, err := ft.filesBody()
+	if err != nil {
+		return err
+	}
+	// Skip the name column; its bytes are not retained here.
+	skip := 0
+	for i := 0; i < ft.n; i++ {
+		skip += int(br.count(1))
+	}
+	br.take(skip)
+	sizes := make([]int64, ft.n)
+	for i := range sizes {
+		sizes[i] = br.varint()
+	}
+	kinds := make([]byte, ft.n)
+	for i := range kinds {
+		if k := br.byte(); k < byte(numKinds) {
+			kinds[i] = k
+		} else {
+			br.fail("file kind out of range")
+		}
+	}
+	topics := make([]int32, ft.n)
+	for i := range topics {
+		topics[i] = int32(br.varint())
+	}
+	releases := make([]int32, ft.n)
+	for i := range releases {
+		releases[i] = int32(br.varint())
+	}
+	if br.err != nil {
+		return fmt.Errorf("trace: edt: corrupt file table: %w", br.err)
+	}
+	ft.sizes, ft.kinds, ft.topics, ft.releases = sizes, kinds, topics, releases
+	return nil
+}
+
+func (ft *edtFiles) loadNames() error {
+	ft.nameOnce.Do(func() { ft.nameErr = ft.decodeNames() })
+	return ft.nameErr
+}
+
+func (ft *edtFiles) decodeNames() error {
+	br, err := ft.filesBody()
+	if err != nil {
+		return err
+	}
+	offs := make([]int32, ft.n+1)
+	for i := 0; i < ft.n; i++ {
+		offs[i+1] = offs[i] + int32(br.count(1))
+	}
+	all := string(br.take(int(offs[ft.n])))
+	if br.err != nil {
+		return fmt.Errorf("trace: edt: corrupt file table: %w", br.err)
+	}
+	ft.nameOffs, ft.names = offs, all
+	return nil
+}
+
+func (ft *edtFiles) numFiles() int { return ft.n }
+
+func (ft *edtFiles) fileHash(f FileID) (h [16]byte) {
+	if ft.loadHashes() != nil || int(f) >= ft.n {
+		return h
+	}
+	copy(h[:], ft.hashes[16*int(f):])
+	return h
+}
+
+func (ft *edtFiles) fileName(f FileID) string {
+	if ft.loadNames() != nil || int(f) >= ft.n {
+		return ""
+	}
+	return ft.names[ft.nameOffs[f]:ft.nameOffs[f+1]]
+}
+
+func (ft *edtFiles) fileSize(f FileID) int64 {
+	if ft.loadMeta() != nil || int(f) >= ft.n {
+		return 0
+	}
+	return ft.sizes[f]
+}
+
+func (ft *edtFiles) fileKind(f FileID) FileKind {
+	if ft.loadMeta() != nil || int(f) >= ft.n {
+		return KindOther
+	}
+	return FileKind(ft.kinds[f])
+}
+
+func (ft *edtFiles) fileTopic(f FileID) int32 {
+	if ft.loadMeta() != nil || int(f) >= ft.n {
+		return -1
+	}
+	return ft.topics[f]
+}
+
+func (ft *edtFiles) fileReleaseDay(f FileID) int32 {
+	if ft.loadMeta() != nil || int(f) >= ft.n {
+		return -1
+	}
+	return ft.releases[f]
+}
+
+func (ft *edtFiles) decodeFiles() error {
+	if err := ft.loadHashes(); err != nil {
+		return err
+	}
+	if err := ft.loadMeta(); err != nil {
+		return err
+	}
+	return ft.loadNames()
+}
+
+func (ft *edtFiles) validateFiles() error { return nil }
+
+// edtPeers is the lazy peer table of one .edt file, split like edtFiles:
+// the raw identity column (user hash + IP, 20-byte stride), the
+// compressed metadata group (countries/ASNs/flags/aliases, skipping
+// nickname bytes), and the nickname column on its own.
+type edtPeers struct {
+	er *EDTReader
+	n  int
+
+	identOnce sync.Once
+	idents    []byte
+	identErr  error
+
+	metaOnce    sync.Once
+	countryOffs []int32
+	countries   string
+	asns        []uint32
+	flags       []byte
+	alias       []int32
+	metaErr     error
+
+	nickOnce sync.Once
+	nickOffs []int32
+	nicks    string
+	nickErr  error
+}
+
+func (pt *edtPeers) loadIdents() error {
+	pt.identOnce.Do(func() {
+		body, err := pt.er.identSection(pt.er.peerIdentOff, edtKindPeerIdent)
+		if err == nil && len(body) != 20*pt.n {
+			err = fmt.Errorf("trace: edt: peer identity column size mismatch")
+		}
+		if err != nil {
+			pt.identErr = err
+			return
+		}
+		pt.idents = body
+	})
+	return pt.identErr
+}
+
+func (pt *edtPeers) peersBody() (byteReader, error) {
+	body, err := pt.er.identSection(pt.er.peersOff, edtKindPeers)
+	if err != nil {
+		return byteReader{}, err
+	}
+	br := byteReader{buf: body}
+	if n := br.count(4); br.err != nil || uint64(pt.n) != n {
+		return byteReader{}, fmt.Errorf("trace: edt: peer table count mismatch")
+	}
+	return br, nil
+}
+
+func (pt *edtPeers) loadMeta() error {
+	pt.metaOnce.Do(func() { pt.metaErr = pt.decodeMeta() })
+	return pt.metaErr
+}
+
+func (pt *edtPeers) decodeMeta() error {
+	br, err := pt.peersBody()
+	if err != nil {
+		return err
+	}
+	countryOffs := make([]int32, pt.n+1)
+	for i := 0; i < pt.n; i++ {
+		countryOffs[i+1] = countryOffs[i] + int32(br.count(1))
+	}
+	countries := string(br.take(int(countryOffs[pt.n])))
+	// Skip the nickname column; it has its own group.
+	skip := 0
+	for i := 0; i < pt.n; i++ {
+		skip += int(br.count(1))
+	}
+	br.take(skip)
+	asns := make([]uint32, pt.n)
+	for i := range asns {
+		asns[i] = uint32(br.uvarint())
+	}
+	// Copied: a subslice would pin the whole inflated section body.
+	flags := append([]byte(nil), br.take(pt.n)...)
+	alias := make([]int32, pt.n)
+	for i := range alias {
+		a := br.varint()
+		if a >= int64(pt.n) || a < -(1<<31) {
+			br.fail("alias out of range")
+			break
+		}
+		alias[i] = int32(a)
+	}
+	if br.err != nil {
+		return fmt.Errorf("trace: edt: corrupt peer table: %w", br.err)
+	}
+	pt.countryOffs, pt.countries = countryOffs, countries
+	pt.asns, pt.flags, pt.alias = asns, flags, alias
+	return nil
+}
+
+func (pt *edtPeers) loadNicks() error {
+	pt.nickOnce.Do(func() { pt.nickErr = pt.decodeNicks() })
+	return pt.nickErr
+}
+
+func (pt *edtPeers) decodeNicks() error {
+	br, err := pt.peersBody()
+	if err != nil {
+		return err
+	}
+	skip := 0
+	for i := 0; i < pt.n; i++ {
+		skip += int(br.count(1))
+	}
+	br.take(skip) // country bytes
+	nickOffs := make([]int32, pt.n+1)
+	for i := 0; i < pt.n; i++ {
+		nickOffs[i+1] = nickOffs[i] + int32(br.count(1))
+	}
+	nicks := string(br.take(int(nickOffs[pt.n])))
+	if br.err != nil {
+		return fmt.Errorf("trace: edt: corrupt peer table: %w", br.err)
+	}
+	pt.nickOffs, pt.nicks = nickOffs, nicks
+	return nil
+}
+
+func (pt *edtPeers) numPeers() int { return pt.n }
+
+func (pt *edtPeers) peerUserHash(p PeerID) (h [16]byte) {
+	if pt.loadIdents() != nil || int(p) >= pt.n {
+		return h
+	}
+	copy(h[:], pt.idents[20*int(p):])
+	return h
+}
+
+func (pt *edtPeers) peerIP(p PeerID) uint32 {
+	if pt.loadIdents() != nil || int(p) >= pt.n {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(pt.idents[20*int(p)+16:])
+}
+
+func (pt *edtPeers) peerCountry(p PeerID) string {
+	if pt.loadMeta() != nil || int(p) >= pt.n {
+		return ""
+	}
+	return pt.countries[pt.countryOffs[p]:pt.countryOffs[p+1]]
+}
+
+func (pt *edtPeers) peerASN(p PeerID) uint32 {
+	if pt.loadMeta() != nil || int(p) >= pt.n {
+		return 0
+	}
+	return pt.asns[p]
+}
+
+func (pt *edtPeers) peerNickname(p PeerID) string {
+	if pt.loadNicks() != nil || int(p) >= pt.n {
+		return ""
+	}
+	return pt.nicks[pt.nickOffs[p]:pt.nickOffs[p+1]]
+}
+
+func (pt *edtPeers) peerFirewalled(p PeerID) bool {
+	if pt.loadMeta() != nil || int(p) >= pt.n {
+		return false
+	}
+	return pt.flags[p]&1 != 0
+}
+
+func (pt *edtPeers) peerBrowseOK(p PeerID) bool {
+	if pt.loadMeta() != nil || int(p) >= pt.n {
+		return false
+	}
+	return pt.flags[p]&2 != 0
+}
+
+func (pt *edtPeers) peerAliasOf(p PeerID) int32 {
+	if pt.loadMeta() != nil || int(p) >= pt.n {
+		return -1
+	}
+	return pt.alias[p]
+}
+
+func (pt *edtPeers) decodePeers() error {
+	if err := pt.loadIdents(); err != nil {
+		return err
+	}
+	if err := pt.loadMeta(); err != nil {
+		return err
+	}
+	return pt.loadNicks()
+}
+
+func (pt *edtPeers) validatePeers() error { return nil }
+
 // Day decodes the i-th day section into a columnar DaySnapshot. A
 // keyframe section decodes alone; a delta section replays forward from
 // the nearest keyframe at or before it (at most edtKeyframeEvery-1
@@ -818,25 +1341,47 @@ func (er *EDTReader) Day(i int) (*DaySnapshot, error) {
 	for start > 0 && !er.days[start].Keyframe() {
 		start--
 	}
-	state := make([][]FileID, er.numPeers)
-	stateNNZ := 0
+	st := newDecodeState(er.numPeers)
 	for j := start; j < i; j++ {
-		if _, err := er.decodeDay(j, state, &stateNNZ, false); err != nil {
+		if _, err := er.decodeDay(j, st, false); err != nil {
 			return nil, err
 		}
 	}
-	return er.decodeDay(i, state, &stateNNZ, true)
+	return er.decodeDay(i, st, true)
+}
+
+// decodeState is the running delta-chain state of one keyframe group:
+// the per-peer cache contents (nil = not observed since the last
+// keyframe, emptyFiles = an observed empty cache), the total postings
+// they hold, and — for no-op delta detection — the snapshot that owns
+// each peer's current materialized row, so an unchanged row decodes as
+// a shared reference into it instead of a fresh container.
+type decodeState struct {
+	cache [][]FileID
+	src   []*DaySnapshot
+	nnz   int
+}
+
+func newDecodeState(numPeers int) *decodeState {
+	return &decodeState{
+		cache: make([][]FileID, numPeers),
+		src:   make([]*DaySnapshot, numPeers),
+	}
 }
 
 // decodeDay decodes one section directly into a columnar DaySnapshot,
-// against the running per-peer cache state (the delta chain, indexed by
-// PeerID; nil = not observed since the last keyframe, emptyFiles = an
-// observed empty cache; stateNNZ tracks its total postings). The state
-// is updated by replacement, so previously returned snapshots never
-// alias slices that later days mutate. Run-up days decoded only to
-// advance the chain pass wantSnapshot=false and skip the snapshot
-// construction entirely.
-func (er *EDTReader) decodeDay(i int, state [][]FileID, stateNNZ *int, wantSnapshot bool) (*DaySnapshot, error) {
+// against the running delta-chain state. The cache state is updated by
+// replacement, so previously returned snapshots never alias slices that
+// later days mutate. Run-up days decoded only to advance the chain pass
+// wantSnapshot=false and skip the snapshot construction entirely.
+//
+// A no-op delta (a peer whose cache did not change) does not rebuild
+// the row: when the chain knows which earlier snapshot of this group
+// materialized it, the row is appended as a shared reference
+// (tracestore's cross-day row sharing) — on slow-churn captures that
+// collapses most of a group's resident postings into its keyframe.
+func (er *EDTReader) decodeDay(i int, st *decodeState, wantSnapshot bool) (*DaySnapshot, error) {
+	state := st.cache
 	info := er.days[i]
 	body, err := er.section(info.off, info.off+edtSectionHeader+edtMaxSection, edtKindDay)
 	if err != nil {
@@ -844,7 +1389,8 @@ func (er *EDTReader) decodeDay(i int, state [][]FileID, stateNNZ *int, wantSnaps
 	}
 	if info.Keyframe() {
 		clear(state) // delta bases may not cross a keyframe
-		*stateNNZ = 0
+		clear(st.src)
+		st.nnz = 0
 	}
 	// The footer's row count sizes allocations below; a corrupted footer
 	// cannot claim more entries than the section has bytes.
@@ -910,7 +1456,7 @@ func (er *EDTReader) decodeDay(i int, state [][]FileID, stateNNZ *int, wantSnaps
 		// the hint allocate beyond real data; the exact nnz cross-check
 		// below still rejects the file.
 		hint := info.Postings
-		if lim := *stateNNZ + int(payloadIDs); hint > lim {
+		if lim := st.nnz + int(payloadIDs); hint > lim {
 			hint = lim
 		}
 		sb.Grow(int(nRows), hint)
@@ -918,6 +1464,7 @@ func (er *EDTReader) decodeDay(i int, state [][]FileID, stateNNZ *int, wantSnaps
 	nnz := 0
 	diff := 0
 	var scratch []FileID
+	var materialized []PeerID // rows this day owns (not shared from earlier)
 	for r := 0; r < len(pids) && br.err == nil; r++ {
 		pid := pids[r]
 		tag := tags[r]
@@ -940,6 +1487,24 @@ func (er *EDTReader) decodeDay(i int, state [][]FileID, stateNNZ *int, wantSnaps
 			}
 			nRem, nAdd := tag>>1, addLens[diff]
 			diff++
+			if nRem == 0 && nAdd == 0 && len(prev) > 0 {
+				// Unchanged row: the chain state already holds it. Share
+				// the owning snapshot's container when one exists (rows
+				// first materialized on a skipped run-up day have none).
+				nnz += len(prev)
+				if wantSnapshot {
+					if src := st.src[pid]; src != nil {
+						err = sb.AppendRowShared(pid, src)
+					} else {
+						err = sb.AppendRow(pid, prev)
+						materialized = append(materialized, pid)
+					}
+					if err != nil {
+						return nil, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+					}
+				}
+				continue
+			}
 			scratch = scratch[:0]
 			if scratch, err = br.idRun(scratch, nRem, numFiles); err != nil {
 				return nil, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
@@ -953,7 +1518,7 @@ func (er *EDTReader) decodeDay(i int, state [][]FileID, stateNNZ *int, wantSnaps
 			}
 		}
 		nnz += len(cache)
-		*stateNNZ += len(cache) - len(state[pid])
+		st.nnz += len(cache) - len(state[pid])
 		if cache == nil {
 			state[pid] = emptyFiles
 		} else {
@@ -971,6 +1536,9 @@ func (er *EDTReader) decodeDay(i int, state [][]FileID, stateNNZ *int, wantSnaps
 			if err != nil {
 				return nil, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
 			}
+			if len(cache) > 0 {
+				materialized = append(materialized, pid)
+			}
 		}
 	}
 	if br.err != nil {
@@ -980,11 +1548,19 @@ func (er *EDTReader) decodeDay(i int, state [][]FileID, stateNNZ *int, wantSnaps
 		return nil, fmt.Errorf("trace: edt: day %d posting count mismatch", info.Day)
 	}
 	if !wantSnapshot {
+		// Skipped days materialize nothing sharable; forget any owners
+		// their rows had so later days re-materialize before sharing.
+		for r := 0; r < len(pids); r++ {
+			st.src[pids[r]] = nil
+		}
 		return nil, nil
 	}
 	d, err := sb.Finish(er.numPeers)
 	if err != nil {
 		return nil, fmt.Errorf("trace: edt: day %d: %w", info.Day, err)
+	}
+	for _, pid := range materialized {
+		st.src[pid] = d
 	}
 	return d, nil
 }
@@ -1028,13 +1604,15 @@ func (er *EDTReader) Trace() (*Trace, error) {
 }
 
 // TraceRange decodes only the day sections in index range [lo, hi) —
-// plus the keyframe run-up before lo, decoded but discarded — along with
-// the identity tables: the partial-load path that lets analyses over a
-// week of a multi-month capture skip the rest. The result needs no
-// Validate pass: every invariant Validate checks (days ascending, ids in
-// range, caches strictly sorted, identity fields matching their index)
-// is enforced structurally during decoding, which FuzzReadTrace pins by
-// validating whatever this returns.
+// plus the keyframe run-up before lo, decoded but discarded: the
+// partial-load path that lets analyses over a week of a multi-month
+// capture skip the rest. Identity tables stay undecoded; the result
+// reads them lazily through the reader's column tables (corrupt
+// identity sections therefore surface on first metadata access or
+// DecodeIdentities, not here). The day sections need no Validate pass:
+// every day invariant Validate checks (days ascending, ids in range,
+// caches strictly sorted) is enforced structurally during decoding,
+// which FuzzReadTrace pins by validating whatever this returns.
 //
 // Day sections between keyframes are independent of everything outside
 // their keyframe group, so the load fans out over the reader's worker
@@ -1062,22 +1640,18 @@ func (er *EDTReader) TraceRange(lo, hi int) (*Trace, error) {
 		g0 = g1
 	}
 	type result struct {
-		days  []*DaySnapshot
-		files []FileMeta
-		peers []PeerInfo
-		err   error
+		days []*DaySnapshot
+		err  error
 	}
-	results := runner.Collect(er.workers(), len(groups)+1, func(j int) result {
-		if j == 0 {
-			files, peers, err := er.Meta()
-			return result{files: files, peers: peers, err: err}
-		}
-		g := groups[j-1]
-		state := make([][]FileID, er.numPeers)
-		stateNNZ := 0
+	// The identity tables are NOT decoded here: the returned trace
+	// carries the reader's lazy column tables, and analyses that never
+	// touch a metadata field never pay for it.
+	results := runner.Collect(er.workers(), len(groups), func(j int) result {
+		g := groups[j]
+		st := newDecodeState(er.numPeers)
 		out := make([]*DaySnapshot, 0, g.to-g.from)
 		for i := g.start; i < g.to; i++ {
-			d, err := er.decodeDay(i, state, &stateNNZ, i >= g.from)
+			d, err := er.decodeDay(i, st, i >= g.from)
 			if err != nil {
 				return result{err: err}
 			}
@@ -1092,8 +1666,8 @@ func (er *EDTReader) TraceRange(lo, hi int) (*Trace, error) {
 			return nil, r.err
 		}
 	}
-	t := &Trace{Files: results[0].files, Peers: results[0].peers}
-	for _, r := range results[1:] {
+	t := &Trace{files: er.ftab, peers: er.ptab}
+	for _, r := range results {
 		t.Days = append(t.Days, r.days...)
 	}
 	return t, nil

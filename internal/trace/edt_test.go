@@ -69,12 +69,30 @@ func randomRichTrace(rng *rand.Rand) *Trace {
 	return b.Build()
 }
 
+// mustMeta materializes both identity tables, failing the test on a
+// decode error — the lazy columns of an .edt-loaded trace surface
+// corruption here rather than at load time.
+func mustMeta(t *testing.T, tr *Trace) ([]FileMeta, []PeerInfo) {
+	t.Helper()
+	files, err := tr.Files()
+	if err != nil {
+		t.Fatalf("Files: %v", err)
+	}
+	peers, err := tr.Peers()
+	if err != nil {
+		t.Fatalf("Peers: %v", err)
+	}
+	return files, peers
+}
+
 func tracesEqual(t *testing.T, want, got *Trace, label string) {
 	t.Helper()
-	if !reflect.DeepEqual(want.Files, got.Files) {
+	wantFiles, wantPeers := mustMeta(t, want)
+	gotFiles, gotPeers := mustMeta(t, got)
+	if !reflect.DeepEqual(wantFiles, gotFiles) {
 		t.Fatalf("%s: Files differ", label)
 	}
-	if !reflect.DeepEqual(want.Peers, got.Peers) {
+	if !reflect.DeepEqual(wantPeers, gotPeers) {
 		t.Fatalf("%s: Peers differ", label)
 	}
 	if len(want.Days) != len(got.Days) {
@@ -172,7 +190,7 @@ func TestEDTDaySkipping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if er.NumDays() != len(tr.Days) || er.NumPeers() != len(tr.Peers) || er.NumFiles() != len(tr.Files) {
+	if er.NumDays() != len(tr.Days) || er.NumPeers() != tr.NumPeers() || er.NumFiles() != tr.NumFiles() {
 		t.Fatalf("reader reports %d/%d/%d days/peers/files", er.NumDays(), er.NumPeers(), er.NumFiles())
 	}
 	for i, s := range tr.Days {
@@ -187,7 +205,7 @@ func TestEDTDaySkipping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := &Trace{Files: tr.Files, Peers: tr.Peers, Days: tr.Days[lo:hi]}
+	want := &Trace{files: tr.files, peers: tr.peers, Days: tr.Days[lo:hi]}
 	tracesEqual(t, want, partial, "partial load")
 }
 
@@ -196,6 +214,7 @@ func TestEDTDaySkipping(t *testing.T) {
 func TestEDTWriterErrors(t *testing.T) {
 	rng := rand.New(rand.NewPCG(41, 0))
 	tr := randomRichTrace(rng)
+	files, peers := mustMeta(t, tr)
 
 	w, err := NewEDTWriter(&bytes.Buffer{})
 	if err != nil {
@@ -216,15 +235,15 @@ func TestEDTWriterErrors(t *testing.T) {
 	if err := w.AppendDay(dayFromRows(6, [][]FileID{4: {0}})); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Finish(tr.Files[:1], nil); err == nil {
+	if err := w.Finish(files[:1], nil); err == nil {
 		t.Error("Finish accepted tables smaller than referenced ids")
 	}
 
 	w2, _ := NewEDTWriter(&bytes.Buffer{})
-	if err := w2.Finish(tr.Files, tr.Peers); err != nil {
+	if err := w2.Finish(files, peers); err != nil {
 		t.Fatal(err)
 	}
-	if err := w2.Finish(tr.Files, tr.Peers); err == nil {
+	if err := w2.Finish(files, peers); err == nil {
 		t.Error("double Finish accepted")
 	}
 	if err := w2.AppendDay(dayFromRows(9, nil)); err == nil {
@@ -342,6 +361,91 @@ func TestEDTRejectsCorruption(t *testing.T) {
 	for i := 0; i < len(data); i += 1 + i/64 {
 		mut := append([]byte(nil), data...)
 		mut[i] ^= 0x5A
-		_, _ = Decode(mut) // must not panic
+		got, err := Decode(mut) // must not panic
+		if err != nil {
+			continue
+		}
+		// Identity columns decode lazily, so a flip inside them can
+		// survive Decode; the first touch must fail cleanly (or read the
+		// mutated bytes as data), never panic — and an errored column
+		// group degrades to zero values on every accessor.
+		_ = got.DecodeIdentities()
+		_, _ = got.Files()
+		_, _ = got.Peers()
+		if got.NumFiles() > 0 {
+			_ = got.FileName(0)
+			_ = got.FileMetaAt(0)
+		}
+		if got.NumPeers() > 0 {
+			_ = got.PeerNickname(0)
+			_ = got.PeerInfoAt(0)
+		}
+	}
+}
+
+// TestEDTLazyIdentityCorruption corrupts each identity section's header
+// in place. The day sections and footer stay intact, so Decode — which
+// no longer inflates identity columns — succeeds; the first lazy access
+// must then surface a clear error (and zero-value accessors), never a
+// panic, and must leave the other table's column groups decodable.
+func TestEDTLazyIdentityCorruption(t *testing.T) {
+	rng := rand.New(rand.NewPCG(44, 0))
+	tr := randomRichTrace(rng)
+	var buf bytes.Buffer
+	if err := tr.WriteEDT(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	er, err := NewEDTReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sections := []struct {
+		name  string
+		off   int64
+		files bool // corruption hits the file table (else the peer table)
+	}{
+		{"file hashes", er.fileHashOff, true},
+		{"file meta", er.filesOff, true},
+		{"peer idents", er.peerIdentOff, false},
+		{"peer meta", er.peersOff, false},
+	}
+	for _, sec := range sections {
+		// Flipping the kind or codec byte must produce a hard error on
+		// first decode; flipping a length byte must at worst error too,
+		// and never panic.
+		for _, delta := range []int64{0, 1, 2} {
+			mut := append([]byte(nil), data...)
+			mut[sec.off+delta] ^= 0x5A
+			got, err := Decode(mut)
+			if err != nil {
+				continue // a footer-level guard caught it even earlier
+			}
+			identErr := got.DecodeIdentities()
+			if delta < 2 && identErr == nil {
+				t.Errorf("%s: header flip at +%d decoded without error", sec.name, delta)
+			}
+			// Zero-value degradation, no panics.
+			if got.NumFiles() > 0 {
+				_ = got.FileName(0)
+				_ = got.FileHash(0)
+				_ = got.FileMetaAt(0)
+			}
+			if got.NumPeers() > 0 {
+				_ = got.PeerNickname(0)
+				_ = got.PeerUserHash(0)
+				_ = got.PeerInfoAt(0)
+			}
+			// Corruption must stay isolated to the section's own table.
+			if sec.files {
+				if _, err := got.Peers(); err != nil {
+					t.Errorf("%s flip at +%d leaked into the peer table: %v", sec.name, delta, err)
+				}
+			} else {
+				if _, err := got.Files(); err != nil {
+					t.Errorf("%s flip at +%d leaked into the file table: %v", sec.name, delta, err)
+				}
+			}
+		}
 	}
 }

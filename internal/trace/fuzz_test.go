@@ -32,6 +32,19 @@ func FuzzReadTrace(f *testing.F) {
 		mut[i] ^= 0xFF
 		f.Add(mut)
 	}
+	// Identity-section seeds: flips inside the lazily decoded columns
+	// survive Decode and only surface on first access, so start the
+	// fuzzer inside those states too (header, codec and payload bytes of
+	// each of the four identity sections).
+	if er, err := NewEDTReader(bytes.NewReader(edt.Bytes()), int64(edt.Len())); err == nil {
+		for _, off := range []int64{er.fileHashOff, er.filesOff, er.peerIdentOff, er.peersOff} {
+			for _, delta := range []int64{0, 1, 2, edtSectionHeader, edtSectionHeader + 7} {
+				mut := append([]byte(nil), edt.Bytes()...)
+				mut[off+delta] ^= 0xA5
+				f.Add(mut)
+			}
+		}
+	}
 
 	// Delta-heavy seed: many days with slow churn, so most sections are
 	// deltas spanning several keyframe groups — the delta-replay and
@@ -79,5 +92,19 @@ func FuzzReadTrace(f *testing.F) {
 		_ = tr.Observations()
 		_ = tr.DistinctFiles()
 		_ = tr.FreeRiders()
+		// The identity columns decode lazily: corrupted sections may pass
+		// Decode and only fail here. An error is fine; a panic is not,
+		// and accessors must degrade to zero values after an error.
+		_ = tr.DecodeIdentities()
+		_, _ = tr.Files()
+		_, _ = tr.Peers()
+		if tr.NumFiles() > 0 {
+			_ = tr.FileName(0)
+			_ = tr.FileMetaAt(0)
+		}
+		if tr.NumPeers() > 0 {
+			_ = tr.PeerNickname(0)
+			_ = tr.PeerInfoAt(0)
+		}
 	})
 }

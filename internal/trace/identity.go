@@ -1,0 +1,312 @@
+package trace
+
+// Identity tables: the file and peer metadata behind a trace, accessed
+// through per-field methods on Trace instead of materialized slices.
+// Three families implement the two table interfaces:
+//
+//   - eager tables wrap caller-provided []FileMeta / []PeerInfo slices
+//     (the builder, gob loads, tests);
+//   - lazy tables (edt.go) decode .edt identity sections on demand, one
+//     column group at a time, so analyses that never touch a column
+//     never pay its decode or its residency;
+//   - subset views renumber a parent table through an id map without
+//     copying it, which keeps SubsetPeers/SubsetFiles (and therefore
+//     Filter/Extrapolate) lazy end to end.
+//
+// All accessors are safe for concurrent readers and return zero values
+// for out-of-range ids; decode errors are sticky and surface through
+// Trace.DecodeIdentities.
+
+// fileTable is the column-level view of the file metadata table.
+type fileTable interface {
+	numFiles() int
+	fileHash(FileID) [16]byte
+	fileName(FileID) string
+	fileSize(FileID) int64
+	fileKind(FileID) FileKind
+	fileTopic(FileID) int32
+	fileReleaseDay(FileID) int32
+	// decodeFiles forces every column group and reports the first
+	// decode error; eager tables return nil.
+	decodeFiles() error
+	// validateFiles checks invariants decoding cannot enforce (eager
+	// tables may carry mismatched ID fields); lazy tables are
+	// structurally correct by construction and return nil.
+	validateFiles() error
+}
+
+// peerTable is the column-level view of the peer metadata table.
+type peerTable interface {
+	numPeers() int
+	peerUserHash(PeerID) [16]byte
+	peerIP(PeerID) uint32
+	peerCountry(PeerID) string
+	peerASN(PeerID) uint32
+	peerNickname(PeerID) string
+	peerFirewalled(PeerID) bool
+	peerBrowseOK(PeerID) bool
+	peerAliasOf(PeerID) int32
+	decodePeers() error
+	validatePeers() error
+}
+
+// eagerFiles is the slice-backed file table.
+type eagerFiles []FileMeta
+
+func (e eagerFiles) numFiles() int { return len(e) }
+
+func (e eagerFiles) fileHash(f FileID) [16]byte {
+	if int(f) >= len(e) {
+		return [16]byte{}
+	}
+	return e[f].Hash
+}
+
+func (e eagerFiles) fileName(f FileID) string {
+	if int(f) >= len(e) {
+		return ""
+	}
+	return e[f].Name
+}
+
+func (e eagerFiles) fileSize(f FileID) int64 {
+	if int(f) >= len(e) {
+		return 0
+	}
+	return e[f].Size
+}
+
+func (e eagerFiles) fileKind(f FileID) FileKind {
+	if int(f) >= len(e) {
+		return KindOther
+	}
+	return e[f].Kind
+}
+
+func (e eagerFiles) fileTopic(f FileID) int32 {
+	if int(f) >= len(e) {
+		return -1
+	}
+	return e[f].Topic
+}
+
+func (e eagerFiles) fileReleaseDay(f FileID) int32 {
+	if int(f) >= len(e) {
+		return -1
+	}
+	return e[f].ReleaseDay
+}
+
+func (e eagerFiles) decodeFiles() error { return nil }
+
+func (e eagerFiles) validateFiles() error {
+	for i, f := range e {
+		if f.ID != FileID(i) {
+			return errFileID(i, f.ID)
+		}
+	}
+	return nil
+}
+
+// eagerPeers is the slice-backed peer table.
+type eagerPeers []PeerInfo
+
+func (e eagerPeers) numPeers() int { return len(e) }
+
+func (e eagerPeers) peerUserHash(p PeerID) [16]byte {
+	if int(p) >= len(e) {
+		return [16]byte{}
+	}
+	return e[p].UserHash
+}
+
+func (e eagerPeers) peerIP(p PeerID) uint32 {
+	if int(p) >= len(e) {
+		return 0
+	}
+	return e[p].IP
+}
+
+func (e eagerPeers) peerCountry(p PeerID) string {
+	if int(p) >= len(e) {
+		return ""
+	}
+	return e[p].Country
+}
+
+func (e eagerPeers) peerASN(p PeerID) uint32 {
+	if int(p) >= len(e) {
+		return 0
+	}
+	return e[p].ASN
+}
+
+func (e eagerPeers) peerNickname(p PeerID) string {
+	if int(p) >= len(e) {
+		return ""
+	}
+	return e[p].Nickname
+}
+
+func (e eagerPeers) peerFirewalled(p PeerID) bool {
+	if int(p) >= len(e) {
+		return false
+	}
+	return e[p].Firewalled
+}
+
+func (e eagerPeers) peerBrowseOK(p PeerID) bool {
+	if int(p) >= len(e) {
+		return false
+	}
+	return e[p].BrowseOK
+}
+
+func (e eagerPeers) peerAliasOf(p PeerID) int32 {
+	if int(p) >= len(e) {
+		return -1
+	}
+	return e[p].AliasOf
+}
+
+func (e eagerPeers) decodePeers() error { return nil }
+
+func (e eagerPeers) validatePeers() error {
+	for i, p := range e {
+		if p.ID != PeerID(i) {
+			return errPeerID(i, p.ID)
+		}
+		if p.AliasOf >= 0 && int(p.AliasOf) >= len(e) {
+			return errPeerAlias(i, p.AliasOf)
+		}
+	}
+	return nil
+}
+
+// fileSubset renumbers a parent file table: file i of the view is file
+// orig[i] of the parent. Nothing is copied and nothing decodes until a
+// column is touched through the view.
+type fileSubset struct {
+	parent fileTable
+	orig   []FileID
+}
+
+func (v *fileSubset) numFiles() int { return len(v.orig) }
+
+func (v *fileSubset) fileHash(f FileID) [16]byte {
+	if int(f) >= len(v.orig) {
+		return [16]byte{}
+	}
+	return v.parent.fileHash(v.orig[f])
+}
+
+func (v *fileSubset) fileName(f FileID) string {
+	if int(f) >= len(v.orig) {
+		return ""
+	}
+	return v.parent.fileName(v.orig[f])
+}
+
+func (v *fileSubset) fileSize(f FileID) int64 {
+	if int(f) >= len(v.orig) {
+		return 0
+	}
+	return v.parent.fileSize(v.orig[f])
+}
+
+func (v *fileSubset) fileKind(f FileID) FileKind {
+	if int(f) >= len(v.orig) {
+		return KindOther
+	}
+	return v.parent.fileKind(v.orig[f])
+}
+
+func (v *fileSubset) fileTopic(f FileID) int32 {
+	if int(f) >= len(v.orig) {
+		return -1
+	}
+	return v.parent.fileTopic(v.orig[f])
+}
+
+func (v *fileSubset) fileReleaseDay(f FileID) int32 {
+	if int(f) >= len(v.orig) {
+		return -1
+	}
+	return v.parent.fileReleaseDay(v.orig[f])
+}
+
+func (v *fileSubset) decodeFiles() error   { return v.parent.decodeFiles() }
+func (v *fileSubset) validateFiles() error { return nil }
+
+// peerSubset renumbers a parent peer table; remap (parent id -> view
+// id, -1 = dropped) rewrites AliasOf links so they stay within the view.
+type peerSubset struct {
+	parent peerTable
+	orig   []PeerID
+	remap  []int32
+}
+
+func (v *peerSubset) numPeers() int { return len(v.orig) }
+
+func (v *peerSubset) peerUserHash(p PeerID) [16]byte {
+	if int(p) >= len(v.orig) {
+		return [16]byte{}
+	}
+	return v.parent.peerUserHash(v.orig[p])
+}
+
+func (v *peerSubset) peerIP(p PeerID) uint32 {
+	if int(p) >= len(v.orig) {
+		return 0
+	}
+	return v.parent.peerIP(v.orig[p])
+}
+
+func (v *peerSubset) peerCountry(p PeerID) string {
+	if int(p) >= len(v.orig) {
+		return ""
+	}
+	return v.parent.peerCountry(v.orig[p])
+}
+
+func (v *peerSubset) peerASN(p PeerID) uint32 {
+	if int(p) >= len(v.orig) {
+		return 0
+	}
+	return v.parent.peerASN(v.orig[p])
+}
+
+func (v *peerSubset) peerNickname(p PeerID) string {
+	if int(p) >= len(v.orig) {
+		return ""
+	}
+	return v.parent.peerNickname(v.orig[p])
+}
+
+func (v *peerSubset) peerFirewalled(p PeerID) bool {
+	if int(p) >= len(v.orig) {
+		return false
+	}
+	return v.parent.peerFirewalled(v.orig[p])
+}
+
+func (v *peerSubset) peerBrowseOK(p PeerID) bool {
+	if int(p) >= len(v.orig) {
+		return false
+	}
+	return v.parent.peerBrowseOK(v.orig[p])
+}
+
+func (v *peerSubset) peerAliasOf(p PeerID) int32 {
+	if int(p) >= len(v.orig) {
+		return -1
+	}
+	a := v.parent.peerAliasOf(v.orig[p])
+	if a < 0 || int(a) >= len(v.remap) {
+		return -1
+	}
+	return v.remap[a]
+}
+
+func (v *peerSubset) decodePeers() error   { return v.parent.decodePeers() }
+func (v *peerSubset) validatePeers() error { return nil }

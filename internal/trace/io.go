@@ -28,7 +28,15 @@ type gobTrace struct {
 // columnar .edt format (WriteEDT / WriteFile with an .edt path), which
 // loads several times faster and is roughly half the size.
 func (t *Trace) Write(w io.Writer) error {
-	legacy := gobTrace{Files: t.Files, Peers: t.Peers, Days: make([]Snapshot, len(t.Days))}
+	files, err := t.Files()
+	if err != nil {
+		return err
+	}
+	peers, err := t.Peers()
+	if err != nil {
+		return err
+	}
+	legacy := gobTrace{Files: files, Peers: peers, Days: make([]Snapshot, len(t.Days))}
 	for i, d := range t.Days {
 		legacy.Days[i] = MapDay(d)
 	}
@@ -57,7 +65,7 @@ func Read(r io.Reader) (*Trace, error) {
 	if err := gob.NewDecoder(zr).Decode(&legacy); err != nil {
 		return nil, fmt.Errorf("trace: decode: %w", err)
 	}
-	t := &Trace{Files: legacy.Files, Peers: legacy.Peers}
+	t := New(legacy.Files, legacy.Peers, nil)
 	for _, s := range legacy.Days {
 		d, err := NewDaySnapshot(s.Day, s.Caches, len(legacy.Peers), len(legacy.Files))
 		if err != nil {
@@ -109,11 +117,13 @@ func ReadFile(path string) (*Trace, error) {
 		if err != nil {
 			return nil, err
 		}
+		// The file handle closes when this returns; lazy identity
+		// decodes reopen the path on demand instead.
 		er, err := NewEDTReader(f, fi.Size())
 		if err != nil {
 			return nil, err
 		}
-		return er.Trace()
+		return er.SetPath(path).Trace()
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
@@ -145,7 +155,7 @@ func ReadFileRange(path string, lo, hi int) (*Trace, error) {
 		if hi < 0 {
 			hi = er.NumDays()
 		}
-		return er.TraceRange(lo, hi)
+		return er.SetPath(path).TraceRange(lo, hi)
 	}
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
@@ -211,7 +221,7 @@ type jsonSnapshot struct {
 // hashes, nicknames and IP addresses are omitted; country/AS and all cache
 // structure are preserved, which is what every analysis needs.
 func (t *Trace) WriteJSON(w io.Writer) error {
-	shares := make([]bool, len(t.Peers))
+	shares := make([]bool, t.NumPeers())
 	for _, s := range t.Days {
 		s.ForEachRow(func(pid PeerID, cache []FileID) {
 			if len(cache) > 0 {
@@ -220,16 +230,18 @@ func (t *Trace) WriteJSON(w io.Writer) error {
 		})
 	}
 	out := jsonTrace{}
-	for _, f := range t.Files {
+	for i, n := 0, t.NumFiles(); i < n; i++ {
+		f := FileID(i)
 		out.Files = append(out.Files, jsonFile{
-			ID: f.ID, Size: f.Size, Kind: f.Kind.String(),
-			Topic: f.Topic, ReleaseDay: f.ReleaseDay,
+			ID: f, Size: t.FileSize(f), Kind: t.FileKind(f).String(),
+			Topic: t.FileTopic(f), ReleaseDay: t.FileReleaseDay(f),
 		})
 	}
-	for i, p := range t.Peers {
+	for i, n := 0, t.NumPeers(); i < n; i++ {
+		p := PeerID(i)
 		out.Peers = append(out.Peers, jsonPeer{
-			ID: p.ID, Country: p.Country, ASN: p.ASN,
-			Firewalled: p.Firewalled, FreeRider: !shares[i],
+			ID: p, Country: t.PeerCountry(p), ASN: t.PeerASN(p),
+			Firewalled: t.PeerFirewalled(p), FreeRider: !shares[i],
 		})
 	}
 	for _, s := range t.Days {

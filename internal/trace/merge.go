@@ -24,17 +24,28 @@ func Merge(segments ...*Trace) (*Trace, error) {
 	}
 	peerIDs := make(map[peerKey]PeerID)
 	for si, t := range segments {
-		fmap := make([]FileID, len(t.Files))
-		for i, f := range t.Files {
-			id, ok := fileIDs[f.Hash]
+		// Identity columns pass straight through per-field accessors —
+		// a lazy segment decodes on demand and nothing is materialized
+		// into intermediate []FileMeta/[]PeerInfo slices. Corrupt lazy
+		// columns would read as zero values, so force the decode first.
+		if err := t.DecodeIdentities(); err != nil {
+			return nil, fmt.Errorf("trace: merge segment %d: %w", si, err)
+		}
+		nf := t.NumFiles()
+		fmap := make([]FileID, nf)
+		for i := 0; i < nf; i++ {
+			h := t.FileHash(FileID(i))
+			id, ok := fileIDs[h]
 			if !ok {
-				id = b.AddFile(f)
-				fileIDs[f.Hash] = id
+				id = b.AddFile(t.FileMetaAt(FileID(i)))
+				fileIDs[h] = id
 			}
 			fmap[i] = id
 		}
-		pmap := make([]PeerID, len(t.Peers))
-		for i, p := range t.Peers {
+		np := t.NumPeers()
+		pmap := make([]PeerID, np)
+		for i := 0; i < np; i++ {
+			p := t.PeerInfoAt(PeerID(i))
 			k := peerKey{p.UserHash, p.IP}
 			id, ok := peerIDs[k]
 			if !ok {

@@ -31,15 +31,16 @@ func captureSegment(t *trace.Trace, lo, hi int) *trace.Trace {
 			order = append(order, pid)
 		})
 		slices.SortFunc(order, func(a, b trace.PeerID) int {
-			if c := bytes.Compare(t.Peers[a].UserHash[:], t.Peers[b].UserHash[:]); c != 0 {
+			ha, hb := t.PeerUserHash(a), t.PeerUserHash(b)
+			if c := bytes.Compare(ha[:], hb[:]); c != 0 {
 				return c
 			}
-			return cmp.Compare(t.Peers[a].IP, t.Peers[b].IP)
+			return cmp.Compare(t.PeerIP(a), t.PeerIP(b))
 		})
 		for _, pid := range order {
 			np, ok := pids[pid]
 			if !ok {
-				np = b.AddPeer(t.Peers[pid])
+				np = b.AddPeer(t.PeerInfoAt(pid))
 				pids[pid] = np
 			}
 			cache := s.Cache(pid)
@@ -47,7 +48,7 @@ func captureSegment(t *trace.Trace, lo, hi int) *trace.Trace {
 			for _, f := range cache {
 				nf, ok := fids[f]
 				if !ok {
-					nf = b.AddFile(t.Files[f])
+					nf = b.AddFile(t.FileMetaAt(f))
 					fids[f] = nf
 				}
 				mapped = append(mapped, nf)
@@ -73,13 +74,30 @@ func crawlTrace(t *testing.T, days int) *trace.Trace {
 	return tr
 }
 
+// requireMeta materializes both identity tables (lazy on .edt-loaded
+// traces), failing the test on a decode error.
+func requireMeta(t *testing.T, tr *trace.Trace) ([]trace.FileMeta, []trace.PeerInfo) {
+	t.Helper()
+	files, err := tr.Files()
+	if err != nil {
+		t.Fatalf("Files: %v", err)
+	}
+	peers, err := tr.Peers()
+	if err != nil {
+		t.Fatalf("Peers: %v", err)
+	}
+	return files, peers
+}
+
 func requireTracesEqual(t *testing.T, want, got *trace.Trace, label string) {
 	t.Helper()
-	if !reflect.DeepEqual(want.Files, got.Files) {
-		t.Fatalf("%s: Files differ (%d vs %d)", label, len(want.Files), len(got.Files))
+	wantFiles, wantPeers := requireMeta(t, want)
+	gotFiles, gotPeers := requireMeta(t, got)
+	if !reflect.DeepEqual(wantFiles, gotFiles) {
+		t.Fatalf("%s: Files differ (%d vs %d)", label, len(wantFiles), len(gotFiles))
 	}
-	if !reflect.DeepEqual(want.Peers, got.Peers) {
-		t.Fatalf("%s: Peers differ (%d vs %d)", label, len(want.Peers), len(got.Peers))
+	if !reflect.DeepEqual(wantPeers, gotPeers) {
+		t.Fatalf("%s: Peers differ (%d vs %d)", label, len(wantPeers), len(gotPeers))
 	}
 	if len(want.Days) != len(got.Days) {
 		t.Fatalf("%s: %d days, want %d", label, len(got.Days), len(want.Days))
@@ -101,7 +119,7 @@ func TestMergeDisjointCapturesEqualsOneRun(t *testing.T) {
 	}
 	segA := captureSegment(full, 0, 3)
 	segB := captureSegment(full, 4, 7)
-	if len(segA.Peers) == len(full.Peers) || len(segB.Peers) == len(full.Peers) {
+	if segA.NumPeers() == full.NumPeers() || segB.NumPeers() == full.NumPeers() {
 		t.Fatal("segments should each miss some identities, or the test is vacuous")
 	}
 
@@ -164,15 +182,16 @@ func TestMergeOverlappingSegmentsMatchMapOracle(t *testing.T) {
 		var nFiles, nPeers int
 		days := make(map[int]map[trace.PeerID][]trace.FileID)
 		for _, seg := range []*trace.Trace{segA, segB} {
+			segFiles, segPeers := requireMeta(t, seg)
 			// Merge registers every table identity by first sight in
 			// segment order, observed or not.
-			for _, f := range seg.Files {
+			for _, f := range segFiles {
 				if _, ok := fileIDs[f.Hash]; !ok {
 					fileIDs[f.Hash] = trace.FileID(nFiles)
 					nFiles++
 				}
 			}
-			for _, p := range seg.Peers {
+			for _, p := range segPeers {
 				k := peerKey{p.UserHash, p.IP}
 				if _, ok := peerIDs[k]; !ok {
 					peerIDs[k] = trace.PeerID(nPeers)
@@ -186,19 +205,19 @@ func TestMergeOverlappingSegmentsMatchMapOracle(t *testing.T) {
 					days[s.Day] = caches
 				}
 				s.ForEachRow(func(pid trace.PeerID, cache []trace.FileID) {
-					mp := peerIDs[peerKey{seg.Peers[pid].UserHash, seg.Peers[pid].IP}]
+					mp := peerIDs[peerKey{segPeers[pid].UserHash, segPeers[pid].IP}]
 					mapped := make([]trace.FileID, 0, len(cache))
 					for _, f := range cache {
-						mapped = append(mapped, fileIDs[seg.Files[f].Hash])
+						mapped = append(mapped, fileIDs[segFiles[f].Hash])
 					}
 					slices.Sort(mapped)
 					caches[mp] = mapped // later observation wins
 				})
 			}
 		}
-		if len(merged.Files) != nFiles || len(merged.Peers) != nPeers {
+		if merged.NumFiles() != nFiles || merged.NumPeers() != nPeers {
 			t.Fatalf("iter %d: merged %d files / %d peers, oracle %d / %d",
-				iter, len(merged.Files), len(merged.Peers), nFiles, nPeers)
+				iter, merged.NumFiles(), merged.NumPeers(), nFiles, nPeers)
 		}
 		if len(merged.Days) != len(days) {
 			t.Fatalf("iter %d: merged %d days, oracle %d", iter, len(merged.Days), len(days))

@@ -40,7 +40,7 @@ func (t *Trace) Store() *Store {
 	t.cols.mu.Lock()
 	defer t.cols.mu.Unlock()
 	if t.cols.store == nil {
-		t.cols.store = tracestore.NewStore(len(t.Peers), len(t.Files), slices.Clone(t.Days))
+		t.cols.store = tracestore.NewStore(t.NumPeers(), t.NumFiles(), slices.Clone(t.Days))
 	}
 	return t.cols.store
 }
@@ -67,7 +67,7 @@ func (t *Trace) AppendDay(d *DaySnapshot) error {
 	if len(t.Days) > 0 && d.Day <= t.Days[len(t.Days)-1].Day {
 		return fmt.Errorf("trace: AppendDay %d not after %d", d.Day, t.Days[len(t.Days)-1].Day)
 	}
-	if err := checkDay(d, len(t.Peers), len(t.Files)); err != nil {
+	if err := checkDay(d, t.NumPeers(), t.NumFiles()); err != nil {
 		return fmt.Errorf("trace: AppendDay: %w", err)
 	}
 	t.Days = append(t.Days, d)

@@ -21,7 +21,7 @@ func legacyDays(t *Trace) []Snapshot {
 }
 
 func legacyAggregateCaches(t *Trace) [][]FileID {
-	sets := make([]map[FileID]struct{}, len(t.Peers))
+	sets := make([]map[FileID]struct{}, t.NumPeers())
 	for _, s := range legacyDays(t) {
 		for pid, cache := range s.Caches {
 			if sets[pid] == nil {
@@ -32,7 +32,7 @@ func legacyAggregateCaches(t *Trace) [][]FileID {
 			}
 		}
 	}
-	out := make([][]FileID, len(t.Peers))
+	out := make([][]FileID, t.NumPeers())
 	for pid, set := range sets {
 		if len(set) == 0 {
 			continue
@@ -61,7 +61,7 @@ func legacySourcesPerFile(t *Trace) []int {
 			}
 		}
 	}
-	out := make([]int, len(t.Files))
+	out := make([]int, t.NumFiles())
 	for f, set := range sources {
 		out[f] = len(set)
 	}
@@ -69,7 +69,7 @@ func legacySourcesPerFile(t *Trace) []int {
 }
 
 func legacyDaysSeenPerFile(t *Trace) []int {
-	out := make([]int, len(t.Files))
+	out := make([]int, t.NumFiles())
 	seenToday := make(map[FileID]bool)
 	for _, s := range legacyDays(t) {
 		clear(seenToday)
@@ -86,7 +86,7 @@ func legacyDaysSeenPerFile(t *Trace) []int {
 }
 
 func legacyObservedFiles(t *Trace) []bool {
-	seen := make([]bool, len(t.Files))
+	seen := make([]bool, t.NumFiles())
 	for _, s := range legacyDays(t) {
 		for _, cache := range s.Caches {
 			for _, f := range cache {
@@ -98,8 +98,8 @@ func legacyObservedFiles(t *Trace) []bool {
 }
 
 func legacyFreeRiders(t *Trace) int {
-	shared := make([]bool, len(t.Peers))
-	observed := make([]bool, len(t.Peers))
+	shared := make([]bool, t.NumPeers())
+	observed := make([]bool, t.NumPeers())
 	for _, s := range legacyDays(t) {
 		for pid, cache := range s.Caches {
 			observed[pid] = true
@@ -109,7 +109,7 @@ func legacyFreeRiders(t *Trace) int {
 		}
 	}
 	n := 0
-	for pid := range t.Peers {
+	for pid := 0; pid < t.NumPeers(); pid++ {
 		if observed[pid] && !shared[pid] {
 			n++
 		}
@@ -118,7 +118,7 @@ func legacyFreeRiders(t *Trace) int {
 }
 
 func legacyObservedPeers(t *Trace) int {
-	observed := make([]bool, len(t.Peers))
+	observed := make([]bool, t.NumPeers())
 	for _, s := range legacyDays(t) {
 		for pid := range s.Caches {
 			observed[pid] = true
@@ -239,7 +239,7 @@ func TestStoreSnapshotsMatchTraceDays(t *testing.T) {
 			if sn.ObservedRows() != len(s.Caches) {
 				t.Fatalf("day %d: ObservedRows = %d, want %d", di, sn.ObservedRows(), len(s.Caches))
 			}
-			for pid := 0; pid < len(tr.Peers); pid++ {
+			for pid := 0; pid < tr.NumPeers(); pid++ {
 				cache, present := s.Caches[PeerID(pid)]
 				if sn.Observed(PeerID(pid)) != present {
 					t.Fatalf("day %d peer %d: presence differs", di, pid)
@@ -249,7 +249,7 @@ func TestStoreSnapshotsMatchTraceDays(t *testing.T) {
 				}
 			}
 			// Inverted counts vs a direct scan of the day's maps.
-			counts := make([]int, len(tr.Files))
+			counts := make([]int, tr.NumFiles())
 			for _, cache := range s.Caches {
 				for _, f := range cache {
 					counts[f]++
@@ -262,7 +262,7 @@ func TestStoreSnapshotsMatchTraceDays(t *testing.T) {
 				}
 			}
 			// The sanctioned conversions round-trip losslessly.
-			back, err := NewDaySnapshot(s.Day, s.Caches, len(tr.Peers), len(tr.Files))
+			back, err := NewDaySnapshot(s.Day, s.Caches, tr.NumPeers(), tr.NumFiles())
 			if err != nil {
 				t.Fatalf("day %d: NewDaySnapshot: %v", di, err)
 			}

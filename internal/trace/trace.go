@@ -23,10 +23,10 @@ import (
 	"edonkey/internal/tracestore"
 )
 
-// FileID indexes Trace.Files.
+// FileID indexes the trace's file table.
 type FileID uint32
 
-// PeerID indexes Trace.Peers.
+// PeerID indexes the trace's peer table.
 type PeerID uint32
 
 // FileKind is a coarse content classification, inferred in the paper from
@@ -175,12 +175,202 @@ func NewDaySnapshot(day int, caches map[PeerID][]FileID, numPeers, numFiles int)
 // the derived statistics below are all computed on the columnar Store()
 // view, which wraps the Days snapshots without copying them and is
 // shared by concurrent readers.
+//
+// The identity tables behind the metadata accessors are pluggable:
+// eager slice-backed tables (New, the builder, gob loads), lazy .edt
+// column tables that decode on demand, or subset views (Filter and
+// friends). Per-field accessors (FileSize, PeerCountry, ...) are the
+// only way at single entries; Files/Peers materialize whole tables,
+// forcing a full decode.
 type Trace struct {
-	Files []FileMeta
-	Peers []PeerInfo
+	files fileTable
+	peers peerTable
 	Days  []*DaySnapshot // ascending by Day
 
 	cols storeCache
+}
+
+// New assembles a trace from eager identity slices and day snapshots
+// (which it takes ownership of, no copies). Run Validate when the
+// inputs are untrusted.
+func New(files []FileMeta, peers []PeerInfo, days []*DaySnapshot) *Trace {
+	return &Trace{files: eagerFiles(files), peers: eagerPeers(peers), Days: days}
+}
+
+// ftab and ptab guard the zero Trace: a nil table reads as empty.
+func (t *Trace) ftab() fileTable {
+	if t.files == nil {
+		return eagerFiles(nil)
+	}
+	return t.files
+}
+
+func (t *Trace) ptab() peerTable {
+	if t.peers == nil {
+		return eagerPeers(nil)
+	}
+	return t.peers
+}
+
+// NumFiles returns the file table size. It never decodes anything.
+func (t *Trace) NumFiles() int { return t.ftab().numFiles() }
+
+// NumPeers returns the peer table size. It never decodes anything.
+func (t *Trace) NumPeers() int { return t.ptab().numPeers() }
+
+// FileHash returns the eDonkey hash of a file (zero when out of range,
+// here and for every identity accessor below).
+func (t *Trace) FileHash(f FileID) [16]byte { return t.ftab().fileHash(f) }
+
+// FileName returns a file's advertised name. First touch inflates the
+// name column of a lazy trace.
+func (t *Trace) FileName(f FileID) string { return t.ftab().fileName(f) }
+
+// FileSize returns a file's size in bytes.
+func (t *Trace) FileSize(f FileID) int64 { return t.ftab().fileSize(f) }
+
+// FileKind returns a file's content classification.
+func (t *Trace) FileKind(f FileID) FileKind { return t.ftab().fileKind(f) }
+
+// FileTopic returns a file's synthetic interest community, or -1.
+func (t *Trace) FileTopic(f FileID) int32 { return t.ftab().fileTopic(f) }
+
+// FileReleaseDay returns the day a file became available, or -1.
+func (t *Trace) FileReleaseDay(f FileID) int32 { return t.ftab().fileReleaseDay(f) }
+
+// FileMetaAt assembles the full metadata record of one file.
+func (t *Trace) FileMetaAt(f FileID) FileMeta {
+	return FileMeta{
+		ID: f, Hash: t.FileHash(f), Name: t.FileName(f), Size: t.FileSize(f),
+		Kind: t.FileKind(f), Topic: t.FileTopic(f), ReleaseDay: t.FileReleaseDay(f),
+	}
+}
+
+// PeerUserHash returns a peer's eDonkey user hash.
+func (t *Trace) PeerUserHash(p PeerID) [16]byte { return t.ptab().peerUserHash(p) }
+
+// PeerIP returns a peer's IPv4 address.
+func (t *Trace) PeerIP(p PeerID) uint32 { return t.ptab().peerIP(p) }
+
+// PeerCountry returns a peer's country code.
+func (t *Trace) PeerCountry(p PeerID) string { return t.ptab().peerCountry(p) }
+
+// PeerASN returns a peer's autonomous-system number.
+func (t *Trace) PeerASN(p PeerID) uint32 { return t.ptab().peerASN(p) }
+
+// PeerNickname returns a peer's nickname. First touch inflates the
+// nickname column of a lazy trace.
+func (t *Trace) PeerNickname(p PeerID) string { return t.ptab().peerNickname(p) }
+
+// PeerFirewalled reports whether a peer was unreachable for browsing.
+func (t *Trace) PeerFirewalled(p PeerID) bool { return t.ptab().peerFirewalled(p) }
+
+// PeerBrowseOK reports whether a peer allowed cache browsing.
+func (t *Trace) PeerBrowseOK(p PeerID) bool { return t.ptab().peerBrowseOK(p) }
+
+// PeerAliasOf returns the earlier identity of the same client, or -1.
+func (t *Trace) PeerAliasOf(p PeerID) int32 { return t.ptab().peerAliasOf(p) }
+
+// PeerInfoAt assembles the full metadata record of one peer.
+func (t *Trace) PeerInfoAt(p PeerID) PeerInfo {
+	return PeerInfo{
+		ID: p, UserHash: t.PeerUserHash(p), IP: t.PeerIP(p),
+		Country: t.PeerCountry(p), ASN: t.PeerASN(p), Nickname: t.PeerNickname(p),
+		Firewalled: t.PeerFirewalled(p), BrowseOK: t.PeerBrowseOK(p),
+		AliasOf: t.PeerAliasOf(p),
+	}
+}
+
+// Files materializes the whole file table, forcing a full decode on a
+// lazy trace. Eager tables return their backing slice as a shared
+// read-only view.
+func (t *Trace) Files() ([]FileMeta, error) {
+	ft := t.ftab()
+	if e, ok := ft.(eagerFiles); ok {
+		return e, nil
+	}
+	if err := ft.decodeFiles(); err != nil {
+		return nil, err
+	}
+	out := make([]FileMeta, ft.numFiles())
+	for i := range out {
+		out[i] = t.FileMetaAt(FileID(i))
+	}
+	return out, nil
+}
+
+// Peers materializes the whole peer table (see Files).
+func (t *Trace) Peers() ([]PeerInfo, error) {
+	pt := t.ptab()
+	if e, ok := pt.(eagerPeers); ok {
+		return e, nil
+	}
+	if err := pt.decodePeers(); err != nil {
+		return nil, err
+	}
+	out := make([]PeerInfo, pt.numPeers())
+	for i := range out {
+		out[i] = t.PeerInfoAt(PeerID(i))
+	}
+	return out, nil
+}
+
+// SetIdentities replaces the identity tables with eager slices (taking
+// ownership, no copies). Streaming ingest uses it to grow the metadata
+// alongside AppendDay as the producer discovers identities.
+func (t *Trace) SetIdentities(files []FileMeta, peers []PeerInfo) {
+	t.files = eagerFiles(files)
+	t.peers = eagerPeers(peers)
+}
+
+// DecodeIdentities forces every identity column group and reports the
+// first decode failure. Loading a lazy trace validates day sections but
+// leaves identity sections untouched; tools that must reject corrupt
+// files up front call this right after loading.
+func (t *Trace) DecodeIdentities() error {
+	if err := t.ftab().decodeFiles(); err != nil {
+		return err
+	}
+	return t.ptab().decodePeers()
+}
+
+// WithDays returns a trace sharing this trace's identity tables (lazy
+// columns included, undecoded) but carrying the given day snapshots.
+// The streaming loader uses it to pair the identity view with windowed
+// or aggregate day sets without copying metadata.
+func (t *Trace) WithDays(days []*DaySnapshot) *Trace {
+	return &Trace{files: t.ftab(), peers: t.ptab(), Days: days}
+}
+
+// NewAggregateDay builds a single synthetic day snapshot from per-peer
+// aggregate caches: rows[pid] must be sorted and duplicate-free, and a
+// peer appears in the day when it has a nonempty cache or observed[pid]
+// is true (preserving observed free-riders, which Table 1 and the
+// aggregate-backed experiments count). The streaming loader substitutes
+// one such day for the full trace's resident history.
+func NewAggregateDay(day int, rows [][]FileID, observed []bool, numFiles int) (*DaySnapshot, error) {
+	b := tracestore.NewSnapBuilder[PeerID, FileID](day, numFiles, true)
+	for pid, row := range rows {
+		if len(row) == 0 && (pid >= len(observed) || !observed[pid]) {
+			continue
+		}
+		if err := b.AppendRow(PeerID(pid), row); err != nil {
+			return nil, err
+		}
+	}
+	return b.Finish(len(rows))
+}
+
+func errFileID(i int, id FileID) error {
+	return fmt.Errorf("trace: file %d has ID %d", i, id)
+}
+
+func errPeerID(i int, id PeerID) error {
+	return fmt.Errorf("trace: peer %d has ID %d", i, id)
+}
+
+func errPeerAlias(i int, alias int32) error {
+	return fmt.Errorf("trace: peer %d aliases unknown peer %d", i, alias)
 }
 
 // checkDay checks one columnar day against the identity table sizes:
@@ -221,24 +411,14 @@ func (t *Trace) Validate() error {
 			return fmt.Errorf("trace: days not strictly ascending at %d", s.Day)
 		}
 		lastDay = s.Day
-		if err := checkDay(s, len(t.Peers), len(t.Files)); err != nil {
+		if err := checkDay(s, t.NumPeers(), t.NumFiles()); err != nil {
 			return err
 		}
 	}
-	for i, p := range t.Peers {
-		if p.ID != PeerID(i) {
-			return fmt.Errorf("trace: peer %d has ID %d", i, p.ID)
-		}
-		if p.AliasOf >= 0 && int(p.AliasOf) >= len(t.Peers) {
-			return fmt.Errorf("trace: peer %d aliases unknown peer %d", i, p.AliasOf)
-		}
+	if err := t.ptab().validatePeers(); err != nil {
+		return err
 	}
-	for i, f := range t.Files {
-		if f.ID != FileID(i) {
-			return fmt.Errorf("trace: file %d has ID %d", i, f.ID)
-		}
-	}
-	return nil
+	return t.ftab().validateFiles()
 }
 
 // DayRange returns the first and last observed day (inclusive). For an
@@ -297,7 +477,7 @@ func (t *Trace) DistinctBytes() int64 {
 	var total int64
 	for fid, seen := range t.ObservedFiles() {
 		if seen {
-			total += t.Files[fid].Size
+			total += t.FileSize(FileID(fid))
 		}
 	}
 	return total

@@ -122,4 +122,38 @@ func BenchmarkTraceIO(b *testing.B) {
 			}
 		})
 	}
+	// A four-week slow-churn capture pins the delta encoding's
+	// steady-state cost: bytes_per_peer_day is the on-disk price of one
+	// (peer, day) observation once keyframes amortize — the number that
+	// decides whether a ten-week million-peer capture fits a disk. Gated
+	// unscaled by make bench-diff alongside bytes_after_load.
+	b.Run("op=store/format=edt/peers=10000/days=28", func(b *testing.B) {
+		cfg := workload.DefaultConfig()
+		cfg.Seed = 7
+		cfg.Peers = 10000
+		cfg.Days = 28
+		cfg.Topics = 500
+		cfg.InitialFiles = 300000
+		cfg.NewFilesPerDay = 3000
+		tr28, _, err := workload.Collect(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		path := filepath.Join(dir, "trace28.edt")
+		if err := tr28.WriteFile(path); err != nil {
+			b.Fatal(err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := tr28.WriteFile(path); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(fi.Size())/float64(cfg.Peers*cfg.Days), "bytes_per_peer_day")
+	})
 }

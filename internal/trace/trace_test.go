@@ -170,13 +170,13 @@ func TestFilterRemovesDuplicates(t *testing.T) {
 	b.Observe(0, p3, nil)
 	b.Observe(0, p4, nil)
 	ft := b.Build().Filter()
-	if len(ft.Peers) != 3 {
-		t.Fatalf("filtered peers = %d, want 3", len(ft.Peers))
+	if ft.NumPeers() != 3 {
+		t.Fatalf("filtered peers = %d, want 3", ft.NumPeers())
 	}
 	// The survivors must be the singleton sharer and the two free-riders.
-	for _, p := range ft.Peers {
-		if p.UserHash == [16]byte{1} {
-			t.Errorf("duplicate identity survived filtering: %+v", p)
+	for i := 0; i < ft.NumPeers(); i++ {
+		if ft.PeerUserHash(PeerID(i)) == [16]byte{1} {
+			t.Errorf("duplicate identity survived filtering: %+v", ft.PeerInfoAt(PeerID(i)))
 		}
 	}
 	if err := ft.Validate(); err != nil {
@@ -187,8 +187,8 @@ func TestFilterRemovesDuplicates(t *testing.T) {
 func TestSubsetPeersRenumbers(t *testing.T) {
 	tr := tiny(t)
 	sub := tr.SubsetPeers([]bool{false, true, true})
-	if len(sub.Peers) != 2 {
-		t.Fatalf("peers = %d, want 2", len(sub.Peers))
+	if sub.NumPeers() != 2 {
+		t.Fatalf("peers = %d, want 2", sub.NumPeers())
 	}
 	if err := sub.Validate(); err != nil {
 		t.Fatalf("subset invalid: %v", err)
@@ -205,8 +205,8 @@ func TestSubsetFiles(t *testing.T) {
 	// Drop f1 (the most popular file).
 	keep := []bool{true, false, true, true}
 	sub := tr.SubsetFiles(keep)
-	if len(sub.Files) != 3 {
-		t.Fatalf("files = %d, want 3", len(sub.Files))
+	if sub.NumFiles() != 3 {
+		t.Fatalf("files = %d, want 3", sub.NumFiles())
 	}
 	if err := sub.Validate(); err != nil {
 		t.Fatalf("subset invalid: %v", err)
@@ -214,7 +214,7 @@ func TestSubsetFiles(t *testing.T) {
 	for _, s := range sub.Days {
 		s.ForEachRow(func(pid PeerID, cache []FileID) {
 			for _, f := range cache {
-				if sub.Files[f].Size == 200 {
+				if sub.FileSize(f) == 200 {
 					t.Errorf("day %d peer %d still holds dropped file", s.Day, pid)
 				}
 			}
@@ -239,8 +239,8 @@ func TestExtrapolate(t *testing.T) {
 	b.Observe(0, q, []FileID{0})
 	b.Observe(14, q, []FileID{0})
 	ex := b.Build().Extrapolate(ExtrapolateOptions{})
-	if len(ex.Peers) != 1 {
-		t.Fatalf("extrapolated peers = %d, want 1", len(ex.Peers))
+	if ex.NumPeers() != 1 {
+		t.Fatalf("extrapolated peers = %d, want 1", ex.NumPeers())
 	}
 	if err := ex.Validate(); err != nil {
 		t.Fatalf("extrapolated invalid: %v", err)
@@ -289,7 +289,7 @@ func TestExtrapolationPessimismProperty(t *testing.T) {
 			b.Observe(d, p, c)
 		}
 		ex := b.Build().Extrapolate(ExtrapolateOptions{})
-		if len(ex.Peers) != 1 {
+		if ex.NumPeers() != 1 {
 			return false
 		}
 		for _, s := range ex.Days {
@@ -398,7 +398,7 @@ func TestAppendDayIncremental(t *testing.T) {
 		if len(full.Days) < 2 {
 			continue
 		}
-		inc := &Trace{Files: full.Files, Peers: full.Peers, Days: full.Days[:1:1]}
+		inc := &Trace{files: full.files, peers: full.peers, Days: full.Days[:1:1]}
 		// Build the store and aggregates early so appends must maintain
 		// them incrementally rather than from scratch.
 		inc.AggregateCaches()
@@ -442,13 +442,13 @@ func TestAppendDayRejectsInvalid(t *testing.T) {
 	if err := tr.AppendDay(dayFromRows(last, nil)); err == nil {
 		t.Error("non-ascending day accepted")
 	}
-	badPeer := make([][]FileID, len(tr.Peers)+1)
-	badPeer[len(tr.Peers)] = []FileID{0}
+	badPeer := make([][]FileID, tr.NumPeers()+1)
+	badPeer[tr.NumPeers()] = []FileID{0}
 	if err := tr.AppendDay(dayFromRows(last+1, badPeer)); err == nil {
 		t.Error("unknown peer accepted")
 	}
 	if err := tr.AppendDay(dayFromRows(last+1,
-		[][]FileID{{FileID(len(tr.Files))}})); err == nil {
+		[][]FileID{{FileID(tr.NumFiles())}})); err == nil {
 		t.Error("unknown file accepted")
 	}
 	if err := tr.AppendDay(dayFromRows(last+1,

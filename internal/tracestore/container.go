@@ -135,13 +135,15 @@ type rowWalker[P, F ID] struct {
 	s       *Snapshot[P, F]
 	bmIdx   int
 	vrIdx   int
+	shIdx   int
 	scratch []F
 }
 
 func newRowWalker[P, F ID](s *Snapshot[P, F], startRow int) rowWalker[P, F] {
 	b, _ := slices.BinarySearch(s.bmRows, uint32(startRow))
 	v, _ := slices.BinarySearch(s.vrRows, uint32(startRow))
-	return rowWalker[P, F]{s: s, bmIdx: b, vrIdx: v}
+	h, _ := slices.BinarySearch(s.shRows, uint32(startRow))
+	return rowWalker[P, F]{s: s, bmIdx: b, vrIdx: v, shIdx: h}
 }
 
 func (w *rowWalker[P, F]) row(r int) []F {
@@ -164,6 +166,13 @@ func (w *rowWalker[P, F]) row(r int) []F {
 		w.scratch = appendVarintVals(enc, w.scratch[:0])
 		return w.scratch
 	}
+	for w.shIdx < len(s.shRows) && s.shRows[w.shIdx] < uint32(r) {
+		w.shIdx++
+	}
+	if w.shIdx < len(s.shRows) && s.shRows[w.shIdx] == uint32(r) {
+		w.scratch = s.sharedSrc(w.shIdx).AppendRowTo(P(r), w.scratch[:0])
+		return w.scratch
+	}
 	return nil
 }
 
@@ -177,6 +186,8 @@ type SnapBuilder[P, F ID] struct {
 	snap    *Snapshot[P, F]
 	pack    bool
 	lastRow int64
+	base    *Snapshot[P, F]
+	scratch []F
 }
 
 // NewSnapBuilder starts a snapshot for the given day with values bounded
@@ -206,6 +217,14 @@ func (b *SnapBuilder[P, F]) Grow(rows, nnz int) {
 	}
 }
 
+// SetShareBase arms AppendRow's row deduplication against base
+// (typically the previous day's snapshot): a non-empty row whose values
+// exactly match base's same row is stored as a shared reference to
+// base's container instead of a new copy — the builder-side analogue of
+// the .edt unchanged tag, for producers that re-derive rows (subset and
+// extrapolation passes) rather than decode deltas. nil disarms it.
+func (b *SnapBuilder[P, F]) SetShareBase(base *Snapshot[P, F]) { b.base = base }
+
 // AppendRow adds row p with the given sorted duplicate-free values
 // (empty marks an observed free-rider). Rows must arrive in strictly
 // ascending order; vals is copied, never retained.
@@ -225,7 +244,60 @@ func (b *SnapBuilder[P, F]) AppendRow(p P, vals []F) error {
 		vrLen += (bits.Len64(d) + 6) / 7
 		prev = int64(v)
 	}
+	if base := b.base; base != nil && len(vals) > 0 &&
+		int(p) < base.numRows && base.Observed(p) && base.RowLen(p) == len(vals) {
+		b.scratch = base.AppendRowTo(p, b.scratch[:0])
+		if slices.Equal(b.scratch, vals) {
+			return b.AppendRowShared(p, base)
+		}
+	}
 	return b.appendRow(p, vals, nil, vrLen)
+}
+
+// AppendRowShared adds row p as a reference to the same row of src,
+// which must hold a present row there. Empty rows are stored as plain
+// observed free-riders (a reference would cost more than it saves), and
+// references to rows src itself shares are resolved to the owning
+// snapshot, so delegation chains never exceed one hop — a long run of
+// unchanged days pins only the one snapshot that materialized the row.
+func (b *SnapBuilder[P, F]) AppendRowShared(p P, src *Snapshot[P, F]) error {
+	if src == nil {
+		return fmt.Errorf("tracestore: row %d shared from nil snapshot", p)
+	}
+	if !src.Observed(p) {
+		return fmt.Errorf("tracestore: row %d shared from snapshot lacking it", p)
+	}
+	if src.numVals > b.snap.numVals {
+		return fmt.Errorf("tracestore: row %d shared from wider snapshot (%d > %d values)",
+			p, src.numVals, b.snap.numVals)
+	}
+	if si := src.sharedIndex(p); si >= 0 {
+		src = src.sharedSrc(si)
+	}
+	n := src.RowLen(p)
+	if n == 0 {
+		return b.appendRow(p, nil, nil, 0)
+	}
+	s := b.snap
+	if err := b.markRow(p); err != nil {
+		return err
+	}
+	srcIdx := -1
+	for i, ss := range s.shSrcs {
+		if ss == src {
+			srcIdx = i
+			break
+		}
+	}
+	if srcIdx < 0 {
+		srcIdx = len(s.shSrcs)
+		s.shSrcs = append(s.shSrcs, src)
+	}
+	s.shRows = append(s.shRows, uint32(p))
+	s.shSrc = append(s.shSrc, uint32(srcIdx))
+	s.shNNZ += n
+	s.offs = append(s.offs, uint32(len(s.data)))
+	return nil
 }
 
 // AppendRowEnc is AppendRow for callers that already hold the (delta-1)
@@ -238,13 +310,14 @@ func (b *SnapBuilder[P, F]) AppendRowEnc(p P, vals []F, enc []byte) error {
 	return b.appendRow(p, vals, enc, len(enc))
 }
 
-func (b *SnapBuilder[P, F]) appendRow(p P, vals []F, enc []byte, vrLen int) error {
+// markRow enforces ascending row order, fills the offset column across
+// unobserved rows and marks p present.
+func (b *SnapBuilder[P, F]) markRow(p P) error {
 	s := b.snap
 	if int64(p) <= b.lastRow {
 		return fmt.Errorf("tracestore: row %d not after %d", p, b.lastRow)
 	}
 	b.lastRow = int64(p)
-	// Fill the offset column across unobserved rows, then this row.
 	for len(s.offs) <= int(p) {
 		s.offs = append(s.offs, uint32(len(s.data)))
 	}
@@ -253,6 +326,14 @@ func (b *SnapBuilder[P, F]) appendRow(p P, vals []F, enc []byte, vrLen int) erro
 	}
 	s.present[p/64] |= 1 << (p % 64)
 	s.observed++
+	return nil
+}
+
+func (b *SnapBuilder[P, F]) appendRow(p P, vals []F, enc []byte, vrLen int) error {
+	s := b.snap
+	if err := b.markRow(p); err != nil {
+		return err
+	}
 
 	// Container selection by exact size, raw uint32 array as the
 	// baseline. Sizes include the per-row side-table metadata, so a
@@ -328,6 +409,9 @@ func (b *SnapBuilder[P, F]) Finish(numRows int) (*Snapshot[P, F], error) {
 	s.vrRows = fitSlice(s.vrRows)
 	s.vrOffs = fitSlice(s.vrOffs)
 	s.vrBytes = fitSlice(s.vrBytes)
+	s.shRows = fitSlice(s.shRows)
+	s.shSrc = fitSlice(s.shSrc)
+	s.shSrcs = fitSlice(s.shSrcs)
 	b.snap = nil
 	return s, nil
 }

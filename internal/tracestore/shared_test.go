@@ -1,0 +1,262 @@
+package tracestore
+
+import (
+	"slices"
+	"testing"
+)
+
+// buildSnap constructs a snapshot through the builder with packing on,
+// so rows land in whatever container wins (array/bitmap/varint).
+func buildSnap(t *testing.T, day int, rows map[int][]uint32, numRows, numVals int) *Snapshot[uint32, uint32] {
+	t.Helper()
+	b := NewSnapBuilder[uint32, uint32](day, numVals, true)
+	for r := 0; r < numRows; r++ {
+		vals, ok := rows[r]
+		if !ok {
+			continue
+		}
+		if err := b.AppendRow(uint32(r), vals); err != nil {
+			t.Fatalf("AppendRow(%d): %v", r, err)
+		}
+	}
+	s, err := b.Finish(numRows)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return s
+}
+
+// sharedFixture returns a day-0 snapshot with one row per container
+// kind, plus the row contents for twin-building.
+func sharedFixture(t *testing.T) (*Snapshot[uint32, uint32], map[int][]uint32) {
+	t.Helper()
+	dense := make([]uint32, 0, 64)
+	for v := uint32(100); v < 164; v++ {
+		dense = append(dense, v)
+	}
+	rows := map[int][]uint32{
+		0: {3, 9, 40},                           // array (short)
+		2: {},                                   // observed free-rider
+		3: {10, 11, 12, 13, 14, 15, 16, 17, 90}, // varint (clustered)
+		5: dense,                                // bitmap (dense span)
+		7: {1, 5000, 9000, 20000, 30000, 39999}, // array (wide, varint loses)
+	}
+	s := buildSnap(t, 0, rows, 9, 40000)
+	if !s.Packed() {
+		t.Fatal("fixture should use packed containers")
+	}
+	return s, rows
+}
+
+func TestSharedRowsEquivalence(t *testing.T) {
+	day0, rows := sharedFixture(t)
+
+	// Day 1: rows 0, 3, 5 unchanged (shared), row 7 changed, row 8 new.
+	b := NewSnapBuilder[uint32, uint32](1, 40000, true)
+	for _, r := range []int{0, 3, 5} {
+		if err := b.AppendRowShared(uint32(r), day0); err != nil {
+			t.Fatalf("AppendRowShared(%d): %v", r, err)
+		}
+	}
+	changed := []uint32{1, 5000, 9000}
+	if err := b.AppendRow(7, changed); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(8, []uint32{2, 4}); err != nil {
+		t.Fatal(err)
+	}
+	day1, err := b.Finish(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := day1.SharedRows(); got != 3 {
+		t.Fatalf("SharedRows = %d, want 3", got)
+	}
+
+	twinRows := [][]uint32{rows[0], nil, nil, rows[3], nil, rows[5], nil, changed, {2, 4}}
+	present := []bool{true, false, false, true, false, true, false, true, true}
+	twin := FromRows[uint32](1, twinRows, present, 40000)
+	if !day1.Equal(twin) {
+		t.Fatal("shared-row snapshot differs from materialized twin")
+	}
+	if day1.NNZ() != twin.NNZ() {
+		t.Fatalf("NNZ %d != twin %d", day1.NNZ(), twin.NNZ())
+	}
+	for r := 0; r < 9; r++ {
+		p := uint32(r)
+		if day1.RowLen(p) != twin.RowLen(p) {
+			t.Fatalf("row %d: RowLen %d != %d", r, day1.RowLen(p), twin.RowLen(p))
+		}
+		if !slices.Equal(day1.Cache(p), twin.Cache(p)) {
+			t.Fatalf("row %d: Cache mismatch", r)
+		}
+		var scratch []uint32
+		if !slices.Equal(day1.Row(p, scratch), twin.Cache(p)) {
+			t.Fatalf("row %d: Row mismatch", r)
+		}
+		if !slices.Equal(day1.AppendRowTo(p, nil), twin.AppendRowTo(p, nil)) {
+			t.Fatalf("row %d: AppendRowTo mismatch", r)
+		}
+	}
+	if !slices.Equal(day1.ValueCounts(), twin.ValueCounts()) {
+		t.Fatal("ValueCounts mismatch")
+	}
+	for f := 0; f < 40000; f++ {
+		a := day1.Inverted().Holders(uint32(f))
+		bh := twin.Inverted().Holders(uint32(f))
+		if !slices.Equal(a, bh) {
+			t.Fatalf("Holders(%d) mismatch: %v vs %v", f, a, bh)
+		}
+	}
+
+	// ForEachRow visits the same (row, content) sequence.
+	type visit struct {
+		p   uint32
+		row []uint32
+	}
+	collect := func(s *Snapshot[uint32, uint32]) []visit {
+		var out []visit
+		s.ForEachRow(func(p uint32, row []uint32) {
+			out = append(out, visit{p, slices.Clone(row)})
+		})
+		return out
+	}
+	got, want := collect(day1), collect(twin)
+	if len(got) != len(want) {
+		t.Fatalf("ForEachRow visits %d != %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].p != want[i].p || !slices.Equal(got[i].row, want[i].row) {
+			t.Fatalf("ForEachRow visit %d mismatch", i)
+		}
+	}
+
+	// FilterValues over a snapshot with shared rows.
+	keep := make([]bool, 40000)
+	for _, v := range []uint32{3, 9, 10, 11, 12, 100, 101, 5000} {
+		keep[v] = true
+	}
+	fa, fb := day1.FilterValues(keep), twin.FilterValues(keep)
+	if !fa.Equal(fb) {
+		t.Fatal("FilterValues mismatch on shared rows")
+	}
+}
+
+func TestSharedRowChainResolvesToOwner(t *testing.T) {
+	day0, _ := sharedFixture(t)
+
+	mk := func(day int, src *Snapshot[uint32, uint32]) *Snapshot[uint32, uint32] {
+		b := NewSnapBuilder[uint32, uint32](day, 40000, true)
+		if err := b.AppendRowShared(3, src); err != nil {
+			t.Fatal(err)
+		}
+		s, err := b.Finish(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	day1 := mk(1, day0)
+	day2 := mk(2, day1) // shares a row day1 itself shares
+	if len(day2.shSrcs) != 1 || day2.shSrcs[0] != day0 {
+		t.Fatal("chained share did not resolve to the owning snapshot")
+	}
+	if !slices.Equal(day2.Cache(3), day0.Cache(3)) {
+		t.Fatal("chained share content mismatch")
+	}
+}
+
+func TestSharedRowEmptyCanonicalized(t *testing.T) {
+	day0, _ := sharedFixture(t)
+	b := NewSnapBuilder[uint32, uint32](1, 40000, true)
+	if err := b.AppendRowShared(2, day0); err != nil { // row 2 is an observed free-rider
+		t.Fatal(err)
+	}
+	s, err := b.Finish(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.SharedRows() != 0 {
+		t.Fatal("empty row should be stored plain, not shared")
+	}
+	if !s.Observed(2) || s.RowLen(2) != 0 {
+		t.Fatal("empty shared row lost observed-free-rider semantics")
+	}
+}
+
+func TestSharedRowErrors(t *testing.T) {
+	day0, _ := sharedFixture(t)
+	b := NewSnapBuilder[uint32, uint32](1, 40000, true)
+	if err := b.AppendRowShared(1, day0); err == nil { // row 1 unobserved in day0
+		t.Fatal("want error sharing unobserved row")
+	}
+	if err := b.AppendRowShared(3, nil); err == nil {
+		t.Fatal("want error sharing from nil snapshot")
+	}
+	if err := b.AppendRowShared(3, day0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendRowShared(3, day0); err == nil {
+		t.Fatal("want error on out-of-order shared row")
+	}
+	narrow := NewSnapBuilder[uint32, uint32](1, 50, true)
+	if err := narrow.AppendRowShared(3, day0); err == nil {
+		t.Fatal("want error sharing from wider snapshot")
+	}
+}
+
+func TestSetShareBaseDedups(t *testing.T) {
+	day0, rows := sharedFixture(t)
+	b := NewSnapBuilder[uint32, uint32](1, 40000, true)
+	b.SetShareBase(day0)
+	if err := b.AppendRow(0, rows[0]); err != nil { // identical: dedups
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(2, nil); err != nil { // empty: stays plain
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(3, rows[3]); err != nil { // identical packed row: dedups
+		t.Fatal(err)
+	}
+	if err := b.AppendRow(7, []uint32{1, 5000}); err != nil { // changed
+		t.Fatal(err)
+	}
+	s, err := b.Finish(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.SharedRows(); got != 2 {
+		t.Fatalf("SharedRows = %d, want 2", got)
+	}
+	twin := FromRows[uint32](1, [][]uint32{rows[0], nil, nil, rows[3], nil, nil, nil, {1, 5000}, nil},
+		[]bool{true, false, true, true, false, false, false, true, false}, 40000)
+	if !s.Equal(twin) {
+		t.Fatal("deduped snapshot differs from materialized twin")
+	}
+}
+
+func TestAggregateOverSharedDays(t *testing.T) {
+	day0, rows := sharedFixture(t)
+	b := NewSnapBuilder[uint32, uint32](1, 40000, true)
+	b.SetShareBase(day0)
+	for _, r := range []int{0, 3, 5, 7} {
+		if err := b.AppendRow(uint32(r), rows[r]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	day1, err := b.Finish(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore(9, 40000, []*Snapshot[uint32, uint32]{day0, day1})
+	agg := st.Aggregate()
+	for r := 0; r < 9; r++ {
+		want := rows[r]
+		if !slices.Equal(agg.Cache(uint32(r)), want) {
+			t.Fatalf("aggregate row %d mismatch", r)
+		}
+	}
+	if st.Observations() != day0.ObservedRows()+day1.ObservedRows() {
+		t.Fatal("Observations mismatch")
+	}
+}

@@ -67,6 +67,16 @@ type Snapshot[P, F ID] struct {
 	vrBytes []byte
 	vrNNZ   int
 
+	// Shared containers: shRows lists the rows (ascending) whose content
+	// is the same row of another snapshot — the in-memory analogue of the
+	// .edt "unchanged" delta tag. shSrc indexes shSrcs per shared row;
+	// shNNZ caches their total value count. Sources always own their row
+	// (never shared themselves), so delegation is one hop deep.
+	shRows []uint32
+	shSrc  []uint32
+	shSrcs []*Snapshot[P, F]
+	shNNZ  int
+
 	// hyd is the lazily built hydration arena: packed rows decoded once
 	// into flat storage so Cache() can keep returning stable views
 	// (bitmap rows first, then varint rows).
@@ -132,12 +142,16 @@ func (s *Snapshot[P, F]) NumVals() int { return s.numVals }
 
 // NNZ returns the total number of stored values (replicas).
 func (s *Snapshot[P, F]) NNZ() int {
-	n := len(s.data) + s.vrNNZ
+	n := len(s.data) + s.vrNNZ + s.shNNZ
 	for _, m := range s.bmMeta {
 		n += int(m.n)
 	}
 	return n
 }
+
+// SharedRows returns the number of rows stored as references into other
+// snapshots' containers.
+func (s *Snapshot[P, F]) SharedRows() int { return len(s.shRows) }
 
 // ObservedRows returns the number of present rows.
 func (s *Snapshot[P, F]) ObservedRows() int { return s.observed }
@@ -171,6 +185,22 @@ func (s *Snapshot[P, F]) varintIndex(p P) int {
 // varintRow returns the encoded byte range of varint row vi.
 func (s *Snapshot[P, F]) varintRow(vi int) []byte {
 	return s.vrBytes[s.vrOffs[vi]:s.vrOffs[vi+1]]
+}
+
+// sharedIndex returns the index of row p in the shared side table, or -1.
+func (s *Snapshot[P, F]) sharedIndex(p P) int {
+	if len(s.shRows) == 0 {
+		return -1
+	}
+	if i, ok := slices.BinarySearch(s.shRows, uint32(p)); ok {
+		return i
+	}
+	return -1
+}
+
+// sharedSrc returns the snapshot owning shared row si's content.
+func (s *Snapshot[P, F]) sharedSrc(si int) *Snapshot[P, F] {
+	return s.shSrcs[s.shSrc[si]]
 }
 
 // hydrate decodes every packed row into the shared arena, once.
@@ -216,6 +246,9 @@ func (s *Snapshot[P, F]) Cache(p P) []F {
 		s.hydrate()
 		return s.hyd[s.hydVrOffs[vi]:s.hydVrOffs[vi+1]]
 	}
+	if si := s.sharedIndex(p); si >= 0 {
+		return s.sharedSrc(si).Cache(p)
+	}
 	return s.data[s.offs[p]:s.offs[p]]
 }
 
@@ -236,6 +269,9 @@ func (s *Snapshot[P, F]) Row(p P, scratch []F) []F {
 	if vi := s.varintIndex(p); vi >= 0 {
 		return appendVarintVals(s.varintRow(vi), scratch[:0])
 	}
+	if si := s.sharedIndex(p); si >= 0 {
+		return s.sharedSrc(si).Row(p, scratch)
+	}
 	return nil
 }
 
@@ -254,6 +290,9 @@ func (s *Snapshot[P, F]) AppendRowTo(p P, dst []F) []F {
 	if vi := s.varintIndex(p); vi >= 0 {
 		return appendVarintVals(s.varintRow(vi), dst)
 	}
+	if si := s.sharedIndex(p); si >= 0 {
+		return s.sharedSrc(si).AppendRowTo(p, dst)
+	}
 	return dst
 }
 
@@ -270,6 +309,9 @@ func (s *Snapshot[P, F]) RowLen(p P) int {
 	}
 	if vi := s.varintIndex(p); vi >= 0 {
 		return varintRunLen(s.varintRow(vi))
+	}
+	if si := s.sharedIndex(p); si >= 0 {
+		return s.sharedSrc(si).RowLen(p)
 	}
 	return 0
 }
@@ -346,6 +388,34 @@ func (s *Snapshot[P, F]) forEachValue(fn func(F)) {
 	}
 	for vi := range s.vrRows {
 		forEachVarintVal(s.varintRow(vi), fn)
+	}
+	for si, r := range s.shRows {
+		s.sharedSrc(si).forEachRowValue(P(r), fn)
+	}
+}
+
+// forEachRowValue calls fn for each value of row p in ascending order,
+// decoding nothing into retained storage.
+func (s *Snapshot[P, F]) forEachRowValue(p P, fn func(F)) {
+	if int(p) >= s.numRows {
+		return
+	}
+	if i, j := s.offs[p], s.offs[p+1]; i != j {
+		for _, f := range s.data[i:j] {
+			fn(f)
+		}
+		return
+	}
+	if bi := s.bitmapIndex(p); bi >= 0 {
+		forEachBit(s.bmMeta[bi], s.bmWords, fn)
+		return
+	}
+	if vi := s.varintIndex(p); vi >= 0 {
+		forEachVarintVal(s.varintRow(vi), fn)
+		return
+	}
+	if si := s.sharedIndex(p); si >= 0 {
+		s.sharedSrc(si).forEachRowValue(p, fn)
 	}
 }
 

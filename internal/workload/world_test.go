@@ -245,7 +245,7 @@ func TestPopularFilesAreLarge(t *testing.T) {
 		if n == 0 {
 			continue
 		}
-		big := tr.Files[fid].Size > 600<<20
+		big := tr.FileSize(trace.FileID(fid)) > 600<<20
 		all++
 		if big {
 			allBig++
@@ -288,9 +288,9 @@ func TestCollectProducesValidTrace(t *testing.T) {
 		t.Fatal("empty trace")
 	}
 	// Firewalled or browse-disabled clients must never appear.
-	for _, p := range tr.Peers {
-		if p.Firewalled || !p.BrowseOK {
-			t.Fatalf("uncrawlable peer in trace: %+v", p)
+	for i := 0; i < tr.NumPeers(); i++ {
+		if tr.PeerFirewalled(trace.PeerID(i)) || !tr.PeerBrowseOK(trace.PeerID(i)) {
+			t.Fatalf("uncrawlable peer in trace: %+v", tr.PeerInfoAt(trace.PeerID(i)))
 		}
 	}
 	// Free-riders appear with empty caches.
@@ -307,12 +307,13 @@ func TestCollectAliasesAppearAsDuplicates(t *testing.T) {
 		t.Fatal(err)
 	}
 	aliased := 0
-	for _, p := range tr.Peers {
+	for i := 0; i < tr.NumPeers(); i++ {
+		p := tr.PeerInfoAt(trace.PeerID(i))
 		if p.AliasOf >= 0 {
 			aliased++
 			// The alias must share an IP or a user hash with its
 			// predecessor — that is what Filter() keys on.
-			prev := tr.Peers[p.AliasOf]
+			prev := tr.PeerInfoAt(trace.PeerID(p.AliasOf))
 			if prev.IP != p.IP && prev.UserHash != p.UserHash {
 				t.Fatalf("alias %d shares nothing with predecessor", p.ID)
 			}
@@ -323,8 +324,8 @@ func TestCollectAliasesAppearAsDuplicates(t *testing.T) {
 	}
 	// Filtering must strictly reduce the sharing population.
 	ft := tr.Filter()
-	if len(ft.Peers) >= len(tr.Peers) {
-		t.Errorf("filter removed nothing: %d -> %d", len(tr.Peers), len(ft.Peers))
+	if ft.NumPeers() >= tr.NumPeers() {
+		t.Errorf("filter removed nothing: %d -> %d", tr.NumPeers(), ft.NumPeers())
 	}
 }
 

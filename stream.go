@@ -1,0 +1,169 @@
+package edonkey
+
+import (
+	"os"
+
+	"edonkey/internal/analysis"
+	"edonkey/internal/runner"
+	"edonkey/internal/trace"
+)
+
+// streamGroupsPerWindow sets how many keyframe groups (8 days each) a
+// streaming window spans. Larger windows amortize footer parsing and
+// decode fan-out; smaller windows bound the resident set tighter.
+const streamGroupsPerWindow = 4
+
+// LoadStudyStream is LoadStudy for captures too large to hold resident:
+// instead of decoding every day of the full trace into memory, it
+// streams keyframe-group windows through two passes and keeps only
+//
+//   - the identity tables (lazy .edt columns, decoded on demand),
+//   - the full trace's day-by-day fold (Study.FullStats) and per-peer
+//     aggregate caches, folded window by window,
+//   - the filtered trace's days (cross-day row sharing makes these
+//     churn-proportional), from which the extrapolated trace and the
+//     simulation caches derive as usual.
+//
+// Study.Full carries the identity tables plus one synthetic aggregate
+// day standing in for the resident history: the aggregate-backed
+// experiments (fig13's clustering base, SourcesPerFile) read identical
+// values from it, and table1/fig01/fig02 render from FullStats. Every
+// suite experiment is byte-identical to the resident LoadStudy path.
+//
+// Non-.edt files fall back to LoadStudy — the gob format is inherently
+// resident.
+func LoadStudyStream(path string) (*Study, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	er, err := trace.NewEDTReader(f, fi.Size())
+	if err != nil {
+		f.Close()
+		return LoadStudy(path)
+	}
+	numPeers, numFiles, numDays := er.NumPeers(), er.NumFiles(), er.NumDays()
+	firstDay := 0
+	if numDays > 0 {
+		firstDay = er.DayInfo(0).Day
+	}
+	// Window boundaries must align with keyframe groups so each window
+	// decodes without run-up days from the previous one.
+	var starts []int
+	for i := 0; i < numDays; i++ {
+		if i == 0 || er.DayInfo(i).Keyframe() {
+			starts = append(starts, i)
+		}
+	}
+	f.Close() // windows reopen the path themselves
+
+	type window struct{ lo, hi int }
+	var windows []window
+	for k := 0; k < len(starts); k += streamGroupsPerWindow {
+		lo := starts[k]
+		hi := numDays
+		if k+streamGroupsPerWindow < len(starts) {
+			hi = starts[k+streamGroupsPerWindow]
+		}
+		windows = append(windows, window{lo, hi})
+	}
+
+	// The identity-only view: zero days decoded, columns stay lazy.
+	ident, err := trace.ReadFileRange(path, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 1: fold the full-trace statistics and the per-peer aggregate
+	// caches. Each window's day snapshots are dropped before the next
+	// window decodes.
+	st := analysis.NewFullStats(numPeers, numFiles)
+	union := make([][]trace.FileID, numPeers)
+	for _, w := range windows {
+		win, err := trace.ReadFileRange(path, w.lo, w.hi)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range win.Days {
+			st.AddDay(d)
+			d.ForEachRow(func(pid trace.PeerID, cache []trace.FileID) {
+				if len(cache) > 0 {
+					union[pid] = unionSorted(union[pid], cache)
+				}
+			})
+		}
+	}
+
+	// The filter's keep mask needs the complete "ever shared" bitset, so
+	// it can only be computed between the passes.
+	keep := ident.FilterKeep(st.Shared())
+	filteredIdent := ident.SubsetPeers(keep)
+
+	// Pass 2: re-decode each window and keep only its filtered rows.
+	var filteredDays []*trace.DaySnapshot
+	for _, w := range windows {
+		win, err := trace.ReadFileRange(path, w.lo, w.hi)
+		if err != nil {
+			return nil, err
+		}
+		wf := win.SubsetPeers(keep)
+		filteredDays = append(filteredDays, wf.Days...)
+	}
+	filtered := filteredIdent.WithDays(filteredDays)
+
+	s := &Study{Config: DefaultStudyConfig(), pool: runner.New(0)}
+	s.FullStats = st
+	var aggDays []*trace.DaySnapshot
+	if numDays > 0 {
+		agg, err := trace.NewAggregateDay(firstDay, union, st.Observed(), numFiles)
+		if err != nil {
+			return nil, err
+		}
+		aggDays = []*trace.DaySnapshot{agg}
+	}
+	s.Full = ident.WithDays(aggDays)
+	s.Filtered = filtered
+	s.Extrapolated = filtered.Extrapolate(s.Config.Extrapolate)
+	s.Caches = filtered.AggregateCaches()
+	return s, nil
+}
+
+// unionSorted merges two sorted duplicate-free FileID slices. a is owned
+// by the caller and may be returned or extended; b is a borrowed view
+// into a decoded day and is never retained.
+func unionSorted(a, b []trace.FileID) []trace.FileID {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]trace.FileID(nil), b...)
+	}
+	// Steady state for slow-churn caches: b is contained in a.
+	if trace.IntersectCount(a, b) == len(b) {
+		return a
+	}
+	out := make([]trace.FileID, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,156 @@
+package edonkey
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func renderSuite(t *testing.T, study *Study, workers int) []string {
+	t.Helper()
+	study.SetWorkers(workers)
+	suite := study.Suite(4)
+	out := make([]string, len(suite))
+	for i, exp := range suite {
+		var buf bytes.Buffer
+		if err := exp.Render(&buf); err != nil {
+			t.Fatalf("%s: %v", exp.ID(), err)
+		}
+		out[i] = exp.ID() + "\n" + buf.String()
+	}
+	return out
+}
+
+// The streaming acceptance pin: a study streamed window by window from
+// an .edt file renders the full experiment suite bit-identically to one
+// loaded resident, at workers 1, 4 and GOMAXPROCS. The trace spans
+// enough days (70 = 9 keyframe groups = 3 streaming windows) that the
+// stats fold, the aggregate-cache union and the filter mask all cross
+// window boundaries.
+func TestStreamedSuiteIdenticalToResident(t *testing.T) {
+	cfg := studyConfig(13)
+	cfg.World.Days = 70
+	study, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.edt")
+	if err := study.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	resident, err := LoadStudy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := renderSuite(t, resident, 1)
+
+	for _, workers := range []int{1, 4, 0} {
+		streamed, err := LoadStudyStream(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(streamed.Full.Days) != 1 {
+			t.Fatalf("streamed Full holds %d days, want 1 aggregate day", len(streamed.Full.Days))
+		}
+		if streamed.FullStats == nil || len(streamed.FullStats.Days) != len(resident.Full.Days) {
+			t.Fatal("streamed study is missing the per-day full-trace fold")
+		}
+		got := renderSuite(t, streamed, workers)
+		if !reflect.DeepEqual(want, got) {
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("experiment %d differs between resident and streamed (%d workers):\n%s\nvs\n%s",
+						i, workers, want[i][:min(len(want[i]), 400)], got[i][:min(len(got[i]), 400)])
+				}
+			}
+			t.Fatalf("suite output differs at %d workers", workers)
+		}
+	}
+}
+
+// The streamed derivations themselves (not just the rendered suite) must
+// match the resident ones: filtered/extrapolated day content and the
+// simulation caches are what every downstream experiment consumes.
+func TestStreamedDerivationsMatchResident(t *testing.T) {
+	cfg := studyConfig(14)
+	cfg.World.Days = 40
+	study, err := NewStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.edt")
+	if err := study.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	resident, err := LoadStudy(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, err := LoadStudyStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, lvl := range []struct {
+		name      string
+		res, strm interface {
+			ObservedPeers() int
+		}
+	}{
+		{"filtered", resident.Filtered, streamed.Filtered},
+		{"extrapolated", resident.Extrapolated, streamed.Extrapolated},
+	} {
+		if lvl.res.ObservedPeers() != lvl.strm.ObservedPeers() {
+			t.Errorf("%s: observed peers %d (resident) vs %d (streamed)",
+				lvl.name, lvl.res.ObservedPeers(), lvl.strm.ObservedPeers())
+		}
+	}
+	if len(resident.Filtered.Days) != len(streamed.Filtered.Days) {
+		t.Fatalf("filtered day counts differ: %d vs %d",
+			len(resident.Filtered.Days), len(streamed.Filtered.Days))
+	}
+	for i := range resident.Filtered.Days {
+		if !resident.Filtered.Days[i].Equal(streamed.Filtered.Days[i]) {
+			t.Fatalf("filtered day index %d differs", i)
+		}
+	}
+	if !reflect.DeepEqual(resident.Caches, streamed.Caches) {
+		t.Fatal("simulation caches differ between resident and streamed load")
+	}
+	// The aggregate stand-in day must reproduce the full trace's
+	// aggregate exactly — fig13's clustering base reads it.
+	if streamed.Full.ObservedPeers() != resident.Full.ObservedPeers() ||
+		streamed.Full.DistinctFiles() != resident.Full.DistinctFiles() {
+		t.Errorf("aggregate view diverges: peers %d/%d, files %d/%d",
+			streamed.Full.ObservedPeers(), resident.Full.ObservedPeers(),
+			streamed.Full.DistinctFiles(), resident.Full.DistinctFiles())
+	}
+	if !reflect.DeepEqual(streamed.Full.SourcesPerFile(), resident.Full.SourcesPerFile()) {
+		t.Error("SourcesPerFile diverges on the aggregate stand-in day")
+	}
+}
+
+// Gob traces cannot stream; LoadStudyStream must quietly fall back to
+// the resident loader.
+func TestStreamFallsBackToResidentForGob(t *testing.T) {
+	study, err := NewStudy(studyConfig(15))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.gob")
+	if err := study.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadStudyStream(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Full.Observations() != study.Full.Observations() {
+		t.Error("gob fallback lost observations")
+	}
+	if len(loaded.Full.Days) != len(study.Full.Days) {
+		t.Error("gob fallback should load the full trace resident")
+	}
+}
