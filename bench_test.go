@@ -396,6 +396,48 @@ func BenchmarkAblationSweepParallel(b *testing.B) {
 	}
 }
 
+// benchInterleavedOpts is the tracked sweep-scheduler grid: the Fig. 19
+// drop grid (4 ablation keys × 4 list sizes) plus a Fig. 21-style
+// randomized baseline across the paper's six list sizes (one key, and
+// the most expensive setup — the (1/2)·N·ln N swap budget). 22 points
+// over 5 prestate keys: both wins of the scheduler — prestate sharing
+// and interleaving — show up on this shape.
+func benchInterleavedOpts() []core.SimOptions {
+	opts := benchSweepOpts()
+	for _, L := range []int{5, 10, 20, 50, 100, 200} {
+		opts = append(opts, core.SimOptions{
+			ListSize: L, Kind: core.LRU, Seed: 1, RandomizeSwaps: -1,
+		})
+	}
+	return opts
+}
+
+// BenchmarkSweepInterleaved is the tracked sweep-path benchmark: the
+// committed ablation grid through RunSweep at one worker and at
+// GOMAXPROCS workers. The outputs are bit-identical to a serial RunSim
+// loop at every worker count (pinned by the core differential tests);
+// only wall-clock differs. Besides ns/op it reports ns/point, the
+// anchor-normalized per-point cost `make bench-diff` gates, so a
+// regression in prestate sharing or the interleaved scheduler fails CI
+// even on machines whose core counts differ from the baseline's.
+func BenchmarkSweepInterleaved(b *testing.B) {
+	s := benchSetup(b)
+	opts := benchInterleavedOpts()
+	for _, variant := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=max", 0}} {
+		b.Run(fmt.Sprintf("points=%d/%s", len(opts), variant.name), func(b *testing.B) {
+			pool := runner.New(variant.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = core.RunSweep(s.Caches, opts, pool)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(opts)), "ns/point")
+		})
+	}
+}
+
 // BenchmarkAblationSuiteSerial/Parallel regenerate the full figure suite
 // (all tables and figures at reduced list sizes) through the engine.
 func benchSuiteInput(s *Study, pool *runner.Pool) analysis.SuiteInput {

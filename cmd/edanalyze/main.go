@@ -27,12 +27,13 @@ func main() {
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); output is identical for any value")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	exectrace := flag.String("exectrace", "", "write a runtime execution trace to this file")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: edanalyze [-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof] <trace-file>")
+		fmt.Fprintln(os.Stderr, "usage: edanalyze [-workers N] [-cpuprofile cpu.pprof] [-memprofile mem.pprof] [-exectrace run.trace] <trace-file>")
 		os.Exit(2)
 	}
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, *exectrace)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edanalyze:", err)
 		os.Exit(1)

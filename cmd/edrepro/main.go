@@ -31,6 +31,7 @@ import (
 
 	"edonkey"
 	"edonkey/internal/analysis"
+	"edonkey/internal/core"
 	"edonkey/internal/prof"
 	"edonkey/internal/workload"
 )
@@ -51,6 +52,7 @@ type options struct {
 	useCrawl  bool
 	cpuProf   string
 	memProf   string
+	execTrace string
 	verbose   bool
 }
 
@@ -71,6 +73,7 @@ func main() {
 	flag.IntVar(&o.workers, "workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); outputs are identical for any value")
 	flag.StringVar(&o.cpuProf, "cpuprofile", "", "write a CPU profile to this file")
 	flag.StringVar(&o.memProf, "memprofile", "", "write a heap profile to this file")
+	flag.StringVar(&o.execTrace, "exectrace", "", "write a runtime execution trace to this file (go tool trace)")
 	flag.BoolVar(&o.verbose, "v", false, "report phase timings and memory to stderr")
 	flag.Parse()
 
@@ -81,7 +84,7 @@ func main() {
 }
 
 func run(o options) error {
-	stopProf, err := prof.Start(o.cpuProf, o.memProf)
+	stopProf, err := prof.Start(o.cpuProf, o.memProf, o.execTrace)
 	if err != nil {
 		return err
 	}
@@ -174,8 +177,13 @@ func run(o options) error {
 		study.Pool().Workers())
 
 	suiteStart := time.Now()
+	simT := core.SweepTimingsSnapshot()
 	suite := study.SuiteSubset(o.seed, figures)
 	report(o.verbose, suiteStart, fmt.Sprintf("suite (%d experiments)", len(suite)))
+	if o.verbose {
+		fmt.Fprintf(os.Stderr, "edrepro: sim phases: %s\n",
+			core.SweepTimingsSnapshot().Sub(simT))
+	}
 	for _, exp := range suite {
 		if !want(exp.ID()) {
 			continue

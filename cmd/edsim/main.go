@@ -7,6 +7,7 @@
 //	edsim [-strategy lru|history|random] [-list 20] [-twohop]
 //	      [-drop-uploaders 0.05] [-drop-files 0.15] [-randomize]
 //	      [-lists 5,10,20,50] [-workers 0] [-trace trace.edt]
+//	      [-v] [-exectrace run.trace]
 //
 // With -lists, one simulation per list size runs concurrently on the
 // worker pool and a summary line is printed per size. A single point
@@ -46,19 +47,26 @@ func main() {
 		workers        = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); shards sweeps and single points alike, results identical for any value")
 		cpuprofile     = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile     = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		exectrace      = flag.String("exectrace", "", "write a runtime execution trace to this file (go tool trace)")
+		verbose        = flag.Bool("v", false, "report simulation phase timings (prestate / eval / commit) to stderr")
 	)
 	flag.Parse()
 
-	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	stopProf, err := prof.Start(*cpuprofile, *memprofile, *exectrace)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "edsim:", err)
 		os.Exit(1)
 	}
 	// os.Exit skips defers, so close the profiles explicitly before any
 	// exit path — a truncated CPU profile is unreadable by pprof.
+	timings := core.SweepTimingsSnapshot()
 	runErr := run(*tracePath, *seed, *peers, *days, *workers, *listSize,
 		*strategy, *listSweep, *twoHop, *dropUp, *dropFiles,
 		*randomizeTrace, *load)
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "edsim: sim phases: %s\n",
+			core.SweepTimingsSnapshot().Sub(timings))
+	}
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "edsim:", err)
 	}

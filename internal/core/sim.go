@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"slices"
+	"time"
 
 	"edonkey/internal/randomize"
 	"edonkey/internal/runner"
@@ -243,17 +244,37 @@ func (s sharedSet) set(pos int)      { s[pos/64] |= 1 << (pos % 64) }
 // shardable — the whole schedule can be drawn ahead of the outcome of any
 // event — and it makes one RunSim bit-identical for every worker count of
 // opt.Pool, including the serial nil pool.
+//
+// The setup phase (trace surgery, request shuffles) lives in
+// NewSimPrestate so sweeps can build it once per ablation key and share
+// it across points; RunSim is the single-point convenience that builds a
+// private prestate and consumes it in place.
 func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 	if opt.ListSize <= 0 {
 		opt.ListSize = 20
 	}
-	rng := rand.New(rand.NewPCG(opt.Seed, 0x73696d)) // "sim"
-	prepared := PrepareCaches(caches, opt, rng)
+	s := newPointState(NewSimPrestate(caches, opt), opt, true)
+	if opt.Pool.Workers() > 1 {
+		s.runSharded(opt.Pool)
+	} else {
+		s.runSerial()
+	}
+	return s.res
+}
 
+// newPointState builds the live, point-private state of one simulation
+// run on top of a shared prestate: the restored schedule generator, the
+// strategies (Random draws its reservoir from the restored stream,
+// exactly where the setup left off), share bitsets, holder lists and the
+// active set. owned marks a prestate private to this point (RunSim), in
+// which case the request-list headers are consumed in place instead of
+// copied.
+func newPointState(pre *SimPrestate, opt SimOptions, owned bool) *simState {
+	rng := pre.scheduleRNG()
 	s := &simState{
 		opt:      opt,
 		rng:      rng,
-		prepared: prepared,
+		prepared: pre.prepared,
 		// Decorrelate the per-event fallback stream from every other use
 		// of Seed (schedule stream, world sub-seeds).
 		fallback: runner.SubSeed(opt.Seed, 0x66616c6c), // "fall"
@@ -261,28 +282,22 @@ func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 			Strategy: opt.Kind.String(),
 			ListSize: opt.ListSize,
 			TwoHop:   opt.TwoHop,
-			Peers:    len(prepared),
+			Peers:    len(pre.prepared),
+			Sharers:  len(pre.sharers),
 		},
 	}
 
-	// Request lists: shuffled copies of each cache. Popping from the
-	// back of a shuffled list is equivalent to the paper's "pick a
-	// random file from the remaining set".
-	s.requests = make([][]trace.FileID, len(prepared))
-	var sharerPool []trace.PeerID
-	for pid, c := range prepared {
-		if len(c) == 0 {
-			continue
-		}
-		s.res.Sharers++
-		sharerPool = append(sharerPool, trace.PeerID(pid))
-		list := append([]trace.FileID(nil), c...)
-		rng.Shuffle(len(list), func(i, j int) { list[i], list[j] = list[j], list[i] })
-		s.requests[pid] = list
+	// Request lists pop from the back as events are drawn; only the
+	// slice headers mutate, so points sharing a prestate copy the
+	// headers and share the shuffled backing arrays read-only.
+	if owned {
+		s.requests = pre.requests
+	} else {
+		s.requests = slices.Clone(pre.requests)
 	}
 
-	s.strategies = make([]Strategy, len(prepared))
-	for _, pid := range sharerPool {
+	s.strategies = make([]Strategy, len(pre.prepared))
+	for _, pid := range pre.sharers {
 		if opt.FixedLists != nil {
 			var list []trace.PeerID
 			if int(pid) < len(opt.FixedLists) {
@@ -300,7 +315,7 @@ func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 		case History:
 			s.strategies[pid] = NewHistory(opt.ListSize)
 		case Random:
-			s.strategies[pid] = NewRandom(opt.ListSize, pid, sharerPool, rng)
+			s.strategies[pid] = NewRandom(opt.ListSize, pid, pre.sharers, rng)
 		default:
 			panic(fmt.Sprintf("core: unknown strategy kind %d", opt.Kind))
 		}
@@ -311,21 +326,16 @@ func RunSim(caches [][]trace.FileID, opt SimOptions) SimResult {
 
 	// Per-peer shared bitsets over cache positions, and the holder lists
 	// indexed directly by FileID (dense array, no map).
-	s.shared = make([]sharedSet, len(prepared))
-	s.holders = make([][]trace.PeerID, maxFileID(prepared)+1)
+	s.shared = make([]sharedSet, len(pre.prepared))
+	s.holders = make([][]trace.PeerID, pre.nFiles)
 	if opt.TrackLoad {
-		s.res.LoadPerPeer = make([]int64, len(prepared))
+		s.res.LoadPerPeer = make([]int64, len(pre.prepared))
 	}
 
 	// Active peers with remaining requests, for uniform random choice.
-	s.active = append([]trace.PeerID(nil), sharerPool...)
-
-	if opt.Pool.Workers() > 1 {
-		s.runSharded(opt.Pool)
-	} else {
-		s.runSerial()
-	}
-	return s.res
+	s.active = append([]trace.PeerID(nil), pre.sharers...)
+	sweepPoints.Add(1)
+	return s
 }
 
 // simState is the live state of one RunSim event loop, shared by the
@@ -342,6 +352,7 @@ type simState struct {
 	holders    [][]trace.PeerID
 	active     []trace.PeerID
 	res        SimResult
+	chunk      *chunkState // sharded-path speculation machinery (initChunks)
 }
 
 // simEvent is one scheduled request: peer p pops file f.
@@ -359,7 +370,7 @@ type eventSpec struct {
 	twoHop       bool // the two-hop ring was scanned (one-hop missed)
 	uploader     trace.PeerID
 	messages     int64
-	targets      []trace.PeerID // peers messaged, recorded under TrackLoad only
+	targets      []trace.PeerID // peers messaged, in probe order (view into an eval arena)
 }
 
 // twoHopScratch is per-evaluator epoch-marked deduplication state for the
@@ -417,20 +428,28 @@ func (s *simState) fallbackIdx(g uint64, n int) int {
 // sharded path, chunk-start) state. It is read-only: strategies, shared
 // bitsets and holder lists are probed but never written, so any number
 // of evaluators can run concurrently between commits.
-func (s *simState) evaluate(ev simEvent, sc *twoHopScratch) eventSpec {
+//
+// The peers probed, in probe order, are appended to arena and exposed as
+// spec.targets: they feed LoadPerPeer under TrackLoad and — on the
+// sharded path — the commit-time validation, which must know exactly
+// which share bits the speculation read. Target slices are views into
+// the arena's backing at append time; growing the arena later relocates
+// future appends without disturbing earlier views, so one arena can
+// serve many specs as long as it is not truncated while they are live.
+func (s *simState) evaluate(ev simEvent, sc *twoHopScratch, arena *[]trace.PeerID) eventSpec {
 	if len(s.holders[ev.f]) == 0 {
 		return eventSpec{contribution: true}
 	}
 	var spec eventSpec
+	base := len(*arena)
 	neigh := s.strategies[ev.p].Neighbours()
 	for _, n := range neigh {
 		spec.messages++
-		if s.opt.TrackLoad {
-			spec.targets = append(spec.targets, n)
-		}
+		*arena = append(*arena, n)
 		if s.sharesFile(n, ev.f) {
 			spec.hit = true
 			spec.uploader = n
+			spec.targets = (*arena)[base:]
 			return spec
 		}
 	}
@@ -451,17 +470,17 @@ func (s *simState) evaluate(ev simEvent, sc *twoHopScratch) eventSpec {
 				}
 				sc.queried[nn] = sc.epoch
 				spec.messages++
-				if s.opt.TrackLoad {
-					spec.targets = append(spec.targets, nn)
-				}
+				*arena = append(*arena, nn)
 				if s.sharesFile(nn, ev.f) {
 					spec.hit = true
 					spec.uploader = nn
+					spec.targets = (*arena)[base:]
 					return spec
 				}
 			}
 		}
 	}
+	spec.targets = (*arena)[base:]
 	return spec
 }
 
@@ -513,15 +532,22 @@ func (s *simState) newScratch() *twoHopScratch {
 // runSerial is the direct event loop: evaluate and commit one event at a
 // time against live state.
 func (s *simState) runSerial() {
+	start := time.Now()
 	sc := s.newScratch()
+	var arena []trace.PeerID
+	events := int64(0)
 	for g := uint64(0); ; g++ {
 		ev, ok := s.nextEvent()
 		if !ok {
-			return
+			break
 		}
-		spec := s.evaluate(ev, sc)
+		arena = arena[:0] // targets are consumed by apply before the next event
+		spec := s.evaluate(ev, sc, &arena)
 		s.apply(ev, &spec, g)
+		events++
 	}
+	sweepEvalNS.Add(time.Since(start).Nanoseconds())
+	sweepEvents.Add(events)
 }
 
 // Sharded event-loop tuning. Chunk sizing is pure performance tuning:
@@ -534,6 +560,12 @@ const (
 	simMaxChunkEvents = 4096
 	// simMinChunkEvents keeps chunks worth a pool dispatch.
 	simMinChunkEvents = 64
+	// chunkMaxScale caps the adaptive chunk-size multiplier.
+	chunkMaxScale = 8
+	// chunkMultiFile marks a peer that committed events on two or more
+	// distinct files within the current chunk (real FileIDs are dense
+	// and can never reach the sentinel).
+	chunkMultiFile = ^trace.FileID(0)
 )
 
 // chunkTarget sizes the next speculation chunk from the current active
@@ -541,10 +573,12 @@ const (
 // almost every event an earlier same-requester event and invalidate the
 // whole round. One-eighth of the active set keeps the expected
 // same-peer collision rate low while leaving enough events to spread
-// over the pool. The active count is schedule state — identical for
-// every worker count — so adaptive sizing preserves determinism.
-func chunkTarget(active int) int {
-	t := active / 8
+// over the pool; scale stretches that when the observed invalidation
+// rate says speculation is cheap (see commitChunk). Both inputs are
+// schedule state — identical for every worker count — so adaptive
+// sizing preserves determinism.
+func chunkTarget(active, scale int) int {
+	t := active / 8 * scale
 	if t > simMaxChunkEvents {
 		t = simMaxChunkEvents
 	}
@@ -554,82 +588,199 @@ func chunkTarget(active int) int {
 	return t
 }
 
-// runSharded executes the event loop in chunks: draw simChunkEvents of
-// schedule, evaluate them all in parallel against the chunk-start state,
-// then commit serially in schedule order. A speculative outcome is valid
-// unless an earlier commit in the same chunk could have changed what the
-// evaluation read: the requester's own strategy (same peer earlier in
-// chunk), the file's holder list or share bits (same file earlier in
-// chunk), or — for two-hop scans — a scanned neighbour's list (neighbour
-// was an earlier requester). Invalid events are simply re-evaluated
-// against live state at commit, which is exactly the serial semantics,
-// so every worker count produces the serial result bit for bit.
+// chunkState is the speculation machinery of one sharded event loop,
+// split out so a sweep scheduler can drive the chunk phases (drawChunk →
+// parallel evalRange → commitChunk) of many points interleaved on one
+// pool instead of looping over them here.
+type chunkState struct {
+	events []simEvent
+	specs  []eventSpec
+
+	// Last-touch global indices (+1, 0 = never). peerTouched marks any
+	// committed event of the peer (its share bit for peerLastFile
+	// flipped); peerListTouched marks only commits that mutated the
+	// peer's neighbour list (non-contribution events, via RecordUpload);
+	// fileTouched marks any committed event on the file.
+	peerTouched     []uint64
+	peerListTouched []uint64
+	peerLastFile    []trace.FileID // file of the peer's commits this chunk, or chunkMultiFile
+	fileTouched     []uint64
+
+	commitSc    *twoHopScratch
+	commitArena []trace.PeerID
+
+	start uint64 // global schedule index of events[0]
+	scale int    // adaptive chunk-size multiplier, 1..chunkMaxScale
+}
+
+// initChunks allocates the chunk machinery; call once before the first
+// drawChunk.
+func (s *simState) initChunks() {
+	s.chunk = &chunkState{
+		events:          make([]simEvent, 0, simMaxChunkEvents),
+		specs:           make([]eventSpec, simMaxChunkEvents),
+		peerTouched:     make([]uint64, len(s.prepared)),
+		peerListTouched: make([]uint64, len(s.prepared)),
+		peerLastFile:    make([]trace.FileID, len(s.prepared)),
+		fileTouched:     make([]uint64, len(s.holders)),
+		commitSc:        s.newScratch(),
+		scale:           1,
+	}
+}
+
+// drawChunk draws the next chunk of schedule into the chunk buffer and
+// returns its length (0 when the simulation is finished). Drawing only
+// advances the schedule stream and the request lists — never outcome
+// state — so it is safe before any of the chunk is evaluated.
+func (s *simState) drawChunk() int {
+	c := s.chunk
+	c.events = c.events[:0]
+	for target := chunkTarget(len(s.active), c.scale); len(c.events) < target; {
+		ev, ok := s.nextEvent()
+		if !ok {
+			break
+		}
+		c.events = append(c.events, ev)
+	}
+	return len(c.events)
+}
+
+// evalRange speculatively evaluates events [lo,hi) of the current chunk
+// against chunk-start state. Read-only on shared state and on every
+// other index of the spec buffer, so disjoint ranges run concurrently.
+// The targets arena is local to the call: spec target views keep their
+// backing alive until commitChunk drops the specs.
+func (s *simState) evalRange(lo, hi int, sc *twoHopScratch) {
+	start := time.Now()
+	c := s.chunk
+	var arena []trace.PeerID
+	for i := lo; i < hi; i++ {
+		c.specs[i] = s.evaluate(c.events[i], sc, &arena)
+	}
+	sweepEvalNS.Add(time.Since(start).Nanoseconds())
+}
+
+// specValid reports whether the speculative outcome of ev still equals
+// what a live evaluation would produce, given the commits applied so far
+// this chunk. The checks mirror exactly what evaluate read:
+//
+//   - a contribution spec read only "holders[f] is empty", which an
+//     earlier commit changed iff it touched the file (holders only grow,
+//     so a non-contribution spec can never become one);
+//   - a request spec walked the requester's neighbour list (invalid if
+//     the list mutated: peerListTouched — a requester's own earlier
+//     contribution does not move its list) and, for two-hop scans, the
+//     lists of its current one-hop neighbours;
+//   - the walk probed the share bit of every peer in spec.targets for
+//     ev.f. A probed bit flipped iff that peer committed an event on
+//     ev.f earlier in this chunk, i.e. peerTouched fired and its
+//     per-chunk file marker matches (or the peer touched several files:
+//     chunkMultiFile). Peers beyond a speculative hit were not probed,
+//     and their bits — set-only — cannot un-hit it, so targets is the
+//     complete read set.
+func (s *simState) specValid(ev simEvent, spec *eventSpec) bool {
+	c := s.chunk
+	if spec.contribution {
+		return c.fileTouched[ev.f] <= c.start
+	}
+	if c.peerListTouched[ev.p] > c.start {
+		return false
+	}
+	if c.fileTouched[ev.f] > c.start {
+		for _, t := range spec.targets {
+			if c.peerTouched[t] > c.start &&
+				(c.peerLastFile[t] == ev.f || c.peerLastFile[t] == chunkMultiFile) {
+				return false
+			}
+		}
+	}
+	if spec.twoHop {
+		for _, n := range s.strategies[ev.p].Neighbours() {
+			if c.peerListTouched[n] > c.start {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// commitChunk applies the current chunk in schedule order, re-evaluating
+// any event whose speculation an earlier commit invalidated (exactly the
+// serial semantics, so every worker count and interleaving produces the
+// serial result bit for bit). It then adapts the chunk scale: the
+// re-evaluation count is a pure function of the schedule, so the scale —
+// and with it every following chunk boundary — stays deterministic.
+func (s *simState) commitChunk() {
+	start := time.Now()
+	c := s.chunk
+	reevals := 0
+	for i := range c.events {
+		ev := c.events[i]
+		g := c.start + uint64(i)
+		spec := &c.specs[i]
+		if !s.specValid(ev, spec) {
+			c.commitArena = c.commitArena[:0]
+			*spec = s.evaluate(ev, c.commitSc, &c.commitArena)
+			reevals++
+		}
+		contribution := spec.contribution
+		s.apply(ev, spec, g)
+		*spec = eventSpec{} // drop the target view, freeing eval arenas
+		if !contribution {
+			c.peerListTouched[ev.p] = g + 1
+		}
+		if c.peerTouched[ev.p] <= c.start {
+			c.peerLastFile[ev.p] = ev.f
+		} else if c.peerLastFile[ev.p] != ev.f {
+			c.peerLastFile[ev.p] = chunkMultiFile
+		}
+		c.peerTouched[ev.p] = g + 1
+		c.fileTouched[ev.f] = g + 1
+	}
+	c.start += uint64(len(c.events))
+
+	// Cheap speculation → stretch the next chunk; heavy invalidation →
+	// shrink back towards the collision-safe baseline.
+	if n := len(c.events); reevals*50 < n && c.scale < chunkMaxScale {
+		c.scale *= 2
+	} else if reevals*8 > n && c.scale > 1 {
+		c.scale /= 2
+	}
+	sweepCommitNS.Add(time.Since(start).Nanoseconds())
+	sweepEvents.Add(int64(len(c.events)))
+	sweepReevals.Add(int64(reevals))
+}
+
+// runSharded executes the event loop in chunks: draw a chunk of
+// schedule, evaluate it in parallel against the chunk-start state, then
+// commit serially in schedule order (commitChunk re-evaluates anything
+// an earlier commit invalidated). Sub-chunk the evaluation so each
+// worker gets a few dispatches per round — work-stealing evens out
+// uneven scan costs.
 func (s *simState) runSharded(pool *runner.Pool) {
-	var (
-		events = make([]simEvent, 0, simMaxChunkEvents)
-		specs  = make([]eventSpec, simMaxChunkEvents)
-		// Last-touch global indices (+1, 0 = never), per peer and file.
-		peerTouched = make([]uint64, len(s.prepared))
-		fileTouched = make([]uint64, len(s.holders))
-		commitSc    = s.newScratch()
-	)
+	s.initChunks()
 	// Evaluator scratch checkout: at most Workers() jobs run at once.
 	scratches := make(chan *twoHopScratch, pool.Workers())
 	for i := 0; i < pool.Workers(); i++ {
 		scratches <- s.newScratch()
 	}
-
-	for chunkStart := uint64(0); ; {
-		events = events[:0]
-		for target := chunkTarget(len(s.active)); len(events) < target; {
-			ev, ok := s.nextEvent()
-			if !ok {
-				break
-			}
-			events = append(events, ev)
-		}
-		if len(events) == 0 {
+	for {
+		n := s.drawChunk()
+		if n == 0 {
 			return
 		}
-
-		// Phase 1: speculative evaluation, read-only on shared state.
-		// Sub-chunk so each worker gets a few dispatches per round
-		// (work-stealing evens out uneven scan costs).
-		sub := (len(events) + 4*pool.Workers() - 1) / (4 * pool.Workers())
+		sub := (n + 4*pool.Workers() - 1) / (4 * pool.Workers())
 		if sub < 8 {
 			sub = 8
 		}
-		jobs := (len(events) + sub - 1) / sub
+		jobs := (n + sub - 1) / sub
 		pool.Map(jobs, func(j int) {
 			lo := j * sub
-			hi := min(lo+sub, len(events))
+			hi := min(lo+sub, n)
 			sc := <-scratches
-			for i := lo; i < hi; i++ {
-				specs[i] = s.evaluate(events[i], sc)
-			}
+			s.evalRange(lo, hi, sc)
 			scratches <- sc
 		})
-
-		// Phase 2: in-order commit with conservative validation.
-		for i, ev := range events {
-			g := chunkStart + uint64(i)
-			valid := peerTouched[ev.p] <= chunkStart && fileTouched[ev.f] <= chunkStart
-			if valid && specs[i].twoHop {
-				for _, n := range s.strategies[ev.p].Neighbours() {
-					if peerTouched[n] > chunkStart {
-						valid = false
-						break
-					}
-				}
-			}
-			if !valid {
-				specs[i] = s.evaluate(ev, commitSc)
-			}
-			s.apply(ev, &specs[i], g)
-			specs[i] = eventSpec{} // drop the TrackLoad target list
-			peerTouched[ev.p] = g + 1
-			fileTouched[ev.f] = g + 1
-		}
-		chunkStart += uint64(len(events))
+		s.commitChunk()
 	}
 }

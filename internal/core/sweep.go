@@ -5,22 +5,39 @@ import (
 	"edonkey/internal/trace"
 )
 
-// RunSweep executes one RunSim per options point, fanning the points out
-// over the pool (nil or New(1) runs them serially). The caches are shared
-// read-only across all points: RunSim copies before any trace surgery and
-// otherwise only reads, so no per-point deep copy happens.
+// RunSweep executes one simulation point per options entry. The caches
+// are shared read-only across all points, and points with the same setup
+// (Seed + ablations, see PrestateKey) share one SimPrestate: the trace
+// surgery, the request-list shuffles and the sharer census are paid once
+// per unique key instead of once per point — an ablation grid sweeping
+// only ListSize/Kind/TwoHop rebuilds nothing.
 //
-// Results are returned in input order and are bit-identical to a serial
-// loop for any worker count: every point derives its private rand.Rand
-// from its own SimOptions.Seed, never from a shared stream.
-//
-// Each point also inherits the pool for its own sharded event loop, so a
-// sweep narrower than the worker count (or a single point) still scales:
-// idle workers pick up speculation jobs from the points in flight.
+// On a multi-worker pool the points run on the interleaved scheduler
+// (sweepsched.go): every in-flight point's speculation chunks are
+// multiplexed onto the pool, so idle workers drain other points instead
+// of waiting at one point's chunk barrier, and tail points never queue
+// behind slow ones. Results are returned in input order and are
+// bit-identical to a serial RunSim loop for any worker count and any
+// scheduling: every point derives its private generators from its own
+// SimOptions.Seed, never from a shared stream.
 func RunSweep(caches [][]trace.FileID, opts []SimOptions, pool *runner.Pool) []SimResult {
-	return runner.Collect(pool, len(opts), func(i int) SimResult {
-		opt := opts[i]
+	results := make([]SimResult, len(opts))
+	if len(opts) == 0 {
+		return results
+	}
+	if pool.Workers() > 1 {
+		runSweepInterleaved(caches, opts, results, pool)
+		return results
+	}
+	// Serial path: same prestate sharing, one point at a time. Prestates
+	// release as their last point finishes, keeping peak memory at one
+	// group, not all distinct keys.
+	groups := sweepGroups(opts)
+	for i, opt := range opts {
 		opt.Pool = pool
-		return RunSim(caches, opt)
-	})
+		g := groups[opt.prestateKey()]
+		results[i] = RunSimPrestate(g.prestate(caches), opt)
+		g.release()
+	}
+	return results
 }

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+
+	"edonkey/internal/runner"
+	"edonkey/internal/trace"
+)
+
+// serialLoop is the ground truth the sweep scheduler must reproduce bit
+// for bit: one independent serial RunSim per point.
+func serialLoop(caches [][]trace.FileID, opts []SimOptions) []SimResult {
+	out := make([]SimResult, len(opts))
+	for i, opt := range opts {
+		opt.Pool = nil
+		out[i] = RunSim(caches, opt)
+	}
+	return out
+}
+
+// The scheduler's acceptance bar: interleaved RunSweep equals the serial
+// loop — full SimResult including LoadPerPeer — across worker counts,
+// seeds, and grids both wider and narrower than the worker count.
+func TestRunSweepInterleavedMatchesSerialLoop(t *testing.T) {
+	caches := skewedCaches(500, 3000, 18, 11)
+	workersList := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, seed := range []uint64{17, 99} {
+		wide := sweepGrid(seed)        // 13 points, wider than 4 workers
+		narrow := sweepGrid(seed)[10:] // 3 points, narrower than 4 workers
+		for name, opts := range map[string][]SimOptions{"wide": wide, "narrow": narrow} {
+			want := serialLoop(caches, opts)
+			for _, w := range workersList {
+				got := RunSweep(caches, opts, runner.New(w))
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("seed=%d grid=%s workers=%d: sweep diverged from the serial loop",
+						seed, name, w)
+				}
+			}
+		}
+	}
+}
+
+// Points with the same setup key must share one prestate build, on both
+// the serial and the interleaved path; every point still runs.
+func TestRunSweepMemoizesPrestates(t *testing.T) {
+	caches := communityCaches(5, 8, 15)
+	opts := sweepGrid(41)
+	keys := map[PrestateKey]bool{}
+	for _, opt := range opts {
+		keys[opt.prestateKey()] = true
+	}
+	for _, workers := range []int{1, 4} {
+		before := SweepTimingsSnapshot()
+		RunSweep(caches, opts, runner.New(workers))
+		d := SweepTimingsSnapshot().Sub(before)
+		if d.Prestates != int64(len(keys)) {
+			t.Errorf("workers=%d: built %d prestates for %d distinct keys",
+				workers, d.Prestates, len(keys))
+		}
+		if d.Points != int64(len(opts)) {
+			t.Errorf("workers=%d: ran %d points for %d options", workers, d.Points, len(opts))
+		}
+	}
+}
+
+// A prestate is reusable: many points (sequential or concurrent, any
+// worker count) started from one prestate all equal the from-scratch
+// RunSim of their options.
+func TestRunSimPrestateMatchesRunSim(t *testing.T) {
+	caches := skewedCaches(300, 1500, 15, 9)
+	for _, opt := range []SimOptions{
+		{ListSize: 10, Kind: LRU, Seed: 5},
+		{ListSize: 8, Kind: History, Seed: 5, TwoHop: true, TrackLoad: true},
+		{ListSize: 12, Kind: Random, Seed: 5, DropTopUploaders: 0.1},
+		{ListSize: 6, Kind: LRU, Seed: 5, RandomizeSwaps: 300},
+	} {
+		want := RunSim(caches, opt)
+		pre := NewSimPrestate(caches, opt)
+		for _, workers := range []int{1, 4} {
+			o := opt
+			o.Pool = runner.New(workers)
+			if got := RunSimPrestate(pre, o); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%+v workers=%d: prestate run diverged from RunSim", opt, workers)
+			}
+		}
+		// Concurrent points on one prestate: read-only sharing, verified
+		// under -race.
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if got := RunSimPrestate(pre, opt); !reflect.DeepEqual(got, want) {
+					t.Error("concurrent prestate run diverged from RunSim")
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestRunSimPrestateKeyMismatchPanics(t *testing.T) {
+	caches := communityCaches(2, 4, 10)
+	pre := NewSimPrestate(caches, SimOptions{ListSize: 5, Seed: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunSimPrestate accepted options with a different setup key")
+		}
+	}()
+	RunSimPrestate(pre, SimOptions{ListSize: 5, Seed: 2})
+}
+
+// Concurrent interleaved sweeps on one multi-worker pool: the -race
+// stress for the scheduler (shared scratch checkout, helper
+// contention, prestate groups per sweep).
+func TestRunSweepInterleavedConcurrent(t *testing.T) {
+	caches := communityCaches(5, 8, 15)
+	pool := runner.New(4)
+	want := serialLoop(caches, sweepGrid(7))
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if got := RunSweep(caches, sweepGrid(7), pool); !reflect.DeepEqual(got, want) {
+				errs <- "concurrent interleaved sweep diverged from the serial loop"
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -1,8 +1,11 @@
-// Package prof wires -cpuprofile/-memprofile flags into the command-line
-// tools so hot paths can be profiled without code edits:
+// Package prof wires -cpuprofile/-memprofile/-exectrace flags into the
+// command-line tools so hot paths can be profiled without code edits:
 //
 //	edsim -peers 100000 -cpuprofile cpu.pprof ...
 //	go tool pprof cpu.pprof
+//
+//	edrepro -exectrace run.trace ...
+//	go tool trace run.trace
 package prof
 
 import (
@@ -10,14 +13,18 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 )
 
-// Start begins CPU profiling when cpuPath is non-empty. The returned
-// stop function ends the CPU profile and, when memPath is non-empty,
-// writes a heap profile (after a GC, so it reflects live memory).
-// Callers must invoke stop before exiting; it is safe to call with both
-// paths empty, in which case everything is a no-op.
-func Start(cpuPath, memPath string) (stop func() error, err error) {
+// Start begins CPU profiling when cpuPath is non-empty and execution
+// tracing (runtime/trace: scheduling, goroutine blocking, GC — the view
+// that shows worker idling the CPU profile can't) when tracePath is
+// non-empty. The returned stop function ends the CPU profile and the
+// trace and, when memPath is non-empty, writes a heap profile (after a
+// GC, so it reflects live memory). Callers must invoke stop before
+// exiting; it is safe to call with all paths empty, in which case
+// everything is a no-op.
+func Start(cpuPath, memPath, tracePath string) (stop func() error, err error) {
 	var cpuFile *os.File
 	if cpuPath != "" {
 		cpuFile, err = os.Create(cpuPath)
@@ -29,10 +36,35 @@ func Start(cpuPath, memPath string) (stop func() error, err error) {
 			return nil, fmt.Errorf("prof: %w", err)
 		}
 	}
+	var traceFile *os.File
+	if tracePath != "" {
+		traceFile, err = os.Create(tracePath)
+		if err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := trace.Start(traceFile); err != nil {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			traceFile.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+	}
 	return func() error {
 		if cpuFile != nil {
 			pprof.StopCPUProfile()
 			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("prof: %w", err)
+			}
+		}
+		if traceFile != nil {
+			trace.Stop()
+			if err := traceFile.Close(); err != nil {
 				return fmt.Errorf("prof: %w", err)
 			}
 		}

@@ -1,0 +1,102 @@
+package runner
+
+import "sync"
+
+// Stream is a dynamically fed job queue executed on a Pool. Unlike Map,
+// the job set need not be known up front: any running job may Submit
+// further jobs, which is what lets a sweep scheduler multiplex the
+// speculation chunks of many in-flight simulation points onto one pool —
+// a commit job submits the next chunk's evaluation jobs, the last
+// evaluation job submits the commit, and idle workers always pick up
+// whatever any point has ready instead of waiting at a chunk barrier.
+//
+// Correctness rules mirror Map's: jobs must be independent apart from
+// state they hand off through Submit ordering (a Submit happens-before
+// the submitted job runs), and they must never block waiting for another
+// stream job to finish — progress is guaranteed only because every
+// worker, including the Drain caller, keeps executing queued jobs.
+type Stream struct {
+	p       *Pool
+	mu      sync.Mutex
+	cond    sync.Cond
+	queue   []func()
+	head    int
+	pending int // submitted but not yet finished
+}
+
+// NewStream returns an empty job stream bound to the pool. A nil pool
+// (or New(1)) drains serially on the caller.
+func (p *Pool) NewStream() *Stream {
+	s := &Stream{p: p}
+	s.cond.L = &s.mu
+	return s
+}
+
+// Submit enqueues fn. It may be called before Drain or from inside a
+// running stream job; a job submitted from another job is guaranteed to
+// be observed by the draining workers before Drain returns.
+func (s *Stream) Submit(fn func()) {
+	s.mu.Lock()
+	s.queue = append(s.queue, fn)
+	s.pending++
+	s.mu.Unlock()
+	s.cond.Signal()
+}
+
+// Drain executes jobs until every submitted job (including jobs
+// submitted by jobs) has finished, then returns. The caller's goroutine
+// works alongside up to Workers()-1 helpers acquired non-blockingly from
+// the shared pool, so concurrent Drains and nested pool use degrade to
+// the caller doing more of the work itself, never to a deadlock. A
+// Stream is single-shot: do not Submit after Drain has returned.
+func (s *Stream) Drain() {
+	if s.p == nil || s.p.helpers == nil {
+		s.work()
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 1; i < s.p.workers; i++ {
+		select {
+		case s.p.helpers <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-s.p.helpers }()
+				s.work()
+			}()
+		default:
+		}
+	}
+	s.work()
+	wg.Wait()
+}
+
+// work runs queued jobs until no submitted job remains anywhere. Workers
+// sleep while the queue is empty but jobs are still running elsewhere
+// (those jobs may submit more); the worker that finishes the last
+// pending job wakes everyone so they observe completion and exit.
+func (s *Stream) work() {
+	s.mu.Lock()
+	for {
+		if s.pending == 0 {
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			return
+		}
+		if s.head == len(s.queue) {
+			s.cond.Wait()
+			continue
+		}
+		fn := s.queue[s.head]
+		s.queue[s.head] = nil
+		s.head++
+		if s.head == len(s.queue) {
+			s.queue = s.queue[:0]
+			s.head = 0
+		}
+		s.mu.Unlock()
+		fn()
+		s.mu.Lock()
+		s.pending--
+	}
+}

@@ -1,0 +1,112 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestStreamDrainEmpty(t *testing.T) {
+	New(4).NewStream().Drain() // no submissions: Drain must return at once
+	var nilPool *Pool
+	nilPool.NewStream().Drain()
+}
+
+func TestStreamRunsAllJobs(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		s := New(workers).NewStream()
+		var n atomic.Int64
+		for i := 0; i < 100; i++ {
+			s.Submit(func() { n.Add(1) })
+		}
+		s.Drain()
+		if got := n.Load(); got != 100 {
+			t.Fatalf("workers=%d: ran %d of 100 jobs", workers, got)
+		}
+	}
+}
+
+// Jobs submitted from running jobs must complete before Drain returns —
+// the property the sweep scheduler's chunk pipeline is built on.
+func TestStreamSubmitFromJob(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		s := New(workers).NewStream()
+		var n atomic.Int64
+		const depth = 200
+		var chain func(left int)
+		chain = func(left int) {
+			n.Add(1)
+			if left > 0 {
+				s.Submit(func() { chain(left - 1) })
+			}
+		}
+		s.Submit(func() { chain(depth) })
+		// A fan-out job tree alongside the chain.
+		for i := 0; i < 10; i++ {
+			s.Submit(func() {
+				n.Add(1)
+				for j := 0; j < 5; j++ {
+					s.Submit(func() { n.Add(1) })
+				}
+			})
+		}
+		s.Drain()
+		want := int64(depth+1) + 10 + 50
+		if got := n.Load(); got != want {
+			t.Fatalf("workers=%d: ran %d of %d jobs", workers, got, want)
+		}
+	}
+}
+
+// Submit ordering must be observed across workers: a reader job
+// submitted by the last of several writers (atomic countdown, the sweep
+// scheduler's eval→commit handoff) sees every writer's plain write.
+func TestStreamHandoffOrdering(t *testing.T) {
+	s := New(4).NewStream()
+	const rounds = 50
+	var data [rounds][2]int
+	var sum atomic.Int64
+	for r := 0; r < rounds; r++ {
+		var left atomic.Int32
+		left.Store(2)
+		for half := 0; half < 2; half++ {
+			s.Submit(func() {
+				data[r][half] = 1 // each writer owns its slot
+				if left.Add(-1) == 0 {
+					s.Submit(func() { sum.Add(int64(data[r][0] + data[r][1])) })
+				}
+			})
+		}
+	}
+	s.Drain()
+	if got := sum.Load(); got != 2*rounds {
+		t.Fatalf("handoff jobs observed %d writes, want %d", got, 2*rounds)
+	}
+}
+
+// Concurrent Drains on one pool must all finish: helper acquisition is
+// non-blocking and every caller works its own queue.
+func TestStreamConcurrentDrains(t *testing.T) {
+	pool := New(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := pool.NewStream()
+			var n atomic.Int64
+			for i := 0; i < 50; i++ {
+				s.Submit(func() {
+					if n.Add(1) <= 25 {
+						s.Submit(func() { n.Add(1) })
+					}
+				})
+			}
+			s.Drain()
+			if got := n.Load(); got != 75 {
+				t.Errorf("stream ran %d of 75 jobs", got)
+			}
+		}()
+	}
+	wg.Wait()
+}
