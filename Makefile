@@ -39,9 +39,11 @@ bench:
 # bytes_per_peer floor and ns/snap browse cost,
 # BenchmarkRunSimParallel's sharded event loop at one worker vs the
 # machine, BenchmarkSweepInterleaved's sweep scheduler with its
-# ns/point cost); same JSON artefact, much faster than `make bench`.
+# ns/point cost, BenchmarkServeTCP's loopback serving hot path with its
+# ns/query cost in both the legacy and hot-path modes); same JSON
+# artefact, much faster than `make bench`.
 bench-store:
-	$(GO) test -run='^$$' -bench='^(BenchmarkPairOverlap|BenchmarkSuite|BenchmarkSuiteScale|BenchmarkTraceIO|BenchmarkCrawlScale|BenchmarkRunSimParallel|BenchmarkSweepInterleaved)$$' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
+	$(GO) test -run='^$$' -bench='^(BenchmarkPairOverlap|BenchmarkSuite|BenchmarkSuiteScale|BenchmarkTraceIO|BenchmarkCrawlScale|BenchmarkRunSimParallel|BenchmarkSweepInterleaved|BenchmarkServeTCP)$$' -benchtime=$(BENCHTIME) -count=$(BENCHCOUNT) -benchmem ./... | $(GO) run ./cmd/benchjson -out BENCH_store.json
 
 # Regression gate: rerun the tracked benchmarks and fail if any ns/op
 # regressed more than 25% against the committed baseline (CI enforces
@@ -53,7 +55,7 @@ bench-store:
 # bytes after load, on-disk file size) gate unscaled alongside ns/op.
 bench-diff: BENCHCOUNT := 3
 bench-diff: bench-store
-	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -in BENCH_store.json -tolerance 25 -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000' -gate-extra bytes_after_load,file-bytes,bytes_per_peer,bytes_per_peer_day,ns/snap,ns/figure,ns/point
+	$(GO) run ./cmd/benchjson -diff BENCH_baseline.json -in BENCH_store.json -tolerance 25 -anchor 'BenchmarkTraceIO/op=load/format=gob/peers=20000' -gate-extra bytes_after_load,file-bytes,bytes_per_peer,bytes_per_peer_day,ns/snap,ns/figure,ns/point,ns/query
 
 # CI's smoke variant: every benchmark runs exactly once.
 bench-smoke:

@@ -1,0 +1,83 @@
+// Command edload drives an edserved instance with open-loop load
+// (internal/loadgen): a fixed connection fleet fires a trace-style
+// request mix — login storms, nickname sweeps, keyword searches, source
+// queries, browse attempts — on a wall-clock arrival schedule, and
+// reports throughput plus per-class p50/p99/p99.9 latency measured from
+// each request's scheduled arrival (queueing delay included).
+//
+// Usage:
+//
+//	edload -addr localhost:4661 -conns 1000 -rate 20000 -duration 10s \
+//	       [-mix login=5,users=15,search=40,sources=30,browse=10] \
+//	       [-seed 1] [-minqps 0] [-maxerr 0]
+//
+// With -minqps/-maxerr set, edload exits non-zero when the run misses
+// the throughput floor or exceeds the error-rate ceiling, which is how
+// CI's serve-smoke job gates the serving path.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"edonkey/internal/loadgen"
+	"edonkey/internal/workload"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "localhost:4661", "server TCP address")
+		conns    = flag.Int("conns", 100, "connection fleet size")
+		rate     = flag.Float64("rate", 1000, "aggregate arrival rate, requests/second")
+		duration = flag.Duration("duration", 10*time.Second, "arrival window")
+		mixStr   = flag.String("mix", "", "class weights, e.g. login=5,users=15,search=40,sources=30,browse=10")
+		seed     = flag.Uint64("seed", 1, "request-sequence seed")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline")
+		minQPS   = flag.Float64("minqps", 0, "fail if completed qps falls below this floor")
+		maxErr   = flag.Float64("maxerr", -1, "fail if the error fraction exceeds this ceiling (-1 = no gate)")
+	)
+	flag.Parse()
+
+	mix := loadgen.DefaultMix()
+	if *mixStr != "" {
+		var err error
+		if mix, err = loadgen.ParseMix(*mixStr); err != nil {
+			fmt.Fprintln(os.Stderr, "edload:", err)
+			os.Exit(2)
+		}
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Addr:     *addr,
+		Conns:    *conns,
+		Rate:     *rate,
+		Duration: *duration,
+		Mix:      mix,
+		Seed:     *seed,
+		Timeout:  *timeout,
+		Keywords: workload.NameWords(),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "edload:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+
+	fail := false
+	if *minQPS > 0 && rep.QPS < *minQPS {
+		fmt.Fprintf(os.Stderr, "edload: qps %.0f below floor %.0f\n", rep.QPS, *minQPS)
+		fail = true
+	}
+	if *maxErr >= 0 && rep.Sent > 0 {
+		frac := float64(rep.Errors) / float64(rep.Sent)
+		if frac > *maxErr {
+			fmt.Fprintf(os.Stderr, "edload: error fraction %.4f above ceiling %.4f\n", frac, *maxErr)
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+}

@@ -348,8 +348,8 @@ func nameHasToken(name, token string) bool {
 
 // --- wire handlers --------------------------------------------------------
 
-func gwSend(conn net.Conn, m protocol.Message) error {
-	if err := conn.SetDeadline(time.Now().Add(edonkey.DialTimeout)); err != nil {
+func (g *worldGateway) gwSend(conn net.Conn, m protocol.Message) error {
+	if err := conn.SetDeadline(time.Now().Add(g.net.DialTimeout)); err != nil {
 		return err
 	}
 	return protocol.WriteMessage(conn, m)
@@ -376,7 +376,7 @@ func (g *worldGateway) serveServer(conn net.Conn) {
 				reply = &protocol.Reject{Reason: "unsupported request"}
 			}
 		}
-		if err := gwSend(conn, reply); err != nil {
+		if err := g.gwSend(conn, reply); err != nil {
 			return
 		}
 	}
@@ -439,7 +439,7 @@ func (g *worldGateway) serveClient(i int, conn net.Conn) {
 		default:
 			reply = &protocol.Reject{Reason: "unsupported"}
 		}
-		if err := gwSend(conn, reply); err != nil {
+		if err := g.gwSend(conn, reply); err != nil {
 			return
 		}
 	}

@@ -2,9 +2,9 @@ package edonkey
 
 import (
 	"fmt"
-	"sync"
-
 	"net"
+	"sync"
+	"time"
 
 	"edonkey/internal/protocol"
 )
@@ -109,7 +109,7 @@ func (c *Client) serveConn(conn net.Conn) {
 		default:
 			reply = &protocol.Reject{Reason: "unsupported"}
 		}
-		if err := send(conn, reply); err != nil {
+		if err := send(conn, reply, c.net.DialTimeout); err != nil {
 			return
 		}
 	}
@@ -118,6 +118,7 @@ func (c *Client) serveConn(conn net.Conn) {
 // Session is an open client-server connection.
 type Session struct {
 	conn     net.Conn
+	timeout  time.Duration
 	ClientID uint32
 }
 
@@ -133,7 +134,7 @@ func (c *Client) Connect(server protocol.Endpoint) (*Session, error) {
 		Endpoint: c.Endpoint,
 		Nickname: c.Nickname,
 		Version:  60,
-	})
+	}, c.net.DialTimeout)
 	if err != nil {
 		conn.Close()
 		return nil, err
@@ -143,7 +144,7 @@ func (c *Client) Connect(server protocol.Endpoint) (*Session, error) {
 		conn.Close()
 		return nil, fmt.Errorf("edonkey: unexpected login reply %T", reply)
 	}
-	return &Session{conn: conn, ClientID: id.ClientID}, nil
+	return &Session{conn: conn, timeout: c.net.DialTimeout, ClientID: id.ClientID}, nil
 }
 
 // Close terminates the session.
@@ -157,12 +158,12 @@ func (c *Client) Publish(s *Session) error {
 	c.mu.Lock()
 	files := append([]protocol.FileEntry(nil), c.shared...)
 	c.mu.Unlock()
-	return send(s.conn, &protocol.OfferFiles{Files: files})
+	return send(s.conn, &protocol.OfferFiles{Files: files}, s.timeout)
 }
 
 // SearchUsers runs a nickname-prefix query on the session's server.
 func (s *Session) SearchUsers(query string) ([]protocol.UserEntry, error) {
-	reply, err := request(s.conn, &protocol.SearchUser{Query: query})
+	reply, err := request(s.conn, &protocol.SearchUser{Query: query}, s.timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +179,7 @@ func (s *Session) SearchUsers(query string) ([]protocol.UserEntry, error) {
 
 // GetSources asks the server for sources of a file.
 func (s *Session) GetSources(hash [16]byte) ([]protocol.Endpoint, error) {
-	reply, err := request(s.conn, &protocol.GetSources{Hash: hash})
+	reply, err := request(s.conn, &protocol.GetSources{Hash: hash}, s.timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -191,7 +192,7 @@ func (s *Session) GetSources(hash [16]byte) ([]protocol.Endpoint, error) {
 
 // Search runs a keyword search on the session's server.
 func (s *Session) Search(keyword string) ([]protocol.FileEntry, error) {
-	reply, err := request(s.conn, &protocol.SearchRequest{Keyword: keyword})
+	reply, err := request(s.conn, &protocol.SearchRequest{Keyword: keyword}, s.timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -204,7 +205,7 @@ func (s *Session) Search(keyword string) ([]protocol.FileEntry, error) {
 
 // ServerList fetches the server's known-servers list.
 func (s *Session) ServerList() ([]protocol.Endpoint, error) {
-	reply, err := request(s.conn, &protocol.GetServerList{})
+	reply, err := request(s.conn, &protocol.GetServerList{}, s.timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -228,14 +229,14 @@ func (c *Client) Browse(target protocol.Endpoint) ([]protocol.FileEntry, error) 
 		UserHash: c.UserHash,
 		Endpoint: c.Endpoint,
 		Nickname: c.Nickname,
-	})
+	}, c.net.DialTimeout)
 	if err != nil {
 		return nil, err
 	}
 	if _, ok := reply.(*protocol.HelloAnswer); !ok {
 		return nil, fmt.Errorf("edonkey: unexpected hello reply %T", reply)
 	}
-	reply, err = request(conn, &protocol.AskSharedFiles{})
+	reply, err = request(conn, &protocol.AskSharedFiles{}, c.net.DialTimeout)
 	if err != nil {
 		return nil, err
 	}

@@ -322,7 +322,7 @@ func TestDuplicateListen(t *testing.T) {
 func TestFileHashSmall(t *testing.T) {
 	// A sub-block file's identifier is simply its MD4.
 	data := []byte("edonkey block test")
-	id, blocks, size, err := FileHash(readerOf(data))
+	id, blocks, size, err := FileHash(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -347,7 +347,7 @@ func TestFileHashMultiBlock(t *testing.T) {
 	for i := range data {
 		data[i] = byte(i)
 	}
-	id, blocks, size, err := FileHash(readerOf(data))
+	id, blocks, size, err := FileHash(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -373,7 +373,7 @@ func TestFileHashExactBlockBoundary(t *testing.T) {
 	// Exactly one block: like the original client, an extra empty-block
 	// digest is appended, so the id is a root hash over two digests.
 	data := bytes.Repeat([]byte{7}, BlockSize)
-	id, blocks, _, err := FileHash(readerOf(data))
+	id, blocks, _, err := FileHash(bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
 	}

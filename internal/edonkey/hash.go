@@ -1,6 +1,7 @@
 package edonkey
 
 import (
+	"bytes"
 	"io"
 
 	"edonkey/internal/md4"
@@ -68,24 +69,9 @@ func FileHash(r io.Reader) (id [16]byte, blocks [][16]byte, size int64, err erro
 
 // HashBytes is FileHash over an in-memory byte slice.
 func HashBytes(data []byte) [16]byte {
-	id, _, _, err := FileHash(readerOf(data))
+	id, _, _, err := FileHash(bytes.NewReader(data))
 	if err != nil {
 		panic("edonkey: impossible error hashing bytes: " + err.Error())
 	}
 	return id
-}
-
-type sliceReader struct {
-	data []byte
-}
-
-func readerOf(data []byte) io.Reader { return &sliceReader{data} }
-
-func (s *sliceReader) Read(p []byte) (int, error) {
-	if len(s.data) == 0 {
-		return 0, io.EOF
-	}
-	n := copy(p, s.data)
-	s.data = s.data[n:]
-	return n, nil
 }

@@ -21,8 +21,10 @@ import (
 	"edonkey/internal/protocol"
 )
 
-// DialTimeout bounds connection attempts and request-response exchanges.
-const DialTimeout = 5 * time.Second
+// DefaultDialTimeout is the default bound on connection attempts and
+// request-response exchanges; override per network via
+// Network.DialTimeout.
+const DefaultDialTimeout = 5 * time.Second
 
 // ErrUnreachable is returned when dialing an endpoint nobody listens on —
 // the fate of every connection attempt to a firewalled client.
@@ -35,6 +37,12 @@ type ConnHandler func(conn net.Conn)
 // Dial connects a fresh pipe to the handler. It is safe for concurrent
 // use.
 type Network struct {
+	// DialTimeout bounds every exchange on connections of this network
+	// (NewNetwork sets DefaultDialTimeout). A hard-coded timeout would
+	// distort open-loop load measurements, so tests and harnesses tune
+	// it; set it before the first connection is made.
+	DialTimeout time.Duration
+
 	mu        sync.Mutex
 	listeners map[protocol.Endpoint]ConnHandler
 	resolver  func(protocol.Endpoint) (ConnHandler, bool)
@@ -42,7 +50,10 @@ type Network struct {
 
 // NewNetwork returns an empty switchboard.
 func NewNetwork() *Network {
-	return &Network{listeners: make(map[protocol.Endpoint]ConnHandler)}
+	return &Network{
+		DialTimeout: DefaultDialTimeout,
+		listeners:   make(map[protocol.Endpoint]ConnHandler),
+	}
 }
 
 // Listen registers a handler for an endpoint. It fails if the endpoint is
@@ -108,8 +119,8 @@ func (n *Network) Dial(ep protocol.Endpoint) (net.Conn, error) {
 }
 
 // request performs one request-response exchange with a deadline.
-func request(conn net.Conn, req protocol.Message) (protocol.Message, error) {
-	if err := conn.SetDeadline(time.Now().Add(DialTimeout)); err != nil {
+func request(conn net.Conn, req protocol.Message, timeout time.Duration) (protocol.Message, error) {
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return nil, err
 	}
 	if err := protocol.WriteMessage(conn, req); err != nil {
@@ -119,8 +130,8 @@ func request(conn net.Conn, req protocol.Message) (protocol.Message, error) {
 }
 
 // send writes one message with a deadline and no expected reply.
-func send(conn net.Conn, m protocol.Message) error {
-	if err := conn.SetDeadline(time.Now().Add(DialTimeout)); err != nil {
+func send(conn net.Conn, m protocol.Message, timeout time.Duration) error {
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return err
 	}
 	return protocol.WriteMessage(conn, m)

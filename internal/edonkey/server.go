@@ -45,7 +45,7 @@ type Server struct {
 
 	net *Network
 
-	mu      sync.Mutex
+	mu      sync.RWMutex
 	nextID  uint32
 	users   map[[16]byte]*userRecord
 	files   map[[16]byte]*fileRecord
@@ -66,12 +66,15 @@ func (s *Server) core() *protocol.ServerCore {
 // protocol.Directory the shared request engine consults. Enumeration
 // order for user searches is Go map order — the boxed server keeps the
 // arbitrary-truncation behaviour real servers had; the columnar world
-// gateway is the deterministic implementation.
+// gateway is the deterministic implementation. Queries take the read
+// lock only, so concurrent sessions answer in parallel and serialize
+// just against logins and publications; the serve package's snapshot
+// directory is the fully lock-free implementation.
 type serverDirectory Server
 
 func (d *serverDirectory) Servers() []protocol.Endpoint {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	out := make([]protocol.Endpoint, 0, len(d.servers))
 	for ep := range d.servers {
 		out = append(out, ep)
@@ -81,8 +84,8 @@ func (d *serverDirectory) Servers() []protocol.Endpoint {
 }
 
 func (d *serverDirectory) UsersWithPrefix(prefix string, yield func(protocol.UserEntry) bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	for _, u := range d.users {
 		if !strings.HasPrefix(strings.ToLower(u.nickname), prefix) {
 			continue
@@ -99,8 +102,8 @@ func (d *serverDirectory) UsersWithPrefix(prefix string, yield func(protocol.Use
 }
 
 func (d *serverDirectory) SourcesOf(hash [16]byte) []protocol.Endpoint {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var out []protocol.Endpoint
 	if rec, ok := d.files[hash]; ok {
 		for _, ep := range rec.sources {
@@ -112,8 +115,8 @@ func (d *serverDirectory) SourcesOf(hash [16]byte) []protocol.Endpoint {
 }
 
 func (d *serverDirectory) SearchFiles(keyword string) []protocol.FileEntry {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	var out []protocol.FileEntry
 	for h := range d.keyword[keyword] {
 		rec := d.files[h]
@@ -166,8 +169,8 @@ func (s *Server) AddKnownServer(ep protocol.Endpoint) {
 
 // Stats returns the current user and distinct-file counts.
 func (s *Server) Stats() (users, files int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	return len(s.users), len(s.files)
 }
 
@@ -206,7 +209,7 @@ func (s *Server) Serve(conn net.Conn) {
 				reply = &protocol.Reject{Reason: "unsupported request"}
 			}
 		}
-		if err := send(conn, reply); err != nil {
+		if err := send(conn, reply, s.net.DialTimeout); err != nil {
 			return
 		}
 	}

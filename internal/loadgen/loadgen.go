@@ -1,0 +1,473 @@
+// Package loadgen drives a first-tier server with open-loop load: a
+// fixed fleet of connections issues requests on a wall-clock arrival
+// schedule that does not slow down when the server does. Latency is
+// measured from each request's *scheduled* arrival, so when the server
+// falls behind, the queueing delay shows up in the tail instead of the
+// generator politely backing off — the coordinated-omission-free
+// methodology closed-loop harnesses get wrong.
+//
+// The request mix models the trace methodology's traffic classes: the
+// login storm (every connection's first exchange), the crawler's
+// nickname sweep (SearchUser), steady keyword search and source
+// queries, and a browse class (AskSharedFiles at the server, which the
+// first tier answers with a Reject — the browse-redirect a real client
+// would follow to the peer).
+package loadgen
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"edonkey/internal/protocol"
+	"edonkey/internal/stats"
+)
+
+// Class is one traffic class of the mix.
+type Class int
+
+const (
+	ClassLogin Class = iota
+	ClassUsers
+	ClassSearch
+	ClassSources
+	ClassBrowse
+	numClasses
+)
+
+var classNames = [numClasses]string{"login", "users", "search", "sources", "browse"}
+
+func (c Class) String() string { return classNames[c] }
+
+// Mix is the relative weight of each class; weights need not sum to
+// anything in particular.
+type Mix [numClasses]float64
+
+// DefaultMix approximates a serving day: mostly searches and source
+// queries over a base of nickname sweeps, with occasional re-logins and
+// browse attempts.
+func DefaultMix() Mix {
+	var m Mix
+	m[ClassLogin] = 5
+	m[ClassUsers] = 15
+	m[ClassSearch] = 40
+	m[ClassSources] = 30
+	m[ClassBrowse] = 10
+	return m
+}
+
+// ParseMix parses "login=5,users=15,search=40,sources=30,browse=10";
+// omitted classes get weight 0.
+func ParseMix(s string) (Mix, error) {
+	var m Mix
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return m, fmt.Errorf("loadgen: mix entry %q is not name=weight", part)
+		}
+		var w float64
+		if _, err := fmt.Sscanf(val, "%g", &w); err != nil || w < 0 {
+			return m, fmt.Errorf("loadgen: bad mix weight %q", part)
+		}
+		found := false
+		for c := Class(0); c < numClasses; c++ {
+			if classNames[c] == name {
+				m[c] = w
+				found = true
+				break
+			}
+		}
+		if !found {
+			return m, fmt.Errorf("loadgen: unknown mix class %q", name)
+		}
+	}
+	return m, nil
+}
+
+// total returns the sum of weights (must be positive to run).
+func (m Mix) total() float64 {
+	t := 0.0
+	for _, w := range m {
+		t += w
+	}
+	return t
+}
+
+// draw picks a class proportionally to its weight.
+func (m Mix) draw(rng *rand.Rand, total float64) Class {
+	x := rng.Float64() * total
+	for c := Class(0); c < numClasses; c++ {
+		if x -= m[c]; x < 0 {
+			return c
+		}
+	}
+	return ClassSearch
+}
+
+// Dialer opens one connection to the target server. The default dials
+// cfg.Addr over TCP; tests inject net.Pipe-backed dialers.
+type Dialer func() (net.Conn, error)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Addr is the server's TCP address (ignored when Dial is set).
+	Addr string
+	// Dial overrides the connection factory.
+	Dial Dialer
+	// Conns is the connection fleet size.
+	Conns int
+	// Rate is the target aggregate arrival rate, requests/second, spread
+	// evenly over the fleet.
+	Rate float64
+	// Duration bounds the arrival schedule; in-flight requests finish.
+	Duration time.Duration
+	// Mix weights the traffic classes (zero value: DefaultMix).
+	Mix Mix
+	// Seed makes the request sequence reproducible.
+	Seed uint64
+	// Keywords seeds the search class (required for search traffic).
+	Keywords []string
+	// Timeout bounds each request-reply exchange (0 = 5s).
+	Timeout time.Duration
+	// WarmupHashes caps how many file hashes the bootstrap sweep
+	// harvests for the sources class (0 = 4096).
+	WarmupHashes int
+}
+
+// ClassReport is the per-class outcome of a run.
+type ClassReport struct {
+	Class  Class
+	Count  uint64
+	Errors uint64
+	P50    time.Duration
+	P99    time.Duration
+	P999   time.Duration
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Duration  time.Duration // scheduled duration of the arrival window
+	Wall      time.Duration // start of schedule to last completion
+	Conns     int
+	Sent      uint64
+	Completed uint64
+	Errors    uint64
+	QPS       float64 // completed requests per wall second: an overloaded server that drags the run out cannot inflate this
+	Classes   []ClassReport
+}
+
+// String renders the report in the style edload prints.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "conns=%d duration=%v wall=%v sent=%d completed=%d errors=%d qps=%.0f\n",
+		r.Conns, r.Duration, r.Wall.Round(time.Millisecond), r.Sent, r.Completed, r.Errors, r.QPS)
+	for _, c := range r.Classes {
+		if c.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-7s n=%-8d err=%-6d p50=%-10v p99=%-10v p99.9=%v\n",
+			c.Class, c.Count, c.Errors, c.P50, c.P99, c.P999)
+	}
+	return b.String()
+}
+
+// worker is one connection's state: its share of the arrival schedule,
+// its rng and its per-class latency histograms (µs buckets).
+type worker struct {
+	id     int
+	rng    *rand.Rand
+	hist   [numClasses]*stats.Histogram
+	count  [numClasses]uint64
+	errs   [numClasses]uint64
+	hashes [][16]byte
+}
+
+// Run executes one open-loop load run and reports latency quantiles,
+// throughput and error rates per class.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Conns <= 0 || cfg.Rate <= 0 || cfg.Duration <= 0 {
+		return nil, errors.New("loadgen: Conns, Rate and Duration must be positive")
+	}
+	if cfg.Mix == (Mix{}) {
+		cfg.Mix = DefaultMix()
+	}
+	mixTotal := cfg.Mix.total()
+	if mixTotal <= 0 {
+		return nil, errors.New("loadgen: mix has no positive weight")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.WarmupHashes <= 0 {
+		cfg.WarmupHashes = 4096
+	}
+	dial := cfg.Dial
+	if dial == nil {
+		dial = func() (net.Conn, error) { return net.Dial("tcp", cfg.Addr) }
+	}
+
+	// Bootstrap: one connection sweeps the keywords and harvests file
+	// hashes so the sources class queries files that exist. A server
+	// with nothing published degrades the class to empty-reply queries.
+	hashes, err := harvestHashes(dial, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: bootstrap: %w", err)
+	}
+
+	workers := make([]*worker, cfg.Conns)
+	for i := range workers {
+		w := &worker{
+			id:     i,
+			rng:    rand.New(rand.NewPCG(cfg.Seed, uint64(i)+1)),
+			hashes: hashes,
+		}
+		for c := range w.hist {
+			w.hist[c] = stats.NewHistogram()
+		}
+		workers[i] = w
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now().Add(50 * time.Millisecond) // common epoch for every fleet member
+	interval := time.Duration(float64(cfg.Conns) / cfg.Rate * float64(time.Second))
+	if interval <= 0 {
+		interval = time.Nanosecond
+	}
+	for _, w := range workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			w.run(dial, cfg, mixTotal, start, interval)
+		}(w)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	if wall < cfg.Duration {
+		wall = cfg.Duration
+	}
+
+	rep := &Report{Duration: cfg.Duration, Wall: wall, Conns: cfg.Conns}
+	for c := Class(0); c < numClasses; c++ {
+		h := stats.NewHistogram()
+		var n, e uint64
+		for _, w := range workers {
+			h.Merge(w.hist[c])
+			n += w.count[c]
+			e += w.errs[c]
+		}
+		rep.Sent += n + e
+		rep.Completed += n
+		rep.Errors += e
+		cr := ClassReport{Class: c, Count: n, Errors: e}
+		if n > 0 {
+			cr.P50 = histQuantile(h, 0.50)
+			cr.P99 = histQuantile(h, 0.99)
+			cr.P999 = histQuantile(h, 0.999)
+		}
+		rep.Classes = append(rep.Classes, cr)
+	}
+	rep.QPS = float64(rep.Completed) / wall.Seconds()
+	return rep, nil
+}
+
+func histQuantile(h *stats.Histogram, q float64) time.Duration {
+	us, err := h.Quantile(q)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(us) * time.Microsecond
+}
+
+// run is one worker's life: dial, log in, then fire its slice of the
+// global arrival schedule (arrival k of this worker is the global
+// arrival k*Conns + id). Scheduled time, not send time, anchors each
+// latency sample. A broken connection is redialed on the next arrival;
+// the requests lost in between are errors, not skipped arrivals.
+func (w *worker) run(dial Dialer, cfg Config, mixTotal float64, start time.Time, interval time.Duration) {
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	offset := time.Duration(float64(w.id) / cfg.Rate * float64(time.Second))
+	for k := 0; ; k++ {
+		at := offset + time.Duration(k)*interval
+		if at >= cfg.Duration {
+			return
+		}
+		sched := start.Add(at)
+		time.Sleep(time.Until(sched))
+		class := cfg.Mix.draw(w.rng, mixTotal)
+		if conn == nil {
+			c, err := dial()
+			if err != nil {
+				w.errs[class]++
+				continue
+			}
+			conn = c
+			// A fresh connection's first exchange is always the login,
+			// whatever class the schedule drew: servers expect it and it
+			// makes the login storm at ramp-up realistic.
+			class = ClassLogin
+		}
+		if err := w.issue(conn, cfg, class); err != nil {
+			w.errs[class]++
+			conn.Close()
+			conn = nil
+			continue
+		}
+		w.count[class]++
+		w.hist[class].Add(int(time.Since(sched) / time.Microsecond))
+	}
+}
+
+// issue sends one request of the class and reads its reply.
+func (w *worker) issue(conn net.Conn, cfg Config, class Class) error {
+	req, want := w.request(cfg, class)
+	conn.SetDeadline(time.Now().Add(cfg.Timeout))
+	if err := protocol.WriteMessage(conn, req); err != nil {
+		return err
+	}
+	reply, err := protocol.ReadMessage(conn)
+	if err != nil {
+		return err
+	}
+	return checkReply(class, reply, want)
+}
+
+// request builds one request of the class. want flags whether a Reject
+// is the expected answer (the browse class).
+func (w *worker) request(cfg Config, class Class) (m protocol.Message, wantReject bool) {
+	switch class {
+	case ClassLogin:
+		var hash [16]byte
+		binary.LittleEndian.PutUint64(hash[:], w.rng.Uint64())
+		binary.LittleEndian.PutUint64(hash[8:], w.rng.Uint64())
+		return &protocol.LoginRequest{
+			UserHash: hash,
+			Endpoint: protocol.Endpoint{IP: w.rng.Uint32(), Port: uint16(4000 + w.id%60000)},
+			Nickname: fmt.Sprintf("load_%04d", w.id),
+			Version:  60,
+		}, false
+	case ClassUsers:
+		// 1-2 letter prefixes, like the crawler's sweep.
+		letters := "abcdefghijklmnopqrstuvwxyz"
+		q := string(letters[w.rng.IntN(len(letters))])
+		if w.rng.IntN(2) == 0 {
+			q += string(letters[w.rng.IntN(len(letters))])
+		}
+		return &protocol.SearchUser{Query: q}, false
+	case ClassSources:
+		if len(w.hashes) > 0 {
+			return &protocol.GetSources{Hash: w.hashes[w.rng.IntN(len(w.hashes))]}, false
+		}
+		var hash [16]byte
+		binary.LittleEndian.PutUint64(hash[:], w.rng.Uint64())
+		return &protocol.GetSources{Hash: hash}, false
+	case ClassBrowse:
+		return &protocol.AskSharedFiles{}, true
+	default:
+		kw := "horizon"
+		if len(cfg.Keywords) > 0 {
+			kw = cfg.Keywords[w.rng.IntN(len(cfg.Keywords))]
+		}
+		return &protocol.SearchRequest{Keyword: kw}, false
+	}
+}
+
+// checkReply validates the reply's shape for the class; a wrong-typed
+// reply counts as an error so a desynchronized connection can't inflate
+// the success rate.
+func checkReply(class Class, reply protocol.Message, wantReject bool) error {
+	if wantReject {
+		if _, ok := reply.(*protocol.Reject); !ok {
+			return fmt.Errorf("class %v: got %T, want Reject", class, reply)
+		}
+		return nil
+	}
+	switch class {
+	case ClassLogin:
+		if _, ok := reply.(*protocol.IDChange); !ok {
+			return fmt.Errorf("login: got %T, want IDChange", reply)
+		}
+	case ClassUsers:
+		switch reply.(type) {
+		case *protocol.SearchUserResult, *protocol.Reject:
+		default:
+			return fmt.Errorf("users: got %T", reply)
+		}
+	case ClassSearch:
+		if _, ok := reply.(*protocol.SearchResult); !ok {
+			return fmt.Errorf("search: got %T, want SearchResult", reply)
+		}
+	case ClassSources:
+		if _, ok := reply.(*protocol.FoundSources); !ok {
+			return fmt.Errorf("sources: got %T, want FoundSources", reply)
+		}
+	}
+	return nil
+}
+
+// harvestHashes logs in and sweeps the keyword list once, collecting
+// distinct file hashes for the sources class.
+func harvestHashes(dial Dialer, cfg Config) ([][16]byte, error) {
+	conn, err := dial()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(cfg.Timeout))
+	login := &protocol.LoginRequest{
+		Nickname: "load_boot",
+		Endpoint: protocol.Endpoint{IP: 0x7F000001, Port: 4662},
+		Version:  60,
+	}
+	if err := protocol.WriteMessage(conn, login); err != nil {
+		return nil, err
+	}
+	if _, err := protocol.ReadMessage(conn); err != nil {
+		return nil, err
+	}
+	seen := make(map[[16]byte]struct{})
+	var out [][16]byte
+	for _, kw := range cfg.Keywords {
+		conn.SetDeadline(time.Now().Add(cfg.Timeout))
+		if err := protocol.WriteMessage(conn, &protocol.SearchRequest{Keyword: kw}); err != nil {
+			return nil, err
+		}
+		reply, err := protocol.ReadMessage(conn)
+		if err != nil {
+			return nil, err
+		}
+		res, ok := reply.(*protocol.SearchResult)
+		if !ok {
+			continue
+		}
+		for _, f := range res.Files {
+			if _, dup := seen[f.Hash]; dup {
+				continue
+			}
+			seen[f.Hash] = struct{}{}
+			out = append(out, f.Hash)
+			if len(out) >= cfg.WarmupHashes {
+				return out, nil
+			}
+		}
+	}
+	// Deterministic order regardless of reply interleavings.
+	sort.Slice(out, func(i, j int) bool {
+		return string(out[i][:]) < string(out[j][:])
+	})
+	return out, nil
+}

@@ -1,0 +1,91 @@
+package loadgen_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"edonkey/internal/loadgen"
+	"edonkey/internal/serve"
+	"edonkey/internal/workload"
+)
+
+func testServer(t *testing.T) *serve.Server {
+	t.Helper()
+	cfg := workload.DefaultConfig()
+	cfg.Seed = 11
+	cfg.Peers = 200
+	cfg.Days = 2
+	cfg.Topics = 8
+	cfg.InitialFiles = 800
+	cfg.NewFilesPerDay = 8
+	cfg.Workers = 1
+	w, err := workload.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.New(serve.SnapshotFromWorld(w, w.Day()), serve.Config{})
+}
+
+// TestRunAgainstServer drives a short open-loop run against an
+// in-process server over pipe connections: every class must complete
+// without errors and report sane latency quantiles.
+func TestRunAgainstServer(t *testing.T) {
+	srv := testServer(t)
+	dial := func() (net.Conn, error) {
+		c, s := net.Pipe()
+		go srv.ServeConn(s)
+		return c, nil
+	}
+	rep, err := loadgen.Run(loadgen.Config{
+		Dial:     dial,
+		Conns:    8,
+		Rate:     2000,
+		Duration: 500 * time.Millisecond,
+		Seed:     3,
+		Keywords: workload.NameWords(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("run reported %d errors:\n%s", rep.Errors, rep)
+	}
+	if rep.Completed < 500 {
+		t.Fatalf("completed only %d of ~1000 scheduled requests:\n%s", rep.Completed, rep)
+	}
+	if rep.QPS <= 0 {
+		t.Fatalf("non-positive qps:\n%s", rep)
+	}
+	classes := 0
+	for _, c := range rep.Classes {
+		if c.Count == 0 {
+			continue
+		}
+		classes++
+		if c.P50 <= 0 || c.P99 < c.P50 || c.P999 < c.P99 {
+			t.Fatalf("class %v has inconsistent quantiles p50=%v p99=%v p99.9=%v",
+				c.Class, c.P50, c.P99, c.P999)
+		}
+	}
+	if classes < 4 {
+		t.Fatalf("only %d classes saw traffic:\n%s", classes, rep)
+	}
+}
+
+// TestParseMix round-trips a mix string and rejects malformed input.
+func TestParseMix(t *testing.T) {
+	m, err := loadgen.ParseMix("login=1,users=2,search=3,sources=4,browse=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := loadgen.Mix{1, 2, 3, 4, 5}
+	if m != want {
+		t.Fatalf("got %v, want %v", m, want)
+	}
+	for _, bad := range []string{"login", "bogus=1", "search=-2", "users=x"} {
+		if _, err := loadgen.ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) accepted", bad)
+		}
+	}
+}

@@ -1,7 +1,6 @@
 package protocol
 
 import (
-	"bytes"
 	"encoding/binary"
 )
 
@@ -11,11 +10,9 @@ type Endpoint struct {
 	Port uint16
 }
 
-func writeEndpoint(b *bytes.Buffer, e Endpoint) {
-	var tmp [6]byte
-	binary.LittleEndian.PutUint32(tmp[:4], e.IP)
-	binary.LittleEndian.PutUint16(tmp[4:], e.Port)
-	b.Write(tmp[:])
+func appendEndpoint(dst []byte, e Endpoint) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, e.IP)
+	return binary.LittleEndian.AppendUint16(dst, e.Port)
 }
 
 func readEndpoint(r *reader) (Endpoint, error) {
@@ -41,16 +38,13 @@ type FileEntry struct {
 	Availability uint32
 }
 
-func writeFileEntry(b *bytes.Buffer, f FileEntry) {
-	b.Write(f.Hash[:])
-	var tmp [8]byte
-	binary.LittleEndian.PutUint64(tmp[:], f.Size)
-	b.Write(tmp[:])
-	writeTags(b, []Tag{
-		StringTag(TagName, f.Name),
-		StringTag(TagType, f.Type),
-		Uint32Tag(TagAvailability, f.Availability),
-	})
+func appendFileEntry(dst []byte, f FileEntry) []byte {
+	dst = append(dst, f.Hash[:]...)
+	dst = binary.LittleEndian.AppendUint64(dst, f.Size)
+	dst = binary.LittleEndian.AppendUint32(dst, 3) // tag count
+	dst = appendTag(dst, StringTag(TagName, f.Name))
+	dst = appendTag(dst, StringTag(TagType, f.Type))
+	return appendTag(dst, Uint32Tag(TagAvailability, f.Availability))
 }
 
 func readFileEntry(r *reader) (FileEntry, error) {
@@ -80,13 +74,12 @@ func readFileEntry(r *reader) (FileEntry, error) {
 	return f, nil
 }
 
-func writeFileEntries(b *bytes.Buffer, files []FileEntry) {
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(files)))
-	b.Write(tmp[:])
+func appendFileEntries(dst []byte, files []FileEntry) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(files)))
 	for _, f := range files {
-		writeFileEntry(b, f)
+		dst = appendFileEntry(dst, f)
 	}
+	return dst
 }
 
 func readFileEntries(r *reader) ([]FileEntry, error) {
@@ -116,6 +109,13 @@ type UserEntry struct {
 	Nickname string
 }
 
+func appendUserEntry(dst []byte, u UserEntry) []byte {
+	dst = append(dst, u.Hash[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, u.ClientID)
+	dst = appendEndpoint(dst, u.Endpoint)
+	return appendString(dst, u.Nickname)
+}
+
 // LoginRequest is sent by a client right after connecting to a server.
 type LoginRequest struct {
 	UserHash [16]byte
@@ -126,13 +126,12 @@ type LoginRequest struct {
 
 func (*LoginRequest) Opcode() byte { return OpLoginRequest }
 
-func (m *LoginRequest) appendPayload(b *bytes.Buffer) {
-	b.Write(m.UserHash[:])
-	writeEndpoint(b, m.Endpoint)
-	writeTags(b, []Tag{
-		StringTag(TagNickname, m.Nickname),
-		Uint32Tag(TagVersion, m.Version),
-	})
+func (m *LoginRequest) appendPayload(dst []byte) []byte {
+	dst = append(dst, m.UserHash[:]...)
+	dst = appendEndpoint(dst, m.Endpoint)
+	dst = binary.LittleEndian.AppendUint32(dst, 2) // tag count
+	dst = appendTag(dst, StringTag(TagNickname, m.Nickname))
+	return appendTag(dst, Uint32Tag(TagVersion, m.Version))
 }
 
 func decodeLoginRequest(r *reader) (Message, error) {
@@ -164,7 +163,7 @@ type Reject struct{ Reason string }
 
 func (*Reject) Opcode() byte { return OpReject }
 
-func (m *Reject) appendPayload(b *bytes.Buffer) { writeString(b, m.Reason) }
+func (m *Reject) appendPayload(dst []byte) []byte { return appendString(dst, m.Reason) }
 
 func decodeReject(r *reader) (Message, error) {
 	s, err := r.string()
@@ -180,7 +179,7 @@ type GetServerList struct{}
 
 func (*GetServerList) Opcode() byte { return OpGetServerList }
 
-func (*GetServerList) appendPayload(*bytes.Buffer) {}
+func (*GetServerList) appendPayload(dst []byte) []byte { return dst }
 
 func decodeGetServerList(*reader) (Message, error) { return &GetServerList{}, nil }
 
@@ -189,13 +188,12 @@ type ServerList struct{ Servers []Endpoint }
 
 func (*ServerList) Opcode() byte { return OpServerList }
 
-func (m *ServerList) appendPayload(b *bytes.Buffer) {
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(m.Servers)))
-	b.Write(tmp[:])
+func (m *ServerList) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Servers)))
 	for _, s := range m.Servers {
-		writeEndpoint(b, s)
+		dst = appendEndpoint(dst, s)
 	}
+	return dst
 }
 
 func decodeServerList(r *reader) (Message, error) {
@@ -222,7 +220,7 @@ type OfferFiles struct{ Files []FileEntry }
 
 func (*OfferFiles) Opcode() byte { return OpOfferFiles }
 
-func (m *OfferFiles) appendPayload(b *bytes.Buffer) { writeFileEntries(b, m.Files) }
+func (m *OfferFiles) appendPayload(dst []byte) []byte { return appendFileEntries(dst, m.Files) }
 
 func decodeOfferFiles(r *reader) (Message, error) {
 	files, err := readFileEntries(r)
@@ -237,7 +235,7 @@ type SearchRequest struct{ Keyword string }
 
 func (*SearchRequest) Opcode() byte { return OpSearchRequest }
 
-func (m *SearchRequest) appendPayload(b *bytes.Buffer) { writeString(b, m.Keyword) }
+func (m *SearchRequest) appendPayload(dst []byte) []byte { return appendString(dst, m.Keyword) }
 
 func decodeSearchRequest(r *reader) (Message, error) {
 	s, err := r.string()
@@ -252,7 +250,7 @@ type SearchResult struct{ Files []FileEntry }
 
 func (*SearchResult) Opcode() byte { return OpSearchResult }
 
-func (m *SearchResult) appendPayload(b *bytes.Buffer) { writeFileEntries(b, m.Files) }
+func (m *SearchResult) appendPayload(dst []byte) []byte { return appendFileEntries(dst, m.Files) }
 
 func decodeSearchResult(r *reader) (Message, error) {
 	files, err := readFileEntries(r)
@@ -267,7 +265,7 @@ type GetSources struct{ Hash [16]byte }
 
 func (*GetSources) Opcode() byte { return OpGetSources }
 
-func (m *GetSources) appendPayload(b *bytes.Buffer) { b.Write(m.Hash[:]) }
+func (m *GetSources) appendPayload(dst []byte) []byte { return append(dst, m.Hash[:]...) }
 
 func decodeGetSources(r *reader) (Message, error) {
 	h, err := r.hash()
@@ -285,14 +283,13 @@ type FoundSources struct {
 
 func (*FoundSources) Opcode() byte { return OpFoundSources }
 
-func (m *FoundSources) appendPayload(b *bytes.Buffer) {
-	b.Write(m.Hash[:])
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(m.Sources)))
-	b.Write(tmp[:])
+func (m *FoundSources) appendPayload(dst []byte) []byte {
+	dst = append(dst, m.Hash[:]...)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Sources)))
 	for _, s := range m.Sources {
-		writeEndpoint(b, s)
+		dst = appendEndpoint(dst, s)
 	}
+	return dst
 }
 
 func decodeFoundSources(r *reader) (Message, error) {
@@ -324,7 +321,7 @@ type SearchUser struct{ Query string }
 
 func (*SearchUser) Opcode() byte { return OpSearchUser }
 
-func (m *SearchUser) appendPayload(b *bytes.Buffer) { writeString(b, m.Query) }
+func (m *SearchUser) appendPayload(dst []byte) []byte { return appendString(dst, m.Query) }
 
 func decodeSearchUser(r *reader) (Message, error) {
 	s, err := r.string()
@@ -340,17 +337,12 @@ type SearchUserResult struct{ Users []UserEntry }
 
 func (*SearchUserResult) Opcode() byte { return OpSearchUserResult }
 
-func (m *SearchUserResult) appendPayload(b *bytes.Buffer) {
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(m.Users)))
-	b.Write(tmp[:])
+func (m *SearchUserResult) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(m.Users)))
 	for _, u := range m.Users {
-		b.Write(u.Hash[:])
-		binary.LittleEndian.PutUint32(tmp[:], u.ClientID)
-		b.Write(tmp[:])
-		writeEndpoint(b, u.Endpoint)
-		writeString(b, u.Nickname)
+		dst = appendUserEntry(dst, u)
 	}
+	return dst
 }
 
 func decodeSearchUserResult(r *reader) (Message, error) {
@@ -389,11 +381,9 @@ type ServerStatus struct {
 
 func (*ServerStatus) Opcode() byte { return OpServerStatus }
 
-func (m *ServerStatus) appendPayload(b *bytes.Buffer) {
-	var tmp [8]byte
-	binary.LittleEndian.PutUint32(tmp[:4], m.Users)
-	binary.LittleEndian.PutUint32(tmp[4:], m.Files)
-	b.Write(tmp[:])
+func (m *ServerStatus) appendPayload(dst []byte) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, m.Users)
+	return binary.LittleEndian.AppendUint32(dst, m.Files)
 }
 
 func decodeServerStatus(r *reader) (Message, error) {
@@ -417,10 +407,8 @@ const LowIDThreshold = 0x01000000
 
 func (*IDChange) Opcode() byte { return OpIDChange }
 
-func (m *IDChange) appendPayload(b *bytes.Buffer) {
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], m.ClientID)
-	b.Write(tmp[:])
+func (m *IDChange) appendPayload(dst []byte) []byte {
+	return binary.LittleEndian.AppendUint32(dst, m.ClientID)
 }
 
 func decodeIDChange(r *reader) (Message, error) {
@@ -440,10 +428,10 @@ type Hello struct {
 
 func (*Hello) Opcode() byte { return OpHello }
 
-func (m *Hello) appendPayload(b *bytes.Buffer) {
-	b.Write(m.UserHash[:])
-	writeEndpoint(b, m.Endpoint)
-	writeString(b, m.Nickname)
+func (m *Hello) appendPayload(dst []byte) []byte {
+	dst = append(dst, m.UserHash[:]...)
+	dst = appendEndpoint(dst, m.Endpoint)
+	return appendString(dst, m.Nickname)
 }
 
 func decodeHello(r *reader) (Message, error) {
@@ -469,9 +457,9 @@ type HelloAnswer struct {
 
 func (*HelloAnswer) Opcode() byte { return OpHelloAnswer }
 
-func (m *HelloAnswer) appendPayload(b *bytes.Buffer) {
-	b.Write(m.UserHash[:])
-	writeString(b, m.Nickname)
+func (m *HelloAnswer) appendPayload(dst []byte) []byte {
+	dst = append(dst, m.UserHash[:]...)
+	return appendString(dst, m.Nickname)
 }
 
 func decodeHelloAnswer(r *reader) (Message, error) {
@@ -493,7 +481,7 @@ type AskSharedFiles struct{}
 
 func (*AskSharedFiles) Opcode() byte { return OpAskSharedFiles }
 
-func (*AskSharedFiles) appendPayload(*bytes.Buffer) {}
+func (*AskSharedFiles) appendPayload(dst []byte) []byte { return dst }
 
 func decodeAskSharedFiles(*reader) (Message, error) { return &AskSharedFiles{}, nil }
 
@@ -502,7 +490,7 @@ type SharedFilesAnswer struct{ Files []FileEntry }
 
 func (*SharedFilesAnswer) Opcode() byte { return OpSharedFilesAnswer }
 
-func (m *SharedFilesAnswer) appendPayload(b *bytes.Buffer) { writeFileEntries(b, m.Files) }
+func (m *SharedFilesAnswer) appendPayload(dst []byte) []byte { return appendFileEntries(dst, m.Files) }
 
 func decodeSharedFilesAnswer(r *reader) (Message, error) {
 	files, err := readFileEntries(r)

@@ -14,11 +14,11 @@
 package protocol
 
 import (
-	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // ProtoMarker starts every frame, as in eDonkey.
@@ -92,20 +92,13 @@ func StringTag(name byte, v string) Tag { return Tag{Name: name, IsString: true,
 // Uint32Tag builds an integer-valued tag.
 func Uint32Tag(name byte, v uint32) Tag { return Tag{Name: name, Num: v} }
 
-func writeTag(b *bytes.Buffer, t Tag) {
+func appendTag(dst []byte, t Tag) []byte {
 	if t.IsString {
-		b.WriteByte(tagKindString)
-	} else {
-		b.WriteByte(tagKindUint32)
+		dst = append(dst, tagKindString, t.Name)
+		return appendString(dst, t.Str)
 	}
-	b.WriteByte(t.Name)
-	if t.IsString {
-		writeString(b, t.Str)
-	} else {
-		var tmp [4]byte
-		binary.LittleEndian.PutUint32(tmp[:], t.Num)
-		b.Write(tmp[:])
-	}
+	dst = append(dst, tagKindUint32, t.Name)
+	return binary.LittleEndian.AppendUint32(dst, t.Num)
 }
 
 func readTag(r *reader) (Tag, error) {
@@ -135,13 +128,12 @@ func readTag(r *reader) (Tag, error) {
 	}
 }
 
-func writeTags(b *bytes.Buffer, tags []Tag) {
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(tags)))
-	b.Write(tmp[:])
+func appendTags(dst []byte, tags []Tag) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(tags)))
 	for _, t := range tags {
-		writeTag(b, t)
+		dst = appendTag(dst, t)
 	}
+	return dst
 }
 
 func readTags(r *reader) ([]Tag, error) {
@@ -163,11 +155,9 @@ func readTags(r *reader) ([]Tag, error) {
 	return tags, nil
 }
 
-func writeString(b *bytes.Buffer, s string) {
-	var tmp [2]byte
-	binary.LittleEndian.PutUint16(tmp[:], uint16(len(s)))
-	b.Write(tmp[:])
-	b.WriteString(s)
+func appendString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...)
 }
 
 // reader wraps a payload with bounds-checked primitives.
@@ -246,62 +236,96 @@ func (r *reader) done() error {
 type Message interface {
 	Opcode() byte
 	// appendPayload appends the encoded payload (without the frame
-	// header or opcode) to b.
-	appendPayload(b *bytes.Buffer)
+	// header or opcode) to dst and returns the extended slice. Append
+	// style lets callers frame straight into reused buffers; WriteMessage
+	// and AppendMessage are the public entry points.
+	appendPayload(dst []byte) []byte
 }
+
+// frameHeaderSize is the marker byte plus the little-endian payload size.
+const frameHeaderSize = 5
+
+// AppendMessage appends the complete frame (marker, size, opcode,
+// payload) for m to dst and returns the extended slice. On ErrTooLarge
+// dst is returned unchanged. The bytes are identical to what
+// WriteMessage puts on the wire.
+func AppendMessage(dst []byte, m Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, ProtoMarker, 0, 0, 0, 0, m.Opcode())
+	dst = m.appendPayload(dst)
+	size := len(dst) - start - frameHeaderSize
+	if size > MaxMessageSize {
+		return dst[:start], ErrTooLarge
+	}
+	binary.LittleEndian.PutUint32(dst[start+1:], uint32(size))
+	return dst, nil
+}
+
+// framePool recycles encode buffers across WriteMessage calls: the
+// serving hot path frames thousands of small replies per second and
+// must not allocate a fresh buffer for each.
+var framePool = sync.Pool{New: func() any { return make([]byte, 0, 512) }}
 
 // WriteMessage frames and writes one message.
 func WriteMessage(w io.Writer, m Message) error {
-	var body bytes.Buffer
-	body.WriteByte(m.Opcode())
-	m.appendPayload(&body)
-	if body.Len() > MaxMessageSize {
-		return ErrTooLarge
-	}
-	var hdr [5]byte
-	hdr[0] = ProtoMarker
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(body.Len()))
-	if _, err := w.Write(hdr[:]); err != nil {
+	buf := framePool.Get().([]byte)
+	frame, err := AppendMessage(buf[:0], m)
+	if err != nil {
+		framePool.Put(buf)
 		return err
 	}
-	_, err := w.Write(body.Bytes())
+	_, err = w.Write(frame)
+	framePool.Put(frame[:0])
 	return err
 }
 
 // ReadMessage reads and decodes one frame.
 func ReadMessage(r io.Reader) (Message, error) {
-	var hdr [5]byte
+	m, _, err := ReadMessageInto(r, nil)
+	return m, err
+}
+
+// ReadMessageInto reads and decodes one frame using scratch as the
+// reusable body buffer, returning the (possibly grown) scratch for the
+// next call. Decoded messages never alias the scratch — strings and
+// hashes are copied by the decoders — so one buffer per connection
+// serves the whole session without a per-frame allocation.
+func ReadMessageInto(r io.Reader, scratch []byte) (Message, []byte, error) {
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, err
+		return nil, scratch, err
 	}
 	if hdr[0] != ProtoMarker {
-		return nil, ErrBadMarker
+		return nil, scratch, ErrBadMarker
 	}
 	size := binary.LittleEndian.Uint32(hdr[1:])
 	if size == 0 {
-		return nil, ErrTruncated
+		return nil, scratch, ErrTruncated
 	}
 	if size > MaxMessageSize {
-		return nil, ErrTooLarge
+		return nil, scratch, ErrTooLarge
 	}
-	body := make([]byte, size)
+	if uint32(cap(scratch)) < size {
+		scratch = make([]byte, size)
+	}
+	body := scratch[:size]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return nil, err
+		return nil, scratch, err
 	}
 	op := body[0]
 	rd := &reader{buf: body[1:]}
 	decode, ok := decoders[op]
 	if !ok {
-		return nil, fmt.Errorf("%w: 0x%02X", ErrUnknownOp, op)
+		return nil, scratch, fmt.Errorf("%w: 0x%02X", ErrUnknownOp, op)
 	}
 	m, err := decode(rd)
 	if err != nil {
-		return nil, err
+		return nil, scratch, err
 	}
 	if err := rd.done(); err != nil {
-		return nil, err
+		return nil, scratch, err
 	}
-	return m, nil
+	return m, scratch, nil
 }
 
 var decoders = map[byte]func(*reader) (Message, error){

@@ -8,7 +8,10 @@
 // million-peer population that never materializes per-client state.
 package protocol
 
-import "strings"
+import (
+	"encoding/binary"
+	"strings"
+)
 
 // Directory is the index a first-tier server consults to answer queries.
 // Implementations define their own enumeration order for UsersWithPrefix;
@@ -74,4 +77,94 @@ func (s *ServerCore) searchUser(req *SearchUser) Message {
 		return true
 	})
 	return out
+}
+
+// SourceStreamer is an optional Directory extension: directories that
+// can enumerate a file's sources without materializing an endpoint slice
+// let AppendReply render FoundSources straight into the frame buffer.
+type SourceStreamer interface {
+	// ForEachSource visits the endpoints currently offering the file, in
+	// the same order SourcesOf would return them, stopping early when
+	// yield returns false.
+	ForEachSource(hash [16]byte, yield func(Endpoint) bool)
+}
+
+// AppendReply answers one request by appending the complete reply frame
+// to dst, returning the extended slice. It is the serving hot path's
+// equivalent of Handle + WriteMessage — byte-identical output — but the
+// reply-cap paths never materialize intermediate slices or Message
+// values: SearchUserResult entries (the 200-cap nickname sweep reply)
+// and, when the directory implements SourceStreamer, FoundSources
+// endpoints are rendered directly into the frame while the count and
+// size fields are patched afterwards. handled=false mirrors Handle: the
+// request is not the core's to answer, and dst is returned unchanged.
+func (s *ServerCore) AppendReply(dst []byte, m Message) (out []byte, handled bool) {
+	switch req := m.(type) {
+	case *GetServerList:
+		out, _ = AppendMessage(dst, &ServerList{Servers: s.Dir.Servers()})
+		return out, true
+	case *SearchUser:
+		return s.appendSearchUser(dst, req), true
+	case *GetSources:
+		return s.appendSources(dst, req), true
+	case *SearchRequest:
+		out, _ = AppendMessage(dst, &SearchResult{Files: s.Dir.SearchFiles(strings.ToLower(req.Keyword))})
+		return out, true
+	}
+	return dst, false
+}
+
+// beginCountedFrame appends a frame header, opcode and placeholder
+// element count, returning the patch offsets.
+func beginCountedFrame(dst []byte, opcode byte) (out []byte, sizeAt, countAt int) {
+	sizeAt = len(dst) + 1
+	dst = append(dst, ProtoMarker, 0, 0, 0, 0, opcode)
+	countAt = len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	return dst, sizeAt, countAt
+}
+
+// endCountedFrame patches the payload size and element count in place.
+func endCountedFrame(dst []byte, sizeAt, countAt int, count uint32) []byte {
+	binary.LittleEndian.PutUint32(dst[sizeAt:], uint32(len(dst)-sizeAt-4))
+	binary.LittleEndian.PutUint32(dst[countAt:], count)
+	return dst
+}
+
+func (s *ServerCore) appendSearchUser(dst []byte, req *SearchUser) []byte {
+	if !s.SupportsUserSearch {
+		dst, _ = AppendMessage(dst, &Reject{Reason: "query-users not implemented"})
+		return dst
+	}
+	dst, sizeAt, countAt := beginCountedFrame(dst, OpSearchUserResult)
+	n := 0
+	s.Dir.UsersWithPrefix(strings.ToLower(req.Query), func(u UserEntry) bool {
+		if n >= s.MaxUserReplies {
+			return false
+		}
+		dst = appendUserEntry(dst, u)
+		n++
+		return true
+	})
+	return endCountedFrame(dst, sizeAt, countAt, uint32(n))
+}
+
+func (s *ServerCore) appendSources(dst []byte, req *GetSources) []byte {
+	str, ok := s.Dir.(SourceStreamer)
+	if !ok {
+		dst, _ = AppendMessage(dst, &FoundSources{Hash: req.Hash, Sources: s.Dir.SourcesOf(req.Hash)})
+		return dst
+	}
+	sizeAt := len(dst) + 1
+	dst = append(dst, ProtoMarker, 0, 0, 0, 0, OpFoundSources)
+	dst = append(dst, req.Hash[:]...)
+	countAt := len(dst)
+	dst = append(dst, 0, 0, 0, 0)
+	n := uint32(0)
+	str.ForEachSource(req.Hash, func(e Endpoint) bool {
+		dst = appendEndpoint(dst, e)
+		n++
+		return true
+	})
+	return endCountedFrame(dst, sizeAt, countAt, n)
 }

@@ -1,0 +1,413 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"edonkey/internal/edonkey"
+	"edonkey/internal/protocol"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown begins draining.
+var ErrServerClosed = errors.New("serve: server closed")
+
+// Defaults for the zero-value Config fields.
+const (
+	DefaultMaxConns     = 4096
+	DefaultIdleTimeout  = 60 * time.Second
+	DefaultWriteTimeout = 10 * time.Second
+)
+
+// Config tunes a Server. The zero value serves with the defaults above.
+type Config struct {
+	// MaxConns bounds concurrent connections; the accept loop holds a
+	// slot before accepting, so excess connections queue in the kernel
+	// backlog instead of landing goroutines.
+	MaxConns int
+	// IdleTimeout bounds how long a connection may sit between requests.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each reply flush.
+	WriteTimeout time.Duration
+	// MaxUserReplies caps SearchUser replies (0 = the measured 200).
+	MaxUserReplies int
+	// Legacy selects the unsharded first-cut request path: a global
+	// mutex around every directory read, reference Handle dispatch, one
+	// message allocation per read and one flush per reply. It exists as
+	// the A/B baseline for the hot path (BenchmarkServeTCP runs both)
+	// and is wired to edserved -legacy.
+	Legacy bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConns <= 0 {
+		c.MaxConns = DefaultMaxConns
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.MaxUserReplies <= 0 {
+		c.MaxUserReplies = edonkey.DefaultMaxUserReplies
+	}
+	return c
+}
+
+// Stats is a point-in-time snapshot of the server's counters.
+type Stats struct {
+	Accepted uint64 // connections accepted since start
+	Active   uint64 // connections currently served
+	Queries  uint64 // requests answered (all classes, offers included)
+
+	Logins       uint64
+	Offers       uint64
+	UserSearches uint64
+	FileSearches uint64
+	Sources      uint64
+	ServerLists  uint64
+	Rejects      uint64 // unsupported requests answered with a Reject
+}
+
+type counters struct {
+	accepted     atomic.Uint64
+	active       atomic.Int64
+	queries      atomic.Uint64
+	logins       atomic.Uint64
+	offers       atomic.Uint64
+	userSearches atomic.Uint64
+	fileSearches atomic.Uint64
+	sources      atomic.Uint64
+	serverLists  atomic.Uint64
+	rejects      atomic.Uint64
+}
+
+// Server serves the first-tier protocol over stream connections against
+// an epoch-pinned Snapshot. The query path takes no locks: each request
+// loads the current snapshot from an atomic pointer and renders its
+// reply through ServerCore.AppendReply into a per-connection reused
+// buffer; SetSnapshot swaps epochs without pausing anything.
+type Server struct {
+	cfg  Config
+	snap atomic.Pointer[Snapshot]
+
+	// legacyMu is the first-cut global directory lock, held around every
+	// directory call when cfg.Legacy is set.
+	legacyMu sync.Mutex
+
+	// drainFlag is set before Shutdown's deadline pass; request loops
+	// check it right after re-arming their idle deadline, so whichever
+	// of the two deadline writes lands last, the connection still exits.
+	drainFlag atomic.Bool
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining bool
+
+	wg  sync.WaitGroup
+	sem chan struct{}
+
+	c counters
+}
+
+// New returns a Server answering queries from snap.
+func New(snap *Snapshot, cfg Config) *Server {
+	s := &Server{
+		cfg:   cfg.withDefaults(),
+		conns: make(map[net.Conn]struct{}),
+	}
+	s.sem = make(chan struct{}, s.cfg.MaxConns)
+	s.snap.Store(snap)
+	return s
+}
+
+// Snapshot returns the currently served epoch.
+func (s *Server) Snapshot() *Snapshot { return s.snap.Load() }
+
+// SetSnapshot publishes a new epoch. In-flight requests finish against
+// the epoch they pinned; new requests see the new one immediately.
+func (s *Server) SetSnapshot(snap *Snapshot) { s.snap.Store(snap) }
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:     s.c.accepted.Load(),
+		Active:       uint64(max(s.c.active.Load(), 0)),
+		Queries:      s.c.queries.Load(),
+		Logins:       s.c.logins.Load(),
+		Offers:       s.c.offers.Load(),
+		UserSearches: s.c.userSearches.Load(),
+		FileSearches: s.c.fileSearches.Load(),
+		Sources:      s.c.sources.Load(),
+		ServerLists:  s.c.serverLists.Load(),
+		Rejects:      s.c.rejects.Load(),
+	}
+}
+
+// Serve accepts connections on ln until Shutdown. Each connection gets
+// a goroutine; a connection-limit slot is held before every accept so
+// at most MaxConns are ever in flight.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrServerClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		s.sem <- struct{}{}
+		conn, err := ln.Accept()
+		if err != nil {
+			<-s.sem
+			s.mu.Lock()
+			draining := s.draining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		s.c.accepted.Add(1)
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer func() { <-s.sem }()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Shutdown drains the server: the listener stops accepting, and every
+// tracked connection gets a read deadline in the past, so requests
+// already read finish and flush their replies while idle connections
+// unblock and close. If ctx expires before the drain completes, the
+// remaining connections are closed outright. Shutdown returns nil on a
+// clean drain and ctx.Err() after a forced one.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainFlag.Store(true)
+	s.mu.Lock()
+	s.draining = true
+	ln := s.ln
+	past := time.Unix(1, 0)
+	for c := range s.conns {
+		c.SetReadDeadline(past)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		s.wg.Wait()
+		return ctx.Err()
+	}
+}
+
+// track registers a connection for drain management; it reports false
+// when the server is already draining (the connection should close).
+func (s *Server) track(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	return true
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+// ServeConn answers requests on one connection until it errors, idles
+// out or the server drains. It is exported so tests can drive the exact
+// production request loop over an in-process net.Pipe and pin its bytes
+// against the TCP path.
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	if !s.track(conn) {
+		return
+	}
+	defer s.untrack(conn)
+	s.c.active.Add(1)
+	defer s.c.active.Add(-1)
+	if s.cfg.Legacy {
+		s.serveConnLegacy(conn)
+		return
+	}
+	br := bufio.NewReaderSize(conn, 16<<10)
+	bw := bufio.NewWriterSize(conn, 32<<10)
+	var scratch, reply []byte
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		if s.drainFlag.Load() {
+			bw.Flush()
+			return
+		}
+		m, sc, err := protocol.ReadMessageInto(br, scratch)
+		scratch = sc
+		if err != nil {
+			return
+		}
+		reply = s.appendReply(reply[:0], m)
+		if len(reply) > 0 {
+			if _, err := bw.Write(reply); err != nil {
+				return
+			}
+		}
+		// Coalesce: a pipelined burst already buffered on the read side
+		// batches its replies into one flush; the last reply of the
+		// burst (or a lone request) flushes immediately.
+		if br.Buffered() == 0 {
+			conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		}
+	}
+}
+
+// appendReply renders the reply frame for one request into dst (empty
+// for fire-and-forget requests) and bumps the class counters.
+func (s *Server) appendReply(dst []byte, m protocol.Message) []byte {
+	s.c.queries.Add(1)
+	switch req := m.(type) {
+	case *protocol.LoginRequest:
+		s.c.logins.Add(1)
+		out, _ := protocol.AppendMessage(dst, &protocol.IDChange{ClientID: highID(req.Endpoint.IP)})
+		return out
+	case *protocol.OfferFiles:
+		s.c.offers.Add(1)
+		return dst // accepted silently, like the original protocol
+	default:
+		core := protocol.ServerCore{
+			Dir:                s.snap.Load(),
+			MaxUserReplies:     s.cfg.MaxUserReplies,
+			SupportsUserSearch: true,
+		}
+		out, handled := core.AppendReply(dst, m)
+		if !handled {
+			s.c.rejects.Add(1)
+			out, _ = protocol.AppendMessage(dst, &protocol.Reject{Reason: "unsupported request"})
+			return out
+		}
+		switch m.(type) {
+		case *protocol.SearchUser:
+			s.c.userSearches.Add(1)
+		case *protocol.SearchRequest:
+			s.c.fileSearches.Add(1)
+		case *protocol.GetSources:
+			s.c.sources.Add(1)
+		case *protocol.GetServerList:
+			s.c.serverLists.Add(1)
+		}
+		return out
+	}
+}
+
+// lockedDir is the legacy path's directory: every read takes one global
+// mutex, the contention shape of the unsharded first cut.
+type lockedDir struct {
+	mu *sync.Mutex
+	d  *Snapshot
+}
+
+func (l lockedDir) Servers() []protocol.Endpoint {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.d.Servers()
+}
+
+func (l lockedDir) UsersWithPrefix(prefix string, yield func(protocol.UserEntry) bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.d.UsersWithPrefix(prefix, yield)
+}
+
+func (l lockedDir) SourcesOf(hash [16]byte) []protocol.Endpoint {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.d.SourcesOf(hash)
+}
+
+func (l lockedDir) SearchFiles(kw string) []protocol.FileEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.d.SearchFiles(kw)
+}
+
+// serveConnLegacy is the first-cut request loop: reference Handle
+// dispatch over the mutex-guarded directory, a fresh decode per read, a
+// materialized reply Message and an unconditional flush per reply. It
+// answers byte-identically to the hot path — BenchmarkServeTCP and the
+// differential tests pin that — just slower.
+func (s *Server) serveConnLegacy(conn net.Conn) {
+	core := protocol.ServerCore{
+		Dir:                lockedDir{mu: &s.legacyMu, d: s.snap.Load()},
+		MaxUserReplies:     s.cfg.MaxUserReplies,
+		SupportsUserSearch: true,
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(s.cfg.IdleTimeout))
+		if s.drainFlag.Load() {
+			return
+		}
+		m, err := protocol.ReadMessage(conn)
+		if err != nil {
+			return
+		}
+		s.c.queries.Add(1)
+		var reply protocol.Message
+		switch req := m.(type) {
+		case *protocol.LoginRequest:
+			s.c.logins.Add(1)
+			reply = &protocol.IDChange{ClientID: highID(req.Endpoint.IP)}
+		case *protocol.OfferFiles:
+			s.c.offers.Add(1)
+			continue
+		default:
+			var handled bool
+			if reply, handled = core.Handle(m); !handled {
+				s.c.rejects.Add(1)
+				reply = &protocol.Reject{Reason: "unsupported request"}
+			} else {
+				switch m.(type) {
+				case *protocol.SearchUser:
+					s.c.userSearches.Add(1)
+				case *protocol.SearchRequest:
+					s.c.fileSearches.Add(1)
+				case *protocol.GetSources:
+					s.c.sources.Add(1)
+				case *protocol.GetServerList:
+					s.c.serverLists.Add(1)
+				}
+			}
+		}
+		conn.SetWriteDeadline(time.Now().Add(s.cfg.WriteTimeout))
+		if err := protocol.WriteMessage(conn, reply); err != nil {
+			return
+		}
+	}
+}

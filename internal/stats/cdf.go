@@ -151,6 +151,28 @@ func (h *Histogram) Count(k int) int64 { return h.counts[k] }
 // Total returns the total number of observations.
 func (h *Histogram) Total() int64 { return h.total }
 
+// Quantile returns the smallest bucket key k with P(X <= k) >= q, for q
+// in (0, 1]. It returns ErrEmpty for an empty histogram. Load harnesses
+// use it over microsecond-keyed latency histograms (p50/p99/p99.9).
+func (h *Histogram) Quantile(q float64) (int, error) {
+	if h.total == 0 {
+		return 0, ErrEmpty
+	}
+	if q <= 0 || q > 1 {
+		return 0, fmt.Errorf("stats: quantile %v out of (0,1]", q)
+	}
+	need := int64(math.Ceil(q * float64(h.total)))
+	var cum int64
+	for _, k := range h.Buckets() {
+		cum += h.counts[k]
+		if cum >= need {
+			return k, nil
+		}
+	}
+	// Unreachable: the cumulative count reaches total on the last bucket.
+	return h.Max(), nil
+}
+
 // TailCount returns the number of observations in buckets >= k.
 func (h *Histogram) TailCount(k int) int64 {
 	var s int64

@@ -21,6 +21,17 @@ var (
 	}
 )
 
+// NameWords returns the word pool file names are drawn from. Every
+// synthetic file name contains exactly one adjective and one noun from
+// this list, so it doubles as the exhaustive keyword vocabulary for
+// load harnesses driving the server's keyword search.
+func NameWords() []string {
+	out := make([]string, 0, len(nameAdjectives)+len(nameNouns))
+	out = append(out, nameAdjectives...)
+	out = append(out, nameNouns...)
+	return out
+}
+
 func extFor(k trace.FileKind) string {
 	switch k {
 	case trace.KindAudio:
